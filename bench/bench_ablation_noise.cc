@@ -1,0 +1,127 @@
+// Ablation: robustness of the two explanation approaches to telemetry
+// noise. DESIGN.md calls out the simulator's realism knobs (multiplicative
+// measurement noise and transient micro-hiccups) as ablation targets: this
+// bench sweeps them and reports the average predicate F1 of DBSherlock's
+// merged models vs the PerfXplain baseline, plus DBSherlock's top-1 cause
+// accuracy. DBSherlock's partition filtering is designed exactly for this
+// noise (Section 4.3), so its accuracy should decay far more slowly.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/perfxplain.h"
+#include "bench_util.h"
+#include "core/domain_knowledge.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+struct SweepResult {
+  double dbs_f1 = 0.0;
+  double px_f1 = 0.0;
+  double top1 = 0.0;
+};
+
+SweepResult RunConfig(double metric_noise, double hiccup_probability,
+                      uint64_t seed) {
+  simulator::DatasetGenOptions gen;
+  gen.seed = seed;
+  gen.server.metric_noise = metric_noise;
+  gen.server.hiccup_probability = hiccup_probability;
+  eval::Corpus corpus = eval::GenerateCorpus(gen);
+  const size_t num_classes = corpus.num_classes();
+  const size_t per_class = corpus.by_class[0].size();
+  const size_t test_idx = per_class - 1;  // train on the rest
+
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  core::DomainKnowledge knowledge = core::DomainKnowledge::MySqlLinuxDefaults();
+
+  core::ModelRepository repo;
+  double dbs_f1 = 0.0, px_f1 = 0.0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    core::CausalModel merged;
+    bool first = true;
+    std::vector<baselines::PerfXplain::LabeledDataset> train_sets;
+    for (size_t i = 0; i < per_class; ++i) {
+      if (i == test_idx) continue;
+      core::CausalModel next = eval::BuildCausalModel(
+          corpus.by_class[c][i], corpus.ClassName(c), options, &knowledge);
+      if (first) {
+        merged = std::move(next);
+        first = false;
+      } else {
+        auto m = core::MergeCausalModels(merged, next);
+        if (m.ok() && !m->predicates.empty()) merged = std::move(*m);
+      }
+      train_sets.push_back(
+          {&corpus.by_class[c][i].data, &corpus.by_class[c][i].regions});
+    }
+    repo.AddUnmerged(merged);
+
+    const simulator::GeneratedDataset& test = corpus.by_class[c][test_idx];
+    dbs_f1 += eval::EvaluatePredicates(merged.predicates, test.data,
+                                       test.regions)
+                  .f1;
+    baselines::PerfXplain px(baselines::PerfXplain::Options{});
+    if (px.TrainOnMany(train_sets).ok()) {
+      px_f1 += eval::EvaluateFlags(px.FlagRows(test.data), test.data,
+                                   test.regions)
+                   .f1;
+    }
+  }
+
+  size_t top1 = 0;
+  for (size_t c = 0; c < num_classes; ++c) {
+    eval::RankingOutcome outcome = eval::RankAgainst(
+        repo, corpus.by_class[c][test_idx], corpus.ClassName(c), options);
+    if (outcome.CorrectInTopK(1)) ++top1;
+  }
+
+  SweepResult out;
+  out.dbs_f1 = 100.0 * dbs_f1 / static_cast<double>(num_classes);
+  out.px_f1 = 100.0 * px_f1 / static_cast<double>(num_classes);
+  out.top1 = 100.0 * static_cast<double>(top1) /
+             static_cast<double>(num_classes);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42, "corpus seed"));
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Noise ablation", "repo-specific; motivated by Sections 3-4",
+      "Predicate F1 (DBSherlock vs PerfXplain) and DBSherlock top-1 cause "
+      "accuracy as telemetry noise and hiccup rate grow.");
+
+  bench::TablePrinter table({"Metric noise", "Hiccup rate", "DBS F1 (%)",
+                             "PX F1 (%)", "DBS top-1 (%)"},
+                            {14, 13, 12, 12, 15});
+  table.PrintHeader();
+  struct Config {
+    double noise;
+    double hiccups;
+  };
+  const std::vector<Config> configs = {
+      {0.02, 0.00}, {0.05, 0.06}, {0.10, 0.12}, {0.20, 0.25}, {0.30, 0.40},
+  };
+  for (const Config& config : configs) {
+    SweepResult r = RunConfig(config.noise, config.hiccups, seed);
+    table.PrintRow({bench::Num(config.noise), bench::Num(config.hiccups),
+                    bench::Pct(r.dbs_f1), bench::Pct(r.px_f1),
+                    bench::Pct(r.top1)});
+  }
+  std::printf("\n(Expected shape: both degrade with noise; DBSherlock's "
+              "partition filtering keeps its F1 and ranking accuracy "
+              "falling much more slowly than PerfXplain's pairwise "
+              "comparisons.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,125 @@
+// Figure 11 (Appendix B): over-fitting and merged causal models.
+//
+// Leave-one-out cross validation: per class, the models from 10 datasets
+// are merged and the result is evaluated on the 11th, rotated. Compared
+// against the 5-dataset merged models of Figure 8 on (a) absolute
+// confidence of the correct model, (b) margin of confidence, and (c)
+// top-1/top-2 accuracy of the 10-dataset models.
+
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/domain_knowledge.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t seed =
+      static_cast<uint64_t>(flags.Int("seed", 42, "corpus generation seed"));
+  int64_t rounds5 = flags.Int("rounds5", 20, "rounds for 5-dataset models");
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Figure 11", "DBSherlock SIGMOD'16, Appendix B",
+      "Merged models from 10 datasets (leave-one-out) vs 5 datasets: "
+      "confidence, margin, and top-k accuracy.");
+
+  simulator::DatasetGenOptions gen;
+  gen.seed = seed;
+  eval::Corpus corpus = eval::GenerateCorpus(gen);
+  const size_t num_classes = corpus.num_classes();
+  const size_t per_class = corpus.by_class[0].size();
+
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  core::DomainKnowledge knowledge = core::DomainKnowledge::MySqlLinuxDefaults();
+  common::Pcg32 rng(seed, 0x0f11);
+
+  // --- 10-dataset leave-one-out ------------------------------------------
+  std::vector<double> conf10(num_classes, 0.0), margin10(num_classes, 0.0);
+  std::vector<size_t> top1_10(num_classes, 0), top2_10(num_classes, 0);
+  for (size_t test_idx = 0; test_idx < per_class; ++test_idx) {
+    std::vector<std::vector<size_t>> train(num_classes);
+    for (size_t c = 0; c < num_classes; ++c) {
+      for (size_t i = 0; i < per_class; ++i) {
+        if (i != test_idx) train[c].push_back(i);
+      }
+    }
+    core::ModelRepository repo =
+        eval::BuildMergedRepository(corpus, train, options, &knowledge);
+    for (size_t c = 0; c < num_classes; ++c) {
+      const simulator::GeneratedDataset& test = corpus.by_class[c][test_idx];
+      eval::RankingOutcome outcome =
+          eval::RankAgainst(repo, test, corpus.ClassName(c), options);
+      margin10[c] += outcome.margin;
+      if (outcome.CorrectInTopK(1)) ++top1_10[c];
+      if (outcome.CorrectInTopK(2)) ++top2_10[c];
+      const core::CausalModel* correct = repo.Find(corpus.ClassName(c));
+      if (correct != nullptr) {
+        conf10[c] += eval::ConfidenceOn(*correct, test, options);
+      }
+    }
+  }
+
+  // --- 5-dataset random splits (Figure 8 protocol) ------------------------
+  std::vector<double> conf5(num_classes, 0.0), margin5(num_classes, 0.0);
+  std::vector<size_t> count5(num_classes, 0);
+  for (int64_t round = 0; round < rounds5; ++round) {
+    std::vector<std::vector<size_t>> train =
+        eval::RandomTrainSplit(num_classes, per_class, 5, &rng);
+    core::ModelRepository repo =
+        eval::BuildMergedRepository(corpus, train, options, &knowledge);
+    for (size_t c = 0; c < num_classes; ++c) {
+      for (size_t idx : eval::TestIndices(train[c], per_class)) {
+        const simulator::GeneratedDataset& test = corpus.by_class[c][idx];
+        eval::RankingOutcome outcome =
+            eval::RankAgainst(repo, test, corpus.ClassName(c), options);
+        margin5[c] += outcome.margin;
+        const core::CausalModel* correct = repo.Find(corpus.ClassName(c));
+        if (correct != nullptr) {
+          conf5[c] += eval::ConfidenceOn(*correct, test, options);
+        }
+        ++count5[c];
+      }
+    }
+  }
+
+  std::printf("\n(a,b) Confidence and margin: merged from 5 vs 10 datasets\n");
+  bench::TablePrinter tab({"Test case", "Conf 5 (%)", "Conf 10 (%)",
+                           "Margin 5 (%)", "Margin 10 (%)"},
+                          {24, 12, 13, 14, 15});
+  tab.PrintHeader();
+  for (size_t c = 0; c < num_classes; ++c) {
+    double n5 = static_cast<double>(count5[c]);
+    double n10 = static_cast<double>(per_class);
+    tab.PrintRow({corpus.ClassName(c), bench::Pct(conf5[c] / n5),
+                  bench::Pct(conf10[c] / n10), bench::Pct(margin5[c] / n5),
+                  bench::Pct(margin10[c] / n10)});
+  }
+
+  std::printf("\n(c) Accuracy of 10-dataset merged models (leave-one-out)\n");
+  bench::TablePrinter tc({"Test case", "Top-1 shown (%)", "Top-2 shown (%)"},
+                         {24, 17, 17});
+  tc.PrintHeader();
+  for (size_t c = 0; c < num_classes; ++c) {
+    double n = static_cast<double>(per_class);
+    tc.PrintRow({corpus.ClassName(c),
+                 bench::Pct(100.0 * static_cast<double>(top1_10[c]) / n),
+                 bench::Pct(100.0 * static_cast<double>(top2_10[c]) / n)});
+  }
+  std::printf("\n(Paper: confidence rises slightly with 10 datasets but the "
+              "margin can shrink — merging beyond what is needed stops "
+              "helping, akin to over-fitting.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

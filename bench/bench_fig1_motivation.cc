@@ -1,0 +1,111 @@
+// Figure 1 (Section 1): the paper's motivating observation — a workload
+// spike, a burst of poorly written queries, and a network hiccup all
+// produce nearly the same average-latency plot, yet need entirely
+// different remedies. This bench quantifies it: pairwise shape similarity
+// of the latency series across the three causes (after per-series
+// normalization), followed by the *distinct* predicates DBSherlock derives
+// for each — the paper's introduction in one table.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "core/explainer.h"
+#include "simulator/dataset_gen.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+/// Min-max-normalized, median-smoothed latency series of a run (the
+/// smoothing suppresses per-second hiccups so the comparison is between
+/// the *shapes* a DBA sees on the dashboard).
+std::vector<double> NormalizedLatency(const simulator::GeneratedDataset& run) {
+  auto col = run.data.ColumnByName("avg_latency_ms");
+  std::vector<double> smoothed =
+      common::SlidingMedian((*col)->numeric_values(), 9);
+  return common::MinMaxNormalize(smoothed);
+}
+
+/// Pearson correlation of two equal-length series.
+double Correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double ma = common::Mean(a), mb = common::Mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  double denom = std::sqrt(va * vb);
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42, "RNG seed"));
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Figure 1", "DBSherlock SIGMOD'16, Section 1",
+      "Three different causes produce nearly the same latency plot; "
+      "DBSherlock's predicates still tell them apart.");
+
+  const std::vector<simulator::AnomalyKind> kinds = {
+      simulator::AnomalyKind::kWorkloadSpike,
+      simulator::AnomalyKind::kPoorlyWrittenQuery,
+      simulator::AnomalyKind::kNetworkCongestion,
+  };
+  // The same anomaly window and background stream for all three, so the
+  // only difference is the cause itself.
+  std::vector<simulator::GeneratedDataset> runs;
+  for (simulator::AnomalyKind kind : kinds) {
+    simulator::DatasetGenOptions options;
+    options.seed = seed;
+    runs.push_back(simulator::GenerateAnomalyDataset(options, kind, 60.0));
+  }
+
+  std::printf("\nPairwise correlation of the normalized avg-latency "
+              "series:\n");
+  bench::TablePrinter corr({"Pair", "Correlation"}, {48, 12});
+  corr.PrintHeader();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    for (size_t j = i + 1; j < runs.size(); ++j) {
+      double r = Correlation(NormalizedLatency(runs[i]),
+                             NormalizedLatency(runs[j]));
+      corr.PrintRow({runs[i].label + " vs " + runs[j].label,
+                     bench::Num(r)});
+    }
+  }
+  std::printf("(High correlations: the plots alone cannot tell the causes "
+              "apart — the DBA's Figure 1 predicament.)\n");
+
+  std::printf("\nTop DBSherlock predicates per cause (the signals the "
+              "paper's introduction names):\n");
+  for (const auto& run : runs) {
+    core::Explainer sherlock;
+    core::Explanation ex = sherlock.Diagnose(run.data, run.regions);
+    std::printf("\n%s:\n", run.label.c_str());
+    size_t shown = 0;
+    for (const auto& diag : ex.predicates) {
+      if (diag.predicate.attribute == "avg_latency_ms" ||
+          diag.predicate.attribute == "p99_latency_ms") {
+        continue;  // the symptom itself, not a distinguishing signal
+      }
+      if (++shown > 4) break;
+      std::printf("  %-50s (power %.2f)\n",
+                  diag.predicate.ToString().c_str(),
+                  diag.separation_power);
+    }
+  }
+  std::printf("\n(Paper: spike -> lock waits + running threads; poor "
+              "queries -> next-row reads + DBMS CPU; network -> fewer "
+              "packets than usual.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

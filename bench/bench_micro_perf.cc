@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark): throughput of the core building
+// blocks — predicate generation as a function of R (partitions), X (rows)
+// and k (attributes), matching the O(k(X+R)) analysis of Section 4.6 —
+// plus DBSCAN-based detection and the simulator's tick rate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/anomaly_detector.h"
+#include "core/predicate_generator.h"
+#include "eval/experiment.h"
+#include "simulator/dataset_gen.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+const simulator::GeneratedDataset& SharedDataset() {
+  static const simulator::GeneratedDataset* dataset = [] {
+    simulator::DatasetGenOptions options;
+    options.seed = 42;
+    return new simulator::GeneratedDataset(simulator::GenerateAnomalyDataset(
+        options, simulator::AnomalyKind::kWorkloadSpike, 60.0));
+  }();
+  return *dataset;
+}
+
+void BM_PredicateGeneration_Partitions(benchmark::State& state) {
+  const simulator::GeneratedDataset& ds = SharedDataset();
+  core::PredicateGenOptions options;
+  options.num_partitions = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::GeneratePredicates(ds.data, ds.regions, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.data.num_rows()));
+}
+BENCHMARK(BM_PredicateGeneration_Partitions)
+    ->Arg(125)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000);
+
+void BM_PredicateGeneration_Rows(benchmark::State& state) {
+  simulator::DatasetGenOptions options;
+  options.seed = 7;
+  options.normal_duration_sec = static_cast<double>(state.range(0));
+  simulator::GeneratedDataset ds = simulator::GenerateAnomalyDataset(
+      options, simulator::AnomalyKind::kIoSaturation,
+      options.normal_duration_sec / 2.0);
+  core::PredicateGenOptions gen_options;
+  for (auto _ : state) {
+    auto result = core::GeneratePredicates(ds.data, ds.regions, gen_options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.data.num_rows()));
+}
+BENCHMARK(BM_PredicateGeneration_Rows)->Arg(120)->Arg(300)->Arg(600);
+
+void BM_ModelConfidence(benchmark::State& state) {
+  const simulator::GeneratedDataset& ds = SharedDataset();
+  core::PredicateGenOptions options;
+  core::CausalModel model =
+      eval::BuildCausalModel(ds, "Workload Spike", options);
+  tsdata::LabeledRows rows = SplitRows(ds.data, ds.regions);
+  for (auto _ : state) {
+    double conf = core::ModelConfidence(model, ds.data, rows, options);
+    benchmark::DoNotOptimize(conf);
+  }
+}
+BENCHMARK(BM_ModelConfidence);
+
+void BM_AutomaticAnomalyDetection(benchmark::State& state) {
+  const simulator::GeneratedDataset& ds = SharedDataset();
+  core::AnomalyDetectorOptions options;
+  for (auto _ : state) {
+    auto result = core::DetectAnomalies(ds.data, options);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_AutomaticAnomalyDetection);
+
+void BM_SimulatorTick(benchmark::State& state) {
+  simulator::ServerSimulator sim(simulator::ServerConfig{},
+                                 simulator::MakeTpccWorkload(), 42);
+  std::vector<simulator::AnomalyEvent> events;
+  for (auto _ : state) {
+    simulator::Metrics m = sim.Tick(events);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorTick);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table 2 (Section 8.6): effect of incorporating domain knowledge.
+//
+// Single causal models (theta = 0.2, one training dataset each, rotated as
+// in Figure 7) are constructed twice — with and without the four
+// MySQL/Linux rules — and the ratio of correct causes in the top-1 / top-2
+// positions is compared.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/domain_knowledge.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+struct Accuracy {
+  size_t top1 = 0;
+  size_t top2 = 0;
+  size_t total = 0;
+};
+
+Accuracy RunConfiguration(const eval::Corpus& corpus,
+                          const core::PredicateGenOptions& options,
+                          const core::DomainKnowledge* knowledge) {
+  const size_t num_classes = corpus.num_classes();
+  const size_t per_class = corpus.by_class[0].size();
+  Accuracy acc;
+  for (size_t round = 0; round < per_class; ++round) {
+    core::ModelRepository repo;
+    for (size_t c = 0; c < num_classes; ++c) {
+      repo.AddUnmerged(eval::BuildCausalModel(corpus.by_class[c][round],
+                                              corpus.ClassName(c), options,
+                                              knowledge));
+    }
+    for (size_t c = 0; c < num_classes; ++c) {
+      for (size_t i = 0; i < per_class; ++i) {
+        if (i == round) continue;
+        eval::RankingOutcome outcome = eval::RankAgainst(
+            repo, corpus.by_class[c][i], corpus.ClassName(c), options);
+        if (outcome.CorrectInTopK(1)) ++acc.top1;
+        if (outcome.CorrectInTopK(2)) ++acc.top2;
+        ++acc.total;
+      }
+    }
+  }
+  return acc;
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t seed =
+      static_cast<uint64_t>(flags.Int("seed", 42, "corpus generation seed"));
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Table 2", "DBSherlock SIGMOD'16, Section 8.6",
+      "Ratio of correct causes for single causal models, with and without "
+      "the four MySQL/Linux domain-knowledge rules.");
+
+  simulator::DatasetGenOptions gen;
+  gen.seed = seed;
+  eval::Corpus corpus = eval::GenerateCorpus(gen);
+
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.2;
+  core::DomainKnowledge knowledge = core::DomainKnowledge::MySqlLinuxDefaults();
+
+  Accuracy with = RunConfiguration(corpus, options, &knowledge);
+  Accuracy without = RunConfiguration(corpus, options, nullptr);
+
+  bench::TablePrinter table(
+      {"Configuration", "Top-1 cause (%)", "Top-2 causes (%)"},
+      {28, 18, 18});
+  table.PrintHeader();
+  auto pct = [](size_t hits, size_t total) {
+    return bench::Pct(100.0 * static_cast<double>(hits) /
+                      static_cast<double>(total));
+  };
+  table.PrintRow({"With Domain Knowledge", pct(with.top1, with.total),
+                  pct(with.top2, with.total)});
+  table.PrintRow({"Without Domain Knowledge", pct(without.top1, without.total),
+                  pct(without.top2, without.total)});
+  std::printf("\n(Paper: 85.3%% / 94.8%% with, 82.7%% / 93.2%% without — "
+              "domain knowledge helps by ~2-3%%, and accuracy stays high "
+              "without it.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,116 @@
+// Table 5 (Appendix C): robustness against input errors and rare anomalies.
+//
+// Using the leave-one-out merged models of Appendix B, the test dataset's
+// abnormal region is perturbed before diagnosis: extended by 10%, shortened
+// by 10%, or replaced by a random two-second slice of the true region. The
+// ratio of correct causes in the top-1 / top-2 positions is reported.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/domain_knowledge.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t seed =
+      static_cast<uint64_t>(flags.Int("seed", 42, "corpus generation seed"));
+  int64_t two_second_repeats =
+      flags.Int("two_second_repeats", 10, "random 2-second slices per test");
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Table 5", "DBSherlock SIGMOD'16, Appendix C",
+      "Robustness to imperfect abnormal regions: original, +/-10% width, "
+      "and a random two-second slice of the anomaly.");
+
+  simulator::DatasetGenOptions gen;
+  gen.seed = seed;
+  eval::Corpus corpus = eval::GenerateCorpus(gen);
+  const size_t num_classes = corpus.num_classes();
+  const size_t per_class = corpus.by_class[0].size();
+
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  core::DomainKnowledge knowledge = core::DomainKnowledge::MySqlLinuxDefaults();
+  common::Pcg32 rng(seed, 0x7ab1e5);
+
+  struct Row {
+    std::string label;
+    size_t top1 = 0;
+    size_t top2 = 0;
+    size_t total = 0;
+  };
+  std::vector<Row> rows = {{"Original", 0, 0, 0},
+                           {"10% Longer", 0, 0, 0},
+                           {"10% Shorter", 0, 0, 0},
+                           {"Two Seconds", 0, 0, 0}};
+
+  for (size_t test_idx = 0; test_idx < per_class; ++test_idx) {
+    std::vector<std::vector<size_t>> train(num_classes);
+    for (size_t c = 0; c < num_classes; ++c) {
+      for (size_t i = 0; i < per_class; ++i) {
+        if (i != test_idx) train[c].push_back(i);
+      }
+    }
+    core::ModelRepository repo =
+        eval::BuildMergedRepository(corpus, train, options, &knowledge);
+
+    for (size_t c = 0; c < num_classes; ++c) {
+      simulator::GeneratedDataset test = corpus.by_class[c][test_idx];
+      const tsdata::TimeRange truth = test.regions.abnormal.ranges()[0];
+
+      auto evaluate = [&](Row* row, const tsdata::RegionSpec& abnormal,
+                          size_t repeats = 1) {
+        for (size_t r = 0; r < repeats; ++r) {
+          tsdata::RegionSpec region = abnormal;
+          if (repeats > 1) {
+            // Random two-second slice of the true anomaly.
+            double start =
+                truth.start +
+                rng.NextDouble() * std::max(0.0, truth.length() - 2.0);
+            region = tsdata::RegionSpec({{start, start + 2.0}});
+          }
+          simulator::GeneratedDataset perturbed = test;
+          perturbed.regions.abnormal = region;
+          eval::RankingOutcome outcome = eval::RankAgainst(
+              repo, perturbed, corpus.ClassName(c), options);
+          if (outcome.CorrectInTopK(1)) ++row->top1;
+          if (outcome.CorrectInTopK(2)) ++row->top2;
+          ++row->total;
+        }
+      };
+
+      evaluate(&rows[0], test.regions.abnormal);
+      evaluate(&rows[1], test.regions.abnormal.ScaledAroundCenter(1.1));
+      evaluate(&rows[2], test.regions.abnormal.ScaledAroundCenter(0.9));
+      evaluate(&rows[3], test.regions.abnormal,
+               static_cast<size_t>(two_second_repeats));
+    }
+  }
+
+  bench::TablePrinter table({"Width of Abnormal Region", "Top-1 cause (%)",
+                             "Top-2 causes (%)"},
+                            {28, 18, 18});
+  table.PrintHeader();
+  for (const Row& row : rows) {
+    double n = static_cast<double>(row.total);
+    table.PrintRow({row.label,
+                    bench::Pct(100.0 * static_cast<double>(row.top1) / n),
+                    bench::Pct(100.0 * static_cast<double>(row.top2) / n)});
+  }
+  std::printf("\n(Paper: 94.6/99.1 original, 95.5/100 longer, 95.5/97.3 "
+              "shorter, 74.6/86.4 two seconds — accuracy barely moves for "
+              "+/-10%% and stays useful even for 2-second anomalies.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,121 @@
+// Table 7 (Appendix E): accuracy with automatic anomaly detection.
+//
+// Ten-minute datasets (long normal region) are generated per class; merged
+// models are built leave-one-out from ground-truth regions, and the held-
+// out dataset is diagnosed three ways: with the manually specified
+// (ground-truth) region, with DBSherlock's automatic detector (Section 7),
+// and with PerfAugur's robust interval search supplying the region.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/perfaugur.h"
+#include "bench_util.h"
+#include "core/anomaly_detector.h"
+#include "core/domain_knowledge.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t seed =
+      static_cast<uint64_t>(flags.Int("seed", 42, "corpus generation seed"));
+  int64_t rotations = flags.Int(
+      "rotations", 3, "leave-one-out rotations to run (paper: all 11)");
+  double normal_sec =
+      flags.Double("normal_sec", 600.0, "normal-activity duration, seconds");
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Table 7", "DBSherlock SIGMOD'16, Appendix E",
+      "Top-k accuracy when the abnormal region comes from manual selection, "
+      "DBSherlock's automatic detector, or PerfAugur (10-minute datasets).");
+
+  simulator::DatasetGenOptions gen;
+  gen.seed = seed;
+  gen.normal_duration_sec = normal_sec;
+  eval::Corpus corpus = eval::GenerateCorpus(gen);
+  const size_t num_classes = corpus.num_classes();
+  const size_t per_class = corpus.by_class[0].size();
+
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  core::DomainKnowledge knowledge = core::DomainKnowledge::MySqlLinuxDefaults();
+  core::AnomalyDetectorOptions detector_options;
+  baselines::PerfAugurOptions perfaugur_options;
+
+  struct Row {
+    std::string label;
+    size_t top1 = 0, top2 = 0, total = 0;
+  };
+  std::vector<Row> rows = {{"Manual Anomaly Detection"},
+                           {"Automatic Anomaly Detection"},
+                           {"PerfAugur"}};
+
+  size_t max_rot = std::min<size_t>(per_class,
+                                    static_cast<size_t>(rotations));
+  for (size_t test_idx = 0; test_idx < max_rot; ++test_idx) {
+    std::vector<std::vector<size_t>> train(num_classes);
+    for (size_t c = 0; c < num_classes; ++c) {
+      for (size_t i = 0; i < per_class; ++i) {
+        if (i != test_idx) train[c].push_back(i);
+      }
+    }
+    core::ModelRepository repo =
+        eval::BuildMergedRepository(corpus, train, options, &knowledge);
+
+    for (size_t c = 0; c < num_classes; ++c) {
+      const simulator::GeneratedDataset& truth = corpus.by_class[c][test_idx];
+
+      auto score = [&](Row* row, const tsdata::DiagnosisRegions& regions) {
+        if (regions.abnormal.empty()) {
+          ++row->total;  // nothing detected counts as a miss
+          return;
+        }
+        simulator::GeneratedDataset test = truth;
+        test.regions = regions;
+        eval::RankingOutcome outcome =
+            eval::RankAgainst(repo, test, corpus.ClassName(c), options);
+        if (outcome.CorrectInTopK(1)) ++row->top1;
+        if (outcome.CorrectInTopK(2)) ++row->top2;
+        ++row->total;
+      };
+
+      tsdata::DiagnosisRegions manual;
+      manual.abnormal = truth.regions.abnormal;
+      score(&rows[0], manual);
+
+      core::DetectionResult detected =
+          core::DetectAnomalies(truth.data, detector_options);
+      score(&rows[1], core::DetectionToRegions(detected, truth.data,
+                                               detector_options));
+
+      auto pa = baselines::PerfAugurDetect(truth.data, perfaugur_options);
+      tsdata::DiagnosisRegions pa_regions;
+      if (pa.ok()) pa_regions.abnormal = pa->abnormal;
+      score(&rows[2], pa_regions);
+    }
+  }
+
+  bench::TablePrinter table(
+      {"Detection Strategy", "Top-1 cause (%)", "Top-2 causes (%)"},
+      {30, 18, 18});
+  table.PrintHeader();
+  for (const Row& row : rows) {
+    double n = static_cast<double>(row.total);
+    table.PrintRow({row.label,
+                    bench::Pct(100.0 * static_cast<double>(row.top1) / n),
+                    bench::Pct(100.0 * static_cast<double>(row.top2) / n)});
+  }
+  std::printf("\n(Paper: manual 94.6/99.1, automatic 90.0/95.5, PerfAugur "
+              "77.3/88.2 — our detector loses little vs manual and beats "
+              "PerfAugur's regions.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,111 @@
+// Table 8 (Appendix F): pruning secondary symptoms on synthetic SEM data.
+//
+// Random linear causal graphs (k = 7 variables) generate datasets with a
+// known ground-truth causal structure; synthetic domain-knowledge rules are
+// generated per root cause. For every rule whose two attributes both carry
+// extracted predicates, the independence-test decision (prune / keep) is
+// compared against the graph's ground truth (prune iff the effect is
+// actually reachable from the cause), yielding the confusion matrix.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/predicate_generator.h"
+#include "eval/experiment.h"
+#include "synthetic/sem.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  uint64_t seed = static_cast<uint64_t>(flags.Int("seed", 42, "RNG seed"));
+  int64_t graphs = flags.Int(
+      "graphs", 2000,
+      "random causal graphs (paper: 10000; default scaled for speed)");
+  double kappa_t =
+      flags.Double("kappa_t", 0.15, "independence test threshold");
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Table 8", "DBSherlock SIGMOD'16, Appendix F",
+      "Confusion matrix of secondary-symptom pruning on synthetic "
+      "linear-SEM causal graphs.");
+  std::printf("Running %lld random graphs (use --graphs 10000 for the "
+              "paper's full scale).\n\n",
+              static_cast<long long>(graphs));
+
+  common::Pcg32 rng(seed, 0x5e3);
+  synthetic::SemOptions sem_options;
+  core::PredicateGenOptions pred_options;
+  core::IndependenceTestOptions test_options;
+  test_options.kappa_threshold = kappa_t;
+
+  // Confusion counts over rule decisions.
+  uint64_t pruned_positive = 0, pruned_negative = 0;
+  uint64_t kept_positive = 0, kept_negative = 0;
+
+  for (int64_t g = 0; g < graphs; ++g) {
+    synthetic::SemInstance inst =
+        synthetic::GenerateSemInstance(sem_options, &rng);
+    core::PredicateGenResult result = core::GeneratePredicates(
+        inst.data, inst.regions, pred_options);
+    auto has_predicate = [&](const std::string& attr) {
+      return result.Find(attr) != nullptr;
+    };
+    for (const synthetic::RuleExpectation& exp : inst.expectations) {
+      if (!has_predicate(exp.rule.cause_attribute) ||
+          !has_predicate(exp.rule.effect_attribute)) {
+        continue;  // no pruning decision to make
+      }
+      double kappa = core::DomainKnowledge::ComputeKappa(
+          inst.data, exp.rule.cause_attribute, exp.rule.effect_attribute,
+          test_options);
+      bool pruned = kappa >= test_options.kappa_threshold;
+      if (pruned && exp.should_prune) ++pruned_positive;
+      if (pruned && !exp.should_prune) ++pruned_negative;
+      if (!pruned && exp.should_prune) ++kept_positive;
+      if (!pruned && !exp.should_prune) ++kept_negative;
+    }
+  }
+
+  uint64_t actual_positive = pruned_positive + kept_positive;
+  uint64_t actual_negative = pruned_negative + kept_negative;
+  auto pct = [](uint64_t x, uint64_t total) {
+    return total == 0 ? bench::Pct(0.0)
+                      : bench::Pct(100.0 * static_cast<double>(x) /
+                                   static_cast<double>(total));
+  };
+
+  bench::TablePrinter table(
+      {"Domain Knowledge Test", "Actual Positive (%)", "Actual Negative (%)"},
+      {24, 21, 21});
+  table.PrintHeader();
+  table.PrintRow({"Pruned", pct(pruned_positive, actual_positive),
+                  pct(pruned_negative, actual_negative)});
+  table.PrintRow({"Not Pruned", pct(kept_positive, actual_positive),
+                  pct(kept_negative, actual_negative)});
+
+  uint64_t predicted_positive = pruned_positive + pruned_negative;
+  double precision = predicted_positive == 0
+                         ? 0.0
+                         : 100.0 * static_cast<double>(pruned_positive) /
+                               static_cast<double>(predicted_positive);
+  double recall = actual_positive == 0
+                      ? 0.0
+                      : 100.0 * static_cast<double>(pruned_positive) /
+                            static_cast<double>(actual_positive);
+  std::printf("\nDecisions made: %llu  |  precision %.1f%%, recall %.1f%%\n",
+              static_cast<unsigned long long>(actual_positive +
+                                              actual_negative),
+              precision, recall);
+  std::printf("(Paper's Table 8: prunes 91.6%% of true secondary symptoms "
+              "while keeping 99.1%% of independent attributes.)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,145 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace dbsherlock::bench {
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      args_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args_.emplace_back(arg, argv[++i]);
+    } else {
+      args_.emplace_back(arg, "true");
+    }
+  }
+  consumed_.assign(args_.size(), false);
+}
+
+const std::string* Flags::Lookup(const std::string& name) {
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (args_[i].first == name) {
+      consumed_[i] = true;
+      return &args_[i].second;
+    }
+  }
+  return nullptr;
+}
+
+int64_t Flags::Int(const std::string& name, int64_t default_value,
+                   const std::string& help) {
+  registered_.push_back({name, help, std::to_string(default_value)});
+  const std::string* v = Lookup(name);
+  if (v == nullptr) return default_value;
+  auto parsed = common::ParseInt64(*v);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--%s: %s\n", name.c_str(),
+                 parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+double Flags::Double(const std::string& name, double default_value,
+                     const std::string& help) {
+  registered_.push_back({name, help, common::StrFormat("%g", default_value)});
+  const std::string* v = Lookup(name);
+  if (v == nullptr) return default_value;
+  auto parsed = common::ParseDouble(*v);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "--%s: %s\n", name.c_str(),
+                 parsed.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+std::string Flags::String(const std::string& name, std::string default_value,
+                          const std::string& help) {
+  registered_.push_back({name, help, default_value});
+  const std::string* v = Lookup(name);
+  return v == nullptr ? default_value : *v;
+}
+
+void Flags::Validate() const {
+  bool bad = false;
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (!consumed_[i]) {
+      std::fprintf(stderr, "unknown flag: --%s\n", args_[i].first.c_str());
+      bad = true;
+    }
+  }
+  if (bad || help_requested_) {
+    std::fprintf(stderr, "usage: %s [flags]\n", program_.c_str());
+    for (const Registered& r : registered_) {
+      std::fprintf(stderr, "  --%-24s %s (default: %s)\n", r.name.c_str(),
+                   r.help.c_str(), r.default_str.c_str());
+    }
+    std::exit(bad ? 2 : 0);
+  }
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns,
+                           std::vector<int> widths)
+    : columns_(std::move(columns)), widths_(std::move(widths)) {
+  if (widths_.size() != columns_.size()) {
+    widths_.assign(columns_.size(), 0);
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths_[i] =
+        std::max(widths_[i], static_cast<int>(columns_[i].size()) + 2);
+  }
+}
+
+void TablePrinter::PrintHeader() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s", widths_[i], columns_[i].c_str());
+  }
+  std::printf("\n");
+  int total = 0;
+  for (int w : widths_) total += w;
+  for (int i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::printf("%-*s", widths_[i], cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string Pct(double value, int precision) {
+  return common::StrFormat("%.*f", precision, value);
+}
+
+std::string Num(double value, int precision) {
+  return common::StrFormat("%.*f", precision, value);
+}
+
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s  (%s)\n", experiment.c_str(), paper_ref.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace dbsherlock::bench

@@ -1,0 +1,71 @@
+#ifndef DBSHERLOCK_BENCH_BENCH_UTIL_H_
+#define DBSHERLOCK_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbsherlock::bench {
+
+/// Minimal --flag=value / --flag value parser shared by the experiment
+/// binaries. Unknown flags abort with a usage message listing the
+/// registered flags.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Registers a flag and returns its value (or the default). Call these
+  /// before Validate().
+  int64_t Int(const std::string& name, int64_t default_value,
+              const std::string& help);
+  double Double(const std::string& name, double default_value,
+                const std::string& help);
+  std::string String(const std::string& name, std::string default_value,
+                     const std::string& help);
+
+  /// Aborts (exit 2) if unrecognized flags were passed; prints usage on
+  /// --help.
+  void Validate() const;
+
+ private:
+  struct Registered {
+    std::string name;
+    std::string help;
+    std::string default_str;
+  };
+
+  const std::string* Lookup(const std::string& name);
+
+  std::string program_;
+  std::vector<std::pair<std::string, std::string>> args_;  // name -> value
+  std::vector<bool> consumed_;
+  std::vector<Registered> registered_;
+  bool help_requested_ = false;
+};
+
+/// Fixed-width experiment table writer: prints a header row then data rows,
+/// matching the plain-text layout used across the bench binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns,
+                        std::vector<int> widths = {});
+
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<int> widths_;
+};
+
+/// "12.3" style fixed-precision formatting helpers.
+std::string Pct(double value, int precision = 1);
+std::string Num(double value, int precision = 2);
+
+/// Prints the standard experiment banner (figure/table id + description).
+void PrintBanner(const std::string& experiment, const std::string& paper_ref,
+                 const std::string& description);
+
+}  // namespace dbsherlock::bench
+
+#endif  // DBSHERLOCK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,57 @@
+// Diagnosing the transaction-level engine's telemetry: every transaction
+// in this run is individually simulated (2PL locks, CPU cores, disk
+// channels), a lock-contention storm is injected, and DBSherlock explains
+// the resulting latency spike from the engine's own metrics — showing the
+// library operates on any aligned telemetry, not just the bundled
+// flow-level schema.
+//
+//   ./build/examples/event_sim_diagnosis
+
+#include <cstdio>
+
+#include "core/explainer.h"
+#include "simulator/event_sim.h"
+#include "viz/chart.h"
+
+int main() {
+  using namespace dbsherlock;
+
+  simulator::EventSimConfig config;
+  simulator::EventSimulator engine(config, 2016);
+
+  simulator::AnomalyEvent storm;
+  storm.kind = simulator::AnomalyKind::kLockContention;
+  storm.start_sec = 60.0;
+  storm.duration_sec = 45.0;
+
+  std::printf("Executing ~%d seconds of transactions (every statement, "
+              "lock and I/O simulated)...\n", 150);
+  std::vector<simulator::EventMetrics> rows = engine.Run(150.0, {storm});
+  tsdata::Dataset data = simulator::EventMetricsToDataset(rows);
+
+  tsdata::RegionSpec abnormal;
+  abnormal.Add(storm.start_sec, storm.end_sec());
+  viz::AsciiChartOptions chart_options;
+  chart_options.title = "avg_latency_ms (transaction-level engine)";
+  chart_options.width = 96;
+  chart_options.height = 10;
+  auto chart =
+      viz::RenderAsciiChart(data, "avg_latency_ms", abnormal, chart_options);
+  if (chart.ok()) std::fputs(chart->c_str(), stdout);
+
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal = abnormal;
+  core::Explainer::Options options;
+  options.apply_domain_knowledge = false;  // schema has no MySQL/Linux attrs
+  core::Explainer sherlock(options);
+  core::Explanation ex = sherlock.Diagnose(data, regions);
+
+  std::printf("\nDBSherlock's explanation of the spike:\n");
+  for (const auto& diag : ex.predicates) {
+    std::printf("  %-40s (separation power %.2f)\n",
+                diag.predicate.ToString().c_str(), diag.separation_power);
+  }
+  std::printf("\nThe lock_wait predicates point straight at the 2PL pile-up "
+              "the engine actually executed.\n");
+  return 0;
+}

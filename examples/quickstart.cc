@@ -1,0 +1,61 @@
+// Quickstart: simulate an OLTP server that suffers a lock-contention storm,
+// mark the slow window as abnormal, and ask DBSherlock to explain it.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/explainer.h"
+#include "simulator/dataset_gen.h"
+
+int main() {
+  using namespace dbsherlock;
+
+  // 1. Produce two minutes of normal TPC-C-like telemetry with a 60-second
+  //    lock-contention anomaly in the middle. In a real deployment this
+  //    table would come from DBSeer's per-second logs (Section 2.1).
+  simulator::DatasetGenOptions options;
+  options.seed = 2016;
+  simulator::GeneratedDataset run = simulator::GenerateAnomalyDataset(
+      options, simulator::AnomalyKind::kLockContention, 60.0);
+  std::printf("Simulated %zu seconds of telemetry with %zu attributes.\n",
+              run.data.num_rows(), run.data.num_attributes());
+
+  // 2. The DBA saw the latency spike between t=60 and t=120 and selects it
+  //    as the abnormal region (the rest of the plot is implicitly normal).
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal.Add(60.0, 120.0);
+
+  // 3. Diagnose.
+  core::Explainer sherlock;
+  core::Explanation explanation = sherlock.Diagnose(run.data, regions);
+
+  std::printf("\nDBSherlock generated %zu predicates:\n",
+              explanation.predicates.size());
+  for (const auto& diag : explanation.predicates) {
+    std::printf("  %-55s (separation power %.2f)\n",
+                diag.predicate.ToString().c_str(), diag.separation_power);
+  }
+
+  // 4. The DBA recognizes the lock pile-up and tells DBSherlock; the
+  //    accepted predicates become a causal model for future diagnoses.
+  sherlock.AcceptDiagnosis("Lock Contention", explanation);
+  std::printf("\nStored causal model 'Lock Contention' with %zu predicates.\n",
+              sherlock.repository().models()[0].predicates.size());
+
+  // 5. Next week the same thing happens; DBSherlock now names the cause.
+  simulator::DatasetGenOptions next_week = options;
+  next_week.seed = 2017;
+  simulator::GeneratedDataset recurrence = simulator::GenerateAnomalyDataset(
+      next_week, simulator::AnomalyKind::kLockContention, 45.0);
+  core::Explanation second =
+      sherlock.Diagnose(recurrence.data, recurrence.regions);
+  std::printf("\nOn a new dataset, likely causes (confidence >= %.0f%%):\n",
+              sherlock.options().confidence_threshold);
+  for (const auto& cause : second.causes) {
+    std::printf("  %-25s %.1f%%\n", cause.cause.c_str(), cause.confidence);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "baselines/perfaugur.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace dbsherlock::baselines {
+
+common::Result<PerfAugurResult> PerfAugurDetect(
+    const tsdata::Dataset& dataset, const PerfAugurOptions& options) {
+  auto col = dataset.ColumnByName(options.indicator_attribute);
+  if (!col.ok()) return col.status();
+  if ((*col)->kind() != tsdata::AttributeKind::kNumeric) {
+    return common::Status::InvalidArgument(
+        "indicator attribute must be numeric: " + options.indicator_attribute);
+  }
+  const size_t n = dataset.num_rows();
+  if (n < options.min_length || options.min_length == 0) {
+    return common::Status::InvalidArgument(
+        "dataset shorter than the minimum interval length");
+  }
+  std::span<const double> series = (*col)->numeric_values();
+  size_t max_len = std::max(
+      options.min_length,
+      static_cast<size_t>(options.max_fraction * static_cast<double>(n)));
+
+  PerfAugurResult best;
+  best.score = -1.0;
+  // O(n^2): every admissible [i, j]; medians are recomputed per interval
+  // (n is a few hundred rows in this workload, so this stays instant).
+  std::vector<double> inside;
+  std::vector<double> outside;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + options.min_length - 1;
+         j < n && j - i + 1 <= max_len; ++j) {
+      inside.assign(series.begin() + static_cast<ptrdiff_t>(i),
+                    series.begin() + static_cast<ptrdiff_t>(j + 1));
+      outside.clear();
+      outside.insert(outside.end(), series.begin(),
+                     series.begin() + static_cast<ptrdiff_t>(i));
+      outside.insert(outside.end(),
+                     series.begin() + static_cast<ptrdiff_t>(j + 1),
+                     series.end());
+      if (outside.empty()) continue;
+      // Impact: interval mean against the robust (median) baseline of the
+      // rest. A mean keeps widening from being free — mixing normal rows
+      // into the interval dilutes the score — while the median baseline
+      // stays robust to outliers outside.
+      double shift = std::fabs(common::Mean(inside) -
+                               common::Median(outside));
+      double score = shift * std::sqrt(static_cast<double>(inside.size()));
+      if (score > best.score) {
+        best.score = score;
+        best.first_row = i;
+        best.last_row = j;
+      }
+    }
+  }
+  if (best.score < 0.0) {
+    return common::Status::Internal("no admissible interval found");
+  }
+  double interval = n >= 2 ? dataset.timestamp(1) - dataset.timestamp(0) : 1.0;
+  if (interval <= 0.0) interval = 1.0;
+  best.abnormal.Add(dataset.timestamp(best.first_row),
+                    dataset.timestamp(best.last_row) + interval);
+  return best;
+}
+
+}  // namespace dbsherlock::baselines

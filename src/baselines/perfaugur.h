@@ -1,0 +1,42 @@
+#ifndef DBSHERLOCK_BASELINES_PERFAUGUR_H_
+#define DBSHERLOCK_BASELINES_PERFAUGUR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tsdata/dataset.h"
+#include "tsdata/region.h"
+
+namespace dbsherlock::baselines {
+
+/// Reimplementation of PerfAugur's naive anomaly-interval search (Roy et
+/// al., ICDE 2015) as the paper's Appendix E uses it: given a performance
+/// indicator variable (overall average latency), find the time interval
+/// whose robust (median-based) deviation from the rest of the series
+/// maximizes the scoring function.
+///
+/// Score of interval I: |median(I) - median(rest)| * sqrt(|I|) — the
+/// median-shift "impact" scaled by a sub-linear support term, which is the
+/// shape of PerfAugur's robust scoring (effect size x coverage) for a
+/// single predicate on the timestamp attribute.
+struct PerfAugurOptions {
+  std::string indicator_attribute = "avg_latency_ms";
+  size_t min_length = 5;      // shortest admissible interval, rows
+  double max_fraction = 0.5;  // longest admissible interval, share of rows
+};
+
+struct PerfAugurResult {
+  tsdata::RegionSpec abnormal;
+  size_t first_row = 0;
+  size_t last_row = 0;  // inclusive
+  double score = 0.0;
+};
+
+/// Runs the naive O(n^2) interval search. Fails when the indicator
+/// attribute is missing or the dataset is shorter than min_length.
+common::Result<PerfAugurResult> PerfAugurDetect(
+    const tsdata::Dataset& dataset, const PerfAugurOptions& options);
+
+}  // namespace dbsherlock::baselines
+
+#endif  // DBSHERLOCK_BASELINES_PERFAUGUR_H_

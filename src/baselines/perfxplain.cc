@@ -1,0 +1,250 @@
+#include "baselines/perfxplain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace dbsherlock::baselines {
+
+namespace {
+
+/// A sampled pair of tuples, possibly from two different datasets.
+struct SampledPair {
+  size_t dataset_a;
+  size_t row_a;
+  size_t dataset_b;
+  size_t row_b;
+  bool significant;  // latency difference >= 50% of the smaller value
+};
+
+/// Index of every numeric attribute, with its name.
+std::vector<std::pair<size_t, std::string>> NumericAttributes(
+    const tsdata::Dataset& dataset) {
+  std::vector<std::pair<size_t, std::string>> out;
+  for (size_t i = 0; i < dataset.num_attributes(); ++i) {
+    if (dataset.schema().attribute(i).kind ==
+        tsdata::AttributeKind::kNumeric) {
+      out.emplace_back(i, dataset.schema().attribute(i).name);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PerfXplain::PairPredicate::ToString() const {
+  const char* rel = relation == Relation::kSimilar  ? "similar"
+                    : relation == Relation::kHigher ? "higher"
+                                                    : "lower";
+  return attribute + " = " + rel;
+}
+
+PerfXplain::Relation PerfXplain::RelationOf(double reference,
+                                            double value) const {
+  double base = std::max(std::fabs(reference), 1e-9);
+  double rel_diff = (value - reference) / base;
+  if (rel_diff > options_.attr_diff_fraction) return Relation::kHigher;
+  if (rel_diff < -options_.attr_diff_fraction) return Relation::kLower;
+  return Relation::kSimilar;
+}
+
+common::Status PerfXplain::Train(const tsdata::Dataset& dataset,
+                                 const tsdata::DiagnosisRegions& regions) {
+  return TrainOnMany({{&dataset, &regions}});
+}
+
+common::Status PerfXplain::TrainOnMany(
+    const std::vector<LabeledDataset>& datasets) {
+  if (datasets.empty()) {
+    return common::Status::InvalidArgument("no training datasets");
+  }
+
+  // --- Validate and split every dataset -----------------------------------
+  std::vector<tsdata::LabeledRows> rows_by_dataset;
+  std::vector<size_t> latency_attr_by_dataset;
+  for (const LabeledDataset& ld : datasets) {
+    auto latency_idx =
+        ld.data->schema().IndexOf(options_.latency_attribute);
+    if (!latency_idx.ok()) return latency_idx.status();
+    if (ld.data->column(*latency_idx).kind() !=
+        tsdata::AttributeKind::kNumeric) {
+      return common::Status::InvalidArgument(
+          "latency attribute must be numeric: " + options_.latency_attribute);
+    }
+    latency_attr_by_dataset.push_back(*latency_idx);
+    tsdata::LabeledRows rows = SplitRows(*ld.data, *ld.regions);
+    if (rows.normal.empty() || rows.abnormal.empty()) {
+      return common::Status::InvalidArgument(
+          "both regions must be non-empty for training");
+    }
+    rows_by_dataset.push_back(std::move(rows));
+  }
+
+  // --- Normal reference tuple: attribute-wise medians over every -----------
+  // training dataset's normal rows.
+  std::vector<std::pair<size_t, std::string>> attrs =
+      NumericAttributes(*datasets[0].data);
+  normal_reference_.clear();
+  std::vector<double> reference_by_attr(attrs.size());
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    std::vector<double> vals;
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      auto column = datasets[d].data->column(attrs[a].first).numeric_values();
+      for (size_t row : rows_by_dataset[d].normal) vals.push_back(column[row]);
+    }
+    reference_by_attr[a] = common::Median(vals);
+    normal_reference_.emplace_back(attrs[a].second, reference_by_attr[a]);
+  }
+
+  // --- Sample pairs (first tuple: a normal row; second: any row of a ------
+  // possibly different dataset) and label by latency significance.
+  common::Pcg32 rng(options_.seed, 0x9e1f);
+  std::vector<SampledPair> pairs;
+  pairs.reserve(options_.num_samples);
+  for (size_t s = 0; s < options_.num_samples; ++s) {
+    SampledPair p;
+    p.dataset_a = rng.NextBounded(static_cast<uint32_t>(datasets.size()));
+    const auto& normal_rows = rows_by_dataset[p.dataset_a].normal;
+    p.row_a =
+        normal_rows[rng.NextBounded(static_cast<uint32_t>(normal_rows.size()))];
+    p.dataset_b = rng.NextBounded(static_cast<uint32_t>(datasets.size()));
+    p.row_b = rng.NextBounded(
+        static_cast<uint32_t>(datasets[p.dataset_b].data->num_rows()));
+    double a = datasets[p.dataset_a]
+                   .data->column(latency_attr_by_dataset[p.dataset_a])
+                   .numeric(p.row_a);
+    double b = datasets[p.dataset_b]
+                   .data->column(latency_attr_by_dataset[p.dataset_b])
+                   .numeric(p.row_b);
+    double smaller = std::max(std::min(a, b), 1e-9);
+    p.significant =
+        std::fabs(a - b) >= options_.significant_fraction * smaller;
+    pairs.push_back(p);
+  }
+
+  // --- Precompute each pair's comparative features -------------------------
+  std::vector<std::vector<Relation>> features(
+      pairs.size(), std::vector<Relation>(attrs.size()));
+  for (size_t pi = 0; pi < pairs.size(); ++pi) {
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      double va = datasets[pairs[pi].dataset_a]
+                      .data->column(attrs[a].first)
+                      .numeric(pairs[pi].row_a);
+      double vb = datasets[pairs[pi].dataset_b]
+                      .data->column(attrs[a].first)
+                      .numeric(pairs[pi].row_b);
+      features[pi][a] = RelationOf(va, vb);
+    }
+  }
+
+  // --- Greedy conjunction search -------------------------------------------
+  predicates_.clear();
+  std::vector<size_t> active(pairs.size());
+  for (size_t i = 0; i < active.size(); ++i) active[i] = i;
+  std::vector<bool> attr_used(attrs.size(), false);
+
+  for (int k = 0; k < options_.num_predicates; ++k) {
+    size_t total_significant = 0;
+    for (size_t pi : active) {
+      if (pairs[pi].significant) ++total_significant;
+    }
+    if (total_significant == 0) break;
+
+    double best_score = -1.0;
+    size_t best_attr = 0;
+    Relation best_rel = Relation::kSimilar;
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      if (attr_used[a]) continue;
+      if (attrs[a].second == options_.latency_attribute) continue;
+      if (std::find(options_.indicator_family.begin(),
+                    options_.indicator_family.end(),
+                    attrs[a].second) != options_.indicator_family.end()) {
+        continue;
+      }
+      for (Relation rel :
+           {Relation::kSimilar, Relation::kHigher, Relation::kLower}) {
+        size_t covered = 0;
+        size_t covered_significant = 0;
+        for (size_t pi : active) {
+          if (features[pi][a] != rel) continue;
+          ++covered;
+          if (pairs[pi].significant) ++covered_significant;
+        }
+        if (covered == 0) continue;
+        // PerfXplain's weighted scoring rule: relevance (how much of the
+        // observed significant behaviour the predicate covers) traded
+        // against precision (how pure the covered set is).
+        double relevance = static_cast<double>(covered_significant) /
+                           static_cast<double>(total_significant);
+        double precision = static_cast<double>(covered_significant) /
+                           static_cast<double>(covered);
+        double score = options_.score_weight * relevance +
+                       (1.0 - options_.score_weight) * precision;
+        if (score > best_score) {
+          best_score = score;
+          best_attr = a;
+          best_rel = rel;
+        }
+      }
+    }
+    if (best_score < 0.0) break;
+
+    predicates_.push_back({attrs[best_attr].second, best_rel});
+    attr_used[best_attr] = true;
+    // Narrow the pair set to those satisfying the chosen predicate.
+    std::vector<size_t> next;
+    for (size_t pi : active) {
+      if (features[pi][best_attr] == best_rel) next.push_back(pi);
+    }
+    active = std::move(next);
+    if (active.empty()) break;
+  }
+  return common::Status::OK();
+}
+
+std::vector<bool> PerfXplain::FlagRows(const tsdata::Dataset& test) const {
+  std::vector<bool> flags(test.num_rows(), false);
+  if (predicates_.empty()) return flags;
+
+  // Resolve predicate attributes + their references once.
+  struct Resolved {
+    const tsdata::Column* column;
+    double reference;
+    Relation relation;
+  };
+  std::vector<Resolved> resolved;
+  for (const PairPredicate& pred : predicates_) {
+    auto col = test.ColumnByName(pred.attribute);
+    if (!col.ok() ||
+        (*col)->kind() != tsdata::AttributeKind::kNumeric) {
+      return flags;  // model not applicable to this dataset
+    }
+    double reference = 0.0;
+    bool found = false;
+    for (const auto& [name, value] : normal_reference_) {
+      if (name == pred.attribute) {
+        reference = value;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return flags;
+    resolved.push_back({*col, reference, pred.relation});
+  }
+
+  for (size_t row = 0; row < test.num_rows(); ++row) {
+    bool all = true;
+    for (const Resolved& r : resolved) {
+      if (RelationOf(r.reference, r.column->numeric(row)) != r.relation) {
+        all = false;
+        break;
+      }
+    }
+    flags[row] = all;
+  }
+  return flags;
+}
+
+}  // namespace dbsherlock::baselines

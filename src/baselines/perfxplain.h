@@ -1,0 +1,99 @@
+#ifndef DBSHERLOCK_BASELINES_PERFXPLAIN_H_
+#define DBSHERLOCK_BASELINES_PERFXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tsdata/dataset.h"
+#include "tsdata/region.h"
+
+namespace dbsherlock::baselines {
+
+/// Reimplementation of PerfXplain (Khoussainova et al., PVLDB 2012),
+/// adapted from MapReduce job pairs to pairs of telemetry tuples exactly as
+/// the paper's Section 8.4 describes:
+///
+///   EXPECTED  avg_latency_difference = insignificant
+///   OBSERVED  avg_latency_difference = significant
+///
+/// where a pair's latency difference is *significant* when it is at least
+/// 50% of the smaller value. Each pair is described by comparative
+/// features per attribute (similar / higher / lower), and a greedy search
+/// selects the conjunction of up to `num_predicates` feature tests that
+/// best explains the observed significant pairs under a weighted
+/// relevance/precision score (weight 0.8, 2,000 sampled pairs and 2
+/// predicates — the configuration the paper reports as best).
+///
+/// To score single tuples (for the precision/recall comparison), a tuple
+/// is flagged abnormal when the pair (normal-reference tuple, tuple)
+/// satisfies the learned conjunction; the reference is the attribute-wise
+/// median of the training normal region.
+class PerfXplain {
+ public:
+  struct Options {
+    std::string latency_attribute = "avg_latency_ms";
+    /// Attributes that are alternative quantiles/aggregates of the query's
+    /// performance variable itself; "latency is higher" is the observation,
+    /// not an explanation, so these cannot be chosen as predicates.
+    std::vector<std::string> indicator_family = {"p99_latency_ms"};
+    size_t num_samples = 2000;
+    double score_weight = 0.8;           // relevance vs precision
+    int num_predicates = 2;
+    double significant_fraction = 0.5;   // latency-difference cutoff
+    double attr_diff_fraction = 0.25;    // similar vs higher/lower cutoff
+    uint64_t seed = 7;
+  };
+
+  /// Comparative feature of the second tuple relative to the first.
+  enum class Relation { kSimilar, kHigher, kLower };
+
+  /// One learned pair-predicate: "attribute is <relation> in the slow
+  /// tuple relative to the reference".
+  struct PairPredicate {
+    std::string attribute;
+    Relation relation = Relation::kSimilar;
+
+    std::string ToString() const;
+  };
+
+  /// One training input: a dataset plus its labeled regions.
+  struct LabeledDataset {
+    const tsdata::Dataset* data = nullptr;
+    const tsdata::DiagnosisRegions* regions = nullptr;
+  };
+
+  explicit PerfXplain(Options options) : options_(std::move(options)) {}
+
+  /// Learns the pair-predicates from a training dataset with labeled
+  /// regions. Fails when the latency attribute is missing or a region is
+  /// empty.
+  common::Status Train(const tsdata::Dataset& dataset,
+                       const tsdata::DiagnosisRegions& regions);
+
+  /// Multi-dataset training, as the paper's Section 8.4 setup (10 training
+  /// datasets): pairs are sampled across datasets — the first tuple from a
+  /// random dataset's normal region, the second from any row of another
+  /// random dataset — mirroring PerfXplain's across-job comparisons. All
+  /// datasets must share the schema of the first.
+  common::Status TrainOnMany(const std::vector<LabeledDataset>& datasets);
+
+  const std::vector<PairPredicate>& predicates() const { return predicates_; }
+
+  /// Flags each row of `test`: true = abnormal under the learned model.
+  /// Rows are compared against the training normal reference.
+  std::vector<bool> FlagRows(const tsdata::Dataset& test) const;
+
+ private:
+  Relation RelationOf(double reference, double value) const;
+
+  Options options_;
+  std::vector<PairPredicate> predicates_;
+  /// Attribute-wise medians of the training normal region (numeric
+  /// attributes only), keyed by attribute name.
+  std::vector<std::pair<std::string, double>> normal_reference_;
+};
+
+}  // namespace dbsherlock::baselines
+
+#endif  // DBSHERLOCK_BASELINES_PERFXPLAIN_H_

@@ -1,0 +1,156 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dbsherlock::common {
+
+namespace {
+
+/// Incremental RFC-4180 field splitter over the whole document so quoted
+/// newlines are handled correctly.
+Status SplitRecords(const std::string& text, char delim,
+                    std::vector<std::vector<std::string>>* records) {
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  auto end_field = [&]() {
+    current.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() {
+    end_field();
+    records->push_back(std::move(current));
+    current.clear();
+    row_has_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == delim) {
+      end_field();
+      row_has_content = true;
+    } else if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') {
+      // CRLF line ending: the '\r' is part of the terminator, not data.
+      // (A '\r' inside a quoted field never reaches this branch.)
+      continue;
+    } else if (c == '\n') {
+      if (row_has_content || !field.empty() || !current.empty()) end_row();
+    } else {
+      field += c;
+      row_has_content = true;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (row_has_content || !field.empty() || !current.empty()) end_row();
+  return Status::OK();
+}
+
+bool NeedsQuoting(const std::string& field, char delim) {
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(const std::string& field, char delim, std::string* out) {
+  if (!NeedsQuoting(field, delim)) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header,
+                          char delim) {
+  std::vector<std::vector<std::string>> records;
+  DBSHERLOCK_RETURN_NOT_OK(SplitRecords(text, delim, &records));
+  CsvTable table;
+  if (records.empty()) return table;
+
+  size_t width = records.front().size();
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].size() != width) {
+      return Status::ParseError(StrFormat(
+          "CSV row %zu has %zu fields, expected %zu", i, records[i].size(),
+          width));
+    }
+  }
+
+  size_t first_data = 0;
+  if (has_header) {
+    table.header = std::move(records.front());
+    first_data = 1;
+  }
+  for (size_t i = first_data; i < records.size(); ++i) {
+    table.rows.push_back(std::move(records[i]));
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header,
+                             char delim) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), has_header, delim);
+}
+
+std::string WriteCsv(const CsvTable& table, char delim) {
+  std::string out;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    // A row whose only field is empty must be quoted: a bare blank line
+    // would be indistinguishable from no row at all.
+    if (row.size() == 1 && row[0].empty()) {
+      out += "\"\"\n";
+      return;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += delim;
+      AppendField(row[i], delim, &out);
+    }
+    out += '\n';
+  };
+  if (!table.header.empty()) write_row(table.header);
+  for (const auto& row : table.rows) write_row(row);
+  return out;
+}
+
+Status WriteCsvFile(const CsvTable& table, const std::string& path,
+                    char delim) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open file for write: " + path);
+  out << WriteCsv(table, delim);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace dbsherlock::common

@@ -1,0 +1,38 @@
+#ifndef DBSHERLOCK_COMMON_CSV_H_
+#define DBSHERLOCK_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsherlock::common {
+
+/// A parsed CSV document: a header row plus data rows. Parsing supports
+/// RFC-4180-style double-quoted fields with embedded delimiters, quotes
+/// ("" escape) and newlines.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// Parses CSV text. When `has_header` is false, the first row goes into
+/// `rows` and `header` is left empty. Fails if any row has a different
+/// field count than the first row.
+Result<CsvTable> ParseCsv(const std::string& text, bool has_header = true,
+                          char delim = ',');
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path, bool has_header = true,
+                             char delim = ',');
+
+/// Serializes a table to CSV text, quoting fields when needed.
+std::string WriteCsv(const CsvTable& table, char delim = ',');
+
+/// Writes a table to a file.
+Status WriteCsvFile(const CsvTable& table, const std::string& path,
+                    char delim = ',');
+
+}  // namespace dbsherlock::common
+
+#endif  // DBSHERLOCK_COMMON_CSV_H_

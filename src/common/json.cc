@@ -1,0 +1,383 @@
+#include "common/json.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace dbsherlock::common {
+
+namespace {
+
+/// Recursive-descent parser over a text span with position tracking.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    DBSHERLOCK_RETURN_NOT_OK(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(
+        StrFormat("%s (at byte %zu)", message.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(StrFormat("expected '%c'", c));
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    Status status;
+    switch (text_[pos_]) {
+      case '{':
+        status = ParseObject(out);
+        break;
+      case '[':
+        status = ParseArray(out);
+        break;
+      case '"': {
+        std::string s;
+        status = ParseString(&s);
+        if (status.ok()) *out = JsonValue(std::move(s));
+        break;
+      }
+      case 't':
+        status = ParseLiteral("true", JsonValue(true), out);
+        break;
+      case 'f':
+        status = ParseLiteral("false", JsonValue(false), out);
+        break;
+      case 'n':
+        status = ParseLiteral("null", JsonValue(), out);
+        break;
+      default:
+        status = ParseNumber(out);
+        break;
+    }
+    --depth_;
+    return status;
+  }
+
+  Status ParseLiteral(const char* literal, JsonValue value, JsonValue* out) {
+    size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) {
+      return Error("invalid literal");
+    }
+    pos_ += len;
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    auto parsed = ParseDouble(text_.substr(start, pos_ - start));
+    if (!parsed.ok()) return Error("invalid number");
+    *out = JsonValue(*parsed);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    DBSHERLOCK_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          // Encode the code point as UTF-8 (BMP only; surrogate pairs are
+          // passed through as two 3-byte sequences, which round-trips).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(JsonValue* out) {
+    DBSHERLOCK_RETURN_NOT_OK(Expect('['));
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue(std::move(items));
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue item;
+      DBSHERLOCK_RETURN_NOT_OK(ParseValue(&item));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      DBSHERLOCK_RETURN_NOT_OK(Expect(','));
+    }
+    *out = JsonValue(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out) {
+    DBSHERLOCK_RETURN_NOT_OK(Expect('{'));
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      DBSHERLOCK_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      DBSHERLOCK_RETURN_NOT_OK(Expect(':'));
+      JsonValue value;
+      DBSHERLOCK_RETURN_NOT_OK(ParseValue(&value));
+      members[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) break;
+      DBSHERLOCK_RETURN_NOT_OK(Expect(','));
+    }
+    *out = JsonValue(std::move(members));
+    return Status::OK();
+  }
+
+  static constexpr int kMaxDepth = 128;
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendNumber(double n, std::string* out) {
+  if (std::isfinite(n)) {
+    // Integral values print without a fraction; others round-trip.
+    if (n == std::floor(n) && std::fabs(n) < 1e15) {
+      *out += StrFormat("%.0f", n);
+    } else {
+      *out += StrFormat("%.17g", n);
+    }
+  } else {
+    *out += "null";  // JSON has no NaN/Inf
+  }
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Result<double> JsonValue::GetNumber(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::ParseError("missing or non-numeric field: " + key);
+  }
+  return v->as_number();
+}
+
+Result<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::ParseError("missing or non-string field: " + key);
+  }
+  return v->as_string();
+}
+
+Result<const JsonValue*> JsonValue::GetArray(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::ParseError("missing or non-array field: " + key);
+  }
+  return v;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    *out += '\n';
+    out->append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(number_, out);
+      break;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) *out += indent < 0 ? "," : ",";
+        newline(depth + 1);
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) *out += ",";
+        first = false;
+        newline(depth + 1);
+        AppendEscaped(key, out);
+        *out += indent < 0 ? ":" : ": ";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      newline(depth);
+      *out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  Parser parser(text);
+  return parser.Parse();
+}
+
+}  // namespace dbsherlock::common

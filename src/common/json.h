@@ -1,0 +1,87 @@
+#ifndef DBSHERLOCK_COMMON_JSON_H_
+#define DBSHERLOCK_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsherlock::common {
+
+/// A minimal JSON document model sufficient for persisting DBSherlock's
+/// causal models and diagnosis sessions: null, bool, double, string,
+/// array, object. Parsing is strict (RFC 8259 subset: no comments, no
+/// trailing commas); serialization escapes control characters and emits
+/// numbers with round-trip precision.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps object keys ordered, so serialization is canonical.
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  JsonValue(double n) : type_(Type::kNumber), number_(n) {}  // NOLINT
+  JsonValue(int n) : type_(Type::kNumber), number_(n) {}  // NOLINT
+  JsonValue(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  JsonValue(std::string s)  // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(Array a) : type_(Type::kArray), array_(std::move(a)) {}  // NOLINT
+  JsonValue(Object o)  // NOLINT
+      : type_(Type::kObject), object_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error
+  /// (asserts in debug builds, undefined reads otherwise — check type()).
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  Array& as_array() { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience typed getters with error reporting, for deserializers.
+  Result<double> GetNumber(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<const JsonValue*> GetArray(const std::string& key) const;
+
+  /// Serializes to a compact JSON string ("indent" < 0) or pretty-prints
+  /// with the given indent width.
+  std::string Dump(int indent = -1) const;
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a JSON document. Fails with ParseError (including position info)
+/// on malformed input or trailing garbage.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace dbsherlock::common
+
+#endif  // DBSHERLOCK_COMMON_JSON_H_

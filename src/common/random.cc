@@ -1,0 +1,53 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace dbsherlock::common {
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling: discard the biased tail of the 32-bit range.
+  uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    uint32_t r = NextU32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextGaussian() {
+  // Box-Muller transform. u1 is nudged away from 0 to keep log() finite.
+  double u1 = NextDouble();
+  if (u1 < 1e-12) u1 = 1e-12;
+  double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+int Pcg32::NextPoisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction.
+    double v = NextGaussian(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+  }
+  // Knuth's multiplicative method.
+  double limit = std::exp(-mean);
+  double prod = NextDouble();
+  int n = 0;
+  while (prod > limit) {
+    ++n;
+    prod *= NextDouble();
+  }
+  return n;
+}
+
+std::vector<size_t> Pcg32::SampleIndices(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  Shuffle(&all);
+  if (k < n) all.resize(k);
+  return all;
+}
+
+}  // namespace dbsherlock::common

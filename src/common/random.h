@@ -1,0 +1,94 @@
+#ifndef DBSHERLOCK_COMMON_RANDOM_H_
+#define DBSHERLOCK_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dbsherlock::common {
+
+/// Deterministic PCG32 random number generator (O'Neill, PCG-XSH-RR).
+///
+/// All randomness in this repository flows through seeded Pcg32 instances so
+/// every experiment is reproducible bit-for-bit given the same seed. The
+/// generator is small (two uint64 words), cheap to copy, and statistically
+/// far better than std::minstd / rand().
+class Pcg32 {
+ public:
+  /// Seeds the generator. `seq` selects one of 2^63 independent streams.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t seq = 1)
+      : state_(0), inc_((seq << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire-style
+  /// rejection to avoid modulo bias.
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int NextInt(int lo, int hi) {
+    return lo + static_cast<int>(NextBounded(static_cast<uint32_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return NextU32() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal variate (Box-Muller; one value per call, no caching so
+  /// the stream stays simple to reason about).
+  double NextGaussian();
+
+  /// Normal variate with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Poisson-distributed count with the given mean. Uses Knuth's method for
+  /// small means and a normal approximation above 64 (adequate for workload
+  /// arrival modeling).
+  int NextPoisson(double mean);
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (size_t i = items->size(); i > 1; --i) {
+      size_t j = NextBounded(static_cast<uint32_t>(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace dbsherlock::common
+
+#endif  // DBSHERLOCK_COMMON_RANDOM_H_

@@ -1,0 +1,39 @@
+#ifndef DBSHERLOCK_COMMON_STRINGS_H_
+#define DBSHERLOCK_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsherlock::common {
+
+/// Splits `input` on `delim`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a double; rejects trailing garbage ("1.5x" fails).
+Result<double> ParseDouble(std::string_view text);
+
+/// Parses a signed 64-bit integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Returns true if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view text);
+
+}  // namespace dbsherlock::common
+
+#endif  // DBSHERLOCK_COMMON_STRINGS_H_

@@ -1,0 +1,149 @@
+#include "core/anomaly_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/dbscan.h"
+
+namespace dbsherlock::core {
+
+double PotentialPower(std::span<const double> normalized_values,
+                      size_t window) {
+  if (window == 0 || normalized_values.size() < window) return 0.0;
+  double overall = common::Median(normalized_values);
+  std::vector<double> window_medians =
+      common::SlidingMedian(normalized_values, window);
+  double best = 0.0;
+  for (double m : window_medians) {
+    best = std::max(best, std::fabs(overall - m));
+  }
+  return best;
+}
+
+DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
+                                const AnomalyDetectorOptions& options) {
+  DetectionResult result;
+  const size_t n = dataset.num_rows();
+  if (n == 0) return result;
+
+  // 1. Normalize numeric attributes and keep the high-potential ones.
+  std::vector<std::vector<double>> selected_columns;
+  for (size_t attr = 0; attr < dataset.num_attributes(); ++attr) {
+    const tsdata::Column& col = dataset.column(attr);
+    if (col.kind() != tsdata::AttributeKind::kNumeric) continue;
+    std::vector<double> normalized =
+        common::MinMaxNormalize(col.numeric_values());
+    if (PotentialPower(normalized, options.window) >
+        options.potential_power_threshold) {
+      result.selected_attributes.push_back(
+          dataset.schema().attribute(attr).name);
+      selected_columns.push_back(std::move(normalized));
+    }
+  }
+  if (selected_columns.empty()) return result;
+
+  // 2. Build per-row feature vectors over the selected attributes.
+  std::vector<std::vector<double>> points(n);
+  for (size_t row = 0; row < n; ++row) {
+    points[row].reserve(selected_columns.size());
+    for (const auto& colvals : selected_columns) {
+      points[row].push_back(colvals[row]);
+    }
+  }
+
+  // 3. eps from the k-dist heuristic; cluster.
+  std::vector<double> kdist = KDistances(points, options.min_pts);
+  double max_kdist = kdist.empty()
+                         ? 0.0
+                         : *std::max_element(kdist.begin(), kdist.end());
+  result.epsilon = max_kdist / options.eps_divisor;
+  if (result.epsilon <= 0.0) return result;
+  DbscanResult clusters = Dbscan(points, result.epsilon, options.min_pts);
+
+  // 4. Rows in clusters smaller than cluster_fraction of the data are the
+  // detected anomaly (abnormal regions are assumed comparatively small).
+  std::vector<size_t> sizes = clusters.ClusterSizes();
+  double cutoff = options.cluster_fraction * static_cast<double>(n);
+  for (size_t row = 0; row < n; ++row) {
+    int c = clusters.cluster_of[row];
+    if (c >= 0 && static_cast<double>(sizes[static_cast<size_t>(c)]) < cutoff) {
+      result.abnormal_rows.push_back(row);
+    }
+  }
+
+  // 5. Contiguous runs of flagged rows become time ranges. Each row covers
+  // [t, t + collection interval); infer the interval from the data.
+  double interval = 1.0;
+  if (n >= 2) interval = dataset.timestamp(1) - dataset.timestamp(0);
+  if (interval <= 0.0) interval = 1.0;
+  std::vector<tsdata::TimeRange> ranges;
+  size_t i = 0;
+  while (i < result.abnormal_rows.size()) {
+    size_t j = i;
+    while (j + 1 < result.abnormal_rows.size() &&
+           result.abnormal_rows[j + 1] == result.abnormal_rows[j] + 1) {
+      ++j;
+    }
+    ranges.push_back({dataset.timestamp(result.abnormal_rows[i]),
+                      dataset.timestamp(result.abnormal_rows[j]) + interval});
+    i = j + 1;
+  }
+
+  // 6. Post-process: bridge small gaps (one anomaly briefly dipping toward
+  // normal is still one anomaly), then drop isolated fragments (transient
+  // hiccups flagged by the clustering).
+  std::vector<tsdata::TimeRange> merged;
+  for (const tsdata::TimeRange& range : ranges) {
+    if (!merged.empty() &&
+        range.start - merged.back().end <= options.merge_gap_sec) {
+      merged.back().end = range.end;
+    } else {
+      merged.push_back(range);
+    }
+  }
+  for (const tsdata::TimeRange& range : merged) {
+    if (range.length() >= options.min_region_sec) {
+      result.abnormal.Add(range);
+    }
+  }
+  // Keep the row list consistent with the reported region (rows whose
+  // fragment was dropped are no longer part of the detection).
+  std::erase_if(result.abnormal_rows, [&](size_t row) {
+    return !result.abnormal.Contains(dataset.timestamp(row));
+  });
+  return result;
+}
+
+tsdata::DiagnosisRegions DetectionToRegions(
+    const DetectionResult& detection, const tsdata::Dataset& dataset,
+    const AnomalyDetectorOptions& options) {
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal = detection.abnormal;
+  if (detection.abnormal.empty() || dataset.num_rows() == 0 ||
+      options.boundary_guard_sec <= 0.0) {
+    return regions;  // implicit normal = everything else
+  }
+  // Explicit normal = complement of the abnormal ranges expanded by the
+  // guard; the guard band itself is ignored by the explainer.
+  double t0 = dataset.timestamp(0);
+  double t1 = dataset.timestamp(dataset.num_rows() - 1) + 1.0;
+  std::vector<tsdata::TimeRange> expanded;
+  for (const tsdata::TimeRange& r : detection.abnormal.ranges()) {
+    expanded.push_back({r.start - options.boundary_guard_sec,
+                        r.end + options.boundary_guard_sec});
+  }
+  std::sort(expanded.begin(), expanded.end(),
+            [](const tsdata::TimeRange& a, const tsdata::TimeRange& b) {
+              return a.start < b.start;
+            });
+  double cursor = t0;
+  for (const tsdata::TimeRange& r : expanded) {
+    if (r.start > cursor) regions.normal.Add(cursor, r.start);
+    cursor = std::max(cursor, r.end);
+  }
+  if (cursor < t1) regions.normal.Add(cursor, t1);
+  return regions;
+}
+
+}  // namespace dbsherlock::core

@@ -1,0 +1,117 @@
+#include "core/domain_knowledge.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stats.h"
+
+namespace dbsherlock::core {
+
+common::Status DomainKnowledge::AddRule(DomainRule rule) {
+  if (rule.cause_attribute == rule.effect_attribute) {
+    return common::Status::InvalidArgument(
+        "self-rule not allowed: " + rule.cause_attribute);
+  }
+  for (const DomainRule& existing : rules_) {
+    if (existing == rule) {
+      return common::Status::InvalidArgument(
+          "duplicate rule: " + rule.cause_attribute + " -> " +
+          rule.effect_attribute);
+    }
+    if (existing.cause_attribute == rule.effect_attribute &&
+        existing.effect_attribute == rule.cause_attribute) {
+      return common::Status::InvalidArgument(
+          "reversed rule already exists: " + rule.effect_attribute + " -> " +
+          rule.cause_attribute);
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return common::Status::OK();
+}
+
+DomainKnowledge DomainKnowledge::MySqlLinuxDefaults() {
+  DomainKnowledge dk;
+  (void)dk.AddRule({"dbms_cpu_usage", "os_cpu_usage"});
+  (void)dk.AddRule({"os_allocated_pages", "os_free_pages"});
+  (void)dk.AddRule({"os_used_swap_kb", "os_free_swap_kb"});
+  (void)dk.AddRule({"os_cpu_usage", "os_cpu_idle"});
+  return dk;
+}
+
+namespace {
+
+/// Column values as doubles for the joint histogram: numeric values
+/// directly, categorical dictionary codes otherwise.
+std::vector<double> ColumnAsDoubles(const tsdata::Column& col) {
+  std::vector<double> out;
+  out.reserve(col.size());
+  if (col.kind() == tsdata::AttributeKind::kNumeric) {
+    auto values = col.numeric_values();
+    out.assign(values.begin(), values.end());
+  } else {
+    for (size_t i = 0; i < col.size(); ++i) {
+      out.push_back(static_cast<double>(col.code(i)));
+    }
+  }
+  return out;
+}
+
+size_t BinsFor(const tsdata::Column& col, size_t numeric_bins) {
+  if (col.kind() == tsdata::AttributeKind::kNumeric) return numeric_bins;
+  return std::max<size_t>(col.num_categories(), 1);
+}
+
+}  // namespace
+
+double DomainKnowledge::ComputeKappa(const tsdata::Dataset& dataset,
+                                     const std::string& attr_a,
+                                     const std::string& attr_b,
+                                     const IndependenceTestOptions& options) {
+  auto col_a = dataset.ColumnByName(attr_a);
+  auto col_b = dataset.ColumnByName(attr_b);
+  if (!col_a.ok() || !col_b.ok()) return 0.0;
+
+  std::vector<double> xs = ColumnAsDoubles(**col_a);
+  std::vector<double> ys = ColumnAsDoubles(**col_b);
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+
+  common::JointHistogram hist(
+      common::Min(xs), common::Max(xs), BinsFor(**col_a, options.bins),
+      common::Min(ys), common::Max(ys), BinsFor(**col_b, options.bins));
+  for (size_t i = 0; i < xs.size(); ++i) hist.Add(xs[i], ys[i]);
+  return hist.IndependenceFactor();
+}
+
+std::vector<AttributeDiagnosis> DomainKnowledge::PruneSecondarySymptoms(
+    const tsdata::Dataset& dataset, std::vector<AttributeDiagnosis> diagnoses,
+    const IndependenceTestOptions& options) const {
+  if (rules_.empty() || diagnoses.empty()) return diagnoses;
+
+  std::unordered_set<std::string> extracted;
+  for (const auto& d : diagnoses) extracted.insert(d.predicate.attribute);
+
+  std::unordered_set<std::string> pruned;
+  for (const DomainRule& rule : rules_) {
+    if (!extracted.contains(rule.cause_attribute) ||
+        !extracted.contains(rule.effect_attribute)) {
+      continue;
+    }
+    double kappa = ComputeKappa(dataset, rule.cause_attribute,
+                                rule.effect_attribute, options);
+    // kappa >= threshold: the attributes are dependent in this data, so the
+    // rule holds and the effect predicate is a secondary symptom.
+    if (kappa >= options.kappa_threshold) {
+      pruned.insert(rule.effect_attribute);
+    }
+  }
+  if (pruned.empty()) return diagnoses;
+
+  std::vector<AttributeDiagnosis> out;
+  out.reserve(diagnoses.size());
+  for (auto& d : diagnoses) {
+    if (!pruned.contains(d.predicate.attribute)) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace dbsherlock::core

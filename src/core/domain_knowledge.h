@@ -1,0 +1,79 @@
+#ifndef DBSHERLOCK_CORE_DOMAIN_KNOWLEDGE_H_
+#define DBSHERLOCK_CORE_DOMAIN_KNOWLEDGE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/predicate_generator.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::core {
+
+/// One domain-knowledge rule `cause -> effect` (Section 5): when predicates
+/// are extracted on both attributes, the effect's predicate is likely a
+/// secondary symptom of the cause's.
+struct DomainRule {
+  std::string cause_attribute;
+  std::string effect_attribute;
+
+  bool operator==(const DomainRule& other) const = default;
+};
+
+/// Parameters of the mutual-information independence test that validates a
+/// rule before pruning (Section 5).
+struct IndependenceTestOptions {
+  /// kappa_t: attributes with independence factor below this are considered
+  /// independent, so the rule is NOT applied.
+  double kappa_threshold = 0.15;
+  /// gamma: equi-width bins per numeric attribute for the joint histogram.
+  size_t bins = 100;
+};
+
+/// A set of attribute-semantics rules with the paper's validity conditions:
+/// a rule and its reverse cannot coexist, and self-rules are rejected.
+class DomainKnowledge {
+ public:
+  DomainKnowledge() = default;
+
+  /// Adds a rule; rejects duplicates, self-rules and reversed rules
+  /// (condition (ii) of Section 5).
+  common::Status AddRule(DomainRule rule);
+
+  const std::vector<DomainRule>& rules() const { return rules_; }
+  bool empty() const { return rules_.empty(); }
+
+  /// The four rules the paper uses for MySQL on Linux, mapped onto this
+  /// repository's metric names:
+  ///   dbms_cpu_usage -> os_cpu_usage      (subset relationship)
+  ///   os_allocated_pages -> os_free_pages (complement)
+  ///   os_used_swap_kb -> os_free_swap_kb  (complement)
+  ///   os_cpu_usage -> os_cpu_idle         (complement)
+  static DomainKnowledge MySqlLinuxDefaults();
+
+  /// Computes the independence factor kappa between two attributes of
+  /// `dataset` (Section 5): numeric attributes are discretized with
+  /// `options.bins` equi-width bins; categorical attributes use one bin per
+  /// category. Returns 0 when either attribute is missing.
+  static double ComputeKappa(const tsdata::Dataset& dataset,
+                             const std::string& attr_a,
+                             const std::string& attr_b,
+                             const IndependenceTestOptions& options);
+
+  /// Prunes secondary symptoms from `diagnoses`: for each rule
+  /// `i -> j` whose two attributes both carry extracted predicates, the
+  /// effect predicate j is removed iff the attributes FAIL the independence
+  /// test (kappa >= kappa_t), i.e. the data supports the dependence the
+  /// rule asserts. Returns the surviving diagnoses in their input order.
+  std::vector<AttributeDiagnosis> PruneSecondarySymptoms(
+      const tsdata::Dataset& dataset,
+      std::vector<AttributeDiagnosis> diagnoses,
+      const IndependenceTestOptions& options) const;
+
+ private:
+  std::vector<DomainRule> rules_;
+};
+
+}  // namespace dbsherlock::core
+
+#endif  // DBSHERLOCK_CORE_DOMAIN_KNOWLEDGE_H_

@@ -1,0 +1,56 @@
+#include "core/explainer.h"
+
+namespace dbsherlock::core {
+
+std::string Explanation::PredicatesToString() const {
+  std::string out;
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += predicates[i].predicate.ToString();
+  }
+  return out;
+}
+
+Explanation Explainer::Diagnose(const tsdata::Dataset& dataset,
+                                const tsdata::DiagnosisRegions& regions) const {
+  Explanation out;
+  PredicateGenResult generated =
+      GeneratePredicates(dataset, regions, options_.predicate_options);
+  out.predicates = std::move(generated.predicates);
+
+  if (options_.apply_domain_knowledge && !options_.domain_knowledge.empty()) {
+    out.predicates = options_.domain_knowledge.PruneSecondarySymptoms(
+        dataset, std::move(out.predicates), options_.independence_options);
+  }
+
+  if (!repository_.empty()) {
+    tsdata::LabeledRows rows = SplitRows(dataset, regions);
+    out.causes = repository_.Rank(dataset, rows, options_.predicate_options,
+                                  options_.confidence_threshold);
+  }
+  return out;
+}
+
+Explanation Explainer::DiagnoseAuto(const tsdata::Dataset& dataset,
+                                    DetectionResult* detected) const {
+  DetectionResult detection =
+      DetectAnomalies(dataset, options_.detector_options);
+  if (detected != nullptr) *detected = detection;
+  return Diagnose(
+      dataset, DetectionToRegions(detection, dataset,
+                                  options_.detector_options));
+}
+
+void Explainer::AcceptDiagnosis(const std::string& cause,
+                                const Explanation& explanation,
+                                const std::string& action) {
+  CausalModel model;
+  model.cause = cause;
+  model.suggested_action = action;
+  for (const AttributeDiagnosis& d : explanation.predicates) {
+    model.predicates.push_back(d.predicate);
+  }
+  repository_.Add(std::move(model));
+}
+
+}  // namespace dbsherlock::core

@@ -1,0 +1,220 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace dbsherlock::core {
+
+namespace {
+
+using common::JsonValue;
+
+constexpr int kFormatVersion = 1;
+
+const char* PredicateTypeName(PredicateType type) {
+  switch (type) {
+    case PredicateType::kLessThan:
+      return "lt";
+    case PredicateType::kGreaterThan:
+      return "gt";
+    case PredicateType::kRange:
+      return "range";
+    case PredicateType::kInSet:
+      return "in";
+  }
+  return "unknown";
+}
+
+common::Result<PredicateType> PredicateTypeFromName(const std::string& name) {
+  if (name == "lt") return PredicateType::kLessThan;
+  if (name == "gt") return PredicateType::kGreaterThan;
+  if (name == "range") return PredicateType::kRange;
+  if (name == "in") return PredicateType::kInSet;
+  return common::Status::ParseError("unknown predicate type: " + name);
+}
+
+}  // namespace
+
+JsonValue PredicateToJson(const Predicate& predicate) {
+  JsonValue::Object out;
+  out["attribute"] = predicate.attribute;
+  out["type"] = PredicateTypeName(predicate.type);
+  switch (predicate.type) {
+    case PredicateType::kLessThan:
+      out["high"] = predicate.high;
+      break;
+    case PredicateType::kGreaterThan:
+      out["low"] = predicate.low;
+      break;
+    case PredicateType::kRange:
+      out["low"] = predicate.low;
+      out["high"] = predicate.high;
+      break;
+    case PredicateType::kInSet: {
+      JsonValue::Array categories;
+      for (const std::string& c : predicate.categories) {
+        categories.emplace_back(c);
+      }
+      out["categories"] = JsonValue(std::move(categories));
+      break;
+    }
+  }
+  return JsonValue(std::move(out));
+}
+
+common::Result<Predicate> PredicateFromJson(const JsonValue& json) {
+  Predicate pred;
+  auto attribute = json.GetString("attribute");
+  if (!attribute.ok()) return attribute.status();
+  pred.attribute = *attribute;
+
+  auto type_name = json.GetString("type");
+  if (!type_name.ok()) return type_name.status();
+  auto type = PredicateTypeFromName(*type_name);
+  if (!type.ok()) return type.status();
+  pred.type = *type;
+
+  switch (pred.type) {
+    case PredicateType::kLessThan: {
+      auto high = json.GetNumber("high");
+      if (!high.ok()) return high.status();
+      pred.high = *high;
+      break;
+    }
+    case PredicateType::kGreaterThan: {
+      auto low = json.GetNumber("low");
+      if (!low.ok()) return low.status();
+      pred.low = *low;
+      break;
+    }
+    case PredicateType::kRange: {
+      auto low = json.GetNumber("low");
+      if (!low.ok()) return low.status();
+      auto high = json.GetNumber("high");
+      if (!high.ok()) return high.status();
+      pred.low = *low;
+      pred.high = *high;
+      if (pred.high < pred.low) {
+        return common::Status::ParseError(
+            "range predicate with high < low: " + pred.attribute);
+      }
+      break;
+    }
+    case PredicateType::kInSet: {
+      auto categories = json.GetArray("categories");
+      if (!categories.ok()) return categories.status();
+      for (const JsonValue& c : (*categories)->as_array()) {
+        if (!c.is_string()) {
+          return common::Status::ParseError(
+              "non-string category in predicate: " + pred.attribute);
+        }
+        pred.categories.push_back(c.as_string());
+      }
+      if (pred.categories.empty()) {
+        return common::Status::ParseError(
+            "empty category set in predicate: " + pred.attribute);
+      }
+      break;
+    }
+  }
+  return pred;
+}
+
+JsonValue CausalModelToJson(const CausalModel& model) {
+  JsonValue::Object out;
+  out["cause"] = model.cause;
+  out["num_sources"] = model.num_sources;
+  if (!model.suggested_action.empty()) {
+    out["suggested_action"] = model.suggested_action;
+  }
+  JsonValue::Array predicates;
+  for (const Predicate& p : model.predicates) {
+    predicates.push_back(PredicateToJson(p));
+  }
+  out["predicates"] = JsonValue(std::move(predicates));
+  return JsonValue(std::move(out));
+}
+
+common::Result<CausalModel> CausalModelFromJson(const JsonValue& json) {
+  CausalModel model;
+  auto cause = json.GetString("cause");
+  if (!cause.ok()) return cause.status();
+  model.cause = *cause;
+  if (model.cause.empty()) {
+    return common::Status::ParseError("causal model with empty cause");
+  }
+
+  auto num_sources = json.GetNumber("num_sources");
+  model.num_sources =
+      num_sources.ok() ? static_cast<int>(*num_sources) : 1;
+  if (model.num_sources < 1) model.num_sources = 1;
+
+  const JsonValue* action = json.Find("suggested_action");
+  if (action != nullptr && action->is_string()) {
+    model.suggested_action = action->as_string();
+  }
+
+  auto predicates = json.GetArray("predicates");
+  if (!predicates.ok()) return predicates.status();
+  for (const JsonValue& pj : (*predicates)->as_array()) {
+    auto pred = PredicateFromJson(pj);
+    if (!pred.ok()) return pred.status();
+    model.predicates.push_back(std::move(*pred));
+  }
+  return model;
+}
+
+JsonValue RepositoryToJson(const ModelRepository& repository) {
+  JsonValue::Object out;
+  out["version"] = kFormatVersion;
+  JsonValue::Array models;
+  for (const CausalModel& m : repository.models()) {
+    models.push_back(CausalModelToJson(m));
+  }
+  out["models"] = JsonValue(std::move(models));
+  return JsonValue(std::move(out));
+}
+
+common::Result<ModelRepository> RepositoryFromJson(const JsonValue& json) {
+  auto version = json.GetNumber("version");
+  if (!version.ok()) return version.status();
+  if (static_cast<int>(*version) != kFormatVersion) {
+    return common::Status::ParseError(common::StrFormat(
+        "unsupported model file version %d", static_cast<int>(*version)));
+  }
+  auto models = json.GetArray("models");
+  if (!models.ok()) return models.status();
+
+  ModelRepository repo;
+  for (const JsonValue& mj : (*models)->as_array()) {
+    auto model = CausalModelFromJson(mj);
+    if (!model.ok()) return model.status();
+    // AddUnmerged preserves the stored state verbatim; merging already
+    // happened before the save.
+    repo.AddUnmerged(std::move(*model));
+  }
+  return repo;
+}
+
+common::Status SaveRepository(const ModelRepository& repository,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return common::Status::IoError("cannot open for write: " + path);
+  out << RepositoryToJson(repository).Dump(/*indent=*/2) << "\n";
+  if (!out) return common::Status::IoError("write failed: " + path);
+  return common::Status::OK();
+}
+
+common::Result<ModelRepository> LoadRepository(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto json = common::ParseJson(buffer.str());
+  if (!json.ok()) return json.status();
+  return RepositoryFromJson(*json);
+}
+
+}  // namespace dbsherlock::core

@@ -1,0 +1,54 @@
+#ifndef DBSHERLOCK_CORE_MODEL_IO_H_
+#define DBSHERLOCK_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/model_repository.h"
+
+namespace dbsherlock::core {
+
+/// JSON persistence for causal models, so the knowledge a DBA builds up
+/// through diagnoses (Section 6 of the paper) survives process restarts —
+/// the natural companion to the paper's workflow where models accumulate
+/// "over the lifetime of a database operation".
+///
+/// Format (stable; see tests/model_io_test.cc for a golden document):
+/// {
+///   "version": 1,
+///   "models": [
+///     {
+///       "cause": "Log Rotation",
+///       "num_sources": 3,
+///       "suggested_action": "enable adaptive flushing",
+///       "predicates": [
+///         {"attribute": "cpu_wait", "type": "gt", "low": 50.0},
+///         {"attribute": "latency_ms", "type": "range",
+///          "low": 100.0, "high": 900.0},
+///         {"attribute": "mode", "type": "in", "categories": ["a","b"]}
+///       ]
+///     }
+///   ]
+/// }
+
+/// Serializers.
+common::JsonValue PredicateToJson(const Predicate& predicate);
+common::JsonValue CausalModelToJson(const CausalModel& model);
+common::JsonValue RepositoryToJson(const ModelRepository& repository);
+
+/// Deserializers; fail with ParseError on malformed or unknown content.
+common::Result<Predicate> PredicateFromJson(const common::JsonValue& json);
+common::Result<CausalModel> CausalModelFromJson(
+    const common::JsonValue& json);
+common::Result<ModelRepository> RepositoryFromJson(
+    const common::JsonValue& json);
+
+/// File convenience wrappers (pretty-printed JSON).
+common::Status SaveRepository(const ModelRepository& repository,
+                              const std::string& path);
+common::Result<ModelRepository> LoadRepository(const std::string& path);
+
+}  // namespace dbsherlock::core
+
+#endif  // DBSHERLOCK_CORE_MODEL_IO_H_

@@ -1,0 +1,60 @@
+#include "core/model_repository.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dbsherlock::core {
+
+void ModelRepository::Add(CausalModel model) {
+  for (CausalModel& existing : models_) {
+    if (existing.cause != model.cause) continue;
+    auto merged = MergeCausalModels(existing, model);
+    // Causes match, so MergeCausalModels cannot fail here.
+    if (merged.ok() && !merged->predicates.empty()) {
+      existing = std::move(*merged);
+    } else {
+      // Nothing survived the merge: the anomaly instances were too
+      // different. Keep the newer model rather than an empty shell.
+      existing = std::move(model);
+    }
+    return;
+  }
+  models_.push_back(std::move(model));
+}
+
+void ModelRepository::AddUnmerged(CausalModel model) {
+  models_.push_back(std::move(model));
+}
+
+const CausalModel* ModelRepository::Find(const std::string& cause) const {
+  for (const CausalModel& m : models_) {
+    if (m.cause == cause) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<RankedCause> ModelRepository::Rank(
+    const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
+    const PredicateGenOptions& options, double min_confidence) const {
+  std::map<std::string, std::pair<double, const CausalModel*>> best;
+  for (const CausalModel& m : models_) {
+    double confidence = ModelConfidence(m, dataset, rows, options);
+    auto it = best.find(m.cause);
+    if (it == best.end() || confidence > it->second.first) {
+      best[m.cause] = {confidence, &m};
+    }
+  }
+  std::vector<RankedCause> ranked;
+  for (const auto& [cause, entry] : best) {
+    if (entry.first > min_confidence) {
+      ranked.push_back({cause, entry.first, entry.second->suggested_action});
+    }
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedCause& a, const RankedCause& b) {
+                     return a.confidence > b.confidence;
+                   });
+  return ranked;
+}
+
+}  // namespace dbsherlock::core

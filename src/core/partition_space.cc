@@ -1,0 +1,215 @@
+#include "core/partition_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsherlock::core {
+
+PartitionSpace PartitionSpace::Numeric(double min_value, double max_value,
+                                       size_t num_partitions) {
+  PartitionSpace space;
+  space.is_numeric_ = true;
+  space.min_value_ = min_value;
+  space.max_value_ = max_value;
+  if (num_partitions == 0) num_partitions = 1;
+  space.labels_.assign(num_partitions, PartitionLabel::kEmpty);
+  space.width_ =
+      (max_value - min_value) / static_cast<double>(num_partitions);
+  if (space.width_ <= 0.0) space.width_ = 1.0;
+  return space;
+}
+
+PartitionSpace PartitionSpace::Categorical(
+    std::vector<std::string> categories) {
+  PartitionSpace space;
+  space.is_numeric_ = false;
+  space.labels_.assign(std::max<size_t>(categories.size(), 0),
+                       PartitionLabel::kEmpty);
+  space.categories_ = std::move(categories);
+  return space;
+}
+
+double PartitionSpace::lower_bound(size_t j) const {
+  return min_value_ + width_ * static_cast<double>(j);
+}
+
+double PartitionSpace::upper_bound(size_t j) const {
+  return min_value_ + width_ * static_cast<double>(j + 1);
+}
+
+double PartitionSpace::mid_value(size_t j) const {
+  return min_value_ + width_ * (static_cast<double>(j) + 0.5);
+}
+
+size_t PartitionSpace::PartitionOf(double value) const {
+  if (value <= min_value_) return 0;
+  size_t j = static_cast<size_t>((value - min_value_) / width_);
+  return std::min(j, labels_.size() - 1);
+}
+
+size_t PartitionSpace::CountWithLabel(PartitionLabel l) const {
+  return static_cast<size_t>(
+      std::count(labels_.begin(), labels_.end(), l));
+}
+
+void LabelNumericPartitions(std::span<const double> values,
+                            const tsdata::LabeledRows& rows,
+                            PartitionSpace* space) {
+  std::vector<uint32_t> abnormal_count(space->size(), 0);
+  std::vector<uint32_t> normal_count(space->size(), 0);
+  for (size_t row : rows.abnormal) {
+    ++abnormal_count[space->PartitionOf(values[row])];
+  }
+  for (size_t row : rows.normal) {
+    ++normal_count[space->PartitionOf(values[row])];
+  }
+  for (size_t j = 0; j < space->size(); ++j) {
+    if (abnormal_count[j] > 0 && normal_count[j] == 0) {
+      space->set_label(j, PartitionLabel::kAbnormal);
+    } else if (normal_count[j] > 0 && abnormal_count[j] == 0) {
+      space->set_label(j, PartitionLabel::kNormal);
+    } else {
+      space->set_label(j, PartitionLabel::kEmpty);
+    }
+  }
+}
+
+void LabelCategoricalPartitions(std::span<const int32_t> codes,
+                                const tsdata::LabeledRows& rows,
+                                PartitionSpace* space) {
+  std::vector<uint32_t> abnormal_count(space->size(), 0);
+  std::vector<uint32_t> normal_count(space->size(), 0);
+  for (size_t row : rows.abnormal) {
+    ++abnormal_count[static_cast<size_t>(codes[row])];
+  }
+  for (size_t row : rows.normal) {
+    ++normal_count[static_cast<size_t>(codes[row])];
+  }
+  for (size_t j = 0; j < space->size(); ++j) {
+    if (abnormal_count[j] > normal_count[j]) {
+      space->set_label(j, PartitionLabel::kAbnormal);
+    } else if (normal_count[j] > abnormal_count[j]) {
+      space->set_label(j, PartitionLabel::kNormal);
+    } else {
+      space->set_label(j, PartitionLabel::kEmpty);
+    }
+  }
+}
+
+void FilterPartitions(PartitionSpace* space) {
+  // Indices of non-Empty partitions, in order.
+  std::vector<size_t> non_empty;
+  for (size_t j = 0; j < space->size(); ++j) {
+    if (space->label(j) != PartitionLabel::kEmpty) non_empty.push_back(j);
+  }
+  // A lone Normal/Abnormal partition is deemed significant (Section 4.3).
+  if (non_empty.size() <= 1) return;
+
+  // Decide simultaneously from the pre-filter labels (the paper's
+  // non-incremental rule, which keeps end partitions alive in Fig. 5's
+  // scenarios 2 and 3).
+  std::vector<size_t> to_blank;
+  for (size_t k = 0; k < non_empty.size(); ++k) {
+    size_t j = non_empty[k];
+    PartitionLabel mine = space->label(j);
+    bool differs = false;
+    if (k > 0 && space->label(non_empty[k - 1]) != mine) differs = true;
+    if (k + 1 < non_empty.size() && space->label(non_empty[k + 1]) != mine) {
+      differs = true;
+    }
+    if (differs) to_blank.push_back(j);
+  }
+  for (size_t j : to_blank) space->set_label(j, PartitionLabel::kEmpty);
+}
+
+void FillPartitionGaps(PartitionSpace* space, double delta,
+                       std::optional<double> normal_anchor) {
+  size_t n = space->size();
+  if (n == 0) return;
+
+  bool has_normal = space->CountWithLabel(PartitionLabel::kNormal) > 0;
+  bool has_abnormal = space->CountWithLabel(PartitionLabel::kAbnormal) > 0;
+  if (!has_abnormal && !has_normal) return;  // nothing to anchor on
+
+  // Special case (Section 4.4): only Abnormal partitions survived the
+  // filter. Plant a Normal partition at the average normal-region value so
+  // the predicate direction is determined.
+  if (!has_normal && normal_anchor.has_value()) {
+    space->set_label(space->PartitionOf(*normal_anchor),
+                     PartitionLabel::kNormal);
+  }
+
+  // Nearest non-Empty partition to the left/right of each position, based
+  // on the post-filter labels (filling is a single simultaneous pass).
+  std::vector<ptrdiff_t> left(n, -1);
+  std::vector<ptrdiff_t> right(n, -1);
+  ptrdiff_t last = -1;
+  for (size_t j = 0; j < n; ++j) {
+    if (space->label(j) != PartitionLabel::kEmpty) last = static_cast<ptrdiff_t>(j);
+    left[j] = last;
+  }
+  last = -1;
+  for (size_t j = n; j-- > 0;) {
+    if (space->label(j) != PartitionLabel::kEmpty) last = static_cast<ptrdiff_t>(j);
+    right[j] = last;
+  }
+
+  std::vector<PartitionLabel> result(space->labels());
+  for (size_t j = 0; j < n; ++j) {
+    if (space->label(j) != PartitionLabel::kEmpty) continue;
+    ptrdiff_t l = left[j];
+    ptrdiff_t r = right[j];
+    if (l < 0 && r < 0) continue;  // unreachable: guarded above
+    if (l < 0) {
+      result[j] = space->label(static_cast<size_t>(r));
+      continue;
+    }
+    if (r < 0) {
+      result[j] = space->label(static_cast<size_t>(l));
+      continue;
+    }
+    PartitionLabel ll = space->label(static_cast<size_t>(l));
+    PartitionLabel rl = space->label(static_cast<size_t>(r));
+    if (ll == rl) {
+      result[j] = ll;
+      continue;
+    }
+    // Effective distances: the Abnormal side is pushed `delta` times
+    // farther away (delta > 1 => more specific predicates).
+    double dist_l = static_cast<double>(static_cast<ptrdiff_t>(j) - l);
+    double dist_r = static_cast<double>(r - static_cast<ptrdiff_t>(j));
+    if (ll == PartitionLabel::kAbnormal) dist_l *= delta;
+    if (rl == PartitionLabel::kAbnormal) dist_r *= delta;
+    if (dist_l < dist_r) {
+      result[j] = ll;
+    } else if (dist_r < dist_l) {
+      result[j] = rl;
+    } else {
+      // Tie: prefer Normal (consistent with delta's bias direction).
+      result[j] = ll == PartitionLabel::kNormal ? ll : rl;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) space->set_label(j, result[j]);
+}
+
+std::optional<AbnormalBlock> SingleAbnormalBlock(
+    const PartitionSpace& space) {
+  std::optional<AbnormalBlock> block;
+  bool in_run = false;
+  for (size_t j = 0; j < space.size(); ++j) {
+    if (space.label(j) == PartitionLabel::kAbnormal) {
+      if (!in_run) {
+        if (block.has_value()) return std::nullopt;  // second run
+        block = AbnormalBlock{j, j};
+        in_run = true;
+      } else {
+        block->last = j;
+      }
+    } else {
+      in_run = false;
+    }
+  }
+  return block;
+}
+
+}  // namespace dbsherlock::core

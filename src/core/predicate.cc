@@ -1,0 +1,90 @@
+#include "core/predicate.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dbsherlock::core {
+
+bool Predicate::MatchesNumeric(double value) const {
+  switch (type) {
+    case PredicateType::kLessThan:
+      return value < high;
+    case PredicateType::kGreaterThan:
+      return value >= low;
+    case PredicateType::kRange:
+      return value >= low && value < high;
+    case PredicateType::kInSet:
+      return false;
+  }
+  return false;
+}
+
+bool Predicate::MatchesCategory(const std::string& value) const {
+  if (type != PredicateType::kInSet) return false;
+  return std::find(categories.begin(), categories.end(), value) !=
+         categories.end();
+}
+
+bool Predicate::MatchesRow(const tsdata::Dataset& dataset, size_t row) const {
+  auto idx = dataset.schema().IndexOf(attribute);
+  if (!idx.ok()) return false;
+  const tsdata::Column& col = dataset.column(*idx);
+  if (is_numeric()) {
+    if (col.kind() != tsdata::AttributeKind::kNumeric) return false;
+    return MatchesNumeric(col.numeric(row));
+  }
+  if (col.kind() != tsdata::AttributeKind::kCategorical) return false;
+  return MatchesCategory(col.CategoryName(col.code(row)));
+}
+
+std::string Predicate::ToString() const {
+  switch (type) {
+    case PredicateType::kLessThan:
+      return common::StrFormat("%s < %.4g", attribute.c_str(), high);
+    case PredicateType::kGreaterThan:
+      return common::StrFormat("%s > %.4g", attribute.c_str(), low);
+    case PredicateType::kRange:
+      return common::StrFormat("%.4g < %s < %.4g", low, attribute.c_str(),
+                               high);
+    case PredicateType::kInSet: {
+      std::string out = attribute + " IN {";
+      for (size_t i = 0; i < categories.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += categories[i];
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return attribute + " <invalid>";
+}
+
+double SeparationPower(const Predicate& predicate,
+                       const tsdata::Dataset& dataset,
+                       const tsdata::LabeledRows& rows) {
+  if (rows.abnormal.empty() || rows.normal.empty()) return 0.0;
+  size_t abnormal_hits = 0;
+  for (size_t row : rows.abnormal) {
+    if (predicate.MatchesRow(dataset, row)) ++abnormal_hits;
+  }
+  size_t normal_hits = 0;
+  for (size_t row : rows.normal) {
+    if (predicate.MatchesRow(dataset, row)) ++normal_hits;
+  }
+  return static_cast<double>(abnormal_hits) /
+             static_cast<double>(rows.abnormal.size()) -
+         static_cast<double>(normal_hits) /
+             static_cast<double>(rows.normal.size());
+}
+
+bool ConjunctMatchesRow(const std::vector<Predicate>& predicates,
+                        const tsdata::Dataset& dataset, size_t row) {
+  if (predicates.empty()) return false;
+  for (const Predicate& p : predicates) {
+    if (!p.MatchesRow(dataset, row)) return false;
+  }
+  return true;
+}
+
+}  // namespace dbsherlock::core

@@ -1,0 +1,224 @@
+#include "core/predicate_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace dbsherlock::core {
+
+namespace {
+
+/// Min and max of `values` over the rows in both regions (ignored rows do
+/// not shape the partition space; Section 4 uses only the A/N tuples).
+struct RangeInfo {
+  double min = 0.0;
+  double max = 0.0;
+  bool valid = false;
+};
+
+RangeInfo RangeOverRegions(std::span<const double> values,
+                           const tsdata::LabeledRows& rows) {
+  RangeInfo info;
+  bool first = true;
+  auto fold = [&](size_t row) {
+    double v = values[row];
+    if (first) {
+      info.min = info.max = v;
+      first = false;
+    } else {
+      info.min = std::min(info.min, v);
+      info.max = std::max(info.max, v);
+    }
+  };
+  for (size_t row : rows.abnormal) fold(row);
+  for (size_t row : rows.normal) fold(row);
+  info.valid = !first;
+  return info;
+}
+
+double MeanOverRows(std::span<const double> values,
+                    const std::vector<size_t>& rows) {
+  if (rows.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t row : rows) sum += values[row];
+  return sum / static_cast<double>(rows.size());
+}
+
+/// Builds the predicate for a single abnormal block (Section 4.5). Returns
+/// nullopt when the block spans the whole space (no direction).
+std::optional<Predicate> PredicateFromBlock(const PartitionSpace& space,
+                                            const AbnormalBlock& block,
+                                            const std::string& attribute) {
+  bool at_left = block.first == 0;
+  bool at_right = block.last + 1 == space.size();
+  if (at_left && at_right) return std::nullopt;
+  Predicate pred;
+  pred.attribute = attribute;
+  if (at_left) {
+    pred.type = PredicateType::kLessThan;
+    pred.high = space.upper_bound(block.last);
+  } else if (at_right) {
+    pred.type = PredicateType::kGreaterThan;
+    pred.low = space.lower_bound(block.first);
+  } else {
+    pred.type = PredicateType::kRange;
+    pred.low = space.lower_bound(block.first);
+    pred.high = space.upper_bound(block.last);
+  }
+  return pred;
+}
+
+}  // namespace
+
+std::vector<Predicate> PredicateGenResult::PredicateList() const {
+  std::vector<Predicate> out;
+  out.reserve(predicates.size());
+  for (const auto& d : predicates) out.push_back(d.predicate);
+  return out;
+}
+
+const AttributeDiagnosis* PredicateGenResult::Find(
+    const std::string& attribute) const {
+  for (const auto& d : predicates) {
+    if (d.predicate.attribute == attribute) return &d;
+  }
+  return nullptr;
+}
+
+std::optional<PartitionSpace> BuildLabeledPartitionSpace(
+    const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
+    size_t attr_index, const PredicateGenOptions& options) {
+  if (rows.abnormal.empty() || rows.normal.empty()) return std::nullopt;
+  const tsdata::Column& col = dataset.column(attr_index);
+
+  if (col.kind() == tsdata::AttributeKind::kNumeric) {
+    std::span<const double> values = col.numeric_values();
+    RangeInfo range = RangeOverRegions(values, rows);
+    if (!range.valid || range.max <= range.min) return std::nullopt;
+
+    PartitionSpace space = PartitionSpace::Numeric(range.min, range.max,
+                                                   options.num_partitions);
+    LabelNumericPartitions(values, rows, &space);
+    return space;
+  }
+
+  // Categorical: one partition per distinct value (Section 4.2; filtering
+  // and gap filling never apply to categorical data).
+  std::vector<std::string> categories;
+  categories.reserve(col.num_categories());
+  for (size_t c = 0; c < col.num_categories(); ++c) {
+    categories.push_back(col.CategoryName(static_cast<int32_t>(c)));
+  }
+  if (categories.empty()) return std::nullopt;
+  PartitionSpace space = PartitionSpace::Categorical(std::move(categories));
+  LabelCategoricalPartitions(col.codes(), rows, &space);
+  return space;
+}
+
+std::optional<PartitionSpace> BuildFinalPartitionSpace(
+    const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
+    size_t attr_index, const PredicateGenOptions& options) {
+  std::optional<PartitionSpace> space =
+      BuildLabeledPartitionSpace(dataset, rows, attr_index, options);
+  if (!space.has_value() || !space->is_numeric()) return space;
+
+  if (options.enable_filtering) FilterPartitions(&*space);
+  if (options.enable_gap_filling) {
+    const tsdata::Column& col = dataset.column(attr_index);
+    double anchor = MeanOverRows(col.numeric_values(), rows.normal);
+    FillPartitionGaps(&*space, options.anomaly_distance_multiplier, anchor);
+  }
+  return space;
+}
+
+double PartitionSeparationPower(const Predicate& predicate,
+                                const PartitionSpace& space) {
+  size_t abnormal_total = 0;
+  size_t abnormal_hits = 0;
+  size_t normal_total = 0;
+  size_t normal_hits = 0;
+  for (size_t j = 0; j < space.size(); ++j) {
+    PartitionLabel label = space.label(j);
+    if (label == PartitionLabel::kEmpty) continue;
+    bool hit = space.is_numeric()
+                   ? predicate.MatchesNumeric(space.mid_value(j))
+                   : predicate.MatchesCategory(space.category(j));
+    if (label == PartitionLabel::kAbnormal) {
+      ++abnormal_total;
+      if (hit) ++abnormal_hits;
+    } else {
+      ++normal_total;
+      if (hit) ++normal_hits;
+    }
+  }
+  if (abnormal_total == 0 || normal_total == 0) return 0.0;
+  return static_cast<double>(abnormal_hits) /
+             static_cast<double>(abnormal_total) -
+         static_cast<double>(normal_hits) / static_cast<double>(normal_total);
+}
+
+PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
+                                      const tsdata::DiagnosisRegions& regions,
+                                      const PredicateGenOptions& options) {
+  PredicateGenResult result;
+  tsdata::LabeledRows rows = SplitRows(dataset, regions);
+  if (rows.abnormal.empty() || rows.normal.empty()) return result;
+
+  for (size_t attr = 0; attr < dataset.num_attributes(); ++attr) {
+    const tsdata::AttributeSpec& spec = dataset.schema().attribute(attr);
+    const tsdata::Column& col = dataset.column(attr);
+
+    std::optional<PartitionSpace> space =
+        BuildFinalPartitionSpace(dataset, rows, attr, options);
+    if (!space.has_value()) continue;
+
+    std::optional<Predicate> pred;
+    double normalized_diff = 0.0;
+
+    if (col.kind() == tsdata::AttributeKind::kNumeric) {
+      // Normalization + thresholding (Section 4.5): the attribute must move
+      // its normalized mean by more than theta between the two regions.
+      std::span<const double> values = col.numeric_values();
+      RangeInfo range = RangeOverRegions(values, rows);
+      double mu_a = common::MinMaxNormalize(MeanOverRows(values, rows.abnormal),
+                                            range.min, range.max);
+      double mu_n = common::MinMaxNormalize(MeanOverRows(values, rows.normal),
+                                            range.min, range.max);
+      normalized_diff = std::fabs(mu_a - mu_n);
+      if (normalized_diff <= options.normalized_diff_threshold) continue;
+
+      std::optional<AbnormalBlock> block = SingleAbnormalBlock(*space);
+      if (!block.has_value()) continue;
+      pred = PredicateFromBlock(*space, *block, spec.name);
+    } else {
+      // Categorical: collect every Abnormal partition's category.
+      Predicate p;
+      p.attribute = spec.name;
+      p.type = PredicateType::kInSet;
+      for (size_t j = 0; j < space->size(); ++j) {
+        if (space->label(j) == PartitionLabel::kAbnormal) {
+          p.categories.push_back(space->category(j));
+        }
+      }
+      if (!p.categories.empty()) pred = std::move(p);
+    }
+
+    if (!pred.has_value()) continue;
+    AttributeDiagnosis diag;
+    diag.predicate = std::move(*pred);
+    diag.separation_power = SeparationPower(diag.predicate, dataset, rows);
+    diag.partition_separation_power =
+        PartitionSeparationPower(diag.predicate, *space);
+    diag.normalized_mean_diff = normalized_diff;
+    result.predicates.push_back(std::move(diag));
+  }
+
+  std::stable_sort(result.predicates.begin(), result.predicates.end(),
+                   [](const AttributeDiagnosis& a, const AttributeDiagnosis& b) {
+                     return a.separation_power > b.separation_power;
+                   });
+  return result;
+}
+
+}  // namespace dbsherlock::core

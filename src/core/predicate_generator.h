@@ -1,0 +1,89 @@
+#ifndef DBSHERLOCK_CORE_PREDICATE_GENERATOR_H_
+#define DBSHERLOCK_CORE_PREDICATE_GENERATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/partition_space.h"
+#include "core/predicate.h"
+#include "tsdata/dataset.h"
+#include "tsdata/region.h"
+
+namespace dbsherlock::core {
+
+/// Tuning parameters of the predicate-generation algorithm (Algorithm 1).
+/// Defaults follow the paper's Appendix D experiment configuration
+/// {R, delta, theta} = {250, 10, 0.2}; Section 4.1's R=1000 default is
+/// available by just setting num_partitions.
+struct PredicateGenOptions {
+  /// R: number of equi-width partitions for numeric attributes.
+  size_t num_partitions = 250;
+  /// theta: minimum |mu_A - mu_N| of the min-max-normalized attribute for a
+  /// predicate to be extracted (Section 4.5).
+  double normalized_diff_threshold = 0.2;
+  /// delta: anomaly distance multiplier for gap filling (Section 4.4).
+  double anomaly_distance_multiplier = 10.0;
+  /// Ablation switches for Table 6 (Appendix D): disable the Partition
+  /// Filtering and/or Filling-the-Gaps steps.
+  bool enable_filtering = true;
+  bool enable_gap_filling = true;
+};
+
+/// One extracted predicate plus its quality measures.
+struct AttributeDiagnosis {
+  Predicate predicate;
+  /// Eq. (1) separation power over the input tuples.
+  double separation_power = 0.0;
+  /// Separation power over the final partition space (the quantity averaged
+  /// by causal-model confidence, Eq. (3)).
+  double partition_separation_power = 0.0;
+  /// d = |mu_A - mu_N| of the normalized attribute (numeric; 0 otherwise).
+  double normalized_mean_diff = 0.0;
+};
+
+/// Output of the generator: the conjunct of candidate predicates, in
+/// descending separation-power order.
+struct PredicateGenResult {
+  std::vector<AttributeDiagnosis> predicates;
+
+  /// Convenience: just the predicates.
+  std::vector<Predicate> PredicateList() const;
+  /// The diagnosis for `attribute`, if one was extracted.
+  const AttributeDiagnosis* Find(const std::string& attribute) const;
+};
+
+/// Runs Algorithm 1 over every attribute of `dataset` and returns the
+/// extracted predicates. Returns an empty result when either region holds
+/// no rows.
+PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
+                                      const tsdata::DiagnosisRegions& regions,
+                                      const PredicateGenOptions& options);
+
+/// Builds the final labeled partition space (label -> filter -> fill) for
+/// one attribute, as used by predicate extraction. Returns std::nullopt for
+/// constant numeric attributes or when either region holds no rows.
+std::optional<PartitionSpace> BuildFinalPartitionSpace(
+    const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
+    size_t attr_index, const PredicateGenOptions& options);
+
+/// Builds the *labeled-only* partition space (Section 4.2's labeling, no
+/// filtering or gap filling) for one attribute. This is the space Eq. (3)
+/// measures causal-model confidence over: only partitions that actually
+/// hold purely-normal or purely-abnormal tuples count, which keeps
+/// confidence meaningful even for very small abnormal regions (Appendix
+/// C's two-second anomalies) and for anomaly instances whose absolute
+/// levels differ from the training instance. Returns std::nullopt for
+/// constant numeric attributes or when either region holds no rows.
+std::optional<PartitionSpace> BuildLabeledPartitionSpace(
+    const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
+    size_t attr_index, const PredicateGenOptions& options);
+
+/// Separation power of `predicate` measured over a labeled partition space
+/// (fraction of Abnormal partitions satisfied minus fraction of Normal
+/// partitions satisfied; numeric partitions are tested at their midpoint).
+double PartitionSeparationPower(const Predicate& predicate,
+                                const PartitionSpace& space);
+
+}  // namespace dbsherlock::core
+
+#endif  // DBSHERLOCK_CORE_PREDICATE_GENERATOR_H_

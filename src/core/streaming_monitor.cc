@@ -1,0 +1,59 @@
+#include "core/streaming_monitor.h"
+
+namespace dbsherlock::core {
+
+StreamingMonitor::StreamingMonitor(const tsdata::Schema& schema,
+                                   Options options)
+    : options_(std::move(options)),
+      window_(schema),
+      explainer_(options_.explainer) {}
+
+void StreamingMonitor::TrimWindow() {
+  // Hysteresis: trimming copies the window, so let it overshoot by a chunk
+  // and cut back in one go (amortized O(1) per appended row).
+  constexpr size_t kSlack = 64;
+  if (window_.num_rows() <= options_.window_rows + kSlack) return;
+  size_t drop = window_.num_rows() - options_.window_rows;
+  window_ = window_.Slice(drop, window_.num_rows());
+}
+
+std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
+    double timestamp, const std::vector<tsdata::Cell>& cells) {
+  if (!window_.AppendRow(timestamp, cells).ok()) return std::nullopt;
+  ++rows_seen_;
+  ++rows_since_detect_;
+  TrimWindow();
+
+  if (rows_seen_ < options_.warmup_rows ||
+      rows_since_detect_ < options_.detect_every) {
+    return std::nullopt;
+  }
+  rows_since_detect_ = 0;
+
+  DetectionResult detection = DetectAnomalies(window_, options_.detector);
+  if (detection.abnormal.empty()) return std::nullopt;
+
+  // Report only regions not already alerted on; among the new ones, take
+  // the most recent (the live incident).
+  const tsdata::TimeRange* fresh = nullptr;
+  for (const tsdata::TimeRange& range : detection.abnormal.ranges()) {
+    if (range.start > alerted_until_) {
+      if (fresh == nullptr || range.start > fresh->start) fresh = &range;
+    }
+  }
+  if (fresh == nullptr) return std::nullopt;
+
+  Alert alert;
+  alert.region = *fresh;
+  alert.raised_at = timestamp;
+  DetectionResult narrowed = detection;
+  narrowed.abnormal = tsdata::RegionSpec({*fresh});
+  alert.explanation = explainer_.Diagnose(
+      window_,
+      DetectionToRegions(narrowed, window_, options_.detector));
+  alerted_until_ = fresh->end;
+  alerts_.push_back(alert);
+  return alert;
+}
+
+}  // namespace dbsherlock::core

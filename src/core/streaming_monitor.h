@@ -1,0 +1,82 @@
+#ifndef DBSHERLOCK_CORE_STREAMING_MONITOR_H_
+#define DBSHERLOCK_CORE_STREAMING_MONITOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/anomaly_detector.h"
+#include "core/explainer.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::core {
+
+/// Online monitoring: the paper's DBAs "constantly monitor their OLTP
+/// workload"; this class packages Section 7's detector for that setting.
+/// Telemetry rows stream in one per collection interval; the monitor keeps
+/// a sliding window, periodically runs automatic anomaly detection over
+/// it, and emits an alert — with the diagnosis — whenever a *new* anomaly
+/// region appears (regions already alerted on are suppressed until they
+/// end).
+class StreamingMonitor {
+ public:
+  struct Options {
+    /// Sliding window length in rows (the detector needs enough normal
+    /// context; the paper's detection assumes the anomaly is < 20% of the
+    /// window).
+    size_t window_rows = 600;
+    /// Detection cadence: run the detector every this many appended rows.
+    size_t detect_every = 15;
+    /// Minimum rows before the first detection.
+    size_t warmup_rows = 120;
+    AnomalyDetectorOptions detector;
+    /// Diagnosis configuration for alerts (causal models may be preloaded
+    /// into the monitor's explainer).
+    Explainer::Options explainer;
+  };
+
+  /// One emitted alert: the detected region (in stream timestamps) and the
+  /// explanation computed over the current window.
+  struct Alert {
+    tsdata::TimeRange region;
+    Explanation explanation;
+    /// Timestamp of the row whose arrival triggered the alert.
+    double raised_at = 0.0;
+  };
+
+  explicit StreamingMonitor(const tsdata::Schema& schema, Options options);
+
+  /// Appends one telemetry row; returns an alert when a new anomaly region
+  /// is detected at this step (std::nullopt otherwise — including on
+  /// append errors, which leave the monitor unchanged).
+  std::optional<Alert> Append(double timestamp,
+                              const std::vector<tsdata::Cell>& cells);
+
+  /// The explainer used for alert diagnoses (preload causal models here).
+  Explainer& explainer() { return explainer_; }
+
+  /// Rows currently buffered.
+  size_t window_size() const { return window_.num_rows(); }
+  /// Total rows ever appended.
+  size_t rows_seen() const { return rows_seen_; }
+  /// All alerts raised so far (most recent last).
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+ private:
+  /// Drops rows older than the window and re-bases storage.
+  void TrimWindow();
+
+  Options options_;
+  tsdata::Dataset window_;
+  Explainer explainer_;
+  size_t rows_seen_ = 0;
+  size_t rows_since_detect_ = 0;
+  std::vector<Alert> alerts_;
+  /// End timestamp of the most recently alerted region; regions starting
+  /// before this are considered already reported.
+  double alerted_until_ = -1e300;
+};
+
+}  // namespace dbsherlock::core
+
+#endif  // DBSHERLOCK_CORE_STREAMING_MONITOR_H_

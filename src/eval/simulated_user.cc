@@ -1,0 +1,57 @@
+#include "eval/simulated_user.h"
+
+#include <algorithm>
+
+namespace dbsherlock::eval {
+
+std::string UserTierName(UserTier tier) {
+  switch (tier) {
+    case UserTier::kPreliminaryKnowledge:
+      return "Preliminary DB Knowledge";
+    case UserTier::kUsageExperience:
+      return "DB Usage Experience";
+    case UserTier::kResearchOrDba:
+      return "DB Research or DBA Experience";
+  }
+  return "Unknown";
+}
+
+bool AnswerQuestion(const UserStudyQuestion& question,
+                    const core::ModelRepository& repository,
+                    const core::PredicateGenOptions& options, UserTier tier,
+                    const SimulatedUserOptions& user_options,
+                    common::Pcg32* rng) {
+  double noise = 0.0;
+  switch (tier) {
+    case UserTier::kPreliminaryKnowledge:
+      noise = user_options.noise_preliminary;
+      break;
+    case UserTier::kUsageExperience:
+      noise = user_options.noise_usage;
+      break;
+    case UserTier::kResearchOrDba:
+      noise = user_options.noise_research;
+      break;
+  }
+
+  tsdata::LabeledRows rows =
+      SplitRows(question.dataset->data, question.dataset->regions);
+  double best_score = -1e18;
+  size_t best_choice = 0;
+  for (size_t i = 0; i < question.choices.size(); ++i) {
+    const core::CausalModel* model = repository.Find(question.choices[i]);
+    double evidence =
+        model == nullptr
+            ? 0.0
+            : core::ModelConfidence(*model, question.dataset->data, rows,
+                                    options);
+    double score = evidence + rng->NextGaussian(0.0, noise);
+    if (score > best_score) {
+      best_score = score;
+      best_choice = i;
+    }
+  }
+  return question.choices[best_choice] == question.correct;
+}
+
+}  // namespace dbsherlock::eval

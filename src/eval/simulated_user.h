@@ -1,0 +1,54 @@
+#ifndef DBSHERLOCK_EVAL_SIMULATED_USER_H_
+#define DBSHERLOCK_EVAL_SIMULATED_USER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/model_repository.h"
+#include "eval/experiment.h"
+
+namespace dbsherlock::eval {
+
+/// Competency tiers of the paper's user study (Table 3). Each tier maps to
+/// how reliably a participant converts DBSherlock's predicate evidence into
+/// the right multiple-choice answer.
+enum class UserTier {
+  kPreliminaryKnowledge,  // SQL / undergrad databases
+  kUsageExperience,       // practical DB usage
+  kResearchOrDba,         // DB research or DBA experience
+};
+
+std::string UserTierName(UserTier tier);
+
+/// A simulated participant. The model: the participant scores each offered
+/// cause by the confidence of that cause's causal model against the
+/// question's dataset (that is the signal DBSherlock's predicates carry),
+/// perturbs the scores with tier-dependent noise (less experienced readers
+/// extract the signal less reliably), and answers the best-scoring option.
+/// With no predicates shown (the baseline row), answers are uniform random.
+struct SimulatedUserOptions {
+  /// Noise stddev (confidence percentage points) per tier.
+  double noise_preliminary = 28.0;
+  double noise_usage = 24.0;
+  double noise_research = 24.0;
+};
+
+/// One multiple-choice question: a dataset whose correct cause is
+/// `correct`, with `choices` (correct + 3 distractors).
+struct UserStudyQuestion {
+  const simulator::GeneratedDataset* dataset = nullptr;
+  std::string correct;
+  std::vector<std::string> choices;
+};
+
+/// Answers a question; returns true when the participant picked correctly.
+bool AnswerQuestion(const UserStudyQuestion& question,
+                    const core::ModelRepository& repository,
+                    const core::PredicateGenOptions& options, UserTier tier,
+                    const SimulatedUserOptions& user_options,
+                    common::Pcg32* rng);
+
+}  // namespace dbsherlock::eval
+
+#endif  // DBSHERLOCK_EVAL_SIMULATED_USER_H_

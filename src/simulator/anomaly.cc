@@ -1,0 +1,79 @@
+#include "simulator/anomaly.h"
+
+#include <algorithm>
+
+namespace dbsherlock::simulator {
+
+double AnomalyEvent::EffectiveMagnitude(double t) const {
+  if (!ActiveAt(t)) return 0.0;
+  double ramp_up = ramp_sec <= 0.0 ? 1.0 : (t - start_sec + 1.0) / ramp_sec;
+  double ramp_down =
+      ramp_sec <= 0.0 ? 1.0 : (end_sec() - t) / (0.5 * ramp_sec);
+  double ramp = std::clamp(std::min(ramp_up, ramp_down), 0.25, 1.0);
+  return magnitude * ramp;
+}
+
+const std::vector<AnomalyKind>& AllAnomalyKinds() {
+  static const std::vector<AnomalyKind>* kinds = new std::vector<AnomalyKind>{
+      AnomalyKind::kPoorlyWrittenQuery, AnomalyKind::kPoorPhysicalDesign,
+      AnomalyKind::kWorkloadSpike,      AnomalyKind::kIoSaturation,
+      AnomalyKind::kDatabaseBackup,     AnomalyKind::kTableRestore,
+      AnomalyKind::kCpuSaturation,      AnomalyKind::kFlushLogTable,
+      AnomalyKind::kNetworkCongestion,  AnomalyKind::kLockContention,
+  };
+  return *kinds;
+}
+
+std::string AnomalyKindName(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kPoorlyWrittenQuery:
+      return "Poorly Written Query";
+    case AnomalyKind::kPoorPhysicalDesign:
+      return "Poor Physical Design";
+    case AnomalyKind::kWorkloadSpike:
+      return "Workload Spike";
+    case AnomalyKind::kIoSaturation:
+      return "I/O Saturation";
+    case AnomalyKind::kDatabaseBackup:
+      return "Database Backup";
+    case AnomalyKind::kTableRestore:
+      return "Table Restore";
+    case AnomalyKind::kCpuSaturation:
+      return "CPU Saturation";
+    case AnomalyKind::kFlushLogTable:
+      return "Flush Log/Table";
+    case AnomalyKind::kNetworkCongestion:
+      return "Network Congestion";
+    case AnomalyKind::kLockContention:
+      return "Lock Contention";
+  }
+  return "Unknown";
+}
+
+std::string AnomalyKindId(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::kPoorlyWrittenQuery:
+      return "poorly_written_query";
+    case AnomalyKind::kPoorPhysicalDesign:
+      return "poor_physical_design";
+    case AnomalyKind::kWorkloadSpike:
+      return "workload_spike";
+    case AnomalyKind::kIoSaturation:
+      return "io_saturation";
+    case AnomalyKind::kDatabaseBackup:
+      return "database_backup";
+    case AnomalyKind::kTableRestore:
+      return "table_restore";
+    case AnomalyKind::kCpuSaturation:
+      return "cpu_saturation";
+    case AnomalyKind::kFlushLogTable:
+      return "flush_log_table";
+    case AnomalyKind::kNetworkCongestion:
+      return "network_congestion";
+    case AnomalyKind::kLockContention:
+      return "lock_contention";
+  }
+  return "unknown";
+}
+
+}  // namespace dbsherlock::simulator

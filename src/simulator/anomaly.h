@@ -1,0 +1,64 @@
+#ifndef DBSHERLOCK_SIMULATOR_ANOMALY_H_
+#define DBSHERLOCK_SIMULATOR_ANOMALY_H_
+
+#include <string>
+#include <vector>
+
+namespace dbsherlock::simulator {
+
+/// The ten anomaly classes of Table 1 in the paper. Each injects a
+/// characteristic perturbation into the simulated server (see
+/// server_sim.cc for the exact effect of each).
+enum class AnomalyKind {
+  kPoorlyWrittenQuery,   // inefficient JOIN: huge row scans + DBMS CPU
+  kPoorPhysicalDesign,   // unnecessary index on insert-heavy tables
+  kWorkloadSpike,        // extra terminals + much higher request rate
+  kIoSaturation,         // external write()/sync() stress (stress-ng)
+  kDatabaseBackup,       // mysqldump: full scan + network egress
+  kTableRestore,         // bulk re-insert of a dumped table
+  kCpuSaturation,        // external poll() stress occupying cores
+  kFlushLogTable,        // mysqladmin flush-logs/refresh storm
+  kNetworkCongestion,    // +300 ms artificial delay on all traffic (tc)
+  kLockContention,       // NewOrder on one warehouse/district only
+};
+
+/// All ten kinds, in Table 1 order.
+const std::vector<AnomalyKind>& AllAnomalyKinds();
+
+/// Human-readable name used in figures ("Workload Spike", ...).
+std::string AnomalyKindName(AnomalyKind kind);
+
+/// Stable snake_case identifier ("workload_spike", ...).
+std::string AnomalyKindId(AnomalyKind kind);
+
+/// One scheduled anomaly occurrence inside a dataset run.
+struct AnomalyEvent {
+  AnomalyKind kind = AnomalyKind::kWorkloadSpike;
+  /// Start offset in seconds from the beginning of the run.
+  double start_sec = 60.0;
+  /// Duration in seconds.
+  double duration_sec = 60.0;
+  /// Relative severity; 1.0 reproduces the paper's setup.
+  double magnitude = 1.0;
+  /// Seconds over which the effect ramps up after onset (real anomalies —
+  /// a dump warming up, stress processes spawning, clients reconnecting —
+  /// do not hit full force instantaneously). The tail ramps down over
+  /// ramp_sec / 2. Boundary seconds with partial effect are what make the
+  /// user's region selection noisy, the situation Section 4.3's filtering
+  /// step exists for.
+  double ramp_sec = 8.0;
+
+  bool ActiveAt(double t) const {
+    return t >= start_sec && t < start_sec + duration_sec;
+  }
+  double end_sec() const { return start_sec + duration_sec; }
+
+  /// Effective severity at time t: magnitude scaled by the onset/offset
+  /// ramp; 0 when inactive. Never drops below 0.25 * magnitude while
+  /// active, so even the boundary seconds are genuinely abnormal.
+  double EffectiveMagnitude(double t) const;
+};
+
+}  // namespace dbsherlock::simulator
+
+#endif  // DBSHERLOCK_SIMULATOR_ANOMALY_H_

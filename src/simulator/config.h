@@ -1,0 +1,54 @@
+#ifndef DBSHERLOCK_SIMULATOR_CONFIG_H_
+#define DBSHERLOCK_SIMULATOR_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dbsherlock::simulator {
+
+/// Hardware + engine configuration of the simulated database server.
+/// Defaults approximate the paper's testbed: an Azure A3 instance
+/// (4 cores @ 2.1 GHz, 7 GB RAM) running MySQL with a 4 GB buffer pool and
+/// a TPC-C scale factor of 500 (~50 GB on disk).
+struct ServerConfig {
+  // --- Host hardware ----------------------------------------------------
+  int cpu_cores = 4;
+  /// Disk capability (commodity cloud disk).
+  double disk_max_iops = 5000.0;
+  double disk_max_kb_per_sec = 150.0 * 1024.0;  // 150 MB/s
+  /// Network link capability.
+  double net_max_kb_per_sec = 100.0 * 1024.0;  // ~1 Gbit
+  double net_base_rtt_ms = 0.5;
+  /// Total RAM pages (16 KB pages, 7 GB).
+  double total_pages = 7.0 * 1024.0 * 1024.0 / 16.0;
+
+  // --- DBMS engine ------------------------------------------------------
+  /// Buffer pool size in 16 KB pages (4 GB).
+  double buffer_pool_pages = 4.0 * 1024.0 * 1024.0 / 16.0;
+  /// Database size in pages (50 GB), sets the best-case hit rate.
+  double database_pages = 50.0 * 1024.0 * 1024.0 / 16.0;
+  /// Dirty-page ratio that triggers aggressive background flushing.
+  double dirty_page_flush_threshold = 0.10;
+  /// Background flusher capability, pages/sec.
+  double max_flush_pages_per_sec = 4000.0;
+  /// Redo log file size in KB; the log rotates when full.
+  double redo_log_kb = 512.0 * 1024.0;
+
+  // --- Measurement ------------------------------------------------------
+  /// Multiplicative log-normal-ish noise applied to every emitted metric
+  /// (real /proc and SHOW STATUS counters are noisy; Section 3 calls this
+  /// out as a design constraint).
+  double metric_noise = 0.10;
+  /// Per-second probability of a transient micro-hiccup (cron I/O burst,
+  /// background CPU grab, network blip, lock blip, reporting scan). These
+  /// make "normal" telemetry heavy-tailed — the fluctuation noise the
+  /// paper's Section 3 calls out.
+  double hiccup_probability = 0.12;
+  /// A constant categorical attribute (exercises the paper's "invariants
+  /// are not valid explanations" rule, Section 2.4).
+  std::string server_profile = "azure_a3";
+};
+
+}  // namespace dbsherlock::simulator
+
+#endif  // DBSHERLOCK_SIMULATOR_CONFIG_H_

@@ -1,0 +1,325 @@
+#include "simulator/event_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "tsdata/schema.h"
+
+namespace dbsherlock::simulator {
+
+namespace {
+constexpr double kMsToSec = 1e-3;
+
+/// Exponential variate with the given mean (in whatever unit `mean` is).
+double Exponential(common::Pcg32* rng, double mean) {
+  double u = rng->NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+}  // namespace
+
+EventSimulator::EventSimulator(EventSimConfig config, uint64_t seed)
+    : config_(config), rng_(seed, 0xe5e7) {}
+
+void EventSimulator::Schedule(double at, std::function<void()> action) {
+  queue_.push(Event{at, sequence_++, std::move(action)});
+}
+
+double EventSimulator::ActiveMagnitude(AnomalyKind kind) const {
+  if (anomalies_ == nullptr) return 0.0;
+  double magnitude = 0.0;
+  for (const AnomalyEvent& ev : *anomalies_) {
+    if (ev.kind == kind && ev.ActiveAt(now_)) {
+      magnitude += ev.EffectiveMagnitude(now_);
+    }
+  }
+  return magnitude;
+}
+
+int EventSimulator::EffectiveCores() const {
+  // External CPU hogs (stress-ng) seize whole cores for the duration.
+  double hog = ActiveMagnitude(AnomalyKind::kCpuSaturation);
+  int seized = static_cast<int>(std::floor(
+      std::min(hog * 3.4, static_cast<double>(config_.cpu_cores) - 1.0)));
+  return std::max(1, config_.cpu_cores - seized);
+}
+
+void EventSimulator::StartTransaction(int terminal) {
+  // Dormant spike terminals idle until a workload spike activates them.
+  if (terminal >= config_.terminals &&
+      ActiveMagnitude(AnomalyKind::kWorkloadSpike) <= 0.0) {
+    int t = terminal;
+    Schedule(now_ + 1.0, [this, t] { StartTransaction(t); });
+    return;
+  }
+
+  Txn txn;
+  txn.id = next_txn_id_++;
+  txn.terminal = terminal;
+  txn.start_time = now_;
+
+  // Pre-draw the lock set in ascending object order: acquisition along a
+  // total order cannot deadlock.
+  double contention = ActiveMagnitude(AnomalyKind::kLockContention);
+  double hot_fraction = contention > 0.0
+                            ? std::min(0.95, 0.85 * contention)
+                            : config_.hot_access_fraction;
+  int hot_span = contention > 0.0 ? 2 : config_.num_hot_objects;
+  while (static_cast<int>(txn.lock_set.size()) < config_.locks_per_txn) {
+    int object;
+    if (rng_.NextBernoulli(hot_fraction)) {
+      object = rng_.NextInt(0, hot_span - 1);
+    } else {
+      object = rng_.NextInt(config_.num_hot_objects, config_.num_objects - 1);
+    }
+    if (std::find(txn.lock_set.begin(), txn.lock_set.end(), object) ==
+        txn.lock_set.end()) {
+      txn.lock_set.push_back(object);
+    }
+  }
+  std::sort(txn.lock_set.begin(), txn.lock_set.end());
+
+  int id = txn.id;
+  txns_.emplace(id, std::move(txn));
+  AdvanceStatement(id);
+}
+
+void EventSimulator::AdvanceStatement(int txn_id) {
+  Txn& txn = txns_[txn_id];
+  if (txn.next_statement >= config_.statements_per_txn) {
+    Commit(txn_id);
+    return;
+  }
+  // The first `locks_per_txn` statements each take one row lock.
+  if (txn.next_lock < static_cast<int>(txn.lock_set.size()) &&
+      txn.next_statement < config_.locks_per_txn) {
+    RequestLock(txn_id);
+  } else {
+    RunCpuBurst(txn_id);
+  }
+}
+
+void EventSimulator::RequestLock(int txn_id) {
+  Txn& txn = txns_[txn_id];
+  int object = txn.lock_set[static_cast<size_t>(txn.next_lock)];
+  LockQueue& lock = locks_[object];
+  if (lock.holder < 0) {
+    lock.holder = txn_id;
+    txn.held.push_back(object);
+    ++txn.next_lock;
+    RunCpuBurst(txn_id);
+    return;
+  }
+  // Blocked: join the FIFO queue and start the wait clock.
+  lock.waiters.push_back(txn_id);
+  txn.lock_wait_start = now_;
+  lock_waits_ += 1.0;
+}
+
+void EventSimulator::GrantedLock(int txn_id) {
+  Txn& txn = txns_[txn_id];
+  if (txn.lock_wait_start >= 0.0) {
+    lock_wait_ms_ += (now_ - txn.lock_wait_start) / kMsToSec;
+    txn.lock_wait_start = -1.0;
+  }
+  txn.held.push_back(txn.lock_set[static_cast<size_t>(txn.next_lock)]);
+  ++txn.next_lock;
+  RunCpuBurst(txn_id);
+}
+
+void EventSimulator::RunCpuBurst(int txn_id) {
+  double burst_ms = Exponential(&rng_, config_.stmt_cpu_ms);
+  cpu_queue_.emplace_back(burst_ms, [this, txn_id] { FinishStatement(txn_id); });
+  DispatchCpu();
+}
+
+void EventSimulator::DispatchCpu() {
+  while (busy_cores_ < EffectiveCores() && !cpu_queue_.empty()) {
+    auto [burst_ms, done] = std::move(cpu_queue_.front());
+    cpu_queue_.pop_front();
+    ++busy_cores_;
+    cpu_busy_ms_ += burst_ms;
+    Schedule(now_ + burst_ms * kMsToSec,
+             [this, done = std::move(done)] {
+               --busy_cores_;
+               done();
+               DispatchCpu();
+             });
+  }
+}
+
+void EventSimulator::RequestDisk(double service_ms,
+                                 std::function<void()> done) {
+  disk_queue_.emplace_back(service_ms, std::move(done));
+  DispatchDisk();
+}
+
+void EventSimulator::DispatchDisk() {
+  while (busy_disk_ < config_.disk_parallelism && !disk_queue_.empty()) {
+    auto [service_ms, done] = std::move(disk_queue_.front());
+    disk_queue_.pop_front();
+    ++busy_disk_;
+    disk_busy_ms_ += service_ms;
+    Schedule(now_ + service_ms * kMsToSec,
+             [this, done = std::move(done)] {
+               --busy_disk_;
+               done();
+               DispatchDisk();
+             });
+  }
+}
+
+void EventSimulator::FinishStatement(int txn_id) {
+  // Buffer-pool miss: a physical read before the statement completes.
+  if (rng_.NextBernoulli(config_.page_miss_prob)) {
+    io_reads_ += 1.0;
+    RequestDisk(config_.disk_service_ms, [this, txn_id] {
+      Txn& txn = txns_[txn_id];
+      ++txn.next_statement;
+      AdvanceStatement(txn_id);
+    });
+    return;
+  }
+  Txn& txn = txns_[txn_id];
+  ++txn.next_statement;
+  AdvanceStatement(txn_id);
+}
+
+void EventSimulator::Commit(int txn_id) {
+  // Commit log record (group-commit fsync), then release locks, then the
+  // client reply pays the network round trip.
+  RequestDisk(config_.log_write_ms, [this, txn_id] {
+    ReleaseLocks(txn_id);
+    Txn& txn = txns_[txn_id];
+    double rtt_ms = config_.net_rtt_ms +
+                    300.0 * ActiveMagnitude(AnomalyKind::kNetworkCongestion);
+    int terminal = txn.terminal;
+    double latency_ms = (now_ - txn.start_time) / kMsToSec + rtt_ms;
+    Schedule(now_ + rtt_ms * kMsToSec, [this, txn_id, terminal, latency_ms] {
+      latencies_.push_back(latency_ms);
+      txns_.erase(txn_id);
+      double think = Exponential(&rng_, config_.think_time_ms);
+      if (ActiveMagnitude(AnomalyKind::kWorkloadSpike) > 0.0) think *= 0.25;
+      Schedule(now_ + think * kMsToSec,
+               [this, terminal] { StartTransaction(terminal); });
+    });
+  });
+}
+
+void EventSimulator::ReleaseLocks(int txn_id) {
+  Txn& txn = txns_[txn_id];
+  for (int object : txn.held) {
+    LockQueue& lock = locks_[object];
+    if (lock.waiters.empty()) {
+      lock.holder = -1;
+      continue;
+    }
+    int next = lock.waiters.front();
+    lock.waiters.pop_front();
+    lock.holder = next;
+    Schedule(now_, [this, next] { GrantedLock(next); });
+  }
+  txn.held.clear();
+}
+
+void EventSimulator::FlushSecond(double now) {
+  EventMetrics m;
+  m.time_sec = now - 1.0;
+  m.throughput_tps = static_cast<double>(latencies_.size());
+  m.avg_latency_ms = common::Mean(latencies_);
+  m.p99_latency_ms = common::Quantile(latencies_, 0.99);
+  m.cpu_util = std::min(
+      1.0, cpu_busy_ms_ / (1000.0 * static_cast<double>(config_.cpu_cores)));
+  m.disk_util =
+      std::min(1.0, disk_busy_ms_ /
+                        (1000.0 * static_cast<double>(config_.disk_parallelism)));
+  m.lock_waits = lock_waits_;
+  m.lock_wait_time_ms = lock_wait_ms_;
+  m.io_reads = io_reads_;
+  m.active_transactions = static_cast<double>(txns_.size());
+  results_.push_back(m);
+
+  cpu_busy_ms_ = 0.0;
+  disk_busy_ms_ = 0.0;
+  latencies_.clear();
+  lock_waits_ = 0.0;
+  lock_wait_ms_ = 0.0;
+  io_reads_ = 0.0;
+}
+
+std::vector<EventMetrics> EventSimulator::Run(
+    double duration_sec, const std::vector<AnomalyEvent>& anomalies) {
+  // Reset state so Run() can be called repeatedly on one instance.
+  queue_ = {};
+  txns_.clear();
+  locks_.clear();
+  cpu_queue_.clear();
+  disk_queue_.clear();
+  busy_cores_ = 0;
+  busy_disk_ = 0;
+  now_ = 0.0;
+  results_.clear();
+  cpu_busy_ms_ = disk_busy_ms_ = lock_waits_ = lock_wait_ms_ = io_reads_ = 0.0;
+  latencies_.clear();
+  anomalies_ = &anomalies;
+
+  // Closed-loop terminals, plus 128 dormant ones a workload spike can
+  // activate.
+  int total_terminals = config_.terminals + 128;
+  for (int t = 0; t < total_terminals; ++t) {
+    double offset = Exponential(&rng_, config_.think_time_ms) * kMsToSec;
+    Schedule(offset, [this, t] { StartTransaction(t); });
+  }
+  // External I/O pressure driver: every 100 ms, enqueue the I/Os an
+  // io_saturation stress process issued in that window.
+  std::function<void()> io_driver = [this, &io_driver] {
+    double m = ActiveMagnitude(AnomalyKind::kIoSaturation);
+    if (m > 0.0) {
+      // ~3500 IOPS at full magnitude, matching the flow model's stress-ng.
+      int ops = static_cast<int>(350.0 * m);
+      for (int i = 0; i < ops; ++i) {
+        RequestDisk(config_.disk_service_ms, [] {});
+      }
+    }
+    Schedule(now_ + 0.1, io_driver);
+  };
+  Schedule(0.1, io_driver);
+
+  // Per-second metric flushes.
+  for (double t = 1.0; t <= duration_sec + 1e-9; t += 1.0) {
+    Schedule(t, [this, t] { FlushSecond(t); });
+  }
+
+  double end_time = duration_sec;
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    if (event.time > end_time + 1e-9) break;
+    now_ = event.time;
+    event.action();
+  }
+  anomalies_ = nullptr;
+  return results_;
+}
+
+tsdata::Dataset EventMetricsToDataset(const std::vector<EventMetrics>& rows) {
+  tsdata::Schema schema;
+  for (const char* name :
+       {"throughput_tps", "avg_latency_ms", "p99_latency_ms", "cpu_util",
+        "disk_util", "lock_waits", "lock_wait_time_ms", "io_reads",
+        "active_transactions"}) {
+    (void)schema.AddAttribute({name, tsdata::AttributeKind::kNumeric});
+  }
+  tsdata::Dataset dataset(schema);
+  for (const EventMetrics& m : rows) {
+    (void)dataset.AppendRow(
+        m.time_sec,
+        {m.throughput_tps, m.avg_latency_ms, m.p99_latency_ms, m.cpu_util,
+         m.disk_util, m.lock_waits, m.lock_wait_time_ms, m.io_reads,
+         m.active_transactions});
+  }
+  return dataset;
+}
+
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,49 @@
+#include "simulator/metric_schema.h"
+
+namespace dbsherlock::simulator {
+
+size_t NumNumericMetrics() { return NumericMetricNames().size(); }
+
+const std::vector<std::string>& NumericMetricNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+#define DBSHERLOCK_NAME_FIELD(name) #name,
+      DBSHERLOCK_NUMERIC_METRICS(DBSHERLOCK_NAME_FIELD)
+#undef DBSHERLOCK_NAME_FIELD
+  };
+  return *names;
+}
+
+tsdata::Schema MetricSchema() {
+  tsdata::Schema schema;
+  for (const auto& name : NumericMetricNames()) {
+    // Names are unique by construction; ignore the (impossible) error.
+    (void)schema.AddAttribute({name, tsdata::AttributeKind::kNumeric});
+  }
+  (void)schema.AddAttribute(
+      {"dominant_statement", tsdata::AttributeKind::kCategorical});
+  (void)schema.AddAttribute(
+      {"server_profile", tsdata::AttributeKind::kCategorical});
+  return schema;
+}
+
+std::vector<tsdata::Cell> MetricsToCells(const Metrics& m) {
+  std::vector<tsdata::Cell> cells;
+  cells.reserve(NumNumericMetrics() + 2);
+#define DBSHERLOCK_EMIT_FIELD(name) cells.emplace_back(m.name);
+  DBSHERLOCK_NUMERIC_METRICS(DBSHERLOCK_EMIT_FIELD)
+#undef DBSHERLOCK_EMIT_FIELD
+  cells.emplace_back(m.dominant_statement);
+  cells.emplace_back(m.server_profile);
+  return cells;
+}
+
+std::vector<double> NumericMetricValues(const Metrics& m) {
+  std::vector<double> values;
+  values.reserve(NumNumericMetrics());
+#define DBSHERLOCK_VALUE_FIELD(name) values.push_back(m.name);
+  DBSHERLOCK_NUMERIC_METRICS(DBSHERLOCK_VALUE_FIELD)
+#undef DBSHERLOCK_VALUE_FIELD
+  return values;
+}
+
+}  // namespace dbsherlock::simulator

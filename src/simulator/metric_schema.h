@@ -1,0 +1,81 @@
+#ifndef DBSHERLOCK_SIMULATOR_METRIC_SCHEMA_H_
+#define DBSHERLOCK_SIMULATOR_METRIC_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "tsdata/dataset.h"
+#include "tsdata/schema.h"
+
+namespace dbsherlock::simulator {
+
+/// The numeric telemetry emitted every simulated second, mirroring the
+/// attribute families DBSeer collects from Linux /proc and MySQL global
+/// status (Section 2.1 of the paper). One X-macro keeps the struct fields,
+/// schema and serialization in lock step.
+///
+/// clang-format off
+#define DBSHERLOCK_NUMERIC_METRICS(V)                                      \
+  /* Transaction aggregates */                                             \
+  V(avg_latency_ms)     V(p99_latency_ms)    V(throughput_tps)             \
+  V(num_selects)        V(num_updates)       V(num_inserts)                \
+  V(num_deletes)        V(logical_reads)     V(rows_written)               \
+  V(full_table_scans)   V(tmp_tables_created)                              \
+  /* CPU */                                                                \
+  V(os_cpu_usage)       V(os_cpu_idle)       V(os_cpu_iowait)              \
+  V(os_cpu_user)        V(os_cpu_system)     V(dbms_cpu_usage)             \
+  /* OS counters */                                                        \
+  V(os_context_switches) V(os_page_faults)                                 \
+  V(os_allocated_pages) V(os_free_pages)                                   \
+  V(os_used_swap_kb)    V(os_free_swap_kb)                                 \
+  /* Disk */                                                               \
+  V(disk_read_iops)     V(disk_write_iops)   V(disk_read_kb)               \
+  V(disk_write_kb)      V(disk_queue_depth)  V(disk_util)                  \
+  /* Network */                                                            \
+  V(net_send_kb)        V(net_recv_kb)                                     \
+  V(net_packets_sent)   V(net_packets_recv)                                \
+  /* Buffer pool & background I/O */                                       \
+  V(buffer_pool_hit_rate) V(buffer_pool_dirty_pages)                       \
+  V(pages_flushed)      V(pages_read)        V(pages_written)              \
+  V(index_pages_written)                                                   \
+  /* Locking & threads */                                                  \
+  V(lock_waits)         V(lock_wait_time_ms) V(deadlocks)                  \
+  V(running_threads)    V(active_connections) V(client_wait_time_ms)       \
+  /* Redo log */                                                           \
+  V(log_kb_written)     V(log_flushes)       V(log_pending_kb)
+/// clang-format on
+
+/// One second of telemetry. All numeric fields default to zero.
+struct Metrics {
+#define DBSHERLOCK_DECLARE_FIELD(name) double name = 0.0;
+  DBSHERLOCK_NUMERIC_METRICS(DBSHERLOCK_DECLARE_FIELD)
+#undef DBSHERLOCK_DECLARE_FIELD
+
+  /// Categorical attributes: the dominant statement class this second
+  /// (varies with several anomalies) and the fixed server profile (an
+  /// invariant — exercises Section 2.4's rule that invariants are never
+  /// valid explanations).
+  std::string dominant_statement = "mixed";
+  std::string server_profile = "azure_a3";
+};
+
+/// Number of numeric metrics.
+size_t NumNumericMetrics();
+
+/// Names of the numeric metrics, in declaration order.
+const std::vector<std::string>& NumericMetricNames();
+
+/// The full Dataset schema: every numeric metric plus the two categorical
+/// attributes ("dominant_statement", "server_profile").
+tsdata::Schema MetricSchema();
+
+/// Converts a Metrics sample to a Dataset row (matching MetricSchema()).
+std::vector<tsdata::Cell> MetricsToCells(const Metrics& m);
+
+/// Reads the numeric metrics into a vector (same order as
+/// NumericMetricNames()); useful for tests.
+std::vector<double> NumericMetricValues(const Metrics& m);
+
+}  // namespace dbsherlock::simulator
+
+#endif  // DBSHERLOCK_SIMULATOR_METRIC_SCHEMA_H_

@@ -1,0 +1,166 @@
+#include "simulator/resources.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsherlock::simulator {
+
+namespace {
+/// Queueing-delay multiplier 1/(1-rho), clamped so saturated resources give
+/// large but finite delays.
+double DelayFactor(double rho) {
+  rho = std::clamp(rho, 0.0, 0.98);
+  return 1.0 / (1.0 - rho);
+}
+}  // namespace
+
+CpuState SolveCpu(const ServerConfig& config, const CpuDemand& demand) {
+  CpuState out;
+  double capacity_ms = static_cast<double>(config.cpu_cores) * 1000.0;
+  double db_demand = demand.db_ms + demand.background_ms;
+  double total_demand = db_demand + demand.external_ms;
+  if (capacity_ms <= 0.0) return out;
+
+  double rho = total_demand / capacity_ms;
+  out.total_util = std::min(1.0, rho);
+  if (total_demand > 0.0) {
+    // When over-committed, the scheduler splits capacity proportionally.
+    double scale = std::min(1.0, capacity_ms / total_demand);
+    out.dbms_util = db_demand * scale / capacity_ms;
+    out.external_util = demand.external_ms * scale / capacity_ms;
+  }
+  out.idle_frac = std::max(0.0, 1.0 - out.total_util);
+  out.delay_factor = DelayFactor(rho);
+  return out;
+}
+
+DiskState SolveDisk(const ServerConfig& config, const DiskDemand& demand) {
+  DiskState out;
+  double iops = demand.read_iops + demand.write_iops;
+  double kb = demand.read_kb + demand.write_kb;
+  double iops_util =
+      config.disk_max_iops > 0.0 ? iops / config.disk_max_iops : 0.0;
+  double bw_util = config.disk_max_kb_per_sec > 0.0
+                       ? kb / config.disk_max_kb_per_sec
+                       : 0.0;
+  double rho = std::max(iops_util, bw_util);
+  out.util = std::min(1.0, rho);
+  out.delay_factor = DelayFactor(rho);
+  // Cloud-SSD-ish base service time per I/O.
+  constexpr double kBaseIoMs = 0.25;
+  out.io_latency_ms = kBaseIoMs * out.delay_factor;
+  out.queue_depth = iops * out.io_latency_ms / 1000.0;
+  return out;
+}
+
+NetState SolveNet(const ServerConfig& config, const NetDemand& demand) {
+  NetState out;
+  double kb = demand.send_kb + demand.recv_kb;
+  double rho =
+      config.net_max_kb_per_sec > 0.0 ? kb / config.net_max_kb_per_sec : 0.0;
+  out.util = std::min(1.0, rho);
+  out.rtt_ms =
+      (config.net_base_rtt_ms + demand.extra_rtt_ms) * DelayFactor(rho);
+  return out;
+}
+
+LockState SolveLocks(const LockDemand& demand) {
+  LockState out;
+  if (demand.tps <= 0.0 || demand.locks_per_txn <= 0.0) return out;
+  // Probability a single lock request conflicts: other in-flight
+  // transactions holding hot locks, scaled by how concentrated the access
+  // pattern is. The (concurrency - 1) term makes a lone transaction
+  // conflict-free.
+  double others = std::max(0.0, demand.concurrency - 1.0);
+  double hot_locks_held =
+      others * demand.locks_per_txn * demand.hotspot_fraction;
+  // Hot rows available: with hotspot_fraction f, roughly 1/f distinct hot
+  // rows absorb the traffic; fewer rows -> more collisions.
+  double conflict_prob =
+      std::clamp(hot_locks_held * demand.hotspot_fraction *
+                     (demand.hold_ms / (demand.hold_ms + 5.0)),
+                 0.0, 0.95);
+  double waits_per_txn = demand.locks_per_txn * conflict_prob;
+  out.waits_per_sec = waits_per_txn * demand.tps;
+  // Each wait queues behind the holder (and, near saturation, a convoy).
+  double queue_len = 1.0 + conflict_prob * others;
+  out.wait_ms_per_txn = waits_per_txn * demand.hold_ms * queue_len;
+  // Deadlocks need two conflicting waits to cross; quadratic and rare.
+  out.deadlocks_per_sec = 0.01 * out.waits_per_sec * conflict_prob;
+  return out;
+}
+
+BufferPoolModel::BufferPoolModel(const ServerConfig& config)
+    : config_(config) {
+  // Steady state: a modest dirty backlog exists under a write workload.
+  dirty_pages_ = 0.02 * config_.buffer_pool_pages;
+}
+
+BufferPoolModel::TickOutput BufferPoolModel::Update(const TickInput& in) {
+  TickOutput out;
+
+  // --- Miss rate -------------------------------------------------------
+  double working_set =
+      std::max(1.0, in.working_set_fraction * config_.database_pages);
+  double resident_fraction =
+      std::min(1.0, config_.buffer_pool_pages / working_set);
+  // Zipf-ish benefit: caching x% of the working set absorbs more than x%
+  // of accesses.
+  double base_hit = std::pow(resident_fraction, 0.35);
+  // Scan pollution displaces hot pages: effective pool shrinks.
+  double polluted_fraction =
+      std::min(0.8, pollution_pages_ / config_.buffer_pool_pages);
+  double hit = base_hit * (1.0 - 0.5 * polluted_fraction);
+  out.miss_rate = std::clamp(1.0 - hit, 0.0, 1.0);
+  out.hit_rate = 1.0 - out.miss_rate;
+  // Row reads translate to page reads at ~20 rows/page on a miss path.
+  out.pages_read = in.logical_reads * out.miss_rate / 20.0 + in.scan_pages;
+
+  // --- Pollution decay ---------------------------------------------------
+  pollution_pages_ += in.scan_pages;
+  pollution_pages_ *= 0.85;  // hot pages re-warm within ~10s after a scan
+  pollution_pages_ =
+      std::min(pollution_pages_, 0.9 * config_.buffer_pool_pages);
+
+  // --- Dirty pages & flushing -------------------------------------------
+  dirty_pages_ += in.pages_dirtied;
+  double dirty_ratio = dirty_pages_ / config_.buffer_pool_pages;
+  double flush_rate;
+  if (in.force_flush) {
+    flush_rate = config_.max_flush_pages_per_sec * 2.0;  // flush storm
+  } else if (dirty_ratio > config_.dirty_page_flush_threshold) {
+    flush_rate = config_.max_flush_pages_per_sec;
+  } else {
+    // Adaptive flushing keeps pace with the incoming dirty rate.
+    flush_rate = std::min(config_.max_flush_pages_per_sec,
+                          in.pages_dirtied + 0.1 * dirty_pages_);
+  }
+  out.pages_flushed = std::min(dirty_pages_, flush_rate);
+  dirty_pages_ -= out.pages_flushed;
+  out.dirty_pages = dirty_pages_;
+  return out;
+}
+
+RedoLogModel::RedoLogModel(const ServerConfig& config) : config_(config) {
+  pending_kb_ = 0.05 * config_.redo_log_kb;
+}
+
+RedoLogModel::TickOutput RedoLogModel::Update(double kb_in,
+                                              bool force_rotate) {
+  TickOutput out;
+  out.kb_written = kb_in;
+  pending_kb_ += kb_in;
+  // Group-commit fsyncs: ~1 per 16 KB of log, at least 1/s under load.
+  out.flushes = kb_in > 0.0 ? std::max(1.0, kb_in / 16.0) : 0.0;
+  if (force_rotate || pending_kb_ >= config_.redo_log_kb) {
+    out.rotated = true;
+    // Rotation forces a sharp checkpoint: transactions stall while the
+    // engine syncs and switches files.
+    out.stall_ms = 40.0 + 20.0 * (pending_kb_ / config_.redo_log_kb);
+    pending_kb_ = 0.0;
+  }
+  out.pending_kb = pending_kb_;
+  return out;
+}
+
+}  // namespace dbsherlock::simulator

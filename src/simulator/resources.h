@@ -1,0 +1,166 @@
+#ifndef DBSHERLOCK_SIMULATOR_RESOURCES_H_
+#define DBSHERLOCK_SIMULATOR_RESOURCES_H_
+
+#include "simulator/config.h"
+
+namespace dbsherlock::simulator {
+
+// ---------------------------------------------------------------------------
+// CPU
+// ---------------------------------------------------------------------------
+
+/// CPU time demanded during one second, in milliseconds of core time.
+struct CpuDemand {
+  double db_ms = 0.0;          // DBMS query processing
+  double background_ms = 0.0;  // flusher, purge, checkpointing
+  double external_ms = 0.0;    // other processes (e.g. stress-ng)
+};
+
+/// Resolved CPU state for one second.
+struct CpuState {
+  double total_util = 0.0;     // [0,1] across all cores
+  double dbms_util = 0.0;      // DBMS share of total capacity, [0,1]
+  double external_util = 0.0;  // external share, [0,1]
+  double idle_frac = 0.0;      // 1 - total_util - iowait is folded in later
+  /// Multiplier on CPU service time from run-queue contention (>= 1).
+  double delay_factor = 1.0;
+};
+
+/// Resolves CPU contention for one second. The DBMS competes with external
+/// processes for cores; when the run queue saturates, service times stretch
+/// by an M/M/c-style 1/(1-rho) factor (the "nonlinear effects" the paper's
+/// introduction describes).
+CpuState SolveCpu(const ServerConfig& config, const CpuDemand& demand);
+
+// ---------------------------------------------------------------------------
+// Disk
+// ---------------------------------------------------------------------------
+
+struct DiskDemand {
+  double read_iops = 0.0;
+  double write_iops = 0.0;
+  double read_kb = 0.0;
+  double write_kb = 0.0;
+};
+
+struct DiskState {
+  double util = 0.0;         // [0,1], max of IOPS and bandwidth utilization
+  double queue_depth = 0.0;  // outstanding requests (Little's law)
+  double io_latency_ms = 0.0;  // per-I/O latency including queueing
+  double delay_factor = 1.0;   // multiplier on synchronous I/O time
+};
+
+/// Resolves disk contention for one second.
+DiskState SolveDisk(const ServerConfig& config, const DiskDemand& demand);
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+struct NetDemand {
+  double send_kb = 0.0;
+  double recv_kb = 0.0;
+  /// Artificial per-round-trip delay (ms), e.g. Linux `tc netem` 300 ms in
+  /// the Network Congestion anomaly.
+  double extra_rtt_ms = 0.0;
+};
+
+struct NetState {
+  double util = 0.0;    // [0,1] of link bandwidth
+  double rtt_ms = 0.0;  // effective round-trip time seen by clients
+};
+
+/// Resolves network link state for one second.
+NetState SolveNet(const ServerConfig& config, const NetDemand& demand);
+
+// ---------------------------------------------------------------------------
+// Lock manager
+// ---------------------------------------------------------------------------
+
+struct LockDemand {
+  double tps = 0.0;             // transactions entering per second
+  double locks_per_txn = 0.0;   // row locks acquired per transaction
+  double hold_ms = 0.0;         // mean lock hold time
+  double hotspot_fraction = 0.0;  // share of accesses on hot rows, [0,1]
+  double concurrency = 1.0;     // transactions in flight
+};
+
+struct LockState {
+  double waits_per_sec = 0.0;      // lock waits observed per second
+  double wait_ms_per_txn = 0.0;    // average added latency per transaction
+  double deadlocks_per_sec = 0.0;  // rare; grows with contention squared
+};
+
+/// Probabilistic row-lock contention model: the chance a lock request hits
+/// a hot row someone else holds grows with concurrency x hotspot x hold
+/// time, and the resulting wait queues grow super-linearly near saturation.
+LockState SolveLocks(const LockDemand& demand);
+
+// ---------------------------------------------------------------------------
+// Buffer pool (stateful)
+// ---------------------------------------------------------------------------
+
+/// Buffer pool + background flusher. Stateful across ticks: dirty pages
+/// accumulate until the flusher catches up, and sequential scans (backup /
+/// restore) pollute the pool, temporarily raising the miss rate — the
+/// mechanism behind the paper's small-buffer-pool discussion in Sec. 2.4.
+class BufferPoolModel {
+ public:
+  explicit BufferPoolModel(const ServerConfig& config);
+
+  struct TickInput {
+    double logical_reads = 0.0;     // row reads issued this second
+    double pages_dirtied = 0.0;     // pages written by transactions
+    double scan_pages = 0.0;        // sequential scan pages (pollution)
+    double working_set_fraction = 0.12;  // of database_pages
+    bool force_flush = false;       // FLUSH TABLES-style storm
+  };
+
+  struct TickOutput {
+    double miss_rate = 0.0;      // [0,1] of logical reads missing the pool
+    double pages_read = 0.0;     // physical page reads
+    double pages_flushed = 0.0;  // dirty pages written back
+    double dirty_pages = 0.0;    // dirty pages at end of second
+    double hit_rate = 0.0;       // 1 - miss_rate
+  };
+
+  TickOutput Update(const TickInput& in);
+
+  double dirty_pages() const { return dirty_pages_; }
+  double pollution_pages() const { return pollution_pages_; }
+
+ private:
+  ServerConfig config_;
+  double dirty_pages_ = 0.0;
+  double pollution_pages_ = 0.0;  // decays exponentially after scans end
+};
+
+// ---------------------------------------------------------------------------
+// Redo log (stateful)
+// ---------------------------------------------------------------------------
+
+/// Redo log writer. Accumulates log bytes; a full log forces a rotation
+/// (checkpoint stall), and FLUSH LOGS forces one immediately — the paper's
+/// "Log Rotation" causal-model example (Figure 6).
+class RedoLogModel {
+ public:
+  explicit RedoLogModel(const ServerConfig& config);
+
+  struct TickOutput {
+    double kb_written = 0.0;
+    double flushes = 0.0;     // fsync batches issued
+    double pending_kb = 0.0;  // log occupancy after this second
+    bool rotated = false;
+    double stall_ms = 0.0;  // latency added to transactions this second
+  };
+
+  TickOutput Update(double kb_in, bool force_rotate);
+
+ private:
+  ServerConfig config_;
+  double pending_kb_ = 0.0;
+};
+
+}  // namespace dbsherlock::simulator
+
+#endif  // DBSHERLOCK_SIMULATOR_RESOURCES_H_

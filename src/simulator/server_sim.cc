@@ -1,0 +1,365 @@
+#include "simulator/server_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbsherlock::simulator {
+
+TickEffects ComputeEffects(const std::vector<AnomalyEvent>& events,
+                           double t) {
+  TickEffects fx;
+  for (const AnomalyEvent& ev : events) {
+    if (!ev.ActiveAt(t)) continue;
+    double m = ev.EffectiveMagnitude(t);
+    switch (ev.kind) {
+      case AnomalyKind::kPoorlyWrittenQuery:
+        // A JOIN missing its index: the executor grinds through hundreds
+        // of thousands of rows per second and burns DBMS CPU, exactly the
+        // "next-row-read-requests + DBMS CPU" signature in the paper's
+        // introduction.
+        fx.extra_logical_reads += 500000.0 * m;
+        fx.extra_db_cpu_ms += 1800.0 * m;
+        fx.extra_full_table_scans += 8.0 * m;
+        fx.extra_tmp_tables += 6.0 * m;
+        fx.scan_pages += 300.0 * m;
+        break;
+      case AnomalyKind::kPoorPhysicalDesign:
+        // An unnecessary index on insert-heavy tables: every INSERT also
+        // maintains the extra B-tree (index page writes + CPU).
+        fx.index_write_amplification += 1.0 * m;
+        fx.extra_cpu_per_txn_ms += 0.35 * m;
+        break;
+      case AnomalyKind::kWorkloadSpike:
+        // OLTPBench with 128 extra terminals at a huge target rate
+        // (50,000 tps in the paper — far beyond what the server absorbs).
+        fx.tps_multiplier *= 1.0 + 3.5 * m;
+        fx.extra_terminals += 128;
+        break;
+      case AnomalyKind::kIoSaturation:
+        // stress-ng spinning on write()/unlink()/sync().
+        fx.extra_disk_write_iops += 3500.0 * m;
+        fx.extra_disk_write_kb += 60.0 * 1024.0 * m;
+        fx.extra_external_cpu_ms += 250.0 * m;
+        break;
+      case AnomalyKind::kDatabaseBackup:
+        // mysqldump streams the database to the client machine: large
+        // sequential reads + sustained network egress + pool pollution.
+        fx.extra_disk_read_kb += 70.0 * 1024.0 * m;
+        fx.extra_disk_read_iops += 800.0 * m;
+        fx.scan_pages += 70.0 * 1024.0 / 16.0 * m;
+        fx.extra_net_send_kb += 65.0 * 1024.0 * m;
+        fx.extra_db_cpu_ms += 300.0 * m;
+        break;
+      case AnomalyKind::kTableRestore:
+        // Re-loading the dumped history table: bulk INSERTs arriving over
+        // the network, heavy logging and page dirtying.
+        fx.extra_net_recv_kb += 30.0 * 1024.0 * m;
+        fx.extra_rows_written += 50000.0 * m;
+        fx.extra_inserts += 1500.0 * m;
+        fx.extra_pages_dirtied += 2500.0 * m;
+        fx.extra_log_kb += 25.0 * 1024.0 * m;
+        fx.extra_db_cpu_ms += 700.0 * m;
+        fx.extra_logical_reads += 60000.0 * m;
+        break;
+      case AnomalyKind::kCpuSaturation:
+        // stress-ng poll() hog occupying most cores.
+        fx.extra_external_cpu_ms += 3400.0 * m;
+        break;
+      case AnomalyKind::kFlushLogTable:
+        // mysqladmin flush-logs + refresh: flush storm, closed tables
+        // (pool re-warm) and forced log rotation.
+        fx.force_flush = true;
+        fx.force_log_rotate = true;
+        fx.scan_pages += 1500.0 * m;
+        fx.extra_disk_write_iops += 500.0 * m;
+        // 'refresh' closes every table; reopening rewrites headers and
+        // re-dirties previously clean pages, so the flush storm keeps
+        // finding work each second.
+        fx.extra_pages_dirtied += 2000.0 * m;
+        break;
+      case AnomalyKind::kNetworkCongestion:
+        // tc netem adds 300 ms to every round trip.
+        fx.extra_rtt_ms += 300.0 * m;
+        break;
+      case AnomalyKind::kLockContention:
+        // NewOrder against a single warehouse+district: all writers
+        // funnel into the same district row counters.
+        fx.hotspot_override = std::min(0.95, 0.28 * m);
+        fx.lock_hold_multiplier *= 1.5;
+        break;
+    }
+  }
+  return fx;
+}
+
+ServerSimulator::ServerSimulator(ServerConfig config, WorkloadSpec workload,
+                                 uint64_t seed)
+    : config_(config),
+      workload_(std::move(workload)),
+      rng_(seed, 0xdb5e),
+      buffer_pool_(config),
+      redo_log_(config),
+      last_tps_(workload_.base_tps) {}
+
+double ServerSimulator::Noisy(double value) {
+  double noisy = value * (1.0 + config_.metric_noise * rng_.NextGaussian());
+  return noisy < 0.0 ? 0.0 : noisy;
+}
+
+Metrics ServerSimulator::Tick(const std::vector<AnomalyEvent>& events) {
+  const double t = now_sec_;
+  TickEffects fx = ComputeEffects(events, t);
+
+  // --- Offered load --------------------------------------------------------
+  if (!workload_.load_trace.empty()) {
+    // Recorded profile replayed cyclically (plus the per-metric noise).
+    size_t slot = static_cast<size_t>(t) % workload_.load_trace.size();
+    load_factor_ = workload_.load_trace[slot];
+  } else {
+    // Slow random walk: request rates wander over minutes, so a run's
+    // "normal" period is non-stationary (nobody replays traffic at a flat
+    // rate). Fast jitter on top.
+    load_factor_ =
+        0.97 * load_factor_ + 0.03 * (1.0 + 0.6 * rng_.NextGaussian());
+    load_factor_ = std::clamp(load_factor_, 0.65, 1.45);
+  }
+  double offered_tps = workload_.base_tps * load_factor_ * fx.tps_multiplier;
+  int terminals = workload_.terminals + fx.extra_terminals;
+
+  // --- Transient micro-hiccups --------------------------------------------
+  // Production telemetry is heavy-tailed even when "nothing is wrong":
+  // cron jobs, kernel writeback, TCP retransmits, purge bursts. These 1-2
+  // second blips are the fluctuation noise Section 3 of the paper calls
+  // out; they land inside user-selected normal regions and are what the
+  // partition filtering step has to survive.
+  if (rng_.NextBernoulli(config_.hiccup_probability)) {
+    switch (rng_.NextBounded(5)) {
+      case 0:  // kernel writeback / cron I/O burst
+        fx.extra_disk_write_iops += rng_.NextDouble(500.0, 2500.0);
+        fx.extra_disk_write_kb += rng_.NextDouble(4096.0, 32768.0);
+        break;
+      case 1:  // background job briefly grabbing a core or two
+        fx.extra_external_cpu_ms += rng_.NextDouble(400.0, 1600.0);
+        break;
+      case 2:  // network blip: retransmits inflate RTT for a second
+        fx.extra_rtt_ms += rng_.NextDouble(2.0, 25.0);
+        break;
+      case 3:  // purge/history cleanup grabbing row locks
+        fx.lock_hold_multiplier *= rng_.NextDouble(1.3, 2.5);
+        break;
+      case 4:  // batch read: a reporting query scans a table
+        fx.extra_logical_reads += rng_.NextDouble(20000.0, 120000.0);
+        fx.extra_db_cpu_ms += rng_.NextDouble(100.0, 500.0);
+        fx.scan_pages += rng_.NextDouble(100.0, 600.0);
+        fx.extra_full_table_scans += rng_.NextDouble(1.0, 3.0);
+        break;
+    }
+  }
+
+  // --- Per-transaction mix averages --------------------------------------
+  double cpu_per_txn =
+      workload_.MixAverage(&TransactionProfile::cpu_ms) + fx.extra_cpu_per_txn_ms;
+  double reads_per_txn = workload_.MixAverage(&TransactionProfile::logical_reads);
+  double writes_per_txn = workload_.MixAverage(&TransactionProfile::rows_written);
+  double selects_per_txn = workload_.MixAverage(&TransactionProfile::selects);
+  double updates_per_txn = workload_.MixAverage(&TransactionProfile::updates);
+  double inserts_per_txn = workload_.MixAverage(&TransactionProfile::inserts);
+  double deletes_per_txn = workload_.MixAverage(&TransactionProfile::deletes);
+  double log_kb_per_txn = workload_.MixAverage(&TransactionProfile::log_kb);
+  double send_kb_per_txn = workload_.MixAverage(&TransactionProfile::net_send_kb);
+  double recv_kb_per_txn = workload_.MixAverage(&TransactionProfile::net_recv_kb);
+  double locks_per_txn = workload_.MixAverage(&TransactionProfile::locks_acquired);
+  double hold_ms = workload_.MixAverage(&TransactionProfile::lock_hold_ms) *
+                   fx.lock_hold_multiplier;
+  double round_trips = workload_.MixAverage(&TransactionProfile::round_trips);
+  double hotspot = fx.hotspot_override >= 0.0 ? fx.hotspot_override
+                                              : workload_.hotspot_fraction;
+
+  // --- Buffer pool (stateful; uses last second's committed tps) ----------
+  BufferPoolModel::TickInput bp_in;
+  bp_in.logical_reads = last_tps_ * reads_per_txn + fx.extra_logical_reads;
+  bp_in.pages_dirtied = last_tps_ * writes_per_txn / 8.0 +
+                        last_tps_ * inserts_per_txn * fx.index_write_amplification +
+                        fx.extra_pages_dirtied;
+  bp_in.scan_pages = fx.scan_pages;
+  bp_in.working_set_fraction = workload_.working_set_fraction;
+  bp_in.force_flush = fx.force_flush;
+  BufferPoolModel::TickOutput bp = buffer_pool_.Update(bp_in);
+
+  // --- Redo log (stateful) ------------------------------------------------
+  RedoLogModel::TickOutput log = redo_log_.Update(
+      last_tps_ * log_kb_per_txn + fx.extra_log_kb, fx.force_log_rotate);
+
+  // --- Fixed point: latency <-> concurrency <-> contention ---------------
+  double latency_ms = 5.0;
+  double tps = offered_tps;
+  CpuState cpu;
+  DiskState disk;
+  NetState net;
+  LockState locks;
+  double miss_pages_per_txn = reads_per_txn * bp.miss_rate / 20.0;
+
+  double server_latency_ms = latency_ms;
+  for (int iter = 0; iter < 6; ++iter) {
+    // Closed-loop admission: `terminals` clients each hold at most one
+    // in-flight transaction (Little's law).
+    double latency_sec = std::max(latency_ms, 0.1) / 1000.0;
+    tps = std::min(offered_tps, static_cast<double>(terminals) / latency_sec);
+    // Lock contention is driven by transactions resident *on the server*
+    // (executing or lock-waiting). Time spent in network transit holds no
+    // locks and occupies no executor thread.
+    server_latency_ms =
+        std::max(0.5, latency_ms - round_trips * net.rtt_ms);
+    double concurrency = std::min(static_cast<double>(terminals),
+                                  offered_tps * server_latency_ms / 1000.0);
+
+    CpuDemand cpu_demand;
+    cpu_demand.db_ms = tps * cpu_per_txn + fx.extra_db_cpu_ms;
+    cpu_demand.background_ms = bp.pages_flushed * 0.02 + log.flushes * 0.05;
+    cpu_demand.external_ms = fx.extra_external_cpu_ms;
+    cpu = SolveCpu(config_, cpu_demand);
+
+    DiskDemand disk_demand;
+    disk_demand.read_iops = bp.pages_read + fx.extra_disk_read_iops;
+    disk_demand.write_iops =
+        bp.pages_flushed + log.flushes + fx.extra_disk_write_iops;
+    disk_demand.read_kb = bp.pages_read * 16.0 + fx.extra_disk_read_kb;
+    disk_demand.write_kb = bp.pages_flushed * 16.0 + log.kb_written +
+                           fx.extra_disk_write_kb;
+    disk = SolveDisk(config_, disk_demand);
+
+    NetDemand net_demand;
+    net_demand.send_kb = tps * send_kb_per_txn + fx.extra_net_send_kb;
+    net_demand.recv_kb = tps * recv_kb_per_txn + fx.extra_net_recv_kb;
+    net_demand.extra_rtt_ms = fx.extra_rtt_ms;
+    net = SolveNet(config_, net_demand);
+
+    LockDemand lock_demand;
+    lock_demand.tps = tps;
+    lock_demand.locks_per_txn = locks_per_txn;
+    lock_demand.hold_ms = hold_ms;
+    lock_demand.hotspot_fraction = hotspot;
+    lock_demand.concurrency = concurrency;
+    locks = SolveLocks(lock_demand);
+
+    latency_ms = cpu_per_txn * cpu.delay_factor +
+                 miss_pages_per_txn * disk.io_latency_ms +
+                 round_trips * net.rtt_ms + locks.wait_ms_per_txn +
+                 log.stall_ms * 0.5;
+  }
+
+  // Server-resident transactions (executing or lock-waiting).
+  double concurrency = std::min(static_cast<double>(terminals),
+                                offered_tps * server_latency_ms / 1000.0);
+
+  // Requests the server could not admit pile up at the clients.
+  client_backlog_ += offered_tps - tps;
+  client_backlog_ = std::max(0.0, client_backlog_ * 0.7);
+
+  // --- OS memory accounting ----------------------------------------------
+  page_cache_pages_ +=
+      (disk.util > 0.0 ? (fx.extra_disk_read_kb + fx.extra_disk_write_kb) / 16.0
+                       : 0.0) *
+      0.05;
+  page_cache_pages_ = std::min(page_cache_pages_ * 0.95 + 2000.0,
+                               0.25 * config_.total_pages);
+  double process_pages = 0.05 * config_.total_pages;
+  double allocated =
+      std::min(0.98 * config_.total_pages,
+               config_.buffer_pool_pages + page_cache_pages_ + process_pages);
+
+  // --- Assemble the telemetry row -----------------------------------------
+  Metrics m;
+  m.avg_latency_ms = Noisy(latency_ms);
+  double max_util = std::max({cpu.total_util, disk.util, net.util});
+  m.p99_latency_ms = Noisy(latency_ms * (2.5 + 5.0 * max_util));
+  m.throughput_tps = Noisy(tps);
+  m.num_selects = Noisy(tps * selects_per_txn + fx.extra_full_table_scans);
+  m.num_updates = Noisy(tps * updates_per_txn);
+  m.num_inserts = Noisy(tps * inserts_per_txn + fx.extra_inserts);
+  m.num_deletes = Noisy(tps * deletes_per_txn);
+  m.logical_reads = Noisy(tps * reads_per_txn + fx.extra_logical_reads);
+  m.rows_written = Noisy(tps * writes_per_txn + fx.extra_rows_written);
+  // OLTP transactions hit indexes; scans and tmp tables come from ad-hoc
+  // queries (anomalies, hiccups), not from the rate of well-tuned
+  // transactions.
+  m.full_table_scans = Noisy(fx.extra_full_table_scans + 0.2);
+  m.tmp_tables_created = Noisy(fx.extra_tmp_tables + 2.0);
+
+  double iowait = std::min(0.4, disk.util * 0.25) *
+                  (1.0 - cpu.total_util);  // waiting only while not busy
+  m.os_cpu_usage = Noisy(100.0 * cpu.total_util);
+  m.os_cpu_iowait = Noisy(100.0 * iowait);
+  m.os_cpu_idle =
+      std::max(0.0, 100.0 - m.os_cpu_usage - m.os_cpu_iowait);
+  m.os_cpu_user = Noisy(100.0 * cpu.total_util * 0.8);
+  m.os_cpu_system = Noisy(100.0 * cpu.total_util * 0.2);
+  m.dbms_cpu_usage = Noisy(100.0 * cpu.dbms_util);
+
+  m.os_context_switches =
+      Noisy(tps * round_trips * 4.0 + concurrency * 120.0 +
+            (fx.extra_external_cpu_ms > 0.0 ? 20000.0 : 0.0));
+  m.os_page_faults = Noisy(bp.pages_read * 0.3 + 200.0);
+  m.os_allocated_pages = Noisy(allocated);
+  m.os_free_pages = std::max(0.0, config_.total_pages - m.os_allocated_pages);
+  m.os_used_swap_kb = Noisy(1024.0);
+  m.os_free_swap_kb = std::max(0.0, 2.0 * 1024.0 * 1024.0 - m.os_used_swap_kb);
+
+  m.disk_read_iops = Noisy(bp.pages_read + fx.extra_disk_read_iops);
+  m.disk_write_iops =
+      Noisy(bp.pages_flushed + log.flushes + fx.extra_disk_write_iops);
+  m.disk_read_kb = Noisy(bp.pages_read * 16.0 + fx.extra_disk_read_kb);
+  m.disk_write_kb =
+      Noisy(bp.pages_flushed * 16.0 + log.kb_written + fx.extra_disk_write_kb);
+  m.disk_queue_depth = Noisy(disk.queue_depth);
+  m.disk_util = Noisy(100.0 * disk.util);
+
+  double send_kb = tps * send_kb_per_txn + fx.extra_net_send_kb;
+  double recv_kb = tps * recv_kb_per_txn + fx.extra_net_recv_kb;
+  m.net_send_kb = Noisy(send_kb);
+  m.net_recv_kb = Noisy(recv_kb);
+  m.net_packets_sent = Noisy(send_kb / 1.4);  // ~1.4 KB per packet
+  m.net_packets_recv = Noisy(recv_kb / 1.4);
+
+  m.buffer_pool_hit_rate = Noisy(100.0 * bp.hit_rate);
+  m.buffer_pool_dirty_pages = Noisy(bp.dirty_pages);
+  m.pages_flushed = Noisy(bp.pages_flushed);
+  m.pages_read = Noisy(bp.pages_read);
+  m.pages_written = Noisy(bp.pages_flushed +
+                          last_tps_ * inserts_per_txn *
+                              fx.index_write_amplification);
+  m.index_pages_written =
+      Noisy(last_tps_ * inserts_per_txn * (0.05 + fx.index_write_amplification));
+
+  m.lock_waits = Noisy(locks.waits_per_sec);
+  m.lock_wait_time_ms = Noisy(locks.wait_ms_per_txn * tps);
+  m.deadlocks = Noisy(locks.deadlocks_per_sec);
+  m.running_threads = Noisy(concurrency + 8.0);
+  m.active_connections = Noisy(static_cast<double>(terminals));
+  m.client_wait_time_ms =
+      Noisy(client_backlog_ * latency_ms + concurrency * net.rtt_ms);
+
+  m.log_kb_written = Noisy(log.kb_written);
+  m.log_flushes = Noisy(log.flushes);
+  m.log_pending_kb = Noisy(log.pending_kb);
+
+  // --- Categorical attributes ---------------------------------------------
+  double read_stmts = m.num_selects;
+  double write_stmts = m.num_updates + m.num_inserts + m.num_deletes;
+  if (m.full_table_scans > 5.0) {
+    m.dominant_statement = "scan";
+  } else if (read_stmts > 2.0 * write_stmts) {
+    m.dominant_statement = "read_heavy";
+  } else if (write_stmts > 1.5 * read_stmts) {
+    m.dominant_statement = "write_heavy";
+  } else {
+    m.dominant_statement = "mixed";
+  }
+  m.server_profile = config_.server_profile;
+
+  last_tps_ = tps;
+  now_sec_ += 1.0;
+  return m;
+}
+
+}  // namespace dbsherlock::simulator

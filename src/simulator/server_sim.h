@@ -1,0 +1,91 @@
+#ifndef DBSHERLOCK_SIMULATOR_SERVER_SIM_H_
+#define DBSHERLOCK_SIMULATOR_SERVER_SIM_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "simulator/anomaly.h"
+#include "simulator/config.h"
+#include "simulator/metric_schema.h"
+#include "simulator/resources.h"
+#include "simulator/workload.h"
+
+namespace dbsherlock::simulator {
+
+/// The per-second perturbation derived from the set of active anomalies.
+/// Exposed separately from the simulator so tests can verify the
+/// anomaly -> effect mapping directly.
+struct TickEffects {
+  double tps_multiplier = 1.0;
+  int extra_terminals = 0;
+  double hotspot_override = -1.0;   // <0 keeps the workload's own value
+  double lock_hold_multiplier = 1.0;
+  double extra_db_cpu_ms = 0.0;      // e.g. the poorly written JOIN
+  double extra_external_cpu_ms = 0.0;  // stress-ng CPU hog
+  double extra_logical_reads = 0.0;  // next-row read requests
+  double extra_full_table_scans = 0.0;
+  double extra_tmp_tables = 0.0;
+  double extra_disk_read_kb = 0.0;
+  double extra_disk_write_kb = 0.0;
+  double extra_disk_read_iops = 0.0;
+  double extra_disk_write_iops = 0.0;
+  double scan_pages = 0.0;           // buffer-pool-polluting page reads
+  double extra_net_send_kb = 0.0;
+  double extra_net_recv_kb = 0.0;
+  double extra_rtt_ms = 0.0;         // tc netem-style delay
+  double extra_rows_written = 0.0;   // bulk restore rows
+  double extra_inserts = 0.0;        // bulk restore INSERT statements
+  double extra_pages_dirtied = 0.0;
+  double extra_log_kb = 0.0;
+  double index_write_amplification = 0.0;  // extra index pages per insert
+  double extra_cpu_per_txn_ms = 0.0;
+  bool force_flush = false;          // FLUSH TABLES / FLUSH LOGS
+  bool force_log_rotate = false;
+};
+
+/// Folds all anomalies active at time `t` into one TickEffects.
+TickEffects ComputeEffects(const std::vector<AnomalyEvent>& events, double t);
+
+/// A discrete-time simulator of a MySQL-like OLTP server under a
+/// closed-loop client workload. Each Tick() advances one simulated second
+/// and emits the telemetry row DBSeer would have collected (Section 2.1).
+///
+/// The model resolves CPU / disk / network / lock contention with simple
+/// queueing formulas and a short fixed-point iteration between latency and
+/// concurrency (Little's law), which yields the nonlinear saturation
+/// behaviour the paper's anomalies rely on.
+class ServerSimulator {
+ public:
+  ServerSimulator(ServerConfig config, WorkloadSpec workload, uint64_t seed);
+
+  /// Advances one second and returns that second's telemetry. `events` is
+  /// the full anomaly schedule; the simulator applies whichever are active.
+  Metrics Tick(const std::vector<AnomalyEvent>& events);
+
+  double now_sec() const { return now_sec_; }
+  const WorkloadSpec& workload() const { return workload_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  /// Applies multiplicative measurement noise and clamps at zero.
+  double Noisy(double value);
+
+  ServerConfig config_;
+  WorkloadSpec workload_;
+  common::Pcg32 rng_;
+  BufferPoolModel buffer_pool_;
+  RedoLogModel redo_log_;
+  double now_sec_ = 0.0;
+  /// AR(1) demand drift so "normal" load is realistically wavy.
+  double load_factor_ = 1.0;
+  /// Previous second's committed tps (used to lag buffer-pool demand).
+  double last_tps_;
+  /// Backlogged client requests (requests the server could not admit).
+  double client_backlog_ = 0.0;
+  /// OS page cache occupancy in pages (grows with disk traffic).
+  double page_cache_pages_ = 0.0;
+};
+
+}  // namespace dbsherlock::simulator
+
+#endif  // DBSHERLOCK_SIMULATOR_SERVER_SIM_H_

@@ -1,0 +1,254 @@
+#include "simulator/workload.h"
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace dbsherlock::simulator {
+
+common::Result<std::vector<double>> LoadTraceFromCsv(const std::string& text) {
+  auto parsed = common::ParseCsv(text, /*has_header=*/true);
+  if (!parsed.ok()) return parsed.status();
+  const common::CsvTable& table = *parsed;
+  if (table.header.empty() || table.header.size() > 2) {
+    return common::Status::InvalidArgument(
+        "load trace needs 1 column (multiplier) or 2 (second,multiplier)");
+  }
+  bool has_seconds = table.header.size() == 2;
+  std::vector<double> trace;
+  trace.reserve(table.rows.size());
+  for (size_t i = 0; i < table.rows.size(); ++i) {
+    const auto& row = table.rows[i];
+    if (has_seconds) {
+      auto second = common::ParseDouble(row[0]);
+      if (!second.ok()) return second.status();
+      if (*second != static_cast<double>(i)) {
+        return common::Status::InvalidArgument(common::StrFormat(
+            "trace seconds must be 0,1,2,...; row %zu has %g", i, *second));
+      }
+    }
+    auto multiplier = common::ParseDouble(row[has_seconds ? 1 : 0]);
+    if (!multiplier.ok()) return multiplier.status();
+    if (*multiplier <= 0.0) {
+      return common::Status::InvalidArgument(
+          common::StrFormat("non-positive multiplier at row %zu", i));
+    }
+    trace.push_back(*multiplier);
+  }
+  if (trace.empty()) {
+    return common::Status::InvalidArgument("empty load trace");
+  }
+  return trace;
+}
+
+double WorkloadSpec::TotalWeight() const {
+  double total = 0.0;
+  for (const auto& t : transactions) total += t.mix_weight;
+  return total;
+}
+
+double WorkloadSpec::MixAverage(double TransactionProfile::*field) const {
+  double total = TotalWeight();
+  if (total <= 0.0) return 0.0;
+  double acc = 0.0;
+  for (const auto& t : transactions) acc += t.mix_weight * (t.*field);
+  return acc / total;
+}
+
+WorkloadSpec MakeTpccWorkload() {
+  WorkloadSpec w;
+  w.name = "tpcc";
+  w.terminals = 128;
+  w.base_tps = 900.0;
+  w.hotspot_fraction = 0.02;
+  w.working_set_fraction = 0.12;
+
+  TransactionProfile new_order;
+  new_order.name = "NewOrder";
+  new_order.mix_weight = 45.0;
+  new_order.cpu_ms = 0.9;
+  new_order.logical_reads = 70.0;
+  new_order.rows_written = 12.0;
+  new_order.selects = 10.0;
+  new_order.updates = 4.0;
+  new_order.inserts = 12.0;
+  new_order.deletes = 0.0;
+  new_order.log_kb = 4.0;
+  new_order.net_send_kb = 1.5;
+  new_order.net_recv_kb = 1.0;
+  new_order.locks_acquired = 14.0;
+  new_order.lock_hold_ms = 1.2;
+  new_order.round_trips = 2.0;
+
+  TransactionProfile payment;
+  payment.name = "Payment";
+  payment.mix_weight = 43.0;
+  payment.cpu_ms = 0.4;
+  payment.logical_reads = 12.0;
+  payment.rows_written = 4.0;
+  payment.selects = 3.0;
+  payment.updates = 3.0;
+  payment.inserts = 1.0;
+  payment.deletes = 0.0;
+  payment.log_kb = 1.5;
+  payment.net_send_kb = 0.6;
+  payment.net_recv_kb = 0.4;
+  payment.locks_acquired = 6.0;
+  payment.lock_hold_ms = 0.8;
+  payment.round_trips = 1.5;
+
+  TransactionProfile order_status;
+  order_status.name = "OrderStatus";
+  order_status.mix_weight = 4.0;
+  order_status.cpu_ms = 0.3;
+  order_status.logical_reads = 25.0;
+  order_status.rows_written = 0.0;
+  order_status.selects = 4.0;
+  order_status.updates = 0.0;
+  order_status.inserts = 0.0;
+  order_status.deletes = 0.0;
+  order_status.log_kb = 0.0;
+  order_status.net_send_kb = 1.2;
+  order_status.net_recv_kb = 0.3;
+  order_status.locks_acquired = 0.0;
+  order_status.lock_hold_ms = 0.0;
+  order_status.round_trips = 1.0;
+
+  TransactionProfile delivery;
+  delivery.name = "Delivery";
+  delivery.mix_weight = 4.0;
+  delivery.cpu_ms = 1.2;
+  delivery.logical_reads = 130.0;
+  delivery.rows_written = 30.0;
+  delivery.selects = 12.0;
+  delivery.updates = 20.0;
+  delivery.inserts = 0.0;
+  delivery.deletes = 10.0;
+  delivery.log_kb = 6.0;
+  delivery.net_send_kb = 0.4;
+  delivery.net_recv_kb = 0.3;
+  delivery.locks_acquired = 40.0;
+  delivery.lock_hold_ms = 2.0;
+  delivery.round_trips = 1.0;
+
+  TransactionProfile stock_level;
+  stock_level.name = "StockLevel";
+  stock_level.mix_weight = 4.0;
+  stock_level.cpu_ms = 1.0;
+  stock_level.logical_reads = 200.0;
+  stock_level.rows_written = 0.0;
+  stock_level.selects = 2.0;
+  stock_level.updates = 0.0;
+  stock_level.inserts = 0.0;
+  stock_level.deletes = 0.0;
+  stock_level.log_kb = 0.0;
+  stock_level.net_send_kb = 0.5;
+  stock_level.net_recv_kb = 0.2;
+  stock_level.locks_acquired = 0.0;
+  stock_level.lock_hold_ms = 0.0;
+  stock_level.round_trips = 1.0;
+
+  w.transactions = {new_order, payment, order_status, delivery, stock_level};
+  return w;
+}
+
+WorkloadSpec MakeTpceWorkload() {
+  WorkloadSpec w;
+  w.name = "tpce";
+  w.terminals = 128;
+  w.base_tps = 700.0;
+  // TPC-E reads are spread over many more tables and customers: milder
+  // hotspot, larger working set, far fewer writes per transaction.
+  w.hotspot_fraction = 0.005;
+  w.working_set_fraction = 0.20;
+
+  TransactionProfile trade_order;
+  trade_order.name = "TradeOrder";
+  trade_order.mix_weight = 10.0;
+  trade_order.cpu_ms = 1.0;
+  trade_order.logical_reads = 60.0;
+  trade_order.rows_written = 8.0;
+  trade_order.selects = 12.0;
+  trade_order.updates = 3.0;
+  trade_order.inserts = 5.0;
+  trade_order.deletes = 0.0;
+  trade_order.log_kb = 3.0;
+  trade_order.net_send_kb = 1.2;
+  trade_order.net_recv_kb = 0.8;
+  trade_order.locks_acquired = 8.0;
+  trade_order.lock_hold_ms = 0.8;
+  trade_order.round_trips = 2.0;
+
+  TransactionProfile trade_lookup;
+  trade_lookup.name = "TradeLookup";
+  trade_lookup.mix_weight = 30.0;
+  trade_lookup.cpu_ms = 0.8;
+  trade_lookup.logical_reads = 150.0;
+  trade_lookup.rows_written = 0.0;
+  trade_lookup.selects = 8.0;
+  trade_lookup.updates = 0.0;
+  trade_lookup.inserts = 0.0;
+  trade_lookup.deletes = 0.0;
+  trade_lookup.log_kb = 0.0;
+  trade_lookup.net_send_kb = 2.5;
+  trade_lookup.net_recv_kb = 0.3;
+  trade_lookup.locks_acquired = 0.0;
+  trade_lookup.lock_hold_ms = 0.0;
+  trade_lookup.round_trips = 1.5;
+
+  TransactionProfile market_watch;
+  market_watch.name = "MarketWatch";
+  market_watch.mix_weight = 40.0;
+  market_watch.cpu_ms = 0.5;
+  market_watch.logical_reads = 90.0;
+  market_watch.rows_written = 0.0;
+  market_watch.selects = 5.0;
+  market_watch.updates = 0.0;
+  market_watch.inserts = 0.0;
+  market_watch.deletes = 0.0;
+  market_watch.log_kb = 0.0;
+  market_watch.net_send_kb = 1.8;
+  market_watch.net_recv_kb = 0.2;
+  market_watch.locks_acquired = 0.0;
+  market_watch.lock_hold_ms = 0.0;
+  market_watch.round_trips = 1.0;
+
+  TransactionProfile trade_update;
+  trade_update.name = "TradeUpdate";
+  trade_update.mix_weight = 10.0;
+  trade_update.cpu_ms = 1.1;
+  trade_update.logical_reads = 80.0;
+  trade_update.rows_written = 6.0;
+  trade_update.selects = 6.0;
+  trade_update.updates = 6.0;
+  trade_update.inserts = 0.0;
+  trade_update.deletes = 0.0;
+  trade_update.log_kb = 2.5;
+  trade_update.net_send_kb = 1.0;
+  trade_update.net_recv_kb = 0.6;
+  trade_update.locks_acquired = 6.0;
+  trade_update.lock_hold_ms = 0.9;
+  trade_update.round_trips = 1.5;
+
+  TransactionProfile market_feed;
+  market_feed.name = "MarketFeed";
+  market_feed.mix_weight = 10.0;
+  market_feed.cpu_ms = 0.7;
+  market_feed.logical_reads = 40.0;
+  market_feed.rows_written = 10.0;
+  market_feed.selects = 2.0;
+  market_feed.updates = 10.0;
+  market_feed.inserts = 0.0;
+  market_feed.deletes = 0.0;
+  market_feed.log_kb = 2.0;
+  market_feed.net_send_kb = 0.4;
+  market_feed.net_recv_kb = 1.5;
+  market_feed.locks_acquired = 10.0;
+  market_feed.lock_hold_ms = 0.6;
+  market_feed.round_trips = 1.0;
+
+  w.transactions = {trade_order, trade_lookup, market_watch, trade_update,
+                    market_feed};
+  return w;
+}
+
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,89 @@
+#ifndef DBSHERLOCK_SIMULATOR_WORKLOAD_H_
+#define DBSHERLOCK_SIMULATOR_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsherlock::simulator {
+
+/// Resource profile of one transaction type: what executing one instance of
+/// the transaction demands from each server resource. These numbers shape
+/// per-class metric signatures; absolute values are calibrated so the
+/// default TPC-C mix at the default rate leaves the simulated server at
+/// moderate (~35-50%) utilization, like the paper's normal periods.
+struct TransactionProfile {
+  std::string name;
+  /// Fraction of transactions of this type in the mix (mix need not be
+  /// normalized; weights are relative).
+  double mix_weight = 1.0;
+  /// CPU time consumed per transaction, milliseconds.
+  double cpu_ms = 0.5;
+  /// Rows touched (MySQL's "next row read requests" / logical reads).
+  double logical_reads = 30.0;
+  /// Rows written (insert/update/delete row operations).
+  double rows_written = 5.0;
+  /// SQL statement counts per transaction.
+  double selects = 3.0;
+  double updates = 2.0;
+  double inserts = 1.0;
+  double deletes = 0.0;
+  /// Redo log bytes generated (KB).
+  double log_kb = 2.0;
+  /// Network payload exchanged with the client (KB each way).
+  double net_send_kb = 1.0;
+  double net_recv_kb = 0.5;
+  /// Row locks acquired and mean hold time.
+  double locks_acquired = 6.0;
+  double lock_hold_ms = 1.0;
+  /// Client round trips (each pays the network RTT).
+  double round_trips = 2.0;
+};
+
+/// A transactional workload: a mix of transaction profiles plus an offered
+/// load. Mirrors the paper's OLTPBench setup (TPC-C, scale 500, 128
+/// terminals; TPC-E variant in Appendix A).
+struct WorkloadSpec {
+  std::string name;
+  std::vector<TransactionProfile> transactions;
+  /// Simulated client terminals; caps concurrency (closed-loop clients).
+  int terminals = 128;
+  /// Offered transactions per second under normal operation.
+  double base_tps = 900.0;
+  /// Fraction of row accesses that concentrate on "hot" rows; drives
+  /// baseline lock contention. TPC-C district counters give a mild skew.
+  double hotspot_fraction = 0.02;
+  /// Working set as a fraction of the database actively touched; with the
+  /// buffer pool smaller than the DB this sets the steady-state miss rate.
+  double working_set_fraction = 0.12;
+  /// Optional recorded load profile: per-second multipliers on base_tps
+  /// (e.g. exported from production monitoring). When non-empty it
+  /// replaces the simulator's random-walk load drift, repeating cyclically
+  /// past its end — so DBSherlock can be exercised against real traffic
+  /// shapes.
+  std::vector<double> load_trace;
+
+  /// Sum of mix weights (for normalization).
+  double TotalWeight() const;
+  /// Weighted average of a per-transaction quantity.
+  double MixAverage(double TransactionProfile::*field) const;
+};
+
+/// Parses a load trace from CSV text: either a single `multiplier` column
+/// or two columns `second,multiplier` (seconds must then be 0,1,2,...).
+/// Multipliers must be positive.
+common::Result<std::vector<double>> LoadTraceFromCsv(const std::string& text);
+
+/// The TPC-C-like mix used in Section 8: five transaction types with
+/// NewOrder/Payment write-heavy dominance.
+WorkloadSpec MakeTpccWorkload();
+
+/// The TPC-E-like mix of Appendix A: markedly more read-intensive
+/// (the paper cites TPC-E's read-heavy profile as the reason 'Poor Physical
+/// Design' and 'Lock Contention' become harder to tell apart).
+WorkloadSpec MakeTpceWorkload();
+
+}  // namespace dbsherlock::simulator
+
+#endif  // DBSHERLOCK_SIMULATOR_WORKLOAD_H_

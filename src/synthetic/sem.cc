@@ -1,0 +1,154 @@
+#include "synthetic/sem.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dbsherlock::synthetic {
+
+std::string SemAttributeName(size_t i) {
+  return common::StrFormat("attr_%zu", i);
+}
+
+bool SemInstance::Reachable(size_t from, size_t to) const {
+  if (from == to) return true;
+  std::vector<size_t> stack = {from};
+  std::vector<bool> seen(adjacency.size(), false);
+  seen[from] = true;
+  while (!stack.empty()) {
+    size_t v = stack.back();
+    stack.pop_back();
+    for (size_t w = 0; w < adjacency.size(); ++w) {
+      if (!adjacency[v][w] || seen[w]) continue;
+      if (w == to) return true;
+      seen[w] = true;
+      stack.push_back(w);
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Nonzero integer coefficient in [-max, max].
+double RandomCoefficient(common::Pcg32* rng, int max) {
+  int c = 0;
+  while (c == 0) c = rng->NextInt(-max, max);
+  return static_cast<double>(c);
+}
+
+}  // namespace
+
+SemInstance GenerateSemInstance(const SemOptions& options,
+                                common::Pcg32* rng) {
+  SemInstance inst;
+  const size_t k = options.num_variables;
+  inst.adjacency.assign(k, std::vector<bool>(k, false));
+  inst.coefficients.assign(k, std::vector<double>(k, 0.0));
+
+  // --- Random DAG over the topological order V_0 < ... < V_{k-1} ---------
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      if (rng->NextBernoulli(options.edge_probability)) {
+        inst.adjacency[i][j] = true;
+        inst.coefficients[i][j] =
+            RandomCoefficient(rng, options.max_coefficient);
+      }
+    }
+  }
+  // V_{k-1} is the effect variable: it must have at least one incoming
+  // edge, and by ordering it has no outgoing ones.
+  size_t effect = k - 1;
+  bool has_incoming = false;
+  for (size_t i = 0; i < effect; ++i) has_incoming |= inst.adjacency[i][effect];
+  if (!has_incoming) {
+    size_t i = static_cast<size_t>(rng->NextBounded(
+        static_cast<uint32_t>(effect)));
+    inst.adjacency[i][effect] = true;
+    inst.coefficients[i][effect] =
+        RandomCoefficient(rng, options.max_coefficient);
+  }
+
+  // --- Root causes: root ancestors of the effect variable ----------------
+  std::vector<bool> is_root(k, true);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      if (inst.adjacency[i][j]) is_root[j] = false;
+    }
+  }
+  for (size_t i = 0; i < k; ++i) {
+    if (is_root[i] && inst.Reachable(i, effect)) {
+      inst.root_causes.push_back(i);
+    }
+  }
+
+  // --- Data generation -----------------------------------------------------
+  tsdata::Schema schema;
+  for (size_t i = 0; i < k; ++i) {
+    (void)schema.AddAttribute(
+        {SemAttributeName(i), tsdata::AttributeKind::kNumeric});
+  }
+  inst.data = tsdata::Dataset(schema);
+
+  size_t abnormal_rows = std::min(options.abnormal_rows, options.num_rows);
+  size_t max_start = options.num_rows - abnormal_rows;
+  size_t abnormal_start =
+      max_start == 0
+          ? 0
+          : static_cast<size_t>(
+                rng->NextBounded(static_cast<uint32_t>(max_start + 1)));
+
+  std::vector<double> values(k);
+  for (size_t row = 0; row < options.num_rows; ++row) {
+    bool abnormal =
+        row >= abnormal_start && row < abnormal_start + abnormal_rows;
+    for (size_t i = 0; i < k; ++i) {
+      bool is_root_cause =
+          std::find(inst.root_causes.begin(), inst.root_causes.end(), i) !=
+          inst.root_causes.end();
+      if (is_root[i]) {
+        // Roots are exogenous; root causes switch distribution inside the
+        // abnormal block (contiguous and aligned across root causes).
+        if (is_root_cause && abnormal) {
+          values[i] = rng->NextGaussian(options.abnormal_mean,
+                                        options.abnormal_stddev);
+        } else {
+          values[i] =
+              rng->NextGaussian(options.normal_mean, options.normal_stddev);
+        }
+      } else {
+        // Linear structural equation (Eq. (5) of Appendix F).
+        double v = rng->NextGaussian();  // epsilon_i ~ N(0,1)
+        for (size_t p = 0; p < i; ++p) {
+          if (inst.adjacency[p][i]) v += inst.coefficients[p][i] * values[p];
+        }
+        values[i] = v;
+      }
+    }
+    std::vector<tsdata::Cell> cells(values.begin(), values.end());
+    (void)inst.data.AppendRow(static_cast<double>(row), cells);
+  }
+  inst.regions.abnormal.Add(static_cast<double>(abnormal_start),
+                            static_cast<double>(abnormal_start + abnormal_rows));
+
+  // --- Synthetic domain knowledge with ground truth ------------------------
+  for (size_t cause : inst.root_causes) {
+    size_t added = 0;
+    // Walk candidate effects in a random order to diversify rules.
+    std::vector<size_t> candidates;
+    for (size_t j = 0; j < k; ++j) {
+      if (j != cause) candidates.push_back(j);
+    }
+    rng->Shuffle(&candidates);
+    for (size_t j : candidates) {
+      if (added >= options.rules_per_cause) break;
+      core::DomainRule rule{SemAttributeName(cause), SemAttributeName(j)};
+      if (!inst.knowledge.AddRule(rule).ok()) continue;
+      inst.expectations.push_back({rule, inst.Reachable(cause, j)});
+      ++added;
+    }
+  }
+  return inst;
+}
+
+}  // namespace dbsherlock::synthetic

@@ -1,0 +1,72 @@
+#ifndef DBSHERLOCK_SYNTHETIC_SEM_H_
+#define DBSHERLOCK_SYNTHETIC_SEM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/domain_knowledge.h"
+#include "tsdata/dataset.h"
+#include "tsdata/region.h"
+
+namespace dbsherlock::synthetic {
+
+/// Generation parameters for the random linear-SEM causal graphs of
+/// Appendix F. Defaults match the paper: k = 7 variables, 600 tuples
+/// (10 minutes at 1-second intervals) with a 60-tuple abnormal block, root
+/// causes drawn from N(10,10) normally and N(100,10) during the anomaly,
+/// integer cause coefficients in [-10,10] \ {0}, and unit-normal error.
+struct SemOptions {
+  size_t num_variables = 7;
+  double edge_probability = 0.35;
+  size_t num_rows = 600;
+  size_t abnormal_rows = 60;
+  double normal_mean = 10.0;
+  double normal_stddev = 10.0;
+  double abnormal_mean = 100.0;
+  double abnormal_stddev = 10.0;
+  int max_coefficient = 10;
+  /// Rules generated per root-cause attribute when building the synthetic
+  /// domain knowledge.
+  size_t rules_per_cause = 2;
+};
+
+/// One synthetic rule plus its ground-truth classification: the rule's
+/// effect predicate *should* be pruned iff the effect variable is reachable
+/// from the cause in the generating graph ("Actual Positive" in Table 8).
+struct RuleExpectation {
+  core::DomainRule rule;
+  bool should_prune = false;
+};
+
+/// A generated SEM instance: the DAG, its data, the abnormal block, and
+/// randomly generated domain knowledge with ground truth.
+struct SemInstance {
+  /// adjacency[i][j] == true means an edge V_i -> V_j (i < j always).
+  std::vector<std::vector<bool>> adjacency;
+  /// Cause coefficients aligned with adjacency (0 where no edge).
+  std::vector<std::vector<double>> coefficients;
+  /// Indices of the root-cause variables (root ancestors of the effect
+  /// variable V_{k-1}).
+  std::vector<size_t> root_causes;
+  tsdata::Dataset data;  // attributes named "attr_0" ... "attr_{k-1}"
+  tsdata::DiagnosisRegions regions;
+  core::DomainKnowledge knowledge;
+  std::vector<RuleExpectation> expectations;
+
+  /// True when `to` is reachable from `from` along graph edges.
+  bool Reachable(size_t from, size_t to) const;
+};
+
+/// Attribute name of variable i ("attr_3").
+std::string SemAttributeName(size_t i);
+
+/// Generates one instance. The graph always has at least one root-cause
+/// variable (the effect variable is given an incoming edge if the random
+/// draw left it isolated).
+SemInstance GenerateSemInstance(const SemOptions& options,
+                                common::Pcg32* rng);
+
+}  // namespace dbsherlock::synthetic
+
+#endif  // DBSHERLOCK_SYNTHETIC_SEM_H_

@@ -1,0 +1,259 @@
+#include "tsdata/align.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace dbsherlock::tsdata {
+
+namespace {
+
+/// Tracks the overall [min, max] timestamp across all inputs.
+struct TimeExtent {
+  double min = 0.0;
+  double max = 0.0;
+  bool any = false;
+
+  void Fold(double t) {
+    if (!any) {
+      min = max = t;
+      any = true;
+    } else {
+      min = std::min(min, t);
+      max = std::max(max, t);
+    }
+  }
+};
+
+/// Index of the grid interval containing `t`; intervals are
+/// [start + i*step, start + (i+1)*step).
+size_t IntervalOf(double t, double start, double step, size_t num_intervals) {
+  if (t <= start) return 0;
+  size_t i = static_cast<size_t>((t - start) / step);
+  return std::min(i, num_intervals - 1);
+}
+
+/// Aligns one counter stream onto the grid.
+std::vector<double> AlignCounter(const RawCounterSeries& series,
+                                 double start, double step,
+                                 size_t num_intervals) {
+  // Sort a copy by timestamp (raw logs interleave writers).
+  std::vector<RawSample> samples = series.samples;
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const RawSample& a, const RawSample& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+
+  std::vector<std::vector<double>> buckets(num_intervals);
+  for (const RawSample& s : samples) {
+    if (s.timestamp < start || s.timestamp >= start + step * static_cast<double>(num_intervals)) {
+      continue;
+    }
+    buckets[IntervalOf(s.timestamp, start, step, num_intervals)].push_back(
+        s.value);
+  }
+
+  std::vector<double> out(num_intervals, 0.0);
+  double carried = 0.0;
+  double last_cumulative = samples.empty() ? 0.0 : samples.front().value;
+  bool carried_valid = false;
+  for (size_t i = 0; i < num_intervals; ++i) {
+    const std::vector<double>& bucket = buckets[i];
+    switch (series.aggregation) {
+      case Aggregation::kMean:
+        if (!bucket.empty()) {
+          carried = common::Mean(bucket);
+          carried_valid = true;
+        }
+        out[i] = carried_valid ? carried : 0.0;
+        break;
+      case Aggregation::kSum: {
+        double sum = 0.0;
+        for (double v : bucket) sum += v;
+        out[i] = sum;
+        break;
+      }
+      case Aggregation::kMax:
+        out[i] = bucket.empty() ? 0.0 : common::Max(bucket);
+        break;
+      case Aggregation::kLast:
+        if (!bucket.empty()) {
+          carried = bucket.back();
+          carried_valid = true;
+        }
+        out[i] = carried_valid ? carried : 0.0;
+        break;
+      case Aggregation::kRate: {
+        // Per-second increase of a cumulative counter. A reset (negative
+        // delta) counts the post-reset value as the increase.
+        double delta = 0.0;
+        for (double v : bucket) {
+          double d = v - last_cumulative;
+          delta += d >= 0.0 ? d : v;
+          last_cumulative = v;
+        }
+        out[i] = delta / step;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Result<Dataset> AlignLogs(
+    const std::vector<RawCounterSeries>& counters,
+    const std::vector<QueryLogEntry>& query_log,
+    const std::vector<RawStateSeries>& states,
+    const AlignmentOptions& options) {
+  if (options.interval_sec <= 0.0) {
+    return common::Status::InvalidArgument("interval must be positive");
+  }
+
+  // --- Validate names and find the time extent ---------------------------
+  std::set<std::string> names;
+  auto claim_name = [&](const std::string& name) -> common::Status {
+    if (name.empty()) {
+      return common::Status::InvalidArgument("empty attribute name");
+    }
+    if (!names.insert(name).second) {
+      return common::Status::InvalidArgument("duplicate attribute: " + name);
+    }
+    return common::Status::OK();
+  };
+
+  TimeExtent extent;
+  for (const RawCounterSeries& c : counters) {
+    DBSHERLOCK_RETURN_NOT_OK(claim_name(c.name));
+    for (const RawSample& s : c.samples) extent.Fold(s.timestamp);
+  }
+  for (const QueryLogEntry& q : query_log) extent.Fold(q.start_time);
+  for (const RawStateSeries& st : states) {
+    DBSHERLOCK_RETURN_NOT_OK(claim_name(st.name));
+    for (const RawStateSample& s : st.samples) extent.Fold(s.timestamp);
+  }
+  if (!extent.any) {
+    return common::Status::InvalidArgument("no input samples to align");
+  }
+
+  // --- Grid ----------------------------------------------------------------
+  double step = options.interval_sec;
+  double start = options.start_time;
+  double end = options.end_time;
+  if (start >= end) {
+    start = std::floor(extent.min / step) * step;
+    end = std::floor(extent.max / step) * step + step;
+  }
+  size_t num_intervals =
+      static_cast<size_t>(std::llround(std::ceil((end - start) / step)));
+  if (num_intervals == 0) {
+    return common::Status::InvalidArgument("empty alignment window");
+  }
+
+  // --- Counter columns -------------------------------------------------------
+  std::vector<std::vector<double>> counter_columns;
+  counter_columns.reserve(counters.size());
+  for (const RawCounterSeries& c : counters) {
+    counter_columns.push_back(AlignCounter(c, start, step, num_intervals));
+  }
+
+  // --- Query-log aggregates ----------------------------------------------
+  bool have_queries = !query_log.empty();
+  std::vector<std::vector<double>> latencies(num_intervals);
+  std::map<std::string, std::vector<double>> type_counts;
+  if (have_queries) {
+    for (const QueryLogEntry& q : query_log) {
+      type_counts.emplace(q.statement_type,
+                          std::vector<double>(num_intervals, 0.0));
+    }
+    for (const QueryLogEntry& q : query_log) {
+      if (q.start_time < start || q.start_time >= end) continue;
+      size_t i = IntervalOf(q.start_time, start, step, num_intervals);
+      latencies[i].push_back(q.duration_ms);
+      type_counts[q.statement_type][i] += 1.0;
+    }
+  }
+
+  // --- State columns -----------------------------------------------------
+  struct AlignedState {
+    const RawStateSeries* series;
+    std::vector<std::string> values;  // per interval, LOCF
+  };
+  std::vector<AlignedState> state_columns;
+  for (const RawStateSeries& st : states) {
+    std::vector<RawStateSample> samples = st.samples;
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const RawStateSample& a, const RawStateSample& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    AlignedState aligned{&st, std::vector<std::string>(num_intervals)};
+    std::string current = samples.empty() ? "unknown" : samples.front().value;
+    size_t next = 0;
+    for (size_t i = 0; i < num_intervals; ++i) {
+      double interval_end = start + step * static_cast<double>(i + 1);
+      while (next < samples.size() && samples[next].timestamp < interval_end) {
+        current = samples[next].value;
+        ++next;
+      }
+      aligned.values[i] = current;
+    }
+    state_columns.push_back(std::move(aligned));
+  }
+
+  // --- Assemble the schema --------------------------------------------------
+  Schema schema;
+  for (const RawCounterSeries& c : counters) {
+    DBSHERLOCK_RETURN_NOT_OK(
+        schema.AddAttribute({c.name, AttributeKind::kNumeric}));
+  }
+  std::string quantile_name;
+  if (have_queries) {
+    DBSHERLOCK_RETURN_NOT_OK(
+        schema.AddAttribute({"throughput_tps", AttributeKind::kNumeric}));
+    DBSHERLOCK_RETURN_NOT_OK(
+        schema.AddAttribute({"avg_latency_ms", AttributeKind::kNumeric}));
+    quantile_name = common::StrFormat(
+        "p%d_latency_ms",
+        static_cast<int>(std::lround(options.latency_quantile * 100.0)));
+    DBSHERLOCK_RETURN_NOT_OK(
+        schema.AddAttribute({quantile_name, AttributeKind::kNumeric}));
+    for (const auto& [type, counts] : type_counts) {
+      DBSHERLOCK_RETURN_NOT_OK(schema.AddAttribute(
+          {common::ToLower(type) + "_count", AttributeKind::kNumeric}));
+    }
+  }
+  for (const RawStateSeries& st : states) {
+    DBSHERLOCK_RETURN_NOT_OK(
+        schema.AddAttribute({st.name, AttributeKind::kCategorical}));
+  }
+
+  // --- Emit rows ----------------------------------------------------------
+  Dataset dataset(schema);
+  for (size_t i = 0; i < num_intervals; ++i) {
+    std::vector<Cell> cells;
+    cells.reserve(schema.num_attributes());
+    for (const auto& column : counter_columns) cells.emplace_back(column[i]);
+    if (have_queries) {
+      cells.emplace_back(static_cast<double>(latencies[i].size()) / step);
+      cells.emplace_back(common::Mean(latencies[i]));
+      cells.emplace_back(
+          common::Quantile(latencies[i], options.latency_quantile));
+      for (const auto& [type, counts] : type_counts) {
+        cells.emplace_back(counts[i]);
+      }
+    }
+    for (const AlignedState& st : state_columns) {
+      cells.emplace_back(st.values[i]);
+    }
+    DBSHERLOCK_RETURN_NOT_OK(
+        dataset.AppendRow(start + step * static_cast<double>(i), cells));
+  }
+  return dataset;
+}
+
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,96 @@
+#ifndef DBSHERLOCK_TSDATA_ALIGN_H_
+#define DBSHERLOCK_TSDATA_ALIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::tsdata {
+
+/// Preprocessing (component (2) of the paper's Figure 2): DBSeer collects
+/// raw, irregularly timestamped streams — OS counters from /proc, DBMS
+/// status variables, and the timestamped query log — and summarizes them
+/// into the aligned `(Timestamp, Attr1, ..., Attrk)` table at fixed
+/// intervals (Section 2.1). This module implements that summarization.
+
+/// One raw numeric observation.
+struct RawSample {
+  double timestamp = 0.0;
+  double value = 0.0;
+};
+
+/// How a raw counter stream folds into one value per interval.
+enum class Aggregation {
+  kMean,  // gauge sampled repeatedly (CPU %): average; carries forward
+          // through empty intervals (the sensor is slower than the grid)
+  kSum,   // per-event increments (bytes in a burst): sum; 0 when empty
+  kMax,   // high-watermark gauges: max; 0 when empty
+  kLast,  // level sampled occasionally (dirty pages): last observation
+          // carried forward
+  kRate,  // cumulative counter (total lock waits): per-second delta,
+          // robust to counter resets (negative deltas clamp to 0)
+};
+
+/// A raw numeric stream, e.g. one /proc field or one SHOW STATUS variable.
+/// Samples may arrive unsorted and at any cadence.
+struct RawCounterSeries {
+  std::string name;
+  Aggregation aggregation = Aggregation::kMean;
+  std::vector<RawSample> samples;
+};
+
+/// A raw string-valued stream (configuration state, process phase).
+/// Aligned by last-observation-carried-forward into a categorical
+/// attribute.
+struct RawStateSample {
+  double timestamp = 0.0;
+  std::string value;
+};
+
+struct RawStateSeries {
+  std::string name;
+  std::vector<RawStateSample> samples;
+};
+
+/// One executed statement from the timestamped query log (Section 2.1
+/// (iii)): start time, duration and statement class.
+struct QueryLogEntry {
+  double start_time = 0.0;
+  double duration_ms = 0.0;
+  std::string statement_type;  // "SELECT", "UPDATE", ... (free-form)
+};
+
+struct AlignmentOptions {
+  /// Grid step in seconds (the paper aligns at 1-second intervals).
+  double interval_sec = 1.0;
+  /// Grid boundaries; when start >= end both are derived from the data
+  /// (floor of the earliest sample to a grid multiple, ceiling of the
+  /// latest).
+  double start_time = 0.0;
+  double end_time = 0.0;
+  /// Tail-latency quantile emitted for the query log (paper plots 99%).
+  double latency_quantile = 0.99;
+};
+
+/// Summarizes and aligns raw streams into a Dataset.
+///
+/// Emitted attributes, in order:
+///  * one numeric attribute per RawCounterSeries (same name);
+///  * if `query_log` is non-empty: `throughput_tps`, `avg_latency_ms`,
+///    `p<Q>_latency_ms`, plus one `<type>_count` numeric attribute per
+///    distinct statement type (types sorted alphabetically);
+///  * one categorical attribute per RawStateSeries (same name).
+///
+/// Fails on duplicate attribute names, a non-positive interval, or when
+/// no input carries any data.
+common::Result<Dataset> AlignLogs(
+    const std::vector<RawCounterSeries>& counters,
+    const std::vector<QueryLogEntry>& query_log,
+    const std::vector<RawStateSeries>& states,
+    const AlignmentOptions& options = {});
+
+}  // namespace dbsherlock::tsdata
+
+#endif  // DBSHERLOCK_TSDATA_ALIGN_H_

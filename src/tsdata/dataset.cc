@@ -1,0 +1,103 @@
+#include "tsdata/dataset.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dbsherlock::tsdata {
+
+void Column::AppendCategorical(const std::string& value) {
+  auto it = dictionary_index_.find(value);
+  int32_t code;
+  if (it == dictionary_index_.end()) {
+    code = static_cast<int32_t>(dictionary_.size());
+    dictionary_.push_back(value);
+    dictionary_index_.emplace(value, code);
+  } else {
+    code = it->second;
+  }
+  codes_.push_back(code);
+}
+
+int32_t Column::CodeOf(const std::string& value) const {
+  auto it = dictionary_index_.find(value);
+  return it == dictionary_index_.end() ? -1 : it->second;
+}
+
+Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_attributes());
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    columns_.emplace_back(schema_.attribute(i).kind);
+  }
+}
+
+common::Status Dataset::AppendRow(double timestamp,
+                                  const std::vector<Cell>& cells) {
+  if (cells.size() != schema_.num_attributes()) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "row has %zu cells, schema has %zu attributes", cells.size(),
+        schema_.num_attributes()));
+  }
+  if (!timestamps_.empty() && timestamp < timestamps_.back()) {
+    return common::Status::InvalidArgument(
+        "timestamps must be non-decreasing");
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    AttributeKind kind = schema_.attribute(i).kind;
+    if (kind == AttributeKind::kNumeric) {
+      if (!std::holds_alternative<double>(cells[i])) {
+        return common::Status::InvalidArgument(
+            "expected numeric cell for attribute " + schema_.attribute(i).name);
+      }
+    } else if (!std::holds_alternative<std::string>(cells[i])) {
+      return common::Status::InvalidArgument(
+          "expected categorical cell for attribute " +
+          schema_.attribute(i).name);
+    }
+  }
+  // Validation passed; now mutate (keeps the dataset consistent on error).
+  timestamps_.push_back(timestamp);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (columns_[i].kind() == AttributeKind::kNumeric) {
+      columns_[i].AppendNumeric(std::get<double>(cells[i]));
+    } else {
+      columns_[i].AppendCategorical(std::get<std::string>(cells[i]));
+    }
+  }
+  return common::Status::OK();
+}
+
+common::Result<const Column*> Dataset::ColumnByName(
+    const std::string& name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx.ok()) return idx.status();
+  return &columns_[*idx];
+}
+
+std::vector<size_t> Dataset::RowsInTimeRange(double start, double end) const {
+  std::vector<size_t> rows;
+  auto lo = std::lower_bound(timestamps_.begin(), timestamps_.end(), start);
+  for (auto it = lo; it != timestamps_.end() && *it < end; ++it) {
+    rows.push_back(static_cast<size_t>(it - timestamps_.begin()));
+  }
+  return rows;
+}
+
+Dataset Dataset::Slice(size_t begin, size_t end) const {
+  Dataset out(schema_);
+  end = std::min(end, num_rows());
+  for (size_t row = begin; row < end; ++row) {
+    out.timestamps_.push_back(timestamps_[row]);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (columns_[c].kind() == AttributeKind::kNumeric) {
+        out.columns_[c].AppendNumeric(columns_[c].numeric(row));
+      } else {
+        out.columns_[c].AppendCategorical(
+            columns_[c].CategoryName(columns_[c].code(row)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,111 @@
+#include "tsdata/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace dbsherlock::tsdata {
+
+namespace {
+constexpr char kCategoricalSuffix[] = "@cat";
+constexpr char kTimestampColumn[] = "timestamp";
+
+std::string FormatDouble(double v) {
+  // Shortest representation that round-trips doubles.
+  return common::StrFormat("%.17g", v);
+}
+}  // namespace
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  common::CsvTable table;
+  table.header.push_back(kTimestampColumn);
+  for (const auto& spec : dataset.schema().attributes()) {
+    std::string name = spec.name;
+    if (spec.kind == AttributeKind::kCategorical) name += kCategoricalSuffix;
+    table.header.push_back(std::move(name));
+  }
+  table.rows.reserve(dataset.num_rows());
+  for (size_t row = 0; row < dataset.num_rows(); ++row) {
+    std::vector<std::string> fields;
+    fields.reserve(dataset.num_attributes() + 1);
+    fields.push_back(FormatDouble(dataset.timestamp(row)));
+    for (size_t c = 0; c < dataset.num_attributes(); ++c) {
+      const Column& col = dataset.column(c);
+      if (col.kind() == AttributeKind::kNumeric) {
+        fields.push_back(FormatDouble(col.numeric(row)));
+      } else {
+        fields.push_back(col.CategoryName(col.code(row)));
+      }
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  return common::WriteCsv(table);
+}
+
+common::Result<Dataset> DatasetFromCsv(const std::string& text) {
+  auto parsed = common::ParseCsv(text);
+  if (!parsed.ok()) return parsed.status();
+  const common::CsvTable& table = *parsed;
+  if (table.header.empty() || table.header[0] != kTimestampColumn) {
+    return common::Status::ParseError(
+        "dataset CSV must start with a 'timestamp' column");
+  }
+
+  Schema schema;
+  for (size_t c = 1; c < table.header.size(); ++c) {
+    std::string name = table.header[c];
+    AttributeKind kind = AttributeKind::kNumeric;
+    if (name.size() > 4 &&
+        name.substr(name.size() - 4) == kCategoricalSuffix) {
+      kind = AttributeKind::kCategorical;
+      name = name.substr(0, name.size() - 4);
+    }
+    DBSHERLOCK_RETURN_NOT_OK(schema.AddAttribute({name, kind}));
+  }
+
+  Dataset dataset(schema);
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& fields = table.rows[r];
+    auto ts = common::ParseDouble(fields[0]);
+    if (!ts.ok()) return ts.status();
+    std::vector<Cell> cells;
+    cells.reserve(fields.size() - 1);
+    for (size_t c = 1; c < fields.size(); ++c) {
+      if (schema.attribute(c - 1).kind == AttributeKind::kNumeric) {
+        auto v = common::ParseDouble(fields[c]);
+        if (!v.ok()) {
+          return common::Status::ParseError(common::StrFormat(
+              "row %zu, attribute '%s': %s", r,
+              schema.attribute(c - 1).name.c_str(),
+              v.status().message().c_str()));
+        }
+        cells.emplace_back(*v);
+      } else {
+        cells.emplace_back(fields[c]);
+      }
+    }
+    DBSHERLOCK_RETURN_NOT_OK(dataset.AppendRow(*ts, cells));
+  }
+  return dataset;
+}
+
+common::Status WriteDatasetFile(const Dataset& dataset,
+                                const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return common::Status::IoError("cannot open for write: " + path);
+  out << DatasetToCsv(dataset);
+  if (!out) return common::Status::IoError("write failed: " + path);
+  return common::Status::OK();
+}
+
+common::Result<Dataset> ReadDatasetFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DatasetFromCsv(buffer.str());
+}
+
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,31 @@
+#ifndef DBSHERLOCK_TSDATA_DATASET_IO_H_
+#define DBSHERLOCK_TSDATA_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::tsdata {
+
+/// CSV serialization of a Dataset.
+///
+/// Layout: first column is `timestamp`; each remaining column is one
+/// attribute. Categorical attribute names carry the suffix `@cat` in the
+/// header so the kind round-trips without a sidecar schema file, mirroring
+/// how dbseer distributes its datasets as plain aligned CSVs.
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Parses a Dataset from CSV text produced by DatasetToCsv (or any CSV with
+/// a `timestamp` first column; columns whose values fail numeric parsing
+/// are *not* auto-coerced — use the `@cat` suffix).
+common::Result<Dataset> DatasetFromCsv(const std::string& text);
+
+/// File wrappers.
+common::Status WriteDatasetFile(const Dataset& dataset,
+                                const std::string& path);
+common::Result<Dataset> ReadDatasetFile(const std::string& path);
+
+}  // namespace dbsherlock::tsdata
+
+#endif  // DBSHERLOCK_TSDATA_DATASET_IO_H_

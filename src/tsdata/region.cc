@@ -1,0 +1,41 @@
+#include "tsdata/region.h"
+
+namespace dbsherlock::tsdata {
+
+std::vector<size_t> RegionSpec::RowsIn(const Dataset& dataset) const {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    if (Contains(dataset.timestamp(i))) rows.push_back(i);
+  }
+  return rows;
+}
+
+RegionSpec RegionSpec::ScaledAroundCenter(double factor) const {
+  RegionSpec out;
+  for (const auto& r : ranges_) {
+    double center = 0.5 * (r.start + r.end);
+    double half = 0.5 * r.length() * factor;
+    out.Add(center - half, center + half);
+  }
+  return out;
+}
+
+LabeledRows SplitRows(const Dataset& dataset,
+                      const DiagnosisRegions& regions) {
+  LabeledRows out;
+  for (size_t i = 0; i < dataset.num_rows(); ++i) {
+    switch (regions.LabelOf(dataset.timestamp(i))) {
+      case RowLabel::kAbnormal:
+        out.abnormal.push_back(i);
+        break;
+      case RowLabel::kNormal:
+        out.normal.push_back(i);
+        break;
+      case RowLabel::kIgnored:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,90 @@
+#ifndef DBSHERLOCK_TSDATA_REGION_H_
+#define DBSHERLOCK_TSDATA_REGION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::tsdata {
+
+/// A half-open timestamp interval [start, end).
+struct TimeRange {
+  double start = 0.0;
+  double end = 0.0;
+
+  bool Contains(double t) const { return t >= start && t < end; }
+  double length() const { return end - start; }
+  bool valid() const { return end > start; }
+
+  bool operator==(const TimeRange& other) const = default;
+};
+
+/// A union of time ranges, used for the user-selected abnormal (and
+/// optionally normal) regions of Section 2.2.
+class RegionSpec {
+ public:
+  RegionSpec() = default;
+  explicit RegionSpec(std::vector<TimeRange> ranges)
+      : ranges_(std::move(ranges)) {}
+
+  void Add(TimeRange range) { ranges_.push_back(range); }
+  void Add(double start, double end) { ranges_.push_back({start, end}); }
+
+  bool empty() const { return ranges_.empty(); }
+  const std::vector<TimeRange>& ranges() const { return ranges_; }
+
+  bool Contains(double t) const {
+    for (const auto& r : ranges_) {
+      if (r.Contains(t)) return true;
+    }
+    return false;
+  }
+
+  /// Row indices of `dataset` whose timestamps fall inside any range.
+  std::vector<size_t> RowsIn(const Dataset& dataset) const;
+
+  /// Returns a copy with every range's boundaries scaled around its center
+  /// by `factor` (e.g. 1.1 extends by 10%, 0.9 shrinks by 10%) — used by the
+  /// robustness experiments of Appendix C.
+  RegionSpec ScaledAroundCenter(double factor) const;
+
+ private:
+  std::vector<TimeRange> ranges_;
+};
+
+/// Per-row label derived from the user's selections. Rows outside both the
+/// abnormal and (explicit) normal regions are ignored by the algorithm
+/// (Section 4: "other tuples are ignored by DBSherlock").
+enum class RowLabel {
+  kNormal,
+  kAbnormal,
+  kIgnored,
+};
+
+/// The abnormal/normal region pair handed to the explainer. When `normal`
+/// is empty, every row outside `abnormal` is implicitly normal
+/// (Section 2.2).
+struct DiagnosisRegions {
+  RegionSpec abnormal;
+  RegionSpec normal;  // Optional; empty means "rest of the data".
+
+  RowLabel LabelOf(double timestamp) const {
+    if (abnormal.Contains(timestamp)) return RowLabel::kAbnormal;
+    if (normal.empty() || normal.Contains(timestamp)) return RowLabel::kNormal;
+    return RowLabel::kIgnored;
+  }
+};
+
+/// Splits `dataset` row indices by label.
+struct LabeledRows {
+  std::vector<size_t> abnormal;
+  std::vector<size_t> normal;
+};
+
+LabeledRows SplitRows(const Dataset& dataset, const DiagnosisRegions& regions);
+
+}  // namespace dbsherlock::tsdata
+
+#endif  // DBSHERLOCK_TSDATA_REGION_H_

@@ -1,0 +1,42 @@
+#include "tsdata/schema.h"
+
+namespace dbsherlock::tsdata {
+
+const char* AttributeKindToString(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kNumeric:
+      return "numeric";
+    case AttributeKind::kCategorical:
+      return "categorical";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<AttributeSpec> attributes) {
+  for (auto& spec : attributes) {
+    // Duplicates are a programming error here; the fallible path is
+    // AddAttribute. Last occurrence wins in the index, first in order.
+    index_.emplace(spec.name, attributes_.size());
+    attributes_.push_back(std::move(spec));
+  }
+}
+
+common::Status Schema::AddAttribute(AttributeSpec spec) {
+  if (index_.contains(spec.name)) {
+    return common::Status::InvalidArgument("duplicate attribute: " +
+                                           spec.name);
+  }
+  index_.emplace(spec.name, attributes_.size());
+  attributes_.push_back(std::move(spec));
+  return common::Status::OK();
+}
+
+common::Result<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return common::Status::NotFound("no attribute named: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,64 @@
+#ifndef DBSHERLOCK_TSDATA_SCHEMA_H_
+#define DBSHERLOCK_TSDATA_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbsherlock::tsdata {
+
+/// The two attribute families the paper distinguishes (Section 4): noisy
+/// numeric statistics vs. low-cardinality categorical settings.
+enum class AttributeKind {
+  kNumeric,
+  kCategorical,
+};
+
+const char* AttributeKindToString(AttributeKind kind);
+
+/// Name + kind of one attribute (column) of the aligned statistics table.
+struct AttributeSpec {
+  std::string name;
+  AttributeKind kind = AttributeKind::kNumeric;
+
+  bool operator==(const AttributeSpec& other) const = default;
+};
+
+/// An ordered list of attributes with O(1) lookup by name. The timestamp is
+/// not part of the schema; Dataset stores it separately (Section 2.1's
+/// "(Timestamp, Attr1, ..., Attrk)" layout).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeSpec> attributes);
+
+  /// Appends an attribute. Fails on duplicate names.
+  common::Status AddAttribute(AttributeSpec spec);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeSpec& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+
+  /// Index of the attribute with `name`, or error if absent.
+  common::Result<size_t> IndexOf(const std::string& name) const;
+
+  /// True if `name` exists.
+  bool Contains(const std::string& name) const {
+    return index_.contains(name);
+  }
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+ private:
+  std::vector<AttributeSpec> attributes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace dbsherlock::tsdata
+
+#endif  // DBSHERLOCK_TSDATA_SCHEMA_H_

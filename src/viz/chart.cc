@@ -1,0 +1,232 @@
+#include "viz/chart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace dbsherlock::viz {
+
+namespace {
+
+/// Checks the attribute exists and is numeric; returns its column.
+common::Result<const tsdata::Column*> NumericColumn(
+    const tsdata::Dataset& dataset, const std::string& attribute) {
+  auto col = dataset.ColumnByName(attribute);
+  if (!col.ok()) return col.status();
+  if ((*col)->kind() != tsdata::AttributeKind::kNumeric) {
+    return common::Status::InvalidArgument(
+        "attribute is not numeric: " + attribute);
+  }
+  return *col;
+}
+
+/// Averages `values` into `buckets` time buckets; also reports each
+/// bucket's midpoint timestamp.
+struct Bucketed {
+  std::vector<double> values;
+  std::vector<double> mid_timestamps;
+};
+
+Bucketed BucketSeries(const tsdata::Dataset& dataset,
+                      std::span<const double> values, int buckets) {
+  Bucketed out;
+  size_t n = dataset.num_rows();
+  if (n == 0 || buckets <= 0) return out;
+  out.values.resize(static_cast<size_t>(buckets), 0.0);
+  out.mid_timestamps.resize(static_cast<size_t>(buckets), 0.0);
+  double t0 = dataset.timestamp(0);
+  double t1 = dataset.timestamp(n - 1);
+  double span = std::max(t1 - t0, 1e-9);
+  std::vector<size_t> counts(static_cast<size_t>(buckets), 0);
+  for (size_t row = 0; row < n; ++row) {
+    double frac = (dataset.timestamp(row) - t0) / span;
+    size_t b = std::min(static_cast<size_t>(frac * buckets),
+                        static_cast<size_t>(buckets) - 1);
+    out.values[b] += values[row];
+    ++counts[b];
+  }
+  for (size_t b = 0; b < out.values.size(); ++b) {
+    if (counts[b] > 0) out.values[b] /= static_cast<double>(counts[b]);
+    out.mid_timestamps[b] =
+        t0 + span * ((static_cast<double>(b) + 0.5) / buckets);
+  }
+  // Empty buckets borrow their left neighbor (sparse data).
+  for (size_t b = 1; b < out.values.size(); ++b) {
+    if (counts[b] == 0) out.values[b] = out.values[b - 1];
+  }
+  return out;
+}
+
+}  // namespace
+
+common::Result<std::string> RenderAsciiChart(
+    const tsdata::Dataset& dataset, const std::string& attribute,
+    const tsdata::RegionSpec& abnormal, const AsciiChartOptions& options) {
+  auto col = NumericColumn(dataset, attribute);
+  if (!col.ok()) return col.status();
+  if (dataset.num_rows() == 0) {
+    return common::Status::InvalidArgument("empty dataset");
+  }
+  int width = std::max(options.width, 10);
+  int height = std::max(options.height, 4);
+
+  Bucketed series =
+      BucketSeries(dataset, (*col)->numeric_values(), width);
+  double lo = common::Min(series.values);
+  double hi = common::Max(series.values);
+  if (hi <= lo) hi = lo + 1.0;
+
+  // Grid of plot cells, top row first.
+  std::vector<std::string> rows(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  std::vector<bool> is_abnormal(static_cast<size_t>(width), false);
+  for (int x = 0; x < width; ++x) {
+    double v = series.values[static_cast<size_t>(x)];
+    bool ab = abnormal.Contains(series.mid_timestamps[static_cast<size_t>(x)]);
+    is_abnormal[static_cast<size_t>(x)] = ab;
+    double frac = (v - lo) / (hi - lo);
+    int bar = std::clamp(static_cast<int>(std::lround(frac * (height - 1))),
+                         0, height - 1);
+    // Column bar from the bottom up to the value row.
+    for (int y = 0; y <= bar; ++y) {
+      rows[static_cast<size_t>(height - 1 - y)][static_cast<size_t>(x)] =
+          ab ? '#' : '*';
+    }
+  }
+
+  std::string out;
+  if (!options.title.empty()) {
+    out += options.title;
+    out += '\n';
+  }
+  out += common::StrFormat("%12.4g +", hi);
+  out += std::string(static_cast<size_t>(width), '-');
+  out += "\n";
+  for (int y = 0; y < height; ++y) {
+    out += "             |";
+    out += rows[static_cast<size_t>(y)];
+    out += "\n";
+  }
+  out += common::StrFormat("%12.4g +", lo);
+  out += std::string(static_cast<size_t>(width), '-');
+  out += "\n";
+  // Region marker line.
+  out += "              ";
+  for (int x = 0; x < width; ++x) {
+    out += is_abnormal[static_cast<size_t>(x)] ? '^' : ' ';
+  }
+  out += "\n";
+  out += common::StrFormat(
+      "              t=[%.6g, %.6g]   caret-marked columns are the abnormal "
+      "region\n",
+      dataset.timestamp(0), dataset.timestamp(dataset.num_rows() - 1));
+  return out;
+}
+
+common::Result<std::string> RenderSvgChart(
+    const tsdata::Dataset& dataset, const std::vector<SvgSeries>& series,
+    const tsdata::RegionSpec& abnormal, const SvgChartOptions& options) {
+  if (series.empty()) {
+    return common::Status::InvalidArgument("no series to plot");
+  }
+  if (dataset.num_rows() < 2) {
+    return common::Status::InvalidArgument("need at least two rows to plot");
+  }
+  const int width = std::max(options.width, 100);
+  const int height = std::max(options.height, 80);
+  const double margin_left = 60.0, margin_right = 20.0;
+  const double margin_top = options.title.empty() ? 20.0 : 40.0;
+  const double margin_bottom = 40.0;
+  const double plot_w = width - margin_left - margin_right;
+  const double plot_h = height - margin_top - margin_bottom;
+
+  double t0 = dataset.timestamp(0);
+  double t1 = dataset.timestamp(dataset.num_rows() - 1);
+  double tspan = std::max(t1 - t0, 1e-9);
+  auto x_of = [&](double t) {
+    return margin_left + plot_w * (t - t0) / tspan;
+  };
+
+  std::string svg = common::StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+      "height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+      width, height, width, height);
+  svg += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    svg += common::StrFormat(
+        "<text x=\"%d\" y=\"24\" font-family=\"sans-serif\" "
+        "font-size=\"16\" text-anchor=\"middle\">",
+        width / 2);
+    svg += options.title;
+    svg += "</text>\n";
+  }
+
+  // Abnormal-region bands first (under the lines).
+  for (const tsdata::TimeRange& range : abnormal.ranges()) {
+    double x_start = x_of(std::max(range.start, t0));
+    double x_end = x_of(std::min(range.end, t1));
+    if (x_end <= x_start) continue;
+    svg += common::StrFormat(
+        "<rect class=\"abnormal-region\" x=\"%.2f\" y=\"%.2f\" "
+        "width=\"%.2f\" height=\"%.2f\" fill=\"%s\"/>\n",
+        x_start, margin_top, x_end - x_start, plot_h,
+        options.region_color.c_str());
+  }
+
+  // Axes.
+  svg += common::StrFormat(
+      "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" "
+      "stroke=\"black\"/>\n",
+      margin_left, margin_top, margin_left, margin_top + plot_h);
+  svg += common::StrFormat(
+      "<line x1=\"%.2f\" y1=\"%.2f\" x2=\"%.2f\" y2=\"%.2f\" "
+      "stroke=\"black\"/>\n",
+      margin_left, margin_top + plot_h, margin_left + plot_w,
+      margin_top + plot_h);
+
+  // Series polylines (each min-max normalized to the plot box).
+  double legend_y = margin_top + 4.0;
+  for (const SvgSeries& s : series) {
+    auto col = NumericColumn(dataset, s.attribute);
+    if (!col.ok()) return col.status();
+    auto values = (*col)->numeric_values();
+    double lo = common::Min(values);
+    double hi = common::Max(values);
+    if (hi <= lo) hi = lo + 1.0;
+
+    std::string points;
+    for (size_t row = 0; row < dataset.num_rows(); ++row) {
+      double x = x_of(dataset.timestamp(row));
+      double frac = (values[row] - lo) / (hi - lo);
+      double y = margin_top + plot_h * (1.0 - frac);
+      points += common::StrFormat("%.2f,%.2f ", x, y);
+    }
+    svg += common::StrFormat(
+        "<polyline class=\"series\" fill=\"none\" stroke=\"%s\" "
+        "stroke-width=\"1.5\" points=\"%s\"/>\n",
+        s.color.c_str(), points.c_str());
+    svg += common::StrFormat(
+        "<text x=\"%.2f\" y=\"%.2f\" font-family=\"sans-serif\" "
+        "font-size=\"11\" fill=\"%s\">%s [%.4g, %.4g]</text>\n",
+        margin_left + plot_w - 220.0, legend_y + 8.0, s.color.c_str(),
+        s.attribute.c_str(), lo, hi);
+    legend_y += 14.0;
+  }
+
+  // Time axis labels.
+  svg += common::StrFormat(
+      "<text x=\"%.2f\" y=\"%.2f\" font-family=\"sans-serif\" "
+      "font-size=\"11\">%.6g</text>\n",
+      margin_left, margin_top + plot_h + 16.0, t0);
+  svg += common::StrFormat(
+      "<text x=\"%.2f\" y=\"%.2f\" font-family=\"sans-serif\" "
+      "font-size=\"11\" text-anchor=\"end\">%.6g</text>\n",
+      margin_left + plot_w, margin_top + plot_h + 16.0, t1);
+
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace dbsherlock::viz

@@ -1,0 +1,56 @@
+#ifndef DBSHERLOCK_VIZ_CHART_H_
+#define DBSHERLOCK_VIZ_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tsdata/dataset.h"
+#include "tsdata/region.h"
+
+namespace dbsherlock::viz {
+
+/// Rendering of performance plots — the visualization component (3) of the
+/// paper's Figure 2. Two backends: an ASCII chart for terminals (the kind
+/// of plot Figures 1 and 3 show, with the selected abnormal region
+/// shaded), and a standalone SVG document for reports.
+
+struct AsciiChartOptions {
+  int width = 100;   // plot columns (time axis)
+  int height = 18;   // plot rows (value axis)
+  std::string title;
+};
+
+/// Renders one numeric attribute as an ASCII chart. Values are averaged
+/// into `width` time buckets; columns whose bucket midpoint lies in
+/// `abnormal` are drawn with '#' (normal columns use '*') and flagged in a
+/// marker line underneath. Returns an error when the attribute is missing
+/// or not numeric.
+common::Result<std::string> RenderAsciiChart(
+    const tsdata::Dataset& dataset, const std::string& attribute,
+    const tsdata::RegionSpec& abnormal, const AsciiChartOptions& options = {});
+
+/// One line series of an SVG chart.
+struct SvgSeries {
+  std::string attribute;
+  std::string color = "#1f77b4";
+};
+
+struct SvgChartOptions {
+  int width = 900;
+  int height = 300;
+  std::string title;
+  /// Fill for the abnormal-region band(s).
+  std::string region_color = "#fdd";
+};
+
+/// Renders one or more numeric attributes as a standalone SVG line chart,
+/// normalizing each series into the plot (independent scales; the legend
+/// carries each series' value range). Abnormal regions are shaded bands.
+common::Result<std::string> RenderSvgChart(
+    const tsdata::Dataset& dataset, const std::vector<SvgSeries>& series,
+    const tsdata::RegionSpec& abnormal, const SvgChartOptions& options = {});
+
+}  // namespace dbsherlock::viz
+
+#endif  // DBSHERLOCK_VIZ_CHART_H_

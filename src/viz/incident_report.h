@@ -1,0 +1,37 @@
+#ifndef DBSHERLOCK_VIZ_INCIDENT_REPORT_H_
+#define DBSHERLOCK_VIZ_INCIDENT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/explainer.h"
+#include "tsdata/dataset.h"
+#include "tsdata/region.h"
+
+namespace dbsherlock::viz {
+
+/// Assembles a self-contained HTML incident report from a diagnosis: the
+/// performance plot with the abnormal region shaded (inline SVG), the
+/// charts of the top explanatory attributes, the predicate list with
+/// separation powers, and the ranked causes with any recorded remediation
+/// — the artifact a DBA attaches to the incident ticket.
+struct IncidentReportOptions {
+  std::string title = "DBSherlock incident report";
+  /// The headline metric plotted first (skipped if absent).
+  std::string headline_attribute = "avg_latency_ms";
+  /// How many explanatory attributes get their own chart.
+  size_t max_attribute_charts = 4;
+  /// How many predicates to list.
+  size_t max_predicates = 20;
+};
+
+/// Renders the report. Fails only when the dataset is too small to plot.
+common::Result<std::string> RenderIncidentReport(
+    const tsdata::Dataset& dataset, const tsdata::DiagnosisRegions& regions,
+    const core::Explanation& explanation,
+    const IncidentReportOptions& options = {});
+
+}  // namespace dbsherlock::viz
+
+#endif  // DBSHERLOCK_VIZ_INCIDENT_REPORT_H_

@@ -1,0 +1,220 @@
+#include "tsdata/align.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::tsdata {
+namespace {
+
+RawCounterSeries Series(std::string name, Aggregation agg,
+                        std::vector<RawSample> samples) {
+  RawCounterSeries s;
+  s.name = std::move(name);
+  s.aggregation = agg;
+  s.samples = std::move(samples);
+  return s;
+}
+
+double Value(const Dataset& d, const std::string& attr, size_t row) {
+  auto col = d.ColumnByName(attr);
+  EXPECT_TRUE(col.ok());
+  return (*col)->numeric(row);
+}
+
+TEST(AlignTest, MeanAggregationAveragesWithinInterval) {
+  auto ds = AlignLogs(
+      {Series("cpu", Aggregation::kMean,
+              {{0.1, 10.0}, {0.6, 30.0}, {1.2, 50.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(Value(*ds, "cpu", 0), 20.0);  // mean of 10, 30
+  EXPECT_DOUBLE_EQ(Value(*ds, "cpu", 1), 50.0);
+}
+
+TEST(AlignTest, MeanCarriesForwardThroughEmptyIntervals) {
+  auto ds = AlignLogs(
+      {Series("gauge", Aggregation::kMean, {{0.5, 42.0}, {3.5, 10.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(Value(*ds, "gauge", 1), 42.0);  // carried
+  EXPECT_DOUBLE_EQ(Value(*ds, "gauge", 2), 42.0);  // carried
+  EXPECT_DOUBLE_EQ(Value(*ds, "gauge", 3), 10.0);
+}
+
+TEST(AlignTest, SumAggregation) {
+  auto ds = AlignLogs(
+      {Series("bytes", Aggregation::kSum,
+              {{0.1, 5.0}, {0.9, 7.0}, {2.5, 1.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(Value(*ds, "bytes", 0), 12.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "bytes", 1), 0.0);  // empty -> 0
+  EXPECT_DOUBLE_EQ(Value(*ds, "bytes", 2), 1.0);
+}
+
+TEST(AlignTest, MaxAggregation) {
+  auto ds = AlignLogs(
+      {Series("peak", Aggregation::kMax, {{0.2, 3.0}, {0.8, 9.0}, {1.5, 2.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(Value(*ds, "peak", 0), 9.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "peak", 1), 2.0);
+}
+
+TEST(AlignTest, LastAggregationCarriesForward) {
+  auto ds = AlignLogs(
+      {Series("level", Aggregation::kLast,
+              {{0.3, 5.0}, {0.7, 8.0}, {2.9, 1.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(Value(*ds, "level", 0), 8.0);  // last in interval
+  EXPECT_DOUBLE_EQ(Value(*ds, "level", 1), 8.0);  // carried
+  EXPECT_DOUBLE_EQ(Value(*ds, "level", 2), 1.0);
+}
+
+TEST(AlignTest, RateAggregationFromCumulativeCounter) {
+  // Counter values 100, 160, 220 at seconds 0, 1, 2 -> rate 60/s.
+  auto ds = AlignLogs(
+      {Series("lock_waits", Aggregation::kRate,
+              {{0.5, 100.0}, {1.5, 160.0}, {2.5, 220.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(Value(*ds, "lock_waits", 1), 60.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "lock_waits", 2), 60.0);
+}
+
+TEST(AlignTest, RateSurvivesCounterReset) {
+  // Counter resets between 1.5 and 2.5 (server restart): the post-reset
+  // value counts as the increase instead of a huge negative delta.
+  auto ds = AlignLogs(
+      {Series("c", Aggregation::kRate,
+              {{0.5, 1000.0}, {1.5, 1100.0}, {2.5, 40.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(Value(*ds, "c", 1), 100.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "c", 2), 40.0);
+}
+
+TEST(AlignTest, UnsortedSamplesAreSorted) {
+  auto ds = AlignLogs(
+      {Series("x", Aggregation::kLast, {{2.5, 3.0}, {0.5, 1.0}, {1.5, 2.0}})},
+      {}, {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 0), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 1), 2.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 2), 3.0);
+}
+
+TEST(AlignTest, QueryLogAggregates) {
+  std::vector<QueryLogEntry> log = {
+      {0.1, 10.0, "SELECT"}, {0.4, 20.0, "SELECT"}, {0.8, 90.0, "UPDATE"},
+      {1.2, 50.0, "SELECT"},
+  };
+  auto ds = AlignLogs({}, log, {});
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(Value(*ds, "throughput_tps", 0), 3.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "avg_latency_ms", 0), 40.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "select_count", 0), 2.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "update_count", 0), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "select_count", 1), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "update_count", 1), 0.0);
+  // Tail latency attribute named from the quantile.
+  EXPECT_TRUE(ds->schema().Contains("p99_latency_ms"));
+}
+
+TEST(AlignTest, CustomQuantileName) {
+  AlignmentOptions options;
+  options.latency_quantile = 0.5;
+  auto ds = AlignLogs({}, {{0.1, 10.0, "Q"}}, {}, options);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->schema().Contains("p50_latency_ms"));
+}
+
+TEST(AlignTest, StateSeriesLastObservationCarriedForward) {
+  RawStateSeries state;
+  state.name = "flush_policy";
+  state.samples = {{0.2, "adaptive"}, {2.7, "off"}};
+  auto ds = AlignLogs(
+      {Series("pad", Aggregation::kSum, {{0.0, 0.0}, {3.9, 0.0}})}, {},
+      {state});
+  ASSERT_TRUE(ds.ok());
+  auto col = ds->ColumnByName("flush_policy");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->CategoryName((*col)->code(0)), "adaptive");
+  EXPECT_EQ((*col)->CategoryName((*col)->code(1)), "adaptive");
+  EXPECT_EQ((*col)->CategoryName((*col)->code(2)), "off");
+  EXPECT_EQ((*col)->CategoryName((*col)->code(3)), "off");
+}
+
+TEST(AlignTest, ExplicitWindowClipsData) {
+  AlignmentOptions options;
+  options.start_time = 1.0;
+  options.end_time = 3.0;
+  auto ds = AlignLogs(
+      {Series("x", Aggregation::kSum,
+              {{0.5, 100.0}, {1.5, 1.0}, {2.5, 2.0}, {3.5, 100.0}})},
+      {}, {}, options);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(ds->timestamp(0), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 0), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 1), 2.0);
+}
+
+TEST(AlignTest, CoarserInterval) {
+  AlignmentOptions options;
+  options.interval_sec = 5.0;
+  auto ds = AlignLogs(
+      {Series("x", Aggregation::kSum, {{0.0, 1.0}, {4.9, 1.0}, {5.1, 1.0}})},
+      {}, {}, options);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 0), 2.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 1), 1.0);
+}
+
+TEST(AlignTest, RejectsBadInputs) {
+  AlignmentOptions bad_interval;
+  bad_interval.interval_sec = 0.0;
+  EXPECT_FALSE(AlignLogs({Series("x", Aggregation::kSum, {{0, 1}})}, {}, {},
+                         bad_interval)
+                   .ok());
+  // Duplicate names.
+  EXPECT_FALSE(AlignLogs({Series("x", Aggregation::kSum, {{0, 1}}),
+                          Series("x", Aggregation::kMean, {{0, 1}})},
+                         {}, {})
+                   .ok());
+  // No data at all.
+  EXPECT_FALSE(AlignLogs({}, {}, {}).ok());
+  // Empty name.
+  EXPECT_FALSE(
+      AlignLogs({Series("", Aggregation::kSum, {{0, 1}})}, {}, {}).ok());
+}
+
+TEST(AlignTest, OutputFeedsDiagnosisDirectly) {
+  // End-to-end: build a raw log with a planted anomaly, align it, and
+  // check the dataset is diagnosable (timestamps regular, schema sane).
+  std::vector<RawSample> cpu;
+  std::vector<QueryLogEntry> queries;
+  for (int t = 0; t < 120; ++t) {
+    bool ab = t >= 60 && t < 90;
+    cpu.push_back({t + 0.3, ab ? 95.0 : 35.0});
+    cpu.push_back({t + 0.8, ab ? 93.0 : 38.0});
+    queries.push_back({t + 0.5, ab ? 120.0 : 8.0, "SELECT"});
+  }
+  auto ds = AlignLogs({Series("os_cpu", Aggregation::kMean, cpu)}, queries,
+                      {});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_rows(), 120u);
+  for (size_t i = 1; i < ds->num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(ds->timestamp(i) - ds->timestamp(i - 1), 1.0);
+  }
+  EXPECT_GT(Value(*ds, "os_cpu", 70), 80.0);
+  EXPECT_LT(Value(*ds, "os_cpu", 10), 50.0);
+  EXPECT_GT(Value(*ds, "avg_latency_ms", 70), 100.0);
+}
+
+}  // namespace
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,231 @@
+#include "core/causal_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dbsherlock::core {
+namespace {
+
+Predicate Gt(const std::string& attr, double low) {
+  return Predicate{attr, PredicateType::kGreaterThan, low, 0.0, {}};
+}
+Predicate Lt(const std::string& attr, double high) {
+  return Predicate{attr, PredicateType::kLessThan, 0.0, high, {}};
+}
+Predicate Range(const std::string& attr, double low, double high) {
+  return Predicate{attr, PredicateType::kRange, low, high, {}};
+}
+Predicate InSet(const std::string& attr, std::vector<std::string> cats) {
+  return Predicate{attr, PredicateType::kInSet, 0.0, 0.0, std::move(cats)};
+}
+
+// --- MergePredicates ---------------------------------------------------------
+
+TEST(MergePredicatesTest, GreaterThanWidensDownward) {
+  auto m = MergePredicates(Gt("a", 10.0), Gt("a", 15.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, PredicateType::kGreaterThan);
+  EXPECT_DOUBLE_EQ(m->low, 10.0);  // the paper's {A>10, A>15} -> A>10
+}
+
+TEST(MergePredicatesTest, LessThanWidensUpward) {
+  auto m = MergePredicates(Lt("a", 30.0), Lt("a", 20.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, PredicateType::kLessThan);
+  EXPECT_DOUBLE_EQ(m->high, 30.0);
+}
+
+TEST(MergePredicatesTest, RangesUnion) {
+  auto m = MergePredicates(Range("a", 10.0, 20.0), Range("a", 15.0, 40.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, PredicateType::kRange);
+  EXPECT_DOUBLE_EQ(m->low, 10.0);
+  EXPECT_DOUBLE_EQ(m->high, 40.0);
+}
+
+TEST(MergePredicatesTest, GreaterWithRangeDropsUpperBound) {
+  auto m = MergePredicates(Gt("a", 12.0), Range("a", 15.0, 40.0));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, PredicateType::kGreaterThan);
+  EXPECT_DOUBLE_EQ(m->low, 12.0);
+}
+
+TEST(MergePredicatesTest, OppositeDirectionsInconsistent) {
+  EXPECT_FALSE(MergePredicates(Gt("a", 10.0), Lt("a", 30.0)).has_value());
+  EXPECT_FALSE(MergePredicates(Lt("a", 30.0), Gt("a", 10.0)).has_value());
+}
+
+TEST(MergePredicatesTest, DifferentAttributesRejected) {
+  EXPECT_FALSE(MergePredicates(Gt("a", 1.0), Gt("b", 1.0)).has_value());
+}
+
+TEST(MergePredicatesTest, MixedKindsRejected) {
+  EXPECT_FALSE(MergePredicates(Gt("a", 1.0), InSet("a", {"x"})).has_value());
+}
+
+TEST(MergePredicatesTest, CategoricalIntersects) {
+  // The paper's example: {xx,yy,zz} merged with {xx,zz} -> {xx,zz}.
+  auto m = MergePredicates(InSet("e", {"xx", "yy", "zz"}),
+                           InSet("e", {"xx", "zz"}));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->categories, (std::vector<std::string>{"xx", "zz"}));
+}
+
+TEST(MergePredicatesTest, DisjointCategoriesInconsistent) {
+  EXPECT_FALSE(
+      MergePredicates(InSet("e", {"a"}), InSet("e", {"b"})).has_value());
+}
+
+// --- MergeCausalModels (the paper's Section 6.2 worked example) ---------------
+
+TEST(MergeCausalModelsTest, PaperExample) {
+  CausalModel m1{"cause",
+                 {Gt("A", 10.0), Gt("B", 100.0), Gt("C", 20.0),
+                  InSet("E", {"xx", "yy", "zz"})},
+                 1};
+  CausalModel m2{"cause",
+                 {Gt("A", 15.0), Gt("C", 15.0), Lt("D", 250.0),
+                  InSet("E", {"xx", "zz"})},
+                 1};
+  auto merged = MergeCausalModels(m1, m2);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->predicates.size(), 3u);  // A, C, E common
+  EXPECT_EQ(merged->predicates[0].attribute, "A");
+  EXPECT_DOUBLE_EQ(merged->predicates[0].low, 10.0);
+  EXPECT_EQ(merged->predicates[1].attribute, "C");
+  EXPECT_DOUBLE_EQ(merged->predicates[1].low, 15.0);
+  EXPECT_EQ(merged->predicates[2].attribute, "E");
+  EXPECT_EQ(merged->predicates[2].categories,
+            (std::vector<std::string>{"xx", "zz"}));
+  EXPECT_EQ(merged->num_sources, 2);
+}
+
+TEST(MergeCausalModelsTest, InconsistentAttributeDropped) {
+  CausalModel m1{"cause", {Gt("A", 10.0), Gt("B", 5.0)}, 1};
+  CausalModel m2{"cause", {Lt("A", 30.0), Gt("B", 2.0)}, 1};
+  auto merged = MergeCausalModels(m1, m2);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->predicates.size(), 1u);
+  EXPECT_EQ(merged->predicates[0].attribute, "B");
+}
+
+TEST(MergeCausalModelsTest, DifferentCausesFail) {
+  CausalModel m1{"x", {}, 1};
+  CausalModel m2{"y", {}, 1};
+  EXPECT_FALSE(MergeCausalModels(m1, m2).ok());
+}
+
+// --- ModelConfidence -----------------------------------------------------------
+
+struct ConfidenceData {
+  tsdata::Dataset dataset;
+  tsdata::LabeledRows rows;
+};
+
+ConfidenceData MakeConfidenceData(double abnormal_level, uint64_t seed) {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric},
+       {"y", tsdata::AttributeKind::kNumeric}}));
+  common::Pcg32 rng(seed);
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal.Add(100, 150);
+  for (int t = 0; t < 200; ++t) {
+    bool ab = t >= 100 && t < 150;
+    double x = (ab ? abnormal_level : 10.0) + rng.NextGaussian(0.0, 2.0);
+    double y = 50.0 + rng.NextGaussian(0.0, 2.0);
+    EXPECT_TRUE(d.AppendRow(t, {x, y}).ok());
+  }
+  ConfidenceData out{std::move(d), {}};
+  out.rows = SplitRows(out.dataset, regions);
+  return out;
+}
+
+TEST(ModelConfidenceTest, MatchingModelScoresHigh) {
+  ConfidenceData data = MakeConfidenceData(100.0, 3);
+  // A boundary-adjacent predicate, as DBSherlock itself would extract.
+  CausalModel model{"spike", {Gt("x", 90.0)}, 1};
+  double conf =
+      ModelConfidence(model, data.dataset, data.rows, PredicateGenOptions{});
+  EXPECT_GT(conf, 70.0);
+}
+
+TEST(ModelConfidenceTest, MidGapThresholdStillScoresHigh) {
+  // Confidence is measured on the *labeled* partition space (Eq. 3 uses
+  // Section 4.2's labels): the gap between the clusters holds no tuples
+  // and thus no partitions that could dilute a mid-gap threshold. Both a
+  // boundary-adjacent and a mid-gap predicate separate perfectly.
+  ConfidenceData data = MakeConfidenceData(100.0, 3);
+  CausalModel tight{"spike", {Gt("x", 90.0)}, 1};
+  CausalModel loose{"spike", {Gt("x", 50.0)}, 1};
+  PredicateGenOptions options;
+  EXPECT_GT(ModelConfidence(tight, data.dataset, data.rows, options), 80.0);
+  EXPECT_GT(ModelConfidence(loose, data.dataset, data.rows, options), 80.0);
+}
+
+TEST(ModelConfidenceTest, SkewedAttributeUsesNormalAnchor) {
+  // All normal values collapse into the first partition of a heavily
+  // skewed range; abnormal ramp tuples share it, so no pure Normal
+  // partition exists. The Section 4.4 anchor keeps confidence meaningful.
+  tsdata::Dataset d(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric}}));
+  common::Pcg32 rng(42);
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal.Add(100, 150);
+  for (int t = 0; t < 200; ++t) {
+    bool ab = t >= 100 && t < 150;
+    // Normal: ~1. Abnormal: mostly 1e5, but the first ramp second is ~1
+    // (shares the normal partition).
+    double v = ab ? (t == 100 ? 1.0 : 1e5 + rng.NextGaussian(0.0, 100.0))
+                  : 1.0 + 0.1 * rng.NextDouble();
+    ASSERT_TRUE(d.AppendRow(t, {v}).ok());
+  }
+  tsdata::LabeledRows rows = SplitRows(d, regions);
+  CausalModel model{"m", {Gt("x", 1000.0)}, 1};
+  EXPECT_GT(ModelConfidence(model, d, rows, PredicateGenOptions{}), 80.0);
+  CausalModel inverse{"m", {Lt("x", 500.0)}, 1};
+  EXPECT_LT(ModelConfidence(inverse, d, rows, PredicateGenOptions{}), -50.0);
+}
+
+TEST(ModelConfidenceTest, OppositeModelScoresNegative) {
+  ConfidenceData data = MakeConfidenceData(100.0, 4);
+  CausalModel model{"inverse", {Lt("x", 50.0)}, 1};
+  double conf =
+      ModelConfidence(model, data.dataset, data.rows, PredicateGenOptions{});
+  EXPECT_LT(conf, -50.0);
+}
+
+TEST(ModelConfidenceTest, IrrelevantAttributeContributesZero) {
+  ConfidenceData data = MakeConfidenceData(100.0, 5);
+  // One perfect predicate plus one on a missing attribute: the average
+  // halves.
+  CausalModel model{"m", {Gt("x", 50.0), Gt("missing", 1.0)}, 1};
+  double both =
+      ModelConfidence(model, data.dataset, data.rows, PredicateGenOptions{});
+  CausalModel alone{"m", {Gt("x", 50.0)}, 1};
+  double single =
+      ModelConfidence(alone, data.dataset, data.rows, PredicateGenOptions{});
+  EXPECT_NEAR(both, single / 2.0, 5.0);
+}
+
+TEST(ModelConfidenceTest, EmptyModelIsZero) {
+  ConfidenceData data = MakeConfidenceData(100.0, 6);
+  CausalModel model{"m", {}, 1};
+  EXPECT_DOUBLE_EQ(
+      ModelConfidence(model, data.dataset, data.rows, PredicateGenOptions{}),
+      0.0);
+}
+
+TEST(ModelConfidenceTest, ThresholdsTransferAcrossLevels) {
+  // A model learned at abnormal level 100 (boundary ~90) still fits data
+  // whose anomaly sits at 140: the predicate keeps covering the abnormal
+  // partitions, at some dilution from gap-filled Normals.
+  ConfidenceData data = MakeConfidenceData(140.0, 7);
+  CausalModel model{"spike", {Gt("x", 90.0)}, 1};
+  EXPECT_GT(
+      ModelConfidence(model, data.dataset, data.rows, PredicateGenOptions{}),
+      50.0);
+}
+
+}  // namespace
+}  // namespace dbsherlock::core

@@ -1,0 +1,146 @@
+#include "viz/chart.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dbsherlock::viz {
+namespace {
+
+struct ChartData {
+  tsdata::Dataset dataset;
+  tsdata::RegionSpec abnormal;
+};
+
+ChartData MakeData(int rows = 200) {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"latency", tsdata::AttributeKind::kNumeric},
+       {"cpu", tsdata::AttributeKind::kNumeric},
+       {"mode", tsdata::AttributeKind::kCategorical}}));
+  common::Pcg32 rng(1);
+  for (int t = 0; t < rows; ++t) {
+    bool ab = t >= 100 && t < 150;
+    EXPECT_TRUE(d.AppendRow(t, {(ab ? 80.0 : 10.0) + rng.NextGaussian(),
+                                40.0 + rng.NextGaussian(),
+                                std::string("x")})
+                    .ok());
+  }
+  ChartData out{std::move(d), {}};
+  out.abnormal.Add(100.0, 150.0);
+  return out;
+}
+
+TEST(AsciiChartTest, RendersGridWithMarkers) {
+  ChartData data = MakeData();
+  AsciiChartOptions options;
+  options.width = 80;
+  options.height = 12;
+  options.title = "Average latency";
+  auto chart = RenderAsciiChart(data.dataset, "latency", data.abnormal,
+                                options);
+  ASSERT_TRUE(chart.ok()) << chart.status().ToString();
+  EXPECT_NE(chart->find("Average latency"), std::string::npos);
+  EXPECT_NE(chart->find('#'), std::string::npos);  // abnormal columns
+  EXPECT_NE(chart->find('*'), std::string::npos);  // normal columns
+  EXPECT_NE(chart->find('^'), std::string::npos);  // marker line
+  // Height: title + top axis + 12 rows + bottom axis + marker + footer.
+  size_t newlines = static_cast<size_t>(
+      std::count(chart->begin(), chart->end(), '\n'));
+  EXPECT_EQ(newlines, 17u);
+}
+
+TEST(AsciiChartTest, NoAbnormalRegionNoHashes) {
+  ChartData data = MakeData();
+  auto chart =
+      RenderAsciiChart(data.dataset, "cpu", tsdata::RegionSpec{}, {});
+  ASSERT_TRUE(chart.ok());
+  EXPECT_EQ(chart->find('#'), std::string::npos);
+}
+
+TEST(AsciiChartTest, MissingAttributeFails) {
+  ChartData data = MakeData();
+  EXPECT_FALSE(
+      RenderAsciiChart(data.dataset, "nope", data.abnormal, {}).ok());
+}
+
+TEST(AsciiChartTest, CategoricalAttributeFails) {
+  ChartData data = MakeData();
+  EXPECT_FALSE(
+      RenderAsciiChart(data.dataset, "mode", data.abnormal, {}).ok());
+}
+
+TEST(AsciiChartTest, EmptyDatasetFails) {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric}}));
+  EXPECT_FALSE(RenderAsciiChart(d, "x", tsdata::RegionSpec{}, {}).ok());
+}
+
+TEST(AsciiChartTest, TinyOptionsClampToUsableSize) {
+  ChartData data = MakeData();
+  AsciiChartOptions options;
+  options.width = 1;
+  options.height = 1;
+  auto chart = RenderAsciiChart(data.dataset, "latency", data.abnormal,
+                                options);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_FALSE(chart->empty());
+}
+
+TEST(SvgChartTest, StructureContainsExpectedElements) {
+  ChartData data = MakeData();
+  SvgChartOptions options;
+  options.title = "Incident 42";
+  auto svg = RenderSvgChart(data.dataset,
+                            {{"latency", "#d62728"}, {"cpu", "#1f77b4"}},
+                            data.abnormal, options);
+  ASSERT_TRUE(svg.ok()) << svg.status().ToString();
+  EXPECT_NE(svg->find("<svg "), std::string::npos);
+  EXPECT_NE(svg->find("</svg>"), std::string::npos);
+  EXPECT_NE(svg->find("Incident 42"), std::string::npos);
+  EXPECT_NE(svg->find("abnormal-region"), std::string::npos);
+  // Two polylines, one per series.
+  size_t first = svg->find("<polyline");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(svg->find("<polyline", first + 1), std::string::npos);
+  EXPECT_NE(svg->find("#d62728"), std::string::npos);
+  // Legend carries the series value ranges.
+  EXPECT_NE(svg->find("latency ["), std::string::npos);
+}
+
+TEST(SvgChartTest, NoRegionNoBand) {
+  ChartData data = MakeData();
+  auto svg = RenderSvgChart(data.dataset, {{"latency"}},
+                            tsdata::RegionSpec{}, {});
+  ASSERT_TRUE(svg.ok());
+  EXPECT_EQ(svg->find("abnormal-region"), std::string::npos);
+}
+
+TEST(SvgChartTest, PolylineHasOnePointPerRow) {
+  ChartData data = MakeData(50);
+  auto svg = RenderSvgChart(data.dataset, {{"latency"}}, data.abnormal, {});
+  ASSERT_TRUE(svg.ok());
+  size_t points_begin = svg->find("points=\"");
+  ASSERT_NE(points_begin, std::string::npos);
+  size_t points_end = svg->find('"', points_begin + 8);
+  std::string points =
+      svg->substr(points_begin + 8, points_end - points_begin - 8);
+  size_t commas = static_cast<size_t>(
+      std::count(points.begin(), points.end(), ','));
+  EXPECT_EQ(commas, 50u);
+}
+
+TEST(SvgChartTest, FailsOnBadInput) {
+  ChartData data = MakeData();
+  EXPECT_FALSE(
+      RenderSvgChart(data.dataset, {}, data.abnormal, {}).ok());
+  EXPECT_FALSE(
+      RenderSvgChart(data.dataset, {{"missing"}}, data.abnormal, {}).ok());
+  tsdata::Dataset single(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric}}));
+  ASSERT_TRUE(single.AppendRow(0, {1.0}).ok());
+  EXPECT_FALSE(
+      RenderSvgChart(single, {{"x"}}, tsdata::RegionSpec{}, {}).ok());
+}
+
+}  // namespace
+}  // namespace dbsherlock::viz

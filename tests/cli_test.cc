@@ -1,0 +1,161 @@
+// Integration tests for the `dbsherlock` CLI: each subcommand is executed
+// as a real subprocess against temp files, checking exit codes and output.
+// The binary path comes from the DBSHERLOCK_CLI_PATH compile definition.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult RunCli(const std::string& args) {
+  std::string command = std::string(DBSHERLOCK_CLI_PATH) + " " + args +
+                        " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/dbsherlock_cli_" + name;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_path_ = new std::string(TempPath("incident.csv"));
+    models_path_ = new std::string(TempPath("models.json"));
+    std::remove(models_path_->c_str());
+    RunResult r = RunCli("simulate --anomaly lock_contention --seed 7 --out " +
+                         *data_path_);
+    ASSERT_EQ(r.exit_code, 0) << r.output;
+  }
+
+  static std::string* data_path_;
+  static std::string* models_path_;
+};
+
+std::string* CliTest::data_path_ = nullptr;
+std::string* CliTest::models_path_ = nullptr;
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  RunResult r = RunCli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommandPrintsUsage) {
+  RunResult r = RunCli("frobnicate");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(CliTest, SimulateRejectsUnknownAnomaly) {
+  RunResult r = RunCli("simulate --anomaly nonsense --out /dev/null");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("lock_contention"), std::string::npos);  // listed
+}
+
+TEST_F(CliTest, PlotRendersAsciiChart) {
+  RunResult r = RunCli("plot --data " + *data_path_ +
+                       " --attribute avg_latency_ms --abnormal 60:120");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("avg_latency_ms"), std::string::npos);
+  EXPECT_NE(r.output.find('^'), std::string::npos);  // region markers
+}
+
+TEST_F(CliTest, PlotWritesSvg) {
+  std::string svg_path = TempPath("chart.svg");
+  RunResult r = RunCli("plot --data " + *data_path_ +
+                       " --attribute throughput_tps --svg " + svg_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  FILE* f = std::fopen(svg_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char head[6] = {0};
+  ASSERT_EQ(fread(head, 1, 4, f), 4u);
+  std::fclose(f);
+  EXPECT_EQ(std::string(head, 4), "<svg");
+  std::remove(svg_path.c_str());
+}
+
+TEST_F(CliTest, DiagnoseFindsLockPredicates) {
+  RunResult r =
+      RunCli("diagnose --data " + *data_path_ + " --abnormal 60:120");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Predicates:"), std::string::npos);
+  EXPECT_NE(r.output.find("lock_wait"), std::string::npos);
+}
+
+TEST_F(CliTest, DiagnoseRejectsBadRegion) {
+  RunResult r =
+      RunCli("diagnose --data " + *data_path_ + " --abnormal 120:60");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(CliTest, TeachThenModelsThenDiagnoseNamesCause) {
+  RunResult teach = RunCli(
+      "teach --data " + *data_path_ +
+      " --abnormal 60:120 --cause \"Lock Contention\" --action "
+      "\"spread hot rows\" --models " +
+      *models_path_);
+  ASSERT_EQ(teach.exit_code, 0) << teach.output;
+  EXPECT_NE(teach.output.find("Stored causal model"), std::string::npos);
+
+  RunResult models = RunCli("models --models " + *models_path_);
+  EXPECT_EQ(models.exit_code, 0) << models.output;
+  EXPECT_NE(models.output.find("Lock Contention"), std::string::npos);
+  EXPECT_NE(models.output.find("spread hot rows"), std::string::npos);
+
+  RunResult diagnose = RunCli("diagnose --data " + *data_path_ +
+                              " --abnormal 60:120 --models " + *models_path_);
+  EXPECT_EQ(diagnose.exit_code, 0) << diagnose.output;
+  EXPECT_NE(diagnose.output.find("Likely causes:"), std::string::npos);
+  EXPECT_NE(diagnose.output.find("Lock Contention"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportWritesHtml) {
+  std::string report_path = TempPath("report.html");
+  RunResult r = RunCli("report --data " + *data_path_ +
+                       " --abnormal 60:120 --out " + report_path +
+                       " --title TestIncident");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  FILE* f = std::fopen(report_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(1 << 16, '\0');
+  contents.resize(fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  EXPECT_NE(contents.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(contents.find("TestIncident"), std::string::npos);
+  std::remove(report_path.c_str());
+}
+
+TEST_F(CliTest, DetectRunsOnData) {
+  RunResult r = RunCli("detect --data " + *data_path_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // On a 180 s run with a 60 s anomaly the region exceeds the 20% cluster
+  // cutoff, so "no anomaly" is the expected (and documented) answer.
+  EXPECT_TRUE(r.output.find("No anomaly detected") != std::string::npos ||
+              r.output.find("Detected abnormal") != std::string::npos);
+}
+
+TEST_F(CliTest, MissingDataFileFails) {
+  RunResult r = RunCli("diagnose --data /no/such.csv --abnormal 1:2");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("error"), std::string::npos);
+}
+
+}  // namespace

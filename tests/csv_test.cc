@@ -1,0 +1,110 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace dbsherlock::common {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto r = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0], (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_EQ(r->rows[1], (std::vector<std::string>{"4", "5", "6"}));
+}
+
+TEST(CsvTest, NoHeaderMode) {
+  auto r = ParseCsv("1,2\n3,4\n", /*has_header=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->header.empty());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto r = ParseCsv("name,desc\nx,\"a,b\"\ny,\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][1], "a,b");
+  EXPECT_EQ(r->rows[1][1], "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewlines) {
+  auto r = ParseCsv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->header[1], "b");
+  EXPECT_EQ(r->rows[0][1], "2");
+}
+
+TEST(CsvTest, MissingFinalNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto r = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto r = ParseCsv("a\n\"oops\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, EmptyDocument) {
+  auto r = ParseCsv("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->header.empty());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  auto r = ParseCsv("a;b\n1;2\n", true, ';');
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0], "1");
+}
+
+TEST(CsvTest, RoundTripWithQuoting) {
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"plain", "with,comma"},
+                {"quote\"inside", "multi\nline"}};
+  std::string text = WriteCsv(table);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header, table.header);
+  EXPECT_EQ(parsed->rows, table.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvTable table;
+  table.header = {"x"};
+  table.rows = {{"1"}, {"2"}};
+  std::string path = testing::TempDir() + "/dbsherlock_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace dbsherlock::common

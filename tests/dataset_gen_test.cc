@@ -1,0 +1,112 @@
+#include "simulator/dataset_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "simulator/metric_schema.h"
+
+namespace dbsherlock::simulator {
+namespace {
+
+TEST(DatasetGenTest, SingleAnomalyLayout) {
+  DatasetGenOptions options;
+  options.seed = 1;
+  GeneratedDataset run =
+      GenerateAnomalyDataset(options, AnomalyKind::kIoSaturation, 45.0);
+  // Two minutes of normal + 45 s anomaly.
+  EXPECT_EQ(run.data.num_rows(), 165u);
+  ASSERT_EQ(run.regions.abnormal.ranges().size(), 1u);
+  EXPECT_DOUBLE_EQ(run.regions.abnormal.ranges()[0].start, 60.0);
+  EXPECT_DOUBLE_EQ(run.regions.abnormal.ranges()[0].end, 105.0);
+  EXPECT_TRUE(run.regions.normal.empty());  // implicit normal
+  EXPECT_EQ(run.label, "I/O Saturation");
+  ASSERT_EQ(run.events.size(), 1u);
+  EXPECT_EQ(run.events[0].kind, AnomalyKind::kIoSaturation);
+}
+
+TEST(DatasetGenTest, SchemaMatchesMetricSchema) {
+  DatasetGenOptions options;
+  GeneratedDataset run =
+      GenerateAnomalyDataset(options, AnomalyKind::kWorkloadSpike, 30.0);
+  EXPECT_TRUE(run.data.schema() == MetricSchema());
+  EXPECT_EQ(run.data.num_attributes(), NumNumericMetrics() + 2);
+}
+
+TEST(DatasetGenTest, TimestampsStartAtZeroPerSecond) {
+  DatasetGenOptions options;
+  GeneratedDataset run =
+      GenerateAnomalyDataset(options, AnomalyKind::kWorkloadSpike, 30.0);
+  EXPECT_DOUBLE_EQ(run.data.timestamp(0), 0.0);
+  EXPECT_DOUBLE_EQ(run.data.timestamp(1), 1.0);
+  EXPECT_DOUBLE_EQ(run.data.timestamp(run.data.num_rows() - 1),
+                   static_cast<double>(run.data.num_rows() - 1));
+}
+
+TEST(DatasetGenTest, SeriesHasElevenDatasetsWithPaperDurations) {
+  DatasetGenOptions options;
+  options.seed = 3;
+  std::vector<GeneratedDataset> series =
+      GenerateAnomalySeries(options, AnomalyKind::kDatabaseBackup);
+  ASSERT_EQ(series.size(), 11u);
+  for (size_t i = 0; i < series.size(); ++i) {
+    double expected_duration = 30.0 + 5.0 * static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(series[i].events[0].duration_sec, expected_duration);
+    EXPECT_EQ(series[i].data.num_rows(),
+              static_cast<size_t>(120 + expected_duration));
+  }
+}
+
+TEST(DatasetGenTest, SeriesDatasetsDiffer) {
+  DatasetGenOptions options;
+  options.seed = 4;
+  std::vector<GeneratedDataset> series =
+      GenerateAnomalySeries(options, AnomalyKind::kCpuSaturation);
+  // Different seeds + magnitudes: first rows differ across the series.
+  EXPECT_NE(series[0].data.column(0).numeric(0),
+            series[1].data.column(0).numeric(0));
+  EXPECT_NE(series[0].events[0].magnitude, series[10].events[0].magnitude);
+}
+
+TEST(DatasetGenTest, CompoundDatasetUnionsRegions) {
+  DatasetGenOptions options;
+  options.seed = 5;
+  GeneratedDataset run = GenerateCompoundDataset(
+      options,
+      {AnomalyKind::kWorkloadSpike, AnomalyKind::kNetworkCongestion}, 50.0);
+  EXPECT_EQ(run.events.size(), 2u);
+  EXPECT_EQ(run.label, "Workload Spike + Network Congestion");
+  // Both events share the same window here, so the union equals it.
+  EXPECT_TRUE(run.regions.abnormal.Contains(80.0));
+  EXPECT_FALSE(run.regions.abnormal.Contains(20.0));
+}
+
+TEST(DatasetGenTest, ScheduleWithDisjointEvents) {
+  DatasetGenOptions options;
+  options.seed = 6;
+  AnomalyEvent a{AnomalyKind::kCpuSaturation, 30.0, 20.0};
+  AnomalyEvent b{AnomalyKind::kIoSaturation, 100.0, 20.0};
+  GeneratedDataset run = GenerateWithSchedule(options, {a, b}, 180.0);
+  EXPECT_EQ(run.data.num_rows(), 180u);
+  EXPECT_TRUE(run.regions.abnormal.Contains(35.0));
+  EXPECT_FALSE(run.regions.abnormal.Contains(70.0));
+  EXPECT_TRUE(run.regions.abnormal.Contains(110.0));
+}
+
+TEST(DatasetGenTest, CompoundLabelFormatting) {
+  EXPECT_EQ(CompoundLabel({AnomalyKind::kCpuSaturation}), "CPU Saturation");
+  EXPECT_EQ(CompoundLabel({AnomalyKind::kCpuSaturation,
+                           AnomalyKind::kIoSaturation,
+                           AnomalyKind::kNetworkCongestion}),
+            "CPU Saturation + I/O Saturation + Network Congestion");
+}
+
+TEST(DatasetGenTest, AnomalyKindNamesRoundTrip) {
+  for (AnomalyKind kind : AllAnomalyKinds()) {
+    EXPECT_FALSE(AnomalyKindName(kind).empty());
+    EXPECT_FALSE(AnomalyKindId(kind).empty());
+    EXPECT_EQ(AnomalyKindId(kind).find(' '), std::string::npos);
+  }
+  EXPECT_EQ(AllAnomalyKinds().size(), 10u);
+}
+
+}  // namespace
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,82 @@
+#include "tsdata/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dbsherlock::tsdata {
+namespace {
+
+Dataset SampleDataset() {
+  Dataset d(Schema({{"latency", AttributeKind::kNumeric},
+                    {"mode", AttributeKind::kCategorical}}));
+  EXPECT_TRUE(d.AppendRow(0.0, {1.25, std::string("fast")}).ok());
+  EXPECT_TRUE(d.AppendRow(1.0, {2.5, std::string("slow, very")}).ok());
+  EXPECT_TRUE(d.AppendRow(2.0, {1e-9, std::string("fast")}).ok());
+  return d;
+}
+
+TEST(DatasetIoTest, RoundTripPreservesEverything) {
+  Dataset original = SampleDataset();
+  std::string csv = DatasetToCsv(original);
+  auto parsed = DatasetFromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Dataset& d = *parsed;
+  ASSERT_EQ(d.num_rows(), 3u);
+  EXPECT_TRUE(d.schema() == original.schema());
+  EXPECT_DOUBLE_EQ(d.timestamp(1), 1.0);
+  EXPECT_DOUBLE_EQ(d.column(0).numeric(2), 1e-9);
+  const Column& mode = d.column(1);
+  EXPECT_EQ(mode.CategoryName(mode.code(1)), "slow, very");
+}
+
+TEST(DatasetIoTest, HeaderMarksCategoricalColumns) {
+  std::string csv = DatasetToCsv(SampleDataset());
+  EXPECT_NE(csv.find("mode@cat"), std::string::npos);
+  EXPECT_NE(csv.find("latency"), std::string::npos);
+  EXPECT_EQ(csv.find("latency@cat"), std::string::npos);
+}
+
+TEST(DatasetIoTest, RejectsMissingTimestampColumn) {
+  auto r = DatasetFromCsv("a,b\n1,2\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(DatasetIoTest, RejectsNonNumericValueInNumericColumn) {
+  auto r = DatasetFromCsv("timestamp,v\n0,hello\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kParseError);
+}
+
+TEST(DatasetIoTest, ParsesCategoricalSuffix) {
+  auto r = DatasetFromCsv("timestamp,v@cat\n0,red\n1,blue\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema().attribute(0).name, "v");
+  EXPECT_EQ(r->schema().attribute(0).kind, AttributeKind::kCategorical);
+  EXPECT_EQ(r->column(0).num_categories(), 2u);
+}
+
+TEST(DatasetIoTest, EmptyDatasetRoundTrips) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  auto parsed = DatasetFromCsv(DatasetToCsv(d));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 0u);
+  EXPECT_EQ(parsed->num_attributes(), 1u);
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  Dataset original = SampleDataset();
+  std::string path = testing::TempDir() + "/dbsherlock_ds_test.csv";
+  ASSERT_TRUE(WriteDatasetFile(original, path).ok());
+  auto r = ReadDatasetFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadDatasetFile("/no/such/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace dbsherlock::tsdata

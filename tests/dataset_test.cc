@@ -1,0 +1,99 @@
+#include "tsdata/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::tsdata {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema({{"latency", AttributeKind::kNumeric},
+                 {"mode", AttributeKind::kCategorical}});
+}
+
+TEST(DatasetTest, AppendAndRead) {
+  Dataset d(TwoColumnSchema());
+  ASSERT_TRUE(d.AppendRow(0.0, {1.5, std::string("fast")}).ok());
+  ASSERT_TRUE(d.AppendRow(1.0, {2.5, std::string("slow")}).ok());
+  ASSERT_TRUE(d.AppendRow(2.0, {3.5, std::string("fast")}).ok());
+
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(d.timestamp(1), 1.0);
+  EXPECT_DOUBLE_EQ(d.column(0).numeric(2), 3.5);
+  const Column& mode = d.column(1);
+  EXPECT_EQ(mode.num_categories(), 2u);
+  EXPECT_EQ(mode.CategoryName(mode.code(0)), "fast");
+  EXPECT_EQ(mode.code(0), mode.code(2));
+  EXPECT_NE(mode.code(0), mode.code(1));
+}
+
+TEST(DatasetTest, RejectsArityMismatch) {
+  Dataset d(TwoColumnSchema());
+  EXPECT_FALSE(d.AppendRow(0.0, {1.5}).ok());
+  EXPECT_EQ(d.num_rows(), 0u);
+}
+
+TEST(DatasetTest, RejectsKindMismatch) {
+  Dataset d(TwoColumnSchema());
+  EXPECT_FALSE(d.AppendRow(0.0, {std::string("x"), std::string("y")}).ok());
+  EXPECT_FALSE(d.AppendRow(0.0, {1.0, 2.0}).ok());
+  EXPECT_EQ(d.num_rows(), 0u);
+}
+
+TEST(DatasetTest, RejectsDecreasingTimestamps) {
+  Dataset d(TwoColumnSchema());
+  ASSERT_TRUE(d.AppendRow(5.0, {1.0, std::string("a")}).ok());
+  EXPECT_FALSE(d.AppendRow(4.0, {1.0, std::string("a")}).ok());
+  // Equal timestamps are allowed (non-decreasing).
+  EXPECT_TRUE(d.AppendRow(5.0, {1.0, std::string("a")}).ok());
+}
+
+TEST(DatasetTest, ColumnByName) {
+  Dataset d(TwoColumnSchema());
+  ASSERT_TRUE(d.AppendRow(0.0, {9.0, std::string("x")}).ok());
+  auto col = d.ColumnByName("latency");
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ((*col)->numeric(0), 9.0);
+  EXPECT_FALSE(d.ColumnByName("nope").ok());
+}
+
+TEST(DatasetTest, RowsInTimeRange) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  for (int t = 0; t < 10; ++t) {
+    ASSERT_TRUE(d.AppendRow(t, {static_cast<double>(t)}).ok());
+  }
+  std::vector<size_t> rows = d.RowsInTimeRange(3.0, 6.0);
+  EXPECT_EQ(rows, (std::vector<size_t>{3, 4, 5}));
+  EXPECT_TRUE(d.RowsInTimeRange(100.0, 200.0).empty());
+}
+
+TEST(DatasetTest, SliceCopiesRowsAndDictionaries) {
+  Dataset d(TwoColumnSchema());
+  ASSERT_TRUE(d.AppendRow(0.0, {1.0, std::string("a")}).ok());
+  ASSERT_TRUE(d.AppendRow(1.0, {2.0, std::string("b")}).ok());
+  ASSERT_TRUE(d.AppendRow(2.0, {3.0, std::string("a")}).ok());
+
+  Dataset s = d.Slice(1, 3);
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(s.timestamp(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.column(0).numeric(1), 3.0);
+  const Column& mode = s.column(1);
+  EXPECT_EQ(mode.CategoryName(mode.code(0)), "b");
+  EXPECT_EQ(mode.CategoryName(mode.code(1)), "a");
+}
+
+TEST(DatasetTest, SliceClampsEnd) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRow(0.0, {1.0}).ok());
+  Dataset s = d.Slice(0, 100);
+  EXPECT_EQ(s.num_rows(), 1u);
+}
+
+TEST(ColumnTest, CodeOfUnknownCategory) {
+  Column c(AttributeKind::kCategorical);
+  c.AppendCategorical("x");
+  EXPECT_EQ(c.CodeOf("x"), 0);
+  EXPECT_EQ(c.CodeOf("y"), -1);
+}
+
+}  // namespace
+}  // namespace dbsherlock::tsdata

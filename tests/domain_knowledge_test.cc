@@ -1,0 +1,181 @@
+#include "core/domain_knowledge.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dbsherlock::core {
+namespace {
+
+TEST(DomainKnowledgeTest, AddRuleBasics) {
+  DomainKnowledge dk;
+  EXPECT_TRUE(dk.AddRule({"a", "b"}).ok());
+  EXPECT_EQ(dk.rules().size(), 1u);
+  EXPECT_FALSE(dk.empty());
+}
+
+TEST(DomainKnowledgeTest, RejectsSelfRule) {
+  DomainKnowledge dk;
+  EXPECT_FALSE(dk.AddRule({"a", "a"}).ok());
+}
+
+TEST(DomainKnowledgeTest, RejectsDuplicate) {
+  DomainKnowledge dk;
+  ASSERT_TRUE(dk.AddRule({"a", "b"}).ok());
+  EXPECT_FALSE(dk.AddRule({"a", "b"}).ok());
+}
+
+TEST(DomainKnowledgeTest, RejectsReversedRule) {
+  // Condition (ii) of Section 5: i->j and j->i cannot coexist.
+  DomainKnowledge dk;
+  ASSERT_TRUE(dk.AddRule({"a", "b"}).ok());
+  EXPECT_FALSE(dk.AddRule({"b", "a"}).ok());
+  EXPECT_EQ(dk.rules().size(), 1u);
+}
+
+TEST(DomainKnowledgeTest, MySqlDefaultsHasFourRules) {
+  DomainKnowledge dk = DomainKnowledge::MySqlLinuxDefaults();
+  ASSERT_EQ(dk.rules().size(), 4u);
+  EXPECT_EQ(dk.rules()[0].cause_attribute, "dbms_cpu_usage");
+  EXPECT_EQ(dk.rules()[0].effect_attribute, "os_cpu_usage");
+}
+
+// --- Kappa over datasets -----------------------------------------------------
+
+tsdata::Dataset DependentPair() {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric},
+       {"y", tsdata::AttributeKind::kNumeric},
+       {"z", tsdata::AttributeKind::kNumeric}}));
+  common::Pcg32 rng(11);
+  for (int t = 0; t < 2000; ++t) {
+    double x = rng.NextDouble(0.0, 100.0);
+    double y = 2.0 * x + rng.NextGaussian();  // strongly dependent on x
+    double z = rng.NextDouble(0.0, 100.0);    // independent
+    EXPECT_TRUE(d.AppendRow(t, {x, y, z}).ok());
+  }
+  return d;
+}
+
+TEST(KappaTest, DependentAttributesExceedThreshold) {
+  tsdata::Dataset d = DependentPair();
+  IndependenceTestOptions options;
+  double kappa = DomainKnowledge::ComputeKappa(d, "x", "y", options);
+  EXPECT_GE(kappa, options.kappa_threshold);
+}
+
+TEST(KappaTest, IndependentAttributesBelowThreshold) {
+  tsdata::Dataset d = DependentPair();
+  IndependenceTestOptions options;
+  double kappa = DomainKnowledge::ComputeKappa(d, "x", "z", options);
+  EXPECT_LT(kappa, options.kappa_threshold);
+}
+
+TEST(KappaTest, MissingAttributeGivesZero) {
+  tsdata::Dataset d = DependentPair();
+  EXPECT_DOUBLE_EQ(DomainKnowledge::ComputeKappa(d, "x", "nope", {}), 0.0);
+}
+
+TEST(KappaTest, CategoricalAttributesSupported) {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"c1", tsdata::AttributeKind::kCategorical},
+       {"c2", tsdata::AttributeKind::kCategorical}}));
+  common::Pcg32 rng(13);
+  for (int t = 0; t < 1000; ++t) {
+    std::string v = rng.NextBernoulli(0.5) ? "a" : "b";
+    // c2 copies c1 -> fully dependent.
+    EXPECT_TRUE(d.AppendRow(t, {v, v}).ok());
+  }
+  EXPECT_GT(DomainKnowledge::ComputeKappa(d, "c1", "c2", {}), 0.5);
+}
+
+// --- Pruning ------------------------------------------------------------------
+
+AttributeDiagnosis DiagnosisFor(const std::string& attr) {
+  AttributeDiagnosis d;
+  d.predicate.attribute = attr;
+  d.predicate.type = PredicateType::kGreaterThan;
+  d.predicate.low = 1.0;
+  return d;
+}
+
+TEST(PruneTest, PrunesDependentEffect) {
+  tsdata::Dataset d = DependentPair();
+  DomainKnowledge dk;
+  ASSERT_TRUE(dk.AddRule({"x", "y"}).ok());
+  std::vector<AttributeDiagnosis> diagnoses = {DiagnosisFor("x"),
+                                               DiagnosisFor("y")};
+  auto out = dk.PruneSecondarySymptoms(d, diagnoses, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].predicate.attribute, "x");
+}
+
+TEST(PruneTest, KeepsIndependentEffect) {
+  // Rule x -> z exists but the data shows independence: the rule does not
+  // apply (the safeguard against wrong domain knowledge).
+  tsdata::Dataset d = DependentPair();
+  DomainKnowledge dk;
+  ASSERT_TRUE(dk.AddRule({"x", "z"}).ok());
+  std::vector<AttributeDiagnosis> diagnoses = {DiagnosisFor("x"),
+                                               DiagnosisFor("z")};
+  auto out = dk.PruneSecondarySymptoms(d, diagnoses, {});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(PruneTest, NoDecisionWithoutBothPredicates) {
+  tsdata::Dataset d = DependentPair();
+  DomainKnowledge dk;
+  ASSERT_TRUE(dk.AddRule({"x", "y"}).ok());
+  // Only the effect has a predicate -> nothing pruned.
+  std::vector<AttributeDiagnosis> diagnoses = {DiagnosisFor("y")};
+  auto out = dk.PruneSecondarySymptoms(d, diagnoses, {});
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(PruneTest, EmptyRulesPassThrough) {
+  tsdata::Dataset d = DependentPair();
+  DomainKnowledge dk;
+  std::vector<AttributeDiagnosis> diagnoses = {DiagnosisFor("x")};
+  EXPECT_EQ(dk.PruneSecondarySymptoms(d, diagnoses, {}).size(), 1u);
+}
+
+TEST(PruneTest, PreservesInputOrder) {
+  tsdata::Dataset d = DependentPair();
+  DomainKnowledge dk;
+  ASSERT_TRUE(dk.AddRule({"x", "y"}).ok());
+  std::vector<AttributeDiagnosis> diagnoses = {
+      DiagnosisFor("z"), DiagnosisFor("y"), DiagnosisFor("x")};
+  auto out = dk.PruneSecondarySymptoms(d, diagnoses, {});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].predicate.attribute, "z");
+  EXPECT_EQ(out[1].predicate.attribute, "x");
+}
+
+// Threshold sweep: a higher kappa_t makes pruning stricter (monotonically
+// fewer pruned attributes).
+class KappaThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KappaThresholdSweep, HigherThresholdPrunesNoMore) {
+  tsdata::Dataset d = DependentPair();
+  DomainKnowledge dk;
+  ASSERT_TRUE(dk.AddRule({"x", "y"}).ok());
+  ASSERT_TRUE(dk.AddRule({"x", "z"}).ok());
+  std::vector<AttributeDiagnosis> diagnoses = {
+      DiagnosisFor("x"), DiagnosisFor("y"), DiagnosisFor("z")};
+  IndependenceTestOptions base;
+  base.kappa_threshold = GetParam();
+  IndependenceTestOptions higher = base;
+  higher.kappa_threshold = GetParam() + 0.2;
+  size_t pruned_base =
+      diagnoses.size() - dk.PruneSecondarySymptoms(d, diagnoses, base).size();
+  size_t pruned_higher =
+      diagnoses.size() -
+      dk.PruneSecondarySymptoms(d, diagnoses, higher).size();
+  EXPECT_LE(pruned_higher, pruned_base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, KappaThresholdSweep,
+                         ::testing::Values(0.0, 0.05, 0.15, 0.3, 0.6));
+
+}  // namespace
+}  // namespace dbsherlock::core

@@ -1,0 +1,161 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "core/domain_knowledge.h"
+
+namespace dbsherlock::eval {
+namespace {
+
+/// A small shared corpus (generated once; corpus generation dominates this
+/// suite's runtime otherwise).
+const Corpus& SharedCorpus() {
+  static const Corpus* corpus = [] {
+    simulator::DatasetGenOptions options;
+    options.seed = 77;
+    return new Corpus(GenerateCorpus(options));
+  }();
+  return *corpus;
+}
+
+TEST(EvaluatePredicatesTest, PerfectConjunct) {
+  const auto& ds = SharedCorpus().by_class[0][0];
+  // An oracle predicate: latency above the 99.9th percentile of normal.
+  core::PredicateGenResult generated =
+      core::GeneratePredicates(ds.data, ds.regions, {});
+  ASSERT_FALSE(generated.predicates.empty());
+  PredicateAccuracy acc = EvaluatePredicates(
+      {generated.predicates[0].predicate}, ds.data, ds.regions);
+  EXPECT_GT(acc.f1, 0.6);
+  EXPECT_LE(acc.precision, 1.0);
+  EXPECT_LE(acc.recall, 1.0);
+}
+
+TEST(EvaluatePredicatesTest, EmptyConjunctScoresZero) {
+  const auto& ds = SharedCorpus().by_class[0][0];
+  PredicateAccuracy acc = EvaluatePredicates({}, ds.data, ds.regions);
+  EXPECT_DOUBLE_EQ(acc.f1, 0.0);
+}
+
+TEST(EvaluateFlagsTest, GroundTruthFlagsArePerfect) {
+  const auto& ds = SharedCorpus().by_class[1][0];
+  std::vector<bool> flags(ds.data.num_rows());
+  for (size_t row = 0; row < flags.size(); ++row) {
+    flags[row] = ds.regions.LabelOf(ds.data.timestamp(row)) ==
+                 tsdata::RowLabel::kAbnormal;
+  }
+  PredicateAccuracy acc = EvaluateFlags(flags, ds.data, ds.regions);
+  EXPECT_DOUBLE_EQ(acc.precision, 1.0);
+  EXPECT_DOUBLE_EQ(acc.recall, 1.0);
+  EXPECT_DOUBLE_EQ(acc.f1, 1.0);
+}
+
+TEST(CorpusTest, TenClassesElevenDatasets) {
+  const Corpus& corpus = SharedCorpus();
+  EXPECT_EQ(corpus.num_classes(), 10u);
+  for (const auto& series : corpus.by_class) {
+    EXPECT_EQ(series.size(), 11u);
+  }
+  EXPECT_EQ(corpus.ClassName(0), "Poorly Written Query");
+  EXPECT_EQ(corpus.ClassName(9), "Lock Contention");
+}
+
+TEST(BuildCausalModelTest, ModelCarriesCauseAndPredicates) {
+  const auto& ds = SharedCorpus().by_class[3][0];  // I/O Saturation
+  core::PredicateGenOptions options;
+  core::CausalModel model = BuildCausalModel(ds, "I/O Saturation", options);
+  EXPECT_EQ(model.cause, "I/O Saturation");
+  EXPECT_FALSE(model.predicates.empty());
+}
+
+TEST(BuildCausalModelTest, DomainKnowledgeShrinksModel) {
+  const auto& ds = SharedCorpus().by_class[6][0];  // CPU Saturation
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  core::DomainKnowledge dk = core::DomainKnowledge::MySqlLinuxDefaults();
+  core::CausalModel with = BuildCausalModel(ds, "x", options, &dk);
+  core::CausalModel without = BuildCausalModel(ds, "x", options, nullptr);
+  EXPECT_LE(with.predicates.size(), without.predicates.size());
+}
+
+TEST(RankAgainstTest, CorrectModelWinsOnItsOwnClass) {
+  const Corpus& corpus = SharedCorpus();
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  std::vector<std::vector<size_t>> train(corpus.num_classes(),
+                                         {0, 1, 2, 3, 4});
+  core::ModelRepository repo =
+      BuildMergedRepository(corpus, train, options, nullptr);
+  EXPECT_EQ(repo.size(), corpus.num_classes());
+
+  size_t correct = 0, total = 0;
+  for (size_t c = 0; c < corpus.num_classes(); ++c) {
+    RankingOutcome outcome = RankAgainst(repo, corpus.by_class[c][7],
+                                         corpus.ClassName(c), options);
+    EXPECT_EQ(outcome.ranked.size(), corpus.num_classes());
+    if (outcome.CorrectInTopK(2)) ++correct;
+    ++total;
+  }
+  EXPECT_GE(correct, total - 2);  // top-2 nearly always right
+}
+
+TEST(RankAgainstTest, MarginSignMatchesRank) {
+  const Corpus& corpus = SharedCorpus();
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  std::vector<std::vector<size_t>> train(corpus.num_classes(),
+                                         {0, 2, 4, 6, 8});
+  core::ModelRepository repo =
+      BuildMergedRepository(corpus, train, options, nullptr);
+  for (size_t c = 0; c < corpus.num_classes(); ++c) {
+    RankingOutcome outcome = RankAgainst(repo, corpus.by_class[c][9],
+                                         corpus.ClassName(c), options);
+    if (outcome.correct_rank == 1) {
+      EXPECT_GE(outcome.margin, 0.0);
+    } else if (outcome.correct_rank > 1) {
+      EXPECT_LE(outcome.margin, 0.0);
+    }
+  }
+}
+
+TEST(RankAgainstTest, MissingCorrectCauseGivesRankZero) {
+  const Corpus& corpus = SharedCorpus();
+  core::ModelRepository repo;  // empty
+  RankingOutcome outcome = RankAgainst(repo, corpus.by_class[0][0],
+                                       "Poorly Written Query", {});
+  EXPECT_EQ(outcome.correct_rank, 0u);
+  EXPECT_FALSE(outcome.CorrectInTopK(10));
+}
+
+TEST(SplitHelpersTest, RandomTrainSplitShapes) {
+  common::Pcg32 rng(5);
+  auto split = RandomTrainSplit(10, 11, 5, &rng);
+  ASSERT_EQ(split.size(), 10u);
+  for (const auto& idx : split) {
+    EXPECT_EQ(idx.size(), 5u);
+    for (size_t i : idx) EXPECT_LT(i, 11u);
+    // Sorted and distinct.
+    for (size_t k = 1; k < idx.size(); ++k) EXPECT_LT(idx[k - 1], idx[k]);
+  }
+}
+
+TEST(SplitHelpersTest, TestIndicesComplement) {
+  std::vector<size_t> train = {0, 3, 7};
+  std::vector<size_t> test = TestIndices(train, 9);
+  EXPECT_EQ(test, (std::vector<size_t>{1, 2, 4, 5, 6, 8}));
+}
+
+TEST(ConfidenceOnTest, CorrectClassHigherThanWrongClass) {
+  const Corpus& corpus = SharedCorpus();
+  core::PredicateGenOptions options;
+  options.normalized_diff_threshold = 0.05;
+  // Lock Contention model on its own class vs on CPU Saturation data.
+  core::CausalModel lock_model = BuildCausalModel(
+      corpus.by_class[9][0], "Lock Contention", options);
+  double own = ConfidenceOn(lock_model, corpus.by_class[9][5], options);
+  double other = ConfidenceOn(lock_model, corpus.by_class[6][5], options);
+  EXPECT_GT(own, other);
+}
+
+}  // namespace
+}  // namespace dbsherlock::eval

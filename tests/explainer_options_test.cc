@@ -1,0 +1,128 @@
+// Parameterized sweeps over the Explainer's user-facing knobs: the lambda
+// confidence threshold (the paper's interactive sliding bar, Section 6)
+// and the theta predicate threshold.
+
+#include <gtest/gtest.h>
+
+#include "core/explainer.h"
+#include "simulator/dataset_gen.h"
+
+namespace dbsherlock::core {
+namespace {
+
+/// Shared fixture: an explainer taught three causes, plus a test dataset.
+struct Taught {
+  Explainer sherlock;
+  simulator::GeneratedDataset test;
+};
+
+Taught* BuildTaught() {
+  auto* taught = new Taught();
+  const simulator::AnomalyKind kinds[] = {
+      simulator::AnomalyKind::kLockContention,
+      simulator::AnomalyKind::kCpuSaturation,
+      simulator::AnomalyKind::kDatabaseBackup,
+  };
+  for (simulator::AnomalyKind kind : kinds) {
+    simulator::DatasetGenOptions options;
+    options.seed = 1000 + static_cast<uint64_t>(kind);
+    simulator::GeneratedDataset run =
+        simulator::GenerateAnomalyDataset(options, kind, 60.0);
+    Explanation ex = taught->sherlock.Diagnose(run.data, run.regions);
+    taught->sherlock.AcceptDiagnosis(simulator::AnomalyKindName(kind), ex);
+  }
+  simulator::DatasetGenOptions options;
+  options.seed = 2000;
+  taught->test = simulator::GenerateAnomalyDataset(
+      options, simulator::AnomalyKind::kLockContention, 50.0);
+  return taught;
+}
+
+const Taught& SharedTaught() {
+  static const Taught* taught = BuildTaught();
+  return *taught;
+}
+
+class LambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LambdaSweep, HigherLambdaShowsFewerCauses) {
+  const Taught& taught = SharedTaught();
+  Explainer::Options low_options;
+  low_options.confidence_threshold = GetParam();
+  Explainer::Options high_options;
+  high_options.confidence_threshold = GetParam() + 25.0;
+
+  Explainer low(low_options);
+  Explainer high(high_options);
+  for (const CausalModel& m : taught.sherlock.repository().models()) {
+    low.repository().AddUnmerged(m);
+    high.repository().AddUnmerged(m);
+  }
+  Explanation low_ex = low.Diagnose(taught.test.data, taught.test.regions);
+  Explanation high_ex = high.Diagnose(taught.test.data, taught.test.regions);
+  EXPECT_GE(low_ex.causes.size(), high_ex.causes.size());
+  for (const RankedCause& cause : high_ex.causes) {
+    EXPECT_GT(cause.confidence, high_options.confidence_threshold);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, LambdaSweep,
+                         ::testing::Values(-100.0, 0.0, 20.0, 50.0, 75.0));
+
+class ThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaSweep, HigherThetaYieldsNoMorePredicates) {
+  const Taught& taught = SharedTaught();
+  Explainer::Options base;
+  base.predicate_options.normalized_diff_threshold = GetParam();
+  Explainer::Options stricter;
+  stricter.predicate_options.normalized_diff_threshold = GetParam() + 0.15;
+
+  Explanation loose =
+      Explainer(base).Diagnose(taught.test.data, taught.test.regions);
+  Explanation strict =
+      Explainer(stricter).Diagnose(taught.test.data, taught.test.regions);
+  EXPECT_GE(loose.predicates.size(), strict.predicates.size());
+  // Every surviving predicate clears the stricter threshold.
+  for (const auto& diag : strict.predicates) {
+    if (diag.predicate.is_numeric()) {
+      EXPECT_GT(diag.normalized_mean_diff, GetParam() + 0.15);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThetaSweep,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.35));
+
+TEST(ExplainerOptionsTest, CausesSortedDescending) {
+  const Taught& taught = SharedTaught();
+  Explainer sherlock;
+  for (const CausalModel& m : taught.sherlock.repository().models()) {
+    sherlock.repository().AddUnmerged(m);
+  }
+  Explanation ex = sherlock.Diagnose(taught.test.data, taught.test.regions);
+  for (size_t i = 1; i < ex.causes.size(); ++i) {
+    EXPECT_GE(ex.causes[i - 1].confidence, ex.causes[i].confidence);
+  }
+}
+
+TEST(ExplainerOptionsTest, PartitionCountAffectsOnlyGranularity) {
+  // Coarse and fine partition counts must find the same top attribute for
+  // a strong anomaly; only the boundary precision differs.
+  const Taught& taught = SharedTaught();
+  Explainer::Options coarse;
+  coarse.predicate_options.num_partitions = 50;
+  Explainer::Options fine;
+  fine.predicate_options.num_partitions = 1000;
+  Explanation ce =
+      Explainer(coarse).Diagnose(taught.test.data, taught.test.regions);
+  Explanation fe =
+      Explainer(fine).Diagnose(taught.test.data, taught.test.regions);
+  ASSERT_FALSE(ce.predicates.empty());
+  ASSERT_FALSE(fe.predicates.empty());
+  EXPECT_EQ(ce.predicates[0].predicate.attribute,
+            fe.predicates[0].predicate.attribute);
+}
+
+}  // namespace
+}  // namespace dbsherlock::core

@@ -1,0 +1,114 @@
+#include "viz/incident_report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/explainer.h"
+#include "simulator/dataset_gen.h"
+
+namespace dbsherlock::viz {
+namespace {
+
+struct Fixture {
+  simulator::GeneratedDataset run;
+  core::Explanation explanation;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    simulator::DatasetGenOptions options;
+    options.seed = 60;
+    f->run = simulator::GenerateAnomalyDataset(
+        options, simulator::AnomalyKind::kIoSaturation, 60.0);
+    core::Explainer sherlock;
+    core::Explanation first =
+        sherlock.Diagnose(f->run.data, f->run.regions);
+    sherlock.AcceptDiagnosis("I/O Saturation", first, "kill stress job");
+    f->explanation = sherlock.Diagnose(f->run.data, f->run.regions);
+    return f;
+  }();
+  return *fixture;
+}
+
+TEST(IncidentReportTest, ContainsAllSections) {
+  const Fixture& f = SharedFixture();
+  auto html = RenderIncidentReport(f.run.data, f.run.regions, f.explanation);
+  ASSERT_TRUE(html.ok()) << html.status().ToString();
+  EXPECT_NE(html->find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html->find("Abnormal region"), std::string::npos);
+  EXPECT_NE(html->find("Explanatory predicates"), std::string::npos);
+  EXPECT_NE(html->find("Likely causes"), std::string::npos);
+  EXPECT_NE(html->find("I/O Saturation"), std::string::npos);
+  EXPECT_NE(html->find("kill stress job"), std::string::npos);
+  // Headline chart plus at least one attribute chart, as inline SVG.
+  size_t first_svg = html->find("<svg ");
+  ASSERT_NE(first_svg, std::string::npos);
+  EXPECT_NE(html->find("<svg ", first_svg + 1), std::string::npos);
+  EXPECT_NE(html->find("abnormal-region"), std::string::npos);
+}
+
+TEST(IncidentReportTest, PredicateRowsPresent) {
+  const Fixture& f = SharedFixture();
+  auto html = RenderIncidentReport(f.run.data, f.run.regions, f.explanation);
+  ASSERT_TRUE(html.ok());
+  ASSERT_FALSE(f.explanation.predicates.empty());
+  // The top predicate's attribute appears in a table cell.
+  EXPECT_NE(
+      html->find(f.explanation.predicates[0].predicate.attribute),
+      std::string::npos);
+}
+
+TEST(IncidentReportTest, MaxPredicatesRespected) {
+  const Fixture& f = SharedFixture();
+  IncidentReportOptions options;
+  options.max_predicates = 2;
+  auto html =
+      RenderIncidentReport(f.run.data, f.run.regions, f.explanation, options);
+  ASSERT_TRUE(html.ok());
+  size_t count = 0;
+  for (size_t pos = html->find("<code>"); pos != std::string::npos;
+       pos = html->find("<code>", pos + 1)) {
+    ++count;
+  }
+  EXPECT_LE(count, 2u);
+}
+
+TEST(IncidentReportTest, EscapesUserStrings) {
+  const Fixture& f = SharedFixture();
+  core::Explanation hostile = f.explanation;
+  hostile.causes.clear();
+  hostile.causes.push_back(
+      {"<script>alert(1)</script>", 55.0, "use <b>bold</b> fixes"});
+  auto html = RenderIncidentReport(f.run.data, f.run.regions, hostile);
+  ASSERT_TRUE(html.ok());
+  EXPECT_EQ(html->find("<script>"), std::string::npos);
+  EXPECT_NE(html->find("&lt;script&gt;"), std::string::npos);
+  EXPECT_EQ(html->find("<b>bold</b>"), std::string::npos);
+}
+
+TEST(IncidentReportTest, MissingHeadlineAttributeSkipsChart) {
+  const Fixture& f = SharedFixture();
+  IncidentReportOptions options;
+  options.headline_attribute = "no_such_metric";
+  auto html =
+      RenderIncidentReport(f.run.data, f.run.regions, f.explanation, options);
+  ASSERT_TRUE(html.ok());
+  EXPECT_NE(html->find("<svg "), std::string::npos);  // predicate charts
+}
+
+TEST(IncidentReportTest, TinyDatasetFails) {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRow(0, {1.0}).ok());
+  EXPECT_FALSE(RenderIncidentReport(d, {}, {}).ok());
+}
+
+TEST(IncidentReportTest, EmptyExplanationStillRenders) {
+  const Fixture& f = SharedFixture();
+  auto html = RenderIncidentReport(f.run.data, f.run.regions, {});
+  ASSERT_TRUE(html.ok());
+  EXPECT_NE(html->find("No attribute separates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dbsherlock::viz

@@ -1,0 +1,136 @@
+// Cross-module integration tests: simulate -> serialize -> reload ->
+// diagnose -> feed back -> re-diagnose, exercising the whole public API
+// surface the way a downstream user would.
+
+#include <gtest/gtest.h>
+
+#include "core/explainer.h"
+#include "eval/experiment.h"
+#include "simulator/dataset_gen.h"
+#include "tsdata/dataset_io.h"
+
+namespace dbsherlock {
+namespace {
+
+TEST(IntegrationTest, CsvRoundTripPreservesDiagnosis) {
+  simulator::DatasetGenOptions options;
+  options.seed = 31337;
+  simulator::GeneratedDataset run = simulator::GenerateAnomalyDataset(
+      options, simulator::AnomalyKind::kIoSaturation, 60.0);
+
+  // Serialize the telemetry to CSV and load it back.
+  std::string csv = tsdata::DatasetToCsv(run.data);
+  auto reloaded = tsdata::DatasetFromCsv(csv);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  core::Explainer sherlock;
+  core::Explanation original = sherlock.Diagnose(run.data, run.regions);
+  core::Explanation roundtrip = sherlock.Diagnose(*reloaded, run.regions);
+
+  ASSERT_EQ(original.predicates.size(), roundtrip.predicates.size());
+  for (size_t i = 0; i < original.predicates.size(); ++i) {
+    EXPECT_EQ(original.predicates[i].predicate.ToString(),
+              roundtrip.predicates[i].predicate.ToString());
+    EXPECT_NEAR(original.predicates[i].separation_power,
+                roundtrip.predicates[i].separation_power, 1e-9);
+  }
+}
+
+TEST(IntegrationTest, FullWorkflowAcrossAnomalyClasses) {
+  // Teach the explainer three causes, then diagnose a fresh instance of
+  // each and check it is named first.
+  core::Explainer sherlock;
+  const simulator::AnomalyKind kinds[] = {
+      simulator::AnomalyKind::kCpuSaturation,
+      simulator::AnomalyKind::kNetworkCongestion,
+      simulator::AnomalyKind::kDatabaseBackup,
+  };
+  for (int round = 0; round < 2; ++round) {  // two diagnoses each -> merge
+    for (simulator::AnomalyKind kind : kinds) {
+      simulator::DatasetGenOptions options;
+      options.seed = 500 + static_cast<uint64_t>(kind) * 10 +
+                     static_cast<uint64_t>(round);
+      simulator::GeneratedDataset run =
+          simulator::GenerateAnomalyDataset(options, kind, 55.0);
+      core::Explanation ex = sherlock.Diagnose(run.data, run.regions);
+      sherlock.AcceptDiagnosis(simulator::AnomalyKindName(kind), ex);
+    }
+  }
+  EXPECT_EQ(sherlock.repository().size(), 3u);
+
+  size_t correct = 0;
+  for (simulator::AnomalyKind kind : kinds) {
+    simulator::DatasetGenOptions options;
+    options.seed = 900 + static_cast<uint64_t>(kind);
+    simulator::GeneratedDataset run =
+        simulator::GenerateAnomalyDataset(options, kind, 40.0);
+    core::Explanation ex = sherlock.Diagnose(run.data, run.regions);
+    if (!ex.causes.empty() &&
+        ex.causes[0].cause == simulator::AnomalyKindName(kind)) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, 3u);
+}
+
+TEST(IntegrationTest, SuggestedActionSurfacesWithRanking) {
+  core::Explainer sherlock;
+  simulator::DatasetGenOptions options;
+  options.seed = 4242;
+  simulator::GeneratedDataset run = simulator::GenerateAnomalyDataset(
+      options, simulator::AnomalyKind::kFlushLogTable, 60.0);
+  core::Explanation ex = sherlock.Diagnose(run.data, run.regions);
+  sherlock.AcceptDiagnosis("Flush Log/Table", ex,
+                           "re-enable adaptive flushing");
+
+  simulator::DatasetGenOptions next = options;
+  next.seed = 4243;
+  simulator::GeneratedDataset again = simulator::GenerateAnomalyDataset(
+      next, simulator::AnomalyKind::kFlushLogTable, 45.0);
+  core::Explanation second = sherlock.Diagnose(again.data, again.regions);
+  ASSERT_FALSE(second.causes.empty());
+  EXPECT_EQ(second.causes[0].cause, "Flush Log/Table");
+  EXPECT_EQ(second.causes[0].suggested_action,
+            "re-enable adaptive flushing");
+}
+
+TEST(IntegrationTest, ActionSurvivesModelMerge) {
+  core::CausalModel a{"cause",
+                      {core::Predicate{"x", core::PredicateType::kGreaterThan,
+                                       5.0, 0.0, {}}},
+                      1,
+                      "older action"};
+  core::CausalModel b{"cause",
+                      {core::Predicate{"x", core::PredicateType::kGreaterThan,
+                                       3.0, 0.0, {}}},
+                      1,
+                      ""};
+  auto merged = core::MergeCausalModels(a, b);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->suggested_action, "older action");
+
+  core::CausalModel c{"cause", b.predicates, 1, "newer action"};
+  auto merged2 = core::MergeCausalModels(*merged, c);
+  ASSERT_TRUE(merged2.ok());
+  EXPECT_EQ(merged2->suggested_action, "newer action");
+}
+
+TEST(IntegrationTest, ExperimentDatasetsAreReproducible) {
+  simulator::DatasetGenOptions options;
+  options.seed = 777;
+  eval::Corpus a = eval::GenerateCorpus(options);
+  eval::Corpus b = eval::GenerateCorpus(options);
+  for (size_t c = 0; c < a.num_classes(); ++c) {
+    for (size_t i = 0; i < a.by_class[c].size(); ++i) {
+      ASSERT_EQ(a.by_class[c][i].data.num_rows(),
+                b.by_class[c][i].data.num_rows());
+      // Spot-check a column.
+      auto col_a = a.by_class[c][i].data.column(0).numeric_values();
+      auto col_b = b.by_class[c][i].data.column(0).numeric_values();
+      EXPECT_EQ(col_a[col_a.size() / 2], col_b[col_b.size() / 2]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsherlock

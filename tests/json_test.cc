@@ -1,0 +1,145 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::common {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("true")->as_bool(), true);
+  EXPECT_EQ(ParseJson("false")->as_bool(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("42")->as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.5e2")->as_number(), -350.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  auto v = ParseJson(R"([1, "two", [3], {"k": 4}, null])");
+  ASSERT_TRUE(v.ok());
+  const auto& a = v->as_array();
+  ASSERT_EQ(a.size(), 5u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_EQ(a[1].as_string(), "two");
+  EXPECT_DOUBLE_EQ(a[2].as_array()[0].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(a[3].Find("k")->as_number(), 4.0);
+  EXPECT_TRUE(a[4].is_null());
+}
+
+TEST(JsonParseTest, NestedObject) {
+  auto v = ParseJson(R"({"a": {"b": {"c": true}}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->Find("a")->Find("b")->Find("c")->as_bool());
+}
+
+TEST(JsonParseTest, WhitespaceTolerated) {
+  auto v = ParseJson("  {\n \"x\" :\t[ 1 , 2 ]\r\n}  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("x")->as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\/d\ne\tfA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c/d\ne\tfA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeUtf8) {
+  auto v = ParseJson(R"("é中")");  // é, 中
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonParseTest, Malformed) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("truth").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());          // trailing garbage
+  EXPECT_FALSE(ParseJson("{'a': 1}").ok());     // single quotes
+  EXPECT_FALSE(ParseJson("\"bad\\q\"").ok());   // invalid escape
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());    // truncated \u
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonParseTest, ControlCharacterRejected) {
+  std::string text = "\"a\nb\"";
+  EXPECT_FALSE(ParseJson(text).ok());
+}
+
+TEST(JsonParseTest, DeepNestingCapped) {
+  std::string text(200, '[');
+  text += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(text).ok());
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  JsonValue::Object obj;
+  obj["name"] = "x\"y";
+  obj["value"] = 1.5;
+  obj["ints"] = JsonValue(JsonValue::Array{1, 2, 3});
+  obj["flag"] = true;
+  obj["nothing"] = JsonValue();
+  JsonValue v{std::move(obj)};
+  auto parsed = ParseJson(v.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == v);
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(JsonValue(42.0).Dump(), "42");
+  EXPECT_EQ(JsonValue(-7).Dump(), "-7");
+}
+
+TEST(JsonDumpTest, DoublesRoundTrip) {
+  double value = 0.1234567890123456789;
+  auto parsed = ParseJson(JsonValue(value).Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->as_number(), value);
+}
+
+TEST(JsonDumpTest, PrettyPrintParses) {
+  JsonValue::Object obj;
+  obj["a"] = JsonValue(JsonValue::Array{1, JsonValue(JsonValue::Object{
+                                               {"b", JsonValue(2)}})});
+  JsonValue v{std::move(obj)};
+  std::string pretty = v.Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto parsed = ParseJson(pretty);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == v);
+}
+
+TEST(JsonDumpTest, EmptyContainers) {
+  EXPECT_EQ(JsonValue(JsonValue::Array{}).Dump(2), "[]");
+  EXPECT_EQ(JsonValue(JsonValue::Object{}).Dump(2), "{}");
+}
+
+TEST(JsonAccessTest, FindAndTypedGetters) {
+  auto v = ParseJson(R"({"n": 5, "s": "str", "a": [1]})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+  EXPECT_DOUBLE_EQ(*v->GetNumber("n"), 5.0);
+  EXPECT_EQ(*v->GetString("s"), "str");
+  EXPECT_EQ((*v->GetArray("a"))->as_array().size(), 1u);
+  EXPECT_FALSE(v->GetNumber("s").ok());
+  EXPECT_FALSE(v->GetString("n").ok());
+  EXPECT_FALSE(v->GetArray("missing").ok());
+}
+
+TEST(JsonAccessTest, FindOnNonObjectIsNull) {
+  JsonValue v(5.0);
+  EXPECT_EQ(v.Find("x"), nullptr);
+}
+
+TEST(JsonEqualityTest, DistinguishesTypesAndValues) {
+  EXPECT_TRUE(JsonValue(1.0) == JsonValue(1));
+  EXPECT_FALSE(JsonValue(1.0) == JsonValue("1"));
+  EXPECT_FALSE(JsonValue(true) == JsonValue(1.0));
+  EXPECT_TRUE(JsonValue() == JsonValue());
+}
+
+}  // namespace
+}  // namespace dbsherlock::common

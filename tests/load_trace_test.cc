@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "simulator/dataset_gen.h"
+#include "simulator/workload.h"
+
+namespace dbsherlock::simulator {
+namespace {
+
+TEST(LoadTraceTest, ParsesSingleColumn) {
+  auto trace = LoadTraceFromCsv("multiplier\n1.0\n1.5\n0.8\n");
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(*trace, (std::vector<double>{1.0, 1.5, 0.8}));
+}
+
+TEST(LoadTraceTest, ParsesTwoColumns) {
+  auto trace = LoadTraceFromCsv("second,multiplier\n0,1.0\n1,2.0\n2,0.5\n");
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(*trace, (std::vector<double>{1.0, 2.0, 0.5}));
+}
+
+TEST(LoadTraceTest, RejectsBadInput) {
+  EXPECT_FALSE(LoadTraceFromCsv("").ok());
+  EXPECT_FALSE(LoadTraceFromCsv("multiplier\n").ok());       // no rows
+  EXPECT_FALSE(LoadTraceFromCsv("m\n0\n").ok());             // non-positive
+  EXPECT_FALSE(LoadTraceFromCsv("m\n-1\n").ok());
+  EXPECT_FALSE(LoadTraceFromCsv("m\nabc\n").ok());
+  EXPECT_FALSE(LoadTraceFromCsv("a,b,c\n1,2,3\n").ok());     // 3 columns
+  EXPECT_FALSE(
+      LoadTraceFromCsv("second,m\n0,1.0\n5,2.0\n").ok());    // gap in seconds
+}
+
+TEST(LoadTraceTest, SimulatorFollowsTrace) {
+  // A trace alternating 50 quiet / 50 busy seconds: the emitted throughput
+  // must track it.
+  WorkloadSpec workload = MakeTpccWorkload();
+  for (int i = 0; i < 50; ++i) workload.load_trace.push_back(0.5);
+  for (int i = 0; i < 50; ++i) workload.load_trace.push_back(1.4);
+
+  ServerConfig config;
+  config.hiccup_probability = 0.0;  // isolate the trace effect
+  ServerSimulator sim(config, workload, 5);
+  tsdata::Dataset data(MetricSchema());
+  std::vector<AnomalyEvent> no_events;
+  for (int t = 0; t < 100; ++t) {
+    Metrics m = sim.Tick(no_events);
+    ASSERT_TRUE(data.AppendRow(t, MetricsToCells(m)).ok());
+  }
+  auto col = data.ColumnByName("throughput_tps");
+  ASSERT_TRUE(col.ok());
+  std::vector<double> quiet, busy;
+  for (int t = 5; t < 50; ++t) quiet.push_back((*col)->numeric(t));
+  for (int t = 55; t < 100; ++t) busy.push_back((*col)->numeric(t));
+  EXPECT_GT(common::Mean(busy), 2.0 * common::Mean(quiet));
+}
+
+TEST(LoadTraceTest, TraceRepeatsCyclically) {
+  WorkloadSpec workload = MakeTpccWorkload();
+  workload.load_trace = {1.0};  // constant; long runs keep working
+  ServerConfig config;
+  ServerSimulator sim(config, workload, 6);
+  std::vector<AnomalyEvent> no_events;
+  Metrics first = sim.Tick(no_events);
+  for (int t = 0; t < 10; ++t) (void)sim.Tick(no_events);
+  Metrics later = sim.Tick(no_events);
+  // Same trace slot every second: throughput stays near the base rate.
+  EXPECT_NEAR(later.throughput_tps, first.throughput_tps,
+              0.4 * first.throughput_tps);
+}
+
+}  // namespace
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,71 @@
+#include "simulator/metric_schema.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dbsherlock::simulator {
+namespace {
+
+TEST(MetricSchemaTest, NamesUniqueAndNonEmpty) {
+  const auto& names = NumericMetricNames();
+  EXPECT_GT(names.size(), 40u);
+  std::set<std::string> uniq(names.begin(), names.end());
+  EXPECT_EQ(uniq.size(), names.size());
+}
+
+TEST(MetricSchemaTest, SchemaHasNumericsPlusTwoCategoricals) {
+  tsdata::Schema schema = MetricSchema();
+  EXPECT_EQ(schema.num_attributes(), NumNumericMetrics() + 2);
+  EXPECT_EQ(schema.attribute(schema.num_attributes() - 2).name,
+            "dominant_statement");
+  EXPECT_EQ(schema.attribute(schema.num_attributes() - 2).kind,
+            tsdata::AttributeKind::kCategorical);
+  EXPECT_EQ(schema.attribute(schema.num_attributes() - 1).name,
+            "server_profile");
+}
+
+TEST(MetricSchemaTest, DomainKnowledgeAttributesPresent) {
+  // The four MySQL/Linux rules of Section 5 must resolve against the
+  // emitted schema.
+  tsdata::Schema schema = MetricSchema();
+  for (const char* name :
+       {"dbms_cpu_usage", "os_cpu_usage", "os_allocated_pages",
+        "os_free_pages", "os_used_swap_kb", "os_free_swap_kb",
+        "os_cpu_idle"}) {
+    EXPECT_TRUE(schema.Contains(name)) << name;
+  }
+}
+
+TEST(MetricSchemaTest, CellsMatchSchemaAndValues) {
+  Metrics m;
+  m.avg_latency_ms = 12.5;
+  m.throughput_tps = 900.0;
+  m.dominant_statement = "mixed";
+  std::vector<tsdata::Cell> cells = MetricsToCells(m);
+  ASSERT_EQ(cells.size(), NumNumericMetrics() + 2);
+  EXPECT_DOUBLE_EQ(std::get<double>(cells[0]), 12.5);  // first field
+  EXPECT_EQ(std::get<std::string>(cells[cells.size() - 2]), "mixed");
+}
+
+TEST(MetricSchemaTest, NumericValuesOrderMatchesNames) {
+  Metrics m;
+  m.avg_latency_ms = 1.0;
+  m.log_pending_kb = 99.0;  // last declared metric
+  std::vector<double> values = NumericMetricValues(m);
+  ASSERT_EQ(values.size(), NumNumericMetrics());
+  EXPECT_DOUBLE_EQ(values.front(), 1.0);
+  EXPECT_DOUBLE_EQ(values.back(), 99.0);
+  EXPECT_EQ(NumericMetricNames().front(), "avg_latency_ms");
+  EXPECT_EQ(NumericMetricNames().back(), "log_pending_kb");
+}
+
+TEST(MetricSchemaTest, CellsAppendToDataset) {
+  tsdata::Dataset d(MetricSchema());
+  Metrics m;
+  EXPECT_TRUE(d.AppendRow(0.0, MetricsToCells(m)).ok());
+  EXPECT_EQ(d.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,156 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace dbsherlock::core {
+namespace {
+
+Predicate Gt(const std::string& attr, double low) {
+  return Predicate{attr, PredicateType::kGreaterThan, low, 0.0, {}};
+}
+Predicate Lt(const std::string& attr, double high) {
+  return Predicate{attr, PredicateType::kLessThan, 0.0, high, {}};
+}
+Predicate Range(const std::string& attr, double low, double high) {
+  return Predicate{attr, PredicateType::kRange, low, high, {}};
+}
+Predicate InSet(const std::string& attr, std::vector<std::string> cats) {
+  return Predicate{attr, PredicateType::kInSet, 0.0, 0.0, std::move(cats)};
+}
+
+CausalModel SampleModel() {
+  CausalModel model;
+  model.cause = "Log Rotation";
+  model.num_sources = 3;
+  model.suggested_action = "enable adaptive flushing";
+  model.predicates = {Gt("cpu_wait", 50.0), Lt("throughput", 120.5),
+                      Range("latency_ms", 100.0, 900.0),
+                      InSet("mode", {"a", "b"})};
+  return model;
+}
+
+TEST(ModelIoTest, PredicateRoundTripAllTypes) {
+  for (const Predicate& original :
+       {Gt("x", 1.5), Lt("y", -3.0), Range("z", 0.0, 10.0),
+        InSet("c", {"one", "two"})}) {
+    auto round = PredicateFromJson(PredicateToJson(original));
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    EXPECT_EQ(round->attribute, original.attribute);
+    EXPECT_EQ(round->type, original.type);
+    EXPECT_DOUBLE_EQ(round->low, original.low);
+    EXPECT_DOUBLE_EQ(round->high, original.high);
+    EXPECT_EQ(round->categories, original.categories);
+  }
+}
+
+TEST(ModelIoTest, ModelRoundTrip) {
+  CausalModel original = SampleModel();
+  auto round = CausalModelFromJson(CausalModelToJson(original));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round->cause, original.cause);
+  EXPECT_EQ(round->num_sources, original.num_sources);
+  EXPECT_EQ(round->suggested_action, original.suggested_action);
+  ASSERT_EQ(round->predicates.size(), original.predicates.size());
+  EXPECT_EQ(round->predicates[3].categories, original.predicates[3].categories);
+}
+
+TEST(ModelIoTest, RepositoryRoundTripThroughText) {
+  ModelRepository repo;
+  repo.AddUnmerged(SampleModel());
+  CausalModel second;
+  second.cause = "Network Congestion";
+  second.predicates = {Lt("net_send_kb", 10.0)};
+  repo.AddUnmerged(second);
+
+  std::string text = RepositoryToJson(repo).Dump(2);
+  auto parsed = common::ParseJson(text);
+  ASSERT_TRUE(parsed.ok());
+  auto loaded = RepositoryFromJson(*parsed);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  const CausalModel* m = loaded->Find("Log Rotation");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->predicates.size(), 4u);
+  EXPECT_EQ(m->suggested_action, "enable adaptive flushing");
+}
+
+TEST(ModelIoTest, GoldenDocumentParses) {
+  // The documented stable format must keep loading.
+  const char* golden = R"({
+    "version": 1,
+    "models": [
+      {
+        "cause": "Log Rotation",
+        "num_sources": 2,
+        "predicates": [
+          {"attribute": "cpu_wait", "type": "gt", "low": 50.0},
+          {"attribute": "latency_ms", "type": "range",
+           "low": 100.0, "high": 900.0},
+          {"attribute": "mode", "type": "in", "categories": ["a", "b"]}
+        ]
+      }
+    ]
+  })";
+  auto json = common::ParseJson(golden);
+  ASSERT_TRUE(json.ok());
+  auto repo = RepositoryFromJson(*json);
+  ASSERT_TRUE(repo.ok()) << repo.status().ToString();
+  const CausalModel* m = repo->Find("Log Rotation");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->num_sources, 2);
+  EXPECT_TRUE(m->suggested_action.empty());
+  EXPECT_EQ(m->predicates[0].type, PredicateType::kGreaterThan);
+}
+
+TEST(ModelIoTest, RejectsBadDocuments) {
+  auto reject = [](const char* text) {
+    auto json = common::ParseJson(text);
+    ASSERT_TRUE(json.ok()) << text;
+    EXPECT_FALSE(RepositoryFromJson(*json).ok()) << text;
+  };
+  reject(R"({"models": []})");                       // missing version
+  reject(R"({"version": 99, "models": []})");        // unknown version
+  reject(R"({"version": 1})");                       // missing models
+  reject(R"({"version": 1, "models": [{"cause": ""}]})");  // empty cause
+  reject(R"({"version": 1, "models": [
+      {"cause": "x", "predicates": [
+        {"attribute": "a", "type": "teleport"}]}]})");  // bad type
+  reject(R"({"version": 1, "models": [
+      {"cause": "x", "predicates": [
+        {"attribute": "a", "type": "gt"}]}]})");  // missing bound
+  reject(R"({"version": 1, "models": [
+      {"cause": "x", "predicates": [
+        {"attribute": "a", "type": "range", "low": 5, "high": 1}]}]})");
+  reject(R"({"version": 1, "models": [
+      {"cause": "x", "predicates": [
+        {"attribute": "a", "type": "in", "categories": []}]}]})");
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  ModelRepository repo;
+  repo.AddUnmerged(SampleModel());
+  std::string path = testing::TempDir() + "/dbsherlock_models_test.json";
+  ASSERT_TRUE(SaveRepository(repo, path).ok());
+  auto loaded = LoadRepository(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadRepository("/no/such/models.json").ok());
+}
+
+TEST(ModelIoTest, DefaultNumSourcesIsOne) {
+  auto json = common::ParseJson(
+      R"({"cause": "x", "predicates": []})");
+  ASSERT_TRUE(json.ok());
+  auto model = CausalModelFromJson(*json);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_sources, 1);
+}
+
+}  // namespace
+}  // namespace dbsherlock::core

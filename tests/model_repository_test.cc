@@ -1,0 +1,113 @@
+#include "core/model_repository.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dbsherlock::core {
+namespace {
+
+Predicate Gt(const std::string& attr, double low) {
+  return Predicate{attr, PredicateType::kGreaterThan, low, 0.0, {}};
+}
+Predicate Lt(const std::string& attr, double high) {
+  return Predicate{attr, PredicateType::kLessThan, 0.0, high, {}};
+}
+
+TEST(ModelRepositoryTest, AddMergesSameCause) {
+  ModelRepository repo;
+  repo.Add({"net", {Gt("a", 10.0), Gt("b", 5.0)}, 1, ""});
+  repo.Add({"net", {Gt("a", 20.0)}, 1, ""});
+  ASSERT_EQ(repo.size(), 1u);
+  const CausalModel* m = repo.Find("net");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->predicates.size(), 1u);  // only "a" is common
+  EXPECT_DOUBLE_EQ(m->predicates[0].low, 10.0);
+  EXPECT_EQ(m->num_sources, 2);
+}
+
+TEST(ModelRepositoryTest, DegenerateMergeKeepsNewModel) {
+  ModelRepository repo;
+  repo.Add({"net", {Gt("a", 10.0)}, 1, ""});
+  // No common attribute: merge would be empty, so the new model replaces.
+  repo.Add({"net", {Gt("b", 3.0)}, 1, ""});
+  const CausalModel* m = repo.Find("net");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->predicates.size(), 1u);
+  EXPECT_EQ(m->predicates[0].attribute, "b");
+}
+
+TEST(ModelRepositoryTest, AddUnmergedKeepsDuplicates) {
+  ModelRepository repo;
+  repo.AddUnmerged({"net", {Gt("a", 10.0)}, 1, ""});
+  repo.AddUnmerged({"net", {Gt("a", 20.0)}, 1, ""});
+  EXPECT_EQ(repo.size(), 2u);
+}
+
+TEST(ModelRepositoryTest, FindMissingReturnsNull) {
+  ModelRepository repo;
+  EXPECT_EQ(repo.Find("nope"), nullptr);
+  EXPECT_TRUE(repo.empty());
+}
+
+struct RankData {
+  tsdata::Dataset dataset;
+  tsdata::LabeledRows rows;
+};
+
+RankData MakeRankData() {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric}}));
+  common::Pcg32 rng(21);
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal.Add(100, 150);
+  for (int t = 0; t < 200; ++t) {
+    bool ab = t >= 100 && t < 150;
+    EXPECT_TRUE(
+        d.AppendRow(t, {(ab ? 100.0 : 10.0) + rng.NextGaussian()}).ok());
+  }
+  RankData out{std::move(d), {}};
+  out.rows = SplitRows(out.dataset, regions);
+  return out;
+}
+
+TEST(ModelRepositoryTest, RankOrdersByConfidence) {
+  RankData data = MakeRankData();
+  ModelRepository repo;
+  repo.Add({"correct", {Gt("x", 50.0)}, 1, ""});
+  repo.Add({"wrong", {Lt("x", 50.0)}, 1, ""});
+  auto ranked = repo.Rank(data.dataset, data.rows, {}, -1e9);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].cause, "correct");
+  EXPECT_GT(ranked[0].confidence, ranked[1].confidence);
+}
+
+TEST(ModelRepositoryTest, RankAppliesLambdaThreshold) {
+  RankData data = MakeRankData();
+  ModelRepository repo;
+  repo.Add({"correct", {Gt("x", 50.0)}, 1, ""});
+  repo.Add({"wrong", {Lt("x", 50.0)}, 1, ""});
+  // The paper's lambda: only causes above the threshold are shown.
+  auto ranked = repo.Rank(data.dataset, data.rows, {}, 20.0);
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].cause, "correct");
+}
+
+TEST(ModelRepositoryTest, RankTakesMaxOverUnmergedModels) {
+  RankData data = MakeRankData();
+  ModelRepository repo;
+  repo.AddUnmerged({"cause", {Gt("x", 50.0)}, 1, ""});   // strong
+  repo.AddUnmerged({"cause", {Lt("x", 50.0)}, 1, ""});   // weak/negative
+  auto ranked = repo.Rank(data.dataset, data.rows, {}, -1e9);
+  ASSERT_EQ(ranked.size(), 1u);  // one entry per cause
+  EXPECT_GT(ranked[0].confidence, 50.0);
+}
+
+TEST(ModelRepositoryTest, RankEmptyRepository) {
+  RankData data = MakeRankData();
+  ModelRepository repo;
+  EXPECT_TRUE(repo.Rank(data.dataset, data.rows, {}, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace dbsherlock::core

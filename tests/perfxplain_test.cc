@@ -1,0 +1,139 @@
+#include "baselines/perfxplain.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dbsherlock::baselines {
+namespace {
+
+struct TestData {
+  tsdata::Dataset dataset;
+  tsdata::DiagnosisRegions regions;
+};
+
+/// avg_latency_ms jumps with `culprit` during [100, 150); `bystander`
+/// stays flat.
+TestData MakeData(uint64_t seed) {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"avg_latency_ms", tsdata::AttributeKind::kNumeric},
+       {"culprit", tsdata::AttributeKind::kNumeric},
+       {"bystander", tsdata::AttributeKind::kNumeric}}));
+  common::Pcg32 rng(seed);
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal.Add(100, 150);
+  for (int t = 0; t < 200; ++t) {
+    bool ab = t >= 100 && t < 150;
+    double latency = (ab ? 100.0 : 10.0) + rng.NextGaussian(0.0, 1.0);
+    double culprit = (ab ? 500.0 : 50.0) + rng.NextGaussian(0.0, 5.0);
+    double bystander = 30.0 + rng.NextGaussian(0.0, 1.0);
+    EXPECT_TRUE(d.AppendRow(t, {latency, culprit, bystander}).ok());
+  }
+  return {std::move(d), regions};
+}
+
+TEST(PerfXplainTest, LearnsCulpritPredicate) {
+  TestData data = MakeData(1);
+  PerfXplain px(PerfXplain::Options{});
+  ASSERT_TRUE(px.Train(data.dataset, data.regions).ok());
+  ASSERT_FALSE(px.predicates().empty());
+  EXPECT_EQ(px.predicates()[0].attribute, "culprit");
+  EXPECT_EQ(px.predicates()[0].relation, PerfXplain::Relation::kHigher);
+}
+
+TEST(PerfXplainTest, NeverPicksTheLatencyAttributeItself) {
+  TestData data = MakeData(2);
+  PerfXplain px(PerfXplain::Options{});
+  ASSERT_TRUE(px.Train(data.dataset, data.regions).ok());
+  for (const auto& p : px.predicates()) {
+    EXPECT_NE(p.attribute, "avg_latency_ms");
+  }
+}
+
+TEST(PerfXplainTest, FlagsAbnormalRows) {
+  TestData train = MakeData(3);
+  TestData test = MakeData(4);
+  PerfXplain px(PerfXplain::Options{});
+  ASSERT_TRUE(px.Train(train.dataset, train.regions).ok());
+  std::vector<bool> flags = px.FlagRows(test.dataset);
+  size_t tp = 0, fp = 0;
+  for (size_t row = 0; row < flags.size(); ++row) {
+    bool actual = test.regions.LabelOf(test.dataset.timestamp(row)) ==
+                  tsdata::RowLabel::kAbnormal;
+    if (flags[row] && actual) ++tp;
+    if (flags[row] && !actual) ++fp;
+  }
+  EXPECT_GT(tp, 40u);  // most of the 50 abnormal rows
+  EXPECT_LT(fp, 10u);
+}
+
+TEST(PerfXplainTest, TrainFailsWithoutLatencyAttribute) {
+  tsdata::Dataset d(tsdata::Schema(
+      {{"x", tsdata::AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRow(0, {1.0}).ok());
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal.Add(0, 1);
+  PerfXplain px(PerfXplain::Options{});
+  EXPECT_FALSE(px.Train(d, regions).ok());
+}
+
+TEST(PerfXplainTest, TrainFailsWithEmptyRegion) {
+  TestData data = MakeData(5);
+  tsdata::DiagnosisRegions empty;
+  PerfXplain px(PerfXplain::Options{});
+  EXPECT_FALSE(px.Train(data.dataset, empty).ok());
+}
+
+TEST(PerfXplainTest, TrainOnManyUsesAllDatasets) {
+  TestData a = MakeData(6);
+  TestData b = MakeData(7);
+  PerfXplain px(PerfXplain::Options{});
+  ASSERT_TRUE(px.TrainOnMany({{&a.dataset, &a.regions},
+                              {&b.dataset, &b.regions}})
+                  .ok());
+  EXPECT_FALSE(px.predicates().empty());
+  EXPECT_EQ(px.predicates()[0].attribute, "culprit");
+}
+
+TEST(PerfXplainTest, TrainOnManyRejectsEmptyList) {
+  PerfXplain px(PerfXplain::Options{});
+  EXPECT_FALSE(px.TrainOnMany({}).ok());
+}
+
+TEST(PerfXplainTest, RespectsNumPredicatesLimit) {
+  TestData data = MakeData(8);
+  PerfXplain::Options options;
+  options.num_predicates = 1;
+  PerfXplain px(options);
+  ASSERT_TRUE(px.Train(data.dataset, data.regions).ok());
+  EXPECT_LE(px.predicates().size(), 1u);
+}
+
+TEST(PerfXplainTest, FlagRowsEmptyModelFlagsNothing) {
+  TestData data = MakeData(9);
+  PerfXplain px(PerfXplain::Options{});
+  std::vector<bool> flags = px.FlagRows(data.dataset);
+  for (bool f : flags) EXPECT_FALSE(f);
+}
+
+TEST(PerfXplainTest, PredicateToString) {
+  PerfXplain::PairPredicate p{"cpu", PerfXplain::Relation::kHigher};
+  EXPECT_EQ(p.ToString(), "cpu = higher");
+}
+
+TEST(PerfXplainTest, DeterministicForSameSeed) {
+  TestData data = MakeData(10);
+  PerfXplain::Options options;
+  options.seed = 99;
+  PerfXplain a(options), b(options);
+  ASSERT_TRUE(a.Train(data.dataset, data.regions).ok());
+  ASSERT_TRUE(b.Train(data.dataset, data.regions).ok());
+  ASSERT_EQ(a.predicates().size(), b.predicates().size());
+  for (size_t i = 0; i < a.predicates().size(); ++i) {
+    EXPECT_EQ(a.predicates()[i].attribute, b.predicates()[i].attribute);
+    EXPECT_EQ(a.predicates()[i].relation, b.predicates()[i].relation);
+  }
+}
+
+}  // namespace
+}  // namespace dbsherlock::baselines

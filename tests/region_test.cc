@@ -1,0 +1,107 @@
+#include "tsdata/region.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::tsdata {
+namespace {
+
+Dataset TinyDataset(int rows) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  for (int t = 0; t < rows; ++t) {
+    EXPECT_TRUE(d.AppendRow(t, {static_cast<double>(t)}).ok());
+  }
+  return d;
+}
+
+TEST(TimeRangeTest, HalfOpenSemantics) {
+  TimeRange r{10.0, 20.0};
+  EXPECT_TRUE(r.Contains(10.0));
+  EXPECT_TRUE(r.Contains(19.999));
+  EXPECT_FALSE(r.Contains(20.0));
+  EXPECT_FALSE(r.Contains(9.999));
+  EXPECT_DOUBLE_EQ(r.length(), 10.0);
+  EXPECT_TRUE(r.valid());
+  EXPECT_FALSE((TimeRange{5.0, 5.0}).valid());
+}
+
+TEST(RegionSpecTest, MultipleRanges) {
+  RegionSpec spec;
+  spec.Add(0.0, 5.0);
+  spec.Add(10.0, 15.0);
+  EXPECT_TRUE(spec.Contains(3.0));
+  EXPECT_FALSE(spec.Contains(7.0));
+  EXPECT_TRUE(spec.Contains(12.0));
+  EXPECT_EQ(spec.ranges().size(), 2u);
+}
+
+TEST(RegionSpecTest, RowsIn) {
+  Dataset d = TinyDataset(20);
+  RegionSpec spec;
+  spec.Add(5.0, 8.0);
+  spec.Add(15.0, 17.0);
+  EXPECT_EQ(spec.RowsIn(d), (std::vector<size_t>{5, 6, 7, 15, 16}));
+}
+
+TEST(RegionSpecTest, ScaledAroundCenterExtends) {
+  RegionSpec spec;
+  spec.Add(10.0, 20.0);
+  RegionSpec wider = spec.ScaledAroundCenter(1.2);
+  ASSERT_EQ(wider.ranges().size(), 1u);
+  EXPECT_DOUBLE_EQ(wider.ranges()[0].start, 9.0);
+  EXPECT_DOUBLE_EQ(wider.ranges()[0].end, 21.0);
+}
+
+TEST(RegionSpecTest, ScaledAroundCenterShrinks) {
+  RegionSpec spec;
+  spec.Add(10.0, 20.0);
+  RegionSpec narrower = spec.ScaledAroundCenter(0.8);
+  EXPECT_DOUBLE_EQ(narrower.ranges()[0].start, 11.0);
+  EXPECT_DOUBLE_EQ(narrower.ranges()[0].end, 19.0);
+}
+
+TEST(DiagnosisRegionsTest, ImplicitNormal) {
+  DiagnosisRegions regions;
+  regions.abnormal.Add(5.0, 10.0);
+  EXPECT_EQ(regions.LabelOf(7.0), RowLabel::kAbnormal);
+  EXPECT_EQ(regions.LabelOf(2.0), RowLabel::kNormal);
+  EXPECT_EQ(regions.LabelOf(50.0), RowLabel::kNormal);
+}
+
+TEST(DiagnosisRegionsTest, ExplicitNormalIgnoresRest) {
+  DiagnosisRegions regions;
+  regions.abnormal.Add(5.0, 10.0);
+  regions.normal.Add(0.0, 3.0);
+  EXPECT_EQ(regions.LabelOf(7.0), RowLabel::kAbnormal);
+  EXPECT_EQ(regions.LabelOf(1.0), RowLabel::kNormal);
+  EXPECT_EQ(regions.LabelOf(4.0), RowLabel::kIgnored);
+  EXPECT_EQ(regions.LabelOf(12.0), RowLabel::kIgnored);
+}
+
+TEST(DiagnosisRegionsTest, AbnormalWinsOverlap) {
+  DiagnosisRegions regions;
+  regions.abnormal.Add(5.0, 10.0);
+  regions.normal.Add(0.0, 20.0);
+  EXPECT_EQ(regions.LabelOf(7.0), RowLabel::kAbnormal);
+}
+
+TEST(SplitRowsTest, PartitionsIndices) {
+  Dataset d = TinyDataset(10);
+  DiagnosisRegions regions;
+  regions.abnormal.Add(3.0, 6.0);
+  LabeledRows rows = SplitRows(d, regions);
+  EXPECT_EQ(rows.abnormal, (std::vector<size_t>{3, 4, 5}));
+  EXPECT_EQ(rows.normal.size(), 7u);
+}
+
+TEST(SplitRowsTest, WithExplicitNormal) {
+  Dataset d = TinyDataset(10);
+  DiagnosisRegions regions;
+  regions.abnormal.Add(3.0, 6.0);
+  regions.normal.Add(0.0, 2.0);
+  LabeledRows rows = SplitRows(d, regions);
+  EXPECT_EQ(rows.abnormal.size(), 3u);
+  EXPECT_EQ(rows.normal, (std::vector<size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,258 @@
+#include "simulator/resources.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::simulator {
+namespace {
+
+ServerConfig DefaultConfig() { return ServerConfig{}; }
+
+TEST(CpuModelTest, IdleWhenNoDemand) {
+  CpuState s = SolveCpu(DefaultConfig(), {});
+  EXPECT_DOUBLE_EQ(s.total_util, 0.0);
+  EXPECT_DOUBLE_EQ(s.idle_frac, 1.0);
+  EXPECT_DOUBLE_EQ(s.delay_factor, 1.0);
+}
+
+TEST(CpuModelTest, HalfLoad) {
+  CpuDemand d;
+  d.db_ms = 2000.0;  // 2 of 4 cores
+  CpuState s = SolveCpu(DefaultConfig(), d);
+  EXPECT_NEAR(s.total_util, 0.5, 1e-9);
+  EXPECT_NEAR(s.dbms_util, 0.5, 1e-9);
+  EXPECT_NEAR(s.delay_factor, 2.0, 1e-9);
+}
+
+TEST(CpuModelTest, OvercommitSplitsProportionally) {
+  CpuDemand d;
+  d.db_ms = 4000.0;
+  d.external_ms = 4000.0;  // 2x overcommit
+  CpuState s = SolveCpu(DefaultConfig(), d);
+  EXPECT_DOUBLE_EQ(s.total_util, 1.0);
+  EXPECT_NEAR(s.dbms_util, 0.5, 1e-9);
+  EXPECT_NEAR(s.external_util, 0.5, 1e-9);
+  EXPECT_GT(s.delay_factor, 10.0);  // saturated
+}
+
+TEST(CpuModelTest, ExternalHogSqueezesDbms) {
+  CpuDemand d;
+  d.db_ms = 1000.0;
+  d.external_ms = 3400.0;  // stress-ng taking 3.4 cores
+  CpuState s = SolveCpu(DefaultConfig(), d);
+  EXPECT_LT(s.dbms_util, 0.25);  // DBMS cannot get its full core
+  EXPECT_GT(s.delay_factor, 5.0);
+}
+
+TEST(CpuModelTest, MonotonicDelayInDemand) {
+  double prev = 0.0;
+  for (double demand : {500.0, 1000.0, 2000.0, 3000.0, 3900.0}) {
+    CpuDemand d;
+    d.db_ms = demand;
+    CpuState s = SolveCpu(DefaultConfig(), d);
+    EXPECT_GT(s.delay_factor, prev);
+    prev = s.delay_factor;
+  }
+}
+
+TEST(DiskModelTest, IdleDisk) {
+  DiskState s = SolveDisk(DefaultConfig(), {});
+  EXPECT_DOUBLE_EQ(s.util, 0.0);
+  EXPECT_DOUBLE_EQ(s.delay_factor, 1.0);
+  EXPECT_GT(s.io_latency_ms, 0.0);
+}
+
+TEST(DiskModelTest, IopsBoundVsBandwidthBound) {
+  ServerConfig config = DefaultConfig();
+  DiskDemand iops_heavy;
+  iops_heavy.read_iops = config.disk_max_iops * 0.9;  // tiny I/Os
+  DiskState s1 = SolveDisk(config, iops_heavy);
+  EXPECT_NEAR(s1.util, 0.9, 1e-9);
+
+  DiskDemand bw_heavy;
+  bw_heavy.write_kb = config.disk_max_kb_per_sec * 0.8;
+  bw_heavy.write_iops = 10.0;
+  DiskState s2 = SolveDisk(config, bw_heavy);
+  EXPECT_NEAR(s2.util, 0.8, 1e-9);
+}
+
+TEST(DiskModelTest, QueueGrowsNonlinearlyNearSaturation) {
+  ServerConfig config = DefaultConfig();
+  DiskDemand half;
+  half.read_iops = config.disk_max_iops * 0.5;
+  DiskDemand nearly;
+  nearly.read_iops = config.disk_max_iops * 0.97;
+  double q_half = SolveDisk(config, half).queue_depth;
+  double q_nearly = SolveDisk(config, nearly).queue_depth;
+  EXPECT_GT(q_nearly, 5.0 * q_half);
+}
+
+TEST(NetModelTest, BaseRttWhenIdle) {
+  ServerConfig config = DefaultConfig();
+  NetState s = SolveNet(config, {});
+  EXPECT_DOUBLE_EQ(s.rtt_ms, config.net_base_rtt_ms);
+}
+
+TEST(NetModelTest, ExtraRttAdds) {
+  NetDemand d;
+  d.extra_rtt_ms = 300.0;  // tc netem, the Network Congestion anomaly
+  NetState s = SolveNet(DefaultConfig(), d);
+  EXPECT_GT(s.rtt_ms, 300.0);
+}
+
+TEST(NetModelTest, CongestionInflatesRtt) {
+  ServerConfig config = DefaultConfig();
+  NetDemand d;
+  d.send_kb = config.net_max_kb_per_sec * 0.9;
+  NetState s = SolveNet(config, d);
+  EXPECT_NEAR(s.util, 0.9, 1e-9);
+  EXPECT_GT(s.rtt_ms, 5.0 * config.net_base_rtt_ms);
+}
+
+TEST(LockModelTest, NoContentionWithoutLoad) {
+  LockState s = SolveLocks({});
+  EXPECT_DOUBLE_EQ(s.waits_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(s.wait_ms_per_txn, 0.0);
+}
+
+TEST(LockModelTest, SingleTransactionNeverConflicts) {
+  LockDemand d;
+  d.tps = 100.0;
+  d.locks_per_txn = 10.0;
+  d.hold_ms = 1.0;
+  d.hotspot_fraction = 0.9;
+  d.concurrency = 1.0;
+  LockState s = SolveLocks(d);
+  EXPECT_DOUBLE_EQ(s.waits_per_sec, 0.0);
+}
+
+TEST(LockModelTest, HotspotDrivesContention) {
+  LockDemand mild;
+  mild.tps = 900.0;
+  mild.locks_per_txn = 10.0;
+  mild.hold_ms = 1.0;
+  mild.hotspot_fraction = 0.02;
+  mild.concurrency = 10.0;
+  LockDemand hot = mild;
+  hot.hotspot_fraction = 0.3;
+  EXPECT_GT(SolveLocks(hot).wait_ms_per_txn,
+            20.0 * SolveLocks(mild).wait_ms_per_txn);
+}
+
+TEST(LockModelTest, ConcurrencyDrivesContention) {
+  LockDemand low;
+  low.tps = 900.0;
+  low.locks_per_txn = 10.0;
+  low.hold_ms = 1.0;
+  low.hotspot_fraction = 0.1;
+  low.concurrency = 5.0;
+  LockDemand high = low;
+  high.concurrency = 100.0;
+  EXPECT_GT(SolveLocks(high).wait_ms_per_txn,
+            SolveLocks(low).wait_ms_per_txn);
+}
+
+TEST(LockModelTest, DeadlocksRareAndQuadratic) {
+  LockDemand d;
+  d.tps = 900.0;
+  d.locks_per_txn = 14.0;
+  d.hold_ms = 1.2;
+  d.hotspot_fraction = 0.25;
+  d.concurrency = 50.0;
+  LockState s = SolveLocks(d);
+  EXPECT_GT(s.deadlocks_per_sec, 0.0);
+  EXPECT_LT(s.deadlocks_per_sec, s.waits_per_sec);
+}
+
+TEST(BufferPoolTest, SteadyStateModerateMissRate) {
+  BufferPoolModel pool(DefaultConfig());
+  BufferPoolModel::TickInput in;
+  in.logical_reads = 50000.0;
+  in.pages_dirtied = 1000.0;
+  BufferPoolModel::TickOutput out;
+  for (int i = 0; i < 20; ++i) out = pool.Update(in);
+  EXPECT_GT(out.hit_rate, 0.5);
+  EXPECT_LT(out.hit_rate, 1.0);
+  EXPECT_GT(out.pages_read, 0.0);
+}
+
+TEST(BufferPoolTest, ScanPollutionRaisesMissRate) {
+  BufferPoolModel pool(DefaultConfig());
+  BufferPoolModel::TickInput in;
+  in.logical_reads = 50000.0;
+  in.pages_dirtied = 500.0;
+  BufferPoolModel::TickOutput before;
+  for (int i = 0; i < 10; ++i) before = pool.Update(in);
+  // A mysqldump-style sequential scan floods the pool.
+  BufferPoolModel::TickInput scan = in;
+  scan.scan_pages = 60000.0;
+  BufferPoolModel::TickOutput during;
+  for (int i = 0; i < 5; ++i) during = pool.Update(scan);
+  EXPECT_GT(during.miss_rate, before.miss_rate);
+  // Pollution decays after the scan stops.
+  BufferPoolModel::TickOutput after;
+  for (int i = 0; i < 40; ++i) after = pool.Update(in);
+  EXPECT_LT(after.miss_rate, during.miss_rate);
+}
+
+TEST(BufferPoolTest, DirtyPagesDrainedByFlusher) {
+  BufferPoolModel pool(DefaultConfig());
+  BufferPoolModel::TickInput heavy;
+  heavy.logical_reads = 1000.0;
+  heavy.pages_dirtied = 10000.0;
+  for (int i = 0; i < 50; ++i) pool.Update(heavy);
+  double peak = pool.dirty_pages();
+  BufferPoolModel::TickInput quiet;
+  quiet.logical_reads = 1000.0;
+  quiet.pages_dirtied = 0.0;
+  for (int i = 0; i < 100; ++i) pool.Update(quiet);
+  EXPECT_LT(pool.dirty_pages(), peak);
+}
+
+TEST(BufferPoolTest, ForceFlushDrainsFast) {
+  BufferPoolModel pool(DefaultConfig());
+  BufferPoolModel::TickInput in;
+  in.pages_dirtied = 20000.0;
+  for (int i = 0; i < 10; ++i) pool.Update(in);
+  BufferPoolModel::TickInput flush;
+  flush.force_flush = true;
+  BufferPoolModel::TickOutput out = pool.Update(flush);
+  EXPECT_GT(out.pages_flushed,
+            DefaultConfig().max_flush_pages_per_sec * 1.5);
+}
+
+TEST(RedoLogTest, AccumulatesAndReportsFlushes) {
+  RedoLogModel log(DefaultConfig());
+  RedoLogModel::TickOutput out = log.Update(3200.0, false);
+  EXPECT_DOUBLE_EQ(out.kb_written, 3200.0);
+  EXPECT_GE(out.flushes, 1.0);
+  EXPECT_FALSE(out.rotated);
+  EXPECT_GT(out.pending_kb, 0.0);
+}
+
+TEST(RedoLogTest, ForcedRotationStalls) {
+  RedoLogModel log(DefaultConfig());
+  log.Update(1000.0, false);
+  RedoLogModel::TickOutput out = log.Update(1000.0, true);
+  EXPECT_TRUE(out.rotated);
+  EXPECT_GT(out.stall_ms, 0.0);
+  EXPECT_DOUBLE_EQ(out.pending_kb, 0.0);
+}
+
+TEST(RedoLogTest, FullLogRotatesOnItsOwn) {
+  ServerConfig config = DefaultConfig();
+  config.redo_log_kb = 1000.0;
+  RedoLogModel log(config);
+  bool rotated = false;
+  for (int i = 0; i < 20 && !rotated; ++i) {
+    rotated = log.Update(100.0, false).rotated;
+  }
+  EXPECT_TRUE(rotated);
+}
+
+TEST(RedoLogTest, NoWritesNoFlushes) {
+  RedoLogModel log(DefaultConfig());
+  EXPECT_DOUBLE_EQ(log.Update(0.0, false).flushes, 0.0);
+}
+
+}  // namespace
+}  // namespace dbsherlock::simulator

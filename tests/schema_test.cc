@@ -1,0 +1,57 @@
+#include "tsdata/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::tsdata {
+namespace {
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute({"cpu", AttributeKind::kNumeric}).ok());
+  ASSERT_TRUE(s.AddAttribute({"mode", AttributeKind::kCategorical}).ok());
+  EXPECT_EQ(s.num_attributes(), 2u);
+  EXPECT_EQ(*s.IndexOf("cpu"), 0u);
+  EXPECT_EQ(*s.IndexOf("mode"), 1u);
+  EXPECT_EQ(s.attribute(1).kind, AttributeKind::kCategorical);
+  EXPECT_TRUE(s.Contains("cpu"));
+  EXPECT_FALSE(s.Contains("disk"));
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  Schema s;
+  ASSERT_TRUE(s.AddAttribute({"cpu", AttributeKind::kNumeric}).ok());
+  common::Status st = s.AddAttribute({"cpu", AttributeKind::kCategorical});
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.num_attributes(), 1u);
+}
+
+TEST(SchemaTest, LookupMissingFails) {
+  Schema s;
+  auto r = s.IndexOf("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, VectorConstructor) {
+  Schema s({{"a", AttributeKind::kNumeric}, {"b", AttributeKind::kNumeric}});
+  EXPECT_EQ(s.num_attributes(), 2u);
+  EXPECT_EQ(*s.IndexOf("b"), 1u);
+}
+
+TEST(SchemaTest, Equality) {
+  Schema a({{"x", AttributeKind::kNumeric}});
+  Schema b({{"x", AttributeKind::kNumeric}});
+  Schema c({{"x", AttributeKind::kCategorical}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, KindNames) {
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kNumeric), "numeric");
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kCategorical),
+               "categorical");
+}
+
+}  // namespace
+}  // namespace dbsherlock::tsdata

@@ -1,0 +1,134 @@
+#include "synthetic/sem.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "core/predicate_generator.h"
+
+namespace dbsherlock::synthetic {
+namespace {
+
+TEST(SemTest, GraphIsAcyclicByConstruction) {
+  common::Pcg32 rng(1);
+  SemInstance inst = GenerateSemInstance({}, &rng);
+  // Edges only go from lower to higher index.
+  for (size_t i = 0; i < inst.adjacency.size(); ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      EXPECT_FALSE(inst.adjacency[i][j]);
+    }
+  }
+}
+
+TEST(SemTest, EffectVariableHasIncomingEdgeAndNoOutgoing) {
+  common::Pcg32 rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    SemInstance inst = GenerateSemInstance({}, &rng);
+    size_t effect = inst.adjacency.size() - 1;
+    bool incoming = false;
+    for (size_t i = 0; i < effect; ++i) incoming |= inst.adjacency[i][effect];
+    EXPECT_TRUE(incoming);
+    for (size_t j = 0; j < inst.adjacency.size(); ++j) {
+      EXPECT_FALSE(inst.adjacency[effect][j]);
+    }
+  }
+}
+
+TEST(SemTest, RootCausesAreRootsAndReachEffect) {
+  common::Pcg32 rng(3);
+  SemInstance inst = GenerateSemInstance({}, &rng);
+  size_t effect = inst.adjacency.size() - 1;
+  ASSERT_FALSE(inst.root_causes.empty());
+  for (size_t rc : inst.root_causes) {
+    for (size_t i = 0; i < inst.adjacency.size(); ++i) {
+      EXPECT_FALSE(inst.adjacency[i][rc]) << "root cause has a parent";
+    }
+    EXPECT_TRUE(inst.Reachable(rc, effect));
+  }
+}
+
+TEST(SemTest, DataDimensions) {
+  SemOptions options;
+  options.num_rows = 300;
+  options.abnormal_rows = 30;
+  common::Pcg32 rng(4);
+  SemInstance inst = GenerateSemInstance(options, &rng);
+  EXPECT_EQ(inst.data.num_rows(), 300u);
+  EXPECT_EQ(inst.data.num_attributes(), options.num_variables);
+  ASSERT_EQ(inst.regions.abnormal.ranges().size(), 1u);
+  EXPECT_DOUBLE_EQ(inst.regions.abnormal.ranges()[0].length(), 30.0);
+}
+
+TEST(SemTest, RootCauseShiftsInAbnormalBlock) {
+  common::Pcg32 rng(5);
+  SemInstance inst = GenerateSemInstance({}, &rng);
+  size_t rc = inst.root_causes[0];
+  tsdata::LabeledRows rows = SplitRows(inst.data, inst.regions);
+  double normal_sum = 0.0, abnormal_sum = 0.0;
+  auto values = inst.data.column(rc).numeric_values();
+  for (size_t row : rows.normal) normal_sum += values[row];
+  for (size_t row : rows.abnormal) abnormal_sum += values[row];
+  double normal_mean = normal_sum / static_cast<double>(rows.normal.size());
+  double abnormal_mean =
+      abnormal_sum / static_cast<double>(rows.abnormal.size());
+  EXPECT_NEAR(normal_mean, 10.0, 3.0);
+  EXPECT_NEAR(abnormal_mean, 100.0, 5.0);
+}
+
+TEST(SemTest, ExpectationsMatchReachability) {
+  common::Pcg32 rng(6);
+  SemInstance inst = GenerateSemInstance({}, &rng);
+  for (const RuleExpectation& exp : inst.expectations) {
+    // Recover the variable indices from the attribute names.
+    size_t cause = 0, effect = 0;
+    ASSERT_EQ(std::sscanf(exp.rule.cause_attribute.c_str(), "attr_%zu",
+                          &cause),
+              1);
+    ASSERT_EQ(std::sscanf(exp.rule.effect_attribute.c_str(), "attr_%zu",
+                          &effect),
+              1);
+    EXPECT_EQ(exp.should_prune, inst.Reachable(cause, effect));
+  }
+}
+
+TEST(SemTest, KnowledgeRulesObeyConditions) {
+  common::Pcg32 rng(7);
+  SemInstance inst = GenerateSemInstance({}, &rng);
+  // All rules were accepted by DomainKnowledge::AddRule, so no self or
+  // reversed rules; causes are root-cause attributes.
+  for (const core::DomainRule& rule : inst.knowledge.rules()) {
+    EXPECT_NE(rule.cause_attribute, rule.effect_attribute);
+    bool cause_is_root = false;
+    for (size_t rc : inst.root_causes) {
+      if (SemAttributeName(rc) == rule.cause_attribute) cause_is_root = true;
+    }
+    EXPECT_TRUE(cause_is_root);
+  }
+}
+
+TEST(SemTest, ReachabilityBasics) {
+  common::Pcg32 rng(8);
+  SemInstance inst = GenerateSemInstance({}, &rng);
+  EXPECT_TRUE(inst.Reachable(0, 0));  // reflexive by definition here
+}
+
+TEST(SemTest, PredicatesFoundOnRootCauses) {
+  common::Pcg32 rng(9);
+  SemInstance inst = GenerateSemInstance({}, &rng);
+  core::PredicateGenResult result =
+      core::GeneratePredicates(inst.data, inst.regions, {});
+  // Every root cause shifts by ~9 sigma, so its predicate must be found.
+  for (size_t rc : inst.root_causes) {
+    EXPECT_NE(result.Find(SemAttributeName(rc)), nullptr)
+        << SemAttributeName(rc);
+  }
+}
+
+TEST(SemTest, DifferentSeedsDifferentGraphs) {
+  common::Pcg32 rng1(10), rng2(11);
+  SemInstance a = GenerateSemInstance({}, &rng1);
+  SemInstance b = GenerateSemInstance({}, &rng2);
+  EXPECT_NE(a.adjacency, b.adjacency);
+}
+
+}  // namespace
+}  // namespace dbsherlock::synthetic

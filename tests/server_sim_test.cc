@@ -1,0 +1,256 @@
+#include "simulator/server_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "simulator/dataset_gen.h"
+
+namespace dbsherlock::simulator {
+namespace {
+
+/// Averages one numeric metric over [from, to) of a generated dataset.
+double AvgMetric(const GeneratedDataset& run, const std::string& name,
+                 double from, double to) {
+  auto col = run.data.ColumnByName(name);
+  EXPECT_TRUE(col.ok());
+  std::vector<double> vals;
+  for (size_t row : run.data.RowsInTimeRange(from, to)) {
+    vals.push_back((*col)->numeric(row));
+  }
+  return common::Mean(vals);
+}
+
+struct Window {
+  double normal_from, normal_to, ab_from, ab_to;
+};
+
+Window WindowsOf(const GeneratedDataset& run) {
+  const tsdata::TimeRange& r = run.regions.abnormal.ranges()[0];
+  return {0.0, r.start, r.start + 10.0, r.end};  // skip the onset ramp
+}
+
+GeneratedDataset Generate(AnomalyKind kind, uint64_t seed = 77) {
+  DatasetGenOptions options;
+  options.seed = seed;
+  return GenerateAnomalyDataset(options, kind, 60.0);
+}
+
+TEST(ServerSimTest, DeterministicForSameSeed) {
+  DatasetGenOptions options;
+  options.seed = 5;
+  GeneratedDataset a =
+      GenerateAnomalyDataset(options, AnomalyKind::kWorkloadSpike, 40.0);
+  GeneratedDataset b =
+      GenerateAnomalyDataset(options, AnomalyKind::kWorkloadSpike, 40.0);
+  ASSERT_EQ(a.data.num_rows(), b.data.num_rows());
+  for (size_t row = 0; row < a.data.num_rows(); row += 17) {
+    EXPECT_DOUBLE_EQ(a.data.column(0).numeric(row),
+                     b.data.column(0).numeric(row));
+  }
+}
+
+TEST(ServerSimTest, NormalOperationIsModerate) {
+  GeneratedDataset run = Generate(AnomalyKind::kCpuSaturation);
+  Window w = WindowsOf(run);
+  double cpu = AvgMetric(run, "os_cpu_usage", w.normal_from, w.normal_to);
+  double latency =
+      AvgMetric(run, "avg_latency_ms", w.normal_from, w.normal_to);
+  EXPECT_GT(cpu, 5.0);
+  EXPECT_LT(cpu, 85.0);
+  EXPECT_GT(latency, 0.5);
+  EXPECT_LT(latency, 100.0);
+}
+
+TEST(ServerSimTest, EveryAnomalyRaisesLatency) {
+  for (AnomalyKind kind : AllAnomalyKinds()) {
+    GeneratedDataset run = Generate(kind, 200 + static_cast<uint64_t>(kind));
+    Window w = WindowsOf(run);
+    double normal =
+        AvgMetric(run, "avg_latency_ms", w.normal_from, w.normal_to);
+    double abnormal = AvgMetric(run, "avg_latency_ms", w.ab_from, w.ab_to);
+    EXPECT_GT(abnormal, 1.3 * normal) << AnomalyKindName(kind);
+  }
+}
+
+// --- Per-class signature checks: the attribute DBSeer/DBSherlock would key
+// on must move in the documented direction.
+
+TEST(SignatureTest, PoorlyWrittenQueryScansRows) {
+  GeneratedDataset run = Generate(AnomalyKind::kPoorlyWrittenQuery);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "logical_reads", w.ab_from, w.ab_to),
+            3.0 * AvgMetric(run, "logical_reads", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "dbms_cpu_usage", w.ab_from, w.ab_to),
+            1.5 * AvgMetric(run, "dbms_cpu_usage", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "full_table_scans", w.ab_from, w.ab_to), 2.0);
+}
+
+TEST(SignatureTest, PoorPhysicalDesignWritesIndexPages) {
+  GeneratedDataset run = Generate(AnomalyKind::kPoorPhysicalDesign);
+  Window w = WindowsOf(run);
+  EXPECT_GT(
+      AvgMetric(run, "index_pages_written", w.ab_from, w.ab_to),
+      3.0 * AvgMetric(run, "index_pages_written", w.normal_from, w.normal_to));
+}
+
+TEST(SignatureTest, WorkloadSpikeRaisesThroughputAndThreads) {
+  GeneratedDataset run = Generate(AnomalyKind::kWorkloadSpike);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "throughput_tps", w.ab_from, w.ab_to),
+            1.8 * AvgMetric(run, "throughput_tps", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "running_threads", w.ab_from, w.ab_to),
+            2.0 * AvgMetric(run, "running_threads", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "lock_waits", w.ab_from, w.ab_to),
+            AvgMetric(run, "lock_waits", w.normal_from, w.normal_to));
+}
+
+TEST(SignatureTest, IoSaturationFillsDiskQueue) {
+  GeneratedDataset run = Generate(AnomalyKind::kIoSaturation);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "disk_write_iops", w.ab_from, w.ab_to),
+            3.0 * AvgMetric(run, "disk_write_iops", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "disk_util", w.ab_from, w.ab_to),
+            2.0 * AvgMetric(run, "disk_util", w.normal_from, w.normal_to));
+}
+
+TEST(SignatureTest, DatabaseBackupStreamsOverNetwork) {
+  GeneratedDataset run = Generate(AnomalyKind::kDatabaseBackup);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "disk_read_kb", w.ab_from, w.ab_to),
+            3.0 * AvgMetric(run, "disk_read_kb", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "net_send_kb", w.ab_from, w.ab_to),
+            3.0 * AvgMetric(run, "net_send_kb", w.normal_from, w.normal_to));
+  // The scan pollutes the buffer pool.
+  EXPECT_LT(AvgMetric(run, "buffer_pool_hit_rate", w.ab_from, w.ab_to),
+            AvgMetric(run, "buffer_pool_hit_rate", w.normal_from,
+                      w.normal_to));
+}
+
+TEST(SignatureTest, TableRestoreIngestsRows) {
+  GeneratedDataset run = Generate(AnomalyKind::kTableRestore);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "net_recv_kb", w.ab_from, w.ab_to),
+            3.0 * AvgMetric(run, "net_recv_kb", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "rows_written", w.ab_from, w.ab_to),
+            2.0 * AvgMetric(run, "rows_written", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "log_kb_written", w.ab_from, w.ab_to),
+            2.0 * AvgMetric(run, "log_kb_written", w.normal_from, w.normal_to));
+}
+
+TEST(SignatureTest, CpuSaturationPinsCpuButNotDbms) {
+  GeneratedDataset run = Generate(AnomalyKind::kCpuSaturation);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "os_cpu_usage", w.ab_from, w.ab_to), 85.0);
+  EXPECT_LT(AvgMetric(run, "os_cpu_idle", w.ab_from, w.ab_to),
+            0.5 * AvgMetric(run, "os_cpu_idle", w.normal_from, w.normal_to));
+  // The DBMS itself gets squeezed, not busier.
+  EXPECT_LT(AvgMetric(run, "dbms_cpu_usage", w.ab_from, w.ab_to),
+            1.5 * AvgMetric(run, "dbms_cpu_usage", w.normal_from, w.normal_to));
+}
+
+TEST(SignatureTest, FlushLogTableFlushesPages) {
+  GeneratedDataset run = Generate(AnomalyKind::kFlushLogTable);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "pages_flushed", w.ab_from, w.ab_to),
+            1.5 * AvgMetric(run, "pages_flushed", w.normal_from, w.normal_to));
+  EXPECT_LT(AvgMetric(run, "buffer_pool_hit_rate", w.ab_from, w.ab_to),
+            AvgMetric(run, "buffer_pool_hit_rate", w.normal_from,
+                      w.normal_to));
+}
+
+TEST(SignatureTest, NetworkCongestionLowersTrafficAndCpu) {
+  GeneratedDataset run = Generate(AnomalyKind::kNetworkCongestion);
+  Window w = WindowsOf(run);
+  // The paper's introduction: "a lower than usual number of network
+  // packets sent or received", with clients waiting and little CPU.
+  EXPECT_LT(AvgMetric(run, "net_send_kb", w.ab_from, w.ab_to),
+            0.5 * AvgMetric(run, "net_send_kb", w.normal_from, w.normal_to));
+  EXPECT_LT(AvgMetric(run, "os_cpu_usage", w.ab_from, w.ab_to),
+            0.8 * AvgMetric(run, "os_cpu_usage", w.normal_from, w.normal_to));
+  EXPECT_GT(AvgMetric(run, "client_wait_time_ms", w.ab_from, w.ab_to),
+            2.0 * AvgMetric(run, "client_wait_time_ms", w.normal_from,
+                            w.normal_to));
+}
+
+TEST(SignatureTest, LockContentionInflatesLockWaits) {
+  GeneratedDataset run = Generate(AnomalyKind::kLockContention);
+  Window w = WindowsOf(run);
+  EXPECT_GT(AvgMetric(run, "lock_wait_time_ms", w.ab_from, w.ab_to),
+            5.0 * AvgMetric(run, "lock_wait_time_ms", w.normal_from,
+                            w.normal_to));
+  EXPECT_LT(AvgMetric(run, "throughput_tps", w.ab_from, w.ab_to),
+            0.8 * AvgMetric(run, "throughput_tps", w.normal_from, w.normal_to));
+}
+
+// Parameterized: every anomaly class produces a dataset whose DBSherlock-
+// ground-truth region is non-trivially distinguishable (at least a few
+// attributes shift by more than the threshold).
+class AnomalyClassSweep : public ::testing::TestWithParam<AnomalyKind> {};
+
+TEST_P(AnomalyClassSweep, ProducesDistinguishableTelemetry) {
+  GeneratedDataset run = Generate(GetParam(), 900);
+  Window w = WindowsOf(run);
+  size_t moved = 0;
+  for (const auto& name : NumericMetricNames()) {
+    double normal = AvgMetric(run, name, w.normal_from, w.normal_to);
+    double abnormal = AvgMetric(run, name, w.ab_from, w.ab_to);
+    double denom = std::max(std::abs(normal), 1e-9);
+    if (std::abs(abnormal - normal) / denom > 0.5) ++moved;
+  }
+  EXPECT_GE(moved, 3u) << AnomalyKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, AnomalyClassSweep,
+                         ::testing::ValuesIn(AllAnomalyKinds()));
+
+TEST(ComputeEffectsTest, InactiveEventHasNoEffect) {
+  AnomalyEvent ev;
+  ev.kind = AnomalyKind::kCpuSaturation;
+  ev.start_sec = 100.0;
+  ev.duration_sec = 10.0;
+  TickEffects fx = ComputeEffects({ev}, 50.0);
+  EXPECT_DOUBLE_EQ(fx.extra_external_cpu_ms, 0.0);
+  EXPECT_DOUBLE_EQ(fx.tps_multiplier, 1.0);
+}
+
+TEST(ComputeEffectsTest, EffectsRampUp) {
+  AnomalyEvent ev;
+  ev.kind = AnomalyKind::kCpuSaturation;
+  ev.start_sec = 0.0;
+  ev.duration_sec = 60.0;
+  ev.ramp_sec = 8.0;
+  TickEffects early = ComputeEffects({ev}, 0.0);
+  TickEffects late = ComputeEffects({ev}, 30.0);
+  EXPECT_GT(early.extra_external_cpu_ms, 0.0);
+  EXPECT_GT(late.extra_external_cpu_ms, 2.0 * early.extra_external_cpu_ms);
+}
+
+TEST(ComputeEffectsTest, CompoundEffectsCombine) {
+  AnomalyEvent spike;
+  spike.kind = AnomalyKind::kWorkloadSpike;
+  spike.start_sec = 0.0;
+  spike.duration_sec = 60.0;
+  AnomalyEvent net;
+  net.kind = AnomalyKind::kNetworkCongestion;
+  net.start_sec = 0.0;
+  net.duration_sec = 60.0;
+  TickEffects fx = ComputeEffects({spike, net}, 30.0);
+  EXPECT_GT(fx.tps_multiplier, 2.0);
+  EXPECT_GT(fx.extra_rtt_ms, 100.0);
+  EXPECT_EQ(fx.extra_terminals, 128);
+}
+
+TEST(EffectiveMagnitudeTest, FloorAndPlateau) {
+  AnomalyEvent ev;
+  ev.start_sec = 0.0;
+  ev.duration_sec = 100.0;
+  ev.magnitude = 2.0;
+  ev.ramp_sec = 8.0;
+  EXPECT_GE(ev.EffectiveMagnitude(0.0), 0.5);   // floor: 0.25 * magnitude
+  EXPECT_DOUBLE_EQ(ev.EffectiveMagnitude(50.0), 2.0);  // plateau
+  EXPECT_LT(ev.EffectiveMagnitude(99.5), 2.0);  // tail ramp-down
+  EXPECT_DOUBLE_EQ(ev.EffectiveMagnitude(150.0), 0.0);  // inactive
+}
+
+}  // namespace
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,108 @@
+#include "eval/simulated_user.h"
+
+#include <gtest/gtest.h>
+
+#include "core/domain_knowledge.h"
+
+namespace dbsherlock::eval {
+namespace {
+
+struct Fixture {
+  Corpus corpus;
+  core::ModelRepository repo;
+  core::PredicateGenOptions options;
+};
+
+const Fixture& SharedFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    simulator::DatasetGenOptions gen;
+    gen.seed = 99;
+    f->corpus = GenerateCorpus(gen);
+    f->options.normalized_diff_threshold = 0.05;
+    for (size_t c = 0; c < f->corpus.num_classes(); ++c) {
+      for (size_t i = 0; i < 5; ++i) {
+        f->repo.Add(BuildCausalModel(f->corpus.by_class[c][i],
+                                     f->corpus.ClassName(c), f->options));
+      }
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+UserStudyQuestion MakeQuestion(const Fixture& f, size_t klass) {
+  UserStudyQuestion q;
+  q.dataset = &f.corpus.by_class[klass][8];
+  q.correct = f.corpus.ClassName(klass);
+  q.choices = {q.correct, f.corpus.ClassName((klass + 1) % 10),
+               f.corpus.ClassName((klass + 2) % 10),
+               f.corpus.ClassName((klass + 3) % 10)};
+  return q;
+}
+
+TEST(SimulatedUserTest, NoiselessUserFollowsEvidence) {
+  const Fixture& f = SharedFixture();
+  SimulatedUserOptions options;
+  options.noise_research = 0.0;  // perfect evidence reader
+  common::Pcg32 rng(1);
+  size_t correct = 0;
+  for (size_t klass = 0; klass < 10; ++klass) {
+    if (AnswerQuestion(MakeQuestion(f, klass), f.repo, f.options,
+                       UserTier::kResearchOrDba, options, &rng)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, 8u);  // evidence is strong for nearly every class
+}
+
+TEST(SimulatedUserTest, ExtremeNoiseApproachesRandom) {
+  const Fixture& f = SharedFixture();
+  SimulatedUserOptions options;
+  options.noise_preliminary = 1e6;  // evidence drowned out
+  common::Pcg32 rng(2);
+  size_t correct = 0;
+  const size_t trials = 400;
+  for (size_t t = 0; t < trials; ++t) {
+    if (AnswerQuestion(MakeQuestion(f, t % 10), f.repo, f.options,
+                       UserTier::kPreliminaryKnowledge, options, &rng)) {
+      ++correct;
+    }
+  }
+  double rate = static_cast<double>(correct) / trials;
+  EXPECT_GT(rate, 0.15);  // ~uniform over 4 choices
+  EXPECT_LT(rate, 0.40);
+}
+
+TEST(SimulatedUserTest, MoreNoiseNeverHelps) {
+  const Fixture& f = SharedFixture();
+  common::Pcg32 rng(3);
+  size_t low_noise_correct = 0, high_noise_correct = 0;
+  const size_t trials = 200;
+  for (size_t t = 0; t < trials; ++t) {
+    SimulatedUserOptions low;
+    low.noise_research = 5.0;
+    SimulatedUserOptions high;
+    high.noise_research = 120.0;
+    if (AnswerQuestion(MakeQuestion(f, t % 10), f.repo, f.options,
+                       UserTier::kResearchOrDba, low, &rng)) {
+      ++low_noise_correct;
+    }
+    if (AnswerQuestion(MakeQuestion(f, t % 10), f.repo, f.options,
+                       UserTier::kResearchOrDba, high, &rng)) {
+      ++high_noise_correct;
+    }
+  }
+  EXPECT_GE(low_noise_correct, high_noise_correct);
+}
+
+TEST(SimulatedUserTest, TierNames) {
+  EXPECT_EQ(UserTierName(UserTier::kPreliminaryKnowledge),
+            "Preliminary DB Knowledge");
+  EXPECT_EQ(UserTierName(UserTier::kUsageExperience), "DB Usage Experience");
+  EXPECT_EQ(UserTierName(UserTier::kResearchOrDba),
+            "DB Research or DBA Experience");
+}
+
+}  // namespace
+}  // namespace dbsherlock::eval

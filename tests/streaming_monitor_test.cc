@@ -1,0 +1,122 @@
+#include "core/streaming_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace dbsherlock::core {
+namespace {
+
+tsdata::Schema MonitorSchema() {
+  return tsdata::Schema({{"latency", tsdata::AttributeKind::kNumeric},
+                         {"cpu", tsdata::AttributeKind::kNumeric}});
+}
+
+/// Feeds `monitor` rows [from, to): abnormal inside [ab_start, ab_end).
+/// Returns all alerts raised.
+std::vector<StreamingMonitor::Alert> Feed(StreamingMonitor* monitor,
+                                          int from, int to, int ab_start,
+                                          int ab_end, common::Pcg32* rng) {
+  std::vector<StreamingMonitor::Alert> alerts;
+  for (int t = from; t < to; ++t) {
+    bool ab = t >= ab_start && t < ab_end;
+    double latency = (ab ? 90.0 : 10.0) + rng->NextGaussian(0.0, 1.5);
+    double cpu = (ab ? 95.0 : 40.0) + rng->NextGaussian(0.0, 2.0);
+    auto alert = monitor->Append(t, {latency, cpu});
+    if (alert.has_value()) alerts.push_back(*alert);
+  }
+  return alerts;
+}
+
+TEST(StreamingMonitorTest, QuietStreamNeverAlerts) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  common::Pcg32 rng(1);
+  auto alerts = Feed(&monitor, 0, 400, 0, 0, &rng);
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(monitor.rows_seen(), 400u);
+}
+
+TEST(StreamingMonitorTest, AlertsOnceOnAnomaly) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  common::Pcg32 rng(2);
+  // 300 normal seconds, 40 abnormal, 160 normal again.
+  auto alerts = Feed(&monitor, 0, 500, 300, 340, &rng);
+  ASSERT_GE(alerts.size(), 1u);
+  // All alerts point into the true anomaly (an ongoing anomaly may re-alert
+  // as its detected region grows, but never for normal stretches).
+  for (const auto& alert : alerts) {
+    EXPECT_GE(alert.region.start, 290.0);
+    EXPECT_LE(alert.region.start, 345.0);
+    EXPECT_GE(alert.raised_at, alert.region.start);
+  }
+  // The first alert fires while the anomaly is live or shortly after.
+  EXPECT_LE(alerts[0].raised_at, 360.0);
+  // Its explanation names the shifted attributes.
+  ASSERT_FALSE(alerts[0].explanation.predicates.empty());
+  bool saw_latency = false;
+  for (const auto& d : alerts[0].explanation.predicates) {
+    if (d.predicate.attribute == "latency") saw_latency = true;
+  }
+  EXPECT_TRUE(saw_latency);
+}
+
+TEST(StreamingMonitorTest, SecondIncidentAlertsAgain) {
+  StreamingMonitor::Options options;
+  StreamingMonitor monitor(MonitorSchema(), options);
+  common::Pcg32 rng(3);
+  auto first = Feed(&monitor, 0, 400, 250, 280, &rng);
+  ASSERT_GE(first.size(), 1u);
+  auto second = Feed(&monitor, 400, 800, 600, 640, &rng);
+  ASSERT_GE(second.size(), 1u);
+  EXPECT_GT(second[0].region.start, 590.0);
+}
+
+TEST(StreamingMonitorTest, WindowStaysBounded) {
+  StreamingMonitor::Options options;
+  options.window_rows = 100;
+  options.warmup_rows = 50;
+  StreamingMonitor monitor(MonitorSchema(), options);
+  common::Pcg32 rng(4);
+  Feed(&monitor, 0, 500, 0, 0, &rng);
+  // Bounded by window_rows plus the trim hysteresis slack.
+  EXPECT_LE(monitor.window_size(), 100u + 64u);
+  EXPECT_EQ(monitor.rows_seen(), 500u);
+}
+
+TEST(StreamingMonitorTest, NoDetectionBeforeWarmup) {
+  StreamingMonitor::Options options;
+  options.warmup_rows = 200;
+  StreamingMonitor monitor(MonitorSchema(), options);
+  common::Pcg32 rng(5);
+  // An anomaly right at the start of the stream, before warmup completes.
+  auto alerts = Feed(&monitor, 0, 150, 100, 130, &rng);
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST(StreamingMonitorTest, BadRowIsIgnored) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  EXPECT_FALSE(monitor.Append(0.0, {1.0}).has_value());  // arity mismatch
+  EXPECT_EQ(monitor.rows_seen(), 0u);
+  EXPECT_FALSE(
+      monitor.Append(0.0, {1.0, std::string("x")}).has_value());  // kind
+  EXPECT_EQ(monitor.rows_seen(), 0u);
+}
+
+TEST(StreamingMonitorTest, PreloadedModelsNameTheCause) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  CausalModel model;
+  model.cause = "CPU hog";
+  model.predicates = {
+      Predicate{"cpu", PredicateType::kGreaterThan, 70.0, 0.0, {}},
+      Predicate{"latency", PredicateType::kGreaterThan, 50.0, 0.0, {}}};
+  monitor.explainer().repository().AddUnmerged(model);
+
+  common::Pcg32 rng(6);
+  auto alerts = Feed(&monitor, 0, 450, 300, 340, &rng);
+  ASSERT_GE(alerts.size(), 1u);
+  ASSERT_FALSE(alerts[0].explanation.causes.empty());
+  EXPECT_EQ(alerts[0].explanation.causes[0].cause, "CPU hog");
+}
+
+}  // namespace
+}  // namespace dbsherlock::core

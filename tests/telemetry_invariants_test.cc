@@ -1,0 +1,118 @@
+// Invariants of the emitted telemetry that the paper's domain-knowledge
+// rules (Section 5) presuppose — e.g. the complement relationships between
+// os_allocated_pages/os_free_pages and os_cpu_usage/os_cpu_idle. If the
+// simulator broke these, the Table 2 / Appendix F experiments would be
+// testing rules with false premises.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/domain_knowledge.h"
+#include "simulator/dataset_gen.h"
+
+namespace dbsherlock::simulator {
+namespace {
+
+class TelemetryInvariants
+    : public ::testing::TestWithParam<AnomalyKind> {
+ protected:
+  GeneratedDataset Run() {
+    DatasetGenOptions options;
+    options.seed = 4000 + static_cast<uint64_t>(GetParam());
+    return GenerateAnomalyDataset(options, GetParam(), 60.0);
+  }
+
+  static double Get(const GeneratedDataset& run, const char* attr,
+                    size_t row) {
+    auto col = run.data.ColumnByName(attr);
+    EXPECT_TRUE(col.ok());
+    return (*col)->numeric(row);
+  }
+};
+
+TEST_P(TelemetryInvariants, CpuSharesSumBelowHundred) {
+  GeneratedDataset run = Run();
+  for (size_t row = 0; row < run.data.num_rows(); row += 7) {
+    double usage = Get(run, "os_cpu_usage", row);
+    double idle = Get(run, "os_cpu_idle", row);
+    double iowait = Get(run, "os_cpu_iowait", row);
+    EXPECT_GE(usage, 0.0);
+    EXPECT_GE(idle, 0.0);
+    EXPECT_GE(iowait, 0.0);
+    // usage + iowait + idle covers the CPU second (idle is derived as the
+    // exact remainder; the noisy terms can overshoot only slightly).
+    EXPECT_LE(usage + idle + iowait, 135.0);
+  }
+}
+
+TEST_P(TelemetryInvariants, DbmsCpuNeverExceedsOsCpuMaterially) {
+  // Premise of rule 1 (dbms_cpu_usage -> os_cpu_usage): the DBMS is a
+  // component of total CPU. Allow noise headroom.
+  GeneratedDataset run = Run();
+  for (size_t row = 0; row < run.data.num_rows(); row += 7) {
+    EXPECT_LE(Get(run, "dbms_cpu_usage", row),
+              Get(run, "os_cpu_usage", row) + 35.0);
+  }
+}
+
+TEST_P(TelemetryInvariants, MemoryPagesComplementary) {
+  // Premise of rule 2: allocated + free = total (free is derived exactly).
+  GeneratedDataset run = Run();
+  ServerConfig config;
+  for (size_t row = 0; row < run.data.num_rows(); row += 7) {
+    double allocated = Get(run, "os_allocated_pages", row);
+    double free_pages = Get(run, "os_free_pages", row);
+    EXPECT_NEAR(allocated + free_pages, config.total_pages,
+                0.01 * config.total_pages);
+  }
+}
+
+TEST_P(TelemetryInvariants, SwapComplementary) {
+  GeneratedDataset run = Run();
+  for (size_t row = 0; row < run.data.num_rows(); row += 7) {
+    double used = Get(run, "os_used_swap_kb", row);
+    double free_swap = Get(run, "os_free_swap_kb", row);
+    EXPECT_NEAR(used + free_swap, 2.0 * 1024.0 * 1024.0, 1024.0);
+  }
+}
+
+TEST_P(TelemetryInvariants, CountersNonNegativeAndFinite) {
+  GeneratedDataset run = Run();
+  for (size_t attr = 0; attr < run.data.num_attributes(); ++attr) {
+    const tsdata::Column& col = run.data.column(attr);
+    if (col.kind() != tsdata::AttributeKind::kNumeric) continue;
+    for (size_t row = 0; row < run.data.num_rows(); row += 11) {
+      double v = col.numeric(row);
+      EXPECT_TRUE(std::isfinite(v))
+          << run.data.schema().attribute(attr).name;
+      EXPECT_GE(v, 0.0) << run.data.schema().attribute(attr).name;
+    }
+  }
+}
+
+TEST_P(TelemetryInvariants, ServerProfileIsInvariant) {
+  // Section 2.4: invariants must never look like explanations. The
+  // server_profile column is constant, so no predicate can use it.
+  GeneratedDataset run = Run();
+  auto col = run.data.ColumnByName("server_profile");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->num_categories(), 1u);
+}
+
+TEST_P(TelemetryInvariants, ComplementRulesAreDataDependentInPractice) {
+  // The kappa test must find the complement pairs dependent on real runs
+  // (otherwise rule pruning would never fire).
+  GeneratedDataset run = Run();
+  core::IndependenceTestOptions options;
+  double kappa = core::DomainKnowledge::ComputeKappa(
+      run.data, "os_allocated_pages", "os_free_pages", options);
+  EXPECT_GE(kappa, options.kappa_threshold)
+      << "allocated/free should test dependent";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAnomalies, TelemetryInvariants,
+                         ::testing::ValuesIn(AllAnomalyKinds()));
+
+}  // namespace
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,64 @@
+#include "simulator/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::simulator {
+namespace {
+
+TEST(WorkloadTest, TpccMixStructure) {
+  WorkloadSpec w = MakeTpccWorkload();
+  EXPECT_EQ(w.name, "tpcc");
+  ASSERT_EQ(w.transactions.size(), 5u);
+  EXPECT_EQ(w.transactions[0].name, "NewOrder");
+  // NewOrder + Payment dominate the TPC-C mix (~88%).
+  double no_payment_weight =
+      w.transactions[0].mix_weight + w.transactions[1].mix_weight;
+  EXPECT_GT(no_payment_weight / w.TotalWeight(), 0.8);
+}
+
+TEST(WorkloadTest, TotalWeightSumsMix) {
+  WorkloadSpec w = MakeTpccWorkload();
+  double sum = 0.0;
+  for (const auto& t : w.transactions) sum += t.mix_weight;
+  EXPECT_DOUBLE_EQ(w.TotalWeight(), sum);
+}
+
+TEST(WorkloadTest, MixAverageIsWeighted) {
+  WorkloadSpec w;
+  TransactionProfile a;
+  a.mix_weight = 1.0;
+  a.cpu_ms = 1.0;
+  TransactionProfile b;
+  b.mix_weight = 3.0;
+  b.cpu_ms = 5.0;
+  w.transactions = {a, b};
+  EXPECT_DOUBLE_EQ(w.MixAverage(&TransactionProfile::cpu_ms), 4.0);
+}
+
+TEST(WorkloadTest, EmptyMixAverageIsZero) {
+  WorkloadSpec w;
+  EXPECT_DOUBLE_EQ(w.MixAverage(&TransactionProfile::cpu_ms), 0.0);
+  EXPECT_DOUBLE_EQ(w.TotalWeight(), 0.0);
+}
+
+TEST(WorkloadTest, TpceIsReadHeavierThanTpcc) {
+  WorkloadSpec tpcc = MakeTpccWorkload();
+  WorkloadSpec tpce = MakeTpceWorkload();
+  double tpcc_writes =
+      tpcc.MixAverage(&TransactionProfile::rows_written);
+  double tpcc_reads = tpcc.MixAverage(&TransactionProfile::logical_reads);
+  double tpce_writes =
+      tpce.MixAverage(&TransactionProfile::rows_written);
+  double tpce_reads = tpce.MixAverage(&TransactionProfile::logical_reads);
+  // Appendix A's premise: TPC-E reads much more per row written.
+  EXPECT_GT(tpce_reads / std::max(tpce_writes, 1e-9),
+            2.0 * tpcc_reads / std::max(tpcc_writes, 1e-9));
+}
+
+TEST(WorkloadTest, TpceHasMilderHotspot) {
+  EXPECT_LT(MakeTpceWorkload().hotspot_fraction,
+            MakeTpccWorkload().hotspot_fraction);
+}
+
+}  // namespace
+}  // namespace dbsherlock::simulator

@@ -1,0 +1,386 @@
+// The `dbsherlock` command-line tool: the full workflow of the paper's
+// Figure 2 from a shell. Subcommands:
+//
+//   simulate  generate a telemetry CSV with an injected anomaly
+//   plot      render an attribute as an ASCII (or SVG) chart
+//   detect    find abnormal regions automatically (Section 7)
+//   diagnose  explain an abnormal region (predicates + ranked causes)
+//   teach     confirm a cause for a region and store/merge its causal model
+//   models    list the causal models in a model file
+//
+// Examples:
+//   dbsherlock simulate --anomaly lock_contention --out incident.csv
+//   dbsherlock plot --data incident.csv --attribute avg_latency_ms
+//       --abnormal 60:120
+//   dbsherlock diagnose --data incident.csv --abnormal 60:120
+//       --models models.json
+//   dbsherlock teach --data incident.csv --abnormal 60:120
+//       --cause "Lock Contention" --action "spread hot district"
+//       --models models.json
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/explainer.h"
+#include "core/model_io.h"
+#include "simulator/dataset_gen.h"
+#include "tsdata/dataset_io.h"
+#include "viz/chart.h"
+#include "viz/incident_report.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+/// Minimal --flag value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      std::string name = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[name] = argv[++i];
+      } else {
+        values_[name] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    auto parsed = common::ParseDouble(it->second);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--%s: %s\n", name.c_str(),
+                   parsed.status().ToString().c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+[[noreturn]] void Die(const common::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(1);
+}
+
+tsdata::Dataset LoadData(const Args& args) {
+  std::string path = args.Get("data");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --data <csv> is required\n");
+    std::exit(2);
+  }
+  auto dataset = tsdata::ReadDatasetFile(path);
+  if (!dataset.ok()) Die(dataset.status());
+  return std::move(*dataset);
+}
+
+tsdata::DiagnosisRegions ParseRegions(const Args& args) {
+  std::string spec = args.Get("abnormal");
+  if (spec.empty()) {
+    std::fprintf(stderr,
+                 "error: --abnormal <start:end>[,<start:end>...] required\n");
+    std::exit(2);
+  }
+  tsdata::DiagnosisRegions regions;
+  for (const std::string& part : common::Split(spec, ',')) {
+    std::vector<std::string> bounds = common::Split(part, ':');
+    auto fail = [&]() {
+      std::fprintf(stderr, "error: bad region '%s' (want start:end)\n",
+                   part.c_str());
+      std::exit(2);
+    };
+    if (bounds.size() != 2) fail();
+    auto start = common::ParseDouble(bounds[0]);
+    auto end = common::ParseDouble(bounds[1]);
+    if (!start.ok() || !end.ok() || *end <= *start) fail();
+    regions.abnormal.Add(*start, *end);
+  }
+  return regions;
+}
+
+core::ModelRepository LoadModelsIfAny(const Args& args) {
+  std::string path = args.Get("models");
+  if (path.empty()) return {};
+  auto repo = core::LoadRepository(path);
+  if (repo.ok()) return std::move(*repo);
+  if (repo.status().code() == common::StatusCode::kIoError) {
+    return {};  // not created yet; `teach` will write it
+  }
+  Die(repo.status());
+}
+
+int CmdSimulate(const Args& args) {
+  std::string anomaly_id = args.Get("anomaly", "workload_spike");
+  std::string out_path = args.Get("out", "dbsherlock_dataset.csv");
+  double duration = args.GetDouble("duration", 60.0);
+  uint64_t seed = static_cast<uint64_t>(args.GetDouble("seed", 42.0));
+
+  const simulator::AnomalyKind* found = nullptr;
+  for (const simulator::AnomalyKind& kind : simulator::AllAnomalyKinds()) {
+    if (simulator::AnomalyKindId(kind) == anomaly_id) found = &kind;
+  }
+  if (found == nullptr) {
+    std::fprintf(stderr, "unknown anomaly '%s'; options:\n",
+                 anomaly_id.c_str());
+    for (simulator::AnomalyKind kind : simulator::AllAnomalyKinds()) {
+      std::fprintf(stderr, "  %-22s (%s)\n",
+                   simulator::AnomalyKindId(kind).c_str(),
+                   simulator::AnomalyKindName(kind).c_str());
+    }
+    return 2;
+  }
+
+  simulator::DatasetGenOptions options;
+  options.seed = seed;
+  simulator::GeneratedDataset run =
+      simulator::GenerateAnomalyDataset(options, *found, duration);
+  common::Status status = tsdata::WriteDatasetFile(run.data, out_path);
+  if (!status.ok()) Die(status);
+  const tsdata::TimeRange& truth = run.regions.abnormal.ranges()[0];
+  std::printf("Wrote %zu rows x %zu attributes to %s\n", run.data.num_rows(),
+              run.data.num_attributes(), out_path.c_str());
+  std::printf("Injected anomaly: %s at [%.0f, %.0f)\n", run.label.c_str(),
+              truth.start, truth.end);
+  return 0;
+}
+
+int CmdPlot(const Args& args) {
+  tsdata::Dataset data = LoadData(args);
+  std::string attribute = args.Get("attribute", "avg_latency_ms");
+  tsdata::RegionSpec abnormal;
+  if (args.Has("abnormal")) abnormal = ParseRegions(args).abnormal;
+
+  if (args.Has("svg")) {
+    viz::SvgChartOptions options;
+    options.title = attribute;
+    auto svg = viz::RenderSvgChart(data, {{attribute}}, abnormal, options);
+    if (!svg.ok()) Die(svg.status());
+    std::string path = args.Get("svg");
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(svg->data(), 1, svg->size(), f);
+    std::fclose(f);
+    std::printf("Wrote %s\n", path.c_str());
+    return 0;
+  }
+
+  viz::AsciiChartOptions options;
+  options.title = attribute;
+  auto chart = viz::RenderAsciiChart(data, attribute, abnormal, options);
+  if (!chart.ok()) Die(chart.status());
+  std::fputs(chart->c_str(), stdout);
+  return 0;
+}
+
+int CmdDetect(const Args& args) {
+  tsdata::Dataset data = LoadData(args);
+  core::AnomalyDetectorOptions options;
+  core::DetectionResult result = core::DetectAnomalies(data, options);
+  if (result.abnormal.empty()) {
+    std::printf("No anomaly detected.\n");
+    return 0;
+  }
+  std::printf("Features: %s\n",
+              common::Join(result.selected_attributes, ", ").c_str());
+  std::printf("Detected abnormal region(s):\n");
+  for (const auto& range : result.abnormal.ranges()) {
+    std::printf("  %.0f:%.0f\n", range.start, range.end);
+  }
+  return 0;
+}
+
+void PrintExplanation(const core::Explanation& explanation) {
+  if (explanation.predicates.empty()) {
+    std::printf("No attribute separates the regions.\n");
+    return;
+  }
+  std::printf("Predicates:\n");
+  for (const auto& diag : explanation.predicates) {
+    std::printf("  %-55s (separation power %.2f)\n",
+                diag.predicate.ToString().c_str(), diag.separation_power);
+  }
+  if (!explanation.causes.empty()) {
+    std::printf("\nLikely causes:\n");
+    for (const auto& cause : explanation.causes) {
+      std::printf("  %-28s %.1f%%", cause.cause.c_str(), cause.confidence);
+      if (!cause.suggested_action.empty()) {
+        std::printf("   [last fix: %s]", cause.suggested_action.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+core::Explainer MakeExplainer(const Args& args) {
+  core::Explainer::Options options;
+  options.predicate_options.normalized_diff_threshold =
+      args.GetDouble("theta", 0.2);
+  options.predicate_options.num_partitions =
+      static_cast<size_t>(args.GetDouble("partitions", 250.0));
+  options.predicate_options.anomaly_distance_multiplier =
+      args.GetDouble("delta", 10.0);
+  options.confidence_threshold = args.GetDouble("lambda", 20.0);
+  core::Explainer sherlock(options);
+  // Note: keep the repository in a named variable; iterating
+  // `LoadModelsIfAny(args).models()` directly would dangle (the range-for
+  // temporary-lifetime fix only lands in C++23).
+  core::ModelRepository loaded = LoadModelsIfAny(args);
+  for (const core::CausalModel& m : loaded.models()) {
+    sherlock.repository().AddUnmerged(m);
+  }
+  return sherlock;
+}
+
+int CmdDiagnose(const Args& args) {
+  tsdata::Dataset data = LoadData(args);
+  core::Explainer sherlock = MakeExplainer(args);
+  core::Explanation explanation;
+  if (args.Has("abnormal")) {
+    explanation = sherlock.Diagnose(data, ParseRegions(args));
+  } else {
+    core::DetectionResult detected;
+    explanation = sherlock.DiagnoseAuto(data, &detected);
+    if (detected.abnormal.empty()) {
+      std::printf("No anomaly detected; pass --abnormal start:end to force "
+                  "a region.\n");
+      return 0;
+    }
+    std::printf("Auto-detected abnormal region(s):");
+    for (const auto& r : detected.abnormal.ranges()) {
+      std::printf(" %.0f:%.0f", r.start, r.end);
+    }
+    std::printf("\n\n");
+  }
+  PrintExplanation(explanation);
+  return 0;
+}
+
+int CmdTeach(const Args& args) {
+  std::string cause = args.Get("cause");
+  std::string models_path = args.Get("models");
+  if (cause.empty() || models_path.empty()) {
+    std::fprintf(stderr, "error: --cause and --models are required\n");
+    return 2;
+  }
+  tsdata::Dataset data = LoadData(args);
+  core::Explainer sherlock = MakeExplainer(args);
+  core::Explanation explanation = sherlock.Diagnose(data, ParseRegions(args));
+  if (explanation.predicates.empty()) {
+    std::fprintf(stderr, "error: no predicates found; nothing to store\n");
+    return 1;
+  }
+  sherlock.AcceptDiagnosis(cause, explanation, args.Get("action"));
+  common::Status status =
+      core::SaveRepository(sherlock.repository(), models_path);
+  if (!status.ok()) Die(status);
+  const core::CausalModel* model = sherlock.repository().Find(cause);
+  std::printf("Stored causal model '%s' (%zu predicates, %d diagnoses) in "
+              "%s\n",
+              cause.c_str(), model->predicates.size(), model->num_sources,
+              models_path.c_str());
+  return 0;
+}
+
+int CmdReport(const Args& args) {
+  std::string out_path = args.Get("out", "incident_report.html");
+  tsdata::Dataset data = LoadData(args);
+  tsdata::DiagnosisRegions regions = ParseRegions(args);
+  core::Explainer sherlock = MakeExplainer(args);
+  core::Explanation explanation = sherlock.Diagnose(data, regions);
+
+  viz::IncidentReportOptions report_options;
+  report_options.title = args.Get("title", "DBSherlock incident report");
+  auto html =
+      viz::RenderIncidentReport(data, regions, explanation, report_options);
+  if (!html.ok()) Die(html.status());
+  FILE* f = std::fopen(out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(html->data(), 1, html->size(), f);
+  std::fclose(f);
+  std::printf("Wrote %s (%zu predicates, %zu causes).\n", out_path.c_str(),
+              explanation.predicates.size(), explanation.causes.size());
+  return 0;
+}
+
+int CmdModels(const Args& args) {
+  std::string path = args.Get("models");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --models <file> is required\n");
+    return 2;
+  }
+  auto repo = core::LoadRepository(path);
+  if (!repo.ok()) Die(repo.status());
+  std::printf("%zu causal model(s) in %s\n", repo->size(), path.c_str());
+  for (const core::CausalModel& m : repo->models()) {
+    std::printf("\n%s  (%zu predicates, %d diagnoses%s%s)\n",
+                m.cause.c_str(), m.predicates.size(), m.num_sources,
+                m.suggested_action.empty() ? "" : ", action: ",
+                m.suggested_action.c_str());
+    for (const core::Predicate& p : m.predicates) {
+      std::printf("  %s\n", p.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dbsherlock <command> [flags]\n"
+      "commands:\n"
+      "  simulate  --anomaly <id> [--duration N] [--seed S] [--out f.csv]\n"
+      "  plot      --data f.csv --attribute <name> [--abnormal a:b]\n"
+      "            [--svg out.svg]\n"
+      "  detect    --data f.csv\n"
+      "  diagnose  --data f.csv [--abnormal a:b[,c:d]] [--models m.json]\n"
+      "            [--theta T] [--delta D] [--partitions R] [--lambda L]\n"
+      "  teach     --data f.csv --abnormal a:b --cause NAME --models m.json\n"
+      "            [--action TEXT]\n"
+      "  report    --data f.csv --abnormal a:b [--models m.json]\n"
+      "            [--out report.html] [--title TEXT]\n"
+      "  models    --models m.json\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "simulate") return CmdSimulate(args);
+  if (command == "plot") return CmdPlot(args);
+  if (command == "detect") return CmdDetect(args);
+  if (command == "diagnose") return CmdDiagnose(args);
+  if (command == "teach") return CmdTeach(args);
+  if (command == "report") return CmdReport(args);
+  if (command == "models") return CmdModels(args);
+  return Usage();
+}
