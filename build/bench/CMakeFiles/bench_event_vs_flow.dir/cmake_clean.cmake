@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_vs_flow.dir/bench_event_vs_flow.cc.o"
+  "CMakeFiles/bench_event_vs_flow.dir/bench_event_vs_flow.cc.o.d"
+  "CMakeFiles/bench_event_vs_flow.dir/bench_util.cc.o"
+  "CMakeFiles/bench_event_vs_flow.dir/bench_util.cc.o.d"
+  "bench_event_vs_flow"
+  "bench_event_vs_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_vs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_compound.dir/bench_fig10_compound.cc.o"
+  "CMakeFiles/bench_fig10_compound.dir/bench_fig10_compound.cc.o.d"
+  "CMakeFiles/bench_fig10_compound.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig10_compound.dir/bench_util.cc.o.d"
+  "bench_fig10_compound"
+  "bench_fig10_compound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_compound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

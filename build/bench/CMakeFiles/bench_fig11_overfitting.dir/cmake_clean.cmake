@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_overfitting.dir/bench_fig11_overfitting.cc.o"
+  "CMakeFiles/bench_fig11_overfitting.dir/bench_fig11_overfitting.cc.o.d"
+  "CMakeFiles/bench_fig11_overfitting.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig11_overfitting.dir/bench_util.cc.o.d"
+  "bench_fig11_overfitting"
+  "bench_fig11_overfitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_overfitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

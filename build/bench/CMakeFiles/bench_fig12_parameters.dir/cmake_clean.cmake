@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_parameters.dir/bench_fig12_parameters.cc.o"
+  "CMakeFiles/bench_fig12_parameters.dir/bench_fig12_parameters.cc.o.d"
+  "CMakeFiles/bench_fig12_parameters.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig12_parameters.dir/bench_util.cc.o.d"
+  "bench_fig12_parameters"
+  "bench_fig12_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_kappa.dir/bench_fig13_kappa.cc.o"
+  "CMakeFiles/bench_fig13_kappa.dir/bench_fig13_kappa.cc.o.d"
+  "CMakeFiles/bench_fig13_kappa.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig13_kappa.dir/bench_util.cc.o.d"
+  "bench_fig13_kappa"
+  "bench_fig13_kappa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_kappa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig1_motivation.cc" "bench/CMakeFiles/bench_fig1_motivation.dir/bench_fig1_motivation.cc.o" "gcc" "bench/CMakeFiles/bench_fig1_motivation.dir/bench_fig1_motivation.cc.o.d"
+  "/root/repo/bench/bench_util.cc" "bench/CMakeFiles/bench_fig1_motivation.dir/bench_util.cc.o" "gcc" "bench/CMakeFiles/bench_fig1_motivation.dir/bench_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbsherlock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/dbsherlock_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dbsherlock_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dbsherlock_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/synthetic/CMakeFiles/dbsherlock_synthetic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbsherlock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

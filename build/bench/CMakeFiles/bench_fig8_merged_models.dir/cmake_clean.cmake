@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_merged_models.dir/bench_fig8_merged_models.cc.o"
+  "CMakeFiles/bench_fig8_merged_models.dir/bench_fig8_merged_models.cc.o.d"
+  "CMakeFiles/bench_fig8_merged_models.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig8_merged_models.dir/bench_util.cc.o.d"
+  "bench_fig8_merged_models"
+  "bench_fig8_merged_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_merged_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_perfxplain.dir/bench_fig9_perfxplain.cc.o"
+  "CMakeFiles/bench_fig9_perfxplain.dir/bench_fig9_perfxplain.cc.o.d"
+  "CMakeFiles/bench_fig9_perfxplain.dir/bench_util.cc.o"
+  "CMakeFiles/bench_fig9_perfxplain.dir/bench_util.cc.o.d"
+  "bench_fig9_perfxplain"
+  "bench_fig9_perfxplain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_perfxplain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_domain_knowledge.dir/bench_table2_domain_knowledge.cc.o"
+  "CMakeFiles/bench_table2_domain_knowledge.dir/bench_table2_domain_knowledge.cc.o.d"
+  "CMakeFiles/bench_table2_domain_knowledge.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table2_domain_knowledge.dir/bench_util.cc.o.d"
+  "bench_table2_domain_knowledge"
+  "bench_table2_domain_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_domain_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tpce.dir/bench_table4_tpce.cc.o"
+  "CMakeFiles/bench_table4_tpce.dir/bench_table4_tpce.cc.o.d"
+  "CMakeFiles/bench_table4_tpce.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table4_tpce.dir/bench_util.cc.o.d"
+  "bench_table4_tpce"
+  "bench_table4_tpce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tpce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

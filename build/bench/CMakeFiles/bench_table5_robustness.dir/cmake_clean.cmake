@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_robustness.dir/bench_table5_robustness.cc.o"
+  "CMakeFiles/bench_table5_robustness.dir/bench_table5_robustness.cc.o.d"
+  "CMakeFiles/bench_table5_robustness.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table5_robustness.dir/bench_util.cc.o.d"
+  "bench_table5_robustness"
+  "bench_table5_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

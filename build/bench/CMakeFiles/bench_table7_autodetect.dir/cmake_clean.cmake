@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_autodetect.dir/bench_table7_autodetect.cc.o"
+  "CMakeFiles/bench_table7_autodetect.dir/bench_table7_autodetect.cc.o.d"
+  "CMakeFiles/bench_table7_autodetect.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table7_autodetect.dir/bench_util.cc.o.d"
+  "bench_table7_autodetect"
+  "bench_table7_autodetect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_autodetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

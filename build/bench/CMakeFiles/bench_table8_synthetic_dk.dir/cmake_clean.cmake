@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_synthetic_dk.dir/bench_table8_synthetic_dk.cc.o"
+  "CMakeFiles/bench_table8_synthetic_dk.dir/bench_table8_synthetic_dk.cc.o.d"
+  "CMakeFiles/bench_table8_synthetic_dk.dir/bench_util.cc.o"
+  "CMakeFiles/bench_table8_synthetic_dk.dir/bench_util.cc.o.d"
+  "bench_table8_synthetic_dk"
+  "bench_table8_synthetic_dk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_synthetic_dk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_detect.dir/auto_detect.cc.o"
+  "CMakeFiles/auto_detect.dir/auto_detect.cc.o.d"
+  "auto_detect"
+  "auto_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

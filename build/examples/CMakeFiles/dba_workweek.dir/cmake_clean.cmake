@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dba_workweek.dir/dba_workweek.cc.o"
+  "CMakeFiles/dba_workweek.dir/dba_workweek.cc.o.d"
+  "dba_workweek"
+  "dba_workweek.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dba_workweek.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_sim_diagnosis.dir/event_sim_diagnosis.cc.o"
+  "CMakeFiles/event_sim_diagnosis.dir/event_sim_diagnosis.cc.o.d"
+  "event_sim_diagnosis"
+  "event_sim_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_sim_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preprocess_and_plot.dir/preprocess_and_plot.cc.o"
+  "CMakeFiles/preprocess_and_plot.dir/preprocess_and_plot.cc.o.d"
+  "preprocess_and_plot"
+  "preprocess_and_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preprocess_and_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

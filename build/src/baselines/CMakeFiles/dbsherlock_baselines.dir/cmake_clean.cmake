@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_baselines.dir/perfaugur.cc.o"
+  "CMakeFiles/dbsherlock_baselines.dir/perfaugur.cc.o.d"
+  "CMakeFiles/dbsherlock_baselines.dir/perfxplain.cc.o"
+  "CMakeFiles/dbsherlock_baselines.dir/perfxplain.cc.o.d"
+  "libdbsherlock_baselines.a"
+  "libdbsherlock_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

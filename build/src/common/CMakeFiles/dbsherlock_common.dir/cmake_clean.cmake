@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_common.dir/csv.cc.o"
+  "CMakeFiles/dbsherlock_common.dir/csv.cc.o.d"
+  "CMakeFiles/dbsherlock_common.dir/json.cc.o"
+  "CMakeFiles/dbsherlock_common.dir/json.cc.o.d"
+  "CMakeFiles/dbsherlock_common.dir/random.cc.o"
+  "CMakeFiles/dbsherlock_common.dir/random.cc.o.d"
+  "CMakeFiles/dbsherlock_common.dir/stats.cc.o"
+  "CMakeFiles/dbsherlock_common.dir/stats.cc.o.d"
+  "CMakeFiles/dbsherlock_common.dir/status.cc.o"
+  "CMakeFiles/dbsherlock_common.dir/status.cc.o.d"
+  "CMakeFiles/dbsherlock_common.dir/strings.cc.o"
+  "CMakeFiles/dbsherlock_common.dir/strings.cc.o.d"
+  "libdbsherlock_common.a"
+  "libdbsherlock_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

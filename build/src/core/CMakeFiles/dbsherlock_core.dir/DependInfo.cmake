@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly_detector.cc" "src/core/CMakeFiles/dbsherlock_core.dir/anomaly_detector.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/anomaly_detector.cc.o.d"
+  "/root/repo/src/core/causal_model.cc" "src/core/CMakeFiles/dbsherlock_core.dir/causal_model.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/causal_model.cc.o.d"
+  "/root/repo/src/core/dbscan.cc" "src/core/CMakeFiles/dbsherlock_core.dir/dbscan.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/dbscan.cc.o.d"
+  "/root/repo/src/core/domain_knowledge.cc" "src/core/CMakeFiles/dbsherlock_core.dir/domain_knowledge.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/domain_knowledge.cc.o.d"
+  "/root/repo/src/core/explainer.cc" "src/core/CMakeFiles/dbsherlock_core.dir/explainer.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/explainer.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/dbsherlock_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/model_repository.cc" "src/core/CMakeFiles/dbsherlock_core.dir/model_repository.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/model_repository.cc.o.d"
+  "/root/repo/src/core/partition_space.cc" "src/core/CMakeFiles/dbsherlock_core.dir/partition_space.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/partition_space.cc.o.d"
+  "/root/repo/src/core/predicate.cc" "src/core/CMakeFiles/dbsherlock_core.dir/predicate.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/predicate.cc.o.d"
+  "/root/repo/src/core/predicate_generator.cc" "src/core/CMakeFiles/dbsherlock_core.dir/predicate_generator.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/predicate_generator.cc.o.d"
+  "/root/repo/src/core/streaming_monitor.cc" "src/core/CMakeFiles/dbsherlock_core.dir/streaming_monitor.cc.o" "gcc" "src/core/CMakeFiles/dbsherlock_core.dir/streaming_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbsherlock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

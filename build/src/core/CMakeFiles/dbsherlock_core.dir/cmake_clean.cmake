@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_core.dir/anomaly_detector.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/anomaly_detector.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/causal_model.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/causal_model.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/dbscan.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/dbscan.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/domain_knowledge.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/domain_knowledge.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/explainer.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/explainer.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/model_io.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/model_io.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/model_repository.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/model_repository.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/partition_space.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/partition_space.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/predicate.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/predicate.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/predicate_generator.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/predicate_generator.cc.o.d"
+  "CMakeFiles/dbsherlock_core.dir/streaming_monitor.cc.o"
+  "CMakeFiles/dbsherlock_core.dir/streaming_monitor.cc.o.d"
+  "libdbsherlock_core.a"
+  "libdbsherlock_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/dbsherlock_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/dbsherlock_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/simulated_user.cc" "src/eval/CMakeFiles/dbsherlock_eval.dir/simulated_user.cc.o" "gcc" "src/eval/CMakeFiles/dbsherlock_eval.dir/simulated_user.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dbsherlock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulator/CMakeFiles/dbsherlock_simulator.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbsherlock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_eval.dir/experiment.cc.o"
+  "CMakeFiles/dbsherlock_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/dbsherlock_eval.dir/simulated_user.cc.o"
+  "CMakeFiles/dbsherlock_eval.dir/simulated_user.cc.o.d"
+  "libdbsherlock_eval.a"
+  "libdbsherlock_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbsherlock_eval.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulator/anomaly.cc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/anomaly.cc.o" "gcc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/anomaly.cc.o.d"
+  "/root/repo/src/simulator/dataset_gen.cc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/dataset_gen.cc.o" "gcc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/dataset_gen.cc.o.d"
+  "/root/repo/src/simulator/event_sim.cc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/event_sim.cc.o" "gcc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/event_sim.cc.o.d"
+  "/root/repo/src/simulator/metric_schema.cc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/metric_schema.cc.o" "gcc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/metric_schema.cc.o.d"
+  "/root/repo/src/simulator/resources.cc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/resources.cc.o" "gcc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/resources.cc.o.d"
+  "/root/repo/src/simulator/server_sim.cc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/server_sim.cc.o" "gcc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/server_sim.cc.o.d"
+  "/root/repo/src/simulator/workload.cc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/workload.cc.o" "gcc" "src/simulator/CMakeFiles/dbsherlock_simulator.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbsherlock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_simulator.dir/anomaly.cc.o"
+  "CMakeFiles/dbsherlock_simulator.dir/anomaly.cc.o.d"
+  "CMakeFiles/dbsherlock_simulator.dir/dataset_gen.cc.o"
+  "CMakeFiles/dbsherlock_simulator.dir/dataset_gen.cc.o.d"
+  "CMakeFiles/dbsherlock_simulator.dir/event_sim.cc.o"
+  "CMakeFiles/dbsherlock_simulator.dir/event_sim.cc.o.d"
+  "CMakeFiles/dbsherlock_simulator.dir/metric_schema.cc.o"
+  "CMakeFiles/dbsherlock_simulator.dir/metric_schema.cc.o.d"
+  "CMakeFiles/dbsherlock_simulator.dir/resources.cc.o"
+  "CMakeFiles/dbsherlock_simulator.dir/resources.cc.o.d"
+  "CMakeFiles/dbsherlock_simulator.dir/server_sim.cc.o"
+  "CMakeFiles/dbsherlock_simulator.dir/server_sim.cc.o.d"
+  "CMakeFiles/dbsherlock_simulator.dir/workload.cc.o"
+  "CMakeFiles/dbsherlock_simulator.dir/workload.cc.o.d"
+  "libdbsherlock_simulator.a"
+  "libdbsherlock_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

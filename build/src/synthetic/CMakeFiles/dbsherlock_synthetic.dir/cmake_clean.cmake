@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_synthetic.dir/sem.cc.o"
+  "CMakeFiles/dbsherlock_synthetic.dir/sem.cc.o.d"
+  "libdbsherlock_synthetic.a"
+  "libdbsherlock_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

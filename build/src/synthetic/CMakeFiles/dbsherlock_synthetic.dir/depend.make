@@ -1,0 +1,2 @@
+# Empty dependencies file for dbsherlock_synthetic.
+# This may be replaced when dependencies are built.

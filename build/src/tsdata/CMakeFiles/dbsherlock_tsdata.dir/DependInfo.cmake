@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsdata/align.cc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/align.cc.o" "gcc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/align.cc.o.d"
+  "/root/repo/src/tsdata/dataset.cc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/dataset.cc.o" "gcc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/dataset.cc.o.d"
+  "/root/repo/src/tsdata/dataset_io.cc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/dataset_io.cc.o" "gcc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/dataset_io.cc.o.d"
+  "/root/repo/src/tsdata/region.cc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/region.cc.o" "gcc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/region.cc.o.d"
+  "/root/repo/src/tsdata/schema.cc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/schema.cc.o" "gcc" "src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dbsherlock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

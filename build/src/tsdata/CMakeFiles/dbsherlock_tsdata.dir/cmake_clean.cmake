@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_tsdata.dir/align.cc.o"
+  "CMakeFiles/dbsherlock_tsdata.dir/align.cc.o.d"
+  "CMakeFiles/dbsherlock_tsdata.dir/dataset.cc.o"
+  "CMakeFiles/dbsherlock_tsdata.dir/dataset.cc.o.d"
+  "CMakeFiles/dbsherlock_tsdata.dir/dataset_io.cc.o"
+  "CMakeFiles/dbsherlock_tsdata.dir/dataset_io.cc.o.d"
+  "CMakeFiles/dbsherlock_tsdata.dir/region.cc.o"
+  "CMakeFiles/dbsherlock_tsdata.dir/region.cc.o.d"
+  "CMakeFiles/dbsherlock_tsdata.dir/schema.cc.o"
+  "CMakeFiles/dbsherlock_tsdata.dir/schema.cc.o.d"
+  "libdbsherlock_tsdata.a"
+  "libdbsherlock_tsdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_tsdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

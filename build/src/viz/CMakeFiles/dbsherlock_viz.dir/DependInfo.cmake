@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/chart.cc" "src/viz/CMakeFiles/dbsherlock_viz.dir/chart.cc.o" "gcc" "src/viz/CMakeFiles/dbsherlock_viz.dir/chart.cc.o.d"
+  "/root/repo/src/viz/incident_report.cc" "src/viz/CMakeFiles/dbsherlock_viz.dir/incident_report.cc.o" "gcc" "src/viz/CMakeFiles/dbsherlock_viz.dir/incident_report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tsdata/CMakeFiles/dbsherlock_tsdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dbsherlock_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dbsherlock_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

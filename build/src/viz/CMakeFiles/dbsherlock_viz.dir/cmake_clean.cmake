@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock_viz.dir/chart.cc.o"
+  "CMakeFiles/dbsherlock_viz.dir/chart.cc.o.d"
+  "CMakeFiles/dbsherlock_viz.dir/incident_report.cc.o"
+  "CMakeFiles/dbsherlock_viz.dir/incident_report.cc.o.d"
+  "libdbsherlock_viz.a"
+  "libdbsherlock_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbsherlock_viz.a"
+)

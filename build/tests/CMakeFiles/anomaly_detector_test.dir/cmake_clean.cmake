@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_detector_test.dir/anomaly_detector_test.cc.o"
+  "CMakeFiles/anomaly_detector_test.dir/anomaly_detector_test.cc.o.d"
+  "anomaly_detector_test"
+  "anomaly_detector_test.pdb"
+  "anomaly_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

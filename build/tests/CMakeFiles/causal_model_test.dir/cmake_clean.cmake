@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/causal_model_test.dir/causal_model_test.cc.o"
+  "CMakeFiles/causal_model_test.dir/causal_model_test.cc.o.d"
+  "causal_model_test"
+  "causal_model_test.pdb"
+  "causal_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/causal_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_gen_test.dir/dataset_gen_test.cc.o"
+  "CMakeFiles/dataset_gen_test.dir/dataset_gen_test.cc.o.d"
+  "dataset_gen_test"
+  "dataset_gen_test.pdb"
+  "dataset_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

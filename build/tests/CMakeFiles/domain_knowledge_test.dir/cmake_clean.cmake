@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_knowledge_test.dir/domain_knowledge_test.cc.o"
+  "CMakeFiles/domain_knowledge_test.dir/domain_knowledge_test.cc.o.d"
+  "domain_knowledge_test"
+  "domain_knowledge_test.pdb"
+  "domain_knowledge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_knowledge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

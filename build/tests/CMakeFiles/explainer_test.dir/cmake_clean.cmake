@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainer_test.dir/explainer_test.cc.o"
+  "CMakeFiles/explainer_test.dir/explainer_test.cc.o.d"
+  "explainer_test"
+  "explainer_test.pdb"
+  "explainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_report_test.dir/incident_report_test.cc.o"
+  "CMakeFiles/incident_report_test.dir/incident_report_test.cc.o.d"
+  "incident_report_test"
+  "incident_report_test.pdb"
+  "incident_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_trace_test.dir/load_trace_test.cc.o"
+  "CMakeFiles/load_trace_test.dir/load_trace_test.cc.o.d"
+  "load_trace_test"
+  "load_trace_test.pdb"
+  "load_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_schema_test.dir/metric_schema_test.cc.o"
+  "CMakeFiles/metric_schema_test.dir/metric_schema_test.cc.o.d"
+  "metric_schema_test"
+  "metric_schema_test.pdb"
+  "metric_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

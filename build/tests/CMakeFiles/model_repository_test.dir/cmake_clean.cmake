@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_repository_test.dir/model_repository_test.cc.o"
+  "CMakeFiles/model_repository_test.dir/model_repository_test.cc.o.d"
+  "model_repository_test"
+  "model_repository_test.pdb"
+  "model_repository_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_properties_test.dir/partition_properties_test.cc.o"
+  "CMakeFiles/partition_properties_test.dir/partition_properties_test.cc.o.d"
+  "partition_properties_test"
+  "partition_properties_test.pdb"
+  "partition_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

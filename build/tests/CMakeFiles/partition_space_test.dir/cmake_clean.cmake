@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_space_test.dir/partition_space_test.cc.o"
+  "CMakeFiles/partition_space_test.dir/partition_space_test.cc.o.d"
+  "partition_space_test"
+  "partition_space_test.pdb"
+  "partition_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfaugur_test.dir/perfaugur_test.cc.o"
+  "CMakeFiles/perfaugur_test.dir/perfaugur_test.cc.o.d"
+  "perfaugur_test"
+  "perfaugur_test.pdb"
+  "perfaugur_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfaugur_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfxplain_test.dir/perfxplain_test.cc.o"
+  "CMakeFiles/perfxplain_test.dir/perfxplain_test.cc.o.d"
+  "perfxplain_test"
+  "perfxplain_test.pdb"
+  "perfxplain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfxplain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

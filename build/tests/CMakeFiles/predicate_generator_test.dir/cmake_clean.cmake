@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_generator_test.dir/predicate_generator_test.cc.o"
+  "CMakeFiles/predicate_generator_test.dir/predicate_generator_test.cc.o.d"
+  "predicate_generator_test"
+  "predicate_generator_test.pdb"
+  "predicate_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

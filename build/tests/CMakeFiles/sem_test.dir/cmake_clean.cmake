@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sem_test.dir/sem_test.cc.o"
+  "CMakeFiles/sem_test.dir/sem_test.cc.o.d"
+  "sem_test"
+  "sem_test.pdb"
+  "sem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_user_test.dir/simulated_user_test.cc.o"
+  "CMakeFiles/simulated_user_test.dir/simulated_user_test.cc.o.d"
+  "simulated_user_test"
+  "simulated_user_test.pdb"
+  "simulated_user_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_user_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

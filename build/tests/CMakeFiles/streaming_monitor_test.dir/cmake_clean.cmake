@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_monitor_test.dir/streaming_monitor_test.cc.o"
+  "CMakeFiles/streaming_monitor_test.dir/streaming_monitor_test.cc.o.d"
+  "streaming_monitor_test"
+  "streaming_monitor_test.pdb"
+  "streaming_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_invariants_test.dir/telemetry_invariants_test.cc.o"
+  "CMakeFiles/telemetry_invariants_test.dir/telemetry_invariants_test.cc.o.d"
+  "telemetry_invariants_test"
+  "telemetry_invariants_test.pdb"
+  "telemetry_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

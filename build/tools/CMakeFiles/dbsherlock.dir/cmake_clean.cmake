@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbsherlock.dir/dbsherlock_main.cc.o"
+  "CMakeFiles/dbsherlock.dir/dbsherlock_main.cc.o.d"
+  "dbsherlock"
+  "dbsherlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbsherlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
