@@ -24,6 +24,8 @@ int Main(int argc, char** argv) {
       flags.Int("seed", 42, "corpus generation seed"));
   double theta = flags.Double("theta", 0.2, "normalized difference threshold");
   int64_t partitions = flags.Int("partitions", 250, "R, number of partitions");
+  int64_t threads =
+      flags.Int("threads", 0, "diagnosis parallelism (0=auto, 1=serial)");
   flags.Validate();
 
   bench::PrintBanner(
@@ -40,6 +42,7 @@ int Main(int argc, char** argv) {
   core::PredicateGenOptions options;
   options.normalized_diff_threshold = theta;
   options.num_partitions = static_cast<size_t>(partitions);
+  options.parallelism = static_cast<size_t>(threads);
   core::DomainKnowledge knowledge = core::DomainKnowledge::MySqlLinuxDefaults();
 
   std::vector<double> margin_sum(num_classes, 0.0);

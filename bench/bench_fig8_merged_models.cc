@@ -34,6 +34,8 @@ int Main(int argc, char** argv) {
       flags.Double("theta_merged", 0.05, "theta for merged models");
   double theta_single =
       flags.Double("theta_single", 0.2, "theta for single models");
+  int64_t threads =
+      flags.Int("threads", 0, "diagnosis parallelism (0=auto, 1=serial)");
   flags.Validate();
 
   bench::PrintBanner(
@@ -51,8 +53,10 @@ int Main(int argc, char** argv) {
   core::DomainKnowledge knowledge = core::DomainKnowledge::MySqlLinuxDefaults();
   core::PredicateGenOptions merged_options;
   merged_options.normalized_diff_threshold = theta_merged;
+  merged_options.parallelism = static_cast<size_t>(threads);
   core::PredicateGenOptions single_options;
   single_options.normalized_diff_threshold = theta_single;
+  single_options.parallelism = static_cast<size_t>(threads);
 
   common::Pcg32 rng(seed, 0xf18);
 

@@ -59,6 +59,81 @@ void BM_PredicateGeneration_Rows(benchmark::State& state) {
 }
 BENCHMARK(BM_PredicateGeneration_Rows)->Arg(120)->Arg(300)->Arg(600);
 
+// Thread-count sweep of the fused per-attribute loop (1/2/4/8 lanes; the
+// speedup relative to Arg(1) measures the parallel efficiency of the
+// diagnosis engine on this machine).
+void BM_PredicateGeneration_Threads(benchmark::State& state) {
+  const simulator::GeneratedDataset& ds = SharedDataset();
+  core::PredicateGenOptions options;
+  options.parallelism = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::GeneratePredicates(ds.data, ds.regions, options);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ds.data.num_rows()));
+}
+BENCHMARK(BM_PredicateGeneration_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// A merged-style repository over all 10 anomaly classes (two source
+// datasets per class, kept unmerged so the repository holds 20 models with
+// heavily overlapping attributes — the shape that made per-model
+// partition-space rebuilding quadratic before PartitionSpaceCache).
+const core::ModelRepository& SharedRepository() {
+  static const core::ModelRepository* repo = [] {
+    auto* r = new core::ModelRepository();
+    core::PredicateGenOptions options;
+    for (uint64_t round = 0; round < 2; ++round) {
+      simulator::DatasetGenOptions gen;
+      gen.seed = 1000 + round;
+      for (simulator::AnomalyKind kind : simulator::AllAnomalyKinds()) {
+        simulator::GeneratedDataset ds =
+            simulator::GenerateAnomalyDataset(gen, kind, 60.0);
+        r->AddUnmerged(eval::BuildCausalModel(
+            ds, simulator::AnomalyKindName(kind), options));
+      }
+    }
+    return r;
+  }();
+  return *repo;
+}
+
+void BM_RepositoryRank(benchmark::State& state) {
+  const core::ModelRepository& repo = SharedRepository();
+  const simulator::GeneratedDataset& ds = SharedDataset();
+  core::PredicateGenOptions options;
+  options.parallelism = static_cast<size_t>(state.range(0));
+  tsdata::LabeledRows rows = SplitRows(ds.data, ds.regions);
+  for (auto _ : state) {
+    auto ranked = repo.Rank(ds.data, rows, options, 20.0);
+    benchmark::DoNotOptimize(ranked);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(repo.size()));
+}
+BENCHMARK(BM_RepositoryRank)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The seed's Rank loop: one cache-free ModelConfidence per model, i.e.
+// every model rebuilds every referenced attribute's partition space. The
+// ratio BM_RepositoryRank_NoCache / BM_RepositoryRank(1) is the
+// PartitionSpaceCache win at equal thread count.
+void BM_RepositoryRank_NoCache(benchmark::State& state) {
+  const core::ModelRepository& repo = SharedRepository();
+  const simulator::GeneratedDataset& ds = SharedDataset();
+  core::PredicateGenOptions options;
+  tsdata::LabeledRows rows = SplitRows(ds.data, ds.regions);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const core::CausalModel& m : repo.models()) {
+      sum += core::ModelConfidence(m, ds.data, rows, options);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(repo.size()));
+}
+BENCHMARK(BM_RepositoryRank_NoCache);
+
 void BM_ModelConfidence(benchmark::State& state) {
   const simulator::GeneratedDataset& ds = SharedDataset();
   core::PredicateGenOptions options;

@@ -1,0 +1,148 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace dbsherlock::common {
+
+namespace {
+
+/// Set for the lifetime of every pool worker thread (see OnWorkerThread).
+thread_local bool tls_on_pool_worker = false;
+
+}  // namespace
+
+size_t EffectiveParallelism(size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(size_t num_threads) { EnsureAtLeast(num_threads); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::EnsureAtLeast(size_t num_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (workers_.size() < num_threads && !stop_) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_on_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(EffectiveParallelism(0));
+  return pool;
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_pool_worker; }
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t parallelism) {
+  if (n == 0) return;
+  size_t lanes = std::min(EffectiveParallelism(parallelism), n);
+  // Serial path: explicit request, trivial range, or already inside a pool
+  // worker (running nested work inline avoids pool-saturation deadlock).
+  if (lanes <= 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Lanes claim fixed-size index chunks off a shared counter. Small chunks
+  // (several per lane) absorb per-index cost skew without a scheduler.
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    size_t n = 0;
+    size_t chunk = 1;
+    const std::function<void(size_t)>* fn = nullptr;
+
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending_helpers = 0;
+    // Lowest failing index seen, with its exception: rethrowing the
+    // scheduling-independent minimum keeps error surfacing deterministic.
+    size_t error_index = std::numeric_limits<size_t>::max();
+    std::exception_ptr error;
+  } shared;
+  shared.n = n;
+  shared.chunk = std::max<size_t>(1, n / (lanes * 4));
+  shared.fn = &fn;
+
+  auto work = [&shared] {
+    while (!shared.failed.load(std::memory_order_relaxed)) {
+      size_t begin = shared.next.fetch_add(shared.chunk);
+      if (begin >= shared.n) return;
+      size_t end = std::min(begin + shared.chunk, shared.n);
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          (*shared.fn)(i);
+        } catch (...) {
+          shared.failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(shared.mu);
+          if (i < shared.error_index) {
+            shared.error_index = i;
+            shared.error = std::current_exception();
+          }
+          return;
+        }
+      }
+    }
+  };
+
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureAtLeast(lanes - 1);
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.pending_helpers = lanes - 1;
+  }
+  for (size_t h = 0; h + 1 < lanes; ++h) {
+    pool.Submit([&shared, work] {
+      work();
+      std::lock_guard<std::mutex> lock(shared.mu);
+      if (--shared.pending_helpers == 0) shared.done_cv.notify_all();
+    });
+  }
+  work();  // the calling thread is always a lane
+  std::unique_lock<std::mutex> lock(shared.mu);
+  shared.done_cv.wait(lock, [&shared] { return shared.pending_helpers == 0; });
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+}  // namespace dbsherlock::common

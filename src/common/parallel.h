@@ -1,0 +1,87 @@
+#ifndef DBSHERLOCK_COMMON_PARALLEL_H_
+#define DBSHERLOCK_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dbsherlock::common {
+
+/// Resolves a parallelism request: 0 means "one lane per hardware thread"
+/// (never less than 1); any other value is taken literally. 1 selects the
+/// exact serial path (no pool involvement at all).
+size_t EffectiveParallelism(size_t requested);
+
+/// A small shared worker pool. Diagnosis code never uses it directly —
+/// ParallelFor/ParallelMap below schedule onto the process-wide instance —
+/// but tests construct private pools to probe lifecycle behavior.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 is allowed: tasks then only run when
+  /// a caller drains them through ParallelFor's calling thread).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `num_threads` workers (never shrinks).
+  void EnsureAtLeast(size_t num_threads);
+
+  /// The process-wide pool, created on first use and sized to
+  /// hardware_concurrency; grown on demand when a caller requests a higher
+  /// explicit parallelism (benchmarks probe oversubscription this way).
+  static ThreadPool& Global();
+
+  /// True when the calling thread is one of this process's pool workers.
+  /// Nested ParallelFor calls use this to degrade to the serial path
+  /// instead of deadlocking on a saturated pool.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// Runs fn(0) .. fn(n-1), fanning the index range out over `parallelism`
+/// lanes (0 = hardware_concurrency, 1 = plain serial loop). The calling
+/// thread always participates, so forward progress never depends on pool
+/// capacity. Blocks until every index has run. Distinct indices may touch
+/// shared state only through distinct slots (write fn results into
+/// per-index storage; see ParallelMap).
+///
+/// If any fn(i) throws, remaining unclaimed work is abandoned and the
+/// recorded exception with the lowest index is rethrown here, so the error
+/// surfaced does not depend on thread scheduling.
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t parallelism = 0);
+
+/// Ordered parallel map: returns {fn(0), ..., fn(n-1)} with results in
+/// index order regardless of execution order, so parallel and serial runs
+/// are bit-identical. R must be default-constructible.
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn, size_t parallelism = 0)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(n);
+  ParallelFor(
+      n, [&](size_t i) { out[i] = fn(i); }, parallelism);
+  return out;
+}
+
+}  // namespace dbsherlock::common
+
+#endif  // DBSHERLOCK_COMMON_PARALLEL_H_

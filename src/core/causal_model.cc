@@ -2,34 +2,26 @@
 
 #include <algorithm>
 
+#include "core/partition_cache.h"
+
 namespace dbsherlock::core {
 
 double ModelConfidence(const CausalModel& model,
                        const tsdata::Dataset& dataset,
                        const tsdata::LabeledRows& rows,
                        const PredicateGenOptions& options) {
+  // Cache-free path for one-off scoring: builds each predicate's space
+  // directly (BuildConfidenceSpace fuses the range/anchor sweeps).
+  // Repository ranking shares one PartitionSpaceCache across all models
+  // instead (see ModelRepository::Rank).
   if (model.predicates.empty()) return 0.0;
   double total = 0.0;
   for (const Predicate& pred : model.predicates) {
     auto attr = dataset.schema().IndexOf(pred.attribute);
     if (!attr.ok()) continue;  // contributes 0
     std::optional<PartitionSpace> space =
-        BuildLabeledPartitionSpace(dataset, rows, *attr, options);
+        BuildConfidenceSpace(dataset, rows, *attr, options);
     if (!space.has_value()) continue;
-    if (space->is_numeric() &&
-        space->CountWithLabel(PartitionLabel::kNormal) == 0 &&
-        space->CountWithLabel(PartitionLabel::kAbnormal) > 0) {
-      // Heavily skewed attribute: every normal tuple shares its partition
-      // with abnormal ramp tuples, leaving no Normal partition. Plant the
-      // normal anchor (the attribute's mean over normal rows) exactly as
-      // the gap-filling special case of Section 4.4 does, so the
-      // predicate's direction can still be judged.
-      const tsdata::Column& col = dataset.column(*attr);
-      double sum = 0.0;
-      for (size_t row : rows.normal) sum += col.numeric(row);
-      double anchor = sum / static_cast<double>(rows.normal.size());
-      space->set_label(space->PartitionOf(anchor), PartitionLabel::kNormal);
-    }
     total += PartitionSeparationPower(pred, *space);
   }
   return 100.0 * total / static_cast<double>(model.predicates.size());

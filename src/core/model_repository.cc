@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
+
+#include "common/parallel.h"
+#include "core/partition_cache.h"
 
 namespace dbsherlock::core {
 
@@ -36,9 +40,21 @@ const CausalModel* ModelRepository::Find(const std::string& cause) const {
 std::vector<RankedCause> ModelRepository::Rank(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
     const PredicateGenOptions& options, double min_confidence) const {
+  // One partition-space build per referenced attribute for the whole
+  // ranking (historically one per model per predicate), then models score
+  // in parallel against the read-only cache. The best-per-cause fold stays
+  // serial in model order, so results match the serial path exactly.
+  PartitionSpaceCache cache(dataset, rows, options);
+  cache.Prepare(std::span<const CausalModel>(models_));
+  std::vector<double> confidences = common::ParallelMap(
+      models_.size(),
+      [&](size_t i) { return ModelConfidence(models_[i], cache); },
+      options.parallelism);
+
   std::map<std::string, std::pair<double, const CausalModel*>> best;
-  for (const CausalModel& m : models_) {
-    double confidence = ModelConfidence(m, dataset, rows, options);
+  for (size_t i = 0; i < models_.size(); ++i) {
+    const CausalModel& m = models_[i];
+    double confidence = confidences[i];
     auto it = best.find(m.cause);
     if (it == best.end() || confidence > it->second.first) {
       best[m.cause] = {confidence, &m};

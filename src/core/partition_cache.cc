@@ -1,0 +1,74 @@
+#include "core/partition_cache.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace dbsherlock::core {
+
+std::optional<PartitionSpace> BuildConfidenceSpace(
+    const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
+    size_t attr_index, const PredicateGenOptions& options) {
+  if (rows.abnormal.empty() || rows.normal.empty()) return std::nullopt;
+  const tsdata::Column& col = dataset.column(attr_index);
+  if (col.kind() != tsdata::AttributeKind::kNumeric) {
+    return BuildLabeledPartitionSpace(dataset, rows, attr_index, options);
+  }
+  AttributeProfile profile = ProfileAttribute(col.numeric_values(), rows);
+  std::optional<PartitionSpace> space =
+      BuildLabeledPartitionSpace(dataset, rows, attr_index, options,
+                                 &profile);
+  if (space.has_value()) {
+    PlantNormalAnchorIfNeeded(&*space, profile.normal_mean());
+  }
+  return space;
+}
+
+void PartitionSpaceCache::Prepare(std::span<const CausalModel> models) {
+  // Distinct resolvable attribute indices, in first-reference order.
+  std::vector<size_t> attrs;
+  for (const CausalModel& model : models) {
+    for (const Predicate& pred : model.predicates) {
+      auto attr = dataset_.schema().IndexOf(pred.attribute);
+      if (!attr.ok()) continue;
+      if (spaces_.find(*attr) != spaces_.end()) continue;
+      if (std::find(attrs.begin(), attrs.end(), *attr) != attrs.end()) {
+        continue;
+      }
+      attrs.push_back(*attr);
+    }
+  }
+  std::vector<std::optional<PartitionSpace>> built = common::ParallelMap(
+      attrs.size(),
+      [&](size_t i) {
+        return BuildConfidenceSpace(dataset_, rows_, attrs[i], options_);
+      },
+      options_.parallelism);
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    spaces_.emplace(attrs[i], std::move(built[i]));
+  }
+}
+
+const std::optional<PartitionSpace>* PartitionSpaceCache::Find(
+    const std::string& attribute) const {
+  auto attr = dataset_.schema().IndexOf(attribute);
+  if (!attr.ok()) return nullptr;
+  auto it = spaces_.find(*attr);
+  if (it == spaces_.end()) return nullptr;
+  return &it->second;
+}
+
+double ModelConfidence(const CausalModel& model,
+                       const PartitionSpaceCache& cache) {
+  if (model.predicates.empty()) return 0.0;
+  double total = 0.0;
+  for (const Predicate& pred : model.predicates) {
+    const std::optional<PartitionSpace>* space = cache.Find(pred.attribute);
+    if (space == nullptr || !space->has_value()) continue;  // contributes 0
+    total += PartitionSeparationPower(pred, **space);
+  }
+  return 100.0 * total / static_cast<double>(model.predicates.size());
+}
+
+}  // namespace dbsherlock::core

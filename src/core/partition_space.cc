@@ -23,8 +23,7 @@ PartitionSpace PartitionSpace::Categorical(
     std::vector<std::string> categories) {
   PartitionSpace space;
   space.is_numeric_ = false;
-  space.labels_.assign(std::max<size_t>(categories.size(), 0),
-                       PartitionLabel::kEmpty);
+  space.labels_.assign(categories.size(), PartitionLabel::kEmpty);
   space.categories_ = std::move(categories);
   return space;
 }
@@ -42,7 +41,7 @@ double PartitionSpace::mid_value(size_t j) const {
 }
 
 size_t PartitionSpace::PartitionOf(double value) const {
-  if (value <= min_value_) return 0;
+  if (labels_.empty() || value <= min_value_) return 0;
   size_t j = static_cast<size_t>((value - min_value_) / width_);
   return std::min(j, labels_.size() - 1);
 }
@@ -122,6 +121,14 @@ void FilterPartitions(PartitionSpace* space) {
   for (size_t j : to_blank) space->set_label(j, PartitionLabel::kEmpty);
 }
 
+bool PlantNormalAnchorIfNeeded(PartitionSpace* space, double anchor) {
+  if (!space->is_numeric() || space->size() == 0) return false;
+  if (space->CountWithLabel(PartitionLabel::kNormal) > 0) return false;
+  if (space->CountWithLabel(PartitionLabel::kAbnormal) == 0) return false;
+  space->set_label(space->PartitionOf(anchor), PartitionLabel::kNormal);
+  return true;
+}
+
 void FillPartitionGaps(PartitionSpace* space, double delta,
                        std::optional<double> normal_anchor) {
   size_t n = space->size();
@@ -134,9 +141,8 @@ void FillPartitionGaps(PartitionSpace* space, double delta,
   // Special case (Section 4.4): only Abnormal partitions survived the
   // filter. Plant a Normal partition at the average normal-region value so
   // the predicate direction is determined.
-  if (!has_normal && normal_anchor.has_value()) {
-    space->set_label(space->PartitionOf(*normal_anchor),
-                     PartitionLabel::kNormal);
+  if (normal_anchor.has_value()) {
+    PlantNormalAnchorIfNeeded(space, *normal_anchor);
   }
 
   // Nearest non-Empty partition to the left/right of each position, based

@@ -88,6 +88,16 @@ void LabelCategoricalPartitions(std::span<const int32_t> codes,
 /// single non-Empty partition is left untouched ("we deem it significant").
 void FilterPartitions(PartitionSpace* space);
 
+/// The skewed-attribute special case shared by gap filling (Section 4.4)
+/// and causal-model confidence (Eq. (3)): when a numeric space has Abnormal
+/// partitions but no Normal one — every normal tuple shares its partition
+/// with abnormal ramp tuples — the partition containing `anchor` (the
+/// attribute's mean over normal-region rows) is forced to Normal so the
+/// predicate direction stays judgeable. Returns true when a label was
+/// planted; no-op (false) on categorical or empty spaces or when a Normal
+/// partition already exists.
+bool PlantNormalAnchorIfNeeded(PartitionSpace* space, double anchor);
+
 /// The gap-filling step of Section 4.4 (numeric only): every Empty
 /// partition takes the label of its nearest non-Empty neighbor, with the
 /// distance to an Abnormal neighbor multiplied by `delta` (the anomaly

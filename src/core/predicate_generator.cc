@@ -3,47 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/stats.h"
 
 namespace dbsherlock::core {
 
 namespace {
-
-/// Min and max of `values` over the rows in both regions (ignored rows do
-/// not shape the partition space; Section 4 uses only the A/N tuples).
-struct RangeInfo {
-  double min = 0.0;
-  double max = 0.0;
-  bool valid = false;
-};
-
-RangeInfo RangeOverRegions(std::span<const double> values,
-                           const tsdata::LabeledRows& rows) {
-  RangeInfo info;
-  bool first = true;
-  auto fold = [&](size_t row) {
-    double v = values[row];
-    if (first) {
-      info.min = info.max = v;
-      first = false;
-    } else {
-      info.min = std::min(info.min, v);
-      info.max = std::max(info.max, v);
-    }
-  };
-  for (size_t row : rows.abnormal) fold(row);
-  for (size_t row : rows.normal) fold(row);
-  info.valid = !first;
-  return info;
-}
-
-double MeanOverRows(std::span<const double> values,
-                    const std::vector<size_t>& rows) {
-  if (rows.empty()) return 0.0;
-  double sum = 0.0;
-  for (size_t row : rows) sum += values[row];
-  return sum / static_cast<double>(rows.size());
-}
 
 /// Builds the predicate for a single abnormal block (Section 4.5). Returns
 /// nullopt when the block spans the whole space (no direction).
@@ -69,7 +34,90 @@ std::optional<Predicate> PredicateFromBlock(const PartitionSpace& space,
   return pred;
 }
 
+/// Algorithm 1 for one attribute: the fused sweep (ProfileAttribute) feeds
+/// the theta check, the partition-space range, and the gap anchor, so the
+/// column is scanned once where the serial historical code scanned it three
+/// times. Returns nullopt when no predicate is extracted.
+std::optional<AttributeDiagnosis> DiagnoseAttribute(
+    const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
+    size_t attr, const PredicateGenOptions& options) {
+  const tsdata::AttributeSpec& spec = dataset.schema().attribute(attr);
+  const tsdata::Column& col = dataset.column(attr);
+
+  std::optional<Predicate> pred;
+  std::optional<PartitionSpace> space;
+  double normalized_diff = 0.0;
+
+  if (col.kind() == tsdata::AttributeKind::kNumeric) {
+    std::span<const double> values = col.numeric_values();
+    AttributeProfile profile = ProfileAttribute(values, rows);
+    if (!profile.valid || profile.max <= profile.min) return std::nullopt;
+
+    // Normalization + thresholding (Section 4.5): the attribute must move
+    // its normalized mean by more than theta between the two regions.
+    double mu_a = common::MinMaxNormalize(profile.abnormal_mean(), profile.min,
+                                          profile.max);
+    double mu_n = common::MinMaxNormalize(profile.normal_mean(), profile.min,
+                                          profile.max);
+    normalized_diff = std::fabs(mu_a - mu_n);
+    if (normalized_diff <= options.normalized_diff_threshold) {
+      return std::nullopt;
+    }
+
+    space = BuildFinalPartitionSpace(dataset, rows, attr, options, &profile);
+    if (!space.has_value()) return std::nullopt;
+    std::optional<AbnormalBlock> block = SingleAbnormalBlock(*space);
+    if (!block.has_value()) return std::nullopt;
+    pred = PredicateFromBlock(*space, *block, spec.name);
+  } else {
+    space = BuildFinalPartitionSpace(dataset, rows, attr, options);
+    if (!space.has_value()) return std::nullopt;
+    // Categorical: collect every Abnormal partition's category.
+    Predicate p;
+    p.attribute = spec.name;
+    p.type = PredicateType::kInSet;
+    for (size_t j = 0; j < space->size(); ++j) {
+      if (space->label(j) == PartitionLabel::kAbnormal) {
+        p.categories.push_back(space->category(j));
+      }
+    }
+    if (!p.categories.empty()) pred = std::move(p);
+  }
+
+  if (!pred.has_value()) return std::nullopt;
+  AttributeDiagnosis diag;
+  diag.predicate = std::move(*pred);
+  diag.separation_power = SeparationPower(diag.predicate, dataset, rows);
+  diag.partition_separation_power =
+      PartitionSeparationPower(diag.predicate, *space);
+  diag.normalized_mean_diff = normalized_diff;
+  return diag;
+}
+
 }  // namespace
+
+AttributeProfile ProfileAttribute(std::span<const double> values,
+                                  const tsdata::LabeledRows& rows) {
+  AttributeProfile profile;
+  bool first = true;
+  auto fold = [&](size_t row) {
+    double v = values[row];
+    if (first) {
+      profile.min = profile.max = v;
+      first = false;
+    } else {
+      profile.min = std::min(profile.min, v);
+      profile.max = std::max(profile.max, v);
+    }
+    return v;
+  };
+  for (size_t row : rows.abnormal) profile.abnormal_sum += fold(row);
+  for (size_t row : rows.normal) profile.normal_sum += fold(row);
+  profile.abnormal_count = rows.abnormal.size();
+  profile.normal_count = rows.normal.size();
+  profile.valid = !first;
+  return profile;
+}
 
 std::vector<Predicate> PredicateGenResult::PredicateList() const {
   std::vector<Predicate> out;
@@ -88,16 +136,21 @@ const AttributeDiagnosis* PredicateGenResult::Find(
 
 std::optional<PartitionSpace> BuildLabeledPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
-    size_t attr_index, const PredicateGenOptions& options) {
+    size_t attr_index, const PredicateGenOptions& options,
+    const AttributeProfile* profile) {
   if (rows.abnormal.empty() || rows.normal.empty()) return std::nullopt;
   const tsdata::Column& col = dataset.column(attr_index);
 
   if (col.kind() == tsdata::AttributeKind::kNumeric) {
     std::span<const double> values = col.numeric_values();
-    RangeInfo range = RangeOverRegions(values, rows);
-    if (!range.valid || range.max <= range.min) return std::nullopt;
+    AttributeProfile local;
+    if (profile == nullptr) {
+      local = ProfileAttribute(values, rows);
+      profile = &local;
+    }
+    if (!profile->valid || profile->max <= profile->min) return std::nullopt;
 
-    PartitionSpace space = PartitionSpace::Numeric(range.min, range.max,
+    PartitionSpace space = PartitionSpace::Numeric(profile->min, profile->max,
                                                    options.num_partitions);
     LabelNumericPartitions(values, rows, &space);
     return space;
@@ -118,15 +171,22 @@ std::optional<PartitionSpace> BuildLabeledPartitionSpace(
 
 std::optional<PartitionSpace> BuildFinalPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
-    size_t attr_index, const PredicateGenOptions& options) {
+    size_t attr_index, const PredicateGenOptions& options,
+    const AttributeProfile* profile) {
   std::optional<PartitionSpace> space =
-      BuildLabeledPartitionSpace(dataset, rows, attr_index, options);
+      BuildLabeledPartitionSpace(dataset, rows, attr_index, options, profile);
   if (!space.has_value() || !space->is_numeric()) return space;
 
   if (options.enable_filtering) FilterPartitions(&*space);
   if (options.enable_gap_filling) {
-    const tsdata::Column& col = dataset.column(attr_index);
-    double anchor = MeanOverRows(col.numeric_values(), rows.normal);
+    double anchor;
+    if (profile != nullptr) {
+      anchor = profile->normal_mean();
+    } else {
+      const tsdata::Column& col = dataset.column(attr_index);
+      AttributeProfile local = ProfileAttribute(col.numeric_values(), rows);
+      anchor = local.normal_mean();
+    }
     FillPartitionGaps(&*space, options.anomaly_distance_multiplier, anchor);
   }
   return space;
@@ -165,53 +225,18 @@ PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
   tsdata::LabeledRows rows = SplitRows(dataset, regions);
   if (rows.abnormal.empty() || rows.normal.empty()) return result;
 
-  for (size_t attr = 0; attr < dataset.num_attributes(); ++attr) {
-    const tsdata::AttributeSpec& spec = dataset.schema().attribute(attr);
-    const tsdata::Column& col = dataset.column(attr);
-
-    std::optional<PartitionSpace> space =
-        BuildFinalPartitionSpace(dataset, rows, attr, options);
-    if (!space.has_value()) continue;
-
-    std::optional<Predicate> pred;
-    double normalized_diff = 0.0;
-
-    if (col.kind() == tsdata::AttributeKind::kNumeric) {
-      // Normalization + thresholding (Section 4.5): the attribute must move
-      // its normalized mean by more than theta between the two regions.
-      std::span<const double> values = col.numeric_values();
-      RangeInfo range = RangeOverRegions(values, rows);
-      double mu_a = common::MinMaxNormalize(MeanOverRows(values, rows.abnormal),
-                                            range.min, range.max);
-      double mu_n = common::MinMaxNormalize(MeanOverRows(values, rows.normal),
-                                            range.min, range.max);
-      normalized_diff = std::fabs(mu_a - mu_n);
-      if (normalized_diff <= options.normalized_diff_threshold) continue;
-
-      std::optional<AbnormalBlock> block = SingleAbnormalBlock(*space);
-      if (!block.has_value()) continue;
-      pred = PredicateFromBlock(*space, *block, spec.name);
-    } else {
-      // Categorical: collect every Abnormal partition's category.
-      Predicate p;
-      p.attribute = spec.name;
-      p.type = PredicateType::kInSet;
-      for (size_t j = 0; j < space->size(); ++j) {
-        if (space->label(j) == PartitionLabel::kAbnormal) {
-          p.categories.push_back(space->category(j));
-        }
-      }
-      if (!p.categories.empty()) pred = std::move(p);
-    }
-
-    if (!pred.has_value()) continue;
-    AttributeDiagnosis diag;
-    diag.predicate = std::move(*pred);
-    diag.separation_power = SeparationPower(diag.predicate, dataset, rows);
-    diag.partition_separation_power =
-        PartitionSeparationPower(diag.predicate, *space);
-    diag.normalized_mean_diff = normalized_diff;
-    result.predicates.push_back(std::move(diag));
+  // Attributes are independent (Section 4 treats each in isolation), so the
+  // loop fans out; merging in attribute order keeps the output identical to
+  // the serial path.
+  std::vector<std::optional<AttributeDiagnosis>> per_attr =
+      common::ParallelMap(
+          dataset.num_attributes(),
+          [&](size_t attr) {
+            return DiagnoseAttribute(dataset, rows, attr, options);
+          },
+          options.parallelism);
+  for (std::optional<AttributeDiagnosis>& diag : per_attr) {
+    if (diag.has_value()) result.predicates.push_back(std::move(*diag));
   }
 
   std::stable_sort(result.predicates.begin(), result.predicates.end(),

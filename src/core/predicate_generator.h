@@ -2,6 +2,7 @@
 #define DBSHERLOCK_CORE_PREDICATE_GENERATOR_H_
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/partition_space.h"
@@ -27,7 +28,43 @@ struct PredicateGenOptions {
   /// Filtering and/or Filling-the-Gaps steps.
   bool enable_filtering = true;
   bool enable_gap_filling = true;
+  /// Degree of parallelism for the per-attribute loop here and the
+  /// per-model loop in ModelRepository::Rank: 0 = one lane per hardware
+  /// thread, 1 = exact serial path, N = N lanes. Results are identical for
+  /// every value (ordered merge; see common/parallel.h).
+  size_t parallelism = 0;
 };
+
+/// Single-pass statistics of one numeric attribute over the diagnosis rows
+/// (abnormal ∪ normal; ignored rows never shape the partition space,
+/// Section 4). One sweep feeds everything downstream that used to rescan
+/// the column: the partition-space range, the theta normalization check of
+/// Section 4.5, and the gap-filling normal anchor of Section 4.4.
+struct AttributeProfile {
+  double min = 0.0;
+  double max = 0.0;
+  double abnormal_sum = 0.0;
+  double normal_sum = 0.0;
+  size_t abnormal_count = 0;
+  size_t normal_count = 0;
+  /// False when both regions were empty (min/max are then meaningless).
+  bool valid = false;
+
+  double abnormal_mean() const {
+    return abnormal_count == 0
+               ? 0.0
+               : abnormal_sum / static_cast<double>(abnormal_count);
+  }
+  double normal_mean() const {
+    return normal_count == 0 ? 0.0
+                             : normal_sum / static_cast<double>(normal_count);
+  }
+};
+
+/// Computes the profile in one pass (abnormal rows first, then normal, so
+/// floating-point accumulation order matches the historical per-pass code).
+AttributeProfile ProfileAttribute(std::span<const double> values,
+                                  const tsdata::LabeledRows& rows);
 
 /// One extracted predicate plus its quality measures.
 struct AttributeDiagnosis {
@@ -62,9 +99,12 @@ PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
 /// Builds the final labeled partition space (label -> filter -> fill) for
 /// one attribute, as used by predicate extraction. Returns std::nullopt for
 /// constant numeric attributes or when either region holds no rows.
+/// `profile`, when supplied, must be ProfileAttribute() of this attribute's
+/// values over `rows`; it spares the extra column sweeps (numeric only).
 std::optional<PartitionSpace> BuildFinalPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
-    size_t attr_index, const PredicateGenOptions& options);
+    size_t attr_index, const PredicateGenOptions& options,
+    const AttributeProfile* profile = nullptr);
 
 /// Builds the *labeled-only* partition space (Section 4.2's labeling, no
 /// filtering or gap filling) for one attribute. This is the space Eq. (3)
@@ -74,9 +114,11 @@ std::optional<PartitionSpace> BuildFinalPartitionSpace(
 /// C's two-second anomalies) and for anomaly instances whose absolute
 /// levels differ from the training instance. Returns std::nullopt for
 /// constant numeric attributes or when either region holds no rows.
+/// `profile` as for BuildFinalPartitionSpace.
 std::optional<PartitionSpace> BuildLabeledPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
-    size_t attr_index, const PredicateGenOptions& options);
+    size_t attr_index, const PredicateGenOptions& options,
+    const AttributeProfile* profile = nullptr);
 
 /// Separation power of `predicate` measured over a labeled partition space
 /// (fraction of Abnormal partitions satisfied minus fraction of Normal

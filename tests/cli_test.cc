@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <string>
@@ -32,7 +34,11 @@ RunResult RunCli(const std::string& args) {
 }
 
 std::string TempPath(const std::string& name) {
-  return testing::TempDir() + "/dbsherlock_cli_" + name;
+  // gtest_discover_tests runs every case in its own process, and ctest -j
+  // runs those processes concurrently; the pid keeps one process's
+  // SetUpTestSuite from rewriting a file another is mid-read on.
+  return testing::TempDir() + "/dbsherlock_cli_" + std::to_string(getpid()) +
+         "_" + name;
 }
 
 class CliTest : public ::testing::Test {

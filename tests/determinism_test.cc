@@ -1,0 +1,119 @@
+// The parallel diagnosis engine must be bit-identical to the serial path:
+// ParallelMap merges in index order and every per-attribute / per-model
+// computation is independent, so thread count may change wall-clock time
+// but never a diagnosis. These tests pin that contract across seeds.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_repository.h"
+#include "core/predicate_generator.h"
+#include "eval/experiment.h"
+#include "simulator/dataset_gen.h"
+
+namespace dbsherlock {
+namespace {
+
+const std::vector<uint64_t>& Seeds() {
+  static const std::vector<uint64_t> seeds = {42, 7, 1234};
+  return seeds;
+}
+
+simulator::GeneratedDataset MakeDataset(uint64_t seed,
+                                        simulator::AnomalyKind kind) {
+  simulator::DatasetGenOptions gen;
+  gen.seed = seed;
+  return simulator::GenerateAnomalyDataset(gen, kind, 60.0);
+}
+
+void ExpectSameDiagnoses(const core::PredicateGenResult& a,
+                         const core::PredicateGenResult& b) {
+  ASSERT_EQ(a.predicates.size(), b.predicates.size());
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    const core::AttributeDiagnosis& da = a.predicates[i];
+    const core::AttributeDiagnosis& db = b.predicates[i];
+    EXPECT_EQ(da.predicate.attribute, db.predicate.attribute) << i;
+    EXPECT_EQ(da.predicate.type, db.predicate.type) << i;
+    EXPECT_EQ(da.predicate.low, db.predicate.low) << i;
+    EXPECT_EQ(da.predicate.high, db.predicate.high) << i;
+    EXPECT_EQ(da.predicate.categories, db.predicate.categories) << i;
+    // Exact equality on purpose: the parallel path must not even reorder
+    // floating-point accumulation.
+    EXPECT_EQ(da.separation_power, db.separation_power) << i;
+    EXPECT_EQ(da.partition_separation_power, db.partition_separation_power)
+        << i;
+    EXPECT_EQ(da.normalized_mean_diff, db.normalized_mean_diff) << i;
+  }
+}
+
+TEST(DeterminismTest, GeneratePredicatesIdenticalAcrossParallelism) {
+  const std::vector<simulator::AnomalyKind> kinds = {
+      simulator::AnomalyKind::kWorkloadSpike,
+      simulator::AnomalyKind::kIoSaturation,
+      simulator::AnomalyKind::kLockContention,
+  };
+  for (uint64_t seed : Seeds()) {
+    for (simulator::AnomalyKind kind : kinds) {
+      simulator::GeneratedDataset ds = MakeDataset(seed, kind);
+      core::PredicateGenOptions serial;
+      serial.parallelism = 1;
+      core::PredicateGenResult base =
+          core::GeneratePredicates(ds.data, ds.regions, serial);
+      EXPECT_FALSE(base.predicates.empty())
+          << "seed " << seed << " produced no predicates; test is vacuous";
+      for (size_t lanes : {size_t{4}, size_t{0}, size_t{13}}) {
+        core::PredicateGenOptions parallel = serial;
+        parallel.parallelism = lanes;
+        core::PredicateGenResult out =
+            core::GeneratePredicates(ds.data, ds.regions, parallel);
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " lanes=" + std::to_string(lanes));
+        ExpectSameDiagnoses(base, out);
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, RankIdenticalAcrossParallelism) {
+  for (uint64_t seed : Seeds()) {
+    // A repository over every anomaly class, two instances each, unmerged:
+    // maximal attribute overlap between models, i.e. maximal cache sharing.
+    core::ModelRepository repo;
+    core::PredicateGenOptions options;
+    options.parallelism = 1;
+    for (uint64_t round = 0; round < 2; ++round) {
+      for (simulator::AnomalyKind kind : simulator::AllAnomalyKinds()) {
+        simulator::GeneratedDataset train = MakeDataset(seed + round, kind);
+        repo.AddUnmerged(eval::BuildCausalModel(
+            train, simulator::AnomalyKindName(kind), options));
+      }
+    }
+
+    simulator::GeneratedDataset test =
+        MakeDataset(seed + 99, simulator::AnomalyKind::kNetworkCongestion);
+    tsdata::LabeledRows rows = SplitRows(test.data, test.regions);
+
+    std::vector<core::RankedCause> base =
+        repo.Rank(test.data, rows, options, -1e9);
+    EXPECT_FALSE(base.empty());
+    for (size_t lanes : {size_t{4}, size_t{0}}) {
+      core::PredicateGenOptions parallel = options;
+      parallel.parallelism = lanes;
+      std::vector<core::RankedCause> out =
+          repo.Rank(test.data, rows, parallel, -1e9);
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " lanes=" + std::to_string(lanes));
+      ASSERT_EQ(base.size(), out.size());
+      for (size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(base[i].cause, out[i].cause) << i;
+        EXPECT_EQ(base[i].confidence, out[i].confidence) << i;
+        EXPECT_EQ(base[i].suggested_action, out[i].suggested_action) << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsherlock

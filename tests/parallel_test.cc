@@ -1,0 +1,141 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbsherlock::common {
+namespace {
+
+TEST(EffectiveParallelismTest, ZeroMeansHardwareConcurrencyAtLeastOne) {
+  EXPECT_GE(EffectiveParallelism(0), 1u);
+}
+
+TEST(EffectiveParallelismTest, ExplicitValuesPassThrough) {
+  EXPECT_EQ(EffectiveParallelism(1), 1u);
+  EXPECT_EQ(EffectiveParallelism(7), 7u);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, [&](size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SerialPathRunsInIndexOrder) {
+  std::vector<size_t> order;
+  ParallelFor(16, [&](size_t i) { order.push_back(i); }, 1);
+  std::vector<size_t> expected(16);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](size_t i) { ++hits[i]; }, 4);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, FewerItemsThanLanes) {
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(3, [&](size_t i) { ++hits[i]; }, 8);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SingleItemRunsOnCaller) {
+  std::atomic<int> calls{0};
+  ParallelFor(1, [&](size_t) { ++calls; }, 8);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, PropagatesExceptionSerial) {
+  EXPECT_THROW(ParallelFor(
+                   4,
+                   [&](size_t i) {
+                     if (i == 2) throw std::runtime_error("boom");
+                   },
+                   1),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, PropagatesExceptionParallel) {
+  EXPECT_THROW(ParallelFor(
+                   64,
+                   [&](size_t i) {
+                     if (i == 11) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, RethrowsLowestRecordedIndex) {
+  // Index 0 always throws before the abandon flag can suppress its chunk,
+  // so the deterministic lowest-index rule must surface "0".
+  try {
+    ParallelFor(
+        256, [&](size_t i) { throw std::runtime_error(std::to_string(i)); },
+        4);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "0");
+  }
+}
+
+TEST(ParallelForTest, PoolSurvivesAFailedRun) {
+  EXPECT_THROW(
+      ParallelFor(32, [](size_t) { throw std::runtime_error("boom"); }, 4),
+      std::runtime_error);
+  std::atomic<int> calls{0};
+  ParallelFor(32, [&](size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(ParallelForTest, NestedCallsComplete) {
+  std::vector<std::atomic<int>> hits(8 * 8);
+  ParallelFor(
+      8,
+      [&](size_t outer) {
+        ParallelFor(8, [&](size_t inner) { ++hits[outer * 8 + inner]; }, 4);
+      },
+      4);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelMapTest, ResultsInIndexOrder) {
+  std::vector<size_t> out =
+      ParallelMap(100, [](size_t i) { return i * i; }, 4);
+  ASSERT_EQ(out.size(), 100u);
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMapTest, SerialAndParallelAgree) {
+  auto fn = [](size_t i) { return 3.5 * static_cast<double>(i) + 1.0; };
+  EXPECT_EQ(ParallelMap(257, fn, 1), ParallelMap(257, fn, 4));
+}
+
+TEST(ThreadPoolTest, SubmittedTasksRun) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { ++done; });
+  }
+  while (done.load() < 10) std::this_thread::yield();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, EnsureAtLeastGrowsButNeverShrinks) {
+  ThreadPool pool(1);
+  pool.EnsureAtLeast(3);
+  EXPECT_EQ(pool.num_threads(), 3u);
+  pool.EnsureAtLeast(2);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+}  // namespace
+}  // namespace dbsherlock::common

@@ -18,6 +18,7 @@
 //       --cause "Lock Contention" --action "spread hot district"
 //       --models models.json
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -243,6 +244,9 @@ core::Explainer MakeExplainer(const Args& args) {
       static_cast<size_t>(args.GetDouble("partitions", 250.0));
   options.predicate_options.anomaly_distance_multiplier =
       args.GetDouble("delta", 10.0);
+  // Clamp before the unsigned cast: negative-double-to-size_t is UB.
+  options.predicate_options.parallelism =
+      static_cast<size_t>(std::max(0.0, args.GetDouble("threads", 0.0)));
   options.confidence_threshold = args.GetDouble("lambda", 20.0);
   core::Explainer sherlock(options);
   // Note: keep the repository in a named variable; iterating
@@ -361,6 +365,7 @@ int Usage() {
       "  detect    --data f.csv\n"
       "  diagnose  --data f.csv [--abnormal a:b[,c:d]] [--models m.json]\n"
       "            [--theta T] [--delta D] [--partitions R] [--lambda L]\n"
+      "            [--threads N]  (0 = one per core, 1 = serial)\n"
       "  teach     --data f.csv --abnormal a:b --cause NAME --models m.json\n"
       "            [--action TEXT]\n"
       "  report    --data f.csv --abnormal a:b [--models m.json]\n"

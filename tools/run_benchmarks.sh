@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the microbenchmark suite and records the results as JSON so the
+# perf trajectory is tracked across PRs (compare BENCH_micro.json between
+# commits). Usage:
+#   tools/run_benchmarks.sh [output.json] [extra bench_micro_perf flags...]
+# Env:
+#   BUILD_DIR  build tree holding bench/bench_micro_perf (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_micro.json}"
+shift || true
+
+BIN="$BUILD_DIR/bench/bench_micro_perf"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_format=json "$@" > "$OUT"
+echo "wrote $OUT"
