@@ -28,12 +28,41 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
   if (n == 0) return result;
 
   // 1. Normalize numeric attributes and keep the high-potential ones.
+  // Normalization is over finite cells only (NaN in Median/sort is
+  // undefined behavior); non-finite cells become the column's normalized
+  // finite median — the one value that can neither create a window-median
+  // excursion nor pull DBSCAN distances. Columns with too few finite cells
+  // are excluded outright. On all-finite input this path is bit-identical
+  // to plain common::MinMaxNormalize.
   std::vector<std::vector<double>> selected_columns;
   for (size_t attr = 0; attr < dataset.num_attributes(); ++attr) {
     const tsdata::Column& col = dataset.column(attr);
     if (col.kind() != tsdata::AttributeKind::kNumeric) continue;
-    std::vector<double> normalized =
-        common::MinMaxNormalize(col.numeric_values());
+    std::span<const double> values = col.numeric_values();
+    std::vector<double> finite;
+    finite.reserve(values.size());
+    for (double v : values) {
+      if (std::isfinite(v)) finite.push_back(v);
+    }
+    double quality = values.empty()
+                         ? 1.0
+                         : static_cast<double>(finite.size()) /
+                               static_cast<double>(values.size());
+    if (finite.empty() || (options.min_attribute_quality > 0.0 &&
+                           quality < options.min_attribute_quality)) {
+      result.skipped_attributes.push_back(
+          dataset.schema().attribute(attr).name);
+      continue;
+    }
+    double lo = common::Min(finite);
+    double hi = common::Max(finite);
+    double fill = common::MinMaxNormalize(common::Median(finite), lo, hi);
+    std::vector<double> normalized(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      normalized[i] = std::isfinite(values[i])
+                          ? common::MinMaxNormalize(values[i], lo, hi)
+                          : fill;
+    }
     if (PotentialPower(normalized, options.window) >
         options.potential_power_threshold) {
       result.selected_attributes.push_back(
@@ -76,7 +105,7 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
   // [t, t + collection interval); infer the interval from the data.
   double interval = 1.0;
   if (n >= 2) interval = dataset.timestamp(1) - dataset.timestamp(0);
-  if (interval <= 0.0) interval = 1.0;
+  if (!std::isfinite(interval) || interval <= 0.0) interval = 1.0;
   std::vector<tsdata::TimeRange> ranges;
   size_t i = 0;
   while (i < result.abnormal_rows.size()) {

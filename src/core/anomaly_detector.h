@@ -35,6 +35,13 @@ struct AnomalyDetectorOptions {
   /// exact edges would mislabel onset/offset ramp rows (Section 2.2's
   /// explicit-normal-region mechanism makes this possible).
   double boundary_guard_sec = 8.0;
+  /// Graceful degradation: a numeric attribute with a lower fraction of
+  /// finite cells than this is excluded from feature selection outright
+  /// (reported in DetectionResult::skipped_attributes). Attributes above
+  /// the threshold still participate, with each non-finite cell replaced by
+  /// the column's normalized finite median so it can neither form nor break
+  /// a cluster. 0 disables the gate.
+  double min_attribute_quality = 0.75;
 };
 
 /// Output of automatic detection: the abnormal region (contiguous runs of
@@ -44,6 +51,9 @@ struct DetectionResult {
   std::vector<size_t> abnormal_rows;
   /// Attributes whose potential power exceeded PPt (the features used).
   std::vector<std::string> selected_attributes;
+  /// Attributes excluded for data quality (finite fraction below
+  /// AnomalyDetectorOptions::min_attribute_quality), schema order.
+  std::vector<std::string> skipped_attributes;
   double epsilon = 0.0;
 };
 

@@ -11,12 +11,21 @@ std::string Explanation::PredicatesToString() const {
   return out;
 }
 
+std::string Explanation::WarningsToString() const {
+  std::string out;
+  for (const DataQualityWarning& w : warnings) {
+    out += w.attribute + ": " + w.reason + "\n";
+  }
+  return out;
+}
+
 Explanation Explainer::Diagnose(const tsdata::Dataset& dataset,
                                 const tsdata::DiagnosisRegions& regions) const {
   Explanation out;
   PredicateGenResult generated =
       GeneratePredicates(dataset, regions, options_.predicate_options);
   out.predicates = std::move(generated.predicates);
+  out.warnings = std::move(generated.warnings);
 
   if (options_.apply_domain_knowledge && !options_.domain_knowledge.empty()) {
     out.predicates = options_.domain_knowledge.PruneSecondarySymptoms(

@@ -19,9 +19,15 @@ namespace dbsherlock::core {
 struct Explanation {
   std::vector<AttributeDiagnosis> predicates;
   std::vector<RankedCause> causes;  // above lambda, descending confidence
+  /// Per-attribute trust notes from predicate generation: attributes
+  /// skipped for bad data, or diagnosed with bad cells masked. Surfaced so
+  /// the DBA knows which metrics the explanation could not rely on.
+  std::vector<DataQualityWarning> warnings;
 
   /// Convenience: the conjunct as a display string.
   std::string PredicatesToString() const;
+  /// Display form of the warnings, one line each; empty when none.
+  std::string WarningsToString() const;
 };
 
 /// The top-level DBSherlock facade, tying together predicate generation

@@ -16,6 +16,13 @@ std::optional<PartitionSpace> BuildConfidenceSpace(
     return BuildLabeledPartitionSpace(dataset, rows, attr_index, options);
   }
   AttributeProfile profile = ProfileAttribute(col.numeric_values(), rows);
+  // Same degradation gate as predicate generation: an attribute too
+  // corrupted to trust contributes 0 to every model's confidence rather
+  // than a separation power computed from mostly-missing data.
+  if (options.min_attribute_quality > 0.0 &&
+      profile.quality() < options.min_attribute_quality) {
+    return std::nullopt;
+  }
   std::optional<PartitionSpace> space =
       BuildLabeledPartitionSpace(dataset, rows, attr_index, options,
                                  &profile);

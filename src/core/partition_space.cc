@@ -41,8 +41,13 @@ double PartitionSpace::mid_value(size_t j) const {
 }
 
 size_t PartitionSpace::PartitionOf(double value) const {
-  if (labels_.empty() || value <= min_value_) return 0;
-  size_t j = static_cast<size_t>((value - min_value_) / width_);
+  // NaN would make the size_t cast below undefined behavior; clamp hostile
+  // values to the first partition (callers are expected to have filtered
+  // non-finite cells already — this is the last line of defense).
+  if (labels_.empty() || std::isnan(value) || value <= min_value_) return 0;
+  size_t j = static_cast<size_t>(
+      std::min((value - min_value_) / width_,
+               static_cast<double>(labels_.size() - 1)));
   return std::min(j, labels_.size() - 1);
 }
 
@@ -56,10 +61,14 @@ void LabelNumericPartitions(std::span<const double> values,
                             PartitionSpace* space) {
   std::vector<uint32_t> abnormal_count(space->size(), 0);
   std::vector<uint32_t> normal_count(space->size(), 0);
+  // Non-finite cells vote for no partition: a NaN-poisoned row must not
+  // label partition 0 (or +-Inf's clamped edge) abnormal/normal.
   for (size_t row : rows.abnormal) {
+    if (!std::isfinite(values[row])) continue;
     ++abnormal_count[space->PartitionOf(values[row])];
   }
   for (size_t row : rows.normal) {
+    if (!std::isfinite(values[row])) continue;
     ++normal_count[space->PartitionOf(values[row])];
   }
   for (size_t j = 0; j < space->size(); ++j) {

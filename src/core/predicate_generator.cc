@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/stats.h"
+#include "common/strings.h"
 
 namespace dbsherlock::core {
 
@@ -34,15 +35,41 @@ std::optional<Predicate> PredicateFromBlock(const PartitionSpace& space,
   return pred;
 }
 
+/// Per-attribute result: at most one extracted predicate and at most one
+/// data-quality warning (an attribute can be skipped-with-warning,
+/// diagnosed-with-warning, diagnosed clean, or silently uninformative).
+struct AttributeOutcome {
+  std::optional<AttributeDiagnosis> diagnosis;
+  std::optional<DataQualityWarning> warning;
+};
+
+DataQualityWarning MakeQualityWarning(const std::string& attribute,
+                                      const AttributeProfile& profile,
+                                      bool skipped) {
+  DataQualityWarning warning;
+  warning.attribute = attribute;
+  warning.bad_fraction = 1.0 - profile.quality();
+  warning.skipped = skipped;
+  warning.reason = common::StrFormat(
+      "%s: %.1f%% of diagnosis rows non-finite",
+      skipped ? "skipped" : "used with bad cells masked",
+      100.0 * warning.bad_fraction);
+  return warning;
+}
+
 /// Algorithm 1 for one attribute: the fused sweep (ProfileAttribute) feeds
 /// the theta check, the partition-space range, and the gap anchor, so the
 /// column is scanned once where the serial historical code scanned it three
-/// times. Returns nullopt when no predicate is extracted.
-std::optional<AttributeDiagnosis> DiagnoseAttribute(
+/// times. Degradation contract: an attribute too corrupted to trust
+/// (quality below min_attribute_quality) is skipped with a warning rather
+/// than allowed to emit a garbage predicate; an attribute with some bad
+/// cells is diagnosed over its finite cells only, and says so.
+AttributeOutcome DiagnoseAttribute(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
     size_t attr, const PredicateGenOptions& options) {
   const tsdata::AttributeSpec& spec = dataset.schema().attribute(attr);
   const tsdata::Column& col = dataset.column(attr);
+  AttributeOutcome out;
 
   std::optional<Predicate> pred;
   std::optional<PartitionSpace> space;
@@ -51,7 +78,13 @@ std::optional<AttributeDiagnosis> DiagnoseAttribute(
   if (col.kind() == tsdata::AttributeKind::kNumeric) {
     std::span<const double> values = col.numeric_values();
     AttributeProfile profile = ProfileAttribute(values, rows);
-    if (!profile.valid || profile.max <= profile.min) return std::nullopt;
+    if (profile.non_finite_count > 0) {
+      bool skip = options.min_attribute_quality > 0.0 &&
+                  profile.quality() < options.min_attribute_quality;
+      out.warning = MakeQualityWarning(spec.name, profile, skip);
+      if (skip) return out;
+    }
+    if (!profile.valid || profile.max <= profile.min) return out;
 
     // Normalization + thresholding (Section 4.5): the attribute must move
     // its normalized mean by more than theta between the two regions.
@@ -61,17 +94,17 @@ std::optional<AttributeDiagnosis> DiagnoseAttribute(
                                           profile.max);
     normalized_diff = std::fabs(mu_a - mu_n);
     if (normalized_diff <= options.normalized_diff_threshold) {
-      return std::nullopt;
+      return out;
     }
 
     space = BuildFinalPartitionSpace(dataset, rows, attr, options, &profile);
-    if (!space.has_value()) return std::nullopt;
+    if (!space.has_value()) return out;
     std::optional<AbnormalBlock> block = SingleAbnormalBlock(*space);
-    if (!block.has_value()) return std::nullopt;
+    if (!block.has_value()) return out;
     pred = PredicateFromBlock(*space, *block, spec.name);
   } else {
     space = BuildFinalPartitionSpace(dataset, rows, attr, options);
-    if (!space.has_value()) return std::nullopt;
+    if (!space.has_value()) return out;
     // Categorical: collect every Abnormal partition's category.
     Predicate p;
     p.attribute = spec.name;
@@ -84,14 +117,15 @@ std::optional<AttributeDiagnosis> DiagnoseAttribute(
     if (!p.categories.empty()) pred = std::move(p);
   }
 
-  if (!pred.has_value()) return std::nullopt;
+  if (!pred.has_value()) return out;
   AttributeDiagnosis diag;
   diag.predicate = std::move(*pred);
   diag.separation_power = SeparationPower(diag.predicate, dataset, rows);
   diag.partition_separation_power =
       PartitionSeparationPower(diag.predicate, *space);
   diag.normalized_mean_diff = normalized_diff;
-  return diag;
+  out.diagnosis = std::move(diag);
+  return out;
 }
 
 }  // namespace
@@ -100,8 +134,14 @@ AttributeProfile ProfileAttribute(std::span<const double> values,
                                   const tsdata::LabeledRows& rows) {
   AttributeProfile profile;
   bool first = true;
-  auto fold = [&](size_t row) {
+  // NaN/Inf cells are excluded from min/max and the sums; on finite input
+  // the fold is bit-identical to the historical all-cells one.
+  auto fold = [&](size_t row, double* sum, size_t* count) {
     double v = values[row];
+    if (!std::isfinite(v)) {
+      ++profile.non_finite_count;
+      return;
+    }
     if (first) {
       profile.min = profile.max = v;
       first = false;
@@ -109,12 +149,15 @@ AttributeProfile ProfileAttribute(std::span<const double> values,
       profile.min = std::min(profile.min, v);
       profile.max = std::max(profile.max, v);
     }
-    return v;
+    *sum += v;
+    ++*count;
   };
-  for (size_t row : rows.abnormal) profile.abnormal_sum += fold(row);
-  for (size_t row : rows.normal) profile.normal_sum += fold(row);
-  profile.abnormal_count = rows.abnormal.size();
-  profile.normal_count = rows.normal.size();
+  for (size_t row : rows.abnormal) {
+    fold(row, &profile.abnormal_sum, &profile.abnormal_count);
+  }
+  for (size_t row : rows.normal) {
+    fold(row, &profile.normal_sum, &profile.normal_count);
+  }
   profile.valid = !first;
   return profile;
 }
@@ -228,15 +271,19 @@ PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
   // Attributes are independent (Section 4 treats each in isolation), so the
   // loop fans out; merging in attribute order keeps the output identical to
   // the serial path.
-  std::vector<std::optional<AttributeDiagnosis>> per_attr =
-      common::ParallelMap(
-          dataset.num_attributes(),
-          [&](size_t attr) {
-            return DiagnoseAttribute(dataset, rows, attr, options);
-          },
-          options.parallelism);
-  for (std::optional<AttributeDiagnosis>& diag : per_attr) {
-    if (diag.has_value()) result.predicates.push_back(std::move(*diag));
+  std::vector<AttributeOutcome> per_attr = common::ParallelMap(
+      dataset.num_attributes(),
+      [&](size_t attr) {
+        return DiagnoseAttribute(dataset, rows, attr, options);
+      },
+      options.parallelism);
+  for (AttributeOutcome& outcome : per_attr) {
+    if (outcome.diagnosis.has_value()) {
+      result.predicates.push_back(std::move(*outcome.diagnosis));
+    }
+    if (outcome.warning.has_value()) {
+      result.warnings.push_back(std::move(*outcome.warning));
+    }
   }
 
   std::stable_sort(result.predicates.begin(), result.predicates.end(),

@@ -33,6 +33,26 @@ struct PredicateGenOptions {
   /// thread, 1 = exact serial path, N = N lanes. Results are identical for
   /// every value (ordered merge; see common/parallel.h).
   size_t parallelism = 0;
+  /// Graceful-degradation threshold: a numeric attribute whose fraction of
+  /// finite values over the diagnosis rows falls below this is skipped
+  /// (with a DataQualityWarning) instead of fed garbage-in to the
+  /// partition machinery. 0 disables the gate (NaN/Inf cells are still
+  /// excluded from every statistic).
+  double min_attribute_quality = 0.75;
+};
+
+/// A per-attribute trust note attached to a diagnosis: the engine either
+/// skipped the attribute entirely or computed around bad cells. Hostile
+/// telemetry must never silently shape an explanation.
+struct DataQualityWarning {
+  std::string attribute;
+  /// Human-readable reason ("skipped: 61.0% of diagnosis rows non-finite").
+  std::string reason;
+  /// Fraction of the attribute's diagnosis-row cells that were non-finite.
+  double bad_fraction = 0.0;
+  /// True when the attribute was excluded from diagnosis; false when it
+  /// was used but with bad cells masked out of its statistics.
+  bool skipped = false;
 };
 
 /// Single-pass statistics of one numeric attribute over the diagnosis rows
@@ -40,14 +60,21 @@ struct PredicateGenOptions {
 /// Section 4). One sweep feeds everything downstream that used to rescan
 /// the column: the partition-space range, the theta normalization check of
 /// Section 4.5, and the gap-filling normal anchor of Section 4.4.
+///
+/// NaN/Inf cells never enter min/max or the region sums; they are counted
+/// in `non_finite_count` so callers can gate on quality(). On pristine
+/// telemetry the profile is bit-identical to the historical all-cells one.
 struct AttributeProfile {
   double min = 0.0;
   double max = 0.0;
   double abnormal_sum = 0.0;
   double normal_sum = 0.0;
+  /// Finite cells per region (the denominators of the region means).
   size_t abnormal_count = 0;
   size_t normal_count = 0;
-  /// False when both regions were empty (min/max are then meaningless).
+  /// NaN/Inf cells across both regions.
+  size_t non_finite_count = 0;
+  /// False when no finite value was seen (min/max are then meaningless).
   bool valid = false;
 
   double abnormal_mean() const {
@@ -58,6 +85,13 @@ struct AttributeProfile {
   double normal_mean() const {
     return normal_count == 0 ? 0.0
                              : normal_sum / static_cast<double>(normal_count);
+  }
+  /// Fraction of diagnosis-row cells that were finite; 1.0 when no rows.
+  double quality() const {
+    size_t total = abnormal_count + normal_count + non_finite_count;
+    return total == 0 ? 1.0
+                      : static_cast<double>(abnormal_count + normal_count) /
+                            static_cast<double>(total);
   }
 };
 
@@ -79,9 +113,11 @@ struct AttributeDiagnosis {
 };
 
 /// Output of the generator: the conjunct of candidate predicates, in
-/// descending separation-power order.
+/// descending separation-power order, plus the data-quality warnings
+/// accumulated while computing them (attribute order).
 struct PredicateGenResult {
   std::vector<AttributeDiagnosis> predicates;
+  std::vector<DataQualityWarning> warnings;
 
   /// Convenience: just the predicates.
   std::vector<Predicate> PredicateList() const;

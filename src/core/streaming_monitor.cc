@@ -1,5 +1,9 @@
 #include "core/streaming_monitor.h"
 
+#include <cmath>
+
+#include "common/strings.h"
+
 namespace dbsherlock::core {
 
 StreamingMonitor::StreamingMonitor(const tsdata::Schema& schema,
@@ -19,7 +23,34 @@ void StreamingMonitor::TrimWindow() {
 
 std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
     double timestamp, const std::vector<tsdata::Cell>& cells) {
-  if (!window_.AppendRow(timestamp, cells).ok()) return std::nullopt;
+  // Timestamp triage before touching the window: Dataset::AppendRow would
+  // accept a NaN timestamp (NaN < back is false) and a duplicate, either of
+  // which corrupts the window ordering the detector depends on.
+  if (!std::isfinite(timestamp)) {
+    ++non_finite_rows_dropped_;
+    last_append_status_ = common::Status::InvalidArgument(
+        "dropped row with non-finite timestamp");
+    return std::nullopt;
+  }
+  if (window_.num_rows() > 0) {
+    double last = window_.timestamp(window_.num_rows() - 1);
+    if (timestamp == last) {
+      ++duplicate_rows_dropped_;
+      last_append_status_ = common::Status::InvalidArgument(
+          common::StrFormat("dropped duplicate row at timestamp %g",
+                            timestamp));
+      return std::nullopt;
+    }
+    if (timestamp < last) {
+      ++late_rows_dropped_;
+      last_append_status_ = common::Status::InvalidArgument(
+          common::StrFormat("dropped late row: timestamp %g < newest %g",
+                            timestamp, last));
+      return std::nullopt;
+    }
+  }
+  last_append_status_ = window_.AppendRow(timestamp, cells);
+  if (!last_append_status_.ok()) return std::nullopt;
   ++rows_seen_;
   ++rows_since_detect_;
   TrimWindow();

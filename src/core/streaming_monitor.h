@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/anomaly_detector.h"
 #include "core/explainer.h"
 #include "tsdata/dataset.h"
@@ -49,6 +50,13 @@ class StreamingMonitor {
   /// Appends one telemetry row; returns an alert when a new anomaly region
   /// is detected at this step (std::nullopt otherwise — including on
   /// append errors, which leave the monitor unchanged).
+  ///
+  /// Hostile-stream contract: a row with a non-finite timestamp, a
+  /// timestamp equal to the newest buffered row (duplicate), or an earlier
+  /// timestamp (late arrival) is DROPPED — never allowed to corrupt the
+  /// window's ordering invariant — counted in the *_dropped() counters,
+  /// and recorded in last_append_status(). Row content is still validated
+  /// by Dataset::AppendRow (arity, cell kinds).
   std::optional<Alert> Append(double timestamp,
                               const std::vector<tsdata::Cell>& cells);
 
@@ -62,6 +70,16 @@ class StreamingMonitor {
   /// All alerts raised so far (most recent last).
   const std::vector<Alert>& alerts() const { return alerts_; }
 
+  /// Dropped-row accounting (see Append's hostile-stream contract).
+  size_t late_rows_dropped() const { return late_rows_dropped_; }
+  size_t duplicate_rows_dropped() const { return duplicate_rows_dropped_; }
+  size_t non_finite_rows_dropped() const { return non_finite_rows_dropped_; }
+  /// Status of the most recent Append: OK when the row was accepted, an
+  /// InvalidArgument describing why it was dropped otherwise.
+  const common::Status& last_append_status() const {
+    return last_append_status_;
+  }
+
  private:
   /// Drops rows older than the window and re-bases storage.
   void TrimWindow();
@@ -71,6 +89,10 @@ class StreamingMonitor {
   Explainer explainer_;
   size_t rows_seen_ = 0;
   size_t rows_since_detect_ = 0;
+  size_t late_rows_dropped_ = 0;
+  size_t duplicate_rows_dropped_ = 0;
+  size_t non_finite_rows_dropped_ = 0;
+  common::Status last_append_status_ = common::Status::OK();
   std::vector<Alert> alerts_;
   /// End timestamp of the most recently alerted region; regions starting
   /// before this are considered already reported.

@@ -1,0 +1,151 @@
+#include "eval/robustness.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dbsherlock::eval {
+
+namespace {
+
+/// Evaluates one corrupted (and possibly repaired) dataset: predicates,
+/// accuracy, warnings, and ranking against the clean-trained repository.
+RobustnessCell EvaluateArm(const tsdata::Dataset& data,
+                           const simulator::GeneratedDataset& truth,
+                           const core::ModelRepository& repository,
+                           const RobustnessOptions& options) {
+  RobustnessCell cell;
+  core::PredicateGenResult generated = core::GeneratePredicates(
+      data, truth.regions, options.predicate_options);
+  cell.num_predicates = generated.predicates.size();
+  cell.num_warnings = generated.warnings.size();
+  cell.accuracy =
+      EvaluatePredicates(generated.PredicateList(), data, truth.regions);
+
+  // Ranking uses the corrupted data as the inquiry target but the ground
+  // truth regions as the DBA's selection (the DBA marks times, not rows).
+  simulator::GeneratedDataset inquiry;
+  inquiry.data = data;
+  inquiry.regions = truth.regions;
+  inquiry.label = truth.label;
+  RankingOutcome outcome = RankAgainst(repository, inquiry, truth.label,
+                                       options.predicate_options);
+  cell.correct_rank = outcome.correct_rank;
+  cell.margin = outcome.margin;
+  cell.ranked_nonempty = !outcome.ranked.empty();
+  return cell;
+}
+
+}  // namespace
+
+std::vector<const RobustnessCell*> RobustnessResult::AtRate(
+    double rate, const std::string& arm) const {
+  std::vector<const RobustnessCell*> out;
+  for (const RobustnessCell& cell : cells) {
+    if (cell.arm == arm && std::fabs(cell.corruption_rate - rate) < 1e-12) {
+      out.push_back(&cell);
+    }
+  }
+  return out;
+}
+
+common::JsonValue RobustnessResult::ToJson() const {
+  common::JsonValue::Array arr;
+  for (const RobustnessCell& cell : cells) {
+    common::JsonValue::Object o;
+    o["class"] = cell.anomaly_class;
+    o["corruption_rate"] = cell.corruption_rate;
+    o["arm"] = cell.arm;
+    o["precision"] = cell.accuracy.precision;
+    o["recall"] = cell.accuracy.recall;
+    o["f1"] = cell.accuracy.f1;
+    o["num_predicates"] = static_cast<double>(cell.num_predicates);
+    o["num_warnings"] = static_cast<double>(cell.num_warnings);
+    o["faults_injected"] = static_cast<double>(cell.faults_injected);
+    o["repair_changes"] = static_cast<double>(cell.repair_changes);
+    o["correct_rank"] = static_cast<double>(cell.correct_rank);
+    o["margin"] = cell.margin;
+    o["ranked_nonempty"] = cell.ranked_nonempty;
+    arr.push_back(common::JsonValue(std::move(o)));
+  }
+  common::JsonValue::Object root;
+  root["experiment"] = "corruption_robustness";
+  root["cells"] = common::JsonValue(std::move(arr));
+  return common::JsonValue(std::move(root));
+}
+
+RobustnessResult RunRobustnessSweep(const RobustnessOptions& options) {
+  RobustnessResult result;
+  const std::vector<simulator::AnomalyKind>& kinds =
+      simulator::AllAnomalyKinds();
+
+  // Train one causal model per class on CLEAN data from an independent
+  // seed, once for the whole sweep.
+  core::ModelRepository repository;
+  for (size_t c = 0; c < kinds.size(); ++c) {
+    simulator::DatasetGenOptions train_gen = options.gen;
+    train_gen.seed = options.gen.seed + options.train_seed_offset + c;
+    simulator::GeneratedDataset train = simulator::GenerateAnomalyDataset(
+        train_gen, kinds[c], options.anomaly_duration_sec);
+    repository.Add(BuildCausalModel(train, train.label,
+                                    options.predicate_options));
+  }
+
+  for (size_t c = 0; c < kinds.size(); ++c) {
+    simulator::DatasetGenOptions test_gen = options.gen;
+    test_gen.seed = options.gen.seed + c;
+    simulator::GeneratedDataset test = simulator::GenerateAnomalyDataset(
+        test_gen, kinds[c], options.anomaly_duration_sec);
+
+    for (size_t i = 0; i < options.corruption_rates.size(); ++i) {
+      double rate = options.corruption_rates[i];
+      simulator::FaultInjectorConfig faults = options.faults;
+      faults.corruption_rate = rate;
+      faults.seed = options.faults.seed + c * 1000003ULL + i * 7919ULL;
+      common::Result<simulator::FaultedDataset> faulted =
+          simulator::InjectFaults(test.data, faults);
+      if (!faulted.ok()) continue;  // unreachable: config validated above
+
+      // Arm 1: raw corrupted data, graceful degradation only.
+      RobustnessCell raw =
+          EvaluateArm(faulted->data, test, repository, options);
+      raw.anomaly_class = test.label;
+      raw.corruption_rate = rate;
+      raw.arm = "raw";
+      raw.faults_injected = faulted->counts.total();
+      result.cells.push_back(std::move(raw));
+
+      // Arm 2: invariant-restoring repair first, then diagnose.
+      common::Result<tsdata::RepairedDataset> repaired =
+          tsdata::RepairDataset(faulted->data, options.quality);
+      if (!repaired.ok()) continue;  // unreachable: options validated
+      RobustnessCell fixed =
+          EvaluateArm(repaired->data, test, repository, options);
+      fixed.anomaly_class = test.label;
+      fixed.corruption_rate = rate;
+      fixed.arm = "repaired";
+      fixed.faults_injected = faulted->counts.total();
+      fixed.repair_changes = repaired->summary.total_changes();
+      result.cells.push_back(std::move(fixed));
+
+      // Arm 3: repair + opt-in spike masking (the CLI's --repair).
+      if (options.despike_max_run > 0) {
+        tsdata::QualityOptions despike = options.quality;
+        despike.max_spike_run = options.despike_max_run;
+        common::Result<tsdata::RepairedDataset> despiked =
+            tsdata::RepairDataset(faulted->data, despike);
+        if (!despiked.ok()) continue;  // unreachable: options validated
+        RobustnessCell cell =
+            EvaluateArm(despiked->data, test, repository, options);
+        cell.anomaly_class = test.label;
+        cell.corruption_rate = rate;
+        cell.arm = "despiked";
+        cell.faults_injected = faulted->counts.total();
+        cell.repair_changes = despiked->summary.total_changes();
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dbsherlock::eval

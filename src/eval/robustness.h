@@ -1,0 +1,87 @@
+#ifndef DBSHERLOCK_EVAL_ROBUSTNESS_H_
+#define DBSHERLOCK_EVAL_ROBUSTNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "eval/experiment.h"
+#include "simulator/fault_injector.h"
+#include "tsdata/data_quality.h"
+
+namespace dbsherlock::eval {
+
+/// Configuration of the hostile-telemetry robustness experiment: for every
+/// anomaly class and every corruption rate, generate a dataset, corrupt it
+/// with the fault injector, optionally repair it, then measure predicate
+/// accuracy against the ground truth and causal-model ranking against
+/// models trained on CLEAN data (the realistic deployment: models are
+/// built during calm calibration runs, inference happens during incidents
+/// — which is exactly when collectors misbehave).
+struct RobustnessOptions {
+  simulator::DatasetGenOptions gen;
+  core::PredicateGenOptions predicate_options;
+  tsdata::QualityOptions quality;
+  simulator::FaultInjectorConfig faults;  // corruption_rate is overridden
+  /// Corruption rates swept (0 must be first to pin the clean baseline).
+  std::vector<double> corruption_rates = {0.0, 0.02, 0.05, 0.10};
+  /// Anomaly duration of the generated test datasets.
+  double anomaly_duration_sec = 60.0;
+  /// max_spike_run of the third ("despiked") arm, mirroring the CLI's
+  /// --repair configuration. Spike masking is lossy on clean data (see
+  /// QualityOptions::max_spike_run), so it gets its own arm instead of
+  /// contaminating the invariant-restoring "repaired" arm; 0 drops the
+  /// arm from the sweep.
+  size_t despike_max_run = 2;
+  /// Seed offset for the clean training datasets (must differ from the
+  /// test datasets' streams).
+  uint64_t train_seed_offset = 7777;
+};
+
+/// One (class, corruption rate, repair arm) measurement. Arms:
+/// "raw" (graceful degradation only), "repaired" (invariant-restoring
+/// default repair), "despiked" (repair + opt-in spike masking, the CLI's
+/// --repair configuration).
+struct RobustnessCell {
+  std::string anomaly_class;
+  double corruption_rate = 0.0;
+  std::string arm = "raw";
+  PredicateAccuracy accuracy;
+  size_t num_predicates = 0;
+  /// Data-quality warnings the explanation carried.
+  size_t num_warnings = 0;
+  /// Ground truth: faults the injector actually planted.
+  size_t faults_injected = 0;
+  /// Repair activity (0 in the no-repair arm).
+  size_t repair_changes = 0;
+  /// Causal-model ranking vs clean-trained models: 1-based rank of the
+  /// correct cause (0 = absent) and confidence margin.
+  size_t correct_rank = 0;
+  double margin = 0.0;
+  /// The diagnosis produced at least one ranked cause candidate.
+  bool ranked_nonempty = false;
+};
+
+struct RobustnessResult {
+  std::vector<RobustnessCell> cells;
+
+  /// Cells of one arm at one rate, class order (convenience for tables).
+  std::vector<const RobustnessCell*> AtRate(double rate,
+                                            const std::string& arm) const;
+  /// Machine-readable form written to BENCH_robustness.json.
+  common::JsonValue ToJson() const;
+};
+
+/// Runs the full sweep: |classes| x |corruption_rates| x arms. Deterministic
+/// for a fixed options struct (every random stream is seeded from
+/// options.gen.seed / options.faults.seed). Rate 0.0 cells are the
+/// uncorrupted baseline: injection is the identity there and default repair
+/// round-trips a clean dataset bit-identically, so the raw and repaired
+/// arms match the never-corrupted diagnosis exactly. The despiked arm is
+/// allowed to deviate at rate 0 — that deviation is precisely the cost of
+/// opt-in spike masking the sweep exists to measure.
+RobustnessResult RunRobustnessSweep(const RobustnessOptions& options);
+
+}  // namespace dbsherlock::eval
+
+#endif  // DBSHERLOCK_EVAL_ROBUSTNESS_H_

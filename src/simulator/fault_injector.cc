@@ -1,0 +1,243 @@
+#include "simulator/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/strings.h"
+
+namespace dbsherlock::simulator {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A row buffered for mutation: timestamp plus raw cell values (numeric
+/// slots valid where the schema says numeric, category codes elsewhere).
+struct RowBuf {
+  double ts = 0.0;
+  std::vector<double> numeric;   // per attribute; unused for categorical
+  std::vector<int32_t> code;     // per attribute; unused for numeric
+};
+
+/// Row-level fault families enabled by the config, for a uniform pick.
+std::vector<FaultKind> EnabledRowFaults(const FaultInjectorConfig& c) {
+  std::vector<FaultKind> kinds;
+  if (c.drop_rows) kinds.push_back(FaultKind::kDroppedRow);
+  if (c.duplicate_rows) kinds.push_back(FaultKind::kDuplicatedRow);
+  if (c.out_of_order_rows) kinds.push_back(FaultKind::kOutOfOrderRow);
+  if (c.clock_skew) kinds.push_back(FaultKind::kClockSkew);
+  return kinds;
+}
+
+std::vector<FaultKind> EnabledCellFaults(const FaultInjectorConfig& c) {
+  std::vector<FaultKind> kinds;
+  if (c.nan_cells) kinds.push_back(FaultKind::kNanCell);
+  if (c.inf_cells) kinds.push_back(FaultKind::kInfCell);
+  if (c.spike_cells) kinds.push_back(FaultKind::kSpikeCell);
+  return kinds;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDroppedRow: return "dropped_row";
+    case FaultKind::kNanCell: return "nan_cell";
+    case FaultKind::kInfCell: return "inf_cell";
+    case FaultKind::kSpikeCell: return "spike_cell";
+    case FaultKind::kStuckAttribute: return "stuck_attribute";
+    case FaultKind::kDuplicatedRow: return "duplicated_row";
+    case FaultKind::kOutOfOrderRow: return "out_of_order_row";
+    case FaultKind::kClockSkew: return "clock_skew";
+    case FaultKind::kAttributeDisappearance: return "attribute_disappearance";
+  }
+  return "unknown";
+}
+
+std::string FaultCounts::ToString() const {
+  return common::StrFormat(
+      "faults: %zu dropped rows, %zu NaN cells, %zu Inf cells, %zu spikes, "
+      "%zu stuck attrs (%zu cells), %zu duplicated rows, %zu out-of-order "
+      "rows, %zu clock-skewed rows, %zu disappeared attrs (%zu cells)",
+      dropped_rows, nan_cells, inf_cells, spike_cells, stuck_attributes,
+      stuck_cells, duplicated_rows, out_of_order_rows, clock_skewed_rows,
+      disappeared_attributes, disappeared_cells);
+}
+
+common::JsonValue FaultCounts::ToJson() const {
+  common::JsonValue::Object o;
+  o["dropped_rows"] = static_cast<double>(dropped_rows);
+  o["nan_cells"] = static_cast<double>(nan_cells);
+  o["inf_cells"] = static_cast<double>(inf_cells);
+  o["spike_cells"] = static_cast<double>(spike_cells);
+  o["stuck_attributes"] = static_cast<double>(stuck_attributes);
+  o["stuck_cells"] = static_cast<double>(stuck_cells);
+  o["duplicated_rows"] = static_cast<double>(duplicated_rows);
+  o["out_of_order_rows"] = static_cast<double>(out_of_order_rows);
+  o["clock_skewed_rows"] = static_cast<double>(clock_skewed_rows);
+  o["disappeared_attributes"] = static_cast<double>(disappeared_attributes);
+  o["disappeared_cells"] = static_cast<double>(disappeared_cells);
+  o["total"] = static_cast<double>(total());
+  return common::JsonValue(std::move(o));
+}
+
+common::Result<FaultedDataset> InjectFaults(
+    const tsdata::Dataset& input, const FaultInjectorConfig& config) {
+  if (config.corruption_rate < 0.0 || config.corruption_rate > 1.0 ||
+      std::isnan(config.corruption_rate)) {
+    return common::Status::InvalidArgument(common::StrFormat(
+        "corruption_rate must be in [0, 1], got %g", config.corruption_rate));
+  }
+
+  const tsdata::Schema& schema = input.schema();
+  const size_t num_attrs = schema.num_attributes();
+  const size_t num_rows = input.num_rows();
+  const double rate = config.corruption_rate;
+
+  FaultedDataset out;
+  out.data = tsdata::Dataset(schema);
+  common::Pcg32 rng(config.seed, /*seq=*/0x0fau);
+
+  // Buffer the rows so every mutation stage sees the prior stages' output.
+  std::vector<RowBuf> rows(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    rows[r].ts = input.timestamp(r);
+    rows[r].numeric.assign(num_attrs, 0.0);
+    rows[r].code.assign(num_attrs, 0);
+  }
+  for (size_t a = 0; a < num_attrs; ++a) {
+    const tsdata::Column& col = input.column(a);
+    if (col.kind() == tsdata::AttributeKind::kNumeric) {
+      std::span<const double> vals = col.numeric_values();
+      for (size_t r = 0; r < num_rows; ++r) rows[r].numeric[a] = vals[r];
+    } else {
+      std::span<const int32_t> codes = col.codes();
+      for (size_t r = 0; r < num_rows; ++r) rows[r].code[a] = codes[r];
+    }
+  }
+
+  // Stage 1 — per-attribute episode faults (stuck runs, disappearance).
+  // One decision per numeric attribute per family; episodes model a sensor
+  // failing as a unit, not independent cell noise.
+  for (size_t a = 0; a < num_attrs; ++a) {
+    if (schema.attribute(a).kind != tsdata::AttributeKind::kNumeric) continue;
+    if (config.stuck_attributes && num_rows >= 2 &&
+        rng.NextDouble() < rate) {
+      size_t start = rng.NextBounded(static_cast<uint32_t>(num_rows));
+      size_t max_len = std::max<size_t>(config.max_stuck_run, 8);
+      size_t len = 8 + rng.NextBounded(static_cast<uint32_t>(max_len - 8 + 1));
+      size_t end = std::min(num_rows, start + len);
+      double frozen = rows[start].numeric[a];
+      for (size_t r = start; r < end; ++r) rows[r].numeric[a] = frozen;
+      ++out.counts.stuck_attributes;
+      out.counts.stuck_cells += end - start;
+    }
+    if (config.attribute_disappearance && num_rows >= 2 &&
+        rng.NextDouble() < rate) {
+      // The collector module dies partway through: NaN to end of stream.
+      size_t start = num_rows / 2 +
+                     rng.NextBounded(static_cast<uint32_t>(num_rows / 2));
+      for (size_t r = start; r < num_rows; ++r) rows[r].numeric[a] = kNan;
+      ++out.counts.disappeared_attributes;
+      out.counts.disappeared_cells += num_rows - start;
+    }
+  }
+
+  // Stage 2 — per-cell faults over numeric cells.
+  const std::vector<FaultKind> cell_kinds = EnabledCellFaults(config);
+  if (!cell_kinds.empty()) {
+    for (size_t r = 0; r < num_rows; ++r) {
+      for (size_t a = 0; a < num_attrs; ++a) {
+        if (schema.attribute(a).kind != tsdata::AttributeKind::kNumeric) {
+          continue;
+        }
+        if (rng.NextDouble() >= rate) continue;
+        FaultKind kind = cell_kinds[rng.NextBounded(
+            static_cast<uint32_t>(cell_kinds.size()))];
+        double& v = rows[r].numeric[a];
+        switch (kind) {
+          case FaultKind::kNanCell:
+            v = kNan;
+            ++out.counts.nan_cells;
+            break;
+          case FaultKind::kInfCell:
+            v = rng.NextBernoulli(0.5) ? kInf : -kInf;
+            ++out.counts.inf_cells;
+            break;
+          case FaultKind::kSpikeCell: {
+            double factor = rng.NextDouble(2.0, config.spike_multiplier);
+            v = (v == 0.0 ? 1.0 : v) * factor;
+            ++out.counts.spike_cells;
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+  }
+
+  // Stage 3 — row-level faults, applied while emitting. A dropped row is
+  // skipped; a duplicated row is emitted twice; clock skew perturbs the
+  // timestamp; an out-of-order row swaps backward with an already-emitted
+  // row (bounded distance), yielding genuinely decreasing timestamps.
+  const std::vector<FaultKind> row_kinds = EnabledRowFaults(config);
+  std::vector<RowBuf> emitted;
+  emitted.reserve(num_rows + num_rows / 8);
+  for (size_t r = 0; r < num_rows; ++r) {
+    RowBuf row = rows[r];
+    if (!row_kinds.empty() && rng.NextDouble() < rate) {
+      FaultKind kind =
+          row_kinds[rng.NextBounded(static_cast<uint32_t>(row_kinds.size()))];
+      switch (kind) {
+        case FaultKind::kDroppedRow:
+          ++out.counts.dropped_rows;
+          continue;
+        case FaultKind::kDuplicatedRow:
+          emitted.push_back(row);
+          ++out.counts.duplicated_rows;
+          break;
+        case FaultKind::kClockSkew:
+          row.ts += rng.NextDouble(-config.clock_skew_max_sec,
+                                   config.clock_skew_max_sec);
+          ++out.counts.clock_skewed_rows;
+          break;
+        case FaultKind::kOutOfOrderRow:
+          if (!emitted.empty() && config.max_reorder_distance > 0) {
+            size_t dist = 1 + rng.NextBounded(static_cast<uint32_t>(
+                                  config.max_reorder_distance));
+            size_t target = emitted.size() - std::min(dist, emitted.size());
+            std::swap(row, emitted[target]);
+            ++out.counts.out_of_order_rows;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    emitted.push_back(std::move(row));
+  }
+
+  // Materialize. AppendRowUnchecked because broken ordering is the point;
+  // cell arity/kinds are correct by construction, so errors are internal.
+  std::vector<tsdata::Cell> cells(num_attrs);
+  for (const RowBuf& row : emitted) {
+    for (size_t a = 0; a < num_attrs; ++a) {
+      const tsdata::Column& col = input.column(a);
+      if (col.kind() == tsdata::AttributeKind::kNumeric) {
+        cells[a] = row.numeric[a];
+      } else {
+        cells[a] = col.CategoryName(row.code[a]);
+      }
+    }
+    DBSHERLOCK_RETURN_NOT_OK(out.data.AppendRowUnchecked(row.ts, cells));
+  }
+  return out;
+}
+
+}  // namespace dbsherlock::simulator

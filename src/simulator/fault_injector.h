@@ -1,0 +1,110 @@
+#ifndef DBSHERLOCK_SIMULATOR_FAULT_INJECTOR_H_
+#define DBSHERLOCK_SIMULATOR_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::simulator {
+
+/// The fault taxonomy of hostile telemetry collection, modeled after what
+/// real collectors do under load: agents crash (dropped rows), sensors
+/// return garbage (NaN/Inf), counters freeze (stuck attributes), network
+/// retries duplicate and reorder packets, NTP steps skew clocks, parsers
+/// glitch (spikes), and whole metrics vanish mid-run (a collector module
+/// OOM-killed). Injected faults are the ground truth the data-quality
+/// pipeline is graded against.
+enum class FaultKind {
+  kDroppedRow = 0,
+  kNanCell,
+  kInfCell,
+  kSpikeCell,
+  kStuckAttribute,
+  kDuplicatedRow,
+  kOutOfOrderRow,
+  kClockSkew,
+  kAttributeDisappearance,
+};
+
+/// Display name of a fault kind ("dropped_row", "nan_cell", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// Configuration of one injection pass. `corruption_rate` is the master
+/// knob: the probability that any given row suffers a row-level fault and
+/// that any given numeric cell suffers a cell-level fault (and, per
+/// attribute, that an episode fault starts). Rate 0 is the identity —
+/// the output dataset is bit-identical to the input regardless of seed.
+struct FaultInjectorConfig {
+  double corruption_rate = 0.05;
+  uint64_t seed = 1234;
+
+  /// Per-family switches (all on by default).
+  bool drop_rows = true;
+  bool nan_cells = true;
+  bool inf_cells = true;
+  bool spike_cells = true;
+  bool stuck_attributes = true;
+  bool duplicate_rows = true;
+  bool out_of_order_rows = true;
+  bool clock_skew = true;
+  bool attribute_disappearance = true;
+
+  /// Stuck episodes freeze an attribute for [8, max_stuck_run] rows.
+  size_t max_stuck_run = 30;
+  /// Spike cells are multiplied by up to this factor (sign preserved).
+  double spike_multiplier = 50.0;
+  /// Clock skew adds a uniform offset in [-clock_skew_max_sec, +...].
+  double clock_skew_max_sec = 3.0;
+  /// Out-of-order rows move backward by up to this many positions.
+  size_t max_reorder_distance = 4;
+};
+
+/// How many faults of each kind were injected (the injection ground truth).
+struct FaultCounts {
+  size_t dropped_rows = 0;
+  size_t nan_cells = 0;
+  size_t inf_cells = 0;
+  size_t spike_cells = 0;
+  size_t stuck_attributes = 0;
+  size_t stuck_cells = 0;
+  size_t duplicated_rows = 0;
+  size_t out_of_order_rows = 0;
+  size_t clock_skewed_rows = 0;
+  size_t disappeared_attributes = 0;
+  size_t disappeared_cells = 0;
+
+  size_t total() const {
+    return dropped_rows + nan_cells + inf_cells + spike_cells +
+           stuck_cells + duplicated_rows + out_of_order_rows +
+           clock_skewed_rows + disappeared_cells;
+  }
+  std::string ToString() const;
+  common::JsonValue ToJson() const;
+};
+
+/// A corrupted dataset plus the injection ground truth.
+struct FaultedDataset {
+  tsdata::Dataset data;
+  FaultCounts counts;
+};
+
+/// Corrupts `input` according to `config`. Deterministic: one serial PCG32
+/// stream drives every decision, so the same (input, config) pair produces
+/// a bit-identical corrupted dataset on every run and platform. The input
+/// is never modified. Fails only on a nonsensical config
+/// (corruption_rate outside [0, 1]); hostile *data* never fails it.
+///
+/// The output intentionally violates the Dataset ingest invariants
+/// (duplicate / out-of-order timestamps are the point), which is why it is
+/// built through Dataset::AppendRowUnchecked; round-tripping it through
+/// CSV requires DatasetCsvOptions::allow_unsorted.
+common::Result<FaultedDataset> InjectFaults(const tsdata::Dataset& input,
+                                            const FaultInjectorConfig& config);
+
+}  // namespace dbsherlock::simulator
+
+#endif  // DBSHERLOCK_SIMULATOR_FAULT_INJECTOR_H_

@@ -1,0 +1,135 @@
+#ifndef DBSHERLOCK_TSDATA_DATA_QUALITY_H_
+#define DBSHERLOCK_TSDATA_DATA_QUALITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::tsdata {
+
+/// Knobs of the quality audit and the repair pass. Defaults are tuned for
+/// per-second telemetry: a sensor reporting the identical float for eight
+/// straight seconds is frozen, and a gap of up to five samples is short
+/// enough that linear interpolation cannot invent an anomaly.
+struct QualityOptions {
+  /// A run of >= this many identical consecutive numeric values counts as
+  /// a stuck ("frozen sensor") episode. 0 disables stuck detection.
+  size_t stuck_run_threshold = 8;
+  /// |value - median| > z * robust_std flags a spike outlier, where
+  /// robust_std is the scaled median absolute deviation (1.4826 * MAD).
+  /// Deliberately loose: anomalies ARE outliers; only wild glitches count.
+  double outlier_zscore = 12.0;
+  /// Repair: the longest run of bad (NaN/Inf) cells linear interpolation
+  /// may bridge. Longer gaps stay NaN — masked, not invented — and the
+  /// diagnosis engine degrades gracefully around them.
+  size_t max_interpolate_gap = 5;
+  /// Repair: the longest run of consecutive outlier cells (per the
+  /// outlier_zscore rule) that may be masked as a collector glitch. Real
+  /// anomalies hold their level for many consecutive samples, so long
+  /// outlier runs are presumed genuine signal and left untouched; an
+  /// isolated wild sample is a spike that would otherwise stretch min-max
+  /// normalization and squash every real predicate below theta.
+  ///
+  /// OPT-IN (default 0 = off): genuine telemetry carries real transient
+  /// hiccups that are statistically indistinguishable from injected
+  /// spikes, so de-spiking clean data is lossy. The default keeps
+  /// RepairDataset strictly invariant-restoring — a clean dataset
+  /// round-trips bit-identically — and callers who want aggressive
+  /// de-glitching (e.g. the CLI's --repair) set this to a small value
+  /// like 2.
+  size_t max_spike_run = 0;
+  /// An attribute is usable when at least this fraction of its cells is
+  /// finite; below it, diagnosis skips the attribute outright.
+  double min_usable_fraction = 0.75;
+};
+
+/// Audit of one numeric attribute. Categorical attributes are audited only
+/// for dictionary explosion (every value distinct = a freeform field that
+/// slipped into the telemetry), reported via `distinct_fraction`.
+struct AttributeQuality {
+  std::string name;
+  size_t rows = 0;
+  size_t nan_count = 0;
+  size_t inf_count = 0;
+  /// Cells inside stuck runs of length >= stuck_run_threshold.
+  size_t stuck_count = 0;
+  size_t longest_stuck_run = 0;
+  /// Finite cells farther than outlier_zscore robust stds from the median.
+  size_t outlier_count = 0;
+  /// Finite cells / rows (1.0 for categorical columns).
+  double finite_fraction = 1.0;
+  /// Distinct categories / rows (categorical only; 0 for numeric).
+  double distinct_fraction = 0.0;
+  /// finite_fraction >= QualityOptions::min_usable_fraction.
+  bool usable = true;
+};
+
+/// Full audit of a Dataset: timestamp-stream health plus one
+/// AttributeQuality per attribute (schema order).
+struct QualityReport {
+  size_t num_rows = 0;
+  size_t duplicate_timestamps = 0;    // ts[i] == ts[i-1]
+  size_t out_of_order_timestamps = 0; // ts[i] <  ts[i-1]
+  size_t non_finite_timestamps = 0;
+  bool timestamps_monotonic = true;
+  std::vector<AttributeQuality> attributes;
+
+  /// True when nothing at all was flagged (pristine telemetry).
+  bool clean() const;
+  /// Attributes with usable == false, in schema order.
+  std::vector<std::string> UnusableAttributes() const;
+  /// Human-readable multi-line summary (only flagged attributes listed).
+  std::string ToString() const;
+  /// Machine-readable form (the CLI's --quality-report output).
+  common::JsonValue ToJson() const;
+};
+
+/// Audits `dataset` without modifying it. Never fails on data content —
+/// hostile data is precisely the input it exists for — only on nonsensical
+/// options (e.g. min_usable_fraction outside [0, 1]).
+common::Result<QualityReport> AuditDataset(const Dataset& dataset,
+                                           const QualityOptions& options = {});
+
+/// What RepairDataset did, for logging and tests.
+struct RepairSummary {
+  size_t rows_dropped_non_finite_ts = 0;
+  size_t rows_dropped_duplicate_ts = 0;
+  /// Rows that moved relative to their neighbors when sorting by timestamp.
+  size_t rows_reordered = 0;
+  size_t cells_interpolated = 0;
+  /// Inf cells masked to NaN before interpolation was attempted.
+  size_t cells_masked_inf = 0;
+  /// Isolated spike outliers (runs <= max_spike_run) masked to NaN.
+  size_t cells_masked_spike = 0;
+  /// Bad cells in gaps longer than max_interpolate_gap, left NaN.
+  size_t cells_left_nan = 0;
+
+  size_t total_changes() const {
+    return rows_dropped_non_finite_ts + rows_dropped_duplicate_ts +
+           rows_reordered + cells_interpolated + cells_masked_inf +
+           cells_masked_spike + cells_left_nan;
+  }
+};
+
+struct RepairedDataset {
+  Dataset data;
+  RepairSummary summary;
+};
+
+/// The repair pass restoring the invariants every consumer downstream of
+/// ingest assumes: rows sorted by timestamp (stable sort), duplicate
+/// timestamps deduplicated (first occurrence wins), non-finite timestamps
+/// dropped, Inf cells masked to NaN, and NaN runs of up to
+/// max_interpolate_gap cells bridged by linear interpolation between their
+/// finite neighbors (held flat at the stream edges). Longer runs stay NaN.
+/// A clean dataset round-trips bit-identically. Never throws; fails only
+/// on invalid options.
+common::Result<RepairedDataset> RepairDataset(
+    const Dataset& dataset, const QualityOptions& options = {});
+
+}  // namespace dbsherlock::tsdata
+
+#endif  // DBSHERLOCK_TSDATA_DATA_QUALITY_H_

@@ -1,6 +1,7 @@
 #include "tsdata/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/strings.h"
 
@@ -33,14 +34,19 @@ Dataset::Dataset(Schema schema) : schema_(std::move(schema)) {
 
 common::Status Dataset::AppendRow(double timestamp,
                                   const std::vector<Cell>& cells) {
+  if (!timestamps_.empty() && timestamp < timestamps_.back()) {
+    return common::Status::InvalidArgument(
+        "timestamps must be non-decreasing");
+  }
+  return AppendRowUnchecked(timestamp, cells);
+}
+
+common::Status Dataset::AppendRowUnchecked(double timestamp,
+                                           const std::vector<Cell>& cells) {
   if (cells.size() != schema_.num_attributes()) {
     return common::Status::InvalidArgument(common::StrFormat(
         "row has %zu cells, schema has %zu attributes", cells.size(),
         schema_.num_attributes()));
-  }
-  if (!timestamps_.empty() && timestamp < timestamps_.back()) {
-    return common::Status::InvalidArgument(
-        "timestamps must be non-decreasing");
   }
   for (size_t i = 0; i < cells.size(); ++i) {
     AttributeKind kind = schema_.attribute(i).kind;
@@ -67,6 +73,16 @@ common::Status Dataset::AppendRow(double timestamp,
   return common::Status::OK();
 }
 
+bool Dataset::TimestampsSorted() const {
+  // NaN defeats std::is_sorted (every comparison is false), so check
+  // explicitly: a NaN timestamp means the stream is NOT well ordered.
+  for (size_t i = 0; i < timestamps_.size(); ++i) {
+    if (std::isnan(timestamps_[i])) return false;
+    if (i > 0 && timestamps_[i] < timestamps_[i - 1]) return false;
+  }
+  return true;
+}
+
 common::Result<const Column*> Dataset::ColumnByName(
     const std::string& name) const {
   auto idx = schema_.IndexOf(name);
@@ -76,6 +92,15 @@ common::Result<const Column*> Dataset::ColumnByName(
 
 std::vector<size_t> Dataset::RowsInTimeRange(double start, double end) const {
   std::vector<size_t> rows;
+  if (!TimestampsSorted()) {
+    // Corrupted (unsorted / NaN) timestamps: std::lower_bound requires a
+    // partitioned range, so degrade to a linear scan. NaN timestamps fail
+    // both comparisons and are excluded.
+    for (size_t i = 0; i < timestamps_.size(); ++i) {
+      if (timestamps_[i] >= start && timestamps_[i] < end) rows.push_back(i);
+    }
+    return rows;
+  }
   auto lo = std::lower_bound(timestamps_.begin(), timestamps_.end(), start);
   for (auto it = lo; it != timestamps_.end() && *it < end; ++it) {
     rows.push_back(static_cast<size_t>(it - timestamps_.begin()));

@@ -70,6 +70,18 @@ class Dataset {
   /// Appends one row. `cells` must match the schema arity and kinds.
   common::Status AppendRow(double timestamp, const std::vector<Cell>& cells);
 
+  /// Appends one row without the non-decreasing-timestamp check (cells are
+  /// still validated against the schema). This is the ingestion path for
+  /// hostile telemetry — fault-injected streams and CSVs read with
+  /// `allow_unsorted` — which RepairDataset later sorts and dedupes. Normal
+  /// producers should use AppendRow.
+  common::Status AppendRowUnchecked(double timestamp,
+                                    const std::vector<Cell>& cells);
+
+  /// True when timestamps are non-decreasing (the invariant every consumer
+  /// past the repair pipeline may assume).
+  bool TimestampsSorted() const;
+
   double timestamp(size_t row) const { return timestamps_[row]; }
   std::span<const double> timestamps() const { return timestamps_; }
 

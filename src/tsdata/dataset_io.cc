@@ -1,7 +1,9 @@
 #include "tsdata/dataset_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "common/csv.h"
 #include "common/strings.h"
@@ -44,8 +46,14 @@ std::string DatasetToCsv(const Dataset& dataset) {
   return common::WriteCsv(table);
 }
 
-common::Result<Dataset> DatasetFromCsv(const std::string& text) {
-  auto parsed = common::ParseCsv(text);
+common::Result<Dataset> DatasetFromCsv(const std::string& text,
+                                       const DatasetCsvOptions& options) {
+  // Tolerate a UTF-8 BOM (files exported from spreadsheet tools carry one).
+  std::string_view body = text;
+  if (body.size() >= 3 && body.substr(0, 3) == "\xEF\xBB\xBF") {
+    body.remove_prefix(3);
+  }
+  auto parsed = common::ParseCsv(std::string(body));
   if (!parsed.ok()) return parsed.status();
   const common::CsvTable& table = *parsed;
   if (table.header.empty() || table.header[0] != kTimestampColumn) {
@@ -62,14 +70,36 @@ common::Result<Dataset> DatasetFromCsv(const std::string& text) {
       kind = AttributeKind::kCategorical;
       name = name.substr(0, name.size() - 4);
     }
-    DBSHERLOCK_RETURN_NOT_OK(schema.AddAttribute({name, kind}));
+    // Schema::AddAttribute rejects duplicate names (including a numeric
+    // and an `@cat` column stripping to the same name). Surface the
+    // column index so the header error is actionable.
+    common::Status added = schema.AddAttribute({name, kind});
+    if (!added.ok()) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "column %zu: %s", c, added.message().c_str()));
+    }
   }
 
   Dataset dataset(schema);
+  double prev_ts = 0.0;
   for (size_t r = 0; r < table.rows.size(); ++r) {
     const auto& fields = table.rows[r];
     auto ts = common::ParseDouble(fields[0]);
     if (!ts.ok()) return ts.status();
+    if (!options.allow_unsorted) {
+      if (!std::isfinite(*ts)) {
+        return common::Status::InvalidArgument(common::StrFormat(
+            "row %zu: non-finite timestamp %s (pass allow_unsorted to "
+            "ingest for repair)", r, fields[0].c_str()));
+      }
+      if (r > 0 && *ts <= prev_ts) {
+        return common::Status::InvalidArgument(common::StrFormat(
+            "row %zu: timestamp %.17g %s previous row's %.17g (pass "
+            "allow_unsorted to ingest for repair)", r, *ts,
+            *ts == prev_ts ? "duplicates" : "precedes", prev_ts));
+      }
+      prev_ts = *ts;
+    }
     std::vector<Cell> cells;
     cells.reserve(fields.size() - 1);
     for (size_t c = 1; c < fields.size(); ++c) {
@@ -86,7 +116,9 @@ common::Result<Dataset> DatasetFromCsv(const std::string& text) {
         cells.emplace_back(fields[c]);
       }
     }
-    DBSHERLOCK_RETURN_NOT_OK(dataset.AppendRow(*ts, cells));
+    DBSHERLOCK_RETURN_NOT_OK(options.allow_unsorted
+                                 ? dataset.AppendRowUnchecked(*ts, cells)
+                                 : dataset.AppendRow(*ts, cells));
   }
   return dataset;
 }
@@ -100,12 +132,13 @@ common::Status WriteDatasetFile(const Dataset& dataset,
   return common::Status::OK();
 }
 
-common::Result<Dataset> ReadDatasetFile(const std::string& path) {
+common::Result<Dataset> ReadDatasetFile(const std::string& path,
+                                        const DatasetCsvOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return common::Status::IoError("cannot open: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return DatasetFromCsv(buffer.str());
+  return DatasetFromCsv(buffer.str(), options);
 }
 
 }  // namespace dbsherlock::tsdata

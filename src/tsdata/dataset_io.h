@@ -16,15 +16,31 @@ namespace dbsherlock::tsdata {
 /// how dbseer distributes its datasets as plain aligned CSVs.
 std::string DatasetToCsv(const Dataset& dataset);
 
+/// Parsing options for hostile input. The default is strict: real
+/// collectors are supposed to emit sorted, unique timestamps, and silently
+/// accepting anything else corrupts every downstream time-range lookup.
+struct DatasetCsvOptions {
+  /// Accept duplicate, decreasing, and non-finite timestamps (the rows are
+  /// kept verbatim, via AppendRowUnchecked). Pair with RepairDataset to
+  /// restore the sorted-unique invariant before diagnosis.
+  bool allow_unsorted = false;
+};
+
 /// Parses a Dataset from CSV text produced by DatasetToCsv (or any CSV with
 /// a `timestamp` first column; columns whose values fail numeric parsing
-/// are *not* auto-coerced — use the `@cat` suffix).
-common::Result<Dataset> DatasetFromCsv(const std::string& text);
+/// are *not* auto-coerced — use the `@cat` suffix). A UTF-8 BOM before the
+/// header is tolerated. Fails with InvalidArgument on duplicate column
+/// names and — unless `options.allow_unsorted` — on duplicate, decreasing,
+/// or non-finite timestamps. NaN/Inf *cell* literals parse into the
+/// dataset as-is; the DataQuality pipeline decides their fate.
+common::Result<Dataset> DatasetFromCsv(const std::string& text,
+                                       const DatasetCsvOptions& options = {});
 
 /// File wrappers.
 common::Status WriteDatasetFile(const Dataset& dataset,
                                 const std::string& path);
-common::Result<Dataset> ReadDatasetFile(const std::string& path);
+common::Result<Dataset> ReadDatasetFile(const std::string& path,
+                                        const DatasetCsvOptions& options = {});
 
 }  // namespace dbsherlock::tsdata
 

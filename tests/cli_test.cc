@@ -160,8 +160,74 @@ TEST_F(CliTest, DetectRunsOnData) {
 
 TEST_F(CliTest, MissingDataFileFails) {
   RunResult r = RunCli("diagnose --data /no/such.csv --abnormal 1:2");
-  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.exit_code, 7);  // kIoError (see README exit-code table)
   EXPECT_NE(r.output.find("error"), std::string::npos);
+}
+
+std::string WriteTempCsv(const std::string& name, const std::string& text) {
+  std::string path = TempPath(name);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  EXPECT_EQ(fwrite(text.data(), 1, text.size(), f), text.size());
+  std::fclose(f);
+  return path;
+}
+
+TEST_F(CliTest, ExitCodesDistinguishFailureClasses) {
+  // Non-numeric cell: parse error -> 8.
+  std::string garbled =
+      WriteTempCsv("garbled.csv", "timestamp,cpu\n0,fast\n");
+  EXPECT_EQ(RunCli("detect --data " + garbled).exit_code, 8);
+  std::remove(garbled.c_str());
+
+  // Duplicate timestamps: invalid input data -> 3.
+  std::string dup = WriteTempCsv("dup_ts.csv", "timestamp,cpu\n0,1\n0,2\n");
+  RunResult r = RunCli("detect --data " + dup);
+  EXPECT_EQ(r.exit_code, 3);
+  EXPECT_NE(r.output.find("allow_unsorted"), std::string::npos);  // hint
+  std::remove(dup.c_str());
+}
+
+TEST_F(CliTest, RepairAndQualityReportIngestCorruptTelemetry) {
+  // Out-of-order rows plus a NaN cell: strict ingest refuses, --repair
+  // (which implies --allow-unsorted) audits and fixes.
+  std::string text = "timestamp,cpu\n";
+  for (int t = 0; t < 30; ++t) {
+    if (t == 10) {
+      text += "12,0.5\n";  // out of order (belongs after 11)
+    } else if (t == 20) {
+      text += "20,nan\n";
+    } else {
+      text += std::to_string(t) + ",0.5\n";
+    }
+  }
+  std::string path = WriteTempCsv("corrupt.csv", text);
+  EXPECT_EQ(RunCli("detect --data " + path).exit_code, 3);
+
+  RunResult r =
+      RunCli("detect --data " + path + " --repair --quality-report");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("QualityReport:"), std::string::npos);
+  EXPECT_NE(r.output.find("NOT monotonic"), std::string::npos);
+  EXPECT_NE(r.output.find("repair:"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CliTest, SimulateInjectFaultsReportsCounts) {
+  std::string out = TempPath("faulted.csv");
+  RunResult r = RunCli(
+      "simulate --anomaly lock_contention --seed 7 --inject-faults "
+      "--fault-rate 0.1 --out " +
+      out);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("faults:"), std::string::npos);
+
+  // The corrupted file needs --repair (or --allow-unsorted) to come back.
+  RunResult strict = RunCli("detect --data " + out);
+  EXPECT_NE(strict.exit_code, 0);
+  RunResult repaired = RunCli("detect --data " + out + " --repair");
+  EXPECT_EQ(repaired.exit_code, 0) << repaired.output;
+  std::remove(out.c_str());
 }
 
 }  // namespace

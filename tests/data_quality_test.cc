@@ -1,0 +1,203 @@
+#include "tsdata/data_quality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dbsherlock::tsdata {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Dataset CleanDataset(size_t rows = 20) {
+  Dataset d(Schema({{"cpu", AttributeKind::kNumeric},
+                    {"mode", AttributeKind::kCategorical}}));
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(d.AppendRow(static_cast<double>(i),
+                            {0.5 + 0.01 * static_cast<double>(i % 7),
+                             std::string(i % 2 == 0 ? "a" : "b")})
+                    .ok());
+  }
+  return d;
+}
+
+TEST(DataQualityTest, CleanDatasetAuditsClean) {
+  auto report = AuditDataset(CleanDataset());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->clean());
+  EXPECT_TRUE(report->timestamps_monotonic);
+  EXPECT_EQ(report->UnusableAttributes().size(), 0u);
+}
+
+TEST(DataQualityTest, AuditCountsBadCells) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRow(0, {1.0}).ok());
+  ASSERT_TRUE(d.AppendRow(1, {kNan}).ok());
+  ASSERT_TRUE(d.AppendRow(2, {kInf}).ok());
+  ASSERT_TRUE(d.AppendRow(3, {-kInf}).ok());
+  ASSERT_TRUE(d.AppendRow(4, {2.0}).ok());
+  auto report = AuditDataset(d);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->attributes.size(), 1u);
+  const AttributeQuality& q = report->attributes[0];
+  EXPECT_EQ(q.nan_count, 1u);
+  EXPECT_EQ(q.inf_count, 2u);
+  EXPECT_DOUBLE_EQ(q.finite_fraction, 2.0 / 5.0);
+  EXPECT_FALSE(q.usable);  // 40% finite < default 75%
+  EXPECT_FALSE(report->clean());
+  EXPECT_EQ(report->UnusableAttributes(), std::vector<std::string>{"v"});
+}
+
+TEST(DataQualityTest, AuditDetectsStuckRuns) {
+  QualityOptions options;
+  options.stuck_run_threshold = 5;
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(d.AppendRow(i, {static_cast<double>(i)}).ok());
+  }
+  for (int i = 4; i < 12; ++i) {
+    ASSERT_TRUE(d.AppendRow(i, {3.25}).ok());  // frozen for 8 rows
+  }
+  auto report = AuditDataset(d, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->attributes[0].stuck_count, 8u);
+  EXPECT_EQ(report->attributes[0].longest_stuck_run, 8u);
+}
+
+TEST(DataQualityTest, AuditDetectsTimestampDisorder) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRowUnchecked(5, {1.0}).ok());
+  ASSERT_TRUE(d.AppendRowUnchecked(3, {1.0}).ok());
+  ASSERT_TRUE(d.AppendRowUnchecked(3, {1.0}).ok());
+  ASSERT_TRUE(d.AppendRowUnchecked(kNan, {1.0}).ok());
+  auto report = AuditDataset(d);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->timestamps_monotonic);
+  EXPECT_EQ(report->out_of_order_timestamps, 1u);
+  EXPECT_EQ(report->duplicate_timestamps, 1u);
+  EXPECT_EQ(report->non_finite_timestamps, 1u);
+}
+
+TEST(DataQualityTest, RepairOfCleanDatasetIsIdentity) {
+  Dataset d = CleanDataset();
+  auto repaired = RepairDataset(d);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ(repaired->summary.total_changes(), 0u);
+  ASSERT_EQ(repaired->data.num_rows(), d.num_rows());
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_EQ(repaired->data.timestamp(r), d.timestamp(r));
+    EXPECT_EQ(repaired->data.column(0).numeric(r), d.column(0).numeric(r));
+    EXPECT_EQ(repaired->data.column(1).code(r), d.column(1).code(r));
+  }
+}
+
+TEST(DataQualityTest, RepairSortsDedupesAndDropsBadTimestamps) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRowUnchecked(2, {20.0}).ok());
+  ASSERT_TRUE(d.AppendRowUnchecked(0, {0.0}).ok());
+  ASSERT_TRUE(d.AppendRowUnchecked(1, {10.0}).ok());
+  ASSERT_TRUE(d.AppendRowUnchecked(1, {99.0}).ok());  // duplicate, loses
+  ASSERT_TRUE(d.AppendRowUnchecked(kNan, {5.0}).ok());
+  auto repaired = RepairDataset(d);
+  ASSERT_TRUE(repaired.ok());
+  ASSERT_EQ(repaired->data.num_rows(), 3u);
+  EXPECT_TRUE(repaired->data.TimestampsSorted());
+  EXPECT_EQ(repaired->data.timestamp(0), 0.0);
+  EXPECT_EQ(repaired->data.column(0).numeric(1), 10.0);  // first wins
+  EXPECT_EQ(repaired->data.column(0).numeric(2), 20.0);
+  EXPECT_EQ(repaired->summary.rows_dropped_non_finite_ts, 1u);
+  EXPECT_EQ(repaired->summary.rows_dropped_duplicate_ts, 1u);
+  EXPECT_GT(repaired->summary.rows_reordered, 0u);
+}
+
+TEST(DataQualityTest, RepairInterpolatesShortGapsAndMasksInf) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRow(0, {1.0}).ok());
+  ASSERT_TRUE(d.AppendRow(1, {kNan}).ok());
+  ASSERT_TRUE(d.AppendRow(2, {kInf}).ok());
+  ASSERT_TRUE(d.AppendRow(3, {4.0}).ok());
+  auto repaired = RepairDataset(d);
+  ASSERT_TRUE(repaired.ok());
+  const Column& v = repaired->data.column(0);
+  EXPECT_DOUBLE_EQ(v.numeric(1), 2.0);  // linear bridge 1 -> 4
+  EXPECT_DOUBLE_EQ(v.numeric(2), 3.0);
+  EXPECT_EQ(repaired->summary.cells_masked_inf, 1u);
+  EXPECT_EQ(repaired->summary.cells_interpolated, 2u);
+}
+
+TEST(DataQualityTest, RepairLeavesLongGapsNanAndHoldsEdges) {
+  QualityOptions options;
+  options.max_interpolate_gap = 2;
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  ASSERT_TRUE(d.AppendRow(0, {kNan}).ok());  // leading edge: hold
+  ASSERT_TRUE(d.AppendRow(1, {5.0}).ok());
+  ASSERT_TRUE(d.AppendRow(2, {kNan}).ok());
+  ASSERT_TRUE(d.AppendRow(3, {kNan}).ok());
+  ASSERT_TRUE(d.AppendRow(4, {kNan}).ok());  // gap of 3 > limit 2
+  ASSERT_TRUE(d.AppendRow(5, {9.0}).ok());
+  auto repaired = RepairDataset(d, options);
+  ASSERT_TRUE(repaired.ok());
+  const Column& v = repaired->data.column(0);
+  EXPECT_DOUBLE_EQ(v.numeric(0), 5.0);  // edge held at nearest finite
+  EXPECT_TRUE(std::isnan(v.numeric(2)));
+  EXPECT_TRUE(std::isnan(v.numeric(3)));
+  EXPECT_TRUE(std::isnan(v.numeric(4)));
+  EXPECT_EQ(repaired->summary.cells_left_nan, 3u);
+}
+
+TEST(DataQualityTest, RepairMasksIsolatedSpikesButKeepsEpisodes) {
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  for (int i = 0; i < 40; ++i) {
+    double v = (i % 2 == 0) ? 10.0 : 11.0;  // noisy baseline, MAD > 0
+    if (i == 10) v = 5000.0;                // isolated collector spike
+    if (i >= 20 && i < 28) v = 5000.0;      // genuine 8-sample episode
+    ASSERT_TRUE(d.AppendRow(i, {v}).ok());
+  }
+  QualityOptions despike;  // spike masking is opt-in
+  despike.max_spike_run = 2;
+  auto repaired = RepairDataset(d, despike);
+  ASSERT_TRUE(repaired.ok());
+  const Column& v = repaired->data.column(0);
+  // The spike was masked and bridged by its neighbors; the episode — a
+  // real anomaly holding its level — survived repair untouched.
+  EXPECT_LT(v.numeric(10), 100.0);
+  for (int i = 20; i < 28; ++i) {
+    EXPECT_DOUBLE_EQ(v.numeric(i), 5000.0);
+  }
+  EXPECT_EQ(repaired->summary.cells_masked_spike, 1u);
+  EXPECT_EQ(repaired->summary.cells_interpolated, 1u);
+
+  // Default options never de-spike: repair stays invariant-restoring and
+  // the wild-but-genuine sample survives bit-identically.
+  auto untouched = RepairDataset(d);
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_DOUBLE_EQ(untouched->data.column(0).numeric(10), 5000.0);
+  EXPECT_EQ(untouched->summary.cells_masked_spike, 0u);
+  EXPECT_EQ(untouched->summary.total_changes(), 0u);
+}
+
+TEST(DataQualityTest, InvalidOptionsAreRejectedNotThrown) {
+  QualityOptions bad;
+  bad.min_usable_fraction = 1.5;
+  EXPECT_EQ(AuditDataset(CleanDataset(), bad).status().code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(RepairDataset(CleanDataset(), bad).status().code(),
+            common::StatusCode::kInvalidArgument);
+  QualityOptions bad2;
+  bad2.outlier_zscore = 0.0;
+  EXPECT_FALSE(AuditDataset(CleanDataset(), bad2).ok());
+}
+
+TEST(DataQualityTest, ReportSerializesToJson) {
+  auto report = AuditDataset(CleanDataset());
+  ASSERT_TRUE(report.ok());
+  common::JsonValue json = report->ToJson();
+  ASSERT_TRUE(json.is_object());
+  EXPECT_TRUE(json.Find("clean")->as_bool());
+  EXPECT_EQ(json.Find("attributes")->as_array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dbsherlock::tsdata

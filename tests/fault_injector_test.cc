@@ -1,0 +1,169 @@
+#include "simulator/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+namespace dbsherlock::simulator {
+namespace {
+
+tsdata::Dataset MakeTelemetry(size_t rows = 300) {
+  tsdata::Dataset d(
+      tsdata::Schema({{"cpu", tsdata::AttributeKind::kNumeric},
+                      {"latency", tsdata::AttributeKind::kNumeric},
+                      {"iops", tsdata::AttributeKind::kNumeric},
+                      {"mode", tsdata::AttributeKind::kCategorical}}));
+  for (size_t i = 0; i < rows; ++i) {
+    double t = static_cast<double>(i);
+    EXPECT_TRUE(d.AppendRow(t, {0.3 + 0.1 * std::sin(t / 10.0),
+                                5.0 + 0.01 * t,
+                                100.0 + static_cast<double>(i % 13),
+                                std::string(i % 3 == 0 ? "read" : "write")})
+                    .ok());
+  }
+  return d;
+}
+
+bool BitIdentical(const tsdata::Dataset& a, const tsdata::Dataset& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    // Compare bit patterns so NaN == NaN and +0 != -0.
+    double ta = a.timestamp(r), tb = b.timestamp(r);
+    if (std::memcmp(&ta, &tb, sizeof(double)) != 0) return false;
+    for (size_t c = 0; c < a.num_attributes(); ++c) {
+      if (a.column(c).kind() == tsdata::AttributeKind::kNumeric) {
+        double va = a.column(c).numeric(r), vb = b.column(c).numeric(r);
+        if (std::memcmp(&va, &vb, sizeof(double)) != 0) return false;
+      } else if (a.column(c).code(r) != b.column(c).code(r)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjectorTest, RateZeroIsIdentity) {
+  tsdata::Dataset input = MakeTelemetry();
+  FaultInjectorConfig config;
+  config.corruption_rate = 0.0;
+  config.seed = 99;
+  auto faulted = InjectFaults(input, config);
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(faulted->counts.total(), 0u);
+  EXPECT_TRUE(BitIdentical(input, faulted->data));
+}
+
+TEST(FaultInjectorTest, SameSeedSameConfigIsBitIdentical) {
+  tsdata::Dataset input = MakeTelemetry();
+  FaultInjectorConfig config;
+  config.corruption_rate = 0.08;
+  config.seed = 1234;
+  auto a = InjectFaults(input, config);
+  auto b = InjectFaults(input, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->counts.total(), 0u);
+  EXPECT_TRUE(BitIdentical(a->data, b->data));
+
+  config.seed = 1235;
+  auto c = InjectFaults(input, config);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(BitIdentical(a->data, c->data));
+}
+
+TEST(FaultInjectorTest, AllFaultFamiliesFireAtHighRate) {
+  tsdata::Dataset input = MakeTelemetry(600);
+  FaultInjectorConfig config;
+  config.corruption_rate = 0.3;
+  config.seed = 7;
+  auto faulted = InjectFaults(input, config);
+  ASSERT_TRUE(faulted.ok());
+  const FaultCounts& counts = faulted->counts;
+  EXPECT_GT(counts.dropped_rows, 0u);
+  EXPECT_GT(counts.nan_cells, 0u);
+  EXPECT_GT(counts.inf_cells, 0u);
+  EXPECT_GT(counts.spike_cells, 0u);
+  EXPECT_GT(counts.duplicated_rows, 0u);
+  EXPECT_GT(counts.out_of_order_rows, 0u);
+  EXPECT_GT(counts.clock_skewed_rows, 0u);
+  // Episode faults fire per attribute (3 numeric attrs at rate 0.3 is
+  // not guaranteed), so only check they are *possible* via a sweep.
+  size_t stuck_or_gone = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    config.seed = seed;
+    auto f = InjectFaults(input, config);
+    ASSERT_TRUE(f.ok());
+    stuck_or_gone +=
+        f->counts.stuck_attributes + f->counts.disappeared_attributes;
+  }
+  EXPECT_GT(stuck_or_gone, 0u);
+}
+
+TEST(FaultInjectorTest, CorruptionBreaksOrderingInvariant) {
+  tsdata::Dataset input = MakeTelemetry(600);
+  FaultInjectorConfig config;
+  config.corruption_rate = 0.25;
+  config.seed = 3;
+  auto faulted = InjectFaults(input, config);
+  ASSERT_TRUE(faulted.ok());
+  ASSERT_GT(faulted->counts.out_of_order_rows +
+                faulted->counts.duplicated_rows,
+            0u);
+  EXPECT_FALSE(faulted->data.TimestampsSorted());
+}
+
+TEST(FaultInjectorTest, DisabledFamiliesNeverFire) {
+  tsdata::Dataset input = MakeTelemetry();
+  FaultInjectorConfig config;
+  config.corruption_rate = 0.5;
+  config.drop_rows = false;
+  config.duplicate_rows = false;
+  config.out_of_order_rows = false;
+  config.clock_skew = false;
+  config.stuck_attributes = false;
+  config.attribute_disappearance = false;
+  auto faulted = InjectFaults(input, config);
+  ASSERT_TRUE(faulted.ok());
+  EXPECT_EQ(faulted->counts.dropped_rows, 0u);
+  EXPECT_EQ(faulted->counts.duplicated_rows, 0u);
+  EXPECT_EQ(faulted->counts.out_of_order_rows, 0u);
+  EXPECT_EQ(faulted->counts.clock_skewed_rows, 0u);
+  EXPECT_EQ(faulted->counts.stuck_attributes, 0u);
+  EXPECT_EQ(faulted->counts.disappeared_attributes, 0u);
+  EXPECT_GT(faulted->counts.nan_cells + faulted->counts.inf_cells +
+                faulted->counts.spike_cells,
+            0u);
+  // Row count unchanged: only cell faults remained.
+  EXPECT_EQ(faulted->data.num_rows(), input.num_rows());
+  EXPECT_TRUE(faulted->data.TimestampsSorted());
+}
+
+TEST(FaultInjectorTest, InvalidRateIsRejected) {
+  tsdata::Dataset input = MakeTelemetry(10);
+  FaultInjectorConfig config;
+  config.corruption_rate = 1.5;
+  EXPECT_EQ(InjectFaults(input, config).status().code(),
+            common::StatusCode::kInvalidArgument);
+  config.corruption_rate = -0.1;
+  EXPECT_FALSE(InjectFaults(input, config).ok());
+  config.corruption_rate = std::nan("");
+  EXPECT_FALSE(InjectFaults(input, config).ok());
+}
+
+TEST(FaultInjectorTest, CategoricalColumnsSurviveRoundTrip) {
+  tsdata::Dataset input = MakeTelemetry();
+  FaultInjectorConfig config;
+  config.corruption_rate = 0.1;
+  auto faulted = InjectFaults(input, config);
+  ASSERT_TRUE(faulted.ok());
+  const tsdata::Column& mode = faulted->data.column(3);
+  ASSERT_EQ(mode.kind(), tsdata::AttributeKind::kCategorical);
+  for (size_t r = 0; r < faulted->data.num_rows(); ++r) {
+    std::string name = mode.CategoryName(mode.code(r));
+    EXPECT_TRUE(name == "read" || name == "write") << name;
+  }
+}
+
+}  // namespace
+}  // namespace dbsherlock::simulator

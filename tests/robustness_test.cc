@@ -1,0 +1,234 @@
+// Graceful degradation under hostile telemetry: the diagnosis engine must
+// skip (and report) attributes too corrupted to trust, never crash on
+// NaN/Inf cells, drop hostile streaming rows, and — after repair — still
+// produce a ranked diagnosis from moderately corrupted data, bit-identical
+// at any degree of parallelism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "core/anomaly_detector.h"
+#include "core/predicate_generator.h"
+#include "core/streaming_monitor.h"
+#include "eval/experiment.h"
+#include "simulator/fault_injector.h"
+#include "tsdata/data_quality.h"
+
+namespace dbsherlock {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+struct TestData {
+  tsdata::Dataset dataset;
+  tsdata::DiagnosisRegions regions;
+};
+
+/// 200 rows, abnormal window [100, 150): "shifted" carries the anomaly,
+/// "mostly_bad" is ~90% NaN, "slightly_bad" carries the same signal with a
+/// handful of NaN cells sprinkled in.
+TestData MakeNanLacedData() {
+  common::Pcg32 rng(11);
+  tsdata::Schema schema;
+  EXPECT_TRUE(
+      schema.AddAttribute({"shifted", tsdata::AttributeKind::kNumeric}).ok());
+  EXPECT_TRUE(
+      schema.AddAttribute({"mostly_bad", tsdata::AttributeKind::kNumeric})
+          .ok());
+  EXPECT_TRUE(
+      schema.AddAttribute({"slightly_bad", tsdata::AttributeKind::kNumeric})
+          .ok());
+  TestData out{tsdata::Dataset(schema), {}};
+  out.regions.abnormal.Add(100, 150);
+  for (int t = 0; t < 200; ++t) {
+    bool abnormal = t >= 100 && t < 150;
+    double signal = (abnormal ? 100.0 : 10.0) + rng.NextGaussian(0.0, 2.0);
+    double mostly = (t % 10 == 0) ? signal : kNan;
+    double slightly = (t % 25 == 7) ? kNan : signal;
+    EXPECT_TRUE(out.dataset.AppendRow(t, {signal, mostly, slightly}).ok());
+  }
+  return out;
+}
+
+TEST(RobustnessTest, LowQualityAttributeIsSkippedWithWarning) {
+  TestData data = MakeNanLacedData();
+  core::PredicateGenOptions options;
+  core::PredicateGenResult result =
+      core::GeneratePredicates(data.dataset, data.regions, options);
+
+  // The clean and the slightly-corrupted attribute both carry the step.
+  EXPECT_NE(result.Find("shifted"), nullptr);
+  EXPECT_NE(result.Find("slightly_bad"), nullptr);
+  // The 90%-NaN attribute is skipped, never fed to the partition machinery.
+  EXPECT_EQ(result.Find("mostly_bad"), nullptr);
+
+  ASSERT_EQ(result.warnings.size(), 2u);
+  EXPECT_EQ(result.warnings[0].attribute, "mostly_bad");
+  EXPECT_TRUE(result.warnings[0].skipped);
+  EXPECT_GT(result.warnings[0].bad_fraction, 0.8);
+  EXPECT_EQ(result.warnings[1].attribute, "slightly_bad");
+  EXPECT_FALSE(result.warnings[1].skipped);
+  EXPECT_LT(result.warnings[1].bad_fraction, 0.1);
+}
+
+TEST(RobustnessTest, QualityGateZeroDisablesSkipping) {
+  TestData data = MakeNanLacedData();
+  core::PredicateGenOptions options;
+  options.min_attribute_quality = 0.0;
+  core::PredicateGenResult result =
+      core::GeneratePredicates(data.dataset, data.regions, options);
+  // With the gate off, the sparse attribute's finite cells still carry the
+  // signal, and the warning records that bad cells were masked.
+  EXPECT_NE(result.Find("mostly_bad"), nullptr);
+  ASSERT_GE(result.warnings.size(), 1u);
+  EXPECT_FALSE(result.warnings[0].skipped);
+}
+
+TEST(RobustnessTest, DetectorSkipsGarbageAttributesWithoutCrashing) {
+  common::Pcg32 rng(5);
+  tsdata::Schema schema;
+  ASSERT_TRUE(
+      schema.AddAttribute({"signal", tsdata::AttributeKind::kNumeric}).ok());
+  ASSERT_TRUE(
+      schema.AddAttribute({"garbage", tsdata::AttributeKind::kNumeric}).ok());
+  ASSERT_TRUE(
+      schema.AddAttribute({"patchy", tsdata::AttributeKind::kNumeric}).ok());
+  tsdata::Dataset d(schema);
+  for (int t = 0; t < 400; ++t) {
+    bool anomalous = t >= 200 && t < 260;
+    double signal = (anomalous ? 90.0 : 10.0) + rng.NextGaussian(0.0, 1.0);
+    double patchy = (t % 20 == 3) ? kNan : signal;
+    ASSERT_TRUE(d.AppendRow(t, {signal, kNan, patchy}).ok());
+  }
+  core::AnomalyDetectorOptions options;
+  core::DetectionResult result = core::DetectAnomalies(d, options);
+  ASSERT_EQ(result.skipped_attributes.size(), 1u);
+  EXPECT_EQ(result.skipped_attributes[0], "garbage");
+  // The clean signal still drives detection despite the NaN columns.
+  EXPECT_FALSE(result.abnormal_rows.empty());
+  tsdata::DiagnosisRegions regions =
+      core::DetectionToRegions(result, d, options);
+  EXPECT_FALSE(regions.abnormal.empty());
+}
+
+TEST(RobustnessTest, StreamingMonitorDropsHostileRows) {
+  tsdata::Schema schema;
+  ASSERT_TRUE(
+      schema.AddAttribute({"v", tsdata::AttributeKind::kNumeric}).ok());
+  core::StreamingMonitor::Options options;
+  options.warmup_rows = 1000;  // no detection; this test is about Append
+  core::StreamingMonitor monitor(schema, options);
+
+  for (double t : {0.0, 1.0, 2.0}) {
+    monitor.Append(t, {1.0});
+    EXPECT_TRUE(monitor.last_append_status().ok());
+  }
+  ASSERT_EQ(monitor.window_size(), 3u);
+
+  monitor.Append(2.0, {9.0});  // duplicate of the newest row
+  EXPECT_FALSE(monitor.last_append_status().ok());
+  monitor.Append(1.5, {9.0});  // late arrival
+  EXPECT_FALSE(monitor.last_append_status().ok());
+  monitor.Append(kNan, {9.0});
+  EXPECT_FALSE(monitor.last_append_status().ok());
+  monitor.Append(std::numeric_limits<double>::infinity(), {9.0});
+
+  EXPECT_EQ(monitor.window_size(), 3u);  // nothing hostile got buffered
+  EXPECT_EQ(monitor.duplicate_rows_dropped(), 1u);
+  EXPECT_EQ(monitor.late_rows_dropped(), 1u);
+  EXPECT_EQ(monitor.non_finite_rows_dropped(), 2u);
+
+  monitor.Append(3.0, {1.0});  // the stream recovers
+  EXPECT_TRUE(monitor.last_append_status().ok());
+  EXPECT_EQ(monitor.window_size(), 4u);
+}
+
+TEST(RobustnessTest, ParallelismInvariantOnCorruptedData) {
+  simulator::DatasetGenOptions gen;
+  gen.normal_duration_sec = 60.0;
+  gen.seed = 21;
+  simulator::GeneratedDataset run = simulator::GenerateAnomalyDataset(
+      gen, simulator::AnomalyKind::kWorkloadSpike, 40.0);
+
+  simulator::FaultInjectorConfig faults;
+  faults.corruption_rate = 0.1;
+  faults.seed = 77;
+  auto faulted = simulator::InjectFaults(run.data, faults);
+  ASSERT_TRUE(faulted.ok());
+  auto repaired = tsdata::RepairDataset(faulted->data);
+  ASSERT_TRUE(repaired.ok());
+
+  core::PredicateGenOptions serial;
+  serial.parallelism = 1;
+  core::PredicateGenOptions wide;
+  wide.parallelism = 4;
+  core::PredicateGenResult a =
+      core::GeneratePredicates(repaired->data, run.regions, serial);
+  core::PredicateGenResult b =
+      core::GeneratePredicates(repaired->data, run.regions, wide);
+
+  ASSERT_EQ(a.predicates.size(), b.predicates.size());
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    EXPECT_EQ(a.predicates[i].predicate.attribute,
+              b.predicates[i].predicate.attribute);
+    EXPECT_EQ(a.predicates[i].predicate.low, b.predicates[i].predicate.low);
+    EXPECT_EQ(a.predicates[i].predicate.high, b.predicates[i].predicate.high);
+    EXPECT_EQ(a.predicates[i].separation_power,
+              b.predicates[i].separation_power);
+  }
+  ASSERT_EQ(a.warnings.size(), b.warnings.size());
+  for (size_t i = 0; i < a.warnings.size(); ++i) {
+    EXPECT_EQ(a.warnings[i].attribute, b.warnings[i].attribute);
+    EXPECT_EQ(a.warnings[i].reason, b.warnings[i].reason);
+    EXPECT_EQ(a.warnings[i].skipped, b.warnings[i].skipped);
+  }
+}
+
+TEST(RobustnessTest, RepairedCorruptedDataStillYieldsRankedDiagnosis) {
+  const std::vector<simulator::AnomalyKind> kinds = {
+      simulator::AnomalyKind::kWorkloadSpike,
+      simulator::AllAnomalyKinds().back(),
+  };
+  core::PredicateGenOptions options;
+
+  // Train clean single-dataset models, one per cause.
+  core::ModelRepository repository;
+  simulator::DatasetGenOptions train_gen;
+  train_gen.normal_duration_sec = 60.0;
+  train_gen.seed = 1001;
+  for (simulator::AnomalyKind kind : kinds) {
+    simulator::GeneratedDataset train =
+        simulator::GenerateAnomalyDataset(train_gen, kind, 50.0);
+    repository.Add(eval::BuildCausalModel(train, train.label, options));
+    ++train_gen.seed;
+  }
+
+  // Diagnose a fresh instance after 10% corruption + repair.
+  simulator::DatasetGenOptions test_gen;
+  test_gen.normal_duration_sec = 60.0;
+  test_gen.seed = 2002;
+  simulator::GeneratedDataset inquiry = simulator::GenerateAnomalyDataset(
+      test_gen, simulator::AnomalyKind::kWorkloadSpike, 50.0);
+  const std::string correct = inquiry.label;
+
+  simulator::FaultInjectorConfig faults;
+  faults.corruption_rate = 0.1;
+  faults.seed = 99;
+  auto faulted = simulator::InjectFaults(inquiry.data, faults);
+  ASSERT_TRUE(faulted.ok());
+  ASSERT_GT(faulted->counts.total(), 0u);
+  auto repaired = tsdata::RepairDataset(faulted->data);
+  ASSERT_TRUE(repaired.ok());
+  inquiry.data = std::move(repaired->data);
+
+  eval::RankingOutcome outcome =
+      eval::RankAgainst(repository, inquiry, correct, options);
+  ASSERT_FALSE(outcome.ranked.empty());
+  EXPECT_GE(outcome.correct_rank, 1u);  // the correct cause survived repair
+}
+
+}  // namespace
+}  // namespace dbsherlock

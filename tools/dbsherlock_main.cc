@@ -29,6 +29,8 @@
 #include "core/explainer.h"
 #include "core/model_io.h"
 #include "simulator/dataset_gen.h"
+#include "simulator/fault_injector.h"
+#include "tsdata/data_quality.h"
 #include "tsdata/dataset_io.h"
 #include "viz/chart.h"
 #include "viz/incident_report.h"
@@ -80,19 +82,79 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
-[[noreturn]] void Die(const common::Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-  std::exit(1);
+/// Exit code for a failed Status: one distinct code per StatusCode so
+/// scripts can branch on the failure class without parsing stderr.
+/// (0 = success, 1 = generic failure, 2 = usage; documented in README.)
+int ExitCodeFor(const common::Status& status) {
+  switch (status.code()) {
+    case common::StatusCode::kOk: return 0;
+    case common::StatusCode::kInvalidArgument: return 3;
+    case common::StatusCode::kNotFound: return 4;
+    case common::StatusCode::kOutOfRange: return 5;
+    case common::StatusCode::kFailedPrecondition: return 6;
+    case common::StatusCode::kIoError: return 7;
+    case common::StatusCode::kParseError: return 8;
+    case common::StatusCode::kInternal: return 9;
+  }
+  return 1;
 }
 
+[[noreturn]] void Die(const common::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(ExitCodeFor(status));
+}
+
+/// Loads --data with the hostile-input flags shared by every data-reading
+/// subcommand: --allow-unsorted ingests out-of-order/duplicate timestamps
+/// instead of rejecting them, --repair runs the data-quality repair
+/// pipeline (implies --allow-unsorted: a corrupted file is exactly what
+/// repair exists for), and --quality-report prints the audit (as JSON with
+/// --quality-report json).
 tsdata::Dataset LoadData(const Args& args) {
   std::string path = args.Get("data");
   if (path.empty()) {
     std::fprintf(stderr, "error: --data <csv> is required\n");
     std::exit(2);
   }
-  auto dataset = tsdata::ReadDatasetFile(path);
+  tsdata::DatasetCsvOptions csv_options;
+  csv_options.allow_unsorted = args.Has("allow-unsorted") || args.Has("repair");
+  auto dataset = tsdata::ReadDatasetFile(path, csv_options);
   if (!dataset.ok()) Die(dataset.status());
+
+  if (args.Has("quality-report")) {
+    auto report = tsdata::AuditDataset(*dataset);
+    if (!report.ok()) Die(report.status());
+    if (args.Get("quality-report") == "json") {
+      std::printf("%s\n", report->ToJson().Dump(2).c_str());
+    } else {
+      std::fputs(report->ToString().c_str(), stdout);
+    }
+  }
+  if (args.Has("repair")) {
+    // The interactive --repair opts into spike masking (the library
+    // default is invariant-restoring only; see QualityOptions): an
+    // operator handing the CLI a corrupted file wants glitches gone, and
+    // a single wild sample left in place would stretch min-max
+    // normalization enough to squash every real predicate below theta.
+    tsdata::QualityOptions quality;
+    quality.max_spike_run = 2;
+    auto repaired = tsdata::RepairDataset(*dataset, quality);
+    if (!repaired.ok()) Die(repaired.status());
+    if (repaired->summary.total_changes() > 0) {
+      std::fprintf(stderr,
+                   "repair: dropped %zu bad-timestamp + %zu duplicate rows, "
+                   "reordered %zu, interpolated %zu cells, masked %zu Inf + "
+                   "%zu spikes, left %zu NaN\n",
+                   repaired->summary.rows_dropped_non_finite_ts,
+                   repaired->summary.rows_dropped_duplicate_ts,
+                   repaired->summary.rows_reordered,
+                   repaired->summary.cells_interpolated,
+                   repaired->summary.cells_masked_inf,
+                   repaired->summary.cells_masked_spike,
+                   repaired->summary.cells_left_nan);
+    }
+    return std::move(repaired->data);
+  }
   return std::move(*dataset);
 }
 
@@ -156,6 +218,21 @@ int CmdSimulate(const Args& args) {
   options.seed = seed;
   simulator::GeneratedDataset run =
       simulator::GenerateAnomalyDataset(options, *found, duration);
+
+  // --inject-faults corrupts the telemetry the way a hostile collector
+  // would, for exercising --repair / --quality-report downstream. The
+  // output may hold duplicate/out-of-order timestamps; reading it back
+  // requires --allow-unsorted (or --repair).
+  if (args.Has("inject-faults")) {
+    simulator::FaultInjectorConfig faults;
+    faults.corruption_rate = args.GetDouble("fault-rate", 0.05);
+    faults.seed = static_cast<uint64_t>(args.GetDouble("fault-seed", 1234.0));
+    auto faulted = simulator::InjectFaults(run.data, faults);
+    if (!faulted.ok()) Die(faulted.status());
+    run.data = std::move(faulted->data);
+    std::printf("%s\n", faulted->counts.ToString().c_str());
+  }
+
   common::Status status = tsdata::WriteDatasetFile(run.data, out_path);
   if (!status.ok()) Die(status);
   const tsdata::TimeRange& truth = run.regions.abnormal.ranges()[0];
@@ -232,6 +309,13 @@ void PrintExplanation(const core::Explanation& explanation) {
         std::printf("   [last fix: %s]", cause.suggested_action.c_str());
       }
       std::printf("\n");
+    }
+  }
+  if (!explanation.warnings.empty()) {
+    std::printf("\nData-quality warnings:\n");
+    for (const auto& warning : explanation.warnings) {
+      std::printf("  %-28s %s\n", warning.attribute.c_str(),
+                  warning.reason.c_str());
     }
   }
 }
@@ -360,6 +444,7 @@ int Usage() {
       "usage: dbsherlock <command> [flags]\n"
       "commands:\n"
       "  simulate  --anomaly <id> [--duration N] [--seed S] [--out f.csv]\n"
+      "            [--inject-faults [--fault-rate R] [--fault-seed S]]\n"
       "  plot      --data f.csv --attribute <name> [--abnormal a:b]\n"
       "            [--svg out.svg]\n"
       "  detect    --data f.csv\n"
@@ -370,7 +455,15 @@ int Usage() {
       "            [--action TEXT]\n"
       "  report    --data f.csv --abnormal a:b [--models m.json]\n"
       "            [--out report.html] [--title TEXT]\n"
-      "  models    --models m.json\n");
+      "  models    --models m.json\n"
+      "data flags (plot/detect/diagnose/teach/report):\n"
+      "  --allow-unsorted  ingest duplicate/out-of-order timestamps\n"
+      "  --repair          run the data-quality repair pipeline after load\n"
+      "                    (implies --allow-unsorted)\n"
+      "  --quality-report [json]  print the data-quality audit\n"
+      "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
+      "  5 out of range, 6 failed precondition, 7 I/O error, 8 parse\n"
+      "  error, 9 internal error\n");
   return 2;
 }
 

@@ -3,12 +3,42 @@
 # perf trajectory is tracked across PRs (compare BENCH_micro.json between
 # commits). Usage:
 #   tools/run_benchmarks.sh [output.json] [extra bench_micro_perf flags...]
+#   tools/run_benchmarks.sh --sanitize
+#   tools/run_benchmarks.sh --robustness [output.json]
+# Modes:
+#   --sanitize    configure a separate build tree with ASan+UBSan
+#                 (DBSHERLOCK_SANITIZE=address+undefined), build, and run
+#                 the full ctest suite under it. No JSON is written; the
+#                 exit status is the verdict.
+#   --robustness  run the hostile-telemetry corruption sweep and write the
+#                 accuracy-vs-corruption curve (default BENCH_robustness.json).
 # Env:
-#   BUILD_DIR  build tree holding bench/bench_micro_perf (default: build)
+#   BUILD_DIR  build tree holding the bench binaries (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  SAN_DIR="${BUILD_DIR}-asan-ubsan"
+  cmake -B "$SAN_DIR" -S . -DDBSHERLOCK_SANITIZE=address+undefined
+  cmake --build "$SAN_DIR" -j
+  ctest --test-dir "$SAN_DIR" --output-on-failure -j
+  echo "sanitizer sweep passed ($SAN_DIR)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--robustness" ]]; then
+  OUT="${2:-BENCH_robustness.json}"
+  BIN="$BUILD_DIR/bench/bench_corruption_robustness"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  "$BIN" --json_out "$OUT"
+  exit 0
+fi
+
 OUT="${1:-BENCH_micro.json}"
 shift || true
 
