@@ -1,0 +1,164 @@
+// Metrics-snapshot harness for run_benchmarks.sh --with-metrics: runs one
+// canonical pipeline pass — automatic detection, model-ranked diagnosis,
+// and a short hostile streaming segment — with tracing on, then emits the
+// process metrics snapshot plus the per-span stage summary. With
+// --merge-into=BENCH_micro.json the two objects are embedded into an
+// existing google-benchmark JSON report (keys "pipeline_metrics" and
+// "stage_summary"), so one artifact carries both the timing rows and the
+// counters behind them; otherwise they are written to --out as a
+// standalone JSON document.
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "common/metrics.h"
+#include "common/random.h"
+#include "common/trace.h"
+#include "core/explainer.h"
+#include "core/streaming_monitor.h"
+#include "eval/experiment.h"
+#include "simulator/dataset_gen.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+common::Result<std::string> ReadFileToString(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return common::Status::IoError("cannot read " + path);
+  }
+  std::string content;
+  char buffer[1 << 14];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    content.append(buffer, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+common::Status WriteStringToFile(const std::string& path,
+                                 const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return common::Status::IoError("cannot write " + path);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return common::Status::OK();
+}
+
+/// One canonical pass over the full pipeline, chosen to touch every
+/// instrumented subsystem: detector, predicate generator, partition-space
+/// cache, model ranking, parallel pool, and the streaming monitor's
+/// hostile-row counters.
+void RunPipeline() {
+  simulator::DatasetGenOptions gen;
+  gen.seed = 42;
+  simulator::GeneratedDataset ds = simulator::GenerateAnomalyDataset(
+      gen, simulator::AnomalyKind::kWorkloadSpike, 60.0);
+
+  core::Explainer::Options explainer_options;
+  core::Explainer sherlock(explainer_options);
+  core::PredicateGenOptions model_options;
+  for (simulator::AnomalyKind kind : simulator::AllAnomalyKinds()) {
+    simulator::DatasetGenOptions model_gen;
+    model_gen.seed = 1000 + static_cast<uint64_t>(kind);
+    simulator::GeneratedDataset model_ds =
+        simulator::GenerateAnomalyDataset(model_gen, kind, 60.0);
+    sherlock.repository().AddUnmerged(eval::BuildCausalModel(
+        model_ds, simulator::AnomalyKindName(kind), model_options));
+  }
+
+  core::DetectionResult detected;
+  core::Explanation automatic = sherlock.DiagnoseAuto(ds.data, &detected);
+  core::Explanation labeled = sherlock.Diagnose(ds.data, ds.regions);
+  std::printf("pipeline: %zu predicates (labeled), %zu causes, "
+              "auto-detected %zu region(s)\n",
+              labeled.predicates.size(), labeled.causes.size(),
+              detected.abnormal.ranges().size());
+
+  // Short streaming segment with hostile rows: a late arrival, a
+  // duplicate, and a non-finite timestamp, so the drop counters in the
+  // snapshot are non-zero by construction.
+  tsdata::Schema schema({{"latency", tsdata::AttributeKind::kNumeric},
+                         {"cpu", tsdata::AttributeKind::kNumeric}});
+  core::StreamingMonitor::Options monitor_options;
+  monitor_options.warmup_rows = 1000;  // no detection: this probes ingest
+  core::StreamingMonitor monitor(schema, monitor_options);
+  common::Pcg32 rng(7);
+  for (int t = 0; t < 120; ++t) {
+    monitor.Append(t, {10.0 + rng.NextGaussian(0.0, 1.5),
+                       40.0 + rng.NextGaussian(0.0, 2.0)});
+  }
+  monitor.Append(50.0, {10.0, 40.0});   // late
+  monitor.Append(119.0, {10.0, 40.0});  // duplicate of the newest row
+  monitor.Append(std::numeric_limits<double>::quiet_NaN(), {10.0, 40.0});
+  std::printf("pipeline: streaming window %zu rows, dropped %zu late + %zu "
+              "duplicate + %zu non-finite\n",
+              monitor.window_size(), monitor.late_rows_dropped(),
+              monitor.duplicate_rows_dropped(),
+              monitor.non_finite_rows_dropped());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  std::string merge_into = flags.String(
+      "merge-into", "",
+      "existing benchmark JSON report to embed the snapshot into");
+  std::string out = flags.String("out", "BENCH_pipeline_metrics.json",
+                                 "standalone output (without --merge-into)");
+  flags.Validate();
+
+  bench::PrintBanner("pipeline_metrics", "DESIGN.md §9",
+                     "metrics + stage-summary snapshot of one pipeline pass");
+
+  common::Tracer::Global().Enable(1 << 18);
+  RunPipeline();
+  common::Tracer::Global().Disable();
+
+  common::JsonValue metrics = common::MetricsRegistry::Global().SnapshotJson();
+  common::JsonValue stages = common::Tracer::Global().SummaryJson();
+
+  if (!merge_into.empty()) {
+    auto text = ReadFileToString(merge_into);
+    if (!text.ok()) {
+      std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    auto report = common::ParseJson(*text);
+    if (!report.ok() || !report->is_object()) {
+      std::fprintf(stderr, "error: %s is not a JSON object report\n",
+                   merge_into.c_str());
+      return 1;
+    }
+    report->as_object()["pipeline_metrics"] = std::move(metrics);
+    report->as_object()["stage_summary"] = std::move(stages);
+    common::Status status = WriteStringToFile(merge_into, report->Dump(2));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("embedded pipeline_metrics + stage_summary into %s\n",
+                merge_into.c_str());
+    return 0;
+  }
+
+  common::JsonValue::Object root;
+  root["pipeline_metrics"] = std::move(metrics);
+  root["stage_summary"] = std::move(stages);
+  common::Status status =
+      WriteStringToFile(out, common::JsonValue(std::move(root)).Dump(2));
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Observability overhead check (DESIGN.md §9): the pipeline keeps its
+// TRACE_SPAN instrumentation compiled in permanently, so the cost of a
+// span while tracing is DISABLED must be negligible. This harness
+// measures (a) the raw per-span disabled cost in a tight loop, (b) the
+// wall time of a full Explainer::Diagnose with tracing off vs on, and
+// (c) the span volume of one diagnosis; from (a) and (c) it bounds the
+// disabled-instrumentation share of a diagnosis and fails loudly when
+// that bound exceeds the 2% budget.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/explainer.h"
+#include "eval/experiment.h"
+#include "simulator/dataset_gen.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+double MedianOf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Median wall time of `reps` calls to fn, in microseconds.
+template <typename Fn>
+double MedianWallUs(int reps, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    double t0 = common::Tracer::NowMicros();
+    fn();
+    times.push_back(common::Tracer::NowMicros() - t0);
+  }
+  return MedianOf(std::move(times));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  int64_t reps = flags.Int("reps", 9, "diagnosis repetitions per mode");
+  int64_t span_iters =
+      flags.Int("span-iters", 2000000, "tight-loop disabled-span iterations");
+  double budget_pct =
+      flags.Double("budget", 2.0, "max tolerated disabled overhead, percent");
+  flags.Validate();
+
+  bench::PrintBanner("trace_overhead", "DESIGN.md §9",
+                     "disabled-tracer overhead bound for one diagnosis");
+
+  // --- (a) raw disabled-span cost ----------------------------------------
+  common::Tracer::Global().Disable();
+  double span_loop_us = MedianWallUs(5, [&] {
+    for (int64_t i = 0; i < span_iters; ++i) {
+      TRACE_SPAN("overhead.probe");
+    }
+  });
+  double ns_per_disabled_span = span_loop_us * 1000.0 /
+                                static_cast<double>(span_iters);
+
+  // --- workload: the canonical diagnosis --------------------------------
+  simulator::DatasetGenOptions gen;
+  gen.seed = 42;
+  simulator::GeneratedDataset ds = simulator::GenerateAnomalyDataset(
+      gen, simulator::AnomalyKind::kWorkloadSpike, 60.0);
+  core::Explainer::Options options;
+  core::Explainer sherlock(options);
+  core::PredicateGenOptions model_options;
+  for (simulator::AnomalyKind kind : simulator::AllAnomalyKinds()) {
+    simulator::DatasetGenOptions model_gen;
+    model_gen.seed = 1000 + static_cast<uint64_t>(kind);
+    simulator::GeneratedDataset model_ds =
+        simulator::GenerateAnomalyDataset(model_gen, kind, 60.0);
+    sherlock.repository().AddUnmerged(eval::BuildCausalModel(
+        model_ds, simulator::AnomalyKindName(kind), model_options));
+  }
+  auto diagnose = [&] {
+    core::Explanation e = sherlock.Diagnose(ds.data, ds.regions);
+    if (e.predicates.empty()) {
+      std::fprintf(stderr, "error: workload produced no predicates\n");
+      std::exit(1);
+    }
+  };
+  diagnose();  // warm up caches and the thread pool
+
+  // --- (b) diagnosis wall time, tracing off vs on ------------------------
+  common::Tracer::Global().Disable();
+  double disabled_us = MedianWallUs(static_cast<int>(reps), diagnose);
+
+  common::Tracer::Global().Enable(1 << 20);
+  size_t before = common::Tracer::Global().events_recorded();
+  double enabled_us = MedianWallUs(static_cast<int>(reps), diagnose);
+  size_t after = common::Tracer::Global().events_recorded();
+  common::Tracer::Global().Disable();
+
+  // --- (c) span volume and the overhead bound ----------------------------
+  double spans_per_diagnose =
+      static_cast<double>(after - before) / static_cast<double>(reps);
+  double disabled_overhead_us = spans_per_diagnose * ns_per_disabled_span /
+                                1000.0;
+  double disabled_overhead_pct = 100.0 * disabled_overhead_us / disabled_us;
+  double enabled_overhead_pct =
+      100.0 * (enabled_us - disabled_us) / disabled_us;
+
+  std::printf("disabled span cost        %8.2f ns/span\n",
+              ns_per_disabled_span);
+  std::printf("spans per diagnosis       %8.0f\n", spans_per_diagnose);
+  std::printf("diagnose, tracing off     %8.0f us (median of %lld)\n",
+              disabled_us, static_cast<long long>(reps));
+  std::printf("diagnose, tracing on      %8.0f us (median of %lld)\n",
+              enabled_us, static_cast<long long>(reps));
+  std::printf("enabled overhead          %8.2f %%  (informational)\n",
+              enabled_overhead_pct);
+  std::printf("disabled overhead bound   %8.4f %%  (budget %.1f %%)\n",
+              disabled_overhead_pct, budget_pct);
+
+  if (disabled_overhead_pct > budget_pct) {
+    std::printf("FAIL: disabled instrumentation exceeds the %.1f%% budget\n",
+                budget_pct);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

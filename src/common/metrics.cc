@@ -1,0 +1,166 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace dbsherlock::common {
+
+LatencyHistogram::LatencyHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  assert(!bounds_.empty());
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  bucket_storage_ =
+      std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  buckets_ = std::span<std::atomic<uint64_t>>(bucket_storage_.get(),
+                                              bounds_.size() + 1);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Record(double value) {
+  // Bucket i holds bounds[i-1] < v <= bounds[i]; NaN goes to overflow.
+  size_t i = std::isnan(value)
+                 ? bounds_.size()
+                 : static_cast<size_t>(std::lower_bound(bounds_.begin(),
+                                                        bounds_.end(),
+                                                        value) -
+                                       bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> bounds = {10.0,   100.0,   1e3, 1e4,
+                                             1e5,    1e6,     1e7};
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.contains(name) || histograms_.contains(name)) return nullptr;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.contains(name) || histograms_.contains(name)) return nullptr;
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(
+    const std::string& name, std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.contains(name) || gauges_.contains(name)) return nullptr;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = DefaultLatencyBoundsUs();
+    it = histograms_
+             .emplace(name, std::make_unique<LatencyHistogram>(
+                                std::move(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+JsonValue MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue::Object counters;
+  for (const auto& [name, c] : counters_) {
+    counters[name] = JsonValue(static_cast<double>(c->value()));
+  }
+  JsonValue::Object gauges;
+  for (const auto& [name, g] : gauges_) {
+    gauges[name] = JsonValue(g->value());
+  }
+  JsonValue::Object histograms;
+  for (const auto& [name, h] : histograms_) {
+    JsonValue::Object entry;
+    entry["count"] = JsonValue(static_cast<double>(h->count()));
+    entry["sum"] = JsonValue(h->sum());
+    entry["mean"] = JsonValue(h->mean());
+    JsonValue::Array buckets;
+    for (size_t i = 0; i < h->num_buckets(); ++i) {
+      JsonValue::Object bucket;
+      bucket["le"] = i < h->upper_bounds().size()
+                         ? JsonValue(h->upper_bounds()[i])
+                         : JsonValue("inf");
+      bucket["count"] = JsonValue(static_cast<double>(h->bucket_count(i)));
+      buckets.push_back(JsonValue(std::move(bucket)));
+    }
+    entry["buckets"] = JsonValue(std::move(buckets));
+    histograms[name] = JsonValue(std::move(entry));
+  }
+  JsonValue::Object root;
+  root["counters"] = JsonValue(std::move(counters));
+  root["gauges"] = JsonValue(std::move(gauges));
+  root["histograms"] = JsonValue(std::move(histograms));
+  return JsonValue(std::move(root));
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += StrFormat("%-48s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += StrFormat("%-48s %g\n", name.c_str(), g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += StrFormat("%-48s count=%llu mean=%.1f\n", name.c_str(),
+                     static_cast<unsigned long long>(h->count()), h->mean());
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+ScopedLatency::ScopedLatency(LatencyHistogram* histogram)
+    : histogram_(histogram) {
+  if (histogram_ != nullptr) start_us_ = Tracer::NowMicros();
+}
+
+ScopedLatency::~ScopedLatency() {
+  if (histogram_ != nullptr) {
+    histogram_->Record(Tracer::NowMicros() - start_us_);
+  }
+}
+
+}  // namespace dbsherlock::common

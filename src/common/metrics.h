@@ -1,0 +1,147 @@
+#ifndef DBSHERLOCK_COMMON_METRICS_H_
+#define DBSHERLOCK_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace dbsherlock::common {
+
+/// Process-wide metrics for the diagnosis pipeline: named monotonic
+/// counters, gauges, and fixed-bucket latency histograms, exportable as a
+/// JSON snapshot (CLI --metrics-out, run_benchmarks.sh --with-metrics).
+/// Unlike the Tracer there is no off switch: every instrument is a relaxed
+/// atomic, cheap enough to stay live permanently.
+///
+/// Naming convention (DESIGN.md §9): `subsystem.metric`, lowercase with
+/// underscores; histograms of durations end in `_us`. Instruments are
+/// created on first GetCounter/GetGauge/GetHistogram and live forever —
+/// call sites cache the returned pointer (function-local static or
+/// member), so steady-state updates never touch the registry lock.
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (window sizes, queue depths).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Atomic add (CAS loop: atomic<double>::fetch_add is not portable
+  /// before GCC 10's full P0020 support, and this is never hot).
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram for latency-like values. Bucket i counts values
+/// v with upper_bounds[i-1] < v <= upper_bounds[i]; one extra overflow
+/// bucket catches everything above the last bound. Bounds are fixed at
+/// construction, so concurrent Record calls only touch atomics.
+class LatencyHistogram {
+ public:
+  /// `upper_bounds` must be strictly increasing and non-empty.
+  explicit LatencyHistogram(std::vector<double> upper_bounds);
+
+  void Record(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// num_buckets() == upper_bounds().size() + 1 (the overflow bucket).
+  size_t num_buckets() const { return buckets_.size(); }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> bucket_storage_;
+  std::span<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket edges for `_us` histograms: decade steps from 10µs to
+/// 10s, covering everything from one predicate check to a full diagnosis.
+const std::vector<double>& DefaultLatencyBoundsUs();
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Never destroyed, like Tracer::Global.
+  static MetricsRegistry& Global();
+
+  /// Finds or creates the named instrument. The pointer is stable for the
+  /// process lifetime. Requesting an existing name with a different
+  /// instrument type returns nullptr rather than aliasing storage.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `upper_bounds` is only used on first creation (empty = the default
+  /// `_us` bounds); later calls return the existing histogram as-is.
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 std::vector<double> upper_bounds = {});
+
+  /// {"counters":{name:value}, "gauges":{name:value},
+  ///  "histograms":{name:{count,sum,mean,buckets:[{le,count}...]}}}.
+  JsonValue SnapshotJson() const;
+  /// Flat `name value` lines, counters then gauges then histogram means.
+  std::string SnapshotText() const;
+
+  /// Zeroes every instrument (tests and benchmark harnesses; instruments
+  /// stay registered and pointers stay valid).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// RAII timer recording its scope's wall time, in microseconds, into a
+/// histogram on destruction. Pass nullptr to make it inert.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(LatencyHistogram* histogram);
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  LatencyHistogram* histogram_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace dbsherlock::common
+
+#endif  // DBSHERLOCK_COMMON_METRICS_H_

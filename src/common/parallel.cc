@@ -6,6 +6,9 @@
 #include <limits>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace dbsherlock::common {
 
 namespace {
@@ -126,20 +129,42 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
     }
   };
 
+  // Per-task observability: how long helper tasks sit in the pool queue
+  // before a worker picks them up (the backpressure signal for future
+  // sharding/batching work) and how long each lane actually runs.
+  static LatencyHistogram* queue_wait =
+      MetricsRegistry::Global().GetHistogram("parallel.task_queue_wait_us");
+  static LatencyHistogram* task_exec =
+      MetricsRegistry::Global().GetHistogram("parallel.task_exec_us");
+  static Counter* submitted =
+      MetricsRegistry::Global().GetCounter("parallel.tasks_submitted");
+  TRACE_SPAN("parallel.for");
+
   ThreadPool& pool = ThreadPool::Global();
   pool.EnsureAtLeast(lanes - 1);
   {
     std::lock_guard<std::mutex> lock(shared.mu);
     shared.pending_helpers = lanes - 1;
   }
+  submitted->Increment(lanes - 1);
   for (size_t h = 0; h + 1 < lanes; ++h) {
-    pool.Submit([&shared, work] {
+    const double submit_us = Tracer::NowMicros();
+    pool.Submit([&shared, work, submit_us] {
+      const double dequeued_us = Tracer::NowMicros();
+      queue_wait->Record(dequeued_us - submit_us);
       work();
+      task_exec->Record(Tracer::NowMicros() - dequeued_us);
       std::lock_guard<std::mutex> lock(shared.mu);
       if (--shared.pending_helpers == 0) shared.done_cv.notify_all();
     });
   }
-  work();  // the calling thread is always a lane
+  {
+    // The calling thread is always a lane (never queued: wait is 0 by
+    // construction, so only its execution time is recorded).
+    const double inline_start_us = Tracer::NowMicros();
+    work();
+    task_exec->Record(Tracer::NowMicros() - inline_start_us);
+  }
   std::unique_lock<std::mutex> lock(shared.mu);
   shared.done_cv.wait(lock, [&shared] { return shared.pending_helpers == 0; });
   if (shared.error) std::rethrow_exception(shared.error);

@@ -1,0 +1,195 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/strings.h"
+
+namespace dbsherlock::common {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point TracerEpoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// Per-thread state for ScopedSpan: a dense thread id (Chrome's viewer
+/// groups rows by tid, so small ids beat hashed std::thread::id values)
+/// and the current nesting depth.
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local uint32_t tls_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // leaked: see header
+  return *tracer;
+}
+
+double Tracer::NowMicros() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   TracerEpoch())
+      .count();
+}
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  ring_.clear();
+  ring_.reserve(capacity_);
+  head_ = 0;
+  recorded_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+void Tracer::Record(const char* label, uint32_t depth, double start_us,
+                    double duration_us) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.label = label;
+  event.thread_id = ThisThreadId();
+  event.depth = depth;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;  // Record before any Enable
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+size_t Tracer::events_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+size_t Tracer::events_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - ring_.size();
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // head_ is the oldest slot once the ring has wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  JsonValue::Array trace_events;
+  trace_events.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    JsonValue::Object obj;
+    obj["name"] = JsonValue(std::string(e.label));
+    obj["ph"] = JsonValue("X");  // complete event: ts + dur
+    obj["ts"] = JsonValue(e.start_us);
+    obj["dur"] = JsonValue(e.duration_us);
+    obj["pid"] = JsonValue(0);
+    obj["tid"] = JsonValue(static_cast<double>(e.thread_id));
+    JsonValue::Object args;
+    args["depth"] = JsonValue(static_cast<double>(e.depth));
+    obj["args"] = JsonValue(std::move(args));
+    trace_events.push_back(JsonValue(std::move(obj)));
+  }
+  JsonValue::Object root;
+  root["traceEvents"] = JsonValue(std::move(trace_events));
+  root["displayTimeUnit"] = JsonValue("ms");
+  return JsonValue(std::move(root)).Dump(1);
+}
+
+namespace {
+
+struct LabelStats {
+  size_t count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+std::map<std::string, LabelStats> AggregateByLabel(
+    const std::vector<TraceEvent>& events) {
+  std::map<std::string, LabelStats> by_label;
+  for (const TraceEvent& e : events) {
+    LabelStats& s = by_label[e.label];
+    ++s.count;
+    s.total_us += e.duration_us;
+    s.max_us = std::max(s.max_us, e.duration_us);
+  }
+  return by_label;
+}
+
+}  // namespace
+
+std::string Tracer::SummaryText() const {
+  std::map<std::string, LabelStats> by_label = AggregateByLabel(Snapshot());
+  std::vector<std::pair<std::string, LabelStats>> rows(by_label.begin(),
+                                                       by_label.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.total_us > b.second.total_us;
+                   });
+  std::string out = StrFormat("%-42s %10s %12s %12s %12s\n", "span", "count",
+                              "total_ms", "mean_us", "max_us");
+  for (const auto& [label, s] : rows) {
+    out += StrFormat("%-42s %10zu %12.3f %12.1f %12.1f\n", label.c_str(),
+                     s.count, s.total_us / 1000.0,
+                     s.total_us / static_cast<double>(s.count), s.max_us);
+  }
+  return out;
+}
+
+JsonValue Tracer::SummaryJson() const {
+  std::map<std::string, LabelStats> by_label = AggregateByLabel(Snapshot());
+  JsonValue::Object root;
+  for (const auto& [label, s] : by_label) {
+    JsonValue::Object row;
+    row["count"] = JsonValue(static_cast<double>(s.count));
+    row["total_us"] = JsonValue(s.total_us);
+    row["mean_us"] = JsonValue(s.total_us / static_cast<double>(s.count));
+    row["max_us"] = JsonValue(s.max_us);
+    root[label] = JsonValue(std::move(row));
+  }
+  return JsonValue(std::move(root));
+}
+
+ScopedSpan::ScopedSpan(const char* label) : label_(nullptr) {
+  if (!Tracer::Global().enabled()) return;  // inert: no clock read, no alloc
+  label_ = label;
+  depth_ = tls_span_depth++;
+  start_us_ = Tracer::NowMicros();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (label_ == nullptr) return;
+  double end_us = Tracer::NowMicros();
+  --tls_span_depth;
+  Tracer::Global().Record(label_, depth_, start_us_, end_us - start_us_);
+}
+
+}  // namespace dbsherlock::common

@@ -1,0 +1,122 @@
+#ifndef DBSHERLOCK_COMMON_TRACE_H_
+#define DBSHERLOCK_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace dbsherlock::common {
+
+/// Low-overhead scoped-span tracing for the diagnosis pipeline. The
+/// process-wide Tracer is OFF by default: a span taken while tracing is
+/// disabled costs one relaxed atomic load and allocates nothing, so the
+/// TRACE_SPAN instrumentation can stay compiled into the hot path
+/// permanently (bench_trace_overhead keeps that claim honest). When
+/// enabled, finished spans land in a fixed-capacity ring buffer — tracing
+/// a long run overwrites the oldest spans rather than growing without
+/// bound — and can be exported as Chrome trace-event JSON (load the file
+/// at chrome://tracing or https://ui.perfetto.dev) or aggregated into a
+/// flat per-label text summary.
+///
+/// Span taxonomy (DESIGN.md §9): labels are `subsystem.stage`, e.g.
+/// `explainer.predicate_generation` or `detect.dbscan`; nesting depth is
+/// tracked per thread and exported so a flame view reconstructs the call
+/// structure.
+
+/// One finished span. Timestamps are microseconds since the tracer
+/// epoch (process start), durations in microseconds.
+struct TraceEvent {
+  const char* label = "";  // must point at a string literal (see ScopedSpan)
+  uint32_t thread_id = 0;  // small dense id, not the OS tid
+  uint32_t depth = 0;      // nesting depth on its thread, 0 = outermost
+  double start_us = 0.0;
+  double duration_us = 0.0;
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer used by TRACE_SPAN. Never destroyed (leaked
+  /// like ThreadPool::Global) so spans on late-exiting threads stay safe.
+  static Tracer& Global();
+
+  /// Microseconds since the tracer epoch on the steady clock.
+  static double NowMicros();
+
+  /// Starts recording into a ring of `capacity` spans. Re-enabling with a
+  /// different capacity resizes and clears the ring.
+  void Enable(size_t capacity = 1 << 16);
+  /// Stops recording; the buffered spans remain exportable.
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Discards all buffered spans (keeps the enabled state and capacity).
+  void Clear();
+
+  /// Appends one finished span (called by ScopedSpan; dropped when
+  /// disabled). `label` must outlive the tracer — pass a string literal.
+  void Record(const char* label, uint32_t depth, double start_us,
+              double duration_us);
+
+  /// Spans accepted since the last Clear/Enable (including any that have
+  /// since been overwritten), and how many were overwritten.
+  size_t events_recorded() const;
+  size_t events_dropped() const;
+
+  /// The buffered spans, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[{"ph":"X",...}, ...]}.
+  std::string ExportChromeJson() const;
+
+  /// Per-label aggregate (count, total, mean, max), descending by total
+  /// time — the quick "where did Diagnose spend its time" view.
+  std::string SummaryText() const;
+  /// The same aggregate as JSON (label -> {count,total_us,mean_us,max_us}),
+  /// for embedding into benchmark result files.
+  JsonValue SummaryJson() const;
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_ = 0;
+  size_t head_ = 0;      // next slot to write
+  size_t recorded_ = 0;  // total accepted since Enable/Clear
+};
+
+/// RAII span: records [construction, destruction) onto the global tracer
+/// under `label`. `label` must be a string literal (it is stored by
+/// pointer; the disabled path must not allocate). When tracing is disabled
+/// at construction the span is inert.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* label);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* label_;  // nullptr when inert
+  double start_us_ = 0.0;
+  uint32_t depth_ = 0;
+};
+
+#define DBSHERLOCK_TRACE_CONCAT_INNER(a, b) a##b
+#define DBSHERLOCK_TRACE_CONCAT(a, b) DBSHERLOCK_TRACE_CONCAT_INNER(a, b)
+
+/// Traces the rest of the enclosing scope as one span. Usage:
+///   TRACE_SPAN("explainer.predicate_generation");
+#define TRACE_SPAN(label)                      \
+  ::dbsherlock::common::ScopedSpan DBSHERLOCK_TRACE_CONCAT( \
+      dbsherlock_trace_span_, __LINE__)(label)
+
+}  // namespace dbsherlock::common
+
+#endif  // DBSHERLOCK_COMMON_TRACE_H_

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace.h"
 #include "core/dbscan.h"
 
 namespace dbsherlock::core {
@@ -23,6 +25,14 @@ double PotentialPower(std::span<const double> normalized_values,
 
 DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
                                 const AnomalyDetectorOptions& options) {
+  TRACE_SPAN("detect.anomalies");
+  static common::Counter* runs =
+      common::MetricsRegistry::Global().GetCounter("detect.runs");
+  static common::LatencyHistogram* latency =
+      common::MetricsRegistry::Global().GetHistogram("detect.run_us");
+  runs->Increment();
+  common::ScopedLatency timer(latency);
+
   DetectionResult result;
   const size_t n = dataset.num_rows();
   if (n == 0) return result;
@@ -35,39 +45,42 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
   // are excluded outright. On all-finite input this path is bit-identical
   // to plain common::MinMaxNormalize.
   std::vector<std::vector<double>> selected_columns;
-  for (size_t attr = 0; attr < dataset.num_attributes(); ++attr) {
-    const tsdata::Column& col = dataset.column(attr);
-    if (col.kind() != tsdata::AttributeKind::kNumeric) continue;
-    std::span<const double> values = col.numeric_values();
-    std::vector<double> finite;
-    finite.reserve(values.size());
-    for (double v : values) {
-      if (std::isfinite(v)) finite.push_back(v);
-    }
-    double quality = values.empty()
-                         ? 1.0
-                         : static_cast<double>(finite.size()) /
-                               static_cast<double>(values.size());
-    if (finite.empty() || (options.min_attribute_quality > 0.0 &&
-                           quality < options.min_attribute_quality)) {
-      result.skipped_attributes.push_back(
-          dataset.schema().attribute(attr).name);
-      continue;
-    }
-    double lo = common::Min(finite);
-    double hi = common::Max(finite);
-    double fill = common::MinMaxNormalize(common::Median(finite), lo, hi);
-    std::vector<double> normalized(values.size());
-    for (size_t i = 0; i < values.size(); ++i) {
-      normalized[i] = std::isfinite(values[i])
-                          ? common::MinMaxNormalize(values[i], lo, hi)
-                          : fill;
-    }
-    if (PotentialPower(normalized, options.window) >
-        options.potential_power_threshold) {
-      result.selected_attributes.push_back(
-          dataset.schema().attribute(attr).name);
-      selected_columns.push_back(std::move(normalized));
+  {
+    TRACE_SPAN("detect.feature_selection");
+    for (size_t attr = 0; attr < dataset.num_attributes(); ++attr) {
+      const tsdata::Column& col = dataset.column(attr);
+      if (col.kind() != tsdata::AttributeKind::kNumeric) continue;
+      std::span<const double> values = col.numeric_values();
+      std::vector<double> finite;
+      finite.reserve(values.size());
+      for (double v : values) {
+        if (std::isfinite(v)) finite.push_back(v);
+      }
+      double quality = values.empty()
+                           ? 1.0
+                           : static_cast<double>(finite.size()) /
+                                 static_cast<double>(values.size());
+      if (finite.empty() || (options.min_attribute_quality > 0.0 &&
+                             quality < options.min_attribute_quality)) {
+        result.skipped_attributes.push_back(
+            dataset.schema().attribute(attr).name);
+        continue;
+      }
+      double lo = common::Min(finite);
+      double hi = common::Max(finite);
+      double fill = common::MinMaxNormalize(common::Median(finite), lo, hi);
+      std::vector<double> normalized(values.size());
+      for (size_t i = 0; i < values.size(); ++i) {
+        normalized[i] = std::isfinite(values[i])
+                            ? common::MinMaxNormalize(values[i], lo, hi)
+                            : fill;
+      }
+      if (PotentialPower(normalized, options.window) >
+          options.potential_power_threshold) {
+        result.selected_attributes.push_back(
+            dataset.schema().attribute(attr).name);
+        selected_columns.push_back(std::move(normalized));
+      }
     }
   }
   if (selected_columns.empty()) return result;
@@ -82,16 +95,25 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
   }
 
   // 3. eps from the k-dist heuristic; cluster.
-  std::vector<double> kdist = KDistances(points, options.min_pts);
+  std::vector<double> kdist;
+  {
+    TRACE_SPAN("detect.kdist_epsilon");
+    kdist = KDistances(points, options.min_pts);
+  }
   double max_kdist = kdist.empty()
                          ? 0.0
                          : *std::max_element(kdist.begin(), kdist.end());
   result.epsilon = max_kdist / options.eps_divisor;
   if (result.epsilon <= 0.0) return result;
-  DbscanResult clusters = Dbscan(points, result.epsilon, options.min_pts);
+  DbscanResult clusters;
+  {
+    TRACE_SPAN("detect.dbscan");
+    clusters = Dbscan(points, result.epsilon, options.min_pts);
+  }
 
   // 4. Rows in clusters smaller than cluster_fraction of the data are the
   // detected anomaly (abnormal regions are assumed comparatively small).
+  TRACE_SPAN("detect.postprocess");  // covers steps 4-6
   std::vector<size_t> sizes = clusters.ClusterSizes();
   double cutoff = options.cluster_fraction * static_cast<double>(n);
   for (size_t row = 0; row < n; ++row) {

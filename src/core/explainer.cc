@@ -1,5 +1,8 @@
 #include "core/explainer.h"
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace dbsherlock::core {
 
 std::string Explanation::PredicatesToString() const {
@@ -21,6 +24,14 @@ std::string Explanation::WarningsToString() const {
 
 Explanation Explainer::Diagnose(const tsdata::Dataset& dataset,
                                 const tsdata::DiagnosisRegions& regions) const {
+  TRACE_SPAN("explainer.diagnose");
+  static common::Counter* diagnoses =
+      common::MetricsRegistry::Global().GetCounter("explainer.diagnoses");
+  static common::LatencyHistogram* latency =
+      common::MetricsRegistry::Global().GetHistogram("explainer.diagnose_us");
+  diagnoses->Increment();
+  common::ScopedLatency timer(latency);
+
   Explanation out;
   PredicateGenResult generated =
       GeneratePredicates(dataset, regions, options_.predicate_options);
@@ -28,11 +39,13 @@ Explanation Explainer::Diagnose(const tsdata::Dataset& dataset,
   out.warnings = std::move(generated.warnings);
 
   if (options_.apply_domain_knowledge && !options_.domain_knowledge.empty()) {
+    TRACE_SPAN("explainer.domain_knowledge_pruning");
     out.predicates = options_.domain_knowledge.PruneSecondarySymptoms(
         dataset, std::move(out.predicates), options_.independence_options);
   }
 
   if (!repository_.empty()) {
+    TRACE_SPAN("explainer.model_matching");
     tsdata::LabeledRows rows = SplitRows(dataset, regions);
     out.causes = repository_.Rank(dataset, rows, options_.predicate_options,
                                   options_.confidence_threshold);
@@ -42,6 +55,7 @@ Explanation Explainer::Diagnose(const tsdata::Dataset& dataset,
 
 Explanation Explainer::DiagnoseAuto(const tsdata::Dataset& dataset,
                                     DetectionResult* detected) const {
+  TRACE_SPAN("explainer.diagnose_auto");
   DetectionResult detection =
       DetectAnomalies(dataset, options_.detector_options);
   if (detected != nullptr) *detected = detection;

@@ -4,7 +4,9 @@
 #include <map>
 #include <span>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 #include "core/partition_cache.h"
 
 namespace dbsherlock::core {
@@ -44,12 +46,20 @@ std::vector<RankedCause> ModelRepository::Rank(
   // ranking (historically one per model per predicate), then models score
   // in parallel against the read-only cache. The best-per-cause fold stays
   // serial in model order, so results match the serial path exactly.
+  TRACE_SPAN("repository.rank");
+  static common::Counter* scored =
+      common::MetricsRegistry::Global().GetCounter("repository.models_scored");
   PartitionSpaceCache cache(dataset, rows, options);
   cache.Prepare(std::span<const CausalModel>(models_));
-  std::vector<double> confidences = common::ParallelMap(
-      models_.size(),
-      [&](size_t i) { return ModelConfidence(models_[i], cache); },
-      options.parallelism);
+  std::vector<double> confidences;
+  {
+    TRACE_SPAN("repository.score_models");
+    confidences = common::ParallelMap(
+        models_.size(),
+        [&](size_t i) { return ModelConfidence(models_[i], cache); },
+        options.parallelism);
+  }
+  scored->Increment(models_.size());
 
   std::map<std::string, std::pair<double, const CausalModel*>> best;
   for (size_t i = 0; i < models_.size(); ++i) {

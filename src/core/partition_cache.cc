@@ -3,9 +3,35 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/trace.h"
 
 namespace dbsherlock::core {
+
+namespace {
+
+/// Cache-wide counters; instruments live in the process registry, so the
+/// pointers are fetched once and shared by every cache instance.
+struct CacheMetrics {
+  common::Counter* hits;
+  common::Counter* misses;
+  common::Counter* entries_built;
+  common::Counter* evictions;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics metrics = [] {
+      common::MetricsRegistry& reg = common::MetricsRegistry::Global();
+      return CacheMetrics{reg.GetCounter("partition_cache.hits"),
+                          reg.GetCounter("partition_cache.misses"),
+                          reg.GetCounter("partition_cache.entries_built"),
+                          reg.GetCounter("partition_cache.evictions")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 std::optional<PartitionSpace> BuildConfidenceSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
@@ -32,7 +58,12 @@ std::optional<PartitionSpace> BuildConfidenceSpace(
   return space;
 }
 
+PartitionSpaceCache::~PartitionSpaceCache() {
+  CacheMetrics::Get().evictions->Increment(spaces_.size());
+}
+
 void PartitionSpaceCache::Prepare(std::span<const CausalModel> models) {
+  TRACE_SPAN("partition_cache.prepare");
   // Distinct resolvable attribute indices, in first-reference order.
   std::vector<size_t> attrs;
   for (const CausalModel& model : models) {
@@ -55,14 +86,22 @@ void PartitionSpaceCache::Prepare(std::span<const CausalModel> models) {
   for (size_t i = 0; i < attrs.size(); ++i) {
     spaces_.emplace(attrs[i], std::move(built[i]));
   }
+  CacheMetrics::Get().entries_built->Increment(attrs.size());
 }
 
 const std::optional<PartitionSpace>* PartitionSpaceCache::Find(
     const std::string& attribute) const {
   auto attr = dataset_.schema().IndexOf(attribute);
-  if (!attr.ok()) return nullptr;
+  if (!attr.ok()) {
+    CacheMetrics::Get().misses->Increment();
+    return nullptr;
+  }
   auto it = spaces_.find(*attr);
-  if (it == spaces_.end()) return nullptr;
+  if (it == spaces_.end()) {
+    CacheMetrics::Get().misses->Increment();
+    return nullptr;
+  }
+  CacheMetrics::Get().hits->Increment();
   return &it->second;
 }
 

@@ -37,6 +37,10 @@ class PartitionSpaceCache {
                       const PredicateGenOptions& options)
       : dataset_(dataset), rows_(rows), options_(options) {}
 
+  /// Counts the discarded entries as `partition_cache.evictions` (this
+  /// cache never evicts mid-inquiry; entries die with the Rank call).
+  ~PartitionSpaceCache();
+
   PartitionSpaceCache(const PartitionSpaceCache&) = delete;
   PartitionSpaceCache& operator=(const PartitionSpaceCache&) = delete;
 

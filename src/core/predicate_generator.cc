@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/parallel.h"
 #include "common/stats.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace dbsherlock::core {
 
@@ -77,12 +79,22 @@ AttributeOutcome DiagnoseAttribute(
 
   if (col.kind() == tsdata::AttributeKind::kNumeric) {
     std::span<const double> values = col.numeric_values();
-    AttributeProfile profile = ProfileAttribute(values, rows);
+    AttributeProfile profile;
+    {
+      TRACE_SPAN("predgen.profile_sweep");
+      profile = ProfileAttribute(values, rows);
+    }
     if (profile.non_finite_count > 0) {
       bool skip = options.min_attribute_quality > 0.0 &&
                   profile.quality() < options.min_attribute_quality;
       out.warning = MakeQualityWarning(spec.name, profile, skip);
-      if (skip) return out;
+      if (skip) {
+        static common::Counter* skipped =
+            common::MetricsRegistry::Global().GetCounter(
+                "predgen.attributes_skipped_quality");
+        skipped->Increment();
+        return out;
+      }
     }
     if (!profile.valid || profile.max <= profile.min) return out;
 
@@ -97,7 +109,10 @@ AttributeOutcome DiagnoseAttribute(
       return out;
     }
 
-    space = BuildFinalPartitionSpace(dataset, rows, attr, options, &profile);
+    {
+      TRACE_SPAN("predgen.partition_space");
+      space = BuildFinalPartitionSpace(dataset, rows, attr, options, &profile);
+    }
     if (!space.has_value()) return out;
     std::optional<AbnormalBlock> block = SingleAbnormalBlock(*space);
     if (!block.has_value()) return out;
@@ -220,6 +235,7 @@ std::optional<PartitionSpace> BuildFinalPartitionSpace(
       BuildLabeledPartitionSpace(dataset, rows, attr_index, options, profile);
   if (!space.has_value() || !space->is_numeric()) return space;
 
+  TRACE_SPAN("predgen.filter_gap_fill");
   if (options.enable_filtering) FilterPartitions(&*space);
   if (options.enable_gap_filling) {
     double anchor;
@@ -264,6 +280,10 @@ double PartitionSeparationPower(const Predicate& predicate,
 PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
                                       const tsdata::DiagnosisRegions& regions,
                                       const PredicateGenOptions& options) {
+  TRACE_SPAN("explainer.predicate_generation");
+  static common::Counter* emitted =
+      common::MetricsRegistry::Global().GetCounter(
+          "predgen.predicates_emitted");
   PredicateGenResult result;
   tsdata::LabeledRows rows = SplitRows(dataset, regions);
   if (rows.abnormal.empty() || rows.normal.empty()) return result;
@@ -290,6 +310,7 @@ PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
                    [](const AttributeDiagnosis& a, const AttributeDiagnosis& b) {
                      return a.separation_power > b.separation_power;
                    });
+  emitted->Increment(result.predicates.size());
   return result;
 }
 

@@ -2,9 +2,42 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace dbsherlock::core {
+
+namespace {
+
+/// Registry-backed monitor accounting: the process-wide totals exported by
+/// --metrics-out. The per-instance counters on the class remain the
+/// per-monitor view (tests and callers compare instances); these are the
+/// aggregate a serving stack scrapes.
+struct MonitorMetrics {
+  common::Counter* rows_appended;
+  common::Counter* rows_dropped_late;
+  common::Counter* rows_dropped_duplicate;
+  common::Counter* rows_dropped_non_finite;
+  common::Counter* detections_run;
+  common::Counter* alerts_raised;
+
+  static const MonitorMetrics& Get() {
+    static const MonitorMetrics metrics = [] {
+      common::MetricsRegistry& reg = common::MetricsRegistry::Global();
+      return MonitorMetrics{
+          reg.GetCounter("streaming_monitor.rows_appended"),
+          reg.GetCounter("streaming_monitor.rows_dropped_late"),
+          reg.GetCounter("streaming_monitor.rows_dropped_duplicate"),
+          reg.GetCounter("streaming_monitor.rows_dropped_non_finite"),
+          reg.GetCounter("streaming_monitor.detections_run"),
+          reg.GetCounter("streaming_monitor.alerts_raised")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 StreamingMonitor::StreamingMonitor(const tsdata::Schema& schema,
                                    Options options)
@@ -28,6 +61,7 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
   // which corrupts the window ordering the detector depends on.
   if (!std::isfinite(timestamp)) {
     ++non_finite_rows_dropped_;
+    MonitorMetrics::Get().rows_dropped_non_finite->Increment();
     last_append_status_ = common::Status::InvalidArgument(
         "dropped row with non-finite timestamp");
     return std::nullopt;
@@ -36,6 +70,7 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
     double last = window_.timestamp(window_.num_rows() - 1);
     if (timestamp == last) {
       ++duplicate_rows_dropped_;
+      MonitorMetrics::Get().rows_dropped_duplicate->Increment();
       last_append_status_ = common::Status::InvalidArgument(
           common::StrFormat("dropped duplicate row at timestamp %g",
                             timestamp));
@@ -43,6 +78,7 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
     }
     if (timestamp < last) {
       ++late_rows_dropped_;
+      MonitorMetrics::Get().rows_dropped_late->Increment();
       last_append_status_ = common::Status::InvalidArgument(
           common::StrFormat("dropped late row: timestamp %g < newest %g",
                             timestamp, last));
@@ -53,6 +89,7 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
   if (!last_append_status_.ok()) return std::nullopt;
   ++rows_seen_;
   ++rows_since_detect_;
+  MonitorMetrics::Get().rows_appended->Increment();
   TrimWindow();
 
   if (rows_seen_ < options_.warmup_rows ||
@@ -61,6 +98,8 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
   }
   rows_since_detect_ = 0;
 
+  TRACE_SPAN("streaming_monitor.detect_and_diagnose");
+  MonitorMetrics::Get().detections_run->Increment();
   DetectionResult detection = DetectAnomalies(window_, options_.detector);
   if (detection.abnormal.empty()) return std::nullopt;
 
@@ -84,6 +123,7 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
       DetectionToRegions(narrowed, window_, options_.detector));
   alerted_until_ = fresh->end;
   alerts_.push_back(alert);
+  MonitorMetrics::Get().alerts_raised->Increment();
   return alert;
 }
 

@@ -70,7 +70,10 @@ class StreamingMonitor {
   /// All alerts raised so far (most recent last).
   const std::vector<Alert>& alerts() const { return alerts_; }
 
-  /// Dropped-row accounting (see Append's hostile-stream contract).
+  /// Dropped-row accounting (see Append's hostile-stream contract). These
+  /// are the per-instance counts; the same events also increment the
+  /// process-wide `streaming_monitor.*` counters in
+  /// `common::MetricsRegistry`, which is what --metrics-out exports.
   size_t late_rows_dropped() const { return late_rows_dropped_; }
   size_t duplicate_rows_dropped() const { return duplicate_rows_dropped_; }
   size_t non_finite_rows_dropped() const { return non_finite_rows_dropped_; }

@@ -37,10 +37,13 @@ size_t IntervalOf(double t, double start, double step, size_t num_intervals) {
   return std::min(i, num_intervals - 1);
 }
 
-/// Aligns one counter stream onto the grid.
+/// Aligns one counter stream onto the grid. `grid_end` is the grid extent
+/// `start + step * num_intervals` (>= the requested end time when that is
+/// not a step multiple); every input layer clips against it so all columns
+/// agree on the last interval's contents.
 std::vector<double> AlignCounter(const RawCounterSeries& series,
                                  double start, double step,
-                                 size_t num_intervals) {
+                                 size_t num_intervals, double grid_end) {
   // Sort a copy by timestamp (raw logs interleave writers).
   std::vector<RawSample> samples = series.samples;
   std::stable_sort(samples.begin(), samples.end(),
@@ -50,16 +53,23 @@ std::vector<double> AlignCounter(const RawCounterSeries& series,
 
   std::vector<std::vector<double>> buckets(num_intervals);
   for (const RawSample& s : samples) {
-    if (s.timestamp < start || s.timestamp >= start + step * static_cast<double>(num_intervals)) {
-      continue;
-    }
+    if (s.timestamp < start || s.timestamp >= grid_end) continue;
     buckets[IntervalOf(s.timestamp, start, step, num_intervals)].push_back(
         s.value);
   }
 
   std::vector<double> out(num_intervals, 0.0);
   double carried = 0.0;
+  // kRate's cumulative baseline. Samples before the window never reach a
+  // bucket, so fold them into the baseline here: the last pre-window
+  // observation is the correct predecessor of the first in-grid sample.
+  // Seeding from samples.front() alone lumped the whole pre-window counter
+  // increase into the first in-grid interval as a spurious rate spike.
   double last_cumulative = samples.empty() ? 0.0 : samples.front().value;
+  for (const RawSample& s : samples) {
+    if (s.timestamp >= start) break;
+    last_cumulative = s.value;
+  }
   bool carried_valid = false;
   for (size_t i = 0; i < num_intervals; ++i) {
     const std::vector<double>& bucket = buckets[i];
@@ -154,28 +164,36 @@ common::Result<Dataset> AlignLogs(
   if (num_intervals == 0) {
     return common::Status::InvalidArgument("empty alignment window");
   }
+  // The grid extent. When `end` is not a step multiple the last interval
+  // extends past it; every layer (counters, query log, states) clips
+  // against this one bound so they agree on that interval's contents.
+  double grid_end = start + step * static_cast<double>(num_intervals);
 
   // --- Counter columns -------------------------------------------------------
   std::vector<std::vector<double>> counter_columns;
   counter_columns.reserve(counters.size());
   for (const RawCounterSeries& c : counters) {
-    counter_columns.push_back(AlignCounter(c, start, step, num_intervals));
+    counter_columns.push_back(
+        AlignCounter(c, start, step, num_intervals, grid_end));
   }
 
   // --- Query-log aggregates ----------------------------------------------
   bool have_queries = !query_log.empty();
   std::vector<std::vector<double>> latencies(num_intervals);
+  // Keyed by the lowercased statement type: the emitted column is named
+  // ToLower(type) + "_count", so "SELECT" and "select" must share one
+  // bucket (raw keys made them collide into a duplicate-attribute error).
   std::map<std::string, std::vector<double>> type_counts;
   if (have_queries) {
     for (const QueryLogEntry& q : query_log) {
-      type_counts.emplace(q.statement_type,
+      type_counts.emplace(common::ToLower(q.statement_type),
                           std::vector<double>(num_intervals, 0.0));
     }
     for (const QueryLogEntry& q : query_log) {
-      if (q.start_time < start || q.start_time >= end) continue;
+      if (q.start_time < start || q.start_time >= grid_end) continue;
       size_t i = IntervalOf(q.start_time, start, step, num_intervals);
       latencies[i].push_back(q.duration_ms);
-      type_counts[q.statement_type][i] += 1.0;
+      type_counts[common::ToLower(q.statement_type)][i] += 1.0;
     }
   }
 
@@ -223,8 +241,9 @@ common::Result<Dataset> AlignLogs(
     DBSHERLOCK_RETURN_NOT_OK(
         schema.AddAttribute({quantile_name, AttributeKind::kNumeric}));
     for (const auto& [type, counts] : type_counts) {
-      DBSHERLOCK_RETURN_NOT_OK(schema.AddAttribute(
-          {common::ToLower(type) + "_count", AttributeKind::kNumeric}));
+      // `type` is already lowercased at ingest (see type_counts above).
+      DBSHERLOCK_RETURN_NOT_OK(
+          schema.AddAttribute({type + "_count", AttributeKind::kNumeric}));
     }
   }
   for (const RawStateSeries& st : states) {
@@ -234,15 +253,26 @@ common::Result<Dataset> AlignLogs(
 
   // --- Emit rows ----------------------------------------------------------
   Dataset dataset(schema);
+  // Latency is a gauge: an idle interval has no observation, so the last
+  // observed aggregate is carried forward (same contract as kMean/kLast
+  // counters; 0 before any traffic). Emitting a hard 0 on idle seconds
+  // manufactured a latency cliff that predicate generation latched onto.
+  // Throughput stays 0 on idle intervals — that one really is a rate.
+  double carried_avg_latency = 0.0;
+  double carried_quantile_latency = 0.0;
   for (size_t i = 0; i < num_intervals; ++i) {
     std::vector<Cell> cells;
     cells.reserve(schema.num_attributes());
     for (const auto& column : counter_columns) cells.emplace_back(column[i]);
     if (have_queries) {
       cells.emplace_back(static_cast<double>(latencies[i].size()) / step);
-      cells.emplace_back(common::Mean(latencies[i]));
-      cells.emplace_back(
-          common::Quantile(latencies[i], options.latency_quantile));
+      if (!latencies[i].empty()) {
+        carried_avg_latency = common::Mean(latencies[i]);
+        carried_quantile_latency =
+            common::Quantile(latencies[i], options.latency_quantile);
+      }
+      cells.emplace_back(carried_avg_latency);
+      cells.emplace_back(carried_quantile_latency);
       for (const auto& [type, counts] : type_counts) {
         cells.emplace_back(counts[i]);
       }

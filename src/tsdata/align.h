@@ -80,8 +80,21 @@ struct AlignmentOptions {
 ///  * one numeric attribute per RawCounterSeries (same name);
 ///  * if `query_log` is non-empty: `throughput_tps`, `avg_latency_ms`,
 ///    `p<Q>_latency_ms`, plus one `<type>_count` numeric attribute per
-///    distinct statement type (types sorted alphabetically);
+///    distinct statement type (types lowercased at ingest — "SELECT" and
+///    "select" are one type — and sorted alphabetically);
 ///  * one categorical attribute per RawStateSeries (same name).
+///
+/// Alignment contract:
+///  * every layer clips samples against the grid extent
+///    `start + interval * ceil((end - start) / interval)`, so when `end`
+///    is not an interval multiple the final (partial) interval holds the
+///    same data in every column;
+///  * the latency aggregates are gauges: intervals with no queries carry
+///    the last observed value forward (0 before any traffic), while
+///    `throughput_tps` and the `<type>_count` columns report a true 0;
+///  * kRate counters fold samples before the window into the cumulative
+///    baseline, so pre-window counter growth never appears as a rate
+///    spike in the first interval.
 ///
 /// Fails on duplicate attribute names, a non-positive interval, or when
 /// no input carries any data.

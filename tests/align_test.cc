@@ -193,6 +193,84 @@ TEST(AlignTest, RejectsBadInputs) {
       AlignLogs({Series("", Aggregation::kSum, {{0, 1}})}, {}, {}).ok());
 }
 
+TEST(AlignTest, RatePreWindowSamplesAdvanceBaseline) {
+  // Counter grows 100 -> 150 before the window opens at t=10. That
+  // pre-window increase must not be billed to the first in-grid interval:
+  // the baseline for the sample at t=10.5 is 150 (the last pre-window
+  // observation), not 100 (the very first sample).
+  AlignmentOptions options;
+  options.start_time = 10.0;
+  options.end_time = 13.0;
+  auto ds = AlignLogs(
+      {Series("c", Aggregation::kRate,
+              {{9.0, 100.0}, {9.5, 150.0}, {10.5, 160.0}, {11.5, 170.0}})},
+      {}, {}, options);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(Value(*ds, "c", 0), 10.0);  // 160 - 150, not 160 - 100
+  EXPECT_DOUBLE_EQ(Value(*ds, "c", 1), 10.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "c", 2), 0.0);
+}
+
+TEST(AlignTest, IdleIntervalsCarryLatencyAggregatesForward) {
+  // Queries in seconds 0 and 3 only. The idle gap must not emit hard-zero
+  // latency cells (a manufactured latency cliff); the last observed
+  // aggregate carries forward, like every other gauge. Throughput and the
+  // per-type counts still report a true 0 for the idle seconds.
+  std::vector<QueryLogEntry> log = {
+      {0.2, 40.0, "SELECT"}, {0.7, 60.0, "SELECT"}, {3.5, 90.0, "SELECT"},
+  };
+  auto ds = AlignLogs({}, log, {});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ(Value(*ds, "avg_latency_ms", 0), 50.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "avg_latency_ms", 1), 50.0);  // carried
+  EXPECT_DOUBLE_EQ(Value(*ds, "avg_latency_ms", 2), 50.0);  // carried
+  EXPECT_DOUBLE_EQ(Value(*ds, "avg_latency_ms", 3), 90.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "p99_latency_ms", 1),
+                   Value(*ds, "p99_latency_ms", 0));  // carried, not 0
+  EXPECT_DOUBLE_EQ(Value(*ds, "throughput_tps", 1), 0.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "select_count", 1), 0.0);
+}
+
+TEST(AlignTest, MixedCaseStatementTypesShareOneColumn) {
+  // Columns are named ToLower(type) + "_count"; keying the counts by the
+  // raw type made "SELECT"/"select" collide into a duplicate-attribute
+  // error. They are one statement type and must share one column.
+  std::vector<QueryLogEntry> log = {
+      {0.2, 10.0, "SELECT"}, {0.6, 10.0, "select"}, {1.3, 10.0, "Select"},
+      {1.7, 10.0, "UPDATE"},
+  };
+  auto ds = AlignLogs({}, log, {});
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_DOUBLE_EQ(Value(*ds, "select_count", 0), 2.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "select_count", 1), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "update_count", 1), 1.0);
+}
+
+TEST(AlignTest, NonAlignedEndClipsAllLayersAtGridExtent) {
+  // end = 2.5 is not a step multiple: the grid rounds up to [0, 3). Both
+  // the counter layer and the query-log layer must include samples in
+  // [2.5, 3.0) — the query loop used to clip at the raw `end` while
+  // counters clipped at the grid extent, so the two layers disagreed on
+  // the last interval's contents.
+  AlignmentOptions options;
+  options.start_time = 0.0;
+  options.end_time = 2.5;
+  std::vector<QueryLogEntry> log = {
+      {0.5, 10.0, "Q"}, {2.7, 30.0, "Q"},
+  };
+  auto ds = AlignLogs(
+      {Series("x", Aggregation::kSum, {{0.5, 1.0}, {2.7, 5.0}})}, log, {},
+      options);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  ASSERT_EQ(ds->num_rows(), 3u);
+  EXPECT_DOUBLE_EQ(Value(*ds, "x", 2), 5.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "throughput_tps", 2), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "q_count", 2), 1.0);
+  EXPECT_DOUBLE_EQ(Value(*ds, "avg_latency_ms", 2), 30.0);
+}
+
 TEST(AlignTest, OutputFeedsDiagnosisDirectly) {
   // End-to-end: build a raw log with a planted anomaly, align it, and
   // check the dataset is diagnosable (timestamps regular, schema sane).

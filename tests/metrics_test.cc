@@ -1,0 +1,178 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.h"
+#include "common/parallel.h"
+
+namespace dbsherlock::common {
+namespace {
+
+TEST(MetricsTest, CounterIncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, CounterIsAtomicUnderParallelFor) {
+  Counter c;
+  constexpr size_t kIterations = 10000;
+  ParallelFor(
+      kIterations, [&](size_t) { c.Increment(); }, 4);
+  EXPECT_EQ(c.value(), kIterations);
+}
+
+TEST(MetricsTest, GaugeSetAddAndConcurrentAdd) {
+  Gauge g;
+  g.Set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.Reset();
+  // Each addend is exactly representable, so the CAS-loop Add must make
+  // the concurrent sum exact, not merely close.
+  ParallelFor(
+      1000, [&](size_t) { g.Add(0.25); }, 4);
+  EXPECT_DOUBLE_EQ(g.value(), 250.0);
+}
+
+TEST(MetricsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  LatencyHistogram h({10.0, 100.0, 1000.0});
+  ASSERT_EQ(h.num_buckets(), 4u);  // 3 bounds + overflow
+  h.Record(5.0);      // <= 10         -> bucket 0
+  h.Record(10.0);     // == first edge -> bucket 0 (inclusive upper bound)
+  h.Record(10.5);     // just above    -> bucket 1
+  h.Record(100.0);    // == edge       -> bucket 1
+  h.Record(1000.0);   // == last edge  -> bucket 2
+  h.Record(1000.01);  // above all     -> overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5.0 + 10.0 + 10.5 + 100.0 + 1000.0 + 1000.01);
+}
+
+TEST(MetricsTest, HistogramRoutesNonFiniteToOverflow) {
+  LatencyHistogram h({10.0});
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  h.Record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+}
+
+TEST(MetricsTest, HistogramMeanAndReset) {
+  LatencyHistogram h({100.0});
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);  // empty: no division by zero
+  h.Record(10.0);
+  h.Record(30.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.GetCounter("metrics_test.stable");
+  Counter* b = reg.GetCounter("metrics_test.stable");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = reg.GetGauge("metrics_test.stable_gauge");
+  Gauge* g2 = reg.GetGauge("metrics_test.stable_gauge");
+  EXPECT_EQ(g1, g2);
+  LatencyHistogram* h1 = reg.GetHistogram("metrics_test.stable_us");
+  LatencyHistogram* h2 = reg.GetHistogram("metrics_test.stable_us", {1.0});
+  EXPECT_EQ(h1, h2);  // later bounds ignored: first creation wins
+  EXPECT_EQ(h1->upper_bounds(), DefaultLatencyBoundsUs());
+}
+
+TEST(MetricsTest, RegistryRejectsCrossTypeNameCollision) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  ASSERT_NE(reg.GetCounter("metrics_test.collision"), nullptr);
+  EXPECT_EQ(reg.GetGauge("metrics_test.collision"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("metrics_test.collision"), nullptr);
+}
+
+TEST(MetricsTest, SnapshotJsonHasAllSectionsAndBucketEdges) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("metrics_test.snap_counter")->Increment(7);
+  reg.GetGauge("metrics_test.snap_gauge")->Set(2.5);
+  LatencyHistogram* h = reg.GetHistogram("metrics_test.snap_us", {10.0, 20.0});
+  h->Record(15.0);
+  h->Record(99.0);
+
+  JsonValue snapshot = reg.SnapshotJson();
+  const JsonValue* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("metrics_test.snap_counter")->as_number(),
+                   7.0);
+  const JsonValue* gauges = snapshot.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("metrics_test.snap_gauge")->as_number(), 2.5);
+  const JsonValue* hist = snapshot.Find("histograms");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue* snap = hist->Find("metrics_test.snap_us");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->Find("count")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(snap->Find("sum")->as_number(), 114.0);
+  const JsonValue* buckets = snap->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->as_array().size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(buckets->as_array()[1].Find("count")->as_number(), 1.0);
+  // Overflow bucket is labeled "inf" so the snapshot stays strict JSON.
+  EXPECT_EQ(buckets->as_array()[2].Find("le")->as_string(), "inf");
+  EXPECT_DOUBLE_EQ(buckets->as_array()[2].Find("count")->as_number(), 1.0);
+
+  // The snapshot must round-trip through the repo's own JSON parser.
+  auto reparsed = ParseJson(snapshot.Dump());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+}
+
+TEST(MetricsTest, SnapshotTextListsInstruments) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("metrics_test.text_counter")->Increment(3);
+  std::string text = reg.SnapshotText();
+  EXPECT_NE(text.find("metrics_test.text_counter"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsPointersValid) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("metrics_test.reset_counter");
+  Gauge* g = reg.GetGauge("metrics_test.reset_gauge");
+  LatencyHistogram* h = reg.GetHistogram("metrics_test.reset_us");
+  c->Increment(5);
+  g->Set(9.0);
+  h->Record(1.0);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+  // Same pointer still registered and usable.
+  EXPECT_EQ(reg.GetCounter("metrics_test.reset_counter"), c);
+  c->Increment();
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST(MetricsTest, ScopedLatencyRecordsOnceAndNullIsInert) {
+  LatencyHistogram h({1e9});
+  {
+    ScopedLatency timer(&h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+  {
+    ScopedLatency inert(nullptr);
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+}  // namespace
+}  // namespace dbsherlock::common

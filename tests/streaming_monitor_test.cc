@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "common/metrics.h"
 #include "common/random.h"
 
 namespace dbsherlock::core {
@@ -100,6 +103,48 @@ TEST(StreamingMonitorTest, BadRowIsIgnored) {
   EXPECT_FALSE(
       monitor.Append(0.0, {1.0, std::string("x")}).has_value());  // kind
   EXPECT_EQ(monitor.rows_seen(), 0u);
+}
+
+TEST(StreamingMonitorTest, DropCountersLandInMetricsSnapshot) {
+  // The per-instance drop accessors mirror into the process-wide
+  // `streaming_monitor.*` registry counters (what --metrics-out exports).
+  // Registry counters are shared by every monitor in this binary, so
+  // compare deltas, not absolute values.
+  common::MetricsRegistry& reg = common::MetricsRegistry::Global();
+  uint64_t late0 =
+      reg.GetCounter("streaming_monitor.rows_dropped_late")->value();
+  uint64_t dup0 =
+      reg.GetCounter("streaming_monitor.rows_dropped_duplicate")->value();
+  uint64_t nan0 =
+      reg.GetCounter("streaming_monitor.rows_dropped_non_finite")->value();
+
+  StreamingMonitor monitor(MonitorSchema(), {});
+  EXPECT_FALSE(monitor.Append(10.0, {1.0, 1.0}).has_value());
+  monitor.Append(5.0, {1.0, 1.0});    // late
+  monitor.Append(10.0, {1.0, 1.0});   // duplicate of the newest timestamp
+  monitor.Append(std::numeric_limits<double>::quiet_NaN(), {1.0, 1.0});
+  monitor.Append(std::numeric_limits<double>::infinity(), {1.0, 1.0});
+  EXPECT_EQ(monitor.late_rows_dropped(), 1u);
+  EXPECT_EQ(monitor.duplicate_rows_dropped(), 1u);
+  EXPECT_EQ(monitor.non_finite_rows_dropped(), 2u);
+
+  EXPECT_EQ(reg.GetCounter("streaming_monitor.rows_dropped_late")->value(),
+            late0 + 1);
+  EXPECT_EQ(
+      reg.GetCounter("streaming_monitor.rows_dropped_duplicate")->value(),
+      dup0 + 1);
+  EXPECT_EQ(
+      reg.GetCounter("streaming_monitor.rows_dropped_non_finite")->value(),
+      nan0 + 2);
+
+  // And the snapshot JSON carries them under "counters".
+  common::JsonValue snapshot = reg.SnapshotJson();
+  const common::JsonValue* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("streaming_monitor.rows_dropped_late"), nullptr);
+  EXPECT_GE(
+      counters->Find("streaming_monitor.rows_dropped_late")->as_number(),
+      1.0);
 }
 
 TEST(StreamingMonitorTest, PreloadedModelsNameTheCause) {

@@ -1,0 +1,180 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/json.h"
+#include "common/parallel.h"
+
+namespace dbsherlock::common {
+namespace {
+
+/// Global allocation counter for the disabled-mode zero-allocation test.
+/// Counts every operator-new in the binary; the test compares deltas
+/// around a tight region, so unrelated allocations elsewhere don't matter.
+std::atomic<uint64_t> g_allocations{0};
+
+}  // namespace
+}  // namespace dbsherlock::common
+
+void* operator new(std::size_t size) {
+  dbsherlock::common::g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace dbsherlock::common {
+namespace {
+
+/// Every test starts from a disabled, empty tracer and leaves it that way
+/// (the tracer is process-global; leaking an enabled state would slow and
+/// pollute sibling tests).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().Disable();
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  {
+    TRACE_SPAN("should.not.appear");
+    TRACE_SPAN("nor.this");
+  }
+  EXPECT_EQ(Tracer::Global().events_recorded(), 0u);
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, DisabledSpanAllocatesNothing) {
+  // The whole point of leaving TRACE_SPAN compiled into the hot path: a
+  // span taken while tracing is off must not allocate (and, per
+  // bench_trace_overhead, costs ~an atomic load).
+  uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    TRACE_SPAN("disabled.span");
+  }
+  uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST_F(TraceTest, RecordsNestedSpansWithDepths) {
+  Tracer::Global().Enable(128);
+  {
+    TRACE_SPAN("outer");
+    {
+      TRACE_SPAN("inner");
+    }
+  }
+  Tracer::Global().Disable();
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: inner finishes first.
+  EXPECT_STREQ(events[0].label, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].label, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The inner span nests inside the outer one in time.
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].duration_us, events[1].duration_us);
+}
+
+TEST_F(TraceTest, RingOverwritesOldestAndCountsDrops) {
+  Tracer::Global().Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    TRACE_SPAN("span");
+  }
+  EXPECT_EQ(Tracer::Global().events_recorded(), 10u);
+  EXPECT_EQ(Tracer::Global().events_dropped(), 6u);
+  std::vector<TraceEvent> events = Tracer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first ordering survives the wrap.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_us, events[i - 1].start_us);
+  }
+}
+
+TEST_F(TraceTest, ChromeExportIsValidJsonWithAllFields) {
+  Tracer::Global().Enable(64);
+  {
+    TRACE_SPAN("pipeline.stage_a");
+    TRACE_SPAN("pipeline.stage_b");
+  }
+  Tracer::Global().Disable();
+  auto parsed = ParseJson(Tracer::Global().ExportChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(), 2u);
+  for (const JsonValue& e : events->as_array()) {
+    EXPECT_TRUE(e.Find("name")->is_string());
+    EXPECT_EQ(e.Find("ph")->as_string(), "X");
+    EXPECT_TRUE(e.Find("ts")->is_number());
+    EXPECT_TRUE(e.Find("dur")->is_number());
+    EXPECT_TRUE(e.Find("tid")->is_number());
+    EXPECT_GE(e.Find("dur")->as_number(), 0.0);
+  }
+}
+
+TEST_F(TraceTest, SummaryAggregatesByLabel) {
+  Tracer::Global().Enable(64);
+  for (int i = 0; i < 3; ++i) {
+    TRACE_SPAN("repeated.stage");
+  }
+  {
+    TRACE_SPAN("single.stage");
+  }
+  Tracer::Global().Disable();
+  JsonValue summary = Tracer::Global().SummaryJson();
+  const JsonValue* repeated = summary.Find("repeated.stage");
+  ASSERT_NE(repeated, nullptr);
+  EXPECT_DOUBLE_EQ(repeated->Find("count")->as_number(), 3.0);
+  EXPECT_GE(repeated->Find("total_us")->as_number(),
+            repeated->Find("max_us")->as_number());
+  std::string text = Tracer::Global().SummaryText();
+  EXPECT_NE(text.find("repeated.stage"), std::string::npos);
+  EXPECT_NE(text.find("single.stage"), std::string::npos);
+}
+
+TEST_F(TraceTest, ConcurrentSpansFromParallelForAllLand) {
+  Tracer::Global().Enable(4096);
+  constexpr size_t kSpans = 512;
+  ParallelFor(
+      kSpans,
+      [](size_t) {
+        TRACE_SPAN("parallel.worker_span");
+      },
+      4);
+  Tracer::Global().Disable();
+  // ParallelFor itself records a "parallel.for" span, so count by label.
+  size_t worker_spans = 0;
+  for (const TraceEvent& e : Tracer::Global().Snapshot()) {
+    if (std::string(e.label) == "parallel.worker_span") ++worker_spans;
+  }
+  EXPECT_EQ(worker_spans, kSpans);
+}
+
+TEST_F(TraceTest, ReenableClearsPreviousRun) {
+  Tracer::Global().Enable(16);
+  {
+    TRACE_SPAN("first.run");
+  }
+  Tracer::Global().Enable(16);
+  EXPECT_EQ(Tracer::Global().events_recorded(), 0u);
+  EXPECT_TRUE(Tracer::Global().Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace dbsherlock::common

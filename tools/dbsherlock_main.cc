@@ -25,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/explainer.h"
 #include "core/model_io.h"
 #include "simulator/dataset_gen.h"
@@ -438,6 +440,90 @@ int CmdModels(const Args& args) {
   return 0;
 }
 
+common::Status WriteTextFile(const std::string& path,
+                             const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return common::Status::IoError("cannot write " + path);
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return common::Status::OK();
+}
+
+/// Pre-registers the pipeline's well-known counters so a metrics snapshot
+/// always carries the full taxonomy: a 0 means "never happened" while an
+/// absent key would be ambiguous with "not instrumented" — and subsystems
+/// this command never touched (e.g. the streaming monitor during a batch
+/// diagnose) still show up for scripts diffing snapshots across runs.
+void PreRegisterPipelineMetrics() {
+  static const char* const kCounters[] = {
+      "explainer.diagnoses",
+      "detect.runs",
+      "predgen.predicates_emitted",
+      "predgen.attributes_skipped_quality",
+      "repository.models_scored",
+      "parallel.tasks_submitted",
+      "partition_cache.hits",
+      "partition_cache.misses",
+      "partition_cache.entries_built",
+      "partition_cache.evictions",
+      "streaming_monitor.rows_appended",
+      "streaming_monitor.rows_dropped_late",
+      "streaming_monitor.rows_dropped_duplicate",
+      "streaming_monitor.rows_dropped_non_finite",
+      "streaming_monitor.detections_run",
+      "streaming_monitor.alerts_raised",
+  };
+  for (const char* name : kCounters) {
+    common::MetricsRegistry::Global().GetCounter(name);
+  }
+}
+
+/// Observability flags, accepted by every subcommand (DESIGN.md §9):
+///   --trace-out f.json   record spans for the whole run, write a
+///                        chrome://tracing file (plus a per-span summary
+///                        table on stderr)
+///   --metrics-out f.json write the process metrics snapshot as JSON
+///   --print-metrics      print the flat metrics snapshot to stderr
+/// Reports are written after the command finishes, win or lose, so a
+/// failing diagnosis still leaves its trace behind.
+int EmitObservability(const Args& args, int command_rc) {
+  int rc = command_rc;
+  if (args.Has("trace-out")) {
+    common::Tracer& tracer = common::Tracer::Global();
+    tracer.Disable();
+    common::Status status =
+        WriteTextFile(args.Get("trace-out"), tracer.ExportChromeJson());
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      if (rc == 0) rc = ExitCodeFor(status);
+    } else {
+      std::fprintf(stderr, "trace: %zu span(s) -> %s (%zu dropped)\n",
+                   tracer.events_recorded() - tracer.events_dropped(),
+                   args.Get("trace-out").c_str(), tracer.events_dropped());
+      std::fputs(tracer.SummaryText().c_str(), stderr);
+    }
+  }
+  if (args.Has("metrics-out")) {
+    common::Status status =
+        WriteTextFile(args.Get("metrics-out"),
+                      common::MetricsRegistry::Global().SnapshotJson().Dump(2));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      if (rc == 0) rc = ExitCodeFor(status);
+    } else {
+      std::fprintf(stderr, "metrics: snapshot -> %s\n",
+                   args.Get("metrics-out").c_str());
+    }
+  }
+  if (args.Has("print-metrics")) {
+    std::fputs(common::MetricsRegistry::Global().SnapshotText().c_str(),
+               stderr);
+  }
+  return rc;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -461,6 +547,12 @@ int Usage() {
       "  --repair          run the data-quality repair pipeline after load\n"
       "                    (implies --allow-unsorted)\n"
       "  --quality-report [json]  print the data-quality audit\n"
+      "observability flags (all commands):\n"
+      "  --trace-out f.json    record pipeline spans, write a\n"
+      "                        chrome://tracing file + summary on stderr\n"
+      "  --metrics-out f.json  write the metrics snapshot (counters,\n"
+      "                        gauges, latency histograms) as JSON\n"
+      "  --print-metrics       print the flat metrics snapshot to stderr\n"
       "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
       "  5 out of range, 6 failed precondition, 7 I/O error, 8 parse\n"
       "  error, 9 internal error\n");
@@ -473,12 +565,20 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   Args args(argc, argv, 2);
-  if (command == "simulate") return CmdSimulate(args);
-  if (command == "plot") return CmdPlot(args);
-  if (command == "detect") return CmdDetect(args);
-  if (command == "diagnose") return CmdDiagnose(args);
-  if (command == "teach") return CmdTeach(args);
-  if (command == "report") return CmdReport(args);
-  if (command == "models") return CmdModels(args);
-  return Usage();
+  // Tracing must be live before the command runs; it is torn down (and the
+  // files are written) in EmitObservability.
+  if (args.Has("trace-out")) dbsherlock::common::Tracer::Global().Enable();
+  if (args.Has("metrics-out") || args.Has("print-metrics")) {
+    PreRegisterPipelineMetrics();
+  }
+  int rc;
+  if (command == "simulate") rc = CmdSimulate(args);
+  else if (command == "plot") rc = CmdPlot(args);
+  else if (command == "detect") rc = CmdDetect(args);
+  else if (command == "diagnose") rc = CmdDiagnose(args);
+  else if (command == "teach") rc = CmdTeach(args);
+  else if (command == "report") rc = CmdReport(args);
+  else if (command == "models") rc = CmdModels(args);
+  else return Usage();
+  return EmitObservability(args, rc);
 }

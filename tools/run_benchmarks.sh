@@ -3,15 +3,23 @@
 # perf trajectory is tracked across PRs (compare BENCH_micro.json between
 # commits). Usage:
 #   tools/run_benchmarks.sh [output.json] [extra bench_micro_perf flags...]
+#   tools/run_benchmarks.sh --with-metrics [output.json] [extra flags...]
 #   tools/run_benchmarks.sh --sanitize
 #   tools/run_benchmarks.sh --robustness [output.json]
+#   tools/run_benchmarks.sh --trace-overhead
 # Modes:
+#   --with-metrics  run the microbenchmarks, then run one instrumented
+#                 pipeline pass (bench_pipeline_metrics) and embed its
+#                 metrics snapshot + per-span stage summary into the same
+#                 JSON report (keys "pipeline_metrics", "stage_summary").
 #   --sanitize    configure a separate build tree with ASan+UBSan
 #                 (DBSHERLOCK_SANITIZE=address+undefined), build, and run
 #                 the full ctest suite under it. No JSON is written; the
 #                 exit status is the verdict.
 #   --robustness  run the hostile-telemetry corruption sweep and write the
 #                 accuracy-vs-corruption curve (default BENCH_robustness.json).
+#   --trace-overhead  verify the disabled-tracer overhead bound (<2% of a
+#                 diagnosis); the exit status is the verdict.
 # Env:
 #   BUILD_DIR  build tree holding the bench binaries (default: build)
 set -euo pipefail
@@ -39,6 +47,22 @@ if [[ "${1:-}" == "--robustness" ]]; then
   exit 0
 fi
 
+if [[ "${1:-}" == "--trace-overhead" ]]; then
+  BIN="$BUILD_DIR/bench/bench_trace_overhead"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  "$BIN"
+  exit 0
+fi
+
+WITH_METRICS=0
+if [[ "${1:-}" == "--with-metrics" ]]; then
+  WITH_METRICS=1
+  shift || true
+fi
+
 OUT="${1:-BENCH_micro.json}"
 shift || true
 
@@ -50,3 +74,13 @@ fi
 
 "$BIN" --benchmark_format=json "$@" > "$OUT"
 echo "wrote $OUT"
+
+if [[ "$WITH_METRICS" == 1 ]]; then
+  MBIN="$BUILD_DIR/bench/bench_pipeline_metrics"
+  if [[ ! -x "$MBIN" ]]; then
+    echo "error: $MBIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  "$MBIN" --merge-into "$OUT"
+  echo "attached metrics snapshot to $OUT"
+fi
