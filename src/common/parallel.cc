@@ -76,10 +76,17 @@ ThreadPool& ThreadPool::Global() {
 
 bool ThreadPool::OnWorkerThread() { return tls_on_pool_worker; }
 
-void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
-                 size_t parallelism) {
+ParallelRunner::ParallelRunner(size_t parallelism)
+    : lanes_(EffectiveParallelism(parallelism)) {
+  // Grow the pool once, up front: Run() then never spawns a thread, which
+  // keeps a daemon's steady-state hot path free of thread creation.
+  if (lanes_ > 1) ThreadPool::Global().EnsureAtLeast(lanes_ - 1);
+}
+
+void ParallelRunner::Run(size_t n,
+                         const std::function<void(size_t)>& fn) const {
   if (n == 0) return;
-  size_t lanes = std::min(EffectiveParallelism(parallelism), n);
+  size_t lanes = std::min(lanes_, n);
   // Serial path: explicit request, trivial range, or already inside a pool
   // worker (running nested work inline avoids pool-saturation deadlock).
   if (lanes <= 1 || ThreadPool::OnWorkerThread()) {
@@ -140,8 +147,8 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
       MetricsRegistry::Global().GetCounter("parallel.tasks_submitted");
   TRACE_SPAN("parallel.for");
 
+  // Workers were provisioned in the constructor; no growth here.
   ThreadPool& pool = ThreadPool::Global();
-  pool.EnsureAtLeast(lanes - 1);
   {
     std::lock_guard<std::mutex> lock(shared.mu);
     shared.pending_helpers = lanes - 1;
@@ -168,6 +175,11 @@ void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   std::unique_lock<std::mutex> lock(shared.mu);
   shared.done_cv.wait(lock, [&shared] { return shared.pending_helpers == 0; });
   if (shared.error) std::rethrow_exception(shared.error);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                 size_t parallelism) {
+  ParallelRunner(parallelism).Run(n, fn);
 }
 
 }  // namespace dbsherlock::common

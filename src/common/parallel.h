@@ -57,16 +57,37 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Runs fn(0) .. fn(n-1), fanning the index range out over `parallelism`
-/// lanes (0 = hardware_concurrency, 1 = plain serial loop). The calling
-/// thread always participates, so forward progress never depends on pool
-/// capacity. Blocks until every index has run. Distinct indices may touch
-/// shared state only through distinct slots (write fn results into
-/// per-index storage; see ParallelMap).
-///
-/// If any fn(i) throws, remaining unclaimed work is abandoned and the
-/// recorded exception with the lowest index is rethrown here, so the error
-/// surfaced does not depend on thread scheduling.
+/// A reusable, long-lived parallel-execution handle. Constructing one
+/// resolves the requested parallelism and grows the process-wide pool to
+/// that size once; every Run() after that schedules onto the already-warm
+/// workers, so a steady-state caller (e.g. the dbsherlockd append path)
+/// performs zero thread creation and zero pool-growth locking per call.
+/// ParallelFor/ParallelMap below are thin wrappers over a transient
+/// runner, so both entry points share one fan-out implementation.
+class ParallelRunner {
+ public:
+  /// `parallelism`: 0 = one lane per hardware thread, 1 = always serial.
+  explicit ParallelRunner(size_t parallelism = 0);
+
+  /// Lanes this runner fans out over (>= 1).
+  size_t lanes() const { return lanes_; }
+
+  /// Runs fn(0) .. fn(n-1) over min(lanes(), n) lanes. The calling thread
+  /// always participates, so forward progress never depends on pool
+  /// capacity. Blocks until every index has run. Distinct indices may
+  /// touch shared state only through distinct slots (write fn results
+  /// into per-index storage; see ParallelMap).
+  ///
+  /// If any fn(i) throws, remaining unclaimed work is abandoned and the
+  /// recorded exception with the lowest index is rethrown here, so the
+  /// error surfaced does not depend on thread scheduling.
+  void Run(size_t n, const std::function<void(size_t)>& fn) const;
+
+ private:
+  size_t lanes_;
+};
+
+/// One-shot convenience over ParallelRunner (see Run for the contract).
 void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                  size_t parallelism = 0);
 

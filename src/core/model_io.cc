@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -96,9 +97,13 @@ common::Result<Predicate> PredicateFromJson(const JsonValue& json) {
       if (!high.ok()) return high.status();
       pred.low = *low;
       pred.high = *high;
-      if (pred.high < pred.low) {
+      // NaN bounds (never produced by a save, but reachable through
+      // overflowing literals like 1e999 minus mutation) would make this
+      // predicate silently unsatisfiable; treat as corruption.
+      if (std::isnan(pred.low) || std::isnan(pred.high) ||
+          pred.high < pred.low) {
         return common::Status::ParseError(
-            "range predicate with high < low: " + pred.attribute);
+            "range predicate with invalid bounds: " + pred.attribute);
       }
       break;
     }
@@ -146,10 +151,15 @@ common::Result<CausalModel> CausalModelFromJson(const JsonValue& json) {
     return common::Status::ParseError("causal model with empty cause");
   }
 
+  // Hostile-input note: a bit-flipped file can carry any double here, and
+  // double->int casts outside int's range are UB — clamp in double space
+  // before converting (the count only feeds merge bookkeeping, so
+  // saturating is fine).
   auto num_sources = json.GetNumber("num_sources");
-  model.num_sources =
-      num_sources.ok() ? static_cast<int>(*num_sources) : 1;
-  if (model.num_sources < 1) model.num_sources = 1;
+  double sources = num_sources.ok() ? *num_sources : 1.0;
+  if (!std::isfinite(sources) || sources < 1.0) sources = 1.0;
+  if (sources > 1e9) sources = 1e9;
+  model.num_sources = static_cast<int>(sources);
 
   const JsonValue* action = json.Find("suggested_action");
   if (action != nullptr && action->is_string()) {
@@ -178,11 +188,14 @@ JsonValue RepositoryToJson(const ModelRepository& repository) {
 }
 
 common::Result<ModelRepository> RepositoryFromJson(const JsonValue& json) {
+  // Compare in double space: casting an arbitrary (possibly huge or
+  // non-integral) version number to int first would be UB on hostile
+  // files; the format check itself needs no integer conversion.
   auto version = json.GetNumber("version");
   if (!version.ok()) return version.status();
-  if (static_cast<int>(*version) != kFormatVersion) {
+  if (*version != static_cast<double>(kFormatVersion)) {
     return common::Status::ParseError(common::StrFormat(
-        "unsupported model file version %d", static_cast<int>(*version)));
+        "unsupported model file version %g", *version));
   }
   auto models = json.GetArray("models");
   if (!models.ok()) return models.status();

@@ -37,13 +37,34 @@ struct MonitorMetrics {
   }
 };
 
+/// Increments an aggregate counter and, when present, its per-instance
+/// labeled mirror (two disjoint registry namespaces; see Options).
+void Bump(common::Counter* aggregate, common::Counter* instance) {
+  aggregate->Increment();
+  if (instance != nullptr) instance->Increment();
+}
+
 }  // namespace
 
 StreamingMonitor::StreamingMonitor(const tsdata::Schema& schema,
                                    Options options)
     : options_(std::move(options)),
       window_(schema),
-      explainer_(options_.explainer) {}
+      explainer_(options_.explainer) {
+  if (!options_.metric_label.empty()) {
+    common::MetricsRegistry& reg = common::MetricsRegistry::Global();
+    const std::string prefix =
+        "streaming_monitor.instance." + options_.metric_label + ".";
+    instance_.rows_appended = reg.GetCounter(prefix + "rows_appended");
+    instance_.rows_dropped_late = reg.GetCounter(prefix + "rows_dropped_late");
+    instance_.rows_dropped_duplicate =
+        reg.GetCounter(prefix + "rows_dropped_duplicate");
+    instance_.rows_dropped_non_finite =
+        reg.GetCounter(prefix + "rows_dropped_non_finite");
+    instance_.detections_run = reg.GetCounter(prefix + "detections_run");
+    instance_.alerts_raised = reg.GetCounter(prefix + "alerts_raised");
+  }
+}
 
 void StreamingMonitor::TrimWindow() {
   // Hysteresis: trimming copies the window, so let it overshoot by a chunk
@@ -61,7 +82,8 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
   // which corrupts the window ordering the detector depends on.
   if (!std::isfinite(timestamp)) {
     ++non_finite_rows_dropped_;
-    MonitorMetrics::Get().rows_dropped_non_finite->Increment();
+    Bump(MonitorMetrics::Get().rows_dropped_non_finite,
+         instance_.rows_dropped_non_finite);
     last_append_status_ = common::Status::InvalidArgument(
         "dropped row with non-finite timestamp");
     return std::nullopt;
@@ -70,7 +92,8 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
     double last = window_.timestamp(window_.num_rows() - 1);
     if (timestamp == last) {
       ++duplicate_rows_dropped_;
-      MonitorMetrics::Get().rows_dropped_duplicate->Increment();
+      Bump(MonitorMetrics::Get().rows_dropped_duplicate,
+           instance_.rows_dropped_duplicate);
       last_append_status_ = common::Status::InvalidArgument(
           common::StrFormat("dropped duplicate row at timestamp %g",
                             timestamp));
@@ -78,7 +101,8 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
     }
     if (timestamp < last) {
       ++late_rows_dropped_;
-      MonitorMetrics::Get().rows_dropped_late->Increment();
+      Bump(MonitorMetrics::Get().rows_dropped_late,
+           instance_.rows_dropped_late);
       last_append_status_ = common::Status::InvalidArgument(
           common::StrFormat("dropped late row: timestamp %g < newest %g",
                             timestamp, last));
@@ -89,7 +113,7 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
   if (!last_append_status_.ok()) return std::nullopt;
   ++rows_seen_;
   ++rows_since_detect_;
-  MonitorMetrics::Get().rows_appended->Increment();
+  Bump(MonitorMetrics::Get().rows_appended, instance_.rows_appended);
   TrimWindow();
 
   if (rows_seen_ < options_.warmup_rows ||
@@ -99,7 +123,7 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
   rows_since_detect_ = 0;
 
   TRACE_SPAN("streaming_monitor.detect_and_diagnose");
-  MonitorMetrics::Get().detections_run->Increment();
+  Bump(MonitorMetrics::Get().detections_run, instance_.detections_run);
   DetectionResult detection = DetectAnomalies(window_, options_.detector);
   if (detection.abnormal.empty()) return std::nullopt;
 
@@ -116,14 +140,16 @@ std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(
   Alert alert;
   alert.region = *fresh;
   alert.raised_at = timestamp;
-  DetectionResult narrowed = detection;
-  narrowed.abnormal = tsdata::RegionSpec({*fresh});
-  alert.explanation = explainer_.Diagnose(
-      window_,
-      DetectionToRegions(narrowed, window_, options_.detector));
+  if (options_.diagnose_inline) {
+    DetectionResult narrowed = detection;
+    narrowed.abnormal = tsdata::RegionSpec({*fresh});
+    alert.explanation = explainer_.Diagnose(
+        window_,
+        DetectionToRegions(narrowed, window_, options_.detector));
+  }
   alerted_until_ = fresh->end;
   alerts_.push_back(alert);
-  MonitorMetrics::Get().alerts_raised->Increment();
+  Bump(MonitorMetrics::Get().alerts_raised, instance_.alerts_raised);
   return alert;
 }
 

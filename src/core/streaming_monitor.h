@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "core/anomaly_detector.h"
 #include "core/explainer.h"
@@ -34,6 +35,20 @@ class StreamingMonitor {
     /// Diagnosis configuration for alerts (causal models may be preloaded
     /// into the monitor's explainer).
     Explainer::Options explainer;
+    /// When false, Append stops after detection: the alert still carries
+    /// the region (and raised_at) but its explanation stays empty, for
+    /// callers that run diagnosis out-of-band on their own worker pool —
+    /// the service's background diagnosis loop snapshots the window and
+    /// diagnoses there instead of blocking the ingest thread.
+    bool diagnose_inline = true;
+    /// Optional per-instance metrics label. The process-wide
+    /// `streaming_monitor.*` counters are always the sum over every
+    /// monitor in the process (sum-safe: each event is counted exactly
+    /// once there). When `metric_label` is non-empty, the same events are
+    /// additionally mirrored into `streaming_monitor.instance.<label>.*`,
+    /// a disjoint namespace, so multi-tenant deployments can tell
+    /// instances apart without double-counting the aggregate.
+    std::string metric_label;
   };
 
   /// One emitted alert: the detected region (in stream timestamps) and the
@@ -65,6 +80,11 @@ class StreamingMonitor {
 
   /// Rows currently buffered.
   size_t window_size() const { return window_.num_rows(); }
+  /// The current sliding window (read-only). Thread contract: only the
+  /// thread that owns Append may touch this — the service's drain worker
+  /// snapshots it here when an alert fires, before handing the copy to the
+  /// background diagnosis pool.
+  const tsdata::Dataset& window() const { return window_; }
   /// Total rows ever appended.
   size_t rows_seen() const { return rows_seen_; }
   /// All alerts raised so far (most recent last).
@@ -87,7 +107,19 @@ class StreamingMonitor {
   /// Drops rows older than the window and re-bases storage.
   void TrimWindow();
 
+  /// The per-instance labeled mirrors (all nullptr when Options::
+  /// metric_label is empty). Aggregate counters live in the .cc.
+  struct InstanceCounters {
+    common::Counter* rows_appended = nullptr;
+    common::Counter* rows_dropped_late = nullptr;
+    common::Counter* rows_dropped_duplicate = nullptr;
+    common::Counter* rows_dropped_non_finite = nullptr;
+    common::Counter* detections_run = nullptr;
+    common::Counter* alerts_raised = nullptr;
+  };
+
   Options options_;
+  InstanceCounters instance_;
   tsdata::Dataset window_;
   Explainer explainer_;
   size_t rows_seen_ = 0;

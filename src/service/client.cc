@@ -1,0 +1,172 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/strings.h"
+#include "core/model_io.h"
+
+namespace dbsherlock::service {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+constexpr size_t kMaxLine = 1 << 20;
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status(common::StatusCode::kIoError,
+                  common::StrFormat("connect %s:%d: %s", host.c_str(), port,
+                                    std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<Response> Client::Call(const std::string& line) {
+  std::string out = line + "\n";
+  size_t done = 0;
+  while (done < out.size()) {
+    ssize_t w = ::send(fd_, out.data() + done, out.size() - done,
+                       MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    done += static_cast<size_t>(w);
+  }
+  for (;;) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return ParseResponseLine(response);
+    }
+    if (buffer_.size() > kMaxLine) {
+      return Status::ParseError("response line too long");
+    }
+    char chunk[4096];
+    ssize_t r = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0) {
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status::IoError("server closed the connection");
+    }
+    buffer_.append(chunk, static_cast<size_t>(r));
+  }
+}
+
+Status Client::ExpectOk(const Result<Response>& response) {
+  if (!response.ok()) return response.status();
+  switch (response->kind) {
+    case Response::Kind::kOk:
+      return Status::OK();
+    case Response::Kind::kErr:
+      return response->error;
+    case Response::Kind::kRetryAfter:
+      return Status::FailedPrecondition("unexpected RETRY_AFTER");
+  }
+  return Status::Internal("unhandled response kind");
+}
+
+Result<common::JsonValue> Client::ExpectJson(
+    const Result<Response>& response) {
+  if (!response.ok()) return response.status();
+  if (response->kind == Response::Kind::kErr) return response->error;
+  if (response->kind != Response::Kind::kOk) {
+    return Status::FailedPrecondition("unexpected RETRY_AFTER");
+  }
+  return common::ParseJson(response->detail);
+}
+
+Status Client::Hello(const std::string& tenant,
+                     const tsdata::Schema& schema) {
+  return ExpectOk(
+      Call("HELLO " + tenant + " " + FormatSchemaSpec(schema)));
+}
+
+Result<Response> Client::Append(const std::string& tenant, double timestamp,
+                                const std::vector<tsdata::Cell>& cells) {
+  std::string line =
+      "APPEND " + tenant + " " + common::StrFormat("%.17g", timestamp) + " ";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    line += FormatCell(cells[i]);
+  }
+  return Call(line);
+}
+
+Status Client::AppendRetrying(const std::string& tenant, double timestamp,
+                              const std::vector<tsdata::Cell>& cells,
+                              int max_retries, size_t* retries) {
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    auto response = Append(tenant, timestamp, cells);
+    if (!response.ok()) return response.status();
+    if (response->kind == Response::Kind::kOk) return Status::OK();
+    if (response->kind == Response::Kind::kErr) return response->error;
+    if (retries != nullptr) ++*retries;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max(1, response->retry_after_ms)));
+  }
+  return Status::FailedPrecondition(
+      "append still shed after max_retries backoffs");
+}
+
+Status Client::Teach(const core::CausalModel& model) {
+  return ExpectOk(Call("TEACH " + core::CausalModelToJson(model).Dump()));
+}
+
+Status Client::Flush(const std::string& tenant) {
+  return ExpectOk(Call("FLUSH " + tenant));
+}
+
+Result<common::JsonValue> Client::Diagnoses(const std::string& tenant) {
+  return ExpectJson(Call("DIAGNOSES " + tenant));
+}
+
+Result<common::JsonValue> Client::Stats() {
+  return ExpectJson(Call("STATS"));
+}
+
+Result<common::JsonValue> Client::Models() {
+  return ExpectJson(Call("MODELS"));
+}
+
+Status Client::Ping() { return ExpectOk(Call("PING")); }
+
+Status Client::Quit() { return ExpectOk(Call("QUIT")); }
+
+}  // namespace dbsherlock::service

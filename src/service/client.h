@@ -1,0 +1,68 @@
+#ifndef DBSHERLOCK_SERVICE_CLIENT_H_
+#define DBSHERLOCK_SERVICE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/wire.h"
+
+namespace dbsherlock::service {
+
+/// A blocking dbsherlockd client: one TCP connection, one request line per
+/// Call, one response line back. Used by the `dbsherlock client`
+/// subcommand, the replay benchmark, and the e2e tests. Not thread-safe;
+/// open one client per thread.
+class Client {
+ public:
+  static common::Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, int port);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one raw request line and parses the response line.
+  common::Result<Response> Call(const std::string& line);
+
+  // Typed helpers over Call. Each returns the server's ERR as a non-OK
+  // Status; RETRY_AFTER surfaces in the Response for the caller to honor.
+  common::Status Hello(const std::string& tenant,
+                       const tsdata::Schema& schema);
+  common::Result<Response> Append(const std::string& tenant, double timestamp,
+                                  const std::vector<tsdata::Cell>& cells);
+  /// Append that honors backpressure: on RETRY_AFTER sleeps the advertised
+  /// delay and resends, up to `max_retries`. `*retries` (optional)
+  /// accumulates the number of RETRY_AFTER responses seen.
+  common::Status AppendRetrying(const std::string& tenant, double timestamp,
+                                const std::vector<tsdata::Cell>& cells,
+                                int max_retries = 1000,
+                                size_t* retries = nullptr);
+  common::Status Teach(const core::CausalModel& model);
+  common::Status Flush(const std::string& tenant);
+  common::Result<common::JsonValue> Diagnoses(const std::string& tenant);
+  common::Result<common::JsonValue> Stats();
+  common::Result<common::JsonValue> Models();
+  common::Status Ping();
+  /// Polite shutdown of this connection (QUIT).
+  common::Status Quit();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// OK response or the ERR's Status.
+  common::Status ExpectOk(const common::Result<Response>& response);
+  /// OK detail parsed as JSON, or the ERR's Status.
+  common::Result<common::JsonValue> ExpectJson(
+      const common::Result<Response>& response);
+
+  int fd_;
+  std::string buffer_;  // bytes read past the last response line
+};
+
+}  // namespace dbsherlock::service
+
+#endif  // DBSHERLOCK_SERVICE_CLIENT_H_

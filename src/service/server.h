@@ -1,0 +1,84 @@
+#ifndef DBSHERLOCK_SERVICE_SERVER_H_
+#define DBSHERLOCK_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/parallel.h"
+#include "common/status.h"
+#include "service/service.h"
+#include "service/wire.h"
+
+namespace dbsherlock::service {
+
+/// The TCP frontend of dbsherlockd: an accept loop plus one line-oriented
+/// reader per connection, running on a private common::ThreadPool that
+/// grows with the connection count. Each request line is parsed with
+/// wire.h, dispatched into the Service, and answered with exactly one
+/// response line. The server owns no diagnosis logic — backpressure and
+/// queueing decisions all come from Service::Append.
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read the real one from port().
+    int port = 0;
+    /// Connections beyond this are refused (ERR + close) at accept time.
+    size_t max_connections = 64;
+    /// The engine; required, not owned.
+    Service* service = nullptr;
+  };
+
+  /// Binds, listens, and starts the accept loop.
+  static common::Result<std::unique_ptr<Server>> Start(Options options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves Options::port == 0).
+  int port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Stops accepting, shuts down live connections, and waits for their
+  /// handlers to finish. Does NOT stop the Service (its owner does).
+  void Stop();
+
+  size_t connections_handled() const { return connections_handled_.load(); }
+
+ private:
+  explicit Server(Options options);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// One request line -> one response line (no trailing newline).
+  /// Sets *quit on QUIT.
+  std::string HandleLine(const std::string& line, bool* quit);
+
+  Options options_;
+  /// Atomic: AcceptLoop reads it per iteration while Stop() swaps in -1.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  /// Handler tasks run here; grown to the live-connection count so a
+  /// blocking reader never starves another connection.
+  std::unique_ptr<common::ThreadPool> workers_;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_done_;
+  std::set<int> conn_fds_;
+
+  std::atomic<size_t> connections_handled_{0};
+};
+
+}  // namespace dbsherlock::service
+
+#endif  // DBSHERLOCK_SERVICE_SERVER_H_

@@ -1,0 +1,455 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
+#include "core/model_io.h"
+#include "tsdata/region.h"
+
+namespace dbsherlock::service {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+/// Pre-ack validation: a row is only acknowledged once we know the
+/// monitor's Dataset::AppendRow cannot reject it for shape.
+Status CheckCells(const tsdata::Schema& schema, double timestamp,
+                  const std::vector<tsdata::Cell>& cells) {
+  if (!std::isfinite(timestamp)) {
+    return Status::InvalidArgument("non-finite timestamp");
+  }
+  if (cells.size() != schema.num_attributes()) {
+    return Status::InvalidArgument(common::StrFormat(
+        "row has %zu cells, schema has %zu attributes", cells.size(),
+        schema.num_attributes()));
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    bool is_number = std::holds_alternative<double>(cells[i]);
+    bool want_number =
+        schema.attribute(i).kind == tsdata::AttributeKind::kNumeric;
+    if (is_number != want_number) {
+      return Status::InvalidArgument(
+          "cell kind mismatch for attribute '" + schema.attribute(i).name +
+          "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Service::Service(Options options)
+    : options_(std::move(options)),
+      tenants_([&] {
+        TenantManager::Options t = options_.tenants;
+        t.monitor.explainer = options_.explainer;
+        return t;
+      }()),
+      explainer_(options_.explainer) {
+  auto& metrics = common::MetricsRegistry::Global();
+  metrics.GetCounter("service.rows_acked");
+  metrics.GetCounter("service.rows_shed");
+  metrics.GetCounter("service.alerts");
+  metrics.GetCounter("service.diagnoses");
+  metrics.GetCounter("service.diagnoses_deduped");
+  metrics.GetHistogram("service.append_us");
+  metrics.GetHistogram("service.diagnosis_us");
+  metrics.GetHistogram("service.diagnosis_queue_wait_us");
+
+  size_t ingest = std::max<size_t>(1, options_.ingest_workers);
+  size_t diag = std::max<size_t>(1, options_.diagnosis_workers);
+  ingest_threads_.reserve(ingest);
+  diag_threads_.reserve(diag);
+  for (size_t i = 0; i < ingest; ++i) {
+    ingest_threads_.emplace_back([this] { IngestWorker(); });
+  }
+  for (size_t i = 0; i < diag; ++i) {
+    diag_threads_.emplace_back([this] { DiagnosisWorker(); });
+  }
+}
+
+Service::~Service() { Stop(); }
+
+Status Service::Hello(const std::string& tenant,
+                      const tsdata::Schema& schema) {
+  if (!accepting_.load()) {
+    return Status::FailedPrecondition("service is stopping");
+  }
+  auto result = tenants_.Hello(tenant, schema);
+  if (!result.ok()) return result.status();
+  return Status::OK();
+}
+
+Result<Service::AppendOutcome> Service::Append(
+    const std::string& tenant, double timestamp,
+    std::vector<tsdata::Cell> cells) {
+  common::ScopedLatency timer(
+      common::MetricsRegistry::Global().GetHistogram("service.append_us"));
+  if (!accepting_.load()) {
+    return Status::FailedPrecondition("service is stopping");
+  }
+  auto found = tenants_.Find(tenant);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Tenant> t = std::move(*found);
+  DBSHERLOCK_RETURN_NOT_OK(CheckCells(t->schema, timestamp, cells));
+
+  AppendOutcome outcome;
+  bool must_schedule = false;
+  {
+    std::lock_guard lock(t->mu);
+    if (t->evicted) {
+      return Status::NotFound("tenant '" + tenant +
+                              "' was evicted; HELLO again");
+    }
+    if (t->queue.size() >= options_.queue_capacity) {
+      ++t->shed;
+      total_shed_.fetch_add(1, std::memory_order_relaxed);
+      common::MetricsRegistry::Global()
+          .GetCounter("service.rows_shed")
+          ->Increment();
+      outcome.accepted = false;
+      outcome.retry_after_ms = options_.retry_after_ms;
+      return outcome;
+    }
+    t->queue.push_back(PendingRow{timestamp, std::move(cells)});
+    outcome.accepted = true;
+    outcome.seq = ++t->acked;
+    common::MetricsRegistry::Global()
+        .GetGauge("service.queue_depth." + t->name)
+        ->Set(static_cast<double>(t->queue.size()));
+    if (!t->scheduled) {
+      // Whoever flips scheduled pushes to ready_ — the single-drainer
+      // hand-off that keeps monitor access serialized.
+      t->scheduled = true;
+      must_schedule = true;
+    }
+  }
+  total_acked_.fetch_add(1, std::memory_order_relaxed);
+  common::MetricsRegistry::Global()
+      .GetCounter("service.rows_acked")
+      ->Increment();
+  if (must_schedule) {
+    std::lock_guard lock(ready_mu_);
+    ready_.push_back(std::move(t));
+    ready_cv_.notify_one();
+  }
+  return outcome;
+}
+
+Status Service::Teach(const core::CausalModel& model) {
+  if (options_.store == nullptr) {
+    return Status::FailedPrecondition("service has no model store");
+  }
+  return options_.store->Add(model);
+}
+
+void Service::IngestWorker() {
+  for (;;) {
+    std::shared_ptr<Tenant> tenant;
+    {
+      std::unique_lock lock(ready_mu_);
+      ready_cv_.wait(lock,
+                     [this] { return stop_ingest_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stop requested and nothing queued
+      tenant = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    DrainTenant(tenant);
+  }
+}
+
+void Service::DrainTenant(const std::shared_ptr<Tenant>& tenant) {
+  TRACE_SPAN("service.drain_tenant");
+  auto& metrics = common::MetricsRegistry::Global();
+  common::Gauge* depth =
+      metrics.GetGauge("service.queue_depth." + tenant->name);
+  for (;;) {
+    std::vector<PendingRow> batch;
+    {
+      std::lock_guard lock(tenant->mu);
+      size_t n = std::min(tenant->queue.size(), options_.ingest_batch);
+      if (n == 0) {
+        tenant->scheduled = false;
+        tenant->drained.notify_all();
+        return;
+      }
+      batch.reserve(n);
+      std::move(tenant->queue.begin(), tenant->queue.begin() + n,
+                std::back_inserter(batch));
+      tenant->queue.erase(tenant->queue.begin(),
+                          tenant->queue.begin() + n);
+      tenant->in_process += n;
+      depth->Set(static_cast<double>(tenant->queue.size()));
+    }
+    for (PendingRow& row : batch) {
+      if (options_.process_delay_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.process_delay_us));
+      }
+      // Safe without a lock: this worker holds the scheduled flag, so it
+      // is the only thread touching the monitor.
+      std::optional<core::StreamingMonitor::Alert> alert =
+          tenant->monitor->Append(row.timestamp, row.cells);
+      if (alert.has_value()) {
+        total_alerts_.fetch_add(1, std::memory_order_relaxed);
+        metrics.GetCounter("service.alerts")->Increment();
+        EnqueueDiagnosis(tenant, *alert, tenant->monitor->window());
+      }
+    }
+    {
+      std::lock_guard lock(tenant->mu);
+      tenant->in_process -= batch.size();
+      tenant->processed += batch.size();
+      tenant->drained.notify_all();
+    }
+  }
+}
+
+void Service::EnqueueDiagnosis(const std::shared_ptr<Tenant>& tenant,
+                               const core::StreamingMonitor::Alert& alert,
+                               const tsdata::Dataset& window) {
+  {
+    std::lock_guard lock(tenant->diag_mu);
+    if (alert.region.start < tenant->diag_covered_until) {
+      // A job covering this span is already queued, running, or done;
+      // diagnosing the overlap again would only duplicate the report.
+      ++tenant->diag_deduped;
+      total_deduped_.fetch_add(1, std::memory_order_relaxed);
+      common::MetricsRegistry::Global()
+          .GetCounter("service.diagnoses_deduped")
+          ->Increment();
+      return;
+    }
+    tenant->diag_covered_until =
+        std::max(tenant->diag_covered_until, alert.region.end);
+    ++tenant->diag_pending;
+  }
+  DiagnosisJob job;
+  job.tenant = tenant;
+  job.region = alert.region;
+  job.raised_at = alert.raised_at;
+  job.alert_us = common::Tracer::NowMicros();
+  job.window = window;  // deep copy while the drain worker owns the monitor
+  {
+    std::lock_guard lock(diag_queue_mu_);
+    diag_queue_.push_back(std::move(job));
+    diag_cv_.notify_one();
+  }
+}
+
+void Service::DiagnosisWorker() {
+  std::unique_lock lock(diag_queue_mu_);
+  for (;;) {
+    // First job whose tenant is under its concurrency cap. Lock order:
+    // diag_queue_mu_ (held) -> tenant->diag_mu, never the reverse.
+    size_t pick = diag_queue_.size();
+    for (size_t i = 0; i < diag_queue_.size(); ++i) {
+      std::lock_guard tenant_lock(diag_queue_[i].tenant->diag_mu);
+      if (diag_queue_[i].tenant->diag_in_flight <
+          std::max<size_t>(1, options_.per_tenant_diagnosis_cap)) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == diag_queue_.size()) {
+      if (stop_diag_ && diag_queue_.empty()) return;
+      // Either nothing queued or every job is capped; a completion or a
+      // new job notifies.
+      diag_cv_.wait(lock);
+      continue;
+    }
+    DiagnosisJob job = std::move(diag_queue_[pick]);
+    diag_queue_.erase(diag_queue_.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+    {
+      std::lock_guard tenant_lock(job.tenant->diag_mu);
+      --job.tenant->diag_pending;
+      ++job.tenant->diag_in_flight;
+    }
+    lock.unlock();
+    RunDiagnosis(std::move(job));
+    lock.lock();
+  }
+}
+
+void Service::RunDiagnosis(DiagnosisJob job) {
+  TRACE_SPAN("service.diagnose");
+  auto& metrics = common::MetricsRegistry::Global();
+  metrics.GetHistogram("service.diagnosis_queue_wait_us")
+      ->Record(common::Tracer::NowMicros() - job.alert_us);
+
+  core::Explanation explanation;
+  {
+    common::ScopedLatency timer(
+        metrics.GetHistogram("service.diagnosis_us"));
+    core::DetectionResult detection;
+    detection.abnormal = tsdata::RegionSpec({job.region});
+    tsdata::DiagnosisRegions regions = core::DetectionToRegions(
+        detection, job.window, options_.explainer.detector_options);
+    explanation = explainer_.Diagnose(job.window, regions);
+    if (options_.store != nullptr) {
+      tsdata::LabeledRows rows = tsdata::SplitRows(job.window, regions);
+      explanation.causes =
+          options_.store->Rank(job.window, rows,
+                               options_.explainer.predicate_options,
+                               options_.min_confidence);
+    }
+  }
+
+  TenantDiagnosis result;
+  result.region = job.region;
+  result.explanation = std::move(explanation);
+  result.latency_us = common::Tracer::NowMicros() - job.alert_us;
+  {
+    std::lock_guard lock(job.tenant->diag_mu);
+    ++job.tenant->diag_completed;
+    --job.tenant->diag_in_flight;
+    job.tenant->diagnoses.push_back(std::move(result));
+    job.tenant->diag_done.notify_all();
+  }
+  total_diagnoses_.fetch_add(1, std::memory_order_relaxed);
+  metrics.GetCounter("service.diagnoses")->Increment();
+  {
+    // Wake workers parked on a capped tenant.
+    std::lock_guard lock(diag_queue_mu_);
+    diag_cv_.notify_all();
+  }
+}
+
+Status Service::Flush(const std::string& tenant) {
+  auto found = tenants_.Find(tenant);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Tenant> t = std::move(*found);
+  {
+    std::unique_lock lock(t->mu);
+    t->drained.wait(lock, [&] {
+      return t->queue.empty() && !t->scheduled && t->in_process == 0;
+    });
+  }
+  {
+    std::unique_lock lock(t->diag_mu);
+    t->diag_done.wait(lock, [&] {
+      return t->diag_pending == 0 && t->diag_in_flight == 0;
+    });
+  }
+  return Status::OK();
+}
+
+Status Service::FlushAll() {
+  for (const std::string& name : tenants_.Names()) {
+    Status status = Flush(name);
+    // A tenant evicted between Names() and Flush() is already idle.
+    if (!status.ok() && status.code() != common::StatusCode::kNotFound) {
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+Result<common::JsonValue> Service::DiagnosesJson(const std::string& tenant) {
+  auto found = tenants_.Find(tenant);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Tenant> t = std::move(*found);
+  common::JsonValue::Array out;
+  std::lock_guard lock(t->diag_mu);
+  for (const TenantDiagnosis& d : t->diagnoses) {
+    common::JsonValue::Object entry;
+    common::JsonValue::Object region;
+    region["start"] = d.region.start;
+    region["end"] = d.region.end;
+    entry["region"] = common::JsonValue(std::move(region));
+    common::JsonValue::Array causes;
+    for (const core::RankedCause& c : d.explanation.causes) {
+      common::JsonValue::Object cause;
+      cause["cause"] = c.cause;
+      cause["confidence"] = c.confidence;
+      if (!c.suggested_action.empty()) {
+        cause["action"] = c.suggested_action;
+      }
+      causes.push_back(common::JsonValue(std::move(cause)));
+    }
+    entry["causes"] = common::JsonValue(std::move(causes));
+    entry["predicates"] = d.explanation.PredicatesToString();
+    entry["latency_us"] = d.latency_us;
+    out.push_back(common::JsonValue(std::move(entry)));
+  }
+  return common::JsonValue(std::move(out));
+}
+
+common::JsonValue Service::StatsJson() const {
+  common::JsonValue::Object out;
+  out["acked"] = static_cast<double>(total_acked_.load());
+  out["shed"] = static_cast<double>(total_shed_.load());
+  out["alerts"] = static_cast<double>(total_alerts_.load());
+  out["diagnoses"] = static_cast<double>(total_diagnoses_.load());
+  out["diagnoses_deduped"] = static_cast<double>(total_deduped_.load());
+  auto& tenants = const_cast<TenantManager&>(tenants_);
+  common::JsonValue::Object per_tenant;
+  for (const std::string& name : tenants.Names()) {
+    auto found = tenants.Find(name);
+    if (!found.ok()) continue;
+    const std::shared_ptr<Tenant>& t = *found;
+    common::JsonValue::Object entry;
+    {
+      std::lock_guard lock(t->mu);
+      entry["acked"] = static_cast<double>(t->acked);
+      entry["processed"] = static_cast<double>(t->processed);
+      entry["shed"] = static_cast<double>(t->shed);
+      entry["queue_depth"] = static_cast<double>(t->queue.size());
+    }
+    {
+      std::lock_guard lock(t->diag_mu);
+      entry["diagnoses"] = static_cast<double>(t->diag_completed);
+      entry["diagnoses_deduped"] = static_cast<double>(t->diag_deduped);
+    }
+    per_tenant[name] = common::JsonValue(std::move(entry));
+  }
+  out["tenants"] = common::JsonValue(std::move(per_tenant));
+  out["evictions"] = static_cast<double>(tenants.evictions());
+  if (options_.store != nullptr) {
+    common::JsonValue::Object store;
+    store["models"] = static_cast<double>(options_.store->num_models());
+    store["wal_records"] =
+        static_cast<double>(options_.store->wal_records());
+    store["compactions"] =
+        static_cast<double>(options_.store->compactions());
+    out["store"] = common::JsonValue(std::move(store));
+  }
+  return common::JsonValue(std::move(out));
+}
+
+common::JsonValue Service::ModelsJson() const {
+  if (options_.store == nullptr) {
+    return common::JsonValue(common::JsonValue::Object{});
+  }
+  return core::RepositoryToJson(options_.store->SnapshotRepository());
+}
+
+void Service::Stop() {
+  if (stopped_.exchange(true)) return;
+  accepting_.store(false);
+  // Drain every acked row and in-flight diagnosis before the workers go:
+  // Stop never discards acknowledged work.
+  (void)FlushAll();
+  {
+    std::lock_guard lock(ready_mu_);
+    stop_ingest_ = true;
+    ready_cv_.notify_all();
+  }
+  for (std::thread& t : ingest_threads_) t.join();
+  {
+    std::lock_guard lock(diag_queue_mu_);
+    stop_diag_ = true;
+    diag_cv_.notify_all();
+  }
+  for (std::thread& t : diag_threads_) t.join();
+}
+
+}  // namespace dbsherlock::service

@@ -1,0 +1,176 @@
+#ifndef DBSHERLOCK_SERVICE_SERVICE_H_
+#define DBSHERLOCK_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "core/explainer.h"
+#include "service/model_store.h"
+#include "service/tenant_manager.h"
+
+namespace dbsherlock::service {
+
+/// The dbsherlockd engine, transport-free: multi-tenant ingestion with
+/// bounded queues and explicit backpressure, background anomaly diagnosis
+/// on a worker pool, and a shared durable causal-model store. The TCP
+/// frontend (server.h) and in-process embedders (tests, the replay bench)
+/// both talk to this class.
+///
+/// Data path: Append validates against the tenant schema and enqueues into
+/// the tenant's bounded queue (full queue => not acked, RETRY_AFTER).
+/// Ingest workers drain one tenant at a time (single-drainer invariant:
+/// the tenant's `scheduled` flag hands monitor ownership to exactly one
+/// worker), pushing rows through its StreamingMonitor. A detector alert
+/// snapshots the window and enqueues a diagnosis job; diagnosis workers
+/// run detector-region refinement + Explainer + durable-store ranking,
+/// deduplicating overlapping regions and capping per-tenant concurrency.
+class Service {
+ public:
+  struct Options {
+    TenantManager::Options tenants;
+    /// Worker threads draining tenant ingest queues.
+    size_t ingest_workers = 2;
+    /// Worker threads running diagnosis jobs.
+    size_t diagnosis_workers = 2;
+    /// Max diagnosis jobs in flight per tenant (overlap dedup usually
+    /// keeps this moot; the cap bounds pathological alert storms).
+    size_t per_tenant_diagnosis_cap = 1;
+    /// Bounded ingest queue per tenant; a full queue sheds with
+    /// RETRY_AFTER instead of buffering unboundedly.
+    size_t queue_capacity = 1024;
+    /// Delay clients are told to wait when shed.
+    int retry_after_ms = 20;
+    /// Rows a drain takes from the queue per monitor pass.
+    size_t ingest_batch = 64;
+    /// Diagnosis configuration (predicate generation, domain knowledge,
+    /// detector shape for region refinement). Ranking uses the durable
+    /// store, not the explainer's own repository.
+    core::Explainer::Options explainer;
+    /// The paper's lambda for ranked causes.
+    double min_confidence = 20.0;
+    /// Shared durable model store. Required; not owned.
+    DurableModelStore* store = nullptr;
+    /// Test hook: microseconds of artificial work per appended row, to
+    /// force a slow consumer for backpressure tests.
+    int process_delay_us = 0;
+  };
+
+  /// Outcome of one Append: either acked (with the tenant's running ack
+  /// sequence) or shed with a retry delay. Queueing errors (unknown
+  /// tenant, schema mismatch) surface as the Result's Status instead.
+  struct AppendOutcome {
+    bool accepted = false;
+    uint64_t seq = 0;        // tenant-local ack sequence when accepted
+    int retry_after_ms = 0;  // when shed
+  };
+
+  explicit Service(Options options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Registers (or idempotently re-greets) a tenant.
+  common::Status Hello(const std::string& tenant,
+                       const tsdata::Schema& schema);
+
+  /// Enqueues one row for `tenant`. Cells must match the tenant schema
+  /// (checked here, before acking). Never blocks on a full queue.
+  common::Result<AppendOutcome> Append(const std::string& tenant,
+                                       double timestamp,
+                                       std::vector<tsdata::Cell> cells);
+
+  /// Adds a causal model to the shared durable store (the TEACH verb /
+  /// pre-trained models).
+  common::Status Teach(const core::CausalModel& model);
+
+  /// Blocks until the tenant's queue is drained through the monitor and
+  /// every enqueued diagnosis for it has completed.
+  common::Status Flush(const std::string& tenant);
+
+  /// Flush for every live tenant.
+  common::Status FlushAll();
+
+  /// Completed diagnoses for a tenant, as JSON (DIAGNOSES verb):
+  /// [{"region":{start,end},"causes":[{cause,confidence,action}],
+  ///   "predicates":"...","latency_us":n}].
+  common::Result<common::JsonValue> DiagnosesJson(const std::string& tenant);
+
+  /// Service-wide counters (STATS verb).
+  common::JsonValue StatsJson() const;
+
+  /// The shared store's repository as model_io JSON (MODELS verb).
+  common::JsonValue ModelsJson() const;
+
+  /// Stops accepting, drains acked rows and in-flight diagnoses, joins
+  /// workers. Idempotent; the destructor calls it.
+  void Stop();
+
+  TenantManager& tenants() { return tenants_; }
+  const Options& options() const { return options_; }
+
+  // Shed/ack accounting across all tenants (tests, STATS).
+  uint64_t total_acked() const { return total_acked_.load(); }
+  uint64_t total_shed() const { return total_shed_.load(); }
+  uint64_t total_diagnoses() const { return total_diagnoses_.load(); }
+
+ private:
+  struct DiagnosisJob {
+    std::shared_ptr<Tenant> tenant;
+    tsdata::TimeRange region;
+    double raised_at = 0.0;
+    double alert_us = 0.0;      // when the alert fired (Tracer clock)
+    tsdata::Dataset window;     // snapshot taken by the drain worker
+  };
+
+  void IngestWorker();
+  void DiagnosisWorker();
+  /// Drains `tenant`'s queue (the caller owns its `scheduled` flag).
+  void DrainTenant(const std::shared_ptr<Tenant>& tenant);
+  void EnqueueDiagnosis(const std::shared_ptr<Tenant>& tenant,
+                        const core::StreamingMonitor::Alert& alert,
+                        const tsdata::Dataset& window);
+  void RunDiagnosis(DiagnosisJob job);
+
+  Options options_;
+  TenantManager tenants_;
+  core::Explainer explainer_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> stopped_{false};
+
+  // Tenants with non-empty queues awaiting a drain worker. A tenant is
+  // here iff its `scheduled` flag is set (whoever flips it false->true
+  // pushes; the drain worker clears it when the queue runs dry).
+  std::mutex ready_mu_;
+  std::condition_variable ready_cv_;
+  std::deque<std::shared_ptr<Tenant>> ready_;
+  bool stop_ingest_ = false;
+
+  // Diagnosis job queue. Lock order: diag_queue_mu_ -> tenant->diag_mu.
+  std::mutex diag_queue_mu_;
+  std::condition_variable diag_cv_;
+  std::deque<DiagnosisJob> diag_queue_;
+  bool stop_diag_ = false;
+
+  std::vector<std::thread> ingest_threads_;
+  std::vector<std::thread> diag_threads_;
+
+  std::atomic<uint64_t> total_acked_{0};
+  std::atomic<uint64_t> total_shed_{0};
+  std::atomic<uint64_t> total_alerts_{0};
+  std::atomic<uint64_t> total_diagnoses_{0};
+  std::atomic<uint64_t> total_deduped_{0};
+};
+
+}  // namespace dbsherlock::service
+
+#endif  // DBSHERLOCK_SERVICE_SERVICE_H_

@@ -1,0 +1,267 @@
+#include "service/wire.h"
+
+#include <cmath>
+
+#include "common/json.h"
+#include "common/strings.h"
+#include "core/model_io.h"
+
+namespace dbsherlock::service {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+constexpr size_t kMaxTenantName = 64;
+
+/// Splits "VERB rest" into the verb and the remainder (verb uppercase by
+/// convention but matched case-sensitively: the protocol is machine
+/// generated).
+std::pair<std::string, std::string> SplitVerb(const std::string& line) {
+  size_t space = line.find(' ');
+  if (space == std::string::npos) return {line, ""};
+  return {line.substr(0, space), line.substr(space + 1)};
+}
+
+Result<Request> ParseJsonRequest(const std::string& line) {
+  auto json = common::ParseJson(line);
+  if (!json.ok()) return json.status();
+  auto op = json->GetString("op");
+  if (!op.ok()) return op.status();
+
+  Request request;
+  auto tenant = json->GetString("tenant");
+  if (!tenant.ok()) return tenant.status();
+  request.tenant = *tenant;
+  if (!ValidTenantName(request.tenant)) {
+    return Status::InvalidArgument("invalid tenant name: " + request.tenant);
+  }
+
+  if (*op == "hello") {
+    request.op = RequestOp::kHello;
+    auto spec = json->GetString("schema");
+    if (!spec.ok()) return spec.status();
+    auto schema = ParseSchemaSpec(*spec);
+    if (!schema.ok()) return schema.status();
+    request.schema = std::move(*schema);
+    return request;
+  }
+  if (*op == "append") {
+    request.op = RequestOp::kAppend;
+    auto ts = json->GetNumber("ts");
+    if (!ts.ok()) return ts.status();
+    request.timestamp = *ts;
+    auto cells = json->GetArray("cells");
+    if (!cells.ok()) return cells.status();
+    request.cells_typed = true;
+    for (const common::JsonValue& cell : (*cells)->as_array()) {
+      if (cell.is_number()) {
+        request.cells.emplace_back(cell.as_number());
+      } else if (cell.is_string()) {
+        request.cells.emplace_back(cell.as_string());
+      } else {
+        return Status::InvalidArgument(
+            "append cells must be numbers or strings");
+      }
+    }
+    return request;
+  }
+  return Status::InvalidArgument("unknown JSON op: " + *op);
+}
+
+}  // namespace
+
+bool ValidTenantName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxTenantName) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string FormatSchemaSpec(const tsdata::Schema& schema) {
+  std::string out;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += ',';
+    const tsdata::AttributeSpec& spec = schema.attribute(i);
+    out += spec.name;
+    out += spec.kind == tsdata::AttributeKind::kNumeric ? ":num" : ":cat";
+  }
+  return out;
+}
+
+Result<tsdata::Schema> ParseSchemaSpec(const std::string& spec) {
+  if (spec.empty()) return Status::InvalidArgument("empty schema spec");
+  std::vector<tsdata::AttributeSpec> attributes;
+  for (const std::string& field : common::Split(spec, ',')) {
+    size_t colon = field.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("bad schema field '" + field +
+                                     "' (want name:num or name:cat)");
+    }
+    tsdata::AttributeSpec attr;
+    attr.name = field.substr(0, colon);
+    std::string kind = field.substr(colon + 1);
+    if (kind == "num") {
+      attr.kind = tsdata::AttributeKind::kNumeric;
+    } else if (kind == "cat") {
+      attr.kind = tsdata::AttributeKind::kCategorical;
+    } else {
+      return Status::InvalidArgument("unknown attribute kind '" + kind + "'");
+    }
+    attributes.push_back(std::move(attr));
+  }
+  // Schema's constructor asserts on duplicates; build through AddAttribute
+  // to surface them as a Status instead.
+  tsdata::Schema schema;
+  for (tsdata::AttributeSpec& attr : attributes) {
+    DBSHERLOCK_RETURN_NOT_OK(schema.AddAttribute(std::move(attr)));
+  }
+  return schema;
+}
+
+std::string FormatCell(const tsdata::Cell& cell) {
+  if (const double* v = std::get_if<double>(&cell)) {
+    return common::StrFormat("%.17g", *v);
+  }
+  return std::get<std::string>(cell);
+}
+
+Result<Request> ParseRequestLine(const std::string& line_in) {
+  std::string line = line_in;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return Status::InvalidArgument("empty request line");
+  if (line[0] == '{') return ParseJsonRequest(line);
+
+  auto [verb, rest] = SplitVerb(line);
+  Request request;
+  if (verb == "PING") {
+    request.op = RequestOp::kPing;
+    return request;
+  }
+  if (verb == "QUIT") {
+    request.op = RequestOp::kQuit;
+    return request;
+  }
+  if (verb == "STATS") {
+    request.op = RequestOp::kStats;
+    return request;
+  }
+  if (verb == "MODELS") {
+    request.op = RequestOp::kModels;
+    return request;
+  }
+  if (verb == "DIAGNOSES" || verb == "FLUSH") {
+    request.op =
+        verb == "FLUSH" ? RequestOp::kFlush : RequestOp::kDiagnoses;
+    request.tenant = std::string(common::Trim(rest));
+    if (!ValidTenantName(request.tenant)) {
+      return Status::InvalidArgument("invalid tenant name: " +
+                                     request.tenant);
+    }
+    return request;
+  }
+  if (verb == "HELLO") {
+    request.op = RequestOp::kHello;
+    auto [tenant, spec] = SplitVerb(rest);
+    request.tenant = tenant;
+    if (!ValidTenantName(request.tenant)) {
+      return Status::InvalidArgument("invalid tenant name: " +
+                                     request.tenant);
+    }
+    auto schema = ParseSchemaSpec(std::string(common::Trim(spec)));
+    if (!schema.ok()) return schema.status();
+    request.schema = std::move(*schema);
+    return request;
+  }
+  if (verb == "APPEND") {
+    request.op = RequestOp::kAppend;
+    auto [tenant, after_tenant] = SplitVerb(rest);
+    request.tenant = tenant;
+    if (!ValidTenantName(request.tenant)) {
+      return Status::InvalidArgument("invalid tenant name: " +
+                                     request.tenant);
+    }
+    auto [ts_text, cells_text] = SplitVerb(after_tenant);
+    auto ts = common::ParseDouble(ts_text);
+    if (!ts.ok()) return ts.status();
+    request.timestamp = *ts;
+    if (cells_text.empty()) {
+      return Status::InvalidArgument("APPEND without cells");
+    }
+    request.raw_cells = common::Split(cells_text, ',');
+    return request;
+  }
+  if (verb == "TEACH") {
+    request.op = RequestOp::kTeach;
+    auto json = common::ParseJson(rest);
+    if (!json.ok()) return json.status();
+    auto model = core::CausalModelFromJson(*json);
+    if (!model.ok()) return model.status();
+    request.model = std::move(*model);
+    return request;
+  }
+  return Status::InvalidArgument("unknown verb: " + verb);
+}
+
+std::string OkLine(const std::string& detail) {
+  return detail.empty() ? "OK" : "OK " + detail;
+}
+
+std::string RetryAfterLine(int millis) {
+  return common::StrFormat("RETRY_AFTER %d", millis);
+}
+
+std::string ErrLine(const Status& status) {
+  // Responses are single lines; flatten any embedded newlines.
+  std::string message = status.message();
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return std::string("ERR ") + common::StatusCodeToString(status.code()) +
+         " " + message;
+}
+
+Result<Response> ParseResponseLine(const std::string& line_in) {
+  std::string line = line_in;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  auto [verb, rest] = SplitVerb(line);
+  Response response;
+  if (verb == "OK") {
+    response.kind = Response::Kind::kOk;
+    response.detail = rest;
+    return response;
+  }
+  if (verb == "RETRY_AFTER") {
+    response.kind = Response::Kind::kRetryAfter;
+    auto millis = common::ParseInt64(common::Trim(rest));
+    if (!millis.ok() || *millis < 0) {
+      return Status::ParseError("bad RETRY_AFTER delay: " + rest);
+    }
+    response.retry_after_ms = static_cast<int>(*millis);
+    return response;
+  }
+  if (verb == "ERR") {
+    response.kind = Response::Kind::kErr;
+    auto [code_name, message] = SplitVerb(rest);
+    // Reconstruct the StatusCode from its stable name; unknown names (a
+    // newer server) degrade to kInternal rather than failing the parse.
+    common::StatusCode code = common::StatusCode::kInternal;
+    for (int c = 0; c <= static_cast<int>(common::StatusCode::kInternal);
+         ++c) {
+      auto candidate = static_cast<common::StatusCode>(c);
+      if (code_name == common::StatusCodeToString(candidate)) {
+        code = candidate;
+        break;
+      }
+    }
+    response.error = common::Status(code, message);
+    return response;
+  }
+  return Status::ParseError("unrecognized response line: " + line);
+}
+
+}  // namespace dbsherlock::service

@@ -1,0 +1,101 @@
+#ifndef DBSHERLOCK_SERVICE_WIRE_H_
+#define DBSHERLOCK_SERVICE_WIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/causal_model.h"
+#include "tsdata/dataset.h"
+#include "tsdata/schema.h"
+
+namespace dbsherlock::service {
+
+/// The dbsherlockd wire protocol: newline-delimited requests, one response
+/// line per request, over a plain TCP stream. Two request encodings share
+/// one dispatch path:
+///
+///   Text (space-separated verb + args, cells as CSV):
+///     HELLO <tenant> <name:kind[,name:kind...]>      kind: num | cat
+///     APPEND <tenant> <timestamp> <cell[,cell...]>
+///     TEACH <causal-model-json>                       (model_io format)
+///     DIAGNOSES <tenant>
+///     FLUSH <tenant>
+///     STATS
+///     MODELS
+///     PING
+///     QUIT
+///
+///   JSON (a line starting with '{'; append/hello only — the ops a metrics
+///   collector emits):
+///     {"op":"append","tenant":"t0","ts":12.0,"cells":[1.5,"mixed"]}
+///     {"op":"hello","tenant":"t0","schema":"cpu:num,mode:cat"}
+///
+/// Responses:
+///     OK [detail]            request applied
+///     RETRY_AFTER <millis>   backpressure: tenant queue full, not acked —
+///                            resend the same row after the given delay
+///     ERR <Code> <message>   rejected; Code is a StatusCode name
+///
+/// Tenant names are restricted to [A-Za-z0-9_.-], at most 64 bytes, so
+/// they embed safely in metric names and file paths.
+
+enum class RequestOp {
+  kHello,
+  kAppend,
+  kTeach,
+  kDiagnoses,
+  kFlush,
+  kStats,
+  kModels,
+  kPing,
+  kQuit,
+};
+
+/// One parsed request line. Cells arrive typed (JSON append: numbers and
+/// strings) or as raw text fields (CSV append) that the service coerces
+/// against the tenant's schema — the wire layer does not know schemas.
+struct Request {
+  RequestOp op = RequestOp::kPing;
+  std::string tenant;                    // hello/append/diagnoses/flush
+  tsdata::Schema schema;                 // hello
+  double timestamp = 0.0;                // append
+  bool cells_typed = false;              // which cell field is populated
+  std::vector<tsdata::Cell> cells;       // append (JSON path)
+  std::vector<std::string> raw_cells;    // append (CSV path)
+  core::CausalModel model;               // teach
+};
+
+/// Parses one request line (no trailing newline; a trailing '\r' is
+/// stripped). Fails with InvalidArgument/ParseError on anything malformed.
+common::Result<Request> ParseRequestLine(const std::string& line);
+
+/// True when `name` is a valid tenant name (see header comment).
+bool ValidTenantName(const std::string& name);
+
+/// Schema wire form round-trip: "cpu:num,mode:cat".
+std::string FormatSchemaSpec(const tsdata::Schema& schema);
+common::Result<tsdata::Schema> ParseSchemaSpec(const std::string& spec);
+
+/// Formats one cell for the CSV append path ("%.17g" doubles round-trip).
+std::string FormatCell(const tsdata::Cell& cell);
+
+/// Response lines (without the trailing newline).
+std::string OkLine(const std::string& detail = "");
+std::string RetryAfterLine(int millis);
+std::string ErrLine(const common::Status& status);
+
+/// Client-side view of a response line.
+struct Response {
+  enum class Kind { kOk, kRetryAfter, kErr };
+  Kind kind = Kind::kOk;
+  std::string detail;         // OK payload (may be empty)
+  int retry_after_ms = 0;     // kRetryAfter
+  common::Status error;       // kErr, reconstructed with its StatusCode
+};
+
+common::Result<Response> ParseResponseLine(const std::string& line);
+
+}  // namespace dbsherlock::service
+
+#endif  // DBSHERLOCK_SERVICE_WIRE_H_

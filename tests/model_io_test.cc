@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+
+#include "common/random.h"
 
 namespace dbsherlock::core {
 namespace {
@@ -141,6 +145,80 @@ TEST(ModelIoTest, FileRoundTrip) {
 
 TEST(ModelIoTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadRepository("/no/such/models.json").ok());
+}
+
+/// Fuzz: random byte mutations of a serialized repository must load
+/// cleanly or fail with a Status — never crash, and anything that loads
+/// must honor the repository invariants (the WAL recovery path feeds
+/// arbitrary disk bytes through this parser).
+TEST(ModelIoTest, ByteMutationFuzzNeverCrashes) {
+  ModelRepository repo;
+  repo.AddUnmerged(SampleModel());
+  CausalModel second;
+  second.cause = "Network Slowdown";
+  second.predicates = {Gt("net_send", 12.5), InSet("mode", {"slow"})};
+  repo.AddUnmerged(second);
+  const std::string base = RepositoryToJson(repo).Dump(0);
+
+  common::Pcg32 fuzz_rng(0xbeef, 5);
+  size_t parsed_count = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string mutated = base;
+    size_t num_edits = 1 + fuzz_rng.NextBounded(4);
+    for (size_t e = 0; e < num_edits && !mutated.empty(); ++e) {
+      size_t pos =
+          fuzz_rng.NextBounded(static_cast<uint32_t>(mutated.size()));
+      switch (fuzz_rng.NextBounded(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(fuzz_rng.NextBounded(256));
+          break;
+        case 1:
+          mutated.erase(pos, 1);
+          break;
+        case 2:
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    auto json = common::ParseJson(mutated);
+    if (!json.ok()) continue;
+    auto loaded = RepositoryFromJson(*json);
+    if (!loaded.ok()) continue;
+    ++parsed_count;
+    for (const CausalModel& model : loaded->models()) {
+      EXPECT_FALSE(model.cause.empty());
+      EXPECT_GE(model.num_sources, 1);
+    }
+  }
+  // Some mutations (digit tweaks, action-text edits) must survive, or the
+  // fuzz only exercised the error path.
+  EXPECT_GT(parsed_count, 0u);
+}
+
+TEST(ModelIoTest, TruncatedFileNeverCrashesLoad) {
+  ModelRepository repo;
+  repo.AddUnmerged(SampleModel());
+  std::string path = testing::TempDir() + "/dbsherlock_models_trunc_" +
+                     std::to_string(getpid()) + ".json";
+  ASSERT_TRUE(SaveRepository(repo, path).ok());
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string full(1 << 16, '\0');
+  full.resize(fread(full.data(), 1, full.size(), f));
+  std::fclose(f);
+  ASSERT_FALSE(full.empty());
+
+  for (size_t len = 0; len < full.size(); len += 7) {
+    FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(fwrite(full.data(), 1, len, out), len);
+    std::fclose(out);
+    // Every proper prefix is malformed JSON or a malformed document; the
+    // load must fail with a Status, not crash or succeed partially.
+    EXPECT_FALSE(LoadRepository(path).ok()) << "prefix length " << len;
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ModelIoTest, DefaultNumSourcesIsOne) {

@@ -1,0 +1,244 @@
+// DurableModelStore: WAL + snapshot durability, compaction, and — the
+// critical contract — crash recovery. The injected-crash tests simulate
+// the process dying mid-WAL-append (a short write) and assert that every
+// acknowledged Add survives a reopen and the torn tail is discarded
+// exactly once.
+
+#include "service/model_store.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/metrics.h"
+
+namespace dbsherlock::service {
+namespace {
+
+core::CausalModel MakeModel(const std::string& cause, double low) {
+  core::CausalModel model;
+  model.cause = cause;
+  model.suggested_action = "check " + cause;
+  model.predicates = {core::Predicate{
+      "cpu", core::PredicateType::kGreaterThan, low, 0.0, {}}};
+  return model;
+}
+
+/// Per-test store directory (gtest runs each case in its own process).
+std::string StoreDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/dbsherlock_store_" +
+                    std::to_string(getpid()) + "_" + name;
+  std::remove((dir + "/snapshot.json").c_str());
+  std::remove((dir + "/wal.log").c_str());
+  return dir;
+}
+
+std::unique_ptr<DurableModelStore> MustOpen(
+    DurableModelStore::Options options) {
+  auto store = DurableModelStore::Open(std::move(options));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(*store);
+}
+
+TEST(ModelStoreTest, VolatileStoreServesWithoutTouchingDisk) {
+  auto store = MustOpen({});  // empty dir = volatile
+  ASSERT_TRUE(store->Add(MakeModel("c0", 1.0)).ok());
+  ASSERT_TRUE(store->Add(MakeModel("c1", 2.0)).ok());
+  EXPECT_EQ(store->num_models(), 2u);
+  EXPECT_EQ(store->wal_records(), 0u);
+  EXPECT_TRUE(store->Compact().ok());  // documented no-op
+  EXPECT_EQ(store->SnapshotRepository().size(), 2u);
+}
+
+TEST(ModelStoreTest, RejectsEmptyCause) {
+  auto store = MustOpen({});
+  EXPECT_EQ(store->Add(MakeModel("", 1.0)).code(),
+            common::StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->num_models(), 0u);
+}
+
+TEST(ModelStoreTest, ReopenReplaysEveryAckedAdd) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("roundtrip");
+  {
+    auto store = MustOpen(options);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          store->Add(MakeModel("c" + std::to_string(i), i + 1.0)).ok());
+    }
+    // Same cause again: merges in memory, still one more WAL record.
+    ASSERT_TRUE(store->Add(MakeModel("c0", 0.5)).ok());
+    EXPECT_EQ(store->num_models(), 3u);
+    EXPECT_EQ(store->wal_records(), 4u);
+    EXPECT_EQ(store->next_seq(), 5u);
+  }
+  auto store = MustOpen(options);
+  EXPECT_EQ(store->num_models(), 3u);
+  EXPECT_EQ(store->recovery().snapshot_models, 0u);
+  EXPECT_EQ(store->recovery().wal_records_applied, 4u);
+  EXPECT_EQ(store->recovery().truncated_bytes, 0u);
+  EXPECT_EQ(store->next_seq(), 5u);  // seq continues after the replay
+  // The merge replayed through the same path: c0 has two sources.
+  core::ModelRepository snapshot = store->SnapshotRepository();
+  for (const core::CausalModel& model : snapshot.models()) {
+    if (model.cause == "c0") {
+      EXPECT_EQ(model.num_sources, 2);
+    }
+  }
+}
+
+/// The crash-recovery contract, end to end: acked Adds survive a death
+/// mid-append; the torn tail is discarded exactly once.
+TEST(ModelStoreTest, CrashMidAppendKeepsEveryAckedModel) {
+  common::Counter* truncations = common::MetricsRegistry::Global().GetCounter(
+      "model_store.recovery_truncations");
+  uint64_t truncations0 = truncations->value();
+
+  DurableModelStore::Options options;
+  options.dir = StoreDir("crash");
+
+  {  // Phase 1: three acknowledged Adds.
+    auto store = MustOpen(options);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          store->Add(MakeModel("c" + std::to_string(i), i + 1.0)).ok());
+    }
+  }
+
+  {  // Phase 2: die 10 bytes into the fourth record (mid-header).
+    DurableModelStore::Options crash = options;
+    crash.fail_append_after_bytes = 10;
+    auto store = MustOpen(crash);
+    EXPECT_EQ(store->recovery().truncated_bytes, 0u);
+    EXPECT_EQ(store->Add(MakeModel("c3", 4.0)).code(),
+              common::StatusCode::kIoError);
+    // The store is dead, not limping: later writes fail fast, the
+    // in-memory repository was never touched by the failed Add.
+    EXPECT_EQ(store->Add(MakeModel("c4", 5.0)).code(),
+              common::StatusCode::kFailedPrecondition);
+    EXPECT_EQ(store->num_models(), 3u);
+  }
+
+  {  // Phase 3: recovery finds the acked records, truncates the tear.
+    auto store = MustOpen(options);
+    EXPECT_EQ(store->num_models(), 3u);
+    EXPECT_EQ(store->recovery().wal_records_applied, 3u);
+    EXPECT_EQ(store->recovery().truncated_bytes, 10u);
+    EXPECT_EQ(truncations->value(), truncations0 + 1);
+    // The store works again: the interrupted model can be re-taught.
+    ASSERT_TRUE(store->Add(MakeModel("c3", 4.0)).ok());
+    EXPECT_EQ(store->num_models(), 4u);
+  }
+
+  {  // Phase 4: the tail was discarded exactly once; reopen is clean.
+    auto store = MustOpen(options);
+    EXPECT_EQ(store->num_models(), 4u);
+    EXPECT_EQ(store->recovery().truncated_bytes, 0u);
+    EXPECT_EQ(truncations->value(), truncations0 + 1);
+  }
+}
+
+TEST(ModelStoreTest, CrashMidPayloadIsAlsoTornCleanly) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("crash_payload");
+  {
+    auto store = MustOpen(options);
+    ASSERT_TRUE(store->Add(MakeModel("c0", 1.0)).ok());
+  }
+  {
+    // 24 bytes = the full 16-byte header plus 8 payload bytes.
+    DurableModelStore::Options crash = options;
+    crash.fail_append_after_bytes = 24;
+    auto store = MustOpen(crash);
+    EXPECT_EQ(store->Add(MakeModel("c1", 2.0)).code(),
+              common::StatusCode::kIoError);
+  }
+  auto store = MustOpen(options);
+  EXPECT_EQ(store->num_models(), 1u);
+  EXPECT_EQ(store->recovery().wal_records_applied, 1u);
+  EXPECT_EQ(store->recovery().truncated_bytes, 24u);
+}
+
+TEST(ModelStoreTest, BitFlipInTailIsCaughtByChecksum) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("bitflip");
+  {
+    auto store = MustOpen(options);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          store->Add(MakeModel("c" + std::to_string(i), i + 1.0)).ok());
+    }
+  }
+  // Flip one payload byte near the end of the last record.
+  std::string wal = options.dir + "/wal.log";
+  FILE* f = std::fopen(wal.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, -3, SEEK_END), 0);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  auto store = MustOpen(options);
+  EXPECT_EQ(store->num_models(), 2u);  // the corrupt record is dropped
+  EXPECT_EQ(store->recovery().wal_records_applied, 2u);
+  EXPECT_GT(store->recovery().truncated_bytes, 0u);
+}
+
+TEST(ModelStoreTest, CompactionSnapshotsAndResetsTheWal) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("compact");
+  options.compact_after_records = 4;
+  {
+    auto store = MustOpen(options);
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(
+          store->Add(MakeModel("c" + std::to_string(i), i + 1.0)).ok());
+    }
+    EXPECT_EQ(store->compactions(), 1u);
+    EXPECT_EQ(store->wal_records(), 0u);  // folded into snapshot.json
+    ASSERT_TRUE(store->Add(MakeModel("extra", 9.0)).ok());
+    EXPECT_EQ(store->wal_records(), 1u);
+  }
+  auto store = MustOpen(options);
+  EXPECT_EQ(store->recovery().snapshot_models, 4u);
+  EXPECT_EQ(store->recovery().wal_records_applied, 1u);
+  EXPECT_EQ(store->num_models(), 5u);
+}
+
+TEST(ModelStoreTest, ExplicitCompactionSurvivesReopen) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("compact_explicit");
+  {
+    auto store = MustOpen(options);
+    ASSERT_TRUE(store->Add(MakeModel("c0", 1.0)).ok());
+    ASSERT_TRUE(store->Add(MakeModel("c1", 2.0)).ok());
+    ASSERT_TRUE(store->Compact().ok());
+    EXPECT_EQ(store->wal_records(), 0u);
+  }
+  auto store = MustOpen(options);
+  EXPECT_EQ(store->recovery().snapshot_models, 2u);
+  EXPECT_EQ(store->recovery().wal_records_applied, 0u);
+  EXPECT_EQ(store->num_models(), 2u);
+}
+
+TEST(ModelStoreTest, CorruptSnapshotRefusesToOpen) {
+  // The snapshot is written atomically (tmp + fsync + rename), so a
+  // corrupt one means real damage: recovery must stop, not guess.
+  DurableModelStore::Options options;
+  options.dir = StoreDir("bad_snapshot");
+  { MustOpen(options); }  // creates the directory
+  FILE* f = std::fopen((options.dir + "/snapshot.json").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"version\": 1, \"last_seq\":", f);  // truncated JSON
+  std::fclose(f);
+  auto store = DurableModelStore::Open(options);
+  EXPECT_FALSE(store.ok());
+}
+
+}  // namespace
+}  // namespace dbsherlock::service

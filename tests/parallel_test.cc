@@ -106,6 +106,41 @@ TEST(ParallelForTest, NestedCallsComplete) {
   for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1) << i;
 }
 
+TEST(ParallelRunnerTest, LanesFollowTheConstructorArgument) {
+  EXPECT_GE(ParallelRunner(0).lanes(), 1u);  // hardware concurrency
+  EXPECT_EQ(ParallelRunner(1).lanes(), 1u);
+  EXPECT_EQ(ParallelRunner(4).lanes(), 4u);
+}
+
+TEST(ParallelRunnerTest, ReusedHandleRunsEveryIndexEachTime) {
+  ParallelRunner runner(4);
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::atomic<int>> hits(64);
+    runner.Run(hits.size(), [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, SerialRunnerPreservesIndexOrder) {
+  ParallelRunner runner(1);
+  std::vector<size_t> order;
+  runner.Run(16, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelRunnerTest, ExceptionDoesNotPoisonTheHandle) {
+  ParallelRunner runner(4);
+  EXPECT_THROW(
+      runner.Run(32, [](size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> calls{0};
+  runner.Run(32, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 32);
+}
+
 TEST(ParallelMapTest, ResultsInIndexOrder) {
   std::vector<size_t> out =
       ParallelMap(100, [](size_t i) { return i * i; }, 4);

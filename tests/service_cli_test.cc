@@ -1,0 +1,171 @@
+// Daemon integration tests: boots a real `dbsherlockd serve` subprocess
+// on an ephemeral port (parsing the "LISTENING <port>" handshake from its
+// stdout), drives it with the real `dbsherlock client` subcommand, and
+// checks clean SIGTERM shutdown plus WAL recovery across a restart.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult RunCommand(const std::string& command_in) {
+  std::string command = command_in + " 2>&1";
+  RunResult result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+RunResult RunClient(const std::string& args) {
+  return RunCommand(std::string(DBSHERLOCK_CLI_PATH) + " client " + args);
+}
+
+/// A live `dbsherlockd serve` child. Start() blocks on the LISTENING
+/// handshake; Terminate() sends SIGTERM and reaps the exit code.
+class Daemon {
+ public:
+  ~Daemon() {
+    if (pid_ > 0) {
+      kill(pid_, SIGKILL);
+      waitpid(pid_, nullptr, 0);
+    }
+    if (out_ != nullptr) fclose(out_);
+  }
+
+  bool Start(const std::string& wal_dir) {
+    int fds[2];
+    if (pipe(fds) != 0) return false;
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      // Child: stdout -> pipe (the LISTENING line); stderr inherited so
+      // daemon logs land in the test output.
+      dup2(fds[1], STDOUT_FILENO);
+      close(fds[0]);
+      close(fds[1]);
+      execl(DBSHERLOCK_DAEMON_PATH, "dbsherlockd", "serve", "--port", "0",
+            "--wal-dir", wal_dir.c_str(), static_cast<char*>(nullptr));
+      _exit(127);
+    }
+    close(fds[1]);
+    out_ = fdopen(fds[0], "r");
+    if (out_ == nullptr) return false;
+    char line[256];
+    while (fgets(line, sizeof(line), out_) != nullptr) {
+      if (sscanf(line, "LISTENING %d", &port_) == 1) return true;
+    }
+    return false;
+  }
+
+  /// SIGTERM the daemon and reap its exit code.
+  int Terminate() {
+    kill(pid_, SIGTERM);
+    int status = 0;
+    waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  int port() const { return port_; }
+
+ private:
+  pid_t pid_ = -1;
+  FILE* out_ = nullptr;
+  int port_ = 0;
+};
+
+std::string WalDir() {
+  return testing::TempDir() + "/dbsherlockd_cli_" + std::to_string(getpid());
+}
+
+TEST(ServiceCliTest, DaemonWithoutArgsPrintsUsage) {
+  RunResult r = RunCommand(std::string(DBSHERLOCK_DAEMON_PATH));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(ServiceCliTest, ClientWithoutDaemonFailsWithIoError) {
+  // Port 1 is never listening; the exit code is the CLI's kIoError slot.
+  RunResult r = RunClient("--connect 127.0.0.1:1 --ping");
+  EXPECT_EQ(r.exit_code, 7);
+}
+
+TEST(ServiceCliTest, ServeIngestTeachStatsAndCleanShutdown) {
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start(WalDir()));
+  std::string connect =
+      "--connect 127.0.0.1:" + std::to_string(daemon.port());
+
+  RunResult ping = RunClient(connect + " --ping");
+  EXPECT_EQ(ping.exit_code, 0) << ping.output;
+  EXPECT_NE(ping.output.find("pong"), std::string::npos);
+
+  EXPECT_EQ(RunClient(connect + " --raw 'HELLO t0 cpu:num'").exit_code, 0);
+  RunResult append = RunClient(connect + " --raw 'APPEND t0 1 5'");
+  EXPECT_EQ(append.exit_code, 0) << append.output;
+  EXPECT_NE(append.output.find("OK 1"), std::string::npos);
+
+  RunResult teach = RunClient(
+      connect +
+      " --raw 'TEACH {\"cause\":\"Test\",\"predicates\":"
+      "[{\"attribute\":\"cpu\",\"type\":\"gt\",\"low\":3}]}'");
+  EXPECT_EQ(teach.exit_code, 0) << teach.output;
+
+  RunResult stats = RunClient(connect + " --stats");
+  EXPECT_EQ(stats.exit_code, 0) << stats.output;
+  EXPECT_NE(stats.output.find("\"acked\""), std::string::npos);
+  EXPECT_NE(stats.output.find("\"store\""), std::string::npos);
+
+  // A malformed line comes back as a server ERR, which the client maps
+  // onto the CLI's per-StatusCode exit codes (3 = invalid argument).
+  RunResult bad = RunClient(connect + " --raw 'FROB x'");
+  EXPECT_EQ(bad.exit_code, 3) << bad.output;
+  EXPECT_NE(bad.output.find("error"), std::string::npos);
+
+  EXPECT_EQ(daemon.Terminate(), 0);  // SIGTERM drains and exits 0
+}
+
+TEST(ServiceCliTest, RestartedDaemonServesRecoveredModels) {
+  std::string wal_dir = WalDir() + "_restart";
+  {
+    Daemon daemon;
+    ASSERT_TRUE(daemon.Start(wal_dir));
+    std::string connect =
+        "--connect 127.0.0.1:" + std::to_string(daemon.port());
+    RunResult teach = RunClient(
+        connect +
+        " --raw 'TEACH {\"cause\":\"Recovered\",\"predicates\":"
+        "[{\"attribute\":\"cpu\",\"type\":\"gt\",\"low\":3}]}'");
+    ASSERT_EQ(teach.exit_code, 0) << teach.output;
+    ASSERT_EQ(daemon.Terminate(), 0);
+  }
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start(wal_dir));
+  RunResult models = RunClient(
+      "--connect 127.0.0.1:" + std::to_string(daemon.port()) + " --models");
+  EXPECT_EQ(models.exit_code, 0) << models.output;
+  EXPECT_NE(models.output.find("Recovered"), std::string::npos);
+  EXPECT_EQ(daemon.Terminate(), 0);
+}
+
+}  // namespace

@@ -147,6 +147,60 @@ TEST(StreamingMonitorTest, DropCountersLandInMetricsSnapshot) {
       1.0);
 }
 
+TEST(StreamingMonitorTest, LabeledInstancesNeverDoubleCountTheAggregate) {
+  // Two monitors in one process (the multi-tenant service case): the
+  // aggregate `streaming_monitor.*` counters must count each event exactly
+  // once, while the `streaming_monitor.instance.<label>.*` mirrors keep
+  // the two pipelines apart.
+  common::MetricsRegistry& reg = common::MetricsRegistry::Global();
+  uint64_t appended0 =
+      reg.GetCounter("streaming_monitor.rows_appended")->value();
+  uint64_t late0 =
+      reg.GetCounter("streaming_monitor.rows_dropped_late")->value();
+
+  StreamingMonitor::Options a_options;
+  a_options.metric_label = "ten_a";
+  StreamingMonitor::Options b_options;
+  b_options.metric_label = "ten_b";
+  StreamingMonitor a(MonitorSchema(), a_options);
+  StreamingMonitor b(MonitorSchema(), b_options);
+  for (int t = 0; t < 10; ++t) a.Append(t, {1.0, 1.0});
+  for (int t = 0; t < 4; ++t) b.Append(t, {1.0, 1.0});
+  b.Append(1.0, {1.0, 1.0});  // late: dropped, attributed to b only
+
+  EXPECT_EQ(reg.GetCounter("streaming_monitor.rows_appended")->value(),
+            appended0 + 14);
+  EXPECT_EQ(reg.GetCounter("streaming_monitor.rows_dropped_late")->value(),
+            late0 + 1);
+  EXPECT_EQ(
+      reg.GetCounter("streaming_monitor.instance.ten_a.rows_appended")
+          ->value(),
+      10u);
+  EXPECT_EQ(
+      reg.GetCounter("streaming_monitor.instance.ten_b.rows_appended")
+          ->value(),
+      4u);
+  EXPECT_EQ(
+      reg.GetCounter("streaming_monitor.instance.ten_a.rows_dropped_late")
+          ->value(),
+      0u);
+  EXPECT_EQ(
+      reg.GetCounter("streaming_monitor.instance.ten_b.rows_dropped_late")
+          ->value(),
+      1u);
+}
+
+TEST(StreamingMonitorTest, UnlabeledMonitorRegistersNoInstanceMirror) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  monitor.Append(0.0, {1.0, 1.0});
+  common::JsonValue snapshot =
+      common::MetricsRegistry::Global().SnapshotJson();
+  const common::JsonValue* counters = snapshot.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("streaming_monitor.instance..rows_appended"),
+            nullptr);
+}
+
 TEST(StreamingMonitorTest, PreloadedModelsNameTheCause) {
   StreamingMonitor monitor(MonitorSchema(), {});
   CausalModel model;

@@ -30,6 +30,8 @@
 #include "common/trace.h"
 #include "core/explainer.h"
 #include "core/model_io.h"
+#include "service/client.h"
+#include "service/wire.h"
 #include "simulator/dataset_gen.h"
 #include "simulator/fault_injector.h"
 #include "tsdata/data_quality.h"
@@ -440,6 +442,123 @@ int CmdModels(const Args& args) {
   return 0;
 }
 
+/// `dbsherlock client`: drive a running dbsherlockd over its wire protocol
+/// (see src/service/wire.h and README "Running the daemon"). One action
+/// per invocation:
+///   --ping | --stats | --models
+///   --hello --tenant T --schema "cpu:num,mode:cat"
+///   --append-csv f.csv --tenant T   (HELLOs with the CSV's schema, then
+///                                    streams every row, honoring
+///                                    RETRY_AFTER backpressure)
+///   --teach m.json                  (teaches every model in the file)
+///   --diagnoses --tenant T | --flush --tenant T
+///   --raw "LINE"                    (send one raw request line)
+int CmdClient(const Args& args) {
+  std::string connect = args.Get("connect", "127.0.0.1:7379");
+  size_t colon = connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect wants host:port\n");
+    return 2;
+  }
+  auto port = common::ParseInt64(connect.substr(colon + 1));
+  if (!port.ok()) Die(port.status());
+  auto client = service::Client::Connect(connect.substr(0, colon),
+                                         static_cast<int>(*port));
+  if (!client.ok()) Die(client.status());
+
+  if (args.Has("ping")) {
+    common::Status status = (*client)->Ping();
+    if (!status.ok()) Die(status);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (args.Has("raw")) {
+    auto response = (*client)->Call(args.Get("raw"));
+    if (!response.ok()) Die(response.status());
+    switch (response->kind) {
+      case service::Response::Kind::kOk:
+        std::printf("OK %s\n", response->detail.c_str());
+        return 0;
+      case service::Response::Kind::kRetryAfter:
+        std::printf("RETRY_AFTER %d\n", response->retry_after_ms);
+        return 0;
+      case service::Response::Kind::kErr:
+        Die(response->error);
+    }
+    return 9;
+  }
+  if (args.Has("stats") || args.Has("models")) {
+    auto json = args.Has("stats") ? (*client)->Stats() : (*client)->Models();
+    if (!json.ok()) Die(json.status());
+    std::printf("%s\n", json->Dump(2).c_str());
+    return 0;
+  }
+  if (args.Has("hello")) {
+    auto schema = service::ParseSchemaSpec(args.Get("schema"));
+    if (!schema.ok()) Die(schema.status());
+    common::Status status = (*client)->Hello(args.Get("tenant"), *schema);
+    if (!status.ok()) Die(status);
+    std::printf("hello %s\n", args.Get("tenant").c_str());
+    return 0;
+  }
+  if (args.Has("teach")) {
+    auto repo = core::LoadRepository(args.Get("teach"));
+    if (!repo.ok()) Die(repo.status());
+    for (const core::CausalModel& model : repo->models()) {
+      common::Status status = (*client)->Teach(model);
+      if (!status.ok()) Die(status);
+    }
+    std::printf("taught %zu model(s)\n", repo->size());
+    return 0;
+  }
+  if (args.Has("flush") || args.Has("diagnoses")) {
+    std::string tenant = args.Get("tenant");
+    if (args.Has("flush")) {
+      common::Status status = (*client)->Flush(tenant);
+      if (!status.ok()) Die(status);
+      if (!args.Has("diagnoses")) {
+        std::printf("flushed %s\n", tenant.c_str());
+        return 0;
+      }
+    }
+    auto json = (*client)->Diagnoses(tenant);
+    if (!json.ok()) Die(json.status());
+    std::printf("%s\n", json->Dump(2).c_str());
+    return 0;
+  }
+  if (args.Has("append-csv")) {
+    std::string tenant = args.Get("tenant");
+    auto dataset = tsdata::ReadDatasetFile(args.Get("append-csv"));
+    if (!dataset.ok()) Die(dataset.status());
+    common::Status status = (*client)->Hello(tenant, dataset->schema());
+    if (!status.ok()) Die(status);
+    size_t retries = 0;
+    for (size_t row = 0; row < dataset->num_rows(); ++row) {
+      std::vector<tsdata::Cell> cells;
+      cells.reserve(dataset->schema().num_attributes());
+      for (size_t a = 0; a < dataset->schema().num_attributes(); ++a) {
+        const tsdata::Column& column = dataset->column(a);
+        if (column.kind() == tsdata::AttributeKind::kNumeric) {
+          cells.emplace_back(column.numeric(row));
+        } else {
+          cells.emplace_back(column.CategoryName(column.code(row)));
+        }
+      }
+      status = (*client)->AppendRetrying(tenant, dataset->timestamp(row),
+                                         cells, /*max_retries=*/10000,
+                                         &retries);
+      if (!status.ok()) Die(status);
+    }
+    std::printf("appended %zu row(s) to %s (%zu backpressure retries)\n",
+                dataset->num_rows(), tenant.c_str(), retries);
+    return 0;
+  }
+  std::fprintf(stderr,
+               "client: pick one of --ping --hello --append-csv --teach "
+               "--diagnoses --flush --stats --models --raw\n");
+  return 2;
+}
+
 common::Status WriteTextFile(const std::string& path,
                              const std::string& content) {
   FILE* f = std::fopen(path.c_str(), "wb");
@@ -542,6 +661,12 @@ int Usage() {
       "  report    --data f.csv --abnormal a:b [--models m.json]\n"
       "            [--out report.html] [--title TEXT]\n"
       "  models    --models m.json\n"
+      "  client    --connect host:port  (drive a running dbsherlockd)\n"
+      "            --ping | --stats | --models | --raw \"LINE\"\n"
+      "            | --hello --tenant T --schema \"a:num,b:cat\"\n"
+      "            | --append-csv f.csv --tenant T\n"
+      "            | --teach m.json | --diagnoses --tenant T\n"
+      "            | --flush --tenant T\n"
       "data flags (plot/detect/diagnose/teach/report):\n"
       "  --allow-unsorted  ingest duplicate/out-of-order timestamps\n"
       "  --repair          run the data-quality repair pipeline after load\n"
@@ -579,6 +704,7 @@ int main(int argc, char** argv) {
   else if (command == "teach") rc = CmdTeach(args);
   else if (command == "report") rc = CmdReport(args);
   else if (command == "models") rc = CmdModels(args);
+  else if (command == "client") rc = CmdClient(args);
   else return Usage();
   return EmitObservability(args, rc);
 }

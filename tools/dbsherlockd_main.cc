@@ -1,0 +1,233 @@
+// dbsherlockd: the DBSherlock online diagnosis daemon. Serves the wire
+// protocol of service/wire.h over TCP: multi-tenant telemetry ingestion
+// with bounded queues and RETRY_AFTER backpressure, background anomaly
+// detection + diagnosis per tenant, and a durable (WAL + snapshot) store
+// of causal models shared across tenants.
+//
+//   dbsherlockd serve --port 7379 --wal-dir /var/lib/dbsherlock
+//
+// Prints "LISTENING <port>" on stdout once the socket is ready (port 0
+// binds an ephemeral port — scripts parse the line). SIGINT/SIGTERM stop
+// the daemon cleanly: acked rows are drained, in-flight diagnoses finish,
+// the WAL is intact. Exit codes match the dbsherlock CLI (0 ok, 2 usage,
+// 3..9 one per StatusCode).
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "service/model_store.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+/// Minimal --flag value argument map (same idiom as dbsherlock_main).
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      std::string name = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[name] = argv[++i];
+      } else {
+        values_[name] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    auto parsed = common::ParseDouble(it->second);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--%s: %s\n", name.c_str(),
+                   parsed.status().ToString().c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int ExitCodeFor(const common::Status& status) {
+  switch (status.code()) {
+    case common::StatusCode::kOk: return 0;
+    case common::StatusCode::kInvalidArgument: return 3;
+    case common::StatusCode::kNotFound: return 4;
+    case common::StatusCode::kOutOfRange: return 5;
+    case common::StatusCode::kFailedPrecondition: return 6;
+    case common::StatusCode::kIoError: return 7;
+    case common::StatusCode::kParseError: return 8;
+    case common::StatusCode::kInternal: return 9;
+  }
+  return 1;
+}
+
+[[noreturn]] void Die(const common::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  std::exit(ExitCodeFor(status));
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dbsherlockd serve [flags]\n"
+      "flags:\n"
+      "  --host H              listen address (default 127.0.0.1)\n"
+      "  --port P              listen port; 0 = ephemeral (default 7379)\n"
+      "  --wal-dir DIR         durable model store directory (snapshot +\n"
+      "                        WAL); omitted = volatile store\n"
+      "  --no-fsync            skip per-append WAL fsync (benchmarks)\n"
+      "  --max-tenants N       idle-LRU tenant cap (default 64)\n"
+      "  --queue-capacity N    per-tenant ingest queue bound (default 1024)\n"
+      "  --ingest-workers N    drain threads (default 2)\n"
+      "  --diagnosis-workers N diagnosis threads (default 2)\n"
+      "  --retry-after-ms N    backpressure delay hint (default 20)\n"
+      "  --max-connections N   concurrent client cap (default 64)\n"
+      "  --window-rows N       monitor sliding window (default 600)\n"
+      "  --warmup-rows N       rows before first detection (default 120)\n"
+      "  --detect-every N      detection cadence in rows (default 15)\n"
+      "  --lambda L            min confidence for ranked causes\n"
+      "  --metrics-out f.json  write the metrics snapshot on shutdown\n"
+      "  --print-metrics       print the metrics snapshot on shutdown\n"
+      "on start, prints \"LISTENING <port>\" on stdout; SIGINT/SIGTERM\n"
+      "drain and exit 0\n"
+      "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
+      "  5 out of range, 6 failed precondition, 7 I/O error, 8 parse\n"
+      "  error, 9 internal error\n");
+  return 2;
+}
+
+int CmdServe(const Args& args) {
+  service::DurableModelStore::Options store_options;
+  store_options.dir = args.Get("wal-dir");
+  store_options.fsync_each_append = !args.Has("no-fsync");
+  auto store = service::DurableModelStore::Open(store_options);
+  if (!store.ok()) Die(store.status());
+  if (!store_options.dir.empty()) {
+    const auto& rec = (*store)->recovery();
+    std::fprintf(stderr,
+                 "model store: %zu model(s) recovered (%zu snapshot, %zu "
+                 "WAL replayed, %llu torn byte(s) discarded)\n",
+                 (*store)->num_models(), rec.snapshot_models,
+                 rec.wal_records_applied,
+                 static_cast<unsigned long long>(rec.truncated_bytes));
+  }
+
+  service::Service::Options options;
+  options.tenants.max_tenants =
+      static_cast<size_t>(args.GetDouble("max-tenants", 64));
+  options.tenants.monitor.window_rows =
+      static_cast<size_t>(args.GetDouble("window-rows", 600));
+  options.tenants.monitor.warmup_rows =
+      static_cast<size_t>(args.GetDouble("warmup-rows", 120));
+  options.tenants.monitor.detect_every =
+      static_cast<size_t>(args.GetDouble("detect-every", 15));
+  options.queue_capacity =
+      static_cast<size_t>(args.GetDouble("queue-capacity", 1024));
+  options.ingest_workers =
+      static_cast<size_t>(args.GetDouble("ingest-workers", 2));
+  options.diagnosis_workers =
+      static_cast<size_t>(args.GetDouble("diagnosis-workers", 2));
+  options.retry_after_ms =
+      static_cast<int>(args.GetDouble("retry-after-ms", 20));
+  options.min_confidence = args.GetDouble("lambda", 20.0);
+  options.store = store->get();
+  service::Service service(options);
+
+  service::Server::Options server_options;
+  server_options.host = args.Get("host", "127.0.0.1");
+  server_options.port = static_cast<int>(args.GetDouble("port", 7379));
+  server_options.max_connections =
+      static_cast<size_t>(args.GetDouble("max-connections", 64));
+  server_options.service = &service;
+  auto server = service::Server::Start(server_options);
+  if (!server.ok()) Die(server.status());
+
+  // Scripts (and the CTest e2e harness) block on this line.
+  std::printf("LISTENING %d\n", (*server)->port());
+  std::fflush(stdout);
+
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  // Block the stop signals while testing g_stop, and atomically unblock
+  // inside sigsuspend — the classic pattern that closes the
+  // check-then-sleep race.
+  sigset_t block, old;
+  sigemptyset(&block);
+  sigaddset(&block, SIGINT);
+  sigaddset(&block, SIGTERM);
+  sigprocmask(SIG_BLOCK, &block, &old);
+  while (g_stop == 0) {
+    sigsuspend(&old);
+  }
+  sigprocmask(SIG_SETMASK, &old, nullptr);
+
+  std::fprintf(stderr, "shutting down: draining tenants...\n");
+  (*server)->Stop();
+  service.Stop();
+  std::fprintf(stderr,
+               "done: %llu row(s) acked, %llu shed, %llu diagnosis(es), "
+               "%zu model(s) stored\n",
+               static_cast<unsigned long long>(service.total_acked()),
+               static_cast<unsigned long long>(service.total_shed()),
+               static_cast<unsigned long long>(service.total_diagnoses()),
+               (*store)->num_models());
+
+  if (args.Has("metrics-out")) {
+    std::string path = args.Get("metrics-out");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 7;
+    }
+    std::string snapshot =
+        common::MetricsRegistry::Global().SnapshotJson().Dump(2);
+    std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  if (args.Has("print-metrics")) {
+    std::fputs(common::MetricsRegistry::Global().SnapshotText().c_str(),
+               stderr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (command == "serve") return CmdServe(args);
+  return Usage();
+}

@@ -7,6 +7,7 @@
 #   tools/run_benchmarks.sh --sanitize
 #   tools/run_benchmarks.sh --robustness [output.json]
 #   tools/run_benchmarks.sh --trace-overhead
+#   tools/run_benchmarks.sh --service [output.json]
 # Modes:
 #   --with-metrics  run the microbenchmarks, then run one instrumented
 #                 pipeline pass (bench_pipeline_metrics) and embed its
@@ -20,6 +21,11 @@
 #                 accuracy-vs-corruption curve (default BENCH_robustness.json).
 #   --trace-overhead  verify the disabled-tracer overhead bound (<2% of a
 #                 diagnosis); the exit status is the verdict.
+#   --service     run the dbsherlockd end-to-end replay (8 simulated
+#                 tenants over the real socket path) and write throughput,
+#                 p99 append latency, shed rate, and per-tenant diagnosis
+#                 accuracy (default BENCH_service.json). Exit status is
+#                 nonzero unless every tenant's cause ranks top-1.
 # Env:
 #   BUILD_DIR  build tree holding the bench binaries (default: build)
 set -euo pipefail
@@ -39,6 +45,17 @@ fi
 if [[ "${1:-}" == "--robustness" ]]; then
   OUT="${2:-BENCH_robustness.json}"
   BIN="$BUILD_DIR/bench/bench_corruption_robustness"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  "$BIN" --json_out "$OUT"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--service" ]]; then
+  OUT="${2:-BENCH_service.json}"
+  BIN="$BUILD_DIR/bench/bench_service"
   if [[ ! -x "$BIN" ]]; then
     echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
     exit 1
