@@ -1,0 +1,201 @@
+// Embedded time-series store benchmark (run_benchmarks.sh --store):
+// streams simulator telemetry through a TenantStore and reports append
+// throughput (rows/s, including automatic seals), scan latency as the
+// requested range grows, and the on-disk compression ratio against the
+// raw CSV encoding of the same rows. Optionally writes the report as
+// JSON (BENCH_store.json); the exit status is nonzero when the ratio
+// misses the <= 0.35x acceptance bound from DESIGN.md §11.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "simulator/dataset_gen.h"
+#include "store/tenant_store.h"
+#include "tsdata/dataset_io.h"
+
+namespace {
+
+using namespace dbsherlock;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  int64_t rows = flags.Int("rows", 20000, "telemetry rows to stream");
+  int64_t seal_rows = flags.Int("seal_rows", 512, "segment seal threshold");
+  int64_t seed = flags.Int("seed", 20260805, "simulator seed");
+  int64_t fsync = flags.Int("fsync", 0, "fsync on seal (0/1)");
+  int64_t scan_iters = flags.Int("scan_iters", 20, "scans per range length");
+  std::string dir = flags.String(
+      "dir", "", "store directory (empty = fresh tmp dir, removed after)");
+  std::string json_out = flags.String(
+      "json_out", "", "write the report as JSON to this path");
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Store", "DESIGN.md §11",
+      "Append throughput, scan latency vs range length, and compression "
+      "ratio of the segment codec on simulator telemetry.");
+
+  bool scratch = dir.empty();
+  if (scratch) {
+    dir = "/tmp/dbsherlock_bench_store_" + std::to_string(getpid());
+    std::string cleanup = "rm -rf '" + dir + "'";
+    (void)std::system(cleanup.c_str());
+  }
+
+  // One simulated second per row: the anomaly keeps the traces from being
+  // trivially constant, so the ratio reflects realistic telemetry.
+  simulator::DatasetGenOptions gen;
+  gen.normal_duration_sec = static_cast<double>(rows);
+  gen.seed = static_cast<uint64_t>(seed);
+  auto generated = simulator::GenerateAnomalyDataset(
+      gen, simulator::AnomalyKind::kCpuSaturation,
+      /*anomaly_duration_sec=*/60.0);
+  const tsdata::Dataset& data = generated.data;
+  if (data.num_rows() < 100) {
+    std::fprintf(stderr, "error: simulator produced %zu rows\n",
+                 data.num_rows());
+    return 1;
+  }
+
+  store::TenantStore::Options options;
+  options.dir = dir;
+  options.schema = data.schema();
+  options.seal_rows = static_cast<size_t>(seal_rows);
+  options.fsync_on_seal = fsync != 0;
+  auto store = store::TenantStore::Open(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "error: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- Append throughput (automatic seals included) -------------------
+  std::vector<tsdata::Cell> cells(data.num_attributes());
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t a = 0; a < cells.size(); ++a) {
+      const tsdata::Column& column = data.column(a);
+      if (data.schema().attribute(a).kind ==
+          tsdata::AttributeKind::kNumeric) {
+        cells[a] = column.numeric(r);
+      } else {
+        cells[a] = column.CategoryName(column.code(r));
+      }
+    }
+    common::Status status =
+        (*store)->Append(data.timestamp(r), cells);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: append row %zu: %s\n", r,
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  double append_sec = SecondsSince(t0);
+  t0 = std::chrono::steady_clock::now();
+  common::Status sealed = (*store)->Seal();
+  if (!sealed.ok()) {
+    std::fprintf(stderr, "error: %s\n", sealed.ToString().c_str());
+    return 1;
+  }
+  double seal_sec = SecondsSince(t0);
+  double append_rows_per_sec =
+      static_cast<double>(data.num_rows()) / (append_sec + seal_sec);
+
+  // --- Compression vs the raw CSV of the same rows --------------------
+  uint64_t raw_bytes = tsdata::DatasetToCsv(data).size();
+  uint64_t disk_bytes = (*store)->sealed_bytes();
+  double ratio = (*store)->compression_ratio();
+
+  std::printf("\nrows %zu   segments %zu   append %.0f rows/s\n",
+              data.num_rows(), (*store)->num_segments(),
+              append_rows_per_sec);
+  std::printf("raw csv %llu B   on disk %llu B   compression %.3fx\n",
+              static_cast<unsigned long long>(raw_bytes),
+              static_cast<unsigned long long>(disk_bytes), ratio);
+
+  // --- Scan latency vs range length -----------------------------------
+  double first_ts = data.timestamp(0);
+  double last_ts = data.timestamp(data.num_rows() - 1);
+  bench::TablePrinter table({"Range rows", "Mean ms", "Scan rows/s"},
+                            {12, 10, 14});
+  std::printf("\n");
+  table.PrintHeader();
+  common::JsonValue::Array scan_rows_json;
+  for (size_t range : {60u, 600u, 6000u}) {
+    if (range > data.num_rows()) break;
+    // Start mid-history so every scan stitches across segment boundaries.
+    double scan_t0 = first_ts + (last_ts - first_ts) * 0.25;
+    double scan_t1 = scan_t0 + static_cast<double>(range);
+    double total_sec = 0.0;
+    size_t rows_out = 0;
+    for (int64_t i = 0; i < scan_iters; ++i) {
+      auto start = std::chrono::steady_clock::now();
+      auto slice = (*store)->Scan(scan_t0, scan_t1);
+      total_sec += SecondsSince(start);
+      if (!slice.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     slice.status().ToString().c_str());
+        return 1;
+      }
+      rows_out = slice->num_rows();
+    }
+    double mean_ms = 1000.0 * total_sec / static_cast<double>(scan_iters);
+    double scan_rows_per_sec =
+        static_cast<double>(rows_out) * static_cast<double>(scan_iters) /
+        total_sec;
+    table.PrintRow({std::to_string(rows_out), bench::Num(mean_ms, 3),
+                    bench::Num(scan_rows_per_sec, 0)});
+    common::JsonValue::Object entry;
+    entry["range_rows"] = static_cast<double>(rows_out);
+    entry["mean_ms"] = mean_ms;
+    entry["rows_per_sec"] = scan_rows_per_sec;
+    scan_rows_json.push_back(common::JsonValue(std::move(entry)));
+  }
+
+  constexpr double kRatioBound = 0.35;
+  bool ratio_ok = ratio > 0.0 && ratio <= kRatioBound;
+  std::printf("\ncompression bound <= %.2fx: %s\n", kRatioBound,
+              ratio_ok ? "pass" : "FAIL");
+
+  if (!json_out.empty()) {
+    common::JsonValue::Object report;
+    report["rows"] = static_cast<double>(data.num_rows());
+    report["seal_rows"] = static_cast<double>(seal_rows);
+    report["segments"] = static_cast<double>((*store)->num_segments());
+    report["append_rows_per_sec"] = append_rows_per_sec;
+    report["raw_csv_bytes"] = static_cast<double>(raw_bytes);
+    report["disk_bytes"] = static_cast<double>(disk_bytes);
+    report["compression_ratio"] = ratio;
+    report["compression_bound"] = kRatioBound;
+    report["scans"] = common::JsonValue(std::move(scan_rows_json));
+    std::ofstream out(json_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
+      return 1;
+    }
+    out << common::JsonValue(std::move(report)).Dump(2) << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+
+  if (scratch) {
+    std::string cleanup = "rm -rf '" + dir + "'";
+    (void)std::system(cleanup.c_str());
+  }
+  return ratio_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

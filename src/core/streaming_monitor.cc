@@ -1,6 +1,8 @@
 #include "core/streaming_monitor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -73,6 +75,48 @@ void StreamingMonitor::TrimWindow() {
   if (window_.num_rows() <= options_.window_rows + kSlack) return;
   size_t drop = window_.num_rows() - options_.window_rows;
   window_ = window_.Slice(drop, window_.num_rows());
+}
+
+common::Status StreamingMonitor::Hydrate(const tsdata::Dataset& tail) {
+  if (!(tail.schema() == window_.schema())) {
+    return common::Status::InvalidArgument(
+        "hydration tail schema does not match the monitor schema");
+  }
+  if (!tail.TimestampsSorted()) {
+    return common::Status::InvalidArgument(
+        "hydration tail timestamps are not sorted");
+  }
+  double newest = window_.num_rows() > 0
+                      ? window_.timestamp(window_.num_rows() - 1)
+                      : -std::numeric_limits<double>::infinity();
+  std::vector<tsdata::Cell> cells(tail.num_attributes());
+  for (size_t row = 0; row < tail.num_rows(); ++row) {
+    double ts = tail.timestamp(row);
+    if (!std::isfinite(ts) || !(ts > newest)) {
+      return common::Status::InvalidArgument(common::StrFormat(
+          "hydration row %zu timestamp %g is not after %g", row, ts,
+          newest));
+    }
+    for (size_t i = 0; i < tail.num_attributes(); ++i) {
+      const tsdata::Column& column = tail.column(i);
+      if (column.kind() == tsdata::AttributeKind::kNumeric) {
+        cells[i] = column.numeric(row);
+      } else {
+        cells[i] = column.CategoryName(column.code(row));
+      }
+    }
+    DBSHERLOCK_RETURN_NOT_OK(window_.AppendRow(ts, cells));
+    newest = ts;
+    ++rows_seen_;
+  }
+  TrimWindow();
+  // History was already monitored before the restart: anything in the
+  // hydrated span must not re-alert.
+  if (window_.num_rows() > 0) {
+    alerted_until_ =
+        std::max(alerted_until_, window_.timestamp(window_.num_rows() - 1));
+  }
+  return common::Status::OK();
 }
 
 std::optional<StreamingMonitor::Alert> StreamingMonitor::Append(

@@ -75,6 +75,15 @@ class StreamingMonitor {
   std::optional<Alert> Append(double timestamp,
                               const std::vector<tsdata::Cell>& cells);
 
+  /// Pre-fills the window from persisted history (restart rehydration from
+  /// the tenant's store). Rows must be strictly increasing and newer than
+  /// anything already buffered; the whole tail is rejected otherwise. No
+  /// detection runs, and the hydrated span is marked already-alerted so a
+  /// restart never re-raises alerts for anomalies that predate it. Only
+  /// valid before live appends (window must still warm up normally
+  /// afterwards if the tail is short).
+  common::Status Hydrate(const tsdata::Dataset& tail);
+
   /// The explainer used for alert diagnoses (preload causal models here).
   Explainer& explainer() { return explainer_; }
 

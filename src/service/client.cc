@@ -21,7 +21,9 @@ namespace {
 using common::Result;
 using common::Status;
 
-constexpr size_t kMaxLine = 1 << 20;
+/// QUERY responses embed a CSV payload, so the client tolerates much
+/// longer lines than the server's request guard.
+constexpr size_t kMaxLine = 8 << 20;
 
 }  // namespace
 
@@ -155,6 +157,18 @@ Status Client::Flush(const std::string& tenant) {
 
 Result<common::JsonValue> Client::Diagnoses(const std::string& tenant) {
   return ExpectJson(Call("DIAGNOSES " + tenant));
+}
+
+Result<common::JsonValue> Client::Query(const std::string& tenant, double t0,
+                                        double t1) {
+  return ExpectJson(Call(common::StrFormat("QUERY %s %.17g %.17g",
+                                           tenant.c_str(), t0, t1)));
+}
+
+Result<common::JsonValue> Client::DiagnoseRange(const std::string& tenant,
+                                                double t0, double t1) {
+  return ExpectJson(Call(common::StrFormat("DIAGNOSE_RANGE %s %.17g %.17g",
+                                           tenant.c_str(), t0, t1)));
 }
 
 Result<common::JsonValue> Client::Stats() {

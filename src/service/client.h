@@ -44,6 +44,12 @@ class Client {
   common::Status Teach(const core::CausalModel& model);
   common::Status Flush(const std::string& tenant);
   common::Result<common::JsonValue> Diagnoses(const std::string& tenant);
+  /// History rows in [t0, t1) from the tenant's durable store (QUERY).
+  common::Result<common::JsonValue> Query(const std::string& tenant,
+                                          double t0, double t1);
+  /// Retrospective diagnosis of [t0, t1) (DIAGNOSE_RANGE).
+  common::Result<common::JsonValue> DiagnoseRange(const std::string& tenant,
+                                                  double t0, double t1);
   common::Result<common::JsonValue> Stats();
   common::Result<common::JsonValue> Models();
   common::Status Ping();

@@ -184,7 +184,12 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
       *quit = true;
       return OkLine("bye");
     case RequestOp::kHello: {
-      Status status = service.Hello(request.tenant, request.schema);
+      std::optional<TenantManager::Retention> retain;
+      if (request.has_retain) {
+        retain = TenantManager::Retention{request.retain_bytes,
+                                          request.retain_age_sec};
+      }
+      Status status = service.Hello(request.tenant, request.schema, retain);
       if (!status.ok()) return ErrLine(status);
       return OkLine(common::StrFormat(
           "tenant %s attrs %zu", request.tenant.c_str(),
@@ -238,6 +243,17 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
       auto diagnoses = service.DiagnosesJson(request.tenant);
       if (!diagnoses.ok()) return ErrLine(diagnoses.status());
       return OkLine(diagnoses->Dump());
+    }
+    case RequestOp::kQuery: {
+      auto rows = service.QueryJson(request.tenant, request.t0, request.t1);
+      if (!rows.ok()) return ErrLine(rows.status());
+      return OkLine(rows->Dump());
+    }
+    case RequestOp::kDiagnoseRange: {
+      auto diagnosis =
+          service.DiagnoseRangeJson(request.tenant, request.t0, request.t1);
+      if (!diagnosis.ok()) return ErrLine(diagnosis.status());
+      return OkLine(diagnosis->Dump());
     }
     case RequestOp::kStats:
       return OkLine(service.StatsJson().Dump());

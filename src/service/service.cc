@@ -9,6 +9,7 @@
 #include "common/strings.h"
 #include "common/trace.h"
 #include "core/model_io.h"
+#include "tsdata/dataset_io.h"
 #include "tsdata/region.h"
 
 namespace dbsherlock::service {
@@ -77,12 +78,13 @@ Service::Service(Options options)
 
 Service::~Service() { Stop(); }
 
-Status Service::Hello(const std::string& tenant,
-                      const tsdata::Schema& schema) {
+Status Service::Hello(
+    const std::string& tenant, const tsdata::Schema& schema,
+    const std::optional<TenantManager::Retention>& retain) {
   if (!accepting_.load()) {
     return Status::FailedPrecondition("service is stopping");
   }
-  auto result = tenants_.Hello(tenant, schema);
+  auto result = tenants_.Hello(tenant, schema, retain);
   if (!result.ok()) return result.status();
   return Status::OK();
 }
@@ -197,6 +199,17 @@ void Service::DrainTenant(const std::shared_ptr<Tenant>& tenant) {
       // is the only thread touching the monitor.
       std::optional<core::StreamingMonitor::Alert> alert =
           tenant->monitor->Append(row.timestamp, row.cells);
+      if (tenant->history != nullptr &&
+          tenant->monitor->last_append_status().ok()) {
+        // Tee monitor-accepted rows into the durable store; filtering on
+        // the monitor's verdict keeps the store's strictly-increasing
+        // timestamp invariant (late/duplicate rows were dropped above).
+        Status persisted =
+            tenant->history->Append(row.timestamp, row.cells);
+        if (!persisted.ok()) {
+          metrics.GetCounter("service.history_append_errors")->Increment();
+        }
+      }
       if (alert.has_value()) {
         total_alerts_.fetch_add(1, std::memory_order_relaxed);
         metrics.GetCounter("service.alerts")->Increment();
@@ -383,6 +396,97 @@ Result<common::JsonValue> Service::DiagnosesJson(const std::string& tenant) {
   return common::JsonValue(std::move(out));
 }
 
+Result<common::JsonValue> Service::QueryJson(const std::string& tenant,
+                                             double t0, double t1) {
+  auto& metrics = common::MetricsRegistry::Global();
+  metrics.GetCounter("service.queries")->Increment();
+  auto found = tenants_.Find(tenant);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Tenant> t = std::move(*found);
+  if (t->history == nullptr) {
+    return Status::FailedPrecondition(
+        "history store not configured (start dbsherlockd with --store-dir)");
+  }
+  auto scanned = t->history->Scan(t0, t1);
+  if (!scanned.ok()) return scanned.status();
+
+  common::JsonValue::Object out;
+  out["tenant"] = tenant;
+  out["t0"] = t0;
+  out["t1"] = t1;
+  tsdata::Dataset result = std::move(*scanned);
+  if (result.num_rows() > options_.max_query_rows) {
+    result = result.Slice(0, options_.max_query_rows);
+    out["truncated"] = true;
+  }
+  out["rows"] = static_cast<double>(result.num_rows());
+  out["csv"] = tsdata::DatasetToCsv(result);
+  return common::JsonValue(std::move(out));
+}
+
+Result<common::JsonValue> Service::DiagnoseRangeJson(
+    const std::string& tenant, double t0, double t1) {
+  TRACE_SPAN("service.diagnose_range");
+  auto& metrics = common::MetricsRegistry::Global();
+  metrics.GetCounter("service.range_diagnoses")->Increment();
+  common::ScopedLatency timer(
+      metrics.GetHistogram("service.range_diagnosis_us"));
+  auto found = tenants_.Find(tenant);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Tenant> t = std::move(*found);
+  if (t->history == nullptr) {
+    return Status::FailedPrecondition(
+        "history store not configured (start dbsherlockd with --store-dir)");
+  }
+  // The user designated [t0, t1) as abnormal (the paper's workflow); pad
+  // the scan with surrounding context so predicate separation has normal
+  // rows to compare against.
+  double context = (t1 - t0) * std::max(0.0, options_.range_context_factor);
+  auto scanned = t->history->Scan(t0 - context, t1 + context);
+  if (!scanned.ok()) return scanned.status();
+  const tsdata::Dataset& window = *scanned;
+  size_t abnormal_rows = window.RowsInTimeRange(t0, t1).size();
+  if (abnormal_rows == 0) {
+    return Status::NotFound(common::StrFormat(
+        "no stored rows in [%g, %g) for tenant %s", t0, t1,
+        tenant.c_str()));
+  }
+  if (window.num_rows() == abnormal_rows) {
+    return Status::FailedPrecondition(
+        "no normal context rows around the region; widen retention or "
+        "range_context_factor");
+  }
+
+  tsdata::DiagnosisRegions regions;
+  regions.abnormal = tsdata::RegionSpec({tsdata::TimeRange{t0, t1}});
+  core::Explanation explanation = explainer_.Diagnose(window, regions);
+  if (options_.store != nullptr) {
+    tsdata::LabeledRows rows = tsdata::SplitRows(window, regions);
+    explanation.causes =
+        options_.store->Rank(window, rows,
+                             options_.explainer.predicate_options,
+                             options_.min_confidence);
+  }
+
+  common::JsonValue::Object out;
+  common::JsonValue::Object region;
+  region["start"] = t0;
+  region["end"] = t1;
+  out["region"] = common::JsonValue(std::move(region));
+  out["rows"] = static_cast<double>(window.num_rows());
+  common::JsonValue::Array causes;
+  for (const core::RankedCause& c : explanation.causes) {
+    common::JsonValue::Object cause;
+    cause["cause"] = c.cause;
+    cause["confidence"] = c.confidence;
+    if (!c.suggested_action.empty()) cause["action"] = c.suggested_action;
+    causes.push_back(common::JsonValue(std::move(cause)));
+  }
+  out["causes"] = common::JsonValue(std::move(causes));
+  out["predicates"] = explanation.PredicatesToString();
+  return common::JsonValue(std::move(out));
+}
+
 common::JsonValue Service::StatsJson() const {
   common::JsonValue::Object out;
   out["acked"] = static_cast<double>(total_acked_.load());
@@ -408,6 +512,20 @@ common::JsonValue Service::StatsJson() const {
       std::lock_guard lock(t->diag_mu);
       entry["diagnoses"] = static_cast<double>(t->diag_completed);
       entry["diagnoses_deduped"] = static_cast<double>(t->diag_deduped);
+    }
+    if (t->history != nullptr) {
+      common::JsonValue::Object history;
+      history["segments"] = static_cast<double>(t->history->num_segments());
+      history["sealed_rows"] =
+          static_cast<double>(t->history->sealed_rows());
+      history["sealed_bytes"] =
+          static_cast<double>(t->history->sealed_bytes());
+      history["active_rows"] =
+          static_cast<double>(t->history->active_rows());
+      history["compression_ratio"] = t->history->compression_ratio();
+      history["retention_deletes"] =
+          static_cast<double>(t->history->retention_deletes());
+      entry["history"] = common::JsonValue(std::move(history));
     }
     per_tenant[name] = common::JsonValue(std::move(entry));
   }
@@ -444,6 +562,14 @@ void Service::Stop() {
     ready_cv_.notify_all();
   }
   for (std::thread& t : ingest_threads_) t.join();
+  // Clean shutdown persists the active tail: only a hard kill can lose
+  // unsealed rows.
+  for (const std::string& name : tenants_.Names()) {
+    auto found = tenants_.Find(name);
+    if (found.ok() && (*found)->history != nullptr) {
+      (void)(*found)->history->Seal();
+    }
+  }
   {
     std::lock_guard lock(diag_queue_mu_);
     stop_diag_ = true;

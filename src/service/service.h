@@ -6,6 +6,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -58,6 +59,13 @@ class Service {
     double min_confidence = 20.0;
     /// Shared durable model store. Required; not owned.
     DurableModelStore* store = nullptr;
+    /// Row cap on one QUERY response (the wire is line-oriented; a huge
+    /// range comes back truncated with "truncated":true).
+    size_t max_query_rows = 5000;
+    /// DIAGNOSE_RANGE scans a context window this many region-lengths on
+    /// each side of [t0,t1) so the explainer sees normal baseline rows
+    /// (the paper's "rest of the window is normal" convention).
+    double range_context_factor = 8.0;
     /// Test hook: microseconds of artificial work per appended row, to
     /// force a slow consumer for backpressure tests.
     int process_delay_us = 0;
@@ -78,9 +86,11 @@ class Service {
   Service(const Service&) = delete;
   Service& operator=(const Service&) = delete;
 
-  /// Registers (or idempotently re-greets) a tenant.
-  common::Status Hello(const std::string& tenant,
-                       const tsdata::Schema& schema);
+  /// Registers (or idempotently re-greets) a tenant. `retain` carries
+  /// HELLO's optional RETAIN clause through to the tenant's history store.
+  common::Status Hello(
+      const std::string& tenant, const tsdata::Schema& schema,
+      const std::optional<TenantManager::Retention>& retain = std::nullopt);
 
   /// Enqueues one row for `tenant`. Cells must match the tenant schema
   /// (checked here, before acking). Never blocks on a full queue.
@@ -103,6 +113,19 @@ class Service {
   /// [{"region":{start,end},"causes":[{cause,confidence,action}],
   ///   "predicates":"...","latency_us":n}].
   common::Result<common::JsonValue> DiagnosesJson(const std::string& tenant);
+
+  /// History rows in [t0, t1) from the tenant's store (QUERY verb):
+  /// {"tenant","t0","t1","rows",("truncated",)"csv"}. Fails with
+  /// FailedPrecondition when the service runs without a store directory.
+  common::Result<common::JsonValue> QueryJson(const std::string& tenant,
+                                              double t0, double t1);
+
+  /// Retrospective diagnosis of a user-designated abnormal region [t0, t1)
+  /// (DIAGNOSE_RANGE verb) — the paper's workflow, but over the durable
+  /// store, so the region may long have left the sliding window:
+  /// {"region":{start,end},"rows","causes":[...],"predicates"}.
+  common::Result<common::JsonValue> DiagnoseRangeJson(
+      const std::string& tenant, double t0, double t1);
 
   /// Service-wide counters (STATS verb).
   common::JsonValue StatsJson() const;

@@ -1,6 +1,10 @@
 #include "service/tenant_manager.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
 #include "common/metrics.h"
 
@@ -17,7 +21,8 @@ TenantManager::TenantManager(Options options)
 }
 
 Result<std::shared_ptr<Tenant>> TenantManager::Hello(
-    const std::string& name, const tsdata::Schema& schema) {
+    const std::string& name, const tsdata::Schema& schema,
+    const std::optional<Retention>& retain) {
   if (schema.num_attributes() == 0) {
     return Status::InvalidArgument("tenant schema must not be empty");
   }
@@ -27,6 +32,9 @@ Result<std::shared_ptr<Tenant>> TenantManager::Hello(
     if (!(it->second->schema == schema)) {
       return Status::FailedPrecondition(
           "tenant '" + name + "' already registered with a different schema");
+    }
+    if (retain.has_value() && it->second->history != nullptr) {
+      it->second->history->SetRetention(retain->bytes, retain->age_sec);
     }
     it->second->last_used.store(clock_.fetch_add(1) + 1,
                                 std::memory_order_relaxed);
@@ -43,6 +51,30 @@ Result<std::shared_ptr<Tenant>> TenantManager::Hello(
   monitor_options.metric_label = name;
   tenant->monitor =
       std::make_unique<core::StreamingMonitor>(schema, monitor_options);
+  if (!options_.store.dir.empty()) {
+    // Tenant names are path-safe by ValidTenantName ([A-Za-z0-9_.-]).
+    if (::mkdir(options_.store.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError("mkdir " + options_.store.dir + ": " +
+                             std::strerror(errno));
+    }
+    store::TenantStore::Options store_options = options_.store;
+    store_options.dir = options_.store.dir + "/" + name;
+    store_options.schema = schema;
+    if (retain.has_value()) {
+      store_options.retain_bytes = retain->bytes;
+      store_options.retain_age_sec = retain->age_sec;
+    }
+    auto history = store::TenantStore::Open(std::move(store_options));
+    if (!history.ok()) return history.status();
+    tenant->history = std::move(*history);
+    // Restart continuity: refill the sliding window from stored history
+    // so detection context (and STATS window size) survives the restart.
+    auto tail = tenant->history->ScanTail(options_.monitor.window_rows);
+    if (!tail.ok()) return tail.status();
+    if (tail->num_rows() > 0) {
+      DBSHERLOCK_RETURN_NOT_OK(tenant->monitor->Hydrate(*tail));
+    }
+  }
   tenant->last_used.store(clock_.fetch_add(1) + 1, std::memory_order_relaxed);
   tenants_[name] = tenant;
   EvictLocked();

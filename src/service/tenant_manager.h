@@ -8,11 +8,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/streaming_monitor.h"
+#include "store/tenant_store.h"
 #include "tsdata/dataset.h"
 #include "tsdata/schema.h"
 
@@ -70,6 +72,11 @@ struct Tenant {
   /// tenant name. Single-drainer access only (see above).
   std::unique_ptr<core::StreamingMonitor> monitor;
 
+  /// Durable telemetry history (nullptr when the service runs without a
+  /// --store-dir). Internally synchronized: the drain worker appends,
+  /// any thread may Scan — no Tenant lock is involved.
+  std::unique_ptr<store::TenantStore> history;
+
   std::mutex diag_mu;
   std::condition_variable diag_done;
   size_t diag_pending = 0;       // jobs queued for this tenant
@@ -95,16 +102,31 @@ class TenantManager {
     size_t max_tenants = 64;
     /// Monitor shape applied to every tenant's pipeline.
     core::StreamingMonitor::Options monitor;
+    /// History store template. `store.dir` is the ROOT directory; each
+    /// tenant gets `<root>/<name>`. Empty dir = history disabled (the
+    /// pre-store in-memory-only behavior).
+    store::TenantStore::Options store;
+  };
+
+  /// Per-tenant retention override carried by HELLO's RETAIN clause.
+  struct Retention {
+    uint64_t bytes = 0;      // 0 = unlimited
+    double age_sec = 0.0;    // 0 = unlimited
   };
 
   explicit TenantManager(Options options);
 
   /// Finds or creates the tenant. Creating builds its monitor from the
   /// manager's options (diagnosis forced out-of-band, metrics labeled by
-  /// tenant name). A second HELLO with a different schema fails with
-  /// FailedPrecondition; an identical one is an idempotent no-op.
-  common::Result<std::shared_ptr<Tenant>> Hello(const std::string& name,
-                                                const tsdata::Schema& schema);
+  /// tenant name), opens its history store when one is configured —
+  /// recovering sealed segments and re-hydrating the monitor window from
+  /// the stored tail — and arms `retain` if given (a re-HELLO with a
+  /// RETAIN clause re-arms it). A second HELLO with a different schema
+  /// fails with FailedPrecondition; an identical one is an idempotent
+  /// no-op.
+  common::Result<std::shared_ptr<Tenant>> Hello(
+      const std::string& name, const tsdata::Schema& schema,
+      const std::optional<Retention>& retain = std::nullopt);
 
   /// The tenant, or NotFound. Bumps its LRU tick.
   common::Result<std::shared_ptr<Tenant>> Find(const std::string& name);

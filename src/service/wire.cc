@@ -45,6 +45,27 @@ Result<Request> ParseJsonRequest(const std::string& line) {
     auto schema = ParseSchemaSpec(*spec);
     if (!schema.ok()) return schema.status();
     request.schema = std::move(*schema);
+    // Optional retention clause (either key arms it; missing key = 0 =
+    // unlimited on that axis).
+    const common::JsonValue* bytes = json->Find("retain_bytes");
+    const common::JsonValue* age = json->Find("retain_sec");
+    if (bytes != nullptr || age != nullptr) {
+      if (bytes != nullptr) {
+        if (!bytes->is_number() || bytes->as_number() < 0) {
+          return Status::InvalidArgument(
+              "retain_bytes must be a non-negative number");
+        }
+        request.retain_bytes = static_cast<uint64_t>(bytes->as_number());
+      }
+      if (age != nullptr) {
+        if (!age->is_number() || age->as_number() < 0) {
+          return Status::InvalidArgument(
+              "retain_sec must be a non-negative number");
+        }
+        request.retain_age_sec = age->as_number();
+      }
+      request.has_retain = true;
+    }
     return request;
   }
   if (*op == "append") {
@@ -166,15 +187,57 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
   }
   if (verb == "HELLO") {
     request.op = RequestOp::kHello;
-    auto [tenant, spec] = SplitVerb(rest);
+    auto [tenant, after_tenant] = SplitVerb(rest);
     request.tenant = tenant;
     if (!ValidTenantName(request.tenant)) {
       return Status::InvalidArgument("invalid tenant name: " +
                                      request.tenant);
     }
-    auto schema = ParseSchemaSpec(std::string(common::Trim(spec)));
+    auto [spec, retain] = SplitVerb(std::string(common::Trim(after_tenant)));
+    auto schema = ParseSchemaSpec(spec);
     if (!schema.ok()) return schema.status();
     request.schema = std::move(*schema);
+    if (!retain.empty()) {
+      std::vector<std::string> fields =
+          common::Split(std::string(common::Trim(retain)), ' ');
+      if (fields.size() != 3 || fields[0] != "RETAIN") {
+        return Status::InvalidArgument(
+            "HELLO trailer must be 'RETAIN <bytes> <age_sec>'");
+      }
+      auto bytes = common::ParseInt64(fields[1]);
+      if (!bytes.ok() || *bytes < 0) {
+        return Status::InvalidArgument("bad RETAIN bytes: " + fields[1]);
+      }
+      auto age = common::ParseDouble(fields[2]);
+      if (!age.ok() || *age < 0) {
+        return Status::InvalidArgument("bad RETAIN age_sec: " + fields[2]);
+      }
+      request.has_retain = true;
+      request.retain_bytes = static_cast<uint64_t>(*bytes);
+      request.retain_age_sec = *age;
+    }
+    return request;
+  }
+  if (verb == "QUERY" || verb == "DIAGNOSE_RANGE") {
+    request.op = verb == "QUERY" ? RequestOp::kQuery
+                                 : RequestOp::kDiagnoseRange;
+    auto [tenant, range] = SplitVerb(rest);
+    request.tenant = tenant;
+    if (!ValidTenantName(request.tenant)) {
+      return Status::InvalidArgument("invalid tenant name: " +
+                                     request.tenant);
+    }
+    auto [t0_text, t1_text] = SplitVerb(range);
+    auto t0 = common::ParseDouble(t0_text);
+    if (!t0.ok()) return t0.status();
+    auto t1 = common::ParseDouble(std::string(common::Trim(t1_text)));
+    if (!t1.ok()) return t1.status();
+    if (!(*t0 < *t1)) {
+      return Status::InvalidArgument(
+          common::StrFormat("%s needs t0 < t1", verb.c_str()));
+    }
+    request.t0 = *t0;
+    request.t1 = *t1;
     return request;
   }
   if (verb == "APPEND") {

@@ -1,6 +1,7 @@
 #ifndef DBSHERLOCK_SERVICE_WIRE_H_
 #define DBSHERLOCK_SERVICE_WIRE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,11 +17,14 @@ namespace dbsherlock::service {
 /// one dispatch path:
 ///
 ///   Text (space-separated verb + args, cells as CSV):
-///     HELLO <tenant> <name:kind[,name:kind...]>      kind: num | cat
+///     HELLO <tenant> <name:kind[,name:kind...]> [RETAIN <bytes> <age_sec>]
+///                                                     kind: num | cat
 ///     APPEND <tenant> <timestamp> <cell[,cell...]>
 ///     TEACH <causal-model-json>                       (model_io format)
 ///     DIAGNOSES <tenant>
 ///     FLUSH <tenant>
+///     QUERY <tenant> <t0> <t1>                        history rows [t0,t1)
+///     DIAGNOSE_RANGE <tenant> <t0> <t1>               diagnose [t0,t1)
 ///     STATS
 ///     MODELS
 ///     PING
@@ -29,7 +33,12 @@ namespace dbsherlock::service {
 ///   JSON (a line starting with '{'; append/hello only — the ops a metrics
 ///   collector emits):
 ///     {"op":"append","tenant":"t0","ts":12.0,"cells":[1.5,"mixed"]}
-///     {"op":"hello","tenant":"t0","schema":"cpu:num,mode:cat"}
+///     {"op":"hello","tenant":"t0","schema":"cpu:num,mode:cat",
+///      "retain_bytes":1048576,"retain_sec":3600}       (retain_* optional)
+///
+/// HELLO's optional RETAIN clause arms the tenant's history store
+/// retention (0 = unlimited); QUERY/DIAGNOSE_RANGE read that store, so
+/// they answer over regions that have long left the sliding window.
 ///
 /// Responses:
 ///     OK [detail]            request applied
@@ -46,6 +55,8 @@ enum class RequestOp {
   kTeach,
   kDiagnoses,
   kFlush,
+  kQuery,
+  kDiagnoseRange,
   kStats,
   kModels,
   kPing,
@@ -64,6 +75,11 @@ struct Request {
   std::vector<tsdata::Cell> cells;       // append (JSON path)
   std::vector<std::string> raw_cells;    // append (CSV path)
   core::CausalModel model;               // teach
+  double t0 = 0.0;                       // query/diagnose_range, [t0, t1)
+  double t1 = 0.0;
+  bool has_retain = false;               // hello RETAIN clause present
+  uint64_t retain_bytes = 0;             // 0 = unlimited
+  double retain_age_sec = 0.0;           // 0 = unlimited
 };
 
 /// Parses one request line (no trailing newline; a trailing '\r' is

@@ -29,7 +29,12 @@ tsdata::Schema MetricSchema() {
 std::vector<tsdata::Cell> MetricsToCells(const Metrics& m) {
   std::vector<tsdata::Cell> cells;
   cells.reserve(NumNumericMetrics() + 2);
-#define DBSHERLOCK_EMIT_FIELD(name) cells.emplace_back(m.name);
+  // Readings cross the collector's single-precision wire format on the way
+  // into the statistics table: real collectors (dstat, SNMP gauges, OpenTSDB
+  // floats) never deliver 17 significant digits. The simulator's internal
+  // state stays double; only the recorded telemetry is quantized.
+#define DBSHERLOCK_EMIT_FIELD(name) \
+  cells.emplace_back(static_cast<double>(static_cast<float>(m.name)));
   DBSHERLOCK_NUMERIC_METRICS(DBSHERLOCK_EMIT_FIELD)
 #undef DBSHERLOCK_EMIT_FIELD
   cells.emplace_back(m.dominant_statement);

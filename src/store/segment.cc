@@ -1,0 +1,658 @@
+#include "store/segment.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace dbsherlock::store {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+// --- Segment framing (DESIGN.md §11) ----------------------------------
+//
+//   "DBSG" | u32 version | block* | (torn tail tolerated by TenantStore)
+//   block := u32 payload_len | u32 crc32(payload) | payload
+//
+// Block order is fixed: meta, timestamps, then one block per column.
+
+constexpr char kMagic[4] = {'D', 'B', 'S', 'G'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 8;      // magic + version
+constexpr size_t kBlockHeaderSize = 8; // len + crc
+/// One block holds one column of one segment (segments seal at a few
+/// thousand rows); anything larger is a torn or hostile header.
+constexpr uint32_t kMaxBlock = 64u << 20;
+constexpr uint32_t kMaxAttributes = 4096;
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint64_t kMaxRows = 1u << 28;
+
+/// Reflected CRC-32 (poly 0xEDB88320), matching the service WAL framing.
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  uint32_t crc = ~0u;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendF64(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// LEB128 unsigned varint, used for categorical dictionary codes.
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Bounds-checked little-endian reader over one block payload.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ReadU32(uint32_t* out) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* out) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status ReadF64(double* out) {
+    uint64_t bits = 0;
+    DBSHERLOCK_RETURN_NOT_OK(ReadU64(&bits));
+    *out = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+  Status ReadU8(uint8_t* out) {
+    if (remaining() < 1) return Truncated("u8");
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status ReadBytes(size_t n, std::string_view* out) {
+    if (remaining() < n) return Truncated("bytes");
+    *out = data_.substr(pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadVarint(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (remaining() < 1) return Truncated("varint");
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = v;
+        return Status::OK();
+      }
+    }
+    return Status::ParseError("segment: varint overruns 64 bits");
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::ParseError(std::string("segment: truncated ") + what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- Bit-level I/O -----------------------------------------------------
+
+/// MSB-first bit appender backing the Gorilla streams.
+class BitWriter {
+ public:
+  void WriteBit(bool bit) {
+    if (used_ == 0) buffer_.push_back('\0');
+    if (bit) {
+      buffer_.back() = static_cast<char>(
+          static_cast<uint8_t>(buffer_.back()) | (0x80u >> used_));
+    }
+    used_ = (used_ + 1) % 8;
+  }
+
+  /// Writes the low `n` bits of `v`, most significant first.
+  void WriteBits(uint64_t v, int n) {
+    for (int i = n - 1; i >= 0; --i) WriteBit((v >> i) & 1u);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+  int used_ = 0;  // bits used in the last byte (0 = byte boundary)
+};
+
+/// MSB-first bounds-checked bit reader.
+class BitReader {
+ public:
+  explicit BitReader(std::string_view data) : data_(data) {}
+
+  Status ReadBit(bool* out) {
+    if (byte_ >= data_.size()) {
+      return Status::ParseError("segment: bit stream exhausted");
+    }
+    *out = (static_cast<uint8_t>(data_[byte_]) >> (7 - bit_)) & 1u;
+    if (++bit_ == 8) {
+      bit_ = 0;
+      ++byte_;
+    }
+    return Status::OK();
+  }
+
+  Status ReadBits(int n, uint64_t* out) {
+    uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      bool bit = false;
+      DBSHERLOCK_RETURN_NOT_OK(ReadBit(&bit));
+      v = (v << 1) | (bit ? 1u : 0u);
+    }
+    *out = v;
+    return Status::OK();
+  }
+
+ private:
+  std::string_view data_;
+  size_t byte_ = 0;
+  int bit_ = 0;
+};
+
+// --- Gorilla XOR value stream ------------------------------------------
+//
+// First value: 64 raw bits. Each subsequent value is XORed (on its bit
+// pattern) against the previous one:
+//   '0'                          -> identical value
+//   '1' '0' + meaningful bits    -> reuse the previous leading/trailing
+//                                   zero window
+//   '1' '1' + 5b leading + 6b (len-1) + meaningful bits
+// Pure bit manipulation, so NaN payloads survive unchanged.
+
+class XorEncoder {
+ public:
+  explicit XorEncoder(BitWriter* out) : out_(out) {}
+
+  void Add(uint64_t bits) {
+    if (first_) {
+      first_ = false;
+      out_->WriteBits(bits, 64);
+      prev_ = bits;
+      return;
+    }
+    uint64_t x = bits ^ prev_;
+    prev_ = bits;
+    if (x == 0) {
+      out_->WriteBit(false);
+      return;
+    }
+    out_->WriteBit(true);
+    int leading = std::countl_zero(x);
+    int trailing = std::countr_zero(x);
+    if (leading > 31) leading = 31;  // 5-bit field
+    if (window_valid_ && leading >= lead_ && trailing >= trail_) {
+      out_->WriteBit(false);
+      out_->WriteBits(x >> trail_, 64 - lead_ - trail_);
+      return;
+    }
+    out_->WriteBit(true);
+    int len = 64 - leading - trailing;
+    out_->WriteBits(static_cast<uint64_t>(leading), 5);
+    out_->WriteBits(static_cast<uint64_t>(len - 1), 6);
+    out_->WriteBits(x >> trailing, len);
+    lead_ = leading;
+    trail_ = trailing;
+    window_valid_ = true;
+  }
+
+ private:
+  BitWriter* out_;
+  bool first_ = true;
+  uint64_t prev_ = 0;
+  bool window_valid_ = false;
+  int lead_ = 0;
+  int trail_ = 0;
+};
+
+class XorDecoder {
+ public:
+  explicit XorDecoder(BitReader* in) : in_(in) {}
+
+  Status Next(uint64_t* out) {
+    if (first_) {
+      first_ = false;
+      DBSHERLOCK_RETURN_NOT_OK(in_->ReadBits(64, &prev_));
+      *out = prev_;
+      return Status::OK();
+    }
+    bool changed = false;
+    DBSHERLOCK_RETURN_NOT_OK(in_->ReadBit(&changed));
+    if (!changed) {
+      *out = prev_;
+      return Status::OK();
+    }
+    bool new_window = false;
+    DBSHERLOCK_RETURN_NOT_OK(in_->ReadBit(&new_window));
+    if (new_window) {
+      uint64_t leading = 0, len_minus_1 = 0;
+      DBSHERLOCK_RETURN_NOT_OK(in_->ReadBits(5, &leading));
+      DBSHERLOCK_RETURN_NOT_OK(in_->ReadBits(6, &len_minus_1));
+      int len = static_cast<int>(len_minus_1) + 1;
+      if (static_cast<int>(leading) + len > 64) {
+        return Status::ParseError("segment: xor window exceeds 64 bits");
+      }
+      lead_ = static_cast<int>(leading);
+      trail_ = 64 - lead_ - len;
+      window_valid_ = true;
+    } else if (!window_valid_) {
+      return Status::ParseError("segment: xor window reused before set");
+    }
+    uint64_t meaningful = 0;
+    DBSHERLOCK_RETURN_NOT_OK(in_->ReadBits(64 - lead_ - trail_, &meaningful));
+    prev_ ^= meaningful << trail_;
+    *out = prev_;
+    return Status::OK();
+  }
+
+ private:
+  BitReader* in_;
+  bool first_ = true;
+  uint64_t prev_ = 0;
+  bool window_valid_ = false;
+  int lead_ = 0;
+  int trail_ = 0;
+};
+
+// --- Timestamp stream ---------------------------------------------------
+//
+// Delta-of-delta over the timestamps' 64-bit patterns, all integer
+// arithmetic so the decode reproduces every bit exactly. Row 0 is 64 raw
+// bits; each later row encodes dd = delta_i - delta_{i-1} (two's
+// complement) zigzagged into Gorilla's bucket scheme:
+//   '0'               dd == 0 (constant collection interval)
+//   '10'  +  7 bits   |zz| <  2^7
+//   '110' + 12 bits   |zz| < 2^12
+//   '1110'+ 20 bits   |zz| < 2^20
+//   '11110'+32 bits   |zz| < 2^32
+//   '11111'+64 bits   everything else
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+class TimestampEncoder {
+ public:
+  explicit TimestampEncoder(BitWriter* out) : out_(out) {}
+
+  void Add(double ts) {
+    uint64_t bits = std::bit_cast<uint64_t>(ts);
+    if (row_ == 0) {
+      out_->WriteBits(bits, 64);
+    } else {
+      int64_t delta = static_cast<int64_t>(bits - prev_bits_);
+      int64_t dd = delta - prev_delta_;
+      uint64_t zz = ZigZag(dd);
+      if (dd == 0) {
+        out_->WriteBit(false);
+      } else if (zz < (1u << 7)) {
+        out_->WriteBits(0b10, 2);
+        out_->WriteBits(zz, 7);
+      } else if (zz < (1u << 12)) {
+        out_->WriteBits(0b110, 3);
+        out_->WriteBits(zz, 12);
+      } else if (zz < (1u << 20)) {
+        out_->WriteBits(0b1110, 4);
+        out_->WriteBits(zz, 20);
+      } else if (zz < (1ull << 32)) {
+        out_->WriteBits(0b11110, 5);
+        out_->WriteBits(zz, 32);
+      } else {
+        out_->WriteBits(0b11111, 5);
+        out_->WriteBits(zz, 64);
+      }
+      prev_delta_ = delta;
+    }
+    prev_bits_ = bits;
+    ++row_;
+  }
+
+ private:
+  BitWriter* out_;
+  uint64_t row_ = 0;
+  uint64_t prev_bits_ = 0;
+  int64_t prev_delta_ = 0;
+};
+
+class TimestampDecoder {
+ public:
+  explicit TimestampDecoder(BitReader* in) : in_(in) {}
+
+  Status Next(double* out) {
+    if (row_ == 0) {
+      DBSHERLOCK_RETURN_NOT_OK(in_->ReadBits(64, &prev_bits_));
+    } else {
+      int prefix = 0;
+      while (prefix < 5) {
+        bool bit = false;
+        DBSHERLOCK_RETURN_NOT_OK(in_->ReadBit(&bit));
+        if (!bit) break;
+        ++prefix;
+      }
+      static constexpr int kWidth[] = {0, 7, 12, 20, 32, 64};
+      int64_t dd = 0;
+      if (prefix > 0) {
+        uint64_t zz = 0;
+        DBSHERLOCK_RETURN_NOT_OK(in_->ReadBits(kWidth[prefix], &zz));
+        dd = UnZigZag(zz);
+      }
+      prev_delta_ += dd;
+      prev_bits_ += static_cast<uint64_t>(prev_delta_);
+    }
+    ++row_;
+    *out = std::bit_cast<double>(prev_bits_);
+    return Status::OK();
+  }
+
+ private:
+  BitReader* in_;
+  uint64_t row_ = 0;
+  uint64_t prev_bits_ = 0;
+  int64_t prev_delta_ = 0;
+};
+
+// --- Block assembly -----------------------------------------------------
+
+void AppendBlock(std::string* out, const std::string& payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  AppendU32(out, Crc32(reinterpret_cast<const uint8_t*>(payload.data()),
+                       payload.size()));
+  out->append(payload);
+}
+
+std::string EncodeMetaBlock(const tsdata::Dataset& data) {
+  std::string payload;
+  const tsdata::Schema& schema = data.schema();
+  AppendU32(&payload, static_cast<uint32_t>(schema.num_attributes()));
+  for (const tsdata::AttributeSpec& spec : schema.attributes()) {
+    AppendU32(&payload, static_cast<uint32_t>(spec.name.size()));
+    payload.append(spec.name);
+    payload.push_back(spec.kind == tsdata::AttributeKind::kCategorical ? 1
+                                                                       : 0);
+  }
+  AppendU64(&payload, data.num_rows());
+  double min_ts = data.num_rows() > 0 ? data.timestamp(0) : 0.0;
+  double max_ts =
+      data.num_rows() > 0 ? data.timestamp(data.num_rows() - 1) : 0.0;
+  AppendF64(&payload, min_ts);
+  AppendF64(&payload, max_ts);
+  return payload;
+}
+
+std::string EncodeTimestampBlock(const tsdata::Dataset& data) {
+  BitWriter bits;
+  TimestampEncoder encoder(&bits);
+  for (double ts : data.timestamps()) encoder.Add(ts);
+  return bits.buffer();
+}
+
+std::string EncodeColumnBlock(const tsdata::Column& column) {
+  std::string payload;
+  if (column.kind() == tsdata::AttributeKind::kNumeric) {
+    BitWriter bits;
+    XorEncoder encoder(&bits);
+    for (double v : column.numeric_values()) {
+      encoder.Add(std::bit_cast<uint64_t>(v));
+    }
+    payload = bits.buffer();
+  } else {
+    AppendU32(&payload, static_cast<uint32_t>(column.num_categories()));
+    for (size_t c = 0; c < column.num_categories(); ++c) {
+      const std::string& name = column.CategoryName(static_cast<int32_t>(c));
+      AppendU32(&payload, static_cast<uint32_t>(name.size()));
+      payload.append(name);
+    }
+    for (int32_t code : column.codes()) {
+      AppendVarint(&payload, static_cast<uint64_t>(code));
+    }
+  }
+  return payload;
+}
+
+Status DecodeMetaBlock(std::string_view payload, SegmentMeta* meta) {
+  ByteReader reader(payload);
+  uint32_t nattrs = 0;
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&nattrs));
+  if (nattrs > kMaxAttributes) {
+    return Status::ParseError(
+        common::StrFormat("segment: %u attributes exceeds cap", nattrs));
+  }
+  for (uint32_t i = 0; i < nattrs; ++i) {
+    uint32_t name_len = 0;
+    DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&name_len));
+    if (name_len > kMaxNameLen) {
+      return Status::ParseError("segment: attribute name exceeds cap");
+    }
+    std::string_view name;
+    DBSHERLOCK_RETURN_NOT_OK(reader.ReadBytes(name_len, &name));
+    uint8_t kind = 0;
+    DBSHERLOCK_RETURN_NOT_OK(reader.ReadU8(&kind));
+    if (kind > 1) return Status::ParseError("segment: bad attribute kind");
+    DBSHERLOCK_RETURN_NOT_OK(meta->schema.AddAttribute(
+        {std::string(name), kind == 1 ? tsdata::AttributeKind::kCategorical
+                                      : tsdata::AttributeKind::kNumeric}));
+  }
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadU64(&meta->rows));
+  if (meta->rows > kMaxRows) {
+    return Status::ParseError("segment: row count exceeds cap");
+  }
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadF64(&meta->min_ts));
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadF64(&meta->max_ts));
+  if (reader.remaining() != 0) {
+    return Status::ParseError("segment: meta block has trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Pops the next CRC-framed block payload off `*bytes`.
+Status NextBlock(std::string_view* bytes, std::string_view* payload) {
+  ByteReader header(*bytes);
+  uint32_t len = 0, crc = 0;
+  DBSHERLOCK_RETURN_NOT_OK(header.ReadU32(&len));
+  DBSHERLOCK_RETURN_NOT_OK(header.ReadU32(&crc));
+  if (len > kMaxBlock) {
+    return Status::ParseError("segment: block length exceeds cap");
+  }
+  if (bytes->size() < kBlockHeaderSize + len) {
+    return Status::ParseError("segment: truncated block");
+  }
+  *payload = bytes->substr(kBlockHeaderSize, len);
+  uint32_t actual = Crc32(reinterpret_cast<const uint8_t*>(payload->data()),
+                          payload->size());
+  if (actual != crc) {
+    return Status::ParseError("segment: block checksum mismatch");
+  }
+  bytes->remove_prefix(kBlockHeaderSize + len);
+  return Status::OK();
+}
+
+Status CheckHeader(std::string_view* bytes) {
+  if (bytes->size() < kHeaderSize) {
+    return Status::ParseError("segment: shorter than header");
+  }
+  if (std::memcmp(bytes->data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::ParseError("segment: bad magic");
+  }
+  ByteReader reader(bytes->substr(4));
+  uint32_t version = 0;
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&version));
+  if (version != kVersion) {
+    return Status::ParseError(
+        common::StrFormat("segment: unsupported version %u", version));
+  }
+  bytes->remove_prefix(kHeaderSize);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeSegment(const tsdata::Dataset& data) {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  AppendU32(&out, kVersion);
+  AppendBlock(&out, EncodeMetaBlock(data));
+  AppendBlock(&out, EncodeTimestampBlock(data));
+  for (size_t i = 0; i < data.num_attributes(); ++i) {
+    AppendBlock(&out, EncodeColumnBlock(data.column(i)));
+  }
+  return out;
+}
+
+Result<SegmentMeta> ReadSegmentMeta(std::string_view bytes) {
+  DBSHERLOCK_RETURN_NOT_OK(CheckHeader(&bytes));
+  std::string_view payload;
+  DBSHERLOCK_RETURN_NOT_OK(NextBlock(&bytes, &payload));
+  SegmentMeta meta;
+  DBSHERLOCK_RETURN_NOT_OK(DecodeMetaBlock(payload, &meta));
+  return meta;
+}
+
+Result<tsdata::Dataset> DecodeSegment(std::string_view bytes) {
+  DBSHERLOCK_RETURN_NOT_OK(CheckHeader(&bytes));
+  std::string_view payload;
+  DBSHERLOCK_RETURN_NOT_OK(NextBlock(&bytes, &payload));
+  SegmentMeta meta;
+  DBSHERLOCK_RETURN_NOT_OK(DecodeMetaBlock(payload, &meta));
+
+  // Timestamps.
+  DBSHERLOCK_RETURN_NOT_OK(NextBlock(&bytes, &payload));
+  std::vector<double> timestamps;
+  timestamps.reserve(meta.rows);
+  {
+    BitReader bits(payload);
+    TimestampDecoder decoder(&bits);
+    for (uint64_t i = 0; i < meta.rows; ++i) {
+      double ts = 0.0;
+      DBSHERLOCK_RETURN_NOT_OK(decoder.Next(&ts));
+      timestamps.push_back(ts);
+    }
+  }
+
+  tsdata::Dataset data(meta.schema);
+  size_t nattrs = meta.schema.num_attributes();
+  // Decode columns straight into the dataset's columnar storage; rows
+  // were validated against the schema when the segment was encoded.
+  std::vector<std::vector<uint64_t>> numeric(nattrs);
+  std::vector<std::vector<std::string>> categorical(nattrs);
+  for (size_t i = 0; i < nattrs; ++i) {
+    DBSHERLOCK_RETURN_NOT_OK(NextBlock(&bytes, &payload));
+    if (meta.schema.attribute(i).kind == tsdata::AttributeKind::kNumeric) {
+      BitReader bits(payload);
+      XorDecoder decoder(&bits);
+      numeric[i].reserve(meta.rows);
+      for (uint64_t r = 0; r < meta.rows; ++r) {
+        uint64_t v = 0;
+        DBSHERLOCK_RETURN_NOT_OK(decoder.Next(&v));
+        numeric[i].push_back(v);
+      }
+    } else {
+      ByteReader reader(payload);
+      uint32_t dict_size = 0;
+      DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&dict_size));
+      if (dict_size > payload.size()) {
+        return Status::ParseError("segment: dictionary size exceeds block");
+      }
+      std::vector<std::string> dict;
+      dict.reserve(dict_size);
+      for (uint32_t d = 0; d < dict_size; ++d) {
+        uint32_t len = 0;
+        DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&len));
+        std::string_view name;
+        DBSHERLOCK_RETURN_NOT_OK(reader.ReadBytes(len, &name));
+        dict.emplace_back(name);
+      }
+      categorical[i].reserve(meta.rows);
+      for (uint64_t r = 0; r < meta.rows; ++r) {
+        uint64_t code = 0;
+        DBSHERLOCK_RETURN_NOT_OK(reader.ReadVarint(&code));
+        if (code >= dict.size()) {
+          return Status::ParseError("segment: category code out of range");
+        }
+        categorical[i].push_back(dict[code]);
+      }
+    }
+  }
+  if (!bytes.empty()) {
+    return Status::ParseError("segment: trailing bytes after last block");
+  }
+
+  std::vector<tsdata::Cell> cells(nattrs);
+  for (uint64_t r = 0; r < meta.rows; ++r) {
+    for (size_t i = 0; i < nattrs; ++i) {
+      if (meta.schema.attribute(i).kind == tsdata::AttributeKind::kNumeric) {
+        cells[i] = std::bit_cast<double>(numeric[i][r]);
+      } else {
+        cells[i] = categorical[i][r];
+      }
+    }
+    // Unchecked append: the encoder wrote rows in timestamp order, but a
+    // decoded NaN/odd timestamp must still round-trip bit-identically.
+    DBSHERLOCK_RETURN_NOT_OK(
+        data.AppendRowUnchecked(timestamps[r], cells));
+  }
+  return data;
+}
+
+}  // namespace dbsherlock::store

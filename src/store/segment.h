@@ -1,0 +1,42 @@
+#ifndef DBSHERLOCK_STORE_SEGMENT_H_
+#define DBSHERLOCK_STORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::store {
+
+/// Cheap per-segment summary decoded from the meta block alone, used to
+/// build the manifest without inflating row data.
+struct SegmentMeta {
+  tsdata::Schema schema;
+  uint64_t rows = 0;
+  double min_ts = 0.0;  // timestamp of the first row (segments are sorted)
+  double max_ts = 0.0;  // timestamp of the last row
+};
+
+/// Serialises a dataset into an immutable segment blob (DESIGN.md §11):
+/// a "DBSG" magic + version header followed by CRC-32-framed blocks —
+/// schema/meta, delta-of-delta timestamps, then one block per column
+/// (Gorilla-style XOR compression for numeric columns, dictionary +
+/// varint codes for categorical ones). The encoding is pure bit
+/// manipulation, so every double — including NaN payloads — round-trips
+/// bit-identically.
+std::string EncodeSegment(const tsdata::Dataset& data);
+
+/// Inflates a segment blob back into a dataset. Every length, count, and
+/// checksum is validated; corrupt or truncated input yields a clean
+/// error Status, never UB.
+common::Result<tsdata::Dataset> DecodeSegment(std::string_view bytes);
+
+/// Decodes only the meta block (schema, row count, time range). Cheap:
+/// does not touch the timestamp or column blocks beyond their framing.
+common::Result<SegmentMeta> ReadSegmentMeta(std::string_view bytes);
+
+}  // namespace dbsherlock::store
+
+#endif  // DBSHERLOCK_STORE_SEGMENT_H_

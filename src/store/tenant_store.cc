@@ -1,0 +1,417 @@
+#include "store/tenant_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
+#include "tsdata/dataset_io.h"
+
+namespace dbsherlock::store {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+constexpr char kSegmentPrefix[] = "seg-";
+constexpr char kSegmentSuffix[] = ".dbs";
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Errno("open", path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Errno("read", path);
+  *out = buffer.str();
+  return Status::OK();
+}
+
+/// Parses the sequence number out of "seg-%08llu.dbs"; nullopt for
+/// foreign files, which recovery leaves untouched.
+std::optional<uint64_t> ParseSegmentSeq(const std::string& name) {
+  size_t prefix = sizeof(kSegmentPrefix) - 1;
+  size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix + suffix) return std::nullopt;
+  if (name.compare(0, prefix, kSegmentPrefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return std::nullopt;
+  }
+  uint64_t seq = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return seq;
+}
+
+std::string SegmentPath(const std::string& dir, uint64_t seq) {
+  return dir + "/" + common::StrFormat("%s%08llu%s", kSegmentPrefix,
+                                       static_cast<unsigned long long>(seq),
+                                       kSegmentSuffix);
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir", dir);
+  Status status;
+  if (::fsync(fd) != 0) status = Errno("fsync dir", dir);
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+TenantStore::TenantStore(Options options) : options_(std::move(options)) {}
+
+TenantStore::~TenantStore() = default;
+
+Result<std::unique_ptr<TenantStore>> TenantStore::Open(Options options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("TenantStore needs a directory");
+  }
+  if (options.seal_rows == 0) {
+    return Status::InvalidArgument("seal_rows must be positive");
+  }
+  auto store = std::unique_ptr<TenantStore>(new TenantStore(options));
+  if (::mkdir(store->options_.dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir", store->options_.dir);
+  }
+  {
+    std::unique_lock lock(store->mu_);
+    DBSHERLOCK_RETURN_NOT_OK(store->RecoverLocked());
+  }
+  return store;
+}
+
+Status TenantStore::RecoverLocked() {
+  TRACE_SPAN("store.recover");
+  auto& metrics = common::MetricsRegistry::Global();
+
+  DIR* dir = ::opendir(options_.dir.c_str());
+  if (dir == nullptr) return Errno("opendir", options_.dir);
+  std::vector<std::pair<uint64_t, std::string>> found;
+  for (dirent* entry = ::readdir(dir); entry != nullptr;
+       entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (auto seq = ParseSegmentSeq(name)) found.emplace_back(*seq, name);
+  }
+  ::closedir(dir);
+  std::sort(found.begin(), found.end());
+
+  bool schema_adopted = options_.schema.num_attributes() > 0;
+  for (const auto& [seq, name] : found) {
+    std::string path = options_.dir + "/" + name;
+    std::string blob;
+    DBSHERLOCK_RETURN_NOT_OK(ReadFile(path, &blob));
+    // A full decode (not just the meta block) so a bit flip anywhere in
+    // the file is caught now, not mid-Scan.
+    auto decoded = DecodeSegment(blob);
+    if (!decoded.ok()) {
+      // A corrupt segment is the torn tail of a crash mid-seal: drop it
+      // here so every later open sees a clean directory (the tail is
+      // truncated exactly once).
+      if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+      ++recovery_.segments_dropped;
+      recovery_.bytes_dropped += blob.size();
+      metrics.GetCounter("store.recovery_dropped_segments")->Increment();
+      continue;
+    }
+    if (!schema_adopted) {
+      options_.schema = decoded->schema();
+      schema_adopted = true;
+    } else if (!(decoded->schema() == options_.schema)) {
+      return Status::FailedPrecondition(common::StrFormat(
+          "segment %s schema does not match the tenant schema (a tenant "
+          "cannot change schema mid-history)",
+          path.c_str()));
+    }
+    SegmentInfo info;
+    info.seq = seq;
+    info.path = path;
+    info.rows = decoded->num_rows();
+    info.min_ts = decoded->num_rows() > 0 ? decoded->timestamp(0) : 0.0;
+    info.max_ts = decoded->num_rows() > 0
+                      ? decoded->timestamp(decoded->num_rows() - 1)
+                      : 0.0;
+    info.bytes = blob.size();
+    next_seq_ = std::max(next_seq_, seq + 1);
+    if (info.rows > 0) {
+      have_last_ts_ = true;
+      last_ts_ = std::max(last_ts_, info.max_ts);
+      segments_.push_back(std::move(info));
+      ++recovery_.segments_recovered;
+      recovery_.rows_recovered += decoded->num_rows();
+    } else {
+      // An empty segment carries no data; drop the file too.
+      if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+    }
+  }
+  active_ = tsdata::Dataset(options_.schema);
+  return Status::OK();
+}
+
+double TenantStore::last_ts_locked() const {
+  if (active_.num_rows() > 0) {
+    return active_.timestamp(active_.num_rows() - 1);
+  }
+  return last_ts_;
+}
+
+Status TenantStore::Append(double timestamp,
+                           const std::vector<tsdata::Cell>& cells) {
+  std::unique_lock lock(mu_);
+  if (have_last_ts_ && !(timestamp > last_ts_locked())) {
+    return Status::InvalidArgument(common::StrFormat(
+        "store: timestamp %.3f not after %.3f", timestamp,
+        last_ts_locked()));
+  }
+  DBSHERLOCK_RETURN_NOT_OK(active_.AppendRow(timestamp, cells));
+  have_last_ts_ = true;
+  if (active_.num_rows() >= options_.seal_rows) {
+    DBSHERLOCK_RETURN_NOT_OK(SealLocked());
+  }
+  return Status::OK();
+}
+
+Status TenantStore::Seal() {
+  std::unique_lock lock(mu_);
+  return SealLocked();
+}
+
+Status TenantStore::SealLocked() {
+  if (active_.num_rows() == 0) return Status::OK();
+  TRACE_SPAN("store.seal");
+  auto& metrics = common::MetricsRegistry::Global();
+  common::ScopedLatency timer(metrics.GetHistogram("store.seal_us"));
+
+  std::string blob = EncodeSegment(active_);
+  // The honest baseline for the compression gauge: what these rows cost
+  // as the CSV the rest of the repo exchanges telemetry in.
+  size_t raw_bytes = tsdata::DatasetToCsv(active_).size();
+
+  uint64_t seq = next_seq_++;
+  std::string path = SegmentPath(options_.dir, seq);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", path);
+  Status status = WriteAll(fd, blob.data(), blob.size(), path);
+  if (status.ok() && options_.fsync_on_seal && ::fsync(fd) != 0) {
+    status = Errno("fsync", path);
+  }
+  ::close(fd);
+  if (!status.ok()) return status;
+  if (options_.fsync_on_seal) {
+    DBSHERLOCK_RETURN_NOT_OK(FsyncDir(options_.dir));
+  }
+
+  SegmentInfo info;
+  info.seq = seq;
+  info.path = std::move(path);
+  info.rows = active_.num_rows();
+  info.min_ts = active_.timestamp(0);
+  info.max_ts = active_.timestamp(active_.num_rows() - 1);
+  info.bytes = blob.size();
+  last_ts_ = info.max_ts;
+  segments_.push_back(std::move(info));
+  active_ = tsdata::Dataset(options_.schema);
+
+  compressed_total_ += blob.size();
+  raw_total_ += raw_bytes;
+  metrics.GetCounter("store.segments_sealed")->Increment();
+  if (raw_total_ > 0) {
+    metrics.GetGauge("store.compression_ratio")
+        ->Set(static_cast<double>(compressed_total_) /
+              static_cast<double>(raw_total_));
+  }
+  EnforceRetentionLocked();
+  return Status::OK();
+}
+
+void TenantStore::EnforceRetentionLocked() {
+  auto& metrics = common::MetricsRegistry::Global();
+  auto over_budget = [&] {
+    if (segments_.size() <= 1) return false;  // always keep the newest
+    if (options_.retain_bytes > 0) {
+      uint64_t total = 0;
+      for (const SegmentInfo& seg : segments_) total += seg.bytes;
+      if (total > options_.retain_bytes) return true;
+    }
+    if (options_.retain_age_sec > 0.0) {
+      if (segments_.front().max_ts < last_ts_ - options_.retain_age_sec) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (over_budget()) {
+    const SegmentInfo& victim = segments_.front();
+    // Best-effort: a failed unlink leaves the file for the next pass.
+    if (::unlink(victim.path.c_str()) != 0 && errno != ENOENT) break;
+    segments_.erase(segments_.begin());
+    ++retention_deletes_;
+    metrics.GetCounter("store.retention_deletes")->Increment();
+  }
+}
+
+void TenantStore::SetRetention(uint64_t retain_bytes, double retain_age_sec) {
+  std::unique_lock lock(mu_);
+  options_.retain_bytes = retain_bytes;
+  options_.retain_age_sec = retain_age_sec;
+}
+
+Status TenantStore::AppendRange(const tsdata::Dataset& src, double t0,
+                                double t1, tsdata::Dataset* dst) const {
+  std::vector<tsdata::Cell> cells(src.num_attributes());
+  for (size_t row : src.RowsInTimeRange(t0, t1)) {
+    for (size_t i = 0; i < src.num_attributes(); ++i) {
+      const tsdata::Column& column = src.column(i);
+      if (column.kind() == tsdata::AttributeKind::kNumeric) {
+        cells[i] = column.numeric(row);
+      } else {
+        cells[i] = column.CategoryName(column.code(row));
+      }
+    }
+    DBSHERLOCK_RETURN_NOT_OK(
+        dst->AppendRowUnchecked(src.timestamp(row), cells));
+  }
+  return Status::OK();
+}
+
+Result<tsdata::Dataset> TenantStore::Scan(double t0, double t1) const {
+  TRACE_SPAN("store.scan");
+  auto& metrics = common::MetricsRegistry::Global();
+  common::ScopedLatency timer(metrics.GetHistogram("store.scan_us"));
+  if (!(t0 < t1)) {
+    return Status::InvalidArgument("scan range must satisfy t0 < t1");
+  }
+  std::shared_lock lock(mu_);
+  tsdata::Dataset out(options_.schema);
+  for (const SegmentInfo& seg : segments_) {
+    // Manifest pruning: [min_ts, max_ts] vs the half-open [t0, t1).
+    if (seg.max_ts < t0 || seg.min_ts >= t1) continue;
+    std::string blob;
+    DBSHERLOCK_RETURN_NOT_OK(ReadFile(seg.path, &blob));
+    auto decoded = DecodeSegment(blob);
+    if (!decoded.ok()) {
+      return Status::IoError("corrupt sealed segment " + seg.path + ": " +
+                             decoded.status().message());
+    }
+    DBSHERLOCK_RETURN_NOT_OK(AppendRange(*decoded, t0, t1, &out));
+  }
+  DBSHERLOCK_RETURN_NOT_OK(AppendRange(active_, t0, t1, &out));
+  return out;
+}
+
+Result<tsdata::Dataset> TenantStore::ScanTail(size_t max_rows) const {
+  TRACE_SPAN("store.scan");
+  std::shared_lock lock(mu_);
+  tsdata::Dataset out(options_.schema);
+  if (max_rows == 0) return out;
+
+  // Walk backwards to find which pieces contribute, then stitch forward.
+  size_t needed = max_rows;
+  size_t active_take = std::min(active_.num_rows(), needed);
+  needed -= active_take;
+  std::vector<std::pair<const SegmentInfo*, size_t>> pieces;  // (seg, take)
+  for (auto it = segments_.rbegin(); it != segments_.rend() && needed > 0;
+       ++it) {
+    size_t take = std::min<size_t>(it->rows, needed);
+    pieces.emplace_back(&*it, take);
+    needed -= take;
+  }
+  std::reverse(pieces.begin(), pieces.end());
+  for (const auto& [seg, take] : pieces) {
+    std::string blob;
+    DBSHERLOCK_RETURN_NOT_OK(ReadFile(seg->path, &blob));
+    auto decoded = DecodeSegment(blob);
+    if (!decoded.ok()) {
+      return Status::IoError("corrupt sealed segment " + seg->path + ": " +
+                             decoded.status().message());
+    }
+    tsdata::Dataset slice =
+        decoded->Slice(decoded->num_rows() - take, decoded->num_rows());
+    DBSHERLOCK_RETURN_NOT_OK(AppendRange(
+        slice, -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity(), &out));
+  }
+  if (active_take > 0) {
+    tsdata::Dataset slice =
+        active_.Slice(active_.num_rows() - active_take, active_.num_rows());
+    DBSHERLOCK_RETURN_NOT_OK(AppendRange(
+        slice, -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity(), &out));
+  }
+  return out;
+}
+
+size_t TenantStore::num_segments() const {
+  std::shared_lock lock(mu_);
+  return segments_.size();
+}
+
+uint64_t TenantStore::sealed_rows() const {
+  std::shared_lock lock(mu_);
+  uint64_t rows = 0;
+  for (const SegmentInfo& seg : segments_) rows += seg.rows;
+  return rows;
+}
+
+uint64_t TenantStore::sealed_bytes() const {
+  std::shared_lock lock(mu_);
+  uint64_t bytes = 0;
+  for (const SegmentInfo& seg : segments_) bytes += seg.bytes;
+  return bytes;
+}
+
+size_t TenantStore::active_rows() const {
+  std::shared_lock lock(mu_);
+  return active_.num_rows();
+}
+
+uint64_t TenantStore::retention_deletes() const {
+  std::shared_lock lock(mu_);
+  return retention_deletes_;
+}
+
+double TenantStore::compression_ratio() const {
+  std::shared_lock lock(mu_);
+  if (raw_total_ == 0) return 0.0;
+  return static_cast<double>(compressed_total_) /
+         static_cast<double>(raw_total_);
+}
+
+std::vector<SegmentInfo> TenantStore::Manifest() const {
+  std::shared_lock lock(mu_);
+  return segments_;
+}
+
+}  // namespace dbsherlock::store

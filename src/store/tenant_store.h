@@ -1,0 +1,130 @@
+#ifndef DBSHERLOCK_STORE_TENANT_STORE_H_
+#define DBSHERLOCK_STORE_TENANT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/segment.h"
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::store {
+
+/// Manifest entry for one sealed, immutable on-disk segment.
+struct SegmentInfo {
+  uint64_t seq = 0;       // monotonic file sequence number
+  std::string path;
+  uint64_t rows = 0;
+  double min_ts = 0.0;
+  double max_ts = 0.0;
+  uint64_t bytes = 0;     // compressed file size
+};
+
+/// What Open() found on disk. Corrupt files are torn tails from a crash
+/// mid-seal: they are deleted during recovery (so the tail is truncated
+/// exactly once) and every intact segment is kept.
+struct RecoveryReport {
+  size_t segments_recovered = 0;
+  uint64_t rows_recovered = 0;
+  size_t segments_dropped = 0;
+  uint64_t bytes_dropped = 0;
+};
+
+/// Embedded per-tenant time-series store (DESIGN.md §11). Appends land in
+/// an in-memory active segment that seals to a compressed immutable file
+/// every `seal_rows` rows; `Scan` stitches sealed segments and the active
+/// tail back into a `tsdata::Dataset` so the diagnosis pipeline runs over
+/// history unchanged. Thread-safe: appends/seals take an exclusive lock,
+/// scans a shared one.
+class TenantStore {
+ public:
+  struct Options {
+    std::string dir;         // per-tenant segment directory (required)
+    tsdata::Schema schema;   // empty = adopt the schema found on disk
+    size_t seal_rows = 512;  // active segment seals at this many rows
+    uint64_t retain_bytes = 0;   // 0 = unlimited byte budget
+    double retain_age_sec = 0.0; // 0 = unlimited age
+    bool fsync_on_seal = true;   // tests may disable for speed
+  };
+
+  /// Creates the directory if needed and recovers every intact segment,
+  /// deleting corrupt ones (see RecoveryReport). Fails with
+  /// FailedPrecondition when the on-disk schema does not match
+  /// `options.schema` — a tenant cannot change schema mid-history.
+  static common::Result<std::unique_ptr<TenantStore>> Open(Options options);
+
+  ~TenantStore();
+
+  TenantStore(const TenantStore&) = delete;
+  TenantStore& operator=(const TenantStore&) = delete;
+
+  /// Appends one row to the active segment (timestamps must be strictly
+  /// increasing — the store mirrors monitor-accepted telemetry). Seals
+  /// automatically at `seal_rows`.
+  common::Status Append(double timestamp,
+                        const std::vector<tsdata::Cell>& cells);
+
+  /// Force-seals the active segment to disk (no-op when empty).
+  common::Status Seal();
+
+  /// Rows with timestamp in [t0, t1), stitched across sealed segments and
+  /// the active tail, in timestamp order.
+  common::Result<tsdata::Dataset> Scan(double t0, double t1) const;
+
+  /// The newest `max_rows` rows (or fewer), in timestamp order — the
+  /// restart-rehydration path for StreamingMonitor.
+  common::Result<tsdata::Dataset> ScanTail(size_t max_rows) const;
+
+  /// Re-arms the retention policy (HELLO RETAIN); enforcement happens on
+  /// the next seal.
+  void SetRetention(uint64_t retain_bytes, double retain_age_sec);
+
+  const tsdata::Schema& schema() const { return options_.schema; }
+  const std::string& dir() const { return options_.dir; }
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  // --- Stats (STATS verb / store-inspect) -----------------------------
+  size_t num_segments() const;
+  uint64_t sealed_rows() const;
+  uint64_t sealed_bytes() const;
+  size_t active_rows() const;
+  uint64_t retention_deletes() const;
+  /// Compressed bytes / raw CSV bytes across everything sealed so far
+  /// (0 when nothing sealed yet).
+  double compression_ratio() const;
+  /// Copy of the manifest, oldest first.
+  std::vector<SegmentInfo> Manifest() const;
+
+ private:
+  explicit TenantStore(Options options);
+
+  common::Status RecoverLocked();
+  common::Status SealLocked();
+  void EnforceRetentionLocked();
+  common::Status AppendRange(const tsdata::Dataset& src, double t0, double t1,
+                             tsdata::Dataset* dst) const;
+  double last_ts_locked() const;
+
+  Options options_;
+  RecoveryReport recovery_;
+
+  mutable std::shared_mutex mu_;
+  std::vector<SegmentInfo> segments_;  // manifest, oldest first
+  tsdata::Dataset active_;
+  uint64_t next_seq_ = 1;
+  bool have_last_ts_ = false;
+  double last_ts_ = 0.0;
+  // Cumulative seal accounting for the compression-ratio gauge; never
+  // decremented by retention (the ratio describes the codec, not the
+  // current directory).
+  uint64_t compressed_total_ = 0;
+  uint64_t raw_total_ = 0;
+  uint64_t retention_deletes_ = 0;
+};
+
+}  // namespace dbsherlock::store
+
+#endif  // DBSHERLOCK_STORE_TENANT_STORE_H_

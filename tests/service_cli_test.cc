@@ -12,7 +12,9 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -52,7 +54,8 @@ class Daemon {
     if (out_ != nullptr) fclose(out_);
   }
 
-  bool Start(const std::string& wal_dir) {
+  bool Start(const std::string& wal_dir,
+             const std::vector<std::string>& extra_args = {}) {
     int fds[2];
     if (pipe(fds) != 0) return false;
     pid_ = fork();
@@ -63,8 +66,12 @@ class Daemon {
       dup2(fds[1], STDOUT_FILENO);
       close(fds[0]);
       close(fds[1]);
-      execl(DBSHERLOCK_DAEMON_PATH, "dbsherlockd", "serve", "--port", "0",
-            "--wal-dir", wal_dir.c_str(), static_cast<char*>(nullptr));
+      std::vector<const char*> argv = {DBSHERLOCK_DAEMON_PATH, "serve",
+                                       "--port", "0", "--wal-dir",
+                                       wal_dir.c_str()};
+      for (const std::string& arg : extra_args) argv.push_back(arg.c_str());
+      argv.push_back(nullptr);
+      execv(DBSHERLOCK_DAEMON_PATH, const_cast<char* const*>(argv.data()));
       _exit(127);
     }
     close(fds[1]);
@@ -84,6 +91,13 @@ class Daemon {
     waitpid(pid_, &status, 0);
     pid_ = -1;
     return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  /// kill -9: no drain, no seal, no goodbye — the crash-recovery case.
+  void Kill9() {
+    kill(pid_, SIGKILL);
+    waitpid(pid_, nullptr, 0);
+    pid_ = -1;
   }
 
   int port() const { return port_; }
@@ -143,6 +157,99 @@ TEST(ServiceCliTest, ServeIngestTeachStatsAndCleanShutdown) {
   EXPECT_NE(bad.output.find("error"), std::string::npos);
 
   EXPECT_EQ(daemon.Terminate(), 0);  // SIGTERM drains and exits 0
+}
+
+/// Writes a tiny telemetry CSV (one `cpu` column, rows t = 0..rows-1).
+std::string WriteCsv(const std::string& name, int rows) {
+  std::string path = testing::TempDir() + "/dbsherlockd_cli_" +
+                     std::to_string(getpid()) + "_" + name + ".csv";
+  std::ofstream f(path);
+  f << "timestamp,cpu\n";
+  for (int t = 0; t < rows; ++t) f << t << "," << (40 + t % 5) << "\n";
+  return path;
+}
+
+TEST(ServiceCliTest, QueryAndStoreInspectOverTheHistoryStore) {
+  std::string root = WalDir() + "_hist";
+  (void)RunCommand("rm -rf '" + root + "' && mkdir -p '" + root + "'");
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start(root + "/wal",
+                           {"--store-dir", root + "/store", "--seal-rows",
+                            "10"}));
+  std::string connect =
+      "--connect 127.0.0.1:" + std::to_string(daemon.port());
+  std::string csv = WriteCsv("query", 25);
+  RunResult append =
+      RunClient(connect + " --append-csv " + csv + " --tenant t0");
+  ASSERT_EQ(append.exit_code, 0) << append.output;
+  EXPECT_NE(append.output.find("appended 25 row(s)"), std::string::npos);
+  ASSERT_EQ(RunClient(connect + " --flush --tenant t0").exit_code, 0);
+
+  RunResult query =
+      RunClient(connect + " --query 5:15 --tenant t0 --csv-out");
+  EXPECT_EQ(query.exit_code, 0) << query.output;
+  EXPECT_NE(query.output.find("timestamp,cpu"), std::string::npos);
+  EXPECT_NE(query.output.find("\n5,40"), std::string::npos);
+  EXPECT_NE(query.output.find("\n14,44"), std::string::npos);
+  EXPECT_EQ(query.output.find("\n15,"), std::string::npos);
+
+  EXPECT_EQ(daemon.Terminate(), 0);
+  // store-inspect reads the sealed segments straight off disk (the clean
+  // shutdown sealed the 5-row active tail too).
+  RunResult inspect = RunCommand(std::string(DBSHERLOCK_CLI_PATH) +
+                                 " store-inspect --dir " + root +
+                                 "/store/t0");
+  EXPECT_EQ(inspect.exit_code, 0) << inspect.output;
+  EXPECT_NE(inspect.output.find("25 sealed row(s)"), std::string::npos);
+  EXPECT_NE(inspect.output.find("cpu:num"), std::string::npos);
+  RunResult dump = RunCommand(std::string(DBSHERLOCK_CLI_PATH) +
+                              " store-inspect --dir " + root +
+                              "/store/t0 --dump");
+  EXPECT_EQ(dump.exit_code, 0) << dump.output;
+  EXPECT_NE(dump.output.find("\n24,44"), std::string::npos);
+}
+
+TEST(ServiceCliTest, Kill9LosesAtMostTheUnsealedTail) {
+  std::string root = WalDir() + "_kill9";
+  (void)RunCommand("rm -rf '" + root + "' && mkdir -p '" + root + "'");
+  std::vector<std::string> flags = {"--store-dir", root + "/store",
+                                    "--seal-rows", "10"};
+  {
+    Daemon daemon;
+    ASSERT_TRUE(daemon.Start(root + "/wal", flags));
+    std::string connect =
+        "--connect 127.0.0.1:" + std::to_string(daemon.port());
+    std::string csv = WriteCsv("kill9", 37);
+    ASSERT_EQ(
+        RunClient(connect + " --append-csv " + csv + " --tenant t0")
+            .exit_code,
+        0);
+    // Flush guarantees every acked row reached the store before the kill;
+    // 30 rows are sealed (3 x 10), 7 sit in the active segment.
+    ASSERT_EQ(RunClient(connect + " --flush --tenant t0").exit_code, 0);
+    daemon.Kill9();
+  }
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start(root + "/wal", flags));
+  std::string connect =
+      "--connect 127.0.0.1:" + std::to_string(daemon.port());
+  // HELLO re-attaches the tenant to its on-disk history (and rehydrates
+  // the monitor window from it).
+  ASSERT_EQ(
+      RunClient(connect + " --hello --tenant t0 --schema cpu:num").exit_code,
+      0);
+  RunResult query =
+      RunClient(connect + " --query 0:1000 --tenant t0 --csv-out");
+  EXPECT_EQ(query.exit_code, 0) << query.output;
+  // Every sealed row survived; only the unsealed active tail is gone.
+  EXPECT_NE(query.output.find("\n29,44"), std::string::npos);
+  EXPECT_EQ(query.output.find("\n30,"), std::string::npos);
+  // Ingest resumes where the sealed history ends: a duplicate of the
+  // last sealed timestamp is dropped, the next one is accepted.
+  RunResult stats = RunClient(connect + " --stats");
+  EXPECT_NE(stats.output.find("\"sealed_rows\": 30"), std::string::npos)
+      << stats.output;
+  EXPECT_EQ(daemon.Terminate(), 0);
 }
 
 TEST(ServiceCliTest, RestartedDaemonServesRecoveredModels) {

@@ -113,6 +113,83 @@ TEST(WireTest, ParsesBareVerbs) {
   }
 }
 
+TEST(WireTest, ParsesQueryAndDiagnoseRange) {
+  auto query = ParseRequestLine("QUERY t0 10.5 99");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->op, RequestOp::kQuery);
+  EXPECT_EQ(query->tenant, "t0");
+  EXPECT_DOUBLE_EQ(query->t0, 10.5);
+  EXPECT_DOUBLE_EQ(query->t1, 99.0);
+
+  auto range = ParseRequestLine("DIAGNOSE_RANGE prod -5 12.25\r");
+  ASSERT_TRUE(range.ok()) << range.status().ToString();
+  EXPECT_EQ(range->op, RequestOp::kDiagnoseRange);
+  EXPECT_EQ(range->tenant, "prod");
+  EXPECT_DOUBLE_EQ(range->t0, -5.0);
+  EXPECT_DOUBLE_EQ(range->t1, 12.25);
+}
+
+TEST(WireTest, RejectsBadQueryRanges) {
+  for (const std::string& line : {
+           std::string("QUERY t0"),             // missing range
+           std::string("QUERY t0 1"),           // missing t1
+           std::string("QUERY t0 1 2 3"),       // trailing junk
+           std::string("QUERY t0 x 2"),         // bad t0
+           std::string("QUERY t0 1 y"),         // bad t1
+           std::string("QUERY t0 5 5"),         // empty range
+           std::string("QUERY t0 9 2"),         // inverted range
+           std::string("QUERY bad!name 1 2"),   // invalid tenant
+           std::string("DIAGNOSE_RANGE t0 5 5"),
+           std::string("DIAGNOSE_RANGE t0 9 2"),
+       }) {
+    EXPECT_FALSE(ParseRequestLine(line).ok()) << line;
+  }
+}
+
+TEST(WireTest, ParsesHelloRetainTrailer) {
+  auto request =
+      ParseRequestLine("HELLO t0 cpu:num,mode:cat RETAIN 1048576 3600");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, RequestOp::kHello);
+  EXPECT_TRUE(request->schema == WireSchema());
+  EXPECT_TRUE(request->has_retain);
+  EXPECT_EQ(request->retain_bytes, 1048576u);
+  EXPECT_DOUBLE_EQ(request->retain_age_sec, 3600.0);
+
+  auto plain = ParseRequestLine("HELLO t0 cpu:num,mode:cat");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_retain);
+}
+
+TEST(WireTest, RejectsBadRetainTrailer) {
+  for (const std::string& line : {
+           std::string("HELLO t0 cpu:num RETAIN"),          // missing args
+           std::string("HELLO t0 cpu:num RETAIN 10"),       // missing age
+           std::string("HELLO t0 cpu:num RETAIN 10 1 2"),   // extra
+           std::string("HELLO t0 cpu:num RETAIN -1 0"),     // negative
+           std::string("HELLO t0 cpu:num RETAIN 10 -2"),    // negative age
+           std::string("HELLO t0 cpu:num RETAIN x 0"),      // garbage
+           std::string("HELLO t0 cpu:num KEEP 10 0"),       // unknown word
+       }) {
+    EXPECT_FALSE(ParseRequestLine(line).ok()) << line;
+  }
+}
+
+TEST(WireTest, ParsesJsonHelloRetain) {
+  auto request = ParseRequestLine(
+      R"({"op":"hello","tenant":"t1","schema":"cpu:num",)"
+      R"("retain_bytes":2048,"retain_sec":60.5})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_TRUE(request->has_retain);
+  EXPECT_EQ(request->retain_bytes, 2048u);
+  EXPECT_DOUBLE_EQ(request->retain_age_sec, 60.5);
+
+  EXPECT_FALSE(ParseRequestLine(
+                   R"({"op":"hello","tenant":"t1","schema":"cpu:num",)"
+                   R"("retain_bytes":-5})")
+                   .ok());
+}
+
 TEST(WireTest, RejectsMalformedRequests) {
   for (const std::string& line : {
            std::string(""),

@@ -1,0 +1,221 @@
+#include "store/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "simulator/dataset_gen.h"
+#include "tsdata/dataset_io.h"
+
+namespace dbsherlock::store {
+namespace {
+
+using tsdata::AttributeKind;
+using tsdata::Dataset;
+using tsdata::Schema;
+
+Schema MixedSchema() {
+  return Schema({{"latency", AttributeKind::kNumeric},
+                 {"tps", AttributeKind::kNumeric},
+                 {"mode", AttributeKind::kCategorical}});
+}
+
+/// Bit-exact double comparison: NaN == NaN iff the payloads match, and
+/// -0.0 != +0.0. This is the codec's contract — stricter than ==.
+bool BitEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+void ExpectBitIdentical(const Dataset& a, const Dataset& b) {
+  ASSERT_TRUE(a.schema() == b.schema());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t row = 0; row < a.num_rows(); ++row) {
+    EXPECT_TRUE(BitEqual(a.timestamp(row), b.timestamp(row)))
+        << "timestamp row " << row;
+    for (size_t col = 0; col < a.schema().num_attributes(); ++col) {
+      if (a.schema().attribute(col).kind == AttributeKind::kNumeric) {
+        EXPECT_TRUE(BitEqual(a.column(col).numeric(row),
+                             b.column(col).numeric(row)))
+            << "col " << col << " row " << row;
+      } else {
+        const tsdata::Column& ca = a.column(col);
+        const tsdata::Column& cb = b.column(col);
+        EXPECT_EQ(ca.CategoryName(ca.code(row)), cb.CategoryName(cb.code(row)))
+            << "col " << col << " row " << row;
+      }
+    }
+  }
+}
+
+/// A hostile random dataset: irregular timestamps, NaN/Inf cells, long
+/// runs of repeated values, denormals, and categorical churn.
+Dataset RandomDataset(uint64_t seed, size_t rows) {
+  common::Pcg32 rng(seed);
+  Dataset d(MixedSchema());
+  double ts = rng.NextDouble(0.0, 100.0);
+  double held = 0.0;  // repeated-value run generator
+  static const char* kModes[] = {"read", "write", "mixed", "idle"};
+  for (size_t i = 0; i < rows; ++i) {
+    // Irregular spacing: sub-second jitter, occasional large gaps.
+    ts += rng.NextBernoulli(0.05) ? rng.NextDouble(10.0, 1e6)
+                                  : rng.NextDouble(1e-6, 2.0);
+    double v;
+    switch (rng.NextInt(0, 7)) {
+      case 0: v = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: v = std::numeric_limits<double>::infinity(); break;
+      case 2: v = -0.0; break;
+      case 3: v = 5e-324; break;  // smallest denormal
+      case 4: v = held; break;    // repeat the previous held value
+      default:
+        v = rng.NextGaussian(0.0, 1e6);
+        held = v;
+    }
+    double tps = rng.NextBernoulli(0.6) ? held : rng.NextDouble(0.0, 1e4);
+    EXPECT_TRUE(
+        d.AppendRow(ts, {v, tps, std::string(kModes[rng.NextInt(0, 3)])})
+            .ok());
+  }
+  return d;
+}
+
+TEST(SegmentCodecTest, EmptyDatasetRoundTrips) {
+  Dataset d(MixedSchema());
+  std::string blob = EncodeSegment(d);
+  auto back = DecodeSegment(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 0u);
+  EXPECT_TRUE(back->schema() == d.schema());
+}
+
+TEST(SegmentCodecTest, SmallRoundTrip) {
+  Dataset d(MixedSchema());
+  ASSERT_TRUE(d.AppendRow(1.0, {0.5, 100.0, std::string("read")}).ok());
+  ASSERT_TRUE(d.AppendRow(2.0, {0.5, 101.0, std::string("write")}).ok());
+  ASSERT_TRUE(d.AppendRow(3.5, {-7.25, 101.0, std::string("read")}).ok());
+  auto back = DecodeSegment(EncodeSegment(d));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectBitIdentical(d, *back);
+}
+
+TEST(SegmentCodecTest, RandomDatasetsRoundTripBitIdentically) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Dataset d = RandomDataset(seed, /*rows=*/257);
+    auto back = DecodeSegment(EncodeSegment(d));
+    ASSERT_TRUE(back.ok()) << "seed " << seed << ": "
+                           << back.status().ToString();
+    ExpectBitIdentical(d, *back);
+  }
+}
+
+TEST(SegmentCodecTest, RegularTimestampsCompressToNearNothing) {
+  // The common case: one row per second. Delta-of-delta should spend
+  // ~1 bit per timestamp after the first two.
+  Dataset d(Schema({{"v", AttributeKind::kNumeric}}));
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(d.AppendRow(static_cast<double>(i), {42.0}).ok());
+  }
+  std::string blob = EncodeSegment(d);
+  // 4096 rows x (8B ts + 8B value) = 64 KiB raw; expect a few KiB.
+  EXPECT_LT(blob.size(), 8u * 1024u);
+}
+
+TEST(SegmentCodecTest, CompressesSimulatorTelemetryBelowRawCsv) {
+  simulator::DatasetGenOptions options;
+  options.normal_duration_sec = 120.0;
+  auto generated = simulator::GenerateAnomalyDataset(
+      options, simulator::AnomalyKind::kLockContention, 40.0);
+  const Dataset& d = generated.data;
+  ASSERT_GT(d.num_rows(), 100u);
+  std::string blob = EncodeSegment(d);
+  std::string csv = tsdata::DatasetToCsv(d);
+  double ratio = static_cast<double>(blob.size()) /
+                 static_cast<double>(csv.size());
+  EXPECT_LT(ratio, 1.0) << "compressed " << blob.size() << " raw "
+                        << csv.size();
+  auto back = DecodeSegment(blob);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectBitIdentical(d, *back);
+}
+
+TEST(SegmentCodecTest, ReadSegmentMetaMatchesWithoutFullDecode) {
+  Dataset d = RandomDataset(7, 100);
+  std::string blob = EncodeSegment(d);
+  auto meta = ReadSegmentMeta(blob);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_TRUE(meta->schema == d.schema());
+  EXPECT_EQ(meta->rows, 100u);
+  EXPECT_TRUE(BitEqual(meta->min_ts, d.timestamp(0)));
+  EXPECT_TRUE(BitEqual(meta->max_ts, d.timestamp(99)));
+}
+
+TEST(SegmentCodecTest, RejectsBadMagicAndVersion) {
+  Dataset d = RandomDataset(3, 10);
+  std::string blob = EncodeSegment(d);
+  std::string bad = blob;
+  bad[0] = 'X';
+  EXPECT_FALSE(DecodeSegment(bad).ok());
+  bad = blob;
+  bad[4] ^= 0xFF;  // version word
+  EXPECT_FALSE(DecodeSegment(bad).ok());
+}
+
+// --- Robustness: no input may crash the decoder -----------------------
+
+TEST(SegmentCodecTest, EveryTruncationFailsCleanly) {
+  Dataset d = RandomDataset(11, 64);
+  std::string blob = EncodeSegment(d);
+  // Every proper prefix must decode to a clean error (CRC framing means
+  // no prefix can silently pass as a shorter segment).
+  for (size_t len = 0; len < blob.size(); ++len) {
+    auto r = DecodeSegment(std::string_view(blob.data(), len));
+    EXPECT_FALSE(r.ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(SegmentCodecTest, ByteMutationNeverCrashesAndUsuallyFailsCrc) {
+  Dataset d = RandomDataset(13, 64);
+  std::string blob = EncodeSegment(d);
+  common::Pcg32 rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = blob;
+    size_t pos = static_cast<size_t>(
+        rng.NextInt(0, static_cast<int>(blob.size()) - 1));
+    mutated[pos] ^= static_cast<char>(1 << rng.NextInt(0, 7));
+    auto r = DecodeSegment(mutated);
+    // A flipped payload bit is caught by the CRC; a flipped length word
+    // by the bounds checks. Either way: Status, not UB. (We only assert
+    // no crash + no silent wrong data.)
+    if (r.ok()) {
+      // The mutation must have been in dead framing space for decode to
+      // succeed — the data itself must still match.
+      ExpectBitIdentical(d, *r);
+    }
+  }
+}
+
+TEST(SegmentCodecTest, RandomGarbageFailsCleanly) {
+  common::Pcg32 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(static_cast<size_t>(rng.NextInt(0, 512)), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.NextInt(0, 255));
+    // Valid header prefix on half the trials so block parsing is reached.
+    if (trial % 2 == 0 && garbage.size() >= 8) {
+      garbage[0] = 'D';
+      garbage[1] = 'B';
+      garbage[2] = 'S';
+      garbage[3] = 'G';
+      garbage[4] = 1;
+      garbage[5] = garbage[6] = garbage[7] = 0;
+    }
+    EXPECT_FALSE(DecodeSegment(garbage).ok());
+  }
+}
+
+}  // namespace
+}  // namespace dbsherlock::store

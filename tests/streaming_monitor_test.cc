@@ -217,5 +217,76 @@ TEST(StreamingMonitorTest, PreloadedModelsNameTheCause) {
   EXPECT_EQ(alerts[0].explanation.causes[0].cause, "CPU hog");
 }
 
+// --- Restart rehydration (Hydrate) ------------------------------------
+
+tsdata::Dataset Tail(int from, int to) {
+  tsdata::Dataset d(MonitorSchema());
+  for (int t = from; t < to; ++t) {
+    EXPECT_TRUE(d.AppendRow(t, {10.0, 40.0}).ok());
+  }
+  return d;
+}
+
+TEST(StreamingMonitorTest, HydratePrefillsWindowWithoutDetection) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  ASSERT_TRUE(monitor.Hydrate(Tail(0, 200)).ok());
+  EXPECT_EQ(monitor.window_size(), 200u);
+  EXPECT_EQ(monitor.rows_seen(), 200u);
+  EXPECT_TRUE(monitor.alerts().empty());
+  // Live appends continue after the hydrated span.
+  auto alert = monitor.Append(200.0, {10.0, 40.0});
+  EXPECT_FALSE(alert.has_value());
+  EXPECT_TRUE(monitor.last_append_status().ok());
+  EXPECT_EQ(monitor.window_size(), 201u);
+}
+
+TEST(StreamingMonitorTest, HydrateRespectsWindowBound) {
+  StreamingMonitor::Options options;
+  options.window_rows = 50;
+  StreamingMonitor monitor(MonitorSchema(), options);
+  ASSERT_TRUE(monitor.Hydrate(Tail(0, 200)).ok());
+  EXPECT_EQ(monitor.window_size(), 50u);
+  EXPECT_DOUBLE_EQ(monitor.window().timestamp(0), 150.0);
+}
+
+TEST(StreamingMonitorTest, HydrateRejectsSchemaMismatch) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  tsdata::Dataset wrong(tsdata::Schema(
+      {{"other", tsdata::AttributeKind::kNumeric}}));
+  ASSERT_TRUE(wrong.AppendRow(0.0, {1.0}).ok());
+  EXPECT_FALSE(monitor.Hydrate(wrong).ok());
+  EXPECT_EQ(monitor.window_size(), 0u);
+}
+
+TEST(StreamingMonitorTest, HydrateRejectsRowsNotNewerThanBuffered) {
+  StreamingMonitor monitor(MonitorSchema(), {});
+  ASSERT_TRUE(monitor.Hydrate(Tail(0, 10)).ok());
+  // A second hydration overlapping the first is rejected whole.
+  EXPECT_FALSE(monitor.Hydrate(Tail(5, 15)).ok());
+  EXPECT_EQ(monitor.window_size(), 10u);
+  // But a strictly-newer tail extends it.
+  EXPECT_TRUE(monitor.Hydrate(Tail(10, 15)).ok());
+  EXPECT_EQ(monitor.window_size(), 15u);
+}
+
+TEST(StreamingMonitorTest, HydrateSuppressesAlertsForHydratedSpan) {
+  // An anomaly that lives entirely inside the hydrated tail must not
+  // re-alert after restart: the pre-crash monitor already raised it.
+  StreamingMonitor::Options options;
+  StreamingMonitor reference(MonitorSchema(), options);
+  common::Pcg32 rng(17);
+  auto pre_crash = Feed(&reference, 0, 400, 300, 340, &rng);
+  ASSERT_GE(pre_crash.size(), 1u);  // the anomaly is detectable
+
+  StreamingMonitor restarted(MonitorSchema(), options);
+  // Rehydrate from the reference's window (what the store's tail holds).
+  ASSERT_TRUE(restarted.Hydrate(reference.window()).ok());
+  // Stream quiet rows: nothing new is anomalous, so no alert may fire
+  // even though the hydrated window still contains the old anomaly.
+  common::Pcg32 rng2(18);
+  auto post = Feed(&restarted, 400, 500, 0, 0, &rng2);
+  EXPECT_TRUE(post.empty());
+}
+
 }  // namespace
 }  // namespace dbsherlock::core

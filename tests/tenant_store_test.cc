@@ -1,0 +1,312 @@
+// TenantStore: seal/scan/tail stitching, crash recovery (torn tails
+// dropped exactly once, intact segments kept), retention by bytes and
+// age, and the schema / ordering invariants the service relies on.
+
+#include "store/tenant_store.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tsdata/dataset.h"
+
+namespace dbsherlock::store {
+namespace {
+
+using tsdata::AttributeKind;
+using tsdata::Cell;
+using tsdata::Dataset;
+using tsdata::Schema;
+
+Schema TestSchema() {
+  return Schema({{"cpu", AttributeKind::kNumeric},
+                 {"mode", AttributeKind::kCategorical}});
+}
+
+/// Per-test directory; wiped so reruns in the same TempDir start clean.
+std::string StoreDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/dbsherlock_tstore_" +
+                    std::to_string(getpid()) + "_" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  return dir;
+}
+
+std::unique_ptr<TenantStore> MustOpen(TenantStore::Options options) {
+  auto store = TenantStore::Open(std::move(options));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(*store);
+}
+
+TenantStore::Options SmallOptions(const std::string& dir) {
+  TenantStore::Options options;
+  options.dir = dir;
+  options.schema = TestSchema();
+  options.seal_rows = 10;
+  options.fsync_on_seal = false;  // tests: speed over durability
+  return options;
+}
+
+std::vector<Cell> Row(double cpu, const std::string& mode) {
+  return {cpu, mode};
+}
+
+/// Appends rows t = [from, to) with cpu = t.
+void Fill(TenantStore* store, int from, int to) {
+  for (int t = from; t < to; ++t) {
+    ASSERT_TRUE(
+        store->Append(t, Row(t, t % 2 == 0 ? "even" : "odd")).ok());
+  }
+}
+
+TEST(TenantStoreTest, AppendSealsEverySealRows) {
+  auto store = MustOpen(SmallOptions(StoreDir("seal")));
+  Fill(store.get(), 0, 25);
+  EXPECT_EQ(store->num_segments(), 2u);
+  EXPECT_EQ(store->sealed_rows(), 20u);
+  EXPECT_EQ(store->active_rows(), 5u);
+  ASSERT_TRUE(store->Seal().ok());
+  EXPECT_EQ(store->num_segments(), 3u);
+  EXPECT_EQ(store->active_rows(), 0u);
+  EXPECT_TRUE(store->Seal().ok());  // empty active: no-op
+  EXPECT_EQ(store->num_segments(), 3u);
+  EXPECT_GT(store->compression_ratio(), 0.0);
+}
+
+TEST(TenantStoreTest, ScanStitchesSegmentsAndActiveTail) {
+  auto store = MustOpen(SmallOptions(StoreDir("scan")));
+  Fill(store.get(), 0, 25);  // 2 sealed segments + 5 active rows
+  auto scan = store->Scan(7.0, 23.0);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  ASSERT_EQ(scan->num_rows(), 16u);  // [7, 23)
+  for (size_t i = 0; i < scan->num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(scan->timestamp(i), 7.0 + i);
+    EXPECT_DOUBLE_EQ(scan->column(0).numeric(i), 7.0 + i);
+  }
+  EXPECT_TRUE(scan->TimestampsSorted());
+  // Categorical cells survive the stitch.
+  const tsdata::Column& mode = scan->column(1);
+  EXPECT_EQ(mode.CategoryName(mode.code(1)), "even");  // t = 8
+}
+
+TEST(TenantStoreTest, ScanOutsideHistoryIsEmptyAndBadRangeRejected) {
+  auto store = MustOpen(SmallOptions(StoreDir("scanedge")));
+  Fill(store.get(), 0, 12);
+  auto empty = store->Scan(100.0, 200.0);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+  EXPECT_FALSE(store->Scan(5.0, 5.0).ok());
+  EXPECT_FALSE(store->Scan(9.0, 2.0).ok());
+}
+
+TEST(TenantStoreTest, ScanTailReturnsNewestRowsAcrossSegments) {
+  auto store = MustOpen(SmallOptions(StoreDir("tail")));
+  Fill(store.get(), 0, 25);
+  auto tail = store->ScanTail(12);
+  ASSERT_TRUE(tail.ok()) << tail.status().ToString();
+  ASSERT_EQ(tail->num_rows(), 12u);
+  EXPECT_DOUBLE_EQ(tail->timestamp(0), 13.0);
+  EXPECT_DOUBLE_EQ(tail->timestamp(11), 24.0);
+  // More than stored: everything comes back.
+  auto all = store->ScanTail(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 25u);
+}
+
+TEST(TenantStoreTest, RejectsNonIncreasingTimestamps) {
+  auto store = MustOpen(SmallOptions(StoreDir("order")));
+  ASSERT_TRUE(store->Append(5.0, Row(1, "even")).ok());
+  EXPECT_FALSE(store->Append(5.0, Row(2, "odd")).ok());   // duplicate
+  EXPECT_FALSE(store->Append(4.0, Row(3, "even")).ok());  // decreasing
+  ASSERT_TRUE(store->Append(6.0, Row(4, "even")).ok());
+  // The invariant spans a seal: last sealed ts still fences appends.
+  Fill(store.get(), 7, 17);
+  ASSERT_GE(store->num_segments(), 1u);
+  EXPECT_FALSE(store->Append(3.0, Row(5, "odd")).ok());
+}
+
+TEST(TenantStoreTest, ReopenRecoversEverySealedRow) {
+  std::string dir = StoreDir("reopen");
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 37);
+    ASSERT_TRUE(store->Seal().ok());  // persist the 7-row tail
+  }
+  auto store = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(store->recovery().segments_recovered, 4u);
+  EXPECT_EQ(store->recovery().rows_recovered, 37u);
+  EXPECT_EQ(store->recovery().segments_dropped, 0u);
+  auto all = store->ScanTail(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 37u);
+  // Appends continue after the recovered history.
+  EXPECT_FALSE(store->Append(36.0, Row(0, "even")).ok());
+  EXPECT_TRUE(store->Append(37.0, Row(0, "odd")).ok());
+}
+
+TEST(TenantStoreTest, AdoptsSchemaFromDiskWhenUnspecified) {
+  std::string dir = StoreDir("adopt");
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 10);
+  }
+  TenantStore::Options options;
+  options.dir = dir;  // schema left empty
+  options.fsync_on_seal = false;
+  auto store = MustOpen(std::move(options));
+  EXPECT_TRUE(store->schema() == TestSchema());
+  EXPECT_EQ(store->sealed_rows(), 10u);
+}
+
+TEST(TenantStoreTest, RejectsSchemaMismatchOnReopen) {
+  std::string dir = StoreDir("mismatch");
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 10);
+  }
+  TenantStore::Options options = SmallOptions(dir);
+  options.schema = Schema({{"other", AttributeKind::kNumeric}});
+  auto store = TenantStore::Open(std::move(options));
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+TEST(TenantStoreTest, TornTailIsDroppedExactlyOnce) {
+  std::string dir = StoreDir("torn");
+  std::string last_path;
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 30);  // 3 sealed segments
+    last_path = store->Manifest().back().path;
+  }
+  // Simulate a crash mid-seal: chop the newest segment file in half.
+  struct stat st{};
+  ASSERT_EQ(::stat(last_path.c_str(), &st), 0);
+  ASSERT_EQ(::truncate(last_path.c_str(), st.st_size / 2), 0);
+
+  auto store = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(store->recovery().segments_recovered, 2u);
+  EXPECT_EQ(store->recovery().segments_dropped, 1u);
+  EXPECT_GT(store->recovery().bytes_dropped, 0u);
+  auto all = store->ScanTail(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 20u);  // rows before the corruption survive
+  // The torn file is gone from disk: a second reopen drops nothing.
+  EXPECT_NE(::access(last_path.c_str(), F_OK), 0);
+  auto again = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(again->recovery().segments_dropped, 0u);
+  EXPECT_EQ(again->recovery().rows_recovered, 20u);
+}
+
+TEST(TenantStoreTest, CorruptMiddleSegmentIsDroppedOthersKept) {
+  std::string dir = StoreDir("corruptmid");
+  std::string mid_path;
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 30);
+    mid_path = store->Manifest()[1].path;
+  }
+  // Flip one payload byte past the header.
+  std::fstream f(mid_path,
+                 std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(40);
+  char byte = 0;
+  f.seekg(40);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(40);
+  f.write(&byte, 1);
+  f.close();
+
+  auto store = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(store->recovery().segments_recovered, 2u);
+  EXPECT_EQ(store->recovery().segments_dropped, 1u);
+  auto all = store->ScanTail(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 20u);  // segments 1 and 3
+  EXPECT_TRUE(all->TimestampsSorted());
+}
+
+TEST(TenantStoreTest, RetentionByBytesKeepsNewestSegments) {
+  TenantStore::Options options = SmallOptions(StoreDir("retbytes"));
+  auto store = MustOpen(options);
+  Fill(store.get(), 0, 50);  // 5 segments
+  uint64_t five_seg_bytes = store->sealed_bytes();
+  ASSERT_EQ(store->num_segments(), 5u);
+  // Budget for roughly two segments: older ones must go on next seal.
+  store->SetRetention(/*retain_bytes=*/2 * five_seg_bytes / 5 + 64,
+                      /*retain_age_sec=*/0.0);
+  Fill(store.get(), 50, 60);  // triggers a seal + enforcement
+  EXPECT_LT(store->num_segments(), 5u);
+  EXPECT_GT(store->retention_deletes(), 0u);
+  // Newest data is always intact.
+  auto tail = store->ScanTail(10);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_DOUBLE_EQ(tail->timestamp(9), 59.0);
+  // Deleted files are really gone from disk.
+  size_t files = 0;
+  for (const auto& seg : store->Manifest()) {
+    EXPECT_EQ(::access(seg.path.c_str(), F_OK), 0);
+    ++files;
+  }
+  EXPECT_EQ(files, store->num_segments());
+}
+
+TEST(TenantStoreTest, RetentionByAgeDropsOldSegments) {
+  TenantStore::Options options = SmallOptions(StoreDir("retage"));
+  options.retain_age_sec = 25.0;
+  auto store = MustOpen(options);
+  Fill(store.get(), 0, 60);  // segments end at t=9,19,...,59
+  // Segments whose max_ts < 59 - 25 = 34 are dropped: the first three.
+  EXPECT_EQ(store->num_segments(), 3u);
+  EXPECT_GE(store->retention_deletes(), 3u);
+  auto all = store->ScanTail(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ(all->timestamp(0), 30.0);
+}
+
+TEST(TenantStoreTest, RetentionNeverDeletesTheNewestSegment) {
+  TenantStore::Options options = SmallOptions(StoreDir("retlast"));
+  options.retain_bytes = 1;  // absurd budget
+  auto store = MustOpen(options);
+  Fill(store.get(), 0, 30);
+  EXPECT_EQ(store->num_segments(), 1u);  // still one left
+  auto tail = store->ScanTail(10);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->num_rows(), 10u);
+}
+
+TEST(TenantStoreTest, OpenRejectsMissingDirAndBadSealRows) {
+  TenantStore::Options options;
+  options.schema = TestSchema();
+  EXPECT_FALSE(TenantStore::Open(options).ok());  // no dir
+  options.dir = StoreDir("badseal");
+  options.seal_rows = 0;
+  EXPECT_FALSE(TenantStore::Open(options).ok());
+}
+
+TEST(TenantStoreTest, ForeignFilesInDirAreIgnored) {
+  std::string dir = StoreDir("foreign");
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 10);
+  }
+  std::ofstream(dir + "/README.txt") << "not a segment\n";
+  std::ofstream(dir + "/seg-junk.dbs") << "bad name, ignored\n";
+  auto store = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(store->recovery().segments_recovered, 1u);
+  EXPECT_EQ(store->recovery().segments_dropped, 0u);
+  EXPECT_EQ(::access((dir + "/README.txt").c_str(), F_OK), 0);
+}
+
+}  // namespace
+}  // namespace dbsherlock::store

@@ -7,6 +7,8 @@
 //   diagnose  explain an abnormal region (predicates + ranked causes)
 //   teach     confirm a cause for a region and store/merge its causal model
 //   models    list the causal models in a model file
+//   client    drive a running dbsherlockd (append, query, diagnose-range)
+//   store-inspect  print the manifest of an on-disk telemetry history dir
 //
 // Examples:
 //   dbsherlock simulate --anomaly lock_contention --out incident.csv
@@ -21,6 +23,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -34,6 +38,7 @@
 #include "service/wire.h"
 #include "simulator/dataset_gen.h"
 #include "simulator/fault_injector.h"
+#include "store/tenant_store.h"
 #include "tsdata/data_quality.h"
 #include "tsdata/dataset_io.h"
 #include "viz/chart.h"
@@ -528,35 +533,155 @@ int CmdClient(const Args& args) {
   }
   if (args.Has("append-csv")) {
     std::string tenant = args.Get("tenant");
-    auto dataset = tsdata::ReadDatasetFile(args.Get("append-csv"));
-    if (!dataset.ok()) Die(dataset.status());
-    common::Status status = (*client)->Hello(tenant, dataset->schema());
-    if (!status.ok()) Die(status);
+    std::string path = args.Get("append-csv");
+    // Stream the file in bounded batches instead of materializing the
+    // whole dataset: each batch is re-parsed with the real CSV parser
+    // (header + batch lines), so quoting/typing match ReadDatasetFile
+    // while memory stays O(batch). Arbitrarily long replay files work.
+    constexpr size_t kBatchRows = 512;
+    std::ifstream in(path);
+    if (!in) {
+      Die(common::Status::IoError("cannot read " + path));
+    }
+    std::string header;
+    if (!std::getline(in, header)) {
+      Die(common::Status::ParseError(path + ": empty file"));
+    }
+    bool said_hello = false;
+    size_t total_rows = 0;
     size_t retries = 0;
-    for (size_t row = 0; row < dataset->num_rows(); ++row) {
-      std::vector<tsdata::Cell> cells;
-      cells.reserve(dataset->schema().num_attributes());
-      for (size_t a = 0; a < dataset->schema().num_attributes(); ++a) {
-        const tsdata::Column& column = dataset->column(a);
-        if (column.kind() == tsdata::AttributeKind::kNumeric) {
-          cells.emplace_back(column.numeric(row));
-        } else {
-          cells.emplace_back(column.CategoryName(column.code(row)));
-        }
+    bool done = false;
+    while (!done) {
+      std::string text = header + "\n";
+      size_t batch_rows = 0;
+      std::string line;
+      while (batch_rows < kBatchRows && std::getline(in, line)) {
+        if (common::Trim(line).empty()) continue;
+        text += line;
+        text += '\n';
+        ++batch_rows;
       }
-      status = (*client)->AppendRetrying(tenant, dataset->timestamp(row),
-                                         cells, /*max_retries=*/10000,
-                                         &retries);
-      if (!status.ok()) Die(status);
+      if (batch_rows < kBatchRows) done = true;
+      if (batch_rows == 0) break;
+      // Cross-batch ordering is the server's job; within a batch the
+      // parser still rejects garbage timestamps.
+      tsdata::DatasetCsvOptions csv_options;
+      csv_options.allow_unsorted = true;
+      auto batch = tsdata::DatasetFromCsv(text, csv_options);
+      if (!batch.ok()) Die(batch.status());
+      if (!said_hello) {
+        common::Status status = (*client)->Hello(tenant, batch->schema());
+        if (!status.ok()) Die(status);
+        said_hello = true;
+      }
+      for (size_t row = 0; row < batch->num_rows(); ++row) {
+        std::vector<tsdata::Cell> cells;
+        cells.reserve(batch->schema().num_attributes());
+        for (size_t a = 0; a < batch->schema().num_attributes(); ++a) {
+          const tsdata::Column& column = batch->column(a);
+          if (column.kind() == tsdata::AttributeKind::kNumeric) {
+            cells.emplace_back(column.numeric(row));
+          } else {
+            cells.emplace_back(column.CategoryName(column.code(row)));
+          }
+        }
+        common::Status status =
+            (*client)->AppendRetrying(tenant, batch->timestamp(row), cells,
+                                      /*max_retries=*/10000, &retries);
+        if (!status.ok()) Die(status);
+      }
+      total_rows += batch->num_rows();
+    }
+    if (!said_hello) {
+      Die(common::Status::ParseError(path + ": no data rows"));
     }
     std::printf("appended %zu row(s) to %s (%zu backpressure retries)\n",
-                dataset->num_rows(), tenant.c_str(), retries);
+                total_rows, tenant.c_str(), retries);
+    return 0;
+  }
+  if (args.Has("query") || args.Has("diagnose-range")) {
+    std::string tenant = args.Get("tenant");
+    bool query = args.Has("query");
+    std::string spec = query ? args.Get("query") : args.Get("diagnose-range");
+    std::vector<std::string> parts = common::Split(spec, ':');
+    if (parts.size() != 2) {
+      std::fprintf(stderr, "--%s wants T0:T1 (seconds)\n",
+                   query ? "query" : "diagnose-range");
+      return 2;
+    }
+    auto t0 = common::ParseDouble(parts[0]);
+    if (!t0.ok()) Die(t0.status());
+    auto t1 = common::ParseDouble(parts[1]);
+    if (!t1.ok()) Die(t1.status());
+    auto json = query ? (*client)->Query(tenant, *t0, *t1)
+                      : (*client)->DiagnoseRange(tenant, *t0, *t1);
+    if (!json.ok()) Die(json.status());
+    if (query && args.Has("csv-out")) {
+      // Peel the CSV payload out of the JSON envelope for shell pipelines.
+      auto csv = json->GetString("csv");
+      if (!csv.ok()) Die(csv.status());
+      std::printf("%s", csv->c_str());
+      return 0;
+    }
+    std::printf("%s\n", json->Dump(2).c_str());
     return 0;
   }
   std::fprintf(stderr,
                "client: pick one of --ping --hello --append-csv --teach "
-               "--diagnoses --flush --stats --models --raw\n");
+               "--diagnoses --flush --query --diagnose-range --stats "
+               "--models --raw\n");
   return 2;
+}
+
+/// `dbsherlock store-inspect`: open a tenant's on-disk telemetry history
+/// directory (one dir per tenant under dbsherlockd's --store-dir) and
+/// print its recovery report, schema, and segment manifest. Opening runs
+/// the store's normal crash recovery, so a torn tail left by kill -9 is
+/// truncated here exactly as the daemon would on restart. --dump prints
+/// every stored row as CSV instead.
+int CmdStoreInspect(const Args& args) {
+  std::string dir = args.Get("dir");
+  if (dir.empty()) {
+    std::fprintf(stderr, "error: --dir <tenant history dir> is required\n");
+    return 2;
+  }
+  store::TenantStore::Options options;
+  options.dir = dir;  // empty schema: adopt whatever is on disk
+  auto open = store::TenantStore::Open(options);
+  if (!open.ok()) Die(open.status());
+  store::TenantStore& tenant_store = **open;
+
+  if (args.Has("dump")) {
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    auto all = tenant_store.Scan(-kInf, kInf);
+    if (!all.ok()) Die(all.status());
+    std::fputs(tsdata::DatasetToCsv(*all).c_str(), stdout);
+    return 0;
+  }
+
+  const store::RecoveryReport& rec = tenant_store.recovery();
+  std::printf("%s: %zu segment(s), %llu sealed row(s), %llu byte(s)\n",
+              dir.c_str(), tenant_store.num_segments(),
+              static_cast<unsigned long long>(tenant_store.sealed_rows()),
+              static_cast<unsigned long long>(tenant_store.sealed_bytes()));
+  std::printf(
+      "recovery: %zu segment(s) ok, %zu dropped (%llu torn byte(s))\n",
+      rec.segments_recovered, rec.segments_dropped,
+      static_cast<unsigned long long>(rec.bytes_dropped));
+  std::printf("schema: %s\n",
+              service::FormatSchemaSpec(tenant_store.schema()).c_str());
+  if (tenant_store.compression_ratio() > 0.0) {
+    std::printf("compression: %.3fx of raw CSV\n",
+                tenant_store.compression_ratio());
+  }
+  for (const store::SegmentInfo& seg : tenant_store.Manifest()) {
+    std::printf("  seg %08llu  rows %8llu  bytes %8llu  [%.3f, %.3f]  %s\n",
+                static_cast<unsigned long long>(seg.seq),
+                static_cast<unsigned long long>(seg.rows),
+                static_cast<unsigned long long>(seg.bytes), seg.min_ts,
+                seg.max_ts, seg.path.c_str());
+  }
+  return 0;
 }
 
 common::Status WriteTextFile(const std::string& path,
@@ -664,9 +789,14 @@ int Usage() {
       "  client    --connect host:port  (drive a running dbsherlockd)\n"
       "            --ping | --stats | --models | --raw \"LINE\"\n"
       "            | --hello --tenant T --schema \"a:num,b:cat\"\n"
-      "            | --append-csv f.csv --tenant T\n"
+      "            | --append-csv f.csv --tenant T  (streams in bounded\n"
+      "              batches, honoring RETRY_AFTER backpressure)\n"
       "            | --teach m.json | --diagnoses --tenant T\n"
       "            | --flush --tenant T\n"
+      "            | --query T0:T1 --tenant T [--csv-out]\n"
+      "            | --diagnose-range T0:T1 --tenant T\n"
+      "  store-inspect --dir DIR  (tenant history dir: recovery report,\n"
+      "            schema, segment manifest; --dump prints rows as CSV)\n"
       "data flags (plot/detect/diagnose/teach/report):\n"
       "  --allow-unsorted  ingest duplicate/out-of-order timestamps\n"
       "  --repair          run the data-quality repair pipeline after load\n"
@@ -705,6 +835,7 @@ int main(int argc, char** argv) {
   else if (command == "report") rc = CmdReport(args);
   else if (command == "models") rc = CmdModels(args);
   else if (command == "client") rc = CmdClient(args);
+  else if (command == "store-inspect") rc = CmdStoreInspect(args);
   else return Usage();
   return EmitObservability(args, rc);
 }

@@ -103,6 +103,12 @@ int Usage() {
       "  --wal-dir DIR         durable model store directory (snapshot +\n"
       "                        WAL); omitted = volatile store\n"
       "  --no-fsync            skip per-append WAL fsync (benchmarks)\n"
+      "  --store-dir DIR       per-tenant telemetry history root; enables\n"
+      "                        QUERY / DIAGNOSE_RANGE and restart\n"
+      "                        rehydration; omitted = window-only\n"
+      "  --seal-rows N         rows per sealed segment (default 512)\n"
+      "  --retain-bytes N      per-tenant history byte budget (0 = off)\n"
+      "  --retain-sec S        per-tenant history age limit (0 = off)\n"
       "  --max-tenants N       idle-LRU tenant cap (default 64)\n"
       "  --queue-capacity N    per-tenant ingest queue bound (default 1024)\n"
       "  --ingest-workers N    drain threads (default 2)\n"
@@ -148,6 +154,12 @@ int CmdServe(const Args& args) {
       static_cast<size_t>(args.GetDouble("warmup-rows", 120));
   options.tenants.monitor.detect_every =
       static_cast<size_t>(args.GetDouble("detect-every", 15));
+  options.tenants.store.dir = args.Get("store-dir");
+  options.tenants.store.seal_rows =
+      static_cast<size_t>(args.GetDouble("seal-rows", 512));
+  options.tenants.store.retain_bytes =
+      static_cast<uint64_t>(args.GetDouble("retain-bytes", 0));
+  options.tenants.store.retain_age_sec = args.GetDouble("retain-sec", 0);
   options.queue_capacity =
       static_cast<size_t>(args.GetDouble("queue-capacity", 1024));
   options.ingest_workers =

@@ -8,6 +8,7 @@
 #   tools/run_benchmarks.sh --robustness [output.json]
 #   tools/run_benchmarks.sh --trace-overhead
 #   tools/run_benchmarks.sh --service [output.json]
+#   tools/run_benchmarks.sh --store [output.json]
 # Modes:
 #   --with-metrics  run the microbenchmarks, then run one instrumented
 #                 pipeline pass (bench_pipeline_metrics) and embed its
@@ -21,6 +22,10 @@
 #                 accuracy-vs-corruption curve (default BENCH_robustness.json).
 #   --trace-overhead  verify the disabled-tracer overhead bound (<2% of a
 #                 diagnosis); the exit status is the verdict.
+#   --store       run the embedded time-series store benchmark (append
+#                 throughput, scan latency vs range length, compression
+#                 ratio vs raw CSV; default BENCH_store.json). Exit status
+#                 is nonzero unless the ratio meets the <= 0.35x bound.
 #   --service     run the dbsherlockd end-to-end replay (8 simulated
 #                 tenants over the real socket path) and write throughput,
 #                 p99 append latency, shed rate, and per-tenant diagnosis
@@ -56,6 +61,17 @@ fi
 if [[ "${1:-}" == "--service" ]]; then
   OUT="${2:-BENCH_service.json}"
   BIN="$BUILD_DIR/bench/bench_service"
+  if [[ ! -x "$BIN" ]]; then
+    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+    exit 1
+  fi
+  "$BIN" --json_out "$OUT"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--store" ]]; then
+  OUT="${2:-BENCH_store.json}"
+  BIN="$BUILD_DIR/bench/bench_store"
   if [[ ! -x "$BIN" ]]; then
     echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
     exit 1
