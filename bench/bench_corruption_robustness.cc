@@ -94,7 +94,9 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());
       return 1;
     }
-    out << result.ToJson().Dump(2) << "\n";
+    common::JsonValue report = result.ToJson();
+    report.as_object()["build_info"] = bench::BuildInfoJson();
+    out << report.Dump(2) << "\n";
     std::printf("wrote %s\n", json_out.c_str());
   }
   return 0;

@@ -153,6 +153,7 @@ int main(int argc, char** argv) {
   common::JsonValue::Object root;
   root["pipeline_metrics"] = std::move(metrics);
   root["stage_summary"] = std::move(stages);
+  root["build_info"] = bench::BuildInfoJson();
   common::Status status =
       WriteStringToFile(out, common::JsonValue(std::move(root)).Dump(2));
   if (!status.ok()) {

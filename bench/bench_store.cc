@@ -180,6 +180,7 @@ int Main(int argc, char** argv) {
     report["compression_ratio"] = ratio;
     report["compression_bound"] = kRatioBound;
     report["scans"] = common::JsonValue(std::move(scan_rows_json));
+    report["build_info"] = bench::BuildInfoJson();
     std::ofstream out(json_out);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", json_out.c_str());

@@ -3,9 +3,27 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/simd/simd.h"
 #include "common/strings.h"
 
 namespace dbsherlock::bench {
+
+const char* BuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+common::JsonValue BuildInfoJson() {
+  namespace simd = dbsherlock::common::simd;
+  common::JsonValue::Object info;
+  info["build_type"] = BuildType();
+  info["simd_isa"] = simd::IsaName(simd::ActiveIsa());
+  info["simd_best_isa"] = simd::IsaName(simd::BestSupportedIsa());
+  return common::JsonValue(std::move(info));
+}
 
 Flags::Flags(int argc, char** argv) {
   program_ = argc > 0 ? argv[0] : "bench";

@@ -5,7 +5,18 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
+
 namespace dbsherlock::bench {
+
+/// "release" when the binary was compiled with NDEBUG, "debug" otherwise.
+/// Debug numbers are not comparable across PRs; run_benchmarks.sh refuses
+/// to record them without --allow-debug.
+const char* BuildType();
+
+/// {"build_type", "simd_isa", "simd_best_isa"} — embedded as "build_info"
+/// in every BENCH_*.json so a report always says what produced it.
+common::JsonValue BuildInfoJson();
 
 /// Minimal --flag=value / --flag value parser shared by the experiment
 /// binaries. Unknown flags abort with a usage message listing the

@@ -1,0 +1,347 @@
+// AVX2 kernel implementations — two YMM registers hold the eight logical
+// lanes of the reduction discipline (simd.h) directly (lanes 0-3 in the
+// first, 4-7 in the second), giving each reduction two independent ADDPD
+// dependency chains. This TU is the only
+// one compiled with -mavx2 (see src/common/CMakeLists.txt); it is reached
+// exclusively through the dispatch table after the runtime CPUID check, so
+// release builds stay runnable on non-AVX2 hosts. FP contraction is off for
+// this TU: no FMA may creep in and change rounding vs the scalar reference.
+//
+// When the toolchain can't build AVX2 (non-x86), this TU degrades to
+// forwarding the scalar table and Avx2KernelsCompiled() reports false.
+
+#include "common/simd/kernel_table.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace dbsherlock::common::simd::detail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline __m256d AbsPd(__m256d v) {
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  return _mm256_and_pd(v, abs_mask);
+}
+
+/// All-ones where the lane is finite (|v| < inf; NaN compares false).
+inline __m256d FiniteMask(__m256d v) {
+  return _mm256_cmp_pd(AbsPd(v), _mm256_set1_pd(kInf), _CMP_LT_OQ);
+}
+
+/// Reduces two 4-lane accumulator registers exactly like the scalar
+/// 8-lane fold: ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)), with MinPd/MaxPd
+/// mirrors for min/max.
+inline void StoreLanes8(double* lanes, __m256d lo, __m256d hi) {
+  _mm256_storeu_pd(lanes, lo);
+  _mm256_storeu_pd(lanes + 4, hi);
+}
+
+inline double ReduceSum8(const double* s) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+inline double ReduceMin8(const double* m) {
+  return MinPd(MinPd(MinPd(m[0], m[1]), MinPd(m[2], m[3])),
+               MinPd(MinPd(m[4], m[5]), MinPd(m[6], m[7])));
+}
+
+inline double ReduceMax8(const double* m) {
+  return MaxPd(MaxPd(MaxPd(m[0], m[1]), MaxPd(m[2], m[3])),
+               MaxPd(MaxPd(m[4], m[5]), MaxPd(m[6], m[7])));
+}
+
+/// The general masked sweep: correct for any mix of finite and non-finite
+/// cells (non-finite contributes +0.0 to the sum and identity values to
+/// min/max).
+SpanProfile ProfileSpanAvx2Masked(const double* x, size_t n) {
+  const __m256d inf = _mm256_set1_pd(kInf);
+  const __m256d ninf = _mm256_set1_pd(-kInf);
+  __m256d sum0 = _mm256_setzero_pd(), sum1 = _mm256_setzero_pd();
+  __m256d mn0 = inf, mn1 = inf;
+  __m256d mx0 = ninf, mx1 = ninf;
+  uint64_t finite = 0;
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    __m256d v0 = _mm256_loadu_pd(x + i);
+    __m256d v1 = _mm256_loadu_pd(x + i + 4);
+    __m256d f0 = FiniteMask(v0);
+    __m256d f1 = FiniteMask(v1);
+    sum0 = _mm256_add_pd(sum0, _mm256_and_pd(f0, v0));
+    sum1 = _mm256_add_pd(sum1, _mm256_and_pd(f1, v1));
+    mn0 = _mm256_min_pd(mn0, _mm256_blendv_pd(inf, v0, f0));
+    mn1 = _mm256_min_pd(mn1, _mm256_blendv_pd(inf, v1, f1));
+    mx0 = _mm256_max_pd(mx0, _mm256_blendv_pd(ninf, v0, f0));
+    mx1 = _mm256_max_pd(mx1, _mm256_blendv_pd(ninf, v1, f1));
+    finite += static_cast<uint64_t>(
+        std::popcount(static_cast<unsigned>(_mm256_movemask_pd(f0)) |
+                      (static_cast<unsigned>(_mm256_movemask_pd(f1)) << 4)));
+  }
+  double sums[8], mins[8], maxs[8];
+  StoreLanes8(sums, sum0, sum1);
+  StoreLanes8(mins, mn0, mn1);
+  StoreLanes8(maxs, mx0, mx1);
+  for (size_t i = n8; i < n; ++i) {
+    double v = x[i];
+    bool f = std::isfinite(v);
+    size_t lane = i & 7;
+    sums[lane] += f ? v : 0.0;
+    mins[lane] = MinPd(mins[lane], f ? v : kInf);
+    maxs[lane] = MaxPd(maxs[lane], f ? v : -kInf);
+    finite += f ? 1 : 0;
+  }
+  SpanProfile out;
+  out.sum = ReduceSum8(sums);
+  out.finite_count = finite;
+  out.non_finite_count = n - finite;
+  if (finite > 0) {
+    out.min = ReduceMin8(mins);
+    out.max = ReduceMax8(maxs);
+  }
+  return out;
+}
+
+SpanProfile ProfileSpanAvx2(const double* x, size_t n) {
+  // Fast path for the common all-finite span: plain add/min/max — no
+  // blending, no per-iteration finiteness test. On clean cells the masked
+  // ops degenerate to exactly these instructions (and-with-all-ones,
+  // blend-keeping-v), so the result is bit-identical to the masked sweep.
+  // Dirt is detected through the sums: a NaN input sticks in its lane sum
+  // forever, and +-Inf either sticks or collapses to NaN, so any non-finite
+  // input leaves its lane sum non-finite at the end. The converse false
+  // positive — finite data overflowing the sum to Inf — merely takes the
+  // masked recompute, which reproduces the identical overflow.
+  __m256d sum0 = _mm256_setzero_pd(), sum1 = _mm256_setzero_pd();
+  __m256d mn0 = _mm256_set1_pd(kInf), mn1 = _mm256_set1_pd(kInf);
+  __m256d mx0 = _mm256_set1_pd(-kInf), mx1 = _mm256_set1_pd(-kInf);
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    __m256d v0 = _mm256_loadu_pd(x + i);
+    __m256d v1 = _mm256_loadu_pd(x + i + 4);
+    sum0 = _mm256_add_pd(sum0, v0);
+    sum1 = _mm256_add_pd(sum1, v1);
+    mn0 = _mm256_min_pd(mn0, v0);
+    mn1 = _mm256_min_pd(mn1, v1);
+    mx0 = _mm256_max_pd(mx0, v0);
+    mx1 = _mm256_max_pd(mx1, v1);
+  }
+  if ((_mm256_movemask_pd(FiniteMask(sum0)) &
+       _mm256_movemask_pd(FiniteMask(sum1))) != 0xF) {
+    return ProfileSpanAvx2Masked(x, n);
+  }
+  uint64_t finite = n8;
+  double sums[8], mins[8], maxs[8];
+  StoreLanes8(sums, sum0, sum1);
+  StoreLanes8(mins, mn0, mn1);
+  StoreLanes8(maxs, mx0, mx1);
+  for (size_t i = n8; i < n; ++i) {
+    double v = x[i];
+    bool f = std::isfinite(v);
+    size_t lane = i & 7;
+    sums[lane] += f ? v : 0.0;
+    mins[lane] = MinPd(mins[lane], f ? v : kInf);
+    maxs[lane] = MaxPd(maxs[lane], f ? v : -kInf);
+    finite += f ? 1 : 0;
+  }
+  SpanProfile out;
+  out.sum = ReduceSum8(sums);
+  out.finite_count = finite;
+  out.non_finite_count = n - finite;
+  if (finite > 0) {
+    out.min = ReduceMin8(mins);
+    out.max = ReduceMax8(maxs);
+  }
+  return out;
+}
+
+double SumSpanAvx2(const double* x, size_t n) {
+  __m256d sum0 = _mm256_setzero_pd(), sum1 = _mm256_setzero_pd();
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    sum0 = _mm256_add_pd(sum0, _mm256_loadu_pd(x + i));
+    sum1 = _mm256_add_pd(sum1, _mm256_loadu_pd(x + i + 4));
+  }
+  double sums[8];
+  StoreLanes8(sums, sum0, sum1);
+  for (size_t i = n8; i < n; ++i) sums[i & 7] += x[i];
+  return ReduceSum8(sums);
+}
+
+double SumSquaredDiffAvx2(const double* x, size_t n, double center) {
+  const __m256d c = _mm256_set1_pd(center);
+  __m256d sum0 = _mm256_setzero_pd(), sum1 = _mm256_setzero_pd();
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(x + i), c);
+    __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(x + i + 4), c);
+    sum0 = _mm256_add_pd(sum0, _mm256_mul_pd(d0, d0));
+    sum1 = _mm256_add_pd(sum1, _mm256_mul_pd(d1, d1));
+  }
+  double sums[8];
+  StoreLanes8(sums, sum0, sum1);
+  for (size_t i = n8; i < n; ++i) {
+    double d = x[i] - center;
+    sums[i & 7] += d * d;
+  }
+  return ReduceSum8(sums);
+}
+
+uint64_t CountMatchesAvx2(const double* x, size_t n, CmpKind kind, double lo,
+                          double hi) {
+  const __m256d lov = _mm256_set1_pd(lo);
+  const __m256d hiv = _mm256_set1_pd(hi);
+  auto mask_of = [&](__m256d v) -> __m256d {
+    switch (kind) {
+      case CmpKind::kLess:
+        return _mm256_cmp_pd(v, hiv, _CMP_LT_OQ);
+      case CmpKind::kGreaterEq:
+        return _mm256_cmp_pd(v, lov, _CMP_GE_OQ);
+      case CmpKind::kInRange:
+        return _mm256_and_pd(_mm256_cmp_pd(v, lov, _CMP_GE_OQ),
+                             _mm256_cmp_pd(v, hiv, _CMP_LT_OQ));
+    }
+    return _mm256_setzero_pd();
+  };
+  uint64_t count = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    count += static_cast<uint64_t>(std::popcount(static_cast<unsigned>(
+        _mm256_movemask_pd(mask_of(_mm256_loadu_pd(x + i))))));
+  }
+  for (size_t i = n4; i < n; ++i) {
+    double v = x[i];
+    switch (kind) {
+      case CmpKind::kLess:
+        count += v < hi ? 1 : 0;
+        break;
+      case CmpKind::kGreaterEq:
+        count += v >= lo ? 1 : 0;
+        break;
+      case CmpKind::kInRange:
+        count += (v >= lo && v < hi) ? 1 : 0;
+        break;
+    }
+  }
+  return count;
+}
+
+/// Narrows a 4x64-bit lane mask to a 4x32-bit lane mask (low dword of each
+/// 64-bit lane; the mask lanes are all-ones/all-zeros so any dword works).
+inline __m128i NarrowMask(__m256d m) {
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  return _mm256_castsi256_si128(
+      _mm256_permutevar8x32_epi32(_mm256_castpd_si256(m), pick));
+}
+
+void PartitionIndicesAvx2(const double* x, size_t n, double min_value,
+                          double width, uint32_t num_partitions,
+                          uint32_t* out) {
+  const double last = static_cast<double>(num_partitions - 1);
+  const __m256d minv = _mm256_set1_pd(min_value);
+  const __m256d widthv = _mm256_set1_pd(width);
+  const __m256d lastv = _mm256_set1_pd(last);
+  const __m128i ones = _mm_set1_epi32(-1);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    __m256d v = _mm256_loadu_pd(x + i);
+    __m256d f = FiniteMask(v);
+    __m256d le = _mm256_cmp_pd(v, minv, _CMP_LE_OQ);
+    // (v - min) / width clamped to the last partition; MINPD's
+    // second-operand-on-NaN rule keeps hostile lanes convertible (they are
+    // overridden by the finite mask below anyway).
+    __m256d q = _mm256_min_pd(
+        _mm256_div_pd(_mm256_sub_pd(v, minv), widthv), lastv);
+    __m128i idx = _mm256_cvttpd_epi32(q);
+    __m128i le32 = NarrowMask(le);
+    __m128i f32 = NarrowMask(f);
+    idx = _mm_andnot_si128(le32, idx);                // v <= min -> 0
+    idx = _mm_or_si128(_mm_and_si128(f32, idx),       // finite -> idx
+                       _mm_andnot_si128(f32, ones));  // else kNoPartition
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), idx);
+  }
+  for (size_t i = n4; i < n; ++i) {
+    double v = x[i];
+    if (!std::isfinite(v)) {
+      out[i] = kNoPartition;
+    } else if (v <= min_value) {
+      out[i] = 0;
+    } else {
+      out[i] = static_cast<uint32_t>(MinPd((v - min_value) / width, last));
+    }
+  }
+}
+
+void NormalizeSpanAvx2(const double* x, size_t n, double lo, double hi,
+                       double fill, double* out) {
+  const double range = hi - lo;
+  const __m256d lov = _mm256_set1_pd(lo);
+  const __m256d rangev = _mm256_set1_pd(range);
+  const __m256d fillv = _mm256_set1_pd(fill);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    __m256d v = _mm256_loadu_pd(x + i);
+    __m256d r = _mm256_div_pd(_mm256_sub_pd(v, lov), rangev);
+    _mm256_storeu_pd(out + i, _mm256_blendv_pd(fillv, r, FiniteMask(v)));
+  }
+  for (size_t i = n4; i < n; ++i) {
+    double v = x[i];
+    out[i] = std::isfinite(v) ? (v - lo) / range : fill;
+  }
+}
+
+void SquaredDistancesToAllAvx2(const double* const* cols, size_t num_cols,
+                               size_t n, size_t p, double* out) {
+  const size_t n4 = n & ~size_t{3};
+  for (size_t q = 0; q < n4; q += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (size_t k = 0; k < num_cols; ++k) {
+      __m256d d = _mm256_sub_pd(_mm256_loadu_pd(cols[k] + q),
+                                _mm256_set1_pd(cols[k][p]));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    _mm256_storeu_pd(out + q, acc);
+  }
+  for (size_t q = n4; q < n; ++q) {
+    double acc = 0.0;
+    for (size_t k = 0; k < num_cols; ++k) {
+      double d = cols[k][q] - cols[k][p];
+      acc += d * d;
+    }
+    out[q] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelTable& Avx2Table() {
+  static const KernelTable table = {
+      ProfileSpanAvx2,       SumSpanAvx2,
+      SumSquaredDiffAvx2,    CountMatchesAvx2,
+      PartitionIndicesAvx2,  NormalizeSpanAvx2,
+      SquaredDistancesToAllAvx2,
+  };
+  return table;
+}
+
+bool Avx2KernelsCompiled() { return true; }
+
+}  // namespace dbsherlock::common::simd::detail
+
+#else  // !defined(__AVX2__)
+
+namespace dbsherlock::common::simd::detail {
+
+const KernelTable& Avx2Table() { return ScalarTable(); }
+bool Avx2KernelsCompiled() { return false; }
+
+}  // namespace dbsherlock::common::simd::detail
+
+#endif

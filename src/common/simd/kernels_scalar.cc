@@ -1,0 +1,140 @@
+// Scalar kernel implementations — the exact-parity reference every SIMD
+// path must match bit-for-bit. Reductions follow the 8-lane discipline
+// documented in simd.h; element-wise kernels apply the same IEEE ops per
+// element as the vector code.
+
+#include <cmath>
+#include <limits>
+
+#include "common/simd/kernel_table.h"
+
+namespace dbsherlock::common::simd::detail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double ReduceSum8(const double* s) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+inline double ReduceMin8(const double* m) {
+  return MinPd(MinPd(MinPd(m[0], m[1]), MinPd(m[2], m[3])),
+               MinPd(MinPd(m[4], m[5]), MinPd(m[6], m[7])));
+}
+
+inline double ReduceMax8(const double* m) {
+  return MaxPd(MaxPd(MaxPd(m[0], m[1]), MaxPd(m[2], m[3])),
+               MaxPd(MaxPd(m[4], m[5]), MaxPd(m[6], m[7])));
+}
+
+SpanProfile ProfileSpanScalar(const double* x, size_t n) {
+  double sums[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  double mins[8] = {kInf, kInf, kInf, kInf, kInf, kInf, kInf, kInf};
+  double maxs[8] = {-kInf, -kInf, -kInf, -kInf, -kInf, -kInf, -kInf, -kInf};
+  uint64_t finite = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double v = x[i];
+    bool f = std::isfinite(v);
+    size_t lane = i & 7;
+    sums[lane] += f ? v : 0.0;
+    mins[lane] = MinPd(mins[lane], f ? v : kInf);
+    maxs[lane] = MaxPd(maxs[lane], f ? v : -kInf);
+    finite += f ? 1 : 0;
+  }
+  SpanProfile out;
+  out.sum = ReduceSum8(sums);
+  out.finite_count = finite;
+  out.non_finite_count = n - finite;
+  if (finite > 0) {
+    out.min = ReduceMin8(mins);
+    out.max = ReduceMax8(maxs);
+  }
+  return out;
+}
+
+double SumSpanScalar(const double* x, size_t n) {
+  double sums[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) sums[i & 7] += x[i];
+  return ReduceSum8(sums);
+}
+
+double SumSquaredDiffScalar(const double* x, size_t n, double center) {
+  double sums[8] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  for (size_t i = 0; i < n; ++i) {
+    double d = x[i] - center;
+    sums[i & 7] += d * d;
+  }
+  return ReduceSum8(sums);
+}
+
+uint64_t CountMatchesScalar(const double* x, size_t n, CmpKind kind,
+                            double lo, double hi) {
+  uint64_t count = 0;
+  switch (kind) {
+    case CmpKind::kLess:
+      for (size_t i = 0; i < n; ++i) count += x[i] < hi ? 1 : 0;
+      break;
+    case CmpKind::kGreaterEq:
+      for (size_t i = 0; i < n; ++i) count += x[i] >= lo ? 1 : 0;
+      break;
+    case CmpKind::kInRange:
+      for (size_t i = 0; i < n; ++i) {
+        count += (x[i] >= lo && x[i] < hi) ? 1 : 0;
+      }
+      break;
+  }
+  return count;
+}
+
+void PartitionIndicesScalar(const double* x, size_t n, double min_value,
+                            double width, uint32_t num_partitions,
+                            uint32_t* out) {
+  const double last = static_cast<double>(num_partitions - 1);
+  for (size_t i = 0; i < n; ++i) {
+    double v = x[i];
+    if (!std::isfinite(v)) {
+      out[i] = kNoPartition;
+    } else if (v <= min_value) {
+      out[i] = 0;
+    } else {
+      double q = (v - min_value) / width;
+      out[i] = static_cast<uint32_t>(MinPd(q, last));
+    }
+  }
+}
+
+void NormalizeSpanScalar(const double* x, size_t n, double lo, double hi,
+                         double fill, double* out) {
+  const double range = hi - lo;
+  for (size_t i = 0; i < n; ++i) {
+    double v = x[i];
+    out[i] = std::isfinite(v) ? (v - lo) / range : fill;
+  }
+}
+
+void SquaredDistancesToAllScalar(const double* const* cols, size_t num_cols,
+                                 size_t n, size_t p, double* out) {
+  for (size_t q = 0; q < n; ++q) {
+    double acc = 0.0;
+    for (size_t k = 0; k < num_cols; ++k) {
+      double d = cols[k][q] - cols[k][p];
+      acc += d * d;
+    }
+    out[q] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      ProfileSpanScalar,       SumSpanScalar,
+      SumSquaredDiffScalar,    CountMatchesScalar,
+      PartitionIndicesScalar,  NormalizeSpanScalar,
+      SquaredDistancesToAllScalar,
+  };
+  return table;
+}
+
+}  // namespace dbsherlock::common::simd::detail

@@ -1,0 +1,302 @@
+// SSE2 kernel implementations. Reductions process eight elements per
+// iteration across four XMM registers, so the logical 8-lane discipline
+// (simd.h) is the natural register layout: lanes (2k, 2k+1) live in
+// register k. Bit-identical to the scalar reference by construction.
+//
+// On non-x86 builds this TU degrades to forwarding the scalar table; the
+// dispatcher never selects it there (Sse2KernelsCompiled() == false).
+
+#include "common/simd/kernel_table.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+namespace dbsherlock::common::simd::detail {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline __m128d AbsPd(__m128d v) {
+  const __m128d abs_mask =
+      _mm_castsi128_pd(_mm_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  return _mm_and_pd(v, abs_mask);
+}
+
+/// All-ones where the lane is finite (|v| < inf; NaN compares false).
+inline __m128d FiniteMask(__m128d v) {
+  return _mm_cmplt_pd(AbsPd(v), _mm_set1_pd(kInf));
+}
+
+/// mask ? a : b, with mask all-ones/all-zeros per lane.
+inline __m128d BlendPd(__m128d mask, __m128d a, __m128d b) {
+  return _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b));
+}
+
+inline double ReduceSum8(const double* s) {
+  return ((s[0] + s[1]) + (s[2] + s[3])) + ((s[4] + s[5]) + (s[6] + s[7]));
+}
+
+inline double ReduceMin8(const double* m) {
+  return MinPd(MinPd(MinPd(m[0], m[1]), MinPd(m[2], m[3])),
+               MinPd(MinPd(m[4], m[5]), MinPd(m[6], m[7])));
+}
+
+inline double ReduceMax8(const double* m) {
+  return MaxPd(MaxPd(MaxPd(m[0], m[1]), MaxPd(m[2], m[3])),
+               MaxPd(MaxPd(m[4], m[5]), MaxPd(m[6], m[7])));
+}
+
+SpanProfile ProfileSpanSse2(const double* x, size_t n) {
+  const __m128d inf = _mm_set1_pd(kInf);
+  const __m128d ninf = _mm_set1_pd(-kInf);
+  __m128d sum[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  __m128d mn[4] = {inf, inf, inf, inf};
+  __m128d mx[4] = {ninf, ninf, ninf, ninf};
+  uint64_t finite = 0;
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    unsigned bits = 0;
+    for (size_t r = 0; r < 4; ++r) {
+      __m128d v = _mm_loadu_pd(x + i + 2 * r);
+      __m128d f = FiniteMask(v);
+      sum[r] = _mm_add_pd(sum[r], _mm_and_pd(f, v));
+      mn[r] = _mm_min_pd(mn[r], BlendPd(f, v, inf));
+      mx[r] = _mm_max_pd(mx[r], BlendPd(f, v, ninf));
+      bits |= static_cast<unsigned>(_mm_movemask_pd(f)) << (2 * r);
+    }
+    finite += static_cast<uint64_t>(std::popcount(bits));
+  }
+  double sums[8], mins[8], maxs[8];
+  for (size_t r = 0; r < 4; ++r) {
+    _mm_storeu_pd(sums + 2 * r, sum[r]);
+    _mm_storeu_pd(mins + 2 * r, mn[r]);
+    _mm_storeu_pd(maxs + 2 * r, mx[r]);
+  }
+  for (size_t i = n8; i < n; ++i) {
+    double v = x[i];
+    bool f = std::isfinite(v);
+    size_t lane = i & 7;
+    sums[lane] += f ? v : 0.0;
+    mins[lane] = MinPd(mins[lane], f ? v : kInf);
+    maxs[lane] = MaxPd(maxs[lane], f ? v : -kInf);
+    finite += f ? 1 : 0;
+  }
+  SpanProfile out;
+  out.sum = ReduceSum8(sums);
+  out.finite_count = finite;
+  out.non_finite_count = n - finite;
+  if (finite > 0) {
+    out.min = ReduceMin8(mins);
+    out.max = ReduceMax8(maxs);
+  }
+  return out;
+}
+
+double SumSpanSse2(const double* x, size_t n) {
+  __m128d sum[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t r = 0; r < 4; ++r) {
+      sum[r] = _mm_add_pd(sum[r], _mm_loadu_pd(x + i + 2 * r));
+    }
+  }
+  double sums[8];
+  for (size_t r = 0; r < 4; ++r) _mm_storeu_pd(sums + 2 * r, sum[r]);
+  for (size_t i = n8; i < n; ++i) sums[i & 7] += x[i];
+  return ReduceSum8(sums);
+}
+
+double SumSquaredDiffSse2(const double* x, size_t n, double center) {
+  const __m128d c = _mm_set1_pd(center);
+  __m128d sum[4] = {_mm_setzero_pd(), _mm_setzero_pd(), _mm_setzero_pd(),
+                    _mm_setzero_pd()};
+  const size_t n8 = n & ~size_t{7};
+  for (size_t i = 0; i < n8; i += 8) {
+    for (size_t r = 0; r < 4; ++r) {
+      __m128d d = _mm_sub_pd(_mm_loadu_pd(x + i + 2 * r), c);
+      sum[r] = _mm_add_pd(sum[r], _mm_mul_pd(d, d));
+    }
+  }
+  double sums[8];
+  for (size_t r = 0; r < 4; ++r) _mm_storeu_pd(sums + 2 * r, sum[r]);
+  for (size_t i = n8; i < n; ++i) {
+    double d = x[i] - center;
+    sums[i & 7] += d * d;
+  }
+  return ReduceSum8(sums);
+}
+
+uint64_t CountMatchesSse2(const double* x, size_t n, CmpKind kind, double lo,
+                          double hi) {
+  const __m128d lov = _mm_set1_pd(lo);
+  const __m128d hiv = _mm_set1_pd(hi);
+  auto mask_of = [&](__m128d v) -> __m128d {
+    switch (kind) {
+      case CmpKind::kLess:
+        return _mm_cmplt_pd(v, hiv);
+      case CmpKind::kGreaterEq:
+        return _mm_cmpge_pd(v, lov);
+      case CmpKind::kInRange:
+        return _mm_and_pd(_mm_cmpge_pd(v, lov), _mm_cmplt_pd(v, hiv));
+    }
+    return _mm_setzero_pd();
+  };
+  uint64_t count = 0;
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    unsigned bits =
+        static_cast<unsigned>(_mm_movemask_pd(mask_of(_mm_loadu_pd(x + i)))) |
+        (static_cast<unsigned>(
+             _mm_movemask_pd(mask_of(_mm_loadu_pd(x + i + 2))))
+         << 2);
+    count += static_cast<uint64_t>(std::popcount(bits));
+  }
+  for (size_t i = n4; i < n; ++i) {
+    double v = x[i];
+    switch (kind) {
+      case CmpKind::kLess:
+        count += v < hi ? 1 : 0;
+        break;
+      case CmpKind::kGreaterEq:
+        count += v >= lo ? 1 : 0;
+        break;
+      case CmpKind::kInRange:
+        count += (v >= lo && v < hi) ? 1 : 0;
+        break;
+    }
+  }
+  return count;
+}
+
+/// Narrows two 64-bit-lane masks into one 4x32-bit-lane mask
+/// [m01.lane0, m01.lane1, m23.lane0, m23.lane1].
+inline __m128i NarrowMasks(__m128d m01, __m128d m23) {
+  __m128i a = _mm_shuffle_epi32(_mm_castpd_si128(m01), _MM_SHUFFLE(0, 0, 2, 0));
+  __m128i b = _mm_shuffle_epi32(_mm_castpd_si128(m23), _MM_SHUFFLE(0, 0, 2, 0));
+  return _mm_unpacklo_epi64(a, b);
+}
+
+void PartitionIndicesSse2(const double* x, size_t n, double min_value,
+                          double width, uint32_t num_partitions,
+                          uint32_t* out) {
+  const double last = static_cast<double>(num_partitions - 1);
+  const __m128d minv = _mm_set1_pd(min_value);
+  const __m128d widthv = _mm_set1_pd(width);
+  const __m128d lastv = _mm_set1_pd(last);
+  const __m128i ones = _mm_set1_epi32(-1);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    __m128d v01 = _mm_loadu_pd(x + i);
+    __m128d v23 = _mm_loadu_pd(x + i + 2);
+    __m128d f01 = FiniteMask(v01);
+    __m128d f23 = FiniteMask(v23);
+    __m128d le01 = _mm_cmple_pd(v01, minv);
+    __m128d le23 = _mm_cmple_pd(v23, minv);
+    // (v - min) / width, clamped to the last partition. MINPD returns the
+    // second operand on NaN input, so hostile lanes clamp instead of
+    // poisoning the conversion; the finite mask overrides them below.
+    __m128d q01 =
+        _mm_min_pd(_mm_div_pd(_mm_sub_pd(v01, minv), widthv), lastv);
+    __m128d q23 =
+        _mm_min_pd(_mm_div_pd(_mm_sub_pd(v23, minv), widthv), lastv);
+    __m128i idx =
+        _mm_unpacklo_epi64(_mm_cvttpd_epi32(q01), _mm_cvttpd_epi32(q23));
+    __m128i le32 = NarrowMasks(le01, le23);
+    __m128i f32 = NarrowMasks(f01, f23);
+    idx = _mm_andnot_si128(le32, idx);                 // v <= min -> 0
+    idx = _mm_or_si128(_mm_and_si128(f32, idx),        // finite -> idx
+                       _mm_andnot_si128(f32, ones));   // else kNoPartition
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), idx);
+  }
+  for (size_t i = n4; i < n; ++i) {
+    double v = x[i];
+    if (!std::isfinite(v)) {
+      out[i] = kNoPartition;
+    } else if (v <= min_value) {
+      out[i] = 0;
+    } else {
+      out[i] = static_cast<uint32_t>(MinPd((v - min_value) / width, last));
+    }
+  }
+}
+
+void NormalizeSpanSse2(const double* x, size_t n, double lo, double hi,
+                       double fill, double* out) {
+  const double range = hi - lo;
+  const __m128d lov = _mm_set1_pd(lo);
+  const __m128d rangev = _mm_set1_pd(range);
+  const __m128d fillv = _mm_set1_pd(fill);
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    __m128d v01 = _mm_loadu_pd(x + i);
+    __m128d v23 = _mm_loadu_pd(x + i + 2);
+    __m128d r01 = _mm_div_pd(_mm_sub_pd(v01, lov), rangev);
+    __m128d r23 = _mm_div_pd(_mm_sub_pd(v23, lov), rangev);
+    _mm_storeu_pd(out + i, BlendPd(FiniteMask(v01), r01, fillv));
+    _mm_storeu_pd(out + i + 2, BlendPd(FiniteMask(v23), r23, fillv));
+  }
+  for (size_t i = n4; i < n; ++i) {
+    double v = x[i];
+    out[i] = std::isfinite(v) ? (v - lo) / range : fill;
+  }
+}
+
+void SquaredDistancesToAllSse2(const double* const* cols, size_t num_cols,
+                               size_t n, size_t p, double* out) {
+  const size_t n4 = n & ~size_t{3};
+  for (size_t q = 0; q < n4; q += 4) {
+    __m128d acc01 = _mm_setzero_pd(), acc23 = _mm_setzero_pd();
+    for (size_t k = 0; k < num_cols; ++k) {
+      const __m128d pk = _mm_set1_pd(cols[k][p]);
+      __m128d d01 = _mm_sub_pd(_mm_loadu_pd(cols[k] + q), pk);
+      __m128d d23 = _mm_sub_pd(_mm_loadu_pd(cols[k] + q + 2), pk);
+      acc01 = _mm_add_pd(acc01, _mm_mul_pd(d01, d01));
+      acc23 = _mm_add_pd(acc23, _mm_mul_pd(d23, d23));
+    }
+    _mm_storeu_pd(out + q, acc01);
+    _mm_storeu_pd(out + q + 2, acc23);
+  }
+  for (size_t q = n4; q < n; ++q) {
+    double acc = 0.0;
+    for (size_t k = 0; k < num_cols; ++k) {
+      double d = cols[k][q] - cols[k][p];
+      acc += d * d;
+    }
+    out[q] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelTable& Sse2Table() {
+  static const KernelTable table = {
+      ProfileSpanSse2,       SumSpanSse2,
+      SumSquaredDiffSse2,    CountMatchesSse2,
+      PartitionIndicesSse2,  NormalizeSpanSse2,
+      SquaredDistancesToAllSse2,
+  };
+  return table;
+}
+
+bool Sse2KernelsCompiled() { return true; }
+
+}  // namespace dbsherlock::common::simd::detail
+
+#else  // !defined(__SSE2__)
+
+namespace dbsherlock::common::simd::detail {
+
+const KernelTable& Sse2Table() { return ScalarTable(); }
+bool Sse2KernelsCompiled() { return false; }
+
+}  // namespace dbsherlock::common::simd::detail
+
+#endif

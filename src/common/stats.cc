@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd/simd.h"
+
 namespace dbsherlock::common {
 
 namespace {
@@ -22,17 +24,16 @@ double EntropyOfCounts(const std::vector<uint64_t>& counts, uint64_t total) {
 
 double Mean(std::span<const double> xs) {
   if (xs.empty()) return 0.0;
-  double sum = 0.0;
-  for (double x : xs) sum += x;
-  return sum / static_cast<double>(xs.size());
+  // Dispatched kernel; NaN/Inf propagate exactly like a plain loop.
+  return simd::SumSpan(xs.data(), xs.size()) /
+         static_cast<double>(xs.size());
 }
 
 double Variance(std::span<const double> xs) {
   if (xs.size() < 2) return 0.0;
   double m = Mean(xs);
-  double acc = 0.0;
-  for (double x : xs) acc += (x - m) * (x - m);
-  return acc / static_cast<double>(xs.size());
+  return simd::SumSquaredDiff(xs.data(), xs.size(), m) /
+         static_cast<double>(xs.size());
 }
 
 double StdDev(std::span<const double> xs) { return std::sqrt(Variance(xs)); }

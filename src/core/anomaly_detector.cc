@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/metrics.h"
+#include "common/simd/simd.h"
 #include "common/stats.h"
 #include "common/trace.h"
 #include "core/dbscan.h"
@@ -70,10 +71,17 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
       double hi = common::Max(finite);
       double fill = common::MinMaxNormalize(common::Median(finite), lo, hi);
       std::vector<double> normalized(values.size());
-      for (size_t i = 0; i < values.size(); ++i) {
-        normalized[i] = std::isfinite(values[i])
-                            ? common::MinMaxNormalize(values[i], lo, hi)
-                            : fill;
+      if (options.use_batch_kernels) {
+        // Same arithmetic per cell as the scalar loop below (the kernel
+        // wrapper owns the degenerate-range case), one vector sweep.
+        common::simd::NormalizeSpan(values.data(), values.size(), lo, hi,
+                                    fill, normalized.data());
+      } else {
+        for (size_t i = 0; i < values.size(); ++i) {
+          normalized[i] = std::isfinite(values[i])
+                              ? common::MinMaxNormalize(values[i], lo, hi)
+                              : fill;
+        }
       }
       if (PotentialPower(normalized, options.window) >
           options.potential_power_threshold) {
@@ -85,12 +93,23 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
   }
   if (selected_columns.empty()) return result;
 
-  // 2. Build per-row feature vectors over the selected attributes.
-  std::vector<std::vector<double>> points(n);
-  for (size_t row = 0; row < n; ++row) {
-    points[row].reserve(selected_columns.size());
+  // 2. Feature vectors over the selected attributes. The batch path keeps
+  // the columns as-is (they are already dimension-major, the layout the
+  // distance kernel streams); the legacy path gathers row-major points.
+  PointColumns columns;
+  std::vector<std::vector<double>> points;
+  if (options.use_batch_kernels) {
     for (const auto& colvals : selected_columns) {
-      points[row].push_back(colvals[row]);
+      columns.columns.push_back(colvals.data());
+    }
+    columns.num_points = n;
+  } else {
+    points.resize(n);
+    for (size_t row = 0; row < n; ++row) {
+      points[row].reserve(selected_columns.size());
+      for (const auto& colvals : selected_columns) {
+        points[row].push_back(colvals[row]);
+      }
     }
   }
 
@@ -98,7 +117,8 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
   std::vector<double> kdist;
   {
     TRACE_SPAN("detect.kdist_epsilon");
-    kdist = KDistances(points, options.min_pts);
+    kdist = options.use_batch_kernels ? KDistances(columns, options.min_pts)
+                                      : KDistances(points, options.min_pts);
   }
   double max_kdist = kdist.empty()
                          ? 0.0
@@ -108,7 +128,9 @@ DetectionResult DetectAnomalies(const tsdata::Dataset& dataset,
   DbscanResult clusters;
   {
     TRACE_SPAN("detect.dbscan");
-    clusters = Dbscan(points, result.epsilon, options.min_pts);
+    clusters = options.use_batch_kernels
+                   ? Dbscan(columns, result.epsilon, options.min_pts)
+                   : Dbscan(points, result.epsilon, options.min_pts);
   }
 
   // 4. Rows in clusters smaller than cluster_fraction of the data are the

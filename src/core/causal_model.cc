@@ -15,12 +15,18 @@ double ModelConfidence(const CausalModel& model,
   // Repository ranking shares one PartitionSpaceCache across all models
   // instead (see ModelRepository::Rank).
   if (model.predicates.empty()) return 0.0;
+  // One run decomposition shared by every predicate's column sweeps.
+  std::optional<DiagnosisRuns> runs;
+  if (options.use_batch_kernels) {
+    runs = BuildDiagnosisRuns(rows);
+  }
   double total = 0.0;
   for (const Predicate& pred : model.predicates) {
     auto attr = dataset.schema().IndexOf(pred.attribute);
     if (!attr.ok()) continue;  // contributes 0
-    std::optional<PartitionSpace> space =
-        BuildConfidenceSpace(dataset, rows, *attr, options);
+    if (runs.has_value()) NoteDiagnosisRunsReused();
+    std::optional<PartitionSpace> space = BuildConfidenceSpace(
+        dataset, rows, *attr, options, runs.has_value() ? &*runs : nullptr);
     if (!space.has_value()) continue;
     total += PartitionSeparationPower(pred, *space);
   }

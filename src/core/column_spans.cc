@@ -1,0 +1,38 @@
+#include "core/column_spans.h"
+
+#include "common/metrics.h"
+
+namespace dbsherlock::core {
+
+std::vector<RowRun> ContiguousRuns(const std::vector<size_t>& rows) {
+  std::vector<RowRun> runs;
+  size_t i = 0;
+  while (i < rows.size()) {
+    size_t j = i + 1;
+    while (j < rows.size() && rows[j] == rows[j - 1] + 1) ++j;
+    runs.push_back(RowRun{rows[i], rows[j - 1] + 1});
+    i = j;
+  }
+  return runs;
+}
+
+DiagnosisRuns BuildDiagnosisRuns(const tsdata::LabeledRows& rows) {
+  static common::Counter* built = common::MetricsRegistry::Global().GetCounter(
+      "column_spans.runs_built");
+  built->Increment();
+  DiagnosisRuns runs;
+  runs.abnormal = ContiguousRuns(rows.abnormal);
+  runs.normal = ContiguousRuns(rows.normal);
+  runs.abnormal_rows = rows.abnormal.size();
+  runs.normal_rows = rows.normal.size();
+  return runs;
+}
+
+void NoteDiagnosisRunsReused() {
+  static common::Counter* reused =
+      common::MetricsRegistry::Global().GetCounter(
+          "column_spans.runs_reused");
+  reused->Increment();
+}
+
+}  // namespace dbsherlock::core

@@ -28,6 +28,24 @@ DbscanResult Dbscan(const std::vector<std::vector<double>>& points,
 std::vector<double> KDistances(const std::vector<std::vector<double>>& points,
                                int k);
 
+/// Dimension-major view of a point set: columns[k][q] is coordinate k of
+/// point q, each column `num_points` long. This is the layout the anomaly
+/// detector already holds its selected attributes in, and the layout the
+/// dispatched SquaredDistancesToAll kernel streams — no per-point gather.
+struct PointColumns {
+  std::vector<const double*> columns;
+  size_t num_points = 0;
+
+  size_t dims() const { return columns.size(); }
+};
+
+/// Batch forms over the dimension-major layout: one kernel sweep computes
+/// a query point's distances to all points. Same arithmetic per point pair
+/// (coordinates accumulate in dimension order) as the row-major forms, so
+/// clusterings are identical.
+DbscanResult Dbscan(const PointColumns& points, double eps, int min_pts);
+std::vector<double> KDistances(const PointColumns& points, int k);
+
 }  // namespace dbsherlock::core
 
 #endif  // DBSHERLOCK_CORE_DBSCAN_H_

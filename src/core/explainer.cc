@@ -33,8 +33,11 @@ Explanation Explainer::Diagnose(const tsdata::Dataset& dataset,
   common::ScopedLatency timer(latency);
 
   Explanation out;
+  // One row split feeds both predicate generation and model ranking
+  // (historically each re-derived it from the regions).
+  tsdata::LabeledRows rows = SplitRows(dataset, regions);
   PredicateGenResult generated =
-      GeneratePredicates(dataset, regions, options_.predicate_options);
+      GeneratePredicates(dataset, rows, options_.predicate_options);
   out.predicates = std::move(generated.predicates);
   out.warnings = std::move(generated.warnings);
 
@@ -46,7 +49,6 @@ Explanation Explainer::Diagnose(const tsdata::Dataset& dataset,
 
   if (!repository_.empty()) {
     TRACE_SPAN("explainer.model_matching");
-    tsdata::LabeledRows rows = SplitRows(dataset, regions);
     out.causes = repository_.Rank(dataset, rows, options_.predicate_options,
                                   options_.confidence_threshold);
   }

@@ -35,13 +35,17 @@ struct CacheMetrics {
 
 std::optional<PartitionSpace> BuildConfidenceSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
-    size_t attr_index, const PredicateGenOptions& options) {
+    size_t attr_index, const PredicateGenOptions& options,
+    const DiagnosisRuns* runs) {
   if (rows.abnormal.empty() || rows.normal.empty()) return std::nullopt;
   const tsdata::Column& col = dataset.column(attr_index);
   if (col.kind() != tsdata::AttributeKind::kNumeric) {
-    return BuildLabeledPartitionSpace(dataset, rows, attr_index, options);
+    return BuildLabeledPartitionSpace(dataset, rows, attr_index, options,
+                                      nullptr, runs);
   }
-  AttributeProfile profile = ProfileAttribute(col.numeric_values(), rows);
+  AttributeProfile profile =
+      runs != nullptr ? ProfileAttribute(col.numeric_values(), *runs)
+                      : ProfileAttribute(col.numeric_values(), rows);
   // Same degradation gate as predicate generation: an attribute too
   // corrupted to trust contributes 0 to every model's confidence rather
   // than a separation power computed from mostly-missing data.
@@ -49,9 +53,8 @@ std::optional<PartitionSpace> BuildConfidenceSpace(
       profile.quality() < options.min_attribute_quality) {
     return std::nullopt;
   }
-  std::optional<PartitionSpace> space =
-      BuildLabeledPartitionSpace(dataset, rows, attr_index, options,
-                                 &profile);
+  std::optional<PartitionSpace> space = BuildLabeledPartitionSpace(
+      dataset, rows, attr_index, options, &profile, runs);
   if (space.has_value()) {
     PlantNormalAnchorIfNeeded(&*space, profile.normal_mean());
   }
@@ -77,10 +80,18 @@ void PartitionSpaceCache::Prepare(std::span<const CausalModel> models) {
       attrs.push_back(*attr);
     }
   }
+  // One run decomposition shared by every attribute's sweeps (the batch
+  // kernels then stream contiguous column spans; see core/column_spans.h).
+  std::optional<DiagnosisRuns> runs;
+  if (options_.use_batch_kernels) {
+    runs = BuildDiagnosisRuns(rows_);
+  }
   std::vector<std::optional<PartitionSpace>> built = common::ParallelMap(
       attrs.size(),
       [&](size_t i) {
-        return BuildConfidenceSpace(dataset_, rows_, attrs[i], options_);
+        if (runs.has_value()) NoteDiagnosisRunsReused();
+        return BuildConfidenceSpace(dataset_, rows_, attrs[i], options_,
+                                    runs.has_value() ? &*runs : nullptr);
       },
       options_.parallelism);
   for (size_t i = 0; i < attrs.size(); ++i) {

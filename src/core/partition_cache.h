@@ -73,9 +73,13 @@ class PartitionSpaceCache {
 /// the planted normal anchor (PlantNormalAnchorIfNeeded). One fused
 /// profile sweep feeds both the space range and the anchor mean. Shared by
 /// PartitionSpaceCache::Prepare and the cache-free ModelConfidence path.
+/// `runs`, when supplied, must be BuildDiagnosisRuns(rows); it routes the
+/// sweeps through the batch kernels and is shared across the attributes of
+/// one inquiry (nullptr = row-at-a-time path).
 std::optional<PartitionSpace> BuildConfidenceSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
-    size_t attr_index, const PredicateGenOptions& options);
+    size_t attr_index, const PredicateGenOptions& options,
+    const DiagnosisRuns* runs = nullptr);
 
 /// Eq. (3) confidence of `model` against the anomaly captured by `cache`
 /// (see ModelConfidence in causal_model.h), reading every partition space

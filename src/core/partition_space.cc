@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd/simd.h"
+
 namespace dbsherlock::core {
 
 PartitionSpace PartitionSpace::Numeric(double min_value, double max_value,
@@ -82,6 +84,64 @@ void LabelNumericPartitions(std::span<const double> values,
   }
 }
 
+void LabelNumericPartitions(std::span<const double> values,
+                            const DiagnosisRuns& runs,
+                            PartitionSpace* space) {
+  const size_t num = space->size();
+  // Four interleaved sub-histograms per region: smooth telemetry lands
+  // consecutive cells in the same partition, and a single count array would
+  // serialize those increments on the store-to-load dependency. Integer
+  // counts are exact, so the labels stay ISA-independent.
+  std::vector<uint32_t> abnormal_count(4 * num, 0);
+  std::vector<uint32_t> normal_count(4 * num, 0);
+  std::vector<uint32_t> indices;
+  auto tally = [&](const std::vector<RowRun>& region_runs,
+                   std::vector<uint32_t>* counts) {
+    uint32_t* c0 = counts->data();
+    uint32_t* c1 = c0 + num;
+    uint32_t* c2 = c1 + num;
+    uint32_t* c3 = c2 + num;
+    for (const RowRun& run : region_runs) {
+      indices.resize(run.size());
+      common::simd::PartitionIndices(
+          values.data() + run.begin, run.size(), space->min_value(),
+          space->width(), static_cast<uint32_t>(num), indices.data());
+      // Non-finite cells voted for no partition (see kNoPartition).
+      constexpr uint32_t kNone = common::simd::kNoPartition;
+      size_t m = indices.size();
+      size_t i = 0;
+      for (; i + 4 <= m; i += 4) {
+        uint32_t i0 = indices[i];
+        uint32_t i1 = indices[i + 1];
+        uint32_t i2 = indices[i + 2];
+        uint32_t i3 = indices[i + 3];
+        if (i0 != kNone) ++c0[i0];
+        if (i1 != kNone) ++c1[i1];
+        if (i2 != kNone) ++c2[i2];
+        if (i3 != kNone) ++c3[i3];
+      }
+      for (; i < m; ++i) {
+        if (indices[i] != kNone) ++c0[indices[i]];
+      }
+    }
+  };
+  tally(runs.abnormal, &abnormal_count);
+  tally(runs.normal, &normal_count);
+  for (size_t j = 0; j < num; ++j) {
+    uint32_t a = abnormal_count[j] + abnormal_count[num + j] +
+                 abnormal_count[2 * num + j] + abnormal_count[3 * num + j];
+    uint32_t nc = normal_count[j] + normal_count[num + j] +
+                  normal_count[2 * num + j] + normal_count[3 * num + j];
+    if (a > 0 && nc == 0) {
+      space->set_label(j, PartitionLabel::kAbnormal);
+    } else if (nc > 0 && a == 0) {
+      space->set_label(j, PartitionLabel::kNormal);
+    } else {
+      space->set_label(j, PartitionLabel::kEmpty);
+    }
+  }
+}
+
 void LabelCategoricalPartitions(std::span<const int32_t> codes,
                                 const tsdata::LabeledRows& rows,
                                 PartitionSpace* space) {
@@ -97,6 +157,51 @@ void LabelCategoricalPartitions(std::span<const int32_t> codes,
     if (abnormal_count[j] > normal_count[j]) {
       space->set_label(j, PartitionLabel::kAbnormal);
     } else if (normal_count[j] > abnormal_count[j]) {
+      space->set_label(j, PartitionLabel::kNormal);
+    } else {
+      space->set_label(j, PartitionLabel::kEmpty);
+    }
+  }
+}
+
+void LabelCategoricalPartitions(std::span<const int32_t> codes,
+                                const DiagnosisRuns& runs,
+                                PartitionSpace* space) {
+  const size_t num = space->size();
+  // Same interleaved sub-histogram trick as the numeric runs overload:
+  // consecutive rows usually carry the same category code, and one count
+  // array would serialize the increments on a store-to-load dependency.
+  std::vector<uint32_t> abnormal_count(4 * num, 0);
+  std::vector<uint32_t> normal_count(4 * num, 0);
+  auto tally = [&](const std::vector<RowRun>& region_runs,
+                   std::vector<uint32_t>* counts) {
+    uint32_t* c0 = counts->data();
+    uint32_t* c1 = c0 + num;
+    uint32_t* c2 = c1 + num;
+    uint32_t* c3 = c2 + num;
+    for (const RowRun& run : region_runs) {
+      const int32_t* p = codes.data() + run.begin;
+      size_t m = run.size();
+      size_t i = 0;
+      for (; i + 4 <= m; i += 4) {
+        ++c0[static_cast<size_t>(p[i])];
+        ++c1[static_cast<size_t>(p[i + 1])];
+        ++c2[static_cast<size_t>(p[i + 2])];
+        ++c3[static_cast<size_t>(p[i + 3])];
+      }
+      for (; i < m; ++i) ++c0[static_cast<size_t>(p[i])];
+    }
+  };
+  tally(runs.abnormal, &abnormal_count);
+  tally(runs.normal, &normal_count);
+  for (size_t j = 0; j < num; ++j) {
+    uint32_t a = abnormal_count[j] + abnormal_count[num + j] +
+                 abnormal_count[2 * num + j] + abnormal_count[3 * num + j];
+    uint32_t nc = normal_count[j] + normal_count[num + j] +
+                  normal_count[2 * num + j] + normal_count[3 * num + j];
+    if (a > nc) {
+      space->set_label(j, PartitionLabel::kAbnormal);
+    } else if (nc > a) {
       space->set_label(j, PartitionLabel::kNormal);
     } else {
       space->set_label(j, PartitionLabel::kEmpty);

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/column_spans.h"
 #include "tsdata/dataset.h"
 #include "tsdata/region.h"
 
@@ -47,6 +48,8 @@ class PartitionSpace {
   double mid_value(size_t j) const;
   double min_value() const { return min_value_; }
   double max_value() const { return max_value_; }
+  /// Equi-width partition width (numeric spaces; 1.0 when degenerate).
+  double width() const { return width_; }
 
   /// Partition index containing `value` (numeric spaces; clamps to edges).
   size_t PartitionOf(double value) const;
@@ -75,11 +78,27 @@ void LabelNumericPartitions(std::span<const double> values,
                             const tsdata::LabeledRows& rows,
                             PartitionSpace* space);
 
+/// Batch form of LabelNumericPartitions: each contiguous run of diagnosis
+/// rows goes through the dispatched PartitionIndices kernel (one division
+/// per cell, vectorized, non-finite cells yielding the skip sentinel)
+/// before the label votes are tallied. Produces identical labels to the
+/// row-at-a-time form.
+void LabelNumericPartitions(std::span<const double> values,
+                            const DiagnosisRuns& runs, PartitionSpace* space);
+
 /// Labels a categorical partition space by majority count: Abnormal when
 /// strictly more abnormal than normal tuples carry the category, Normal
 /// when strictly fewer, Empty on ties (Section 4.2).
 void LabelCategoricalPartitions(std::span<const int32_t> codes,
                                 const tsdata::LabeledRows& rows,
+                                PartitionSpace* space);
+
+/// Batch form of LabelCategoricalPartitions: tallies each contiguous run of
+/// diagnosis rows as one sequential sweep over the codes column instead of
+/// gathering row by row. Produces identical labels to the row-at-a-time
+/// form (integer counts are exact).
+void LabelCategoricalPartitions(std::span<const int32_t> codes,
+                                const DiagnosisRuns& runs,
                                 PartitionSpace* space);
 
 /// The filtering step of Section 4.3 (numeric only): simultaneously blanks

@@ -2,9 +2,46 @@
 
 #include <algorithm>
 
+#include "common/simd/simd.h"
 #include "common/strings.h"
 
 namespace dbsherlock::core {
+
+namespace {
+
+/// CountMatches arguments equivalent to MatchesNumeric for a numeric
+/// predicate shape.
+struct NumericCmp {
+  common::simd::CmpKind kind;
+  double lo;
+  double hi;
+};
+
+NumericCmp CmpOf(const Predicate& p) {
+  switch (p.type) {
+    case PredicateType::kLessThan:
+      return {common::simd::CmpKind::kLess, 0.0, p.high};
+    case PredicateType::kGreaterThan:
+      return {common::simd::CmpKind::kGreaterEq, p.low, 0.0};
+    case PredicateType::kRange:
+    case PredicateType::kInSet:
+      break;
+  }
+  return {common::simd::CmpKind::kInRange, p.low, p.high};
+}
+
+uint64_t CountRunMatches(const Predicate& p, std::span<const double> values,
+                         const std::vector<RowRun>& runs) {
+  NumericCmp cmp = CmpOf(p);
+  uint64_t hits = 0;
+  for (const RowRun& run : runs) {
+    hits += common::simd::CountMatches(values.data() + run.begin, run.size(),
+                                       cmp.kind, cmp.lo, cmp.hi);
+  }
+  return hits;
+}
+
+}  // namespace
 
 bool Predicate::MatchesNumeric(double value) const {
   switch (type) {
@@ -72,6 +109,27 @@ double SeparationPower(const Predicate& predicate,
   for (size_t row : rows.normal) {
     if (predicate.MatchesRow(dataset, row)) ++normal_hits;
   }
+  return static_cast<double>(abnormal_hits) /
+             static_cast<double>(rows.abnormal.size()) -
+         static_cast<double>(normal_hits) /
+             static_cast<double>(rows.normal.size());
+}
+
+double SeparationPower(const Predicate& predicate,
+                       const tsdata::Dataset& dataset,
+                       const tsdata::LabeledRows& rows,
+                       const DiagnosisRuns& runs) {
+  if (rows.abnormal.empty() || rows.normal.empty()) return 0.0;
+  if (!predicate.is_numeric()) {
+    return SeparationPower(predicate, dataset, rows);
+  }
+  auto idx = dataset.schema().IndexOf(predicate.attribute);
+  if (!idx.ok()) return 0.0;  // MatchesRow answers false for every row
+  const tsdata::Column& col = dataset.column(*idx);
+  if (col.kind() != tsdata::AttributeKind::kNumeric) return 0.0;
+  std::span<const double> values = col.numeric_values();
+  uint64_t abnormal_hits = CountRunMatches(predicate, values, runs.abnormal);
+  uint64_t normal_hits = CountRunMatches(predicate, values, runs.normal);
   return static_cast<double>(abnormal_hits) /
              static_cast<double>(rows.abnormal.size()) -
          static_cast<double>(normal_hits) /

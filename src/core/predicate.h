@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/column_spans.h"
 #include "tsdata/dataset.h"
 #include "tsdata/region.h"
 
@@ -56,6 +57,17 @@ struct Predicate {
 double SeparationPower(const Predicate& predicate,
                        const tsdata::Dataset& dataset,
                        const tsdata::LabeledRows& rows);
+
+/// Batch fast path of Eq. (1): resolves the attribute once (the row-at-a-
+/// time form re-hashes the schema per row) and counts each contiguous run
+/// of diagnosis rows with the dispatched CountMatches kernel. Numeric
+/// predicates only take this path; kInSet falls back to the row loop.
+/// Matches the row-at-a-time result exactly (NaN cells match nothing in
+/// both forms).
+double SeparationPower(const Predicate& predicate,
+                       const tsdata::Dataset& dataset,
+                       const tsdata::LabeledRows& rows,
+                       const DiagnosisRuns& runs);
 
 /// Evaluates a conjunct of predicates on one row (all must match). An empty
 /// conjunct matches nothing (a diagnosis with no predicates flags no rows).

@@ -5,6 +5,7 @@
 
 #include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/simd/simd.h"
 #include "common/stats.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -68,7 +69,8 @@ DataQualityWarning MakeQualityWarning(const std::string& attribute,
 /// cells is diagnosed over its finite cells only, and says so.
 AttributeOutcome DiagnoseAttribute(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
-    size_t attr, const PredicateGenOptions& options) {
+    size_t attr, const PredicateGenOptions& options,
+    const DiagnosisRuns* runs) {
   const tsdata::AttributeSpec& spec = dataset.schema().attribute(attr);
   const tsdata::Column& col = dataset.column(attr);
   AttributeOutcome out;
@@ -82,7 +84,8 @@ AttributeOutcome DiagnoseAttribute(
     AttributeProfile profile;
     {
       TRACE_SPAN("predgen.profile_sweep");
-      profile = ProfileAttribute(values, rows);
+      profile = runs != nullptr ? ProfileAttribute(values, *runs)
+                                : ProfileAttribute(values, rows);
     }
     if (profile.non_finite_count > 0) {
       bool skip = options.min_attribute_quality > 0.0 &&
@@ -111,14 +114,16 @@ AttributeOutcome DiagnoseAttribute(
 
     {
       TRACE_SPAN("predgen.partition_space");
-      space = BuildFinalPartitionSpace(dataset, rows, attr, options, &profile);
+      space = BuildFinalPartitionSpace(dataset, rows, attr, options, &profile,
+                                      runs);
     }
     if (!space.has_value()) return out;
     std::optional<AbnormalBlock> block = SingleAbnormalBlock(*space);
     if (!block.has_value()) return out;
     pred = PredicateFromBlock(*space, *block, spec.name);
   } else {
-    space = BuildFinalPartitionSpace(dataset, rows, attr, options);
+    space = BuildFinalPartitionSpace(dataset, rows, attr, options, nullptr,
+                                     runs);
     if (!space.has_value()) return out;
     // Categorical: collect every Abnormal partition's category.
     Predicate p;
@@ -135,7 +140,9 @@ AttributeOutcome DiagnoseAttribute(
   if (!pred.has_value()) return out;
   AttributeDiagnosis diag;
   diag.predicate = std::move(*pred);
-  diag.separation_power = SeparationPower(diag.predicate, dataset, rows);
+  diag.separation_power =
+      runs != nullptr ? SeparationPower(diag.predicate, dataset, rows, *runs)
+                      : SeparationPower(diag.predicate, dataset, rows);
   diag.partition_separation_power =
       PartitionSeparationPower(diag.predicate, *space);
   diag.normalized_mean_diff = normalized_diff;
@@ -177,6 +184,36 @@ AttributeProfile ProfileAttribute(std::span<const double> values,
   return profile;
 }
 
+AttributeProfile ProfileAttribute(std::span<const double> values,
+                                  const DiagnosisRuns& runs) {
+  namespace simd = common::simd;
+  AttributeProfile profile;
+  bool first = true;
+  auto fold = [&](const std::vector<RowRun>& region_runs, double* sum,
+                  size_t* count) {
+    for (const RowRun& run : region_runs) {
+      simd::SpanProfile p =
+          simd::ProfileSpan(values.data() + run.begin, run.size());
+      profile.non_finite_count += p.non_finite_count;
+      *sum += p.sum;
+      *count += p.finite_count;
+      if (p.finite_count == 0) continue;
+      if (first) {
+        profile.min = p.min;
+        profile.max = p.max;
+        first = false;
+      } else {
+        profile.min = std::min(profile.min, p.min);
+        profile.max = std::max(profile.max, p.max);
+      }
+    }
+  };
+  fold(runs.abnormal, &profile.abnormal_sum, &profile.abnormal_count);
+  fold(runs.normal, &profile.normal_sum, &profile.normal_count);
+  profile.valid = !first;
+  return profile;
+}
+
 std::vector<Predicate> PredicateGenResult::PredicateList() const {
   std::vector<Predicate> out;
   out.reserve(predicates.size());
@@ -195,7 +232,7 @@ const AttributeDiagnosis* PredicateGenResult::Find(
 std::optional<PartitionSpace> BuildLabeledPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
     size_t attr_index, const PredicateGenOptions& options,
-    const AttributeProfile* profile) {
+    const AttributeProfile* profile, const DiagnosisRuns* runs) {
   if (rows.abnormal.empty() || rows.normal.empty()) return std::nullopt;
   const tsdata::Column& col = dataset.column(attr_index);
 
@@ -203,14 +240,19 @@ std::optional<PartitionSpace> BuildLabeledPartitionSpace(
     std::span<const double> values = col.numeric_values();
     AttributeProfile local;
     if (profile == nullptr) {
-      local = ProfileAttribute(values, rows);
+      local = runs != nullptr ? ProfileAttribute(values, *runs)
+                              : ProfileAttribute(values, rows);
       profile = &local;
     }
     if (!profile->valid || profile->max <= profile->min) return std::nullopt;
 
     PartitionSpace space = PartitionSpace::Numeric(profile->min, profile->max,
                                                    options.num_partitions);
-    LabelNumericPartitions(values, rows, &space);
+    if (runs != nullptr) {
+      LabelNumericPartitions(values, *runs, &space);
+    } else {
+      LabelNumericPartitions(values, rows, &space);
+    }
     return space;
   }
 
@@ -223,16 +265,20 @@ std::optional<PartitionSpace> BuildLabeledPartitionSpace(
   }
   if (categories.empty()) return std::nullopt;
   PartitionSpace space = PartitionSpace::Categorical(std::move(categories));
-  LabelCategoricalPartitions(col.codes(), rows, &space);
+  if (runs != nullptr) {
+    LabelCategoricalPartitions(col.codes(), *runs, &space);
+  } else {
+    LabelCategoricalPartitions(col.codes(), rows, &space);
+  }
   return space;
 }
 
 std::optional<PartitionSpace> BuildFinalPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
     size_t attr_index, const PredicateGenOptions& options,
-    const AttributeProfile* profile) {
-  std::optional<PartitionSpace> space =
-      BuildLabeledPartitionSpace(dataset, rows, attr_index, options, profile);
+    const AttributeProfile* profile, const DiagnosisRuns* runs) {
+  std::optional<PartitionSpace> space = BuildLabeledPartitionSpace(
+      dataset, rows, attr_index, options, profile, runs);
   if (!space.has_value() || !space->is_numeric()) return space;
 
   TRACE_SPAN("predgen.filter_gap_fill");
@@ -243,7 +289,9 @@ std::optional<PartitionSpace> BuildFinalPartitionSpace(
       anchor = profile->normal_mean();
     } else {
       const tsdata::Column& col = dataset.column(attr_index);
-      AttributeProfile local = ProfileAttribute(col.numeric_values(), rows);
+      AttributeProfile local =
+          runs != nullptr ? ProfileAttribute(col.numeric_values(), *runs)
+                          : ProfileAttribute(col.numeric_values(), rows);
       anchor = local.normal_mean();
     }
     FillPartitionGaps(&*space, options.anomaly_distance_multiplier, anchor);
@@ -280,13 +328,26 @@ double PartitionSeparationPower(const Predicate& predicate,
 PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
                                       const tsdata::DiagnosisRegions& regions,
                                       const PredicateGenOptions& options) {
+  return GeneratePredicates(dataset, SplitRows(dataset, regions), options);
+}
+
+PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
+                                      const tsdata::LabeledRows& rows,
+                                      const PredicateGenOptions& options) {
   TRACE_SPAN("explainer.predicate_generation");
   static common::Counter* emitted =
       common::MetricsRegistry::Global().GetCounter(
           "predgen.predicates_emitted");
   PredicateGenResult result;
-  tsdata::LabeledRows rows = SplitRows(dataset, regions);
   if (rows.abnormal.empty() || rows.normal.empty()) return result;
+
+  // The run decomposition is hoisted out of the attribute loop: every
+  // attribute's profile/labeling/separation sweep shares it (the kernels
+  // then stream each run as one contiguous column span).
+  std::optional<DiagnosisRuns> runs;
+  if (options.use_batch_kernels) {
+    runs = BuildDiagnosisRuns(rows);
+  }
 
   // Attributes are independent (Section 4 treats each in isolation), so the
   // loop fans out; merging in attribute order keeps the output identical to
@@ -294,7 +355,9 @@ PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
   std::vector<AttributeOutcome> per_attr = common::ParallelMap(
       dataset.num_attributes(),
       [&](size_t attr) {
-        return DiagnoseAttribute(dataset, rows, attr, options);
+        if (runs.has_value()) NoteDiagnosisRunsReused();
+        return DiagnoseAttribute(dataset, rows, attr, options,
+                                 runs.has_value() ? &*runs : nullptr);
       },
       options.parallelism);
   for (AttributeOutcome& outcome : per_attr) {

@@ -39,6 +39,14 @@ struct PredicateGenOptions {
   /// partition machinery. 0 disables the gate (NaN/Inf cells are still
   /// excluded from every statistic).
   double min_attribute_quality = 0.75;
+  /// Route the numeric column sweeps (profile, partition labeling,
+  /// separation power) through the dispatched SIMD kernels over contiguous
+  /// runs of diagnosis rows (DESIGN.md §12). false = the historical
+  /// row-at-a-time path, kept for A/B parity checks and as the benchmark
+  /// baseline. Predicates and labels are identical either way; region sums
+  /// may differ in the last float bits (lane-disciplined vs sequential
+  /// accumulation).
+  bool use_batch_kernels = true;
 };
 
 /// A per-attribute trust note attached to a diagnosis: the engine either
@@ -100,6 +108,14 @@ struct AttributeProfile {
 AttributeProfile ProfileAttribute(std::span<const double> values,
                                   const tsdata::LabeledRows& rows);
 
+/// Batch form: profiles each contiguous run of diagnosis rows with the
+/// dispatched ProfileSpan kernel and combines the per-run results
+/// (abnormal runs first, then normal). min/max/counts match the
+/// row-at-a-time form exactly; the sums follow the kernels' lane
+/// discipline, so their last bits may differ from the sequential fold.
+AttributeProfile ProfileAttribute(std::span<const double> values,
+                                  const DiagnosisRuns& runs);
+
 /// One extracted predicate plus its quality measures.
 struct AttributeDiagnosis {
   Predicate predicate;
@@ -132,6 +148,13 @@ PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
                                       const tsdata::DiagnosisRegions& regions,
                                       const PredicateGenOptions& options);
 
+/// As above, over rows the caller already split (spares the extra
+/// SplitRows sweep when the caller needs the labeled rows anyway — see
+/// Explainer::Diagnose, which also feeds them to ModelRepository::Rank).
+PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
+                                      const tsdata::LabeledRows& rows,
+                                      const PredicateGenOptions& options);
+
 /// Builds the final labeled partition space (label -> filter -> fill) for
 /// one attribute, as used by predicate extraction. Returns std::nullopt for
 /// constant numeric attributes or when either region holds no rows.
@@ -140,7 +163,8 @@ PredicateGenResult GeneratePredicates(const tsdata::Dataset& dataset,
 std::optional<PartitionSpace> BuildFinalPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
     size_t attr_index, const PredicateGenOptions& options,
-    const AttributeProfile* profile = nullptr);
+    const AttributeProfile* profile = nullptr,
+    const DiagnosisRuns* runs = nullptr);
 
 /// Builds the *labeled-only* partition space (Section 4.2's labeling, no
 /// filtering or gap filling) for one attribute. This is the space Eq. (3)
@@ -154,7 +178,8 @@ std::optional<PartitionSpace> BuildFinalPartitionSpace(
 std::optional<PartitionSpace> BuildLabeledPartitionSpace(
     const tsdata::Dataset& dataset, const tsdata::LabeledRows& rows,
     size_t attr_index, const PredicateGenOptions& options,
-    const AttributeProfile* profile = nullptr);
+    const AttributeProfile* profile = nullptr,
+    const DiagnosisRuns* runs = nullptr);
 
 /// Separation power of `predicate` measured over a labeled partition space
 /// (fraction of Abnormal partitions satisfied minus fraction of Normal

@@ -6,6 +6,7 @@
 #include <iterator>
 
 #include "common/metrics.h"
+#include "common/simd/simd.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "core/model_io.h"
@@ -489,6 +490,10 @@ Result<common::JsonValue> Service::DiagnoseRangeJson(
 
 common::JsonValue Service::StatsJson() const {
   common::JsonValue::Object out;
+  // The kernel ISA the diagnosis engine dispatched to (DESIGN.md §12) —
+  // lets an operator confirm what a given deployment actually runs.
+  out["simd_isa"] = std::string(
+      common::simd::IsaName(common::simd::ActiveIsa()));
   out["acked"] = static_cast<double>(total_acked_.load());
   out["shed"] = static_cast<double>(total_shed_.load());
   out["alerts"] = static_cast<double>(total_alerts_.load());

@@ -70,7 +70,7 @@ TEST(DbscanTest, MinPtsOneClustersEverything) {
 }
 
 TEST(DbscanTest, EmptyInput) {
-  DbscanResult result = Dbscan({}, 1.0, 3);
+  DbscanResult result = Dbscan(std::vector<std::vector<double>>{}, 1.0, 3);
   EXPECT_EQ(result.num_clusters, 0);
   EXPECT_TRUE(result.cluster_of.empty());
 }

@@ -1,0 +1,159 @@
+// End-to-end parity for the SIMD kernel layer (DESIGN.md §12): full
+// diagnoses must be BIT-identical under forced scalar / SSE2 / AVX2 and
+// across --threads, on several simulated anomaly datasets. This is the
+// contract that makes runtime dispatch invisible: two hosts with different
+// vector units (or thread counts) produce byte-for-byte the same
+// explanation. The legacy row-at-a-time path is also A/B-checked against
+// the batch path (same predicates and separation powers; its region sums
+// accumulate in a different order, so normalized_mean_diff is compared
+// approximately there).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/simd/simd.h"
+#include "core/explainer.h"
+#include "simulator/dataset_gen.h"
+
+namespace dbsherlock::core {
+namespace {
+
+namespace simd = dbsherlock::common::simd;
+
+bool SameBits(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+simulator::GeneratedDataset Generate(simulator::AnomalyKind kind,
+                                     uint64_t seed) {
+  simulator::DatasetGenOptions options;
+  options.seed = seed;
+  return simulator::GenerateAnomalyDataset(options, kind, 90.0);
+}
+
+/// A diagnosis with a small trained repository, so model ranking (the
+/// PartitionSpaceCache path) is exercised too.
+Explanation DiagnoseWithModels(const simulator::GeneratedDataset& run,
+                               size_t parallelism) {
+  Explainer::Options options;
+  options.predicate_options.parallelism = parallelism;
+  options.confidence_threshold = -1000.0;  // rank everything
+  Explainer sherlock(options);
+  Explanation first = sherlock.Diagnose(run.data, run.regions);
+  sherlock.AcceptDiagnosis("training-cause", first, "do the thing");
+  return sherlock.Diagnose(run.data, run.regions);
+}
+
+void ExpectBitIdentical(const Explanation& a, const Explanation& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.predicates.size(), b.predicates.size()) << label;
+  for (size_t i = 0; i < a.predicates.size(); ++i) {
+    const AttributeDiagnosis& da = a.predicates[i];
+    const AttributeDiagnosis& db = b.predicates[i];
+    EXPECT_EQ(da.predicate.attribute, db.predicate.attribute) << label;
+    EXPECT_EQ(da.predicate.type, db.predicate.type) << label;
+    EXPECT_TRUE(SameBits(da.predicate.low, db.predicate.low))
+        << label << " " << da.predicate.attribute;
+    EXPECT_TRUE(SameBits(da.predicate.high, db.predicate.high))
+        << label << " " << da.predicate.attribute;
+    EXPECT_EQ(da.predicate.categories, db.predicate.categories) << label;
+    EXPECT_TRUE(SameBits(da.separation_power, db.separation_power))
+        << label << " " << da.predicate.attribute;
+    EXPECT_TRUE(SameBits(da.partition_separation_power,
+                         db.partition_separation_power))
+        << label << " " << da.predicate.attribute;
+    EXPECT_TRUE(SameBits(da.normalized_mean_diff, db.normalized_mean_diff))
+        << label << " " << da.predicate.attribute;
+  }
+  ASSERT_EQ(a.causes.size(), b.causes.size()) << label;
+  for (size_t i = 0; i < a.causes.size(); ++i) {
+    EXPECT_EQ(a.causes[i].cause, b.causes[i].cause) << label;
+    EXPECT_TRUE(SameBits(a.causes[i].confidence, b.causes[i].confidence))
+        << label << " " << a.causes[i].cause;
+  }
+  ASSERT_EQ(a.warnings.size(), b.warnings.size()) << label;
+}
+
+struct Scenario {
+  simulator::AnomalyKind kind;
+  uint64_t seed;
+};
+
+const Scenario kScenarios[] = {
+    {simulator::AnomalyKind::kNetworkCongestion, 7001},
+    {simulator::AnomalyKind::kCpuSaturation, 7002},
+    {simulator::AnomalyKind::kIoSaturation, 7003},
+};
+
+TEST(SimdExplainerParityTest, ExplanationsBitIdenticalAcrossIsas) {
+  for (const Scenario& s : kScenarios) {
+    simulator::GeneratedDataset run = Generate(s.kind, s.seed);
+    simd::ScopedIsaOverride scalar(simd::Isa::kScalar);
+    ASSERT_TRUE(scalar.ok());
+    Explanation reference = DiagnoseWithModels(run, 1);
+    ASSERT_FALSE(reference.predicates.empty());
+    for (simd::Isa isa : {simd::Isa::kSse2, simd::Isa::kAvx2}) {
+      if (!simd::IsaSupported(isa)) continue;
+      simd::ScopedIsaOverride forced(isa);
+      ASSERT_TRUE(forced.ok());
+      Explanation got = DiagnoseWithModels(run, 1);
+      ExpectBitIdentical(reference, got,
+                         std::string("isa=") + simd::IsaName(isa));
+    }
+  }
+}
+
+TEST(SimdExplainerParityTest, ExplanationsBitIdenticalAcrossThreads) {
+  for (const Scenario& s : kScenarios) {
+    simulator::GeneratedDataset run = Generate(s.kind, s.seed);
+    Explanation serial = DiagnoseWithModels(run, 1);
+    for (size_t parallelism : {size_t{0}, size_t{4}}) {
+      Explanation parallel = DiagnoseWithModels(run, parallelism);
+      ExpectBitIdentical(serial, parallel,
+                         "parallelism=" + std::to_string(parallelism));
+    }
+  }
+}
+
+TEST(SimdExplainerParityTest, BatchMatchesRowAtATimePath) {
+  for (const Scenario& s : kScenarios) {
+    simulator::GeneratedDataset run = Generate(s.kind, s.seed);
+    Explainer::Options batch;
+    Explainer::Options legacy;
+    legacy.predicate_options.use_batch_kernels = false;
+    legacy.detector_options.use_batch_kernels = false;
+    Explanation a = Explainer(batch).Diagnose(run.data, run.regions);
+    Explanation b = Explainer(legacy).Diagnose(run.data, run.regions);
+    ASSERT_EQ(a.predicates.size(), b.predicates.size());
+    for (size_t i = 0; i < a.predicates.size(); ++i) {
+      const AttributeDiagnosis& da = a.predicates[i];
+      const AttributeDiagnosis& db = b.predicates[i];
+      EXPECT_EQ(da.predicate.attribute, db.predicate.attribute);
+      EXPECT_EQ(da.predicate.type, db.predicate.type);
+      // Predicate bounds come from the partition space (min/max + labels),
+      // which the two paths derive identically.
+      EXPECT_TRUE(SameBits(da.predicate.low, db.predicate.low))
+          << da.predicate.attribute;
+      EXPECT_TRUE(SameBits(da.predicate.high, db.predicate.high))
+          << da.predicate.attribute;
+      EXPECT_TRUE(SameBits(da.separation_power, db.separation_power))
+          << da.predicate.attribute;
+      EXPECT_TRUE(SameBits(da.partition_separation_power,
+                           db.partition_separation_power))
+          << da.predicate.attribute;
+      // Region sums accumulate in different orders (lane-disciplined vs
+      // sequential): value-approximate, not bit-identical.
+      EXPECT_NEAR(da.normalized_mean_diff, db.normalized_mean_diff, 1e-9)
+          << da.predicate.attribute;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbsherlock::core

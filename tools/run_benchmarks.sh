@@ -2,13 +2,13 @@
 # Runs the microbenchmark suite and records the results as JSON so the
 # perf trajectory is tracked across PRs (compare BENCH_micro.json between
 # commits). Usage:
-#   tools/run_benchmarks.sh [output.json] [extra bench_micro_perf flags...]
-#   tools/run_benchmarks.sh --with-metrics [output.json] [extra flags...]
+#   tools/run_benchmarks.sh [--allow-debug] [output.json] [extra bench_micro_perf flags...]
+#   tools/run_benchmarks.sh [--allow-debug] --with-metrics [output.json] [extra flags...]
 #   tools/run_benchmarks.sh --sanitize
-#   tools/run_benchmarks.sh --robustness [output.json]
+#   tools/run_benchmarks.sh [--allow-debug] --robustness [output.json]
 #   tools/run_benchmarks.sh --trace-overhead
-#   tools/run_benchmarks.sh --service [output.json]
-#   tools/run_benchmarks.sh --store [output.json]
+#   tools/run_benchmarks.sh [--allow-debug] --service [output.json]
+#   tools/run_benchmarks.sh [--allow-debug] --store [output.json]
 # Modes:
 #   --with-metrics  run the microbenchmarks, then run one instrumented
 #                 pipeline pass (bench_pipeline_metrics) and embed its
@@ -31,12 +31,61 @@
 #                 p99 append latency, shed rate, and per-tenant diagnosis
 #                 accuracy (default BENCH_service.json). Exit status is
 #                 nonzero unless every tenant's cause ranks top-1.
+#
+# Build policy: an unconfigured BUILD_DIR is configured as Release and
+# built here; an existing BUILD_DIR is reused as-is. BENCH_*.json is only
+# written from an optimized build (Release/RelWithDebInfo/MinSizeRel per
+# the tree's CMakeCache.txt) — debug numbers are not comparable across
+# PRs, so recording them requires the explicit --allow-debug flag. Every
+# emitted JSON carries the build type and the resolved SIMD ISA (context
+# keys "dbsherlock_build_type"/"simd_isa" for bench_micro_perf, object key
+# "build_info" for the other harnesses).
 # Env:
 #   BUILD_DIR  build tree holding the bench binaries (default: build)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
+
+ALLOW_DEBUG=0
+if [[ "${1:-}" == "--allow-debug" ]]; then
+  ALLOW_DEBUG=1
+  shift
+fi
+
+# Configures (Release) when the tree doesn't exist yet, then builds the
+# requested bench target.
+ensure_built() {
+  local target="$1"
+  if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+    echo "configuring $BUILD_DIR as Release" >&2
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+  fi
+  cmake --build "$BUILD_DIR" -j --target "$target"
+}
+
+cached_build_type() {
+  sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" | head -1
+}
+
+# Refuses to record benchmark JSON from a non-optimized tree unless
+# --allow-debug was passed.
+require_optimized_build() {
+  local bt
+  bt="$(cached_build_type)"
+  case "$bt" in
+    Release|RelWithDebInfo|MinSizeRel) return 0 ;;
+  esac
+  if [[ "$ALLOW_DEBUG" == 1 ]]; then
+    echo "warning: recording benchmarks from a '$bt' build (--allow-debug)" >&2
+    return 0
+  fi
+  echo "error: $BUILD_DIR is CMAKE_BUILD_TYPE='$bt', not an optimized build." >&2
+  echo "Benchmark JSON from debug builds is not comparable across PRs." >&2
+  echo "Either reconfigure (cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release)" >&2
+  echo "or pass --allow-debug as the first argument to record it anyway." >&2
+  exit 1
+}
 
 if [[ "${1:-}" == "--sanitize" ]]; then
   SAN_DIR="${BUILD_DIR}-asan-ubsan"
@@ -49,44 +98,31 @@ fi
 
 if [[ "${1:-}" == "--robustness" ]]; then
   OUT="${2:-BENCH_robustness.json}"
-  BIN="$BUILD_DIR/bench/bench_corruption_robustness"
-  if [[ ! -x "$BIN" ]]; then
-    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-    exit 1
-  fi
-  "$BIN" --json_out "$OUT"
+  ensure_built bench_corruption_robustness
+  require_optimized_build
+  "$BUILD_DIR/bench/bench_corruption_robustness" --json_out "$OUT"
   exit 0
 fi
 
 if [[ "${1:-}" == "--service" ]]; then
   OUT="${2:-BENCH_service.json}"
-  BIN="$BUILD_DIR/bench/bench_service"
-  if [[ ! -x "$BIN" ]]; then
-    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-    exit 1
-  fi
-  "$BIN" --json_out "$OUT"
+  ensure_built bench_service
+  require_optimized_build
+  "$BUILD_DIR/bench/bench_service" --json_out "$OUT"
   exit 0
 fi
 
 if [[ "${1:-}" == "--store" ]]; then
   OUT="${2:-BENCH_store.json}"
-  BIN="$BUILD_DIR/bench/bench_store"
-  if [[ ! -x "$BIN" ]]; then
-    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-    exit 1
-  fi
-  "$BIN" --json_out "$OUT"
+  ensure_built bench_store
+  require_optimized_build
+  "$BUILD_DIR/bench/bench_store" --json_out "$OUT"
   exit 0
 fi
 
 if [[ "${1:-}" == "--trace-overhead" ]]; then
-  BIN="$BUILD_DIR/bench/bench_trace_overhead"
-  if [[ ! -x "$BIN" ]]; then
-    echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-    exit 1
-  fi
-  "$BIN"
+  ensure_built bench_trace_overhead
+  "$BUILD_DIR/bench/bench_trace_overhead"
   exit 0
 fi
 
@@ -99,21 +135,15 @@ fi
 OUT="${1:-BENCH_micro.json}"
 shift || true
 
+ensure_built bench_micro_perf
+require_optimized_build
 BIN="$BUILD_DIR/bench/bench_micro_perf"
-if [[ ! -x "$BIN" ]]; then
-  echo "error: $BIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
-
+"$BIN" --print-build-info
 "$BIN" --benchmark_format=json "$@" > "$OUT"
 echo "wrote $OUT"
 
 if [[ "$WITH_METRICS" == 1 ]]; then
-  MBIN="$BUILD_DIR/bench/bench_pipeline_metrics"
-  if [[ ! -x "$MBIN" ]]; then
-    echo "error: $MBIN not built; run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
-    exit 1
-  fi
-  "$MBIN" --merge-into "$OUT"
+  ensure_built bench_pipeline_metrics
+  "$BUILD_DIR/bench/bench_pipeline_metrics" --merge-into "$OUT"
   echo "attached metrics snapshot to $OUT"
 fi
