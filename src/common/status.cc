@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kParseError:
       return "ParseError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -18,6 +18,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kParseError,
+  kDeadlineExceeded,
   kInternal,
 };
 
@@ -61,6 +62,9 @@ class Status {
   }
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,148 @@
+#ifndef DBSHERLOCK_EVAL_CHAOS_H_
+#define DBSHERLOCK_EVAL_CHAOS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "service/client.h"
+#include "simulator/anomaly.h"
+#include "simulator/dataset_gen.h"
+
+namespace dbsherlock::eval {
+
+/// A real `dbsherlockd serve` child process under harness control: Start
+/// blocks on the "LISTENING <port>" handshake, Kill9 is the crash case
+/// (no drain, no seal, no goodbye), Terminate is the clean case whose
+/// exit code the caller asserts. The destructor SIGKILLs a still-running
+/// child so a failed episode never leaks a daemon.
+class DaemonProcess {
+ public:
+  struct Options {
+    /// Path to the dbsherlockd binary (tests pass their compile-time
+    /// DBSHERLOCK_DAEMON_PATH definition here).
+    std::string binary;
+    /// Flags after `serve` (--port 0 --wal-dir ... --fault-schedule ...).
+    std::vector<std::string> args;
+  };
+
+  DaemonProcess() = default;
+  ~DaemonProcess();
+
+  DaemonProcess(const DaemonProcess&) = delete;
+  DaemonProcess& operator=(const DaemonProcess&) = delete;
+
+  /// Forks and execs the daemon, then blocks until it prints
+  /// LISTENING <port> (stderr is inherited so daemon logs interleave with
+  /// the harness's). Restartable: a prior dead child is cleaned up first.
+  common::Status Start(const Options& options);
+
+  /// SIGKILL + reap: the machine lost power.
+  void Kill9();
+
+  /// SIGTERM + reap: returns the daemon's exit code (0 = clean drain).
+  common::Result<int> Terminate();
+
+  bool running() const { return pid_ > 0; }
+  int port() const { return port_; }
+
+ private:
+  void Reap(int signal);
+
+  pid_t pid_ = -1;
+  std::FILE* out_ = nullptr;
+  int port_ = 0;
+};
+
+/// One chaos episode: boot a real daemon on scratch dirs, teach causal
+/// models over the wire, stream multi-tenant telemetry with idempotent
+/// APPENDSEQ writers, crash the daemon with kill -9 at seeded points
+/// (and/or run it under a faultenv schedule), restart it on the same
+/// dirs, resume each writer from HELLO's durable high-water timestamp,
+/// and verify the crash-safety contract at the end:
+///   - every streamed row is in the durable history EXACTLY once
+///     (no acked-row loss, no double-ingest from resends),
+///   - every acked TEACH survives every crash,
+///   - DIAGNOSE_RANGE over the injected anomaly ranks the true cause
+///     first,
+///   - SIGTERM exits 0 even after faults/degradation.
+struct ChaosOptions {
+  std::string daemon_path;  ///< dbsherlockd binary (required)
+  std::string work_dir;     ///< scratch root; wal/ + store/ created inside
+  uint64_t seed = 1;        ///< kill points + retry jitter
+  size_t num_tenants = 3;
+  /// Anomaly classes round-robin across tenants; empty = all classes.
+  std::vector<simulator::AnomalyKind> kinds;
+  simulator::DatasetGenOptions gen;  ///< per-tenant stream shape
+  double anomaly_duration_sec = 30.0;
+  double anomaly_magnitude = 1.0;
+  size_t train_sets_per_cause = 2;
+  /// kill -9 events spread over the stream (0 = fault-schedule only).
+  size_t kills = 2;
+  /// Installed in the daemon via --fault-schedule (empty = no faults).
+  std::string fault_schedule;
+  /// Small segments tighten the unsealed-tail resend window.
+  size_t seal_rows = 32;
+  size_t queue_capacity = 256;
+  /// Writer pacing; seed is overridden from `seed`.
+  service::RetryPolicy retry;
+  int connect_timeout_ms = 5000;
+  int deadline_ms = 5000;
+  /// Check DIAGNOSE_RANGE top-1 over each tenant's truth window.
+  bool diagnose = true;
+
+  ChaosOptions();
+};
+
+struct ChaosTenantOutcome {
+  std::string tenant;
+  std::string expected_cause;
+  std::string top_cause;  // empty when diagnosis was skipped/failed
+  bool top1_correct = false;
+  size_t rows_sent = 0;    // dataset rows ultimately acked
+  size_t resent_rows = 0;  // rows re-streamed after a crash (lost tail)
+  size_t retries = 0;      // RETRY_AFTER responses honored
+  size_t reconnects = 0;   // connection re-establishments mid-stream
+  bool exactly_once = false;
+  size_t missing_ts = 0;    // sent timestamps absent from history
+  size_t duplicate_ts = 0;  // timestamps stored more than once
+};
+
+struct ChaosResult {
+  /// True when every invariant held; `violations` lists each failure in
+  /// human-readable form otherwise.
+  bool ok = false;
+  std::vector<std::string> violations;
+  size_t kills = 0;
+  /// Per restart: wall ms from restart start to the first re-acked row.
+  std::vector<double> recovery_ms;
+  uint64_t rows_acked = 0;
+  uint64_t resent_rows = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  double shed_rate = 0.0;  // retries / (acked + retries)
+  size_t models_taught = 0;
+  size_t models_recovered = 0;  // taught causes present after last restart
+  std::string health_state;     // final HEALTH state before shutdown
+  int daemon_exit_code = -1;    // final SIGTERM exit code
+  double wall_sec = 0.0;
+  uint64_t seed = 0;
+  std::string fault_schedule;
+  std::vector<ChaosTenantOutcome> tenants;
+
+  common::JsonValue ToJson() const;
+};
+
+/// Runs one episode. A Status error means harness infrastructure failed
+/// (fork, bind, dataset generation); a violated crash-safety invariant is
+/// reported in ChaosResult::violations with ok=false, not as an error.
+common::Result<ChaosResult> RunChaosEpisode(const ChaosOptions& options);
+
+}  // namespace dbsherlock::eval
+
+#endif  // DBSHERLOCK_EVAL_CHAOS_H_

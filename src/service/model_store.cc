@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/faultenv.h"
 #include "common/json.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -75,12 +76,13 @@ Status Errno(const std::string& what, const std::string& path) {
   return Status::IoError(what + " " + path + ": " + std::strerror(errno));
 }
 
-/// Writes all of `data` to `fd`, retrying short writes and EINTR.
-Status WriteAll(int fd, const uint8_t* data, size_t n,
+/// Writes all of `data` to `fd`, retrying short writes and EINTR. `site`
+/// tags the write for fault injection (faultenv.h).
+Status WriteAll(const char* site, int fd, const uint8_t* data, size_t n,
                 const std::string& path) {
   size_t done = 0;
   while (done < n) {
-    ssize_t w = ::write(fd, data + done, n - done);
+    ssize_t w = common::faultenv::Write(site, fd, data + done, n - done);
     if (w < 0) {
       if (errno == EINTR) continue;
       return Errno("write", path);
@@ -257,21 +259,41 @@ Status DurableModelStore::AppendRecordLocked(const core::CausalModel& model) {
   if (options_.fail_append_after_bytes < n) {
     // Injected crash: write a prefix, then behave as if the process died —
     // the fd stays as-is and every later write fails fast.
-    (void)WriteAll(wal_fd_, bytes, options_.fail_append_after_bytes,
-                   WalPath());
+    (void)WriteAll("wal.write", wal_fd_, bytes,
+                   options_.fail_append_after_bytes, WalPath());
     (void)::fsync(wal_fd_);
     failed_ = true;
     return Status::IoError("injected crash during WAL append");
   }
+  // Where this record starts: a failed append must truncate back here, or
+  // the torn bytes would sit in front of every later record and recovery
+  // would stop at the tear — losing appends that WERE acked after it.
+  off_t record_start = ::lseek(wal_fd_, 0, SEEK_CUR);
+  if (record_start < 0) return Errno("seek", WalPath());
+  Status status;
   {
     common::ScopedLatency timer(
         metrics.GetHistogram("model_store.wal_append_us"));
-    DBSHERLOCK_RETURN_NOT_OK(WriteAll(wal_fd_, bytes, n, WalPath()));
+    status = WriteAll("wal.write", wal_fd_, bytes, n, WalPath());
   }
-  if (options_.fsync_each_append) {
+  if (status.ok() && options_.fsync_each_append) {
     common::ScopedLatency timer(
         metrics.GetHistogram("model_store.wal_fsync_us"));
-    if (::fsync(wal_fd_) != 0) return Errno("fsync", WalPath());
+    if (common::faultenv::Fsync("wal.fsync", wal_fd_) != 0) {
+      status = Errno("fsync", WalPath());
+    }
+  }
+  if (!status.ok()) {
+    // Unwind the partial record so the WAL stays a clean prefix of acked
+    // appends. Only if even the unwind fails does the store go sticky-
+    // failed (the next Open re-runs torn-tail recovery).
+    metrics.GetCounter("model_store.wal_append_errors")->Increment();
+    if (::ftruncate(wal_fd_, record_start) != 0 ||
+        ::lseek(wal_fd_, record_start, SEEK_SET) < 0) {
+      failed_ = true;
+      metrics.GetCounter("model_store.wal_failures")->Increment();
+    }
+    return status;
   }
   metrics.GetCounter("model_store.wal_appends")->Increment();
   ++next_seq_;
@@ -316,10 +338,12 @@ Status DurableModelStore::CompactLocked() {
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0644);
   if (fd < 0) return Errno("open", tmp);
-  Status write_status = WriteAll(
-      fd, reinterpret_cast<const uint8_t*>(text.data()), text.size(), tmp);
-  if (write_status.ok() && ::fsync(fd) != 0) write_status = Errno("fsync",
-                                                                  tmp);
+  Status write_status =
+      WriteAll("snap.write", fd, reinterpret_cast<const uint8_t*>(text.data()),
+               text.size(), tmp);
+  if (write_status.ok() && common::faultenv::Fsync("snap.fsync", fd) != 0) {
+    write_status = Errno("fsync", tmp);
+  }
   ::close(fd);
   DBSHERLOCK_RETURN_NOT_OK(write_status);
   if (::rename(tmp.c_str(), SnapshotPath().c_str()) != 0) {

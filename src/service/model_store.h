@@ -91,6 +91,12 @@ class DurableModelStore {
   uint64_t next_seq() const;
   size_t wal_records() const;
   uint64_t compactions() const { return compactions_; }
+  /// True once a write failure could not be unwound (the WAL may hold a
+  /// torn record); all further writes fail until the store is reopened.
+  bool failed() const {
+    std::shared_lock lock(mu_);
+    return failed_;
+  }
   const RecoveryReport& recovery() const { return recovery_; }
   const Options& options() const { return options_; }
 
@@ -114,7 +120,7 @@ class DurableModelStore {
   size_t wal_records_ = 0;      // live records in wal.log
   uint64_t compactions_ = 0;
   int wal_fd_ = -1;             // -1 for volatile stores
-  bool failed_ = false;         // injected crash tripped; all writes fail
+  bool failed_ = false;         // unrecoverable write failure; writes fail
   RecoveryReport recovery_;
 };
 

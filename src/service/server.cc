@@ -4,11 +4,13 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
+#include "common/faultenv.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 
@@ -19,15 +21,11 @@ namespace {
 using common::Result;
 using common::Status;
 
-/// Protocol guard: a single request line larger than this is an attack or
-/// a bug, not telemetry (48 metrics fit in a few hundred bytes).
-constexpr size_t kMaxLine = 1 << 20;
-
 Status SendAll(int fd, const std::string& data) {
   size_t done = 0;
   while (done < data.size()) {
-    ssize_t w = ::send(fd, data.data() + done, data.size() - done,
-                       MSG_NOSIGNAL);
+    ssize_t w = common::faultenv::Send(
+        "srv.send", fd, data.data() + done, data.size() - done, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::IoError(std::string("send: ") + std::strerror(errno));
@@ -137,28 +135,51 @@ void Server::AcceptLoop() {
 }
 
 void Server::HandleConnection(int fd) {
+  auto& metrics = common::MetricsRegistry::Global();
+  if (options_.idle_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options_.idle_timeout_ms / 1000;
+    tv.tv_usec = (options_.idle_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   std::string buffer;
   char chunk[4096];
   bool quit = false;
   while (!quit) {
-    ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    ssize_t r = common::faultenv::Recv("srv.recv", fd, chunk, sizeof(chunk),
+                                       0);
     if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // The idle read timeout expired: a slow-loris peer (or one that
+      // simply left) does not get to hold a worker forever.
+      metrics.GetCounter("server.idle_timeouts")->Increment();
+      break;
+    }
     if (r <= 0) break;  // peer closed, error, or Stop's shutdown()
     buffer.append(chunk, static_cast<size_t>(r));
     size_t newline;
     while (!quit && (newline = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
+      if (line.size() > options_.max_line_bytes) {
+        metrics.GetCounter("server.oversized_lines")->Increment();
+        (void)SendAll(
+            fd, ErrLine(Status::ParseError("request line too long")) + "\n");
+        quit = true;
+        break;
+      }
       std::string response = HandleLine(line, &quit);
       if (!SendAll(fd, response + "\n").ok()) {
         quit = true;
         break;
       }
     }
-    if (buffer.size() > kMaxLine) {
+    // A partial line past the cap can never complete into a valid
+    // request; shed it before it eats the worker's memory.
+    if (!quit && buffer.size() > options_.max_line_bytes) {
+      metrics.GetCounter("server.oversized_lines")->Increment();
       (void)SendAll(
-          fd, ErrLine(Status::InvalidArgument("request line too long")) +
-                  "\n");
+          fd, ErrLine(Status::ParseError("request line too long")) + "\n");
       break;
     }
   }
@@ -191,9 +212,19 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
       }
       Status status = service.Hello(request.tenant, request.schema, retain);
       if (!status.ok()) return ErrLine(status);
-      return OkLine(common::StrFormat(
+      std::string detail = common::StrFormat(
           "tenant %s attrs %zu", request.tenant.c_str(),
-          request.schema.num_attributes()));
+          request.schema.num_attributes());
+      // The durable high-water timestamp, when history exists: rows after
+      // it did not survive a crash, so an idempotent writer resumes from
+      // the first row strictly after this point.
+      auto tenant = service.tenants().Find(request.tenant);
+      if (tenant.ok() && (*tenant)->history != nullptr) {
+        if (auto last = (*tenant)->history->durable_last_ts()) {
+          detail += common::StrFormat(" last_ts %.17g", *last);
+        }
+      }
+      return OkLine(detail);
     }
     case RequestOp::kAppend: {
       std::vector<tsdata::Cell> cells;
@@ -221,13 +252,15 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
           }
         }
       }
-      auto outcome =
-          service.Append(request.tenant, request.timestamp, std::move(cells));
+      std::optional<uint64_t> client_seq;
+      if (request.has_client_seq) client_seq = request.client_seq;
+      auto outcome = service.Append(request.tenant, request.timestamp,
+                                    std::move(cells), client_seq);
       if (!outcome.ok()) return ErrLine(outcome.status());
       if (!outcome->accepted) return RetryAfterLine(outcome->retry_after_ms);
-      return OkLine(common::StrFormat("%llu",
-                                      static_cast<unsigned long long>(
-                                          outcome->seq)));
+      return OkLine(common::StrFormat(
+          "%llu%s", static_cast<unsigned long long>(outcome->seq),
+          outcome->replayed ? " replayed" : ""));
     }
     case RequestOp::kTeach: {
       Status status = service.Teach(request.model);
@@ -259,6 +292,8 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
       return OkLine(service.StatsJson().Dump());
     case RequestOp::kModels:
       return OkLine(service.ModelsJson().Dump());
+    case RequestOp::kHealth:
+      return OkLine(service.HealthJson().Dump());
   }
   return ErrLine(Status::Internal("unhandled request op"));
 }

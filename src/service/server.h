@@ -30,6 +30,12 @@ class Server {
     int port = 0;
     /// Connections beyond this are refused (ERR + close) at accept time.
     size_t max_connections = 64;
+    /// Slow-loris guard: a connection that sends nothing for this long is
+    /// closed (its worker is a finite resource). 0 = wait forever.
+    int idle_timeout_ms = 0;
+    /// Per-connection line-buffer cap; a longer request line gets
+    /// ERR ParseError and the connection is closed.
+    size_t max_line_bytes = 1 << 20;
     /// The engine; required, not owned.
     Service* service = nullptr;
   };

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <iterator>
 
+#include "common/faultenv.h"
 #include "common/metrics.h"
 #include "common/simd/simd.h"
 #include "common/strings.h"
@@ -92,7 +93,7 @@ Status Service::Hello(
 
 Result<Service::AppendOutcome> Service::Append(
     const std::string& tenant, double timestamp,
-    std::vector<tsdata::Cell> cells) {
+    std::vector<tsdata::Cell> cells, std::optional<uint64_t> client_seq) {
   common::ScopedLatency timer(
       common::MetricsRegistry::Global().GetHistogram("service.append_us"));
   if (!accepting_.load()) {
@@ -111,6 +112,18 @@ Result<Service::AppendOutcome> Service::Append(
       return Status::NotFound("tenant '" + tenant +
                               "' was evicted; HELLO again");
     }
+    if (client_seq.has_value() && *client_seq <= t->last_client_seq) {
+      // A retry of a row already applied (the ack got lost, not the row):
+      // acknowledge again without re-ingesting.
+      outcome.accepted = true;
+      outcome.replayed = true;
+      outcome.seq = t->acked;
+      total_replayed_.fetch_add(1, std::memory_order_relaxed);
+      common::MetricsRegistry::Global()
+          .GetCounter("service.rows_replayed")
+          ->Increment();
+      return outcome;
+    }
     if (t->queue.size() >= options_.queue_capacity) {
       ++t->shed;
       total_shed_.fetch_add(1, std::memory_order_relaxed);
@@ -124,6 +137,7 @@ Result<Service::AppendOutcome> Service::Append(
     t->queue.push_back(PendingRow{timestamp, std::move(cells)});
     outcome.accepted = true;
     outcome.seq = ++t->acked;
+    if (client_seq.has_value()) t->last_client_seq = *client_seq;
     common::MetricsRegistry::Global()
         .GetGauge("service.queue_depth." + t->name)
         ->Set(static_cast<double>(t->queue.size()));
@@ -150,7 +164,17 @@ Status Service::Teach(const core::CausalModel& model) {
   if (options_.store == nullptr) {
     return Status::FailedPrecondition("service has no model store");
   }
-  return options_.store->Add(model);
+  Status status = options_.store->Add(model);
+  // Only durability failures flip the health state; a malformed model is
+  // the caller's problem, not the daemon's.
+  if (status.code() == common::StatusCode::kIoError ||
+      (status.code() == common::StatusCode::kFailedPrecondition &&
+       options_.store->failed())) {
+    NoteDurabilityError("model-store", status);
+  } else if (status.ok()) {
+    NoteDurabilityOk();
+  }
+  return status;
 }
 
 void Service::IngestWorker() {
@@ -209,6 +233,10 @@ void Service::DrainTenant(const std::shared_ptr<Tenant>& tenant) {
             tenant->history->Append(row.timestamp, row.cells);
         if (!persisted.ok()) {
           metrics.GetCounter("service.history_append_errors")->Increment();
+          NoteDurabilityError(("history:" + tenant->name).c_str(),
+                              persisted);
+        } else {
+          NoteDurabilityOk();
         }
       }
       if (alert.has_value()) {
@@ -488,6 +516,53 @@ Result<common::JsonValue> Service::DiagnoseRangeJson(
   return common::JsonValue(std::move(out));
 }
 
+void Service::NoteDurabilityError(const char* path,
+                                  const common::Status& status) {
+  std::lock_guard lock(health_mu_);
+  if (health_state_ == HealthState::kDraining) return;
+  if (health_state_ != HealthState::kDegraded) {
+    health_state_ = HealthState::kDegraded;
+    ++degraded_entries_;
+    common::MetricsRegistry::Global()
+        .GetCounter("service.degraded_entries")
+        ->Increment();
+  }
+  health_reason_ = std::string(path) + ": " + status.ToString();
+  common::MetricsRegistry::Global().GetGauge("service.degraded")->Set(1.0);
+}
+
+void Service::NoteDurabilityOk() {
+  std::lock_guard lock(health_mu_);
+  if (health_state_ != HealthState::kDegraded) return;
+  health_state_ = HealthState::kOk;
+  health_reason_.clear();
+  common::MetricsRegistry::Global().GetGauge("service.degraded")->Set(0.0);
+}
+
+Service::HealthState Service::health() const {
+  std::lock_guard lock(health_mu_);
+  return health_state_;
+}
+
+common::JsonValue Service::HealthJson() const {
+  std::lock_guard lock(health_mu_);
+  common::JsonValue::Object out;
+  switch (health_state_) {
+    case HealthState::kOk:
+      out["state"] = std::string("ok");
+      break;
+    case HealthState::kDegraded:
+      out["state"] = std::string("degraded");
+      break;
+    case HealthState::kDraining:
+      out["state"] = std::string("draining");
+      break;
+  }
+  if (!health_reason_.empty()) out["reason"] = health_reason_;
+  out["degraded_entries"] = static_cast<double>(degraded_entries_);
+  return common::JsonValue(std::move(out));
+}
+
 common::JsonValue Service::StatsJson() const {
   common::JsonValue::Object out;
   // The kernel ISA the diagnosis engine dispatched to (DESIGN.md §12) —
@@ -499,6 +574,16 @@ common::JsonValue Service::StatsJson() const {
   out["alerts"] = static_cast<double>(total_alerts_.load());
   out["diagnoses"] = static_cast<double>(total_diagnoses_.load());
   out["diagnoses_deduped"] = static_cast<double>(total_deduped_.load());
+  out["replayed"] = static_cast<double>(total_replayed_.load());
+  out["health"] = HealthJson();
+  if (common::faultenv::Enabled()) {
+    common::JsonValue::Object faults;
+    faults["schedule"] = common::faultenv::ActiveSpec();
+    faults["injected"] =
+        static_cast<double>(common::faultenv::InjectedCount());
+    faults["sites"] = common::faultenv::StatsJson();
+    out["faultenv"] = common::JsonValue(std::move(faults));
+  }
   auto& tenants = const_cast<TenantManager&>(tenants_);
   common::JsonValue::Object per_tenant;
   for (const std::string& name : tenants.Names()) {
@@ -558,6 +643,11 @@ common::JsonValue Service::ModelsJson() const {
 void Service::Stop() {
   if (stopped_.exchange(true)) return;
   accepting_.store(false);
+  {
+    std::lock_guard lock(health_mu_);
+    health_state_ = HealthState::kDraining;
+    health_reason_.clear();
+  }
   // Drain every acked row and in-flight diagnosis before the workers go:
   // Stop never discards acknowledged work.
   (void)FlushAll();

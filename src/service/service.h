@@ -76,9 +76,17 @@ class Service {
   /// tenant, schema mismatch) surface as the Result's Status instead.
   struct AppendOutcome {
     bool accepted = false;
+    bool replayed = false;   // duplicate client_seq; acked, not re-ingested
     uint64_t seq = 0;        // tenant-local ack sequence when accepted
     int retry_after_ms = 0;  // when shed
   };
+
+  /// Coarse service health for the HEALTH verb. `kDegraded` means a
+  /// durability path (model-store WAL or a tenant history store) is
+  /// failing: the daemon stays up and keeps diagnosing, but writes on the
+  /// failing path are being lost or refused. The state clears itself when
+  /// the same path succeeds again. `kDraining` is set once Stop begins.
+  enum class HealthState { kOk, kDegraded, kDraining };
 
   explicit Service(Options options);
   ~Service();
@@ -94,9 +102,13 @@ class Service {
 
   /// Enqueues one row for `tenant`. Cells must match the tenant schema
   /// (checked here, before acking). Never blocks on a full queue.
-  common::Result<AppendOutcome> Append(const std::string& tenant,
-                                       double timestamp,
-                                       std::vector<tsdata::Cell> cells);
+  /// `client_seq` (APPENDSEQ) makes the call idempotent: a seq at or
+  /// below the highest already applied is acked as `replayed` without
+  /// enqueueing the row again.
+  common::Result<AppendOutcome> Append(
+      const std::string& tenant, double timestamp,
+      std::vector<tsdata::Cell> cells,
+      std::optional<uint64_t> client_seq = std::nullopt);
 
   /// Adds a causal model to the shared durable store (the TEACH verb /
   /// pre-trained models).
@@ -130,6 +142,12 @@ class Service {
   /// Service-wide counters (STATS verb).
   common::JsonValue StatsJson() const;
 
+  /// Degraded-mode report (HEALTH verb):
+  /// {"state":"ok|degraded|draining","reason":"...","degraded_entries":n}.
+  common::JsonValue HealthJson() const;
+
+  HealthState health() const;
+
   /// The shared store's repository as model_io JSON (MODELS verb).
   common::JsonValue ModelsJson() const;
 
@@ -156,6 +174,11 @@ class Service {
 
   void IngestWorker();
   void DiagnosisWorker();
+  /// Durability-path outcome hooks behind the health state machine: an
+  /// error flips ok -> degraded with `reason`; a success on the same kind
+  /// of path flips degraded -> ok. Draining is terminal.
+  void NoteDurabilityError(const char* path, const common::Status& status);
+  void NoteDurabilityOk();
   /// Drains `tenant`'s queue (the caller owns its `scheduled` flag).
   void DrainTenant(const std::shared_ptr<Tenant>& tenant);
   void EnqueueDiagnosis(const std::shared_ptr<Tenant>& tenant,
@@ -192,6 +215,12 @@ class Service {
   std::atomic<uint64_t> total_alerts_{0};
   std::atomic<uint64_t> total_diagnoses_{0};
   std::atomic<uint64_t> total_deduped_{0};
+  std::atomic<uint64_t> total_replayed_{0};
+
+  mutable std::mutex health_mu_;
+  HealthState health_state_ = HealthState::kOk;
+  std::string health_reason_;
+  uint64_t degraded_entries_ = 0;  // ok -> degraded transitions
 };
 
 }  // namespace dbsherlock::service

@@ -66,6 +66,11 @@ struct Tenant {
   uint64_t acked = 0;       // rows accepted into the queue (wire-acked)
   uint64_t processed = 0;   // rows run through the monitor
   uint64_t shed = 0;        // rows refused with RETRY_AFTER
+  /// Highest client idempotency seq applied (APPENDSEQ); 0 = none yet.
+  /// Guarded by mu. Per server incarnation — not persisted: across a
+  /// restart, duplicate replays are dropped by the store's
+  /// strictly-increasing-timestamp rule instead.
+  uint64_t last_client_seq = 0;
   bool evicted = false;     // tombstone: manager dropped it; re-HELLO
 
   /// Created on HELLO with diagnose_inline = false and metric_label =

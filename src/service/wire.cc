@@ -73,6 +73,15 @@ Result<Request> ParseJsonRequest(const std::string& line) {
     auto ts = json->GetNumber("ts");
     if (!ts.ok()) return ts.status();
     request.timestamp = *ts;
+    if (const common::JsonValue* seq = json->Find("seq")) {
+      if (!seq->is_number() || seq->as_number() < 0 ||
+          seq->as_number() > 9e15) {
+        return Status::InvalidArgument(
+            "append seq must be a non-negative number");
+      }
+      request.has_client_seq = true;
+      request.client_seq = static_cast<uint64_t>(seq->as_number());
+    }
     auto cells = json->GetArray("cells");
     if (!cells.ok()) return cells.status();
     request.cells_typed = true;
@@ -175,6 +184,10 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
     request.op = RequestOp::kModels;
     return request;
   }
+  if (verb == "HEALTH") {
+    request.op = RequestOp::kHealth;
+    return request;
+  }
   if (verb == "DIAGNOSES" || verb == "FLUSH") {
     request.op =
         verb == "FLUSH" ? RequestOp::kFlush : RequestOp::kDiagnoses;
@@ -240,13 +253,23 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
     request.t1 = *t1;
     return request;
   }
-  if (verb == "APPEND") {
+  if (verb == "APPEND" || verb == "APPENDSEQ") {
     request.op = RequestOp::kAppend;
     auto [tenant, after_tenant] = SplitVerb(rest);
     request.tenant = tenant;
     if (!ValidTenantName(request.tenant)) {
       return Status::InvalidArgument("invalid tenant name: " +
                                      request.tenant);
+    }
+    if (verb == "APPENDSEQ") {
+      auto [seq_text, after_seq] = SplitVerb(after_tenant);
+      auto seq = common::ParseInt64(seq_text);
+      if (!seq.ok() || *seq < 0) {
+        return Status::InvalidArgument("bad APPENDSEQ seq: " + seq_text);
+      }
+      request.has_client_seq = true;
+      request.client_seq = static_cast<uint64_t>(*seq);
+      after_tenant = after_seq;
     }
     auto [ts_text, cells_text] = SplitVerb(after_tenant);
     auto ts = common::ParseDouble(ts_text);

@@ -20,6 +20,7 @@ namespace dbsherlock::service {
 ///     HELLO <tenant> <name:kind[,name:kind...]> [RETAIN <bytes> <age_sec>]
 ///                                                     kind: num | cat
 ///     APPEND <tenant> <timestamp> <cell[,cell...]>
+///     APPENDSEQ <tenant> <seq> <timestamp> <cell[,cell...]>
 ///     TEACH <causal-model-json>                       (model_io format)
 ///     DIAGNOSES <tenant>
 ///     FLUSH <tenant>
@@ -27,14 +28,28 @@ namespace dbsherlock::service {
 ///     DIAGNOSE_RANGE <tenant> <t0> <t1>               diagnose [t0,t1)
 ///     STATS
 ///     MODELS
+///     HEALTH
 ///     PING
 ///     QUIT
 ///
 ///   JSON (a line starting with '{'; append/hello only — the ops a metrics
 ///   collector emits):
-///     {"op":"append","tenant":"t0","ts":12.0,"cells":[1.5,"mixed"]}
+///     {"op":"append","tenant":"t0","ts":12.0,"cells":[1.5,"mixed"],
+///      "seq":7}                                        (seq optional)
 ///     {"op":"hello","tenant":"t0","schema":"cpu:num,mode:cat",
 ///      "retain_bytes":1048576,"retain_sec":3600}       (retain_* optional)
+///
+/// APPENDSEQ (and JSON append with "seq") carries a client-chosen,
+/// strictly-increasing sequence number per tenant. The server remembers
+/// the highest seq it applied; a seq at or below that is acknowledged
+/// without re-ingesting the row, which makes retries after a dropped
+/// connection idempotent (the response may have been lost after the row
+/// was applied). One writer per tenant is assumed. Seq state is per
+/// server incarnation; across restarts, duplicate rows are dropped by the
+/// strictly-increasing-timestamp rule instead.
+///
+/// HEALTH reports the daemon's degraded-mode state:
+///     OK {"state":"ok|degraded|draining","reason":...}
 ///
 /// HELLO's optional RETAIN clause arms the tenant's history store
 /// retention (0 = unlimited); QUERY/DIAGNOSE_RANGE read that store, so
@@ -59,6 +74,7 @@ enum class RequestOp {
   kDiagnoseRange,
   kStats,
   kModels,
+  kHealth,
   kPing,
   kQuit,
 };
@@ -71,6 +87,8 @@ struct Request {
   std::string tenant;                    // hello/append/diagnoses/flush
   tsdata::Schema schema;                 // hello
   double timestamp = 0.0;                // append
+  bool has_client_seq = false;           // APPENDSEQ / JSON append "seq"
+  uint64_t client_seq = 0;               // idempotency sequence number
   bool cells_typed = false;              // which cell field is populated
   std::vector<tsdata::Cell> cells;       // append (JSON path)
   std::vector<std::string> raw_cells;    // append (CSV path)

@@ -13,6 +13,7 @@
 #include <optional>
 #include <sstream>
 
+#include "common/faultenv.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -35,7 +36,8 @@ Status Errno(const std::string& what, const std::string& path) {
 Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
   size_t done = 0;
   while (done < n) {
-    ssize_t w = ::write(fd, data + done, n - done);
+    ssize_t w = common::faultenv::Write("seg.write", fd, data + done,
+                                        n - done);
     if (w < 0) {
       if (errno == EINTR) continue;
       return Errno("write", path);
@@ -83,7 +85,9 @@ Status FsyncDir(const std::string& dir) {
   int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return Errno("open dir", dir);
   Status status;
-  if (::fsync(fd) != 0) status = Errno("fsync dir", dir);
+  if (common::faultenv::Fsync("seg.dirsync", fd) != 0) {
+    status = Errno("fsync dir", dir);
+  }
   ::close(fd);
   return status;
 }
@@ -224,11 +228,20 @@ Status TenantStore::SealLocked() {
                   0644);
   if (fd < 0) return Errno("open", path);
   Status status = WriteAll(fd, blob.data(), blob.size(), path);
-  if (status.ok() && options_.fsync_on_seal && ::fsync(fd) != 0) {
+  if (status.ok() && options_.fsync_on_seal &&
+      common::faultenv::Fsync("seg.fsync", fd) != 0) {
     status = Errno("fsync", path);
   }
   ::close(fd);
-  if (!status.ok()) return status;
+  if (!status.ok()) {
+    // The rows stay in active_ and the next Append retries the seal under
+    // a fresh seq; drop the partial file now so a restart that happens
+    // before that retry doesn't have to (best-effort — recovery also
+    // discards undecodable segments).
+    (void)::unlink(path.c_str());
+    metrics.GetCounter("store.seal_errors")->Increment();
+    return status;
+  }
   if (options_.fsync_on_seal) {
     DBSHERLOCK_RETURN_NOT_OK(FsyncDir(options_.dir));
   }
@@ -412,6 +425,12 @@ double TenantStore::compression_ratio() const {
 std::vector<SegmentInfo> TenantStore::Manifest() const {
   std::shared_lock lock(mu_);
   return segments_;
+}
+
+std::optional<double> TenantStore::durable_last_ts() const {
+  std::shared_lock lock(mu_);
+  if (segments_.empty()) return std::nullopt;
+  return segments_.back().max_ts;
 }
 
 }  // namespace dbsherlock::store

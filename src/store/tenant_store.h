@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -97,6 +98,12 @@ class TenantStore {
   double compression_ratio() const;
   /// Copy of the manifest, oldest first.
   std::vector<SegmentInfo> Manifest() const;
+
+  /// Timestamp of the newest row that is durably sealed on disk, or nullopt
+  /// when nothing has sealed yet. Rows after this live only in the active
+  /// in-memory segment and do not survive a crash — clients implementing
+  /// idempotent replay resend everything strictly after this point.
+  std::optional<double> durable_last_ts() const;
 
  private:
   explicit TenantStore(Options options);

@@ -1,0 +1,99 @@
+// Client retry pacing (service/client.h BackoffSleepMs): jitter band,
+// geometric growth, pre-jitter cap, and the anti-lockstep regression —
+// two clients sleeping on the same RETRY_AFTER hint must not retry in
+// perfect sync (the herd that collided once would collide forever).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "service/client.h"
+
+namespace {
+
+using dbsherlock::common::Pcg32;
+using dbsherlock::service::BackoffSleepMs;
+using dbsherlock::service::RetryPolicy;
+
+TEST(BackoffSleepMsTest, CenterOfTheJitterBandIsTheHint) {
+  RetryPolicy policy;
+  policy.jitter = 0.25;
+  policy.backoff_factor = 1.5;
+  // attempt 0, uniform 0.5 => factor exactly 1.0: the server's hint.
+  EXPECT_EQ(BackoffSleepMs(policy, 0, 100, 0.5), 100);
+}
+
+TEST(BackoffSleepMsTest, JitterSpansTheDocumentedBand) {
+  RetryPolicy policy;
+  policy.jitter = 0.25;
+  policy.backoff_factor = 1.0;
+  EXPECT_EQ(BackoffSleepMs(policy, 0, 100, 0.0), 75);    // 1 - jitter
+  EXPECT_EQ(BackoffSleepMs(policy, 0, 100, 0.999), 124);  // ~1 + jitter
+  for (double u : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    int sleep = BackoffSleepMs(policy, 3, 100, u);
+    EXPECT_GE(sleep, 75);
+    EXPECT_LE(sleep, 125);
+  }
+}
+
+TEST(BackoffSleepMsTest, GrowsGeometricallyAndCapsPreJitter) {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  policy.backoff_factor = 2.0;
+  policy.max_sleep_ms = 500;
+  EXPECT_EQ(BackoffSleepMs(policy, 0, 50, 0.5), 50);
+  EXPECT_EQ(BackoffSleepMs(policy, 1, 50, 0.5), 100);
+  EXPECT_EQ(BackoffSleepMs(policy, 2, 50, 0.5), 200);
+  // 50 * 2^4 = 800 caps at 500; the cap applies pre-jitter so the band
+  // stays centered under max_sleep_ms.
+  EXPECT_EQ(BackoffSleepMs(policy, 4, 50, 0.5), 500);
+  policy.jitter = 0.25;
+  EXPECT_LE(BackoffSleepMs(policy, 10, 50, 0.999), 625);
+}
+
+TEST(BackoffSleepMsTest, NeverSleepsBelowOneMs) {
+  RetryPolicy policy;
+  policy.jitter = 1.0;
+  EXPECT_GE(BackoffSleepMs(policy, 0, 0, 0.0), 1);
+  EXPECT_GE(BackoffSleepMs(policy, 0, -5, 0.0), 1);
+}
+
+TEST(BackoffSleepMsTest, SubUnityFactorDoesNotShrink) {
+  RetryPolicy policy;
+  policy.jitter = 0.0;
+  policy.backoff_factor = 0.5;  // clamped to 1.0: retries never speed up
+  EXPECT_EQ(BackoffSleepMs(policy, 5, 40, 0.5), 40);
+}
+
+// The lockstep regression: with the old fixed sleep, two clients that
+// shed together retried together forever. With jittered pacing their
+// sleep sequences must diverge.
+TEST(BackoffSleepMsTest, TwoSeededClientsDesynchronize) {
+  RetryPolicy policy;  // defaults: jitter 0.25
+  Pcg32 rng_a(policy.seed, 77);
+  Pcg32 rng_b(policy.seed + 1, 77);
+  int identical = 0;
+  const int kRounds = 32;
+  for (int attempt = 0; attempt < kRounds; ++attempt) {
+    int a = BackoffSleepMs(policy, attempt, 20, rng_a.NextDouble());
+    int b = BackoffSleepMs(policy, attempt, 20, rng_b.NextDouble());
+    if (a == b) ++identical;
+  }
+  EXPECT_LT(identical, kRounds / 2);
+}
+
+TEST(BackoffSleepMsTest, DeterministicForAFixedSeed) {
+  RetryPolicy policy;
+  auto sequence = [&policy] {
+    Pcg32 rng(policy.seed, 77);
+    std::vector<int> sleeps;
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      sleeps.push_back(BackoffSleepMs(policy, attempt, 20, rng.NextDouble()));
+    }
+    return sleeps;
+  };
+  EXPECT_EQ(sequence(), sequence());
+}
+
+}  // namespace

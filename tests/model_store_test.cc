@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <string>
 
+#include "common/faultenv.h"
 #include "common/metrics.h"
 
 namespace dbsherlock::service {
@@ -224,6 +225,72 @@ TEST(ModelStoreTest, ExplicitCompactionSurvivesReopen) {
   EXPECT_EQ(store->recovery().snapshot_models, 2u);
   EXPECT_EQ(store->recovery().wal_records_applied, 0u);
   EXPECT_EQ(store->num_models(), 2u);
+}
+
+/// Installs a faultenv schedule for one test and clears it on exit, so a
+/// failing assertion can't leak injected faults into later tests.
+struct ScopedSchedule {
+  explicit ScopedSchedule(const std::string& spec) {
+    EXPECT_TRUE(common::faultenv::InstallSchedule(spec).ok()) << spec;
+  }
+  ~ScopedSchedule() { common::faultenv::Clear(); }
+};
+
+TEST(ModelStoreTest, InjectedEnospcFailsTheAddWithoutPoisoningTheStore) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("fault_enospc");
+  auto store = MustOpen(options);
+  ASSERT_TRUE(store->Add(MakeModel("before", 1.0)).ok());
+  {
+    ScopedSchedule schedule("wal.write=enospc@1,limit=1");
+    EXPECT_FALSE(store->Add(MakeModel("lost", 2.0)).ok());
+    // The failed append was unwound in-line: the store keeps serving.
+    EXPECT_FALSE(store->failed());
+    ASSERT_TRUE(store->Add(MakeModel("after", 3.0)).ok());
+  }
+  auto reopened = MustOpen(options);
+  EXPECT_EQ(reopened->num_models(), 2u);
+  // Nothing torn was left behind for recovery to clean up.
+  EXPECT_EQ(reopened->recovery().truncated_bytes, 0u);
+  EXPECT_EQ(reopened->SnapshotRepository().Find("lost"), nullptr);
+}
+
+TEST(ModelStoreTest, InjectedTornAppendIsTruncatedBeforeTheNextAdd) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("fault_torn");
+  auto store = MustOpen(options);
+  ASSERT_TRUE(store->Add(MakeModel("before", 1.0)).ok());
+  {
+    // Half the record lands, then EIO: the classic torn tail — but it
+    // must be cut away immediately, not left for a reopen to find.
+    ScopedSchedule schedule("wal.write=torn@1,limit=1");
+    EXPECT_FALSE(store->Add(MakeModel("lost", 2.0)).ok());
+    EXPECT_FALSE(store->failed());
+    ASSERT_TRUE(store->Add(MakeModel("after", 3.0)).ok());
+    EXPECT_EQ(store->num_models(), 2u);
+  }
+  auto reopened = MustOpen(options);
+  EXPECT_EQ(reopened->num_models(), 2u);
+  EXPECT_EQ(reopened->recovery().truncated_bytes, 0u);
+  EXPECT_EQ(reopened->recovery().wal_records_applied, 2u);
+}
+
+TEST(ModelStoreTest, InjectedFsyncFailureDropsTheUnackedRecord) {
+  DurableModelStore::Options options;
+  options.dir = StoreDir("fault_fsync");
+  auto store = MustOpen(options);
+  ASSERT_TRUE(store->Add(MakeModel("before", 1.0)).ok());
+  {
+    // Bytes hit the page cache but fsync fails: the record was never
+    // durable, so it must be unwound rather than acked on faith.
+    ScopedSchedule schedule("wal.fsync=enospc@1,limit=1");
+    EXPECT_FALSE(store->Add(MakeModel("lost", 2.0)).ok());
+    EXPECT_FALSE(store->failed());
+    ASSERT_TRUE(store->Add(MakeModel("after", 3.0)).ok());
+  }
+  auto reopened = MustOpen(options);
+  EXPECT_EQ(reopened->num_models(), 2u);
+  EXPECT_EQ(reopened->SnapshotRepository().Find("lost"), nullptr);
 }
 
 TEST(ModelStoreTest, CorruptSnapshotRefusesToOpen) {

@@ -1,0 +1,207 @@
+// Crash-chaos harness tests (eval/chaos.h): a real `dbsherlockd serve`
+// subprocess is crashed with kill -9 mid-stream and/or run under a
+// faultenv schedule, and the crash-safety contract is asserted end to
+// end — every streamed row stored exactly once, acked models durable,
+// bounded recovery, correct retrospective diagnoses, clean SIGTERM even
+// after degradation. Also covers the daemon-level slow-loris guards and
+// the HEALTH degraded/recovered transitions over the wire.
+
+#include "eval/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "core/causal_model.h"
+#include "service/client.h"
+
+namespace {
+
+using dbsherlock::eval::ChaosOptions;
+using dbsherlock::eval::ChaosResult;
+using dbsherlock::eval::ChaosTenantOutcome;
+using dbsherlock::eval::DaemonProcess;
+using dbsherlock::eval::RunChaosEpisode;
+using dbsherlock::service::Client;
+
+std::string WorkDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/dbsherlock_chaos_" + name + "_" +
+                    std::to_string(getpid());
+  ::mkdir(dir.c_str(), 0755);  // parent for wal/ + store/ (EEXIST is fine)
+  return dir;
+}
+
+/// Small, fast episode shape shared by the tests (the 25+-schedule sweep
+/// lives in the chaos benchmark, not here).
+ChaosOptions SmallEpisode(const std::string& name) {
+  ChaosOptions options;
+  options.daemon_path = DBSHERLOCK_DAEMON_PATH;
+  options.work_dir = WorkDir(name);
+  options.num_tenants = 2;
+  options.kinds = {dbsherlock::simulator::AnomalyKind::kCpuSaturation,
+                   dbsherlock::simulator::AnomalyKind::kIoSaturation};
+  options.gen.normal_duration_sec = 90.0;
+  options.anomaly_duration_sec = 30.0;
+  options.train_sets_per_cause = 1;
+  options.seal_rows = 16;
+  return options;
+}
+
+TEST(ServiceChaosTest, Kill9EpisodeLosesNothingAcked) {
+  ChaosOptions options = SmallEpisode("kill9");
+  options.kills = 2;
+  options.seed = 11;
+  auto result = RunChaosEpisode(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok) << result->ToJson().Dump(2);
+  EXPECT_EQ(result->kills, 2u);
+  ASSERT_EQ(result->recovery_ms.size(), 2u);
+  for (double ms : result->recovery_ms) {
+    EXPECT_GT(ms, 0.0);
+    EXPECT_LT(ms, 30000.0);  // bounded recovery
+  }
+  // Crashes lose the unsealed tail, so the resume protocol must have
+  // actually resent something — and stored it exactly once.
+  EXPECT_GT(result->resent_rows, 0u);
+  for (const ChaosTenantOutcome& tenant : result->tenants) {
+    EXPECT_TRUE(tenant.exactly_once) << tenant.tenant;
+    EXPECT_TRUE(tenant.top1_correct)
+        << tenant.tenant << ": " << tenant.top_cause;
+  }
+  EXPECT_EQ(result->models_recovered, 2u);
+  EXPECT_EQ(result->daemon_exit_code, 0);
+}
+
+TEST(ServiceChaosTest, FaultScheduleEpisodeStillExactlyOnce) {
+  ChaosOptions options = SmallEpisode("faults");
+  options.kills = 1;
+  options.seed = 23;
+  // Daemon-side chaos: occasional connection resets on send, a few
+  // failed segment fsyncs (seal retries), and two torn WAL appends.
+  options.fault_schedule =
+      "seed=23;srv.send=reset@0.01;seg.fsync=enospc@0.2,limit=3;"
+      "wal.write=torn@0.5,limit=2";
+  auto result = RunChaosEpisode(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->ok) << result->ToJson().Dump(2);
+  for (const ChaosTenantOutcome& tenant : result->tenants) {
+    EXPECT_TRUE(tenant.exactly_once) << tenant.tenant;
+  }
+  EXPECT_EQ(result->daemon_exit_code, 0);
+}
+
+TEST(ServiceChaosTest, HealthDegradesAndRecoversOverTheWire) {
+  DaemonProcess daemon;
+  DaemonProcess::Options dopts;
+  dopts.binary = DBSHERLOCK_DAEMON_PATH;
+  std::string root = WorkDir("health");
+  dopts.args = {"--port", "0", "--wal-dir", root + "/wal",
+                // The first WAL append fails once, then the disk "heals".
+                "--fault-schedule", "wal.write=eio@1,limit=1"};
+  ASSERT_TRUE(daemon.Start(dopts).ok());
+
+  auto client = Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok());
+  auto health = (*client)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->GetString("state").ValueOr(""), "ok");
+
+  dbsherlock::core::CausalModel model;
+  model.cause = "ChaosHealth";
+  dbsherlock::core::Predicate predicate;
+  predicate.attribute = "cpu";
+  predicate.type = dbsherlock::core::PredicateType::kGreaterThan;
+  predicate.low = 1.0;
+  model.predicates.push_back(predicate);
+  EXPECT_FALSE((*client)->Teach(model).ok());  // injected EIO surfaces
+
+  health = (*client)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->GetString("state").ValueOr(""), "degraded");
+  EXPECT_NE(health->GetString("reason").ValueOr("").find("model-store"),
+            std::string::npos);
+
+  // The fault limit is exhausted: the next write succeeds and the
+  // service self-recovers to ok.
+  EXPECT_TRUE((*client)->Teach(model).ok());
+  health = (*client)->Health();
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->GetString("state").ValueOr(""), "ok");
+
+  (void)(*client)->Quit();
+  auto exit_code = daemon.Terminate();
+  ASSERT_TRUE(exit_code.ok());
+  EXPECT_EQ(*exit_code, 0);  // degraded spells never poison shutdown
+}
+
+TEST(ServiceChaosTest, SlowLorisConnectionsAreShed) {
+  DaemonProcess daemon;
+  DaemonProcess::Options dopts;
+  dopts.binary = DBSHERLOCK_DAEMON_PATH;
+  std::string root = WorkDir("loris");
+  dopts.args = {"--port", "0", "--wal-dir", root + "/wal",
+                "--idle-timeout-ms", "200", "--max-line-bytes", "64"};
+  ASSERT_TRUE(daemon.Start(dopts).ok());
+
+  // Idle guard: a connection that never sends is closed by the server.
+  {
+    auto idle = Client::Connect("127.0.0.1", daemon.port());
+    ASSERT_TRUE(idle.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+    EXPECT_FALSE((*idle)->Ping().ok());
+  }
+
+  // Line-buffer guard: an oversized request line gets ERR ParseError and
+  // the connection is closed; a fresh connection still works.
+  {
+    auto big = Client::Connect("127.0.0.1", daemon.port());
+    ASSERT_TRUE(big.ok());
+    auto response = (*big)->Call("PING " + std::string(200, 'x'));
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->kind, dbsherlock::service::Response::Kind::kErr);
+  }
+  auto fresh = Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*fresh)->Ping().ok());
+  (void)(*fresh)->Quit();
+
+  auto exit_code = daemon.Terminate();
+  ASSERT_TRUE(exit_code.ok());
+  EXPECT_EQ(*exit_code, 0);
+}
+
+TEST(ServiceChaosTest, ClientDeadlineFiresOnAStalledServer) {
+  DaemonProcess daemon;
+  DaemonProcess::Options dopts;
+  dopts.binary = DBSHERLOCK_DAEMON_PATH;
+  std::string root = WorkDir("deadline");
+  dopts.args = {"--port", "0", "--wal-dir", root + "/wal",
+                // Every request read stalls 30 s — far past the deadline.
+                "--fault-schedule", "srv.recv=stall@1,ms=30000"};
+  ASSERT_TRUE(daemon.Start(dopts).ok());
+
+  Client::Options copts;
+  copts.connect_timeout_ms = 2000;
+  copts.deadline_ms = 300;
+  auto client = Client::Connect("127.0.0.1", daemon.port(), copts);
+  ASSERT_TRUE(client.ok());
+  auto t0 = std::chrono::steady_clock::now();
+  auto response = (*client)->Call("PING");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(),
+            dbsherlock::common::StatusCode::kDeadlineExceeded)
+      << response.status().ToString();
+  EXPECT_LT(elapsed, 5000);  // gave up, did not hang for the stall
+
+  daemon.Kill9();  // stalled readers would block a SIGTERM drain
+}
+
+}  // namespace

@@ -129,6 +129,48 @@ TEST(ServiceTest, BackpressureShedsButNeverLosesAckedRows) {
   service.Stop();
 }
 
+TEST(ServiceTest, DuplicateClientSeqIsAckedWithoutReingesting) {
+  auto store = VolatileStore();
+  Service::Options options;
+  options.store = store.get();
+  Service service(options);
+  ASSERT_TRUE(service.Hello("t0", TwoNumeric()).ok());
+
+  auto first = service.Append("t0", 1.0, {1.0, 2.0}, 7u);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->accepted);
+  EXPECT_FALSE(first->replayed);
+
+  // The client's ack was lost and it resends the same sequence: the row
+  // is acked again but never enqueued twice.
+  auto retry = service.Append("t0", 1.0, {1.0, 2.0}, 7u);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(retry->accepted);
+  EXPECT_TRUE(retry->replayed);
+  EXPECT_EQ(retry->seq, first->seq);
+  EXPECT_EQ(service.total_acked(), 1u);
+
+  // Stale sequences below the high-water dedupe the same way.
+  auto stale = service.Append("t0", 0.5, {1.0, 2.0}, 3u);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(stale->replayed);
+
+  // A fresh sequence is new work, even with these rows still queued.
+  auto next = service.Append("t0", 2.0, {1.0, 2.0}, 8u);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next->accepted);
+  EXPECT_FALSE(next->replayed);
+  EXPECT_EQ(service.total_acked(), 2u);
+
+  EXPECT_EQ(service.StatsJson().GetNumber("replayed").ValueOr(0), 2.0);
+
+  // Sequence-less appends never dedupe: the caller opted out.
+  auto blind = service.Append("t0", 3.0, {1.0, 2.0});
+  ASSERT_TRUE(blind.ok());
+  EXPECT_FALSE(blind->replayed);
+  service.Stop();
+}
+
 TEST(ServiceTest, DiagnosesAnomalyAgainstTaughtModel) {
   auto store = VolatileStore();
   Service::Options options;

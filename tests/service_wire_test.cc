@@ -190,6 +190,52 @@ TEST(WireTest, ParsesJsonHelloRetain) {
                    .ok());
 }
 
+TEST(WireTest, ParsesAppendSeqForIdempotentRetries) {
+  auto request = ParseRequestLine("APPENDSEQ t0 42 12.5 1.5,idle");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, RequestOp::kAppend);
+  EXPECT_EQ(request->tenant, "t0");
+  EXPECT_TRUE(request->has_client_seq);
+  EXPECT_EQ(request->client_seq, 42u);
+  EXPECT_EQ(request->timestamp, 12.5);
+  ASSERT_EQ(request->raw_cells.size(), 2u);
+
+  // Plain APPEND carries no sequence: the server cannot dedupe it.
+  auto plain = ParseRequestLine("APPEND t0 12.5 1.5,idle");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_client_seq);
+}
+
+TEST(WireTest, ParsesJsonAppendSeq) {
+  auto request = ParseRequestLine(
+      R"({"op":"append","tenant":"t0","ts":1.0,"seq":7,"cells":[1.5,"a"]})");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_TRUE(request->has_client_seq);
+  EXPECT_EQ(request->client_seq, 7u);
+}
+
+TEST(WireTest, RejectsBadAppendSeq) {
+  for (const std::string& line : {
+           std::string("APPENDSEQ t0 notanum 12.5 1.5,idle"),
+           std::string("APPENDSEQ t0 -3 12.5 1.5,idle"),
+           std::string("APPENDSEQ t0 42 12.5"),  // seq ate the cells
+           std::string(
+               R"({"op":"append","tenant":"t0","ts":1,"seq":-1,"cells":[1,"a"]})"),
+           std::string(
+               R"({"op":"append","tenant":"t0","ts":1,"seq":"x","cells":[1,"a"]})"),
+       }) {
+    EXPECT_FALSE(ParseRequestLine(line).ok()) << line;
+  }
+}
+
+TEST(WireTest, ParsesHealth) {
+  auto request = ParseRequestLine("HEALTH");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, RequestOp::kHealth);
+  // The JSON dialect is ingestion-only (hello/append): no health there.
+  EXPECT_FALSE(ParseRequestLine(R"({"op":"health"})").ok());
+}
+
 TEST(WireTest, RejectsMalformedRequests) {
   for (const std::string& line : {
            std::string(""),

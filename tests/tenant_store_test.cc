@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/faultenv.h"
 #include "tsdata/dataset.h"
 
 namespace dbsherlock::store {
@@ -306,6 +307,57 @@ TEST(TenantStoreTest, ForeignFilesInDirAreIgnored) {
   EXPECT_EQ(store->recovery().segments_recovered, 1u);
   EXPECT_EQ(store->recovery().segments_dropped, 0u);
   EXPECT_EQ(::access((dir + "/README.txt").c_str(), F_OK), 0);
+}
+
+/// Installs a faultenv schedule for one test and clears it on exit, so a
+/// failing assertion can't leak injected faults into later tests.
+struct ScopedSchedule {
+  explicit ScopedSchedule(const std::string& spec) {
+    EXPECT_TRUE(common::faultenv::InstallSchedule(spec).ok()) << spec;
+  }
+  ~ScopedSchedule() { common::faultenv::Clear(); }
+};
+
+TEST(TenantStoreTest, FailedSealFsyncKeepsRowsActiveAndRetries) {
+  auto options = SmallOptions(StoreDir("fault_sealfsync"));
+  options.fsync_on_seal = true;  // seg.fsync only fires on the real path
+  auto store = MustOpen(options);
+  Fill(store.get(), 0, 9);
+  {
+    ScopedSchedule schedule("seg.fsync=enospc@1,limit=1");
+    // The 10th row trips the seal, which fails on fsync; the rows must
+    // stay buffered, not vanish with the unlinked partial segment.
+    EXPECT_FALSE(store->Append(9.0, Row(9, "odd")).ok());
+    EXPECT_EQ(store->num_segments(), 0u);
+    EXPECT_EQ(store->active_rows(), 10u);
+    // The next append retries the seal under a fresh seq and succeeds.
+    ASSERT_TRUE(store->Append(10.0, Row(10, "even")).ok());
+  }
+  EXPECT_EQ(store->num_segments(), 1u);
+  EXPECT_EQ(store->sealed_rows(), 11u);
+  EXPECT_EQ(store->active_rows(), 0u);
+}
+
+TEST(TenantStoreTest, FailedSealWriteRecoversToTheLastSealedSegment) {
+  std::string dir = StoreDir("fault_sealwrite");
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 10);  // one cleanly sealed segment
+    ASSERT_EQ(store->num_segments(), 1u);
+    ScopedSchedule schedule("seg.write=torn@1,limit=1");
+    Fill(store.get(), 10, 19);
+    EXPECT_FALSE(store->Append(19.0, Row(19, "odd")).ok());  // torn seal
+    EXPECT_EQ(store->num_segments(), 1u);
+    EXPECT_EQ(store->active_rows(), 10u);
+  }
+  // A crash right after the failed seal: reopen finds only the segment
+  // that was actually acked durable (the partial file was unlinked).
+  auto store = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(store->recovery().segments_recovered, 1u);
+  EXPECT_EQ(store->sealed_rows(), 10u);
+  // History resumes exactly past the sealed high-water mark.
+  EXPECT_FALSE(store->Append(9.0, Row(9, "odd")).ok());
+  EXPECT_TRUE(store->Append(10.0, Row(10, "even")).ok());
 }
 
 }  // namespace

@@ -103,6 +103,7 @@ int ExitCodeFor(const common::Status& status) {
     case common::StatusCode::kFailedPrecondition: return 6;
     case common::StatusCode::kIoError: return 7;
     case common::StatusCode::kParseError: return 8;
+    case common::StatusCode::kDeadlineExceeded: return 10;
     case common::StatusCode::kInternal: return 9;
   }
   return 1;
@@ -450,7 +451,7 @@ int CmdModels(const Args& args) {
 /// `dbsherlock client`: drive a running dbsherlockd over its wire protocol
 /// (see src/service/wire.h and README "Running the daemon"). One action
 /// per invocation:
-///   --ping | --stats | --models
+///   --ping | --stats | --models | --health
 ///   --hello --tenant T --schema "cpu:num,mode:cat"
 ///   --append-csv f.csv --tenant T   (HELLOs with the CSV's schema, then
 ///                                    streams every row, honoring
@@ -467,10 +468,21 @@ int CmdClient(const Args& args) {
   }
   auto port = common::ParseInt64(connect.substr(colon + 1));
   if (!port.ok()) Die(port.status());
-  auto client = service::Client::Connect(connect.substr(0, colon),
-                                         static_cast<int>(*port));
+  service::Client::Options client_options;
+  client_options.connect_timeout_ms =
+      static_cast<int>(args.GetDouble("connect-timeout-ms", 0));
+  client_options.deadline_ms =
+      static_cast<int>(args.GetDouble("deadline-ms", 0));
+  auto client = service::Client::Connect(
+      connect.substr(0, colon), static_cast<int>(*port), client_options);
   if (!client.ok()) Die(client.status());
 
+  if (args.Has("health")) {
+    auto json = (*client)->Health();
+    if (!json.ok()) Die(json.status());
+    std::printf("%s\n", json->Dump(2).c_str());
+    return 0;
+  }
   if (args.Has("ping")) {
     common::Status status = (*client)->Ping();
     if (!status.ok()) Die(status);
@@ -629,7 +641,7 @@ int CmdClient(const Args& args) {
   std::fprintf(stderr,
                "client: pick one of --ping --hello --append-csv --teach "
                "--diagnoses --flush --query --diagnose-range --stats "
-               "--models --raw\n");
+               "--models --health --raw\n");
   return 2;
 }
 
@@ -787,7 +799,9 @@ int Usage() {
       "            [--out report.html] [--title TEXT]\n"
       "  models    --models m.json\n"
       "  client    --connect host:port  (drive a running dbsherlockd)\n"
-      "            --ping | --stats | --models | --raw \"LINE\"\n"
+      "            [--connect-timeout-ms N] [--deadline-ms N]  (0 = wait\n"
+      "              forever; a missed deadline exits 10)\n"
+      "            --ping | --stats | --models | --health | --raw \"LINE\"\n"
       "            | --hello --tenant T --schema \"a:num,b:cat\"\n"
       "            | --append-csv f.csv --tenant T  (streams in bounded\n"
       "              batches, honoring RETRY_AFTER backpressure)\n"
@@ -810,7 +824,7 @@ int Usage() {
       "  --print-metrics       print the flat metrics snapshot to stderr\n"
       "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
       "  5 out of range, 6 failed precondition, 7 I/O error, 8 parse\n"
-      "  error, 9 internal error\n");
+      "  error, 9 internal error, 10 deadline exceeded\n");
   return 2;
 }
 

@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 
+#include "common/faultenv.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "service/model_store.h"
@@ -80,6 +81,7 @@ int ExitCodeFor(const common::Status& status) {
     case common::StatusCode::kFailedPrecondition: return 6;
     case common::StatusCode::kIoError: return 7;
     case common::StatusCode::kParseError: return 8;
+    case common::StatusCode::kDeadlineExceeded: return 10;
     case common::StatusCode::kInternal: return 9;
   }
   return 1;
@@ -115,6 +117,11 @@ int Usage() {
       "  --diagnosis-workers N diagnosis threads (default 2)\n"
       "  --retry-after-ms N    backpressure delay hint (default 20)\n"
       "  --max-connections N   concurrent client cap (default 64)\n"
+      "  --idle-timeout-ms N   close connections idle this long (0 = off)\n"
+      "  --max-line-bytes N    request line cap (default 1 MiB)\n"
+      "  --fault-schedule S    install a fault-injection schedule (see\n"
+      "                        common/faultenv.h; also honors the\n"
+      "                        DBSHERLOCK_FAULT_SCHEDULE env var)\n"
       "  --window-rows N       monitor sliding window (default 600)\n"
       "  --warmup-rows N       rows before first detection (default 120)\n"
       "  --detect-every N      detection cadence in rows (default 15)\n"
@@ -125,11 +132,25 @@ int Usage() {
       "drain and exit 0\n"
       "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
       "  5 out of range, 6 failed precondition, 7 I/O error, 8 parse\n"
-      "  error, 9 internal error\n");
+      "  error, 9 internal error, 10 deadline exceeded\n");
   return 2;
 }
 
 int CmdServe(const Args& args) {
+  // A typo'd schedule refuses to start rather than silently running clean.
+  if (args.Has("fault-schedule")) {
+    common::Status installed =
+        common::faultenv::InstallSchedule(args.Get("fault-schedule"));
+    if (!installed.ok()) Die(installed);
+  } else {
+    common::Status installed = common::faultenv::InstallFromEnv();
+    if (!installed.ok()) Die(installed);
+  }
+  if (common::faultenv::Enabled()) {
+    std::fprintf(stderr, "fault schedule active: %s\n",
+                 common::faultenv::ActiveSpec().c_str());
+  }
+
   service::DurableModelStore::Options store_options;
   store_options.dir = args.Get("wal-dir");
   store_options.fsync_each_append = !args.Has("no-fsync");
@@ -177,6 +198,10 @@ int CmdServe(const Args& args) {
   server_options.port = static_cast<int>(args.GetDouble("port", 7379));
   server_options.max_connections =
       static_cast<size_t>(args.GetDouble("max-connections", 64));
+  server_options.idle_timeout_ms =
+      static_cast<int>(args.GetDouble("idle-timeout-ms", 0));
+  server_options.max_line_bytes =
+      static_cast<size_t>(args.GetDouble("max-line-bytes", 1 << 20));
   server_options.service = &service;
   auto server = service::Server::Start(server_options);
   if (!server.ok()) Die(server.status());

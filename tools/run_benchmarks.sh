@@ -9,6 +9,7 @@
 #   tools/run_benchmarks.sh --trace-overhead
 #   tools/run_benchmarks.sh [--allow-debug] --service [output.json]
 #   tools/run_benchmarks.sh [--allow-debug] --store [output.json]
+#   tools/run_benchmarks.sh [--allow-debug] --chaos [output.json]
 # Modes:
 #   --with-metrics  run the microbenchmarks, then run one instrumented
 #                 pipeline pass (bench_pipeline_metrics) and embed its
@@ -26,6 +27,13 @@
 #                 throughput, scan latency vs range length, compression
 #                 ratio vs raw CSV; default BENCH_store.json). Exit status
 #                 is nonzero unless the ratio meets the <= 0.35x bound.
+#   --chaos       run the crash-chaos sweep: 25 seeded episodes of kill -9
+#                 and injected I/O/network faults against the real daemon
+#                 binary, asserting exactly-once ingest, durable models,
+#                 and bounded recovery. Writes the recovery-time/shed-rate
+#                 distributions plus each episode's seed and fault
+#                 schedule (default BENCH_chaos.json). Exit status is
+#                 nonzero if any invariant was violated.
 #   --service     run the dbsherlockd end-to-end replay (8 simulated
 #                 tenants over the real socket path) and write throughput,
 #                 p99 append latency, shed rate, and per-tenant diagnosis
@@ -109,6 +117,14 @@ if [[ "${1:-}" == "--service" ]]; then
   ensure_built bench_service
   require_optimized_build
   "$BUILD_DIR/bench/bench_service" --json_out "$OUT"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  OUT="${2:-BENCH_chaos.json}"
+  ensure_built bench_chaos
+  require_optimized_build
+  "$BUILD_DIR/bench/bench_chaos" --json_out "$OUT"
   exit 0
 fi
 
