@@ -1,17 +1,24 @@
 // Embedded time-series store benchmark (run_benchmarks.sh --store):
 // streams simulator telemetry through a TenantStore and reports append
 // throughput (rows/s, including automatic seals), scan latency as the
-// requested range grows, and the on-disk compression ratio against the
-// raw CSV encoding of the same rows. Optionally writes the report as
-// JSON (BENCH_store.json); the exit status is nonzero when the ratio
-// misses the <= 0.35x acceptance bound from DESIGN.md §11.
+// requested range grows, the on-disk compression ratio against the raw
+// CSV encoding of the same rows, the retained-history scan curve (a
+// fixed window scanned as history grows: zone-map pushdown keeps the
+// cost flat while a full decode grows linearly — DESIGN.md §14), and a
+// predicate-pushdown demo whose output is checked bit-identical against
+// the prune-free full-decode scan. Optionally writes the report as JSON
+// (BENCH_store.json); the exit status is nonzero when the compression
+// ratio misses the <= 0.35x acceptance bound from DESIGN.md §11 or the
+// pushdown parity check fails.
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -164,6 +171,185 @@ int Main(int argc, char** argv) {
     scan_rows_json.push_back(common::JsonValue(std::move(entry)));
   }
 
+  // --- Retained-history scan curve (zone-map pushdown) ----------------
+  // Rebuild the history incrementally in a second scratch store and scan
+  // the SAME fixed early window after each growth step. With pushdown the
+  // planner skips every segment outside the window (time zones), so the
+  // decoded-segment count — and the latency — stays flat as retained
+  // bytes grow; the prune-free full decode grows with the history.
+  common::JsonValue::Array curve_json;
+  {
+    std::string curve_dir = dir + "_curve";
+    std::string cleanup = "rm -rf '" + curve_dir + "'";
+    (void)std::system(cleanup.c_str());
+    store::TenantStore::Options curve_options = options;
+    curve_options.dir = curve_dir;
+    auto curve_store = store::TenantStore::Open(curve_options);
+    if (!curve_store.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   curve_store.status().ToString().c_str());
+      return 1;
+    }
+    double window_t0 = first_ts;
+    double window_t1 = first_ts + 600.0;
+    bench::TablePrinter curve_table(
+        {"Retained rows", "Retained B", "Push ms", "Full ms", "Skip",
+         "Decode"},
+        {14, 12, 10, 10, 6, 7});
+    std::printf("\nretained-history scan of the fixed window [%.0f, %.0f)\n",
+                window_t0, window_t1);
+    curve_table.PrintHeader();
+    const double fractions[] = {0.125, 0.25, 0.5, 0.75, 1.0};
+    size_t appended = 0;
+    for (double fraction : fractions) {
+      size_t target = static_cast<size_t>(
+          fraction * static_cast<double>(data.num_rows()));
+      for (; appended < target; ++appended) {
+        for (size_t a = 0; a < cells.size(); ++a) {
+          const tsdata::Column& column = data.column(a);
+          if (data.schema().attribute(a).kind ==
+              tsdata::AttributeKind::kNumeric) {
+            cells[a] = column.numeric(appended);
+          } else {
+            cells[a] = column.CategoryName(column.code(appended));
+          }
+        }
+        common::Status status =
+            (*curve_store)->Append(data.timestamp(appended), cells);
+        if (!status.ok()) {
+          std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+          return 1;
+        }
+      }
+      common::Status step_sealed = (*curve_store)->Seal();
+      if (!step_sealed.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     step_sealed.ToString().c_str());
+        return 1;
+      }
+
+      store::ScanOptions push;
+      push.t0 = window_t0;
+      push.t1 = window_t1;
+      store::ScanStats push_stats;
+      double push_sec = 0.0;
+      for (int64_t i = 0; i < scan_iters; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        auto slice = (*curve_store)->ScanWithOptions(push, &push_stats);
+        push_sec += SecondsSince(start);
+        if (!slice.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       slice.status().ToString().c_str());
+          return 1;
+        }
+      }
+      store::ScanOptions full = push;
+      full.prune = false;
+      store::ScanStats full_stats;
+      double full_sec = 0.0;
+      for (int64_t i = 0; i < scan_iters; ++i) {
+        auto start = std::chrono::steady_clock::now();
+        auto slice = (*curve_store)->ScanWithOptions(full, &full_stats);
+        full_sec += SecondsSince(start);
+        if (!slice.ok()) {
+          std::fprintf(stderr, "error: %s\n",
+                       slice.status().ToString().c_str());
+          return 1;
+        }
+      }
+      double push_ms = 1000.0 * push_sec / static_cast<double>(scan_iters);
+      double full_ms = 1000.0 * full_sec / static_cast<double>(scan_iters);
+      uint64_t skipped = push_stats.segments_skipped_time +
+                         push_stats.segments_skipped_zone;
+      uint64_t retained = (*curve_store)->sealed_bytes();
+      curve_table.PrintRow(
+          {std::to_string(appended), std::to_string(retained),
+           bench::Num(push_ms, 3), bench::Num(full_ms, 3),
+           std::to_string(skipped),
+           std::to_string(push_stats.segments_decoded)});
+      common::JsonValue::Object point;
+      point["retained_rows"] = static_cast<double>(appended);
+      point["retained_bytes"] = static_cast<double>(retained);
+      point["pushdown_mean_ms"] = push_ms;
+      point["full_decode_mean_ms"] = full_ms;
+      point["segments"] = static_cast<double>(push_stats.segments_total);
+      point["segments_skipped"] = static_cast<double>(skipped);
+      point["segments_decoded"] =
+          static_cast<double>(push_stats.segments_decoded);
+      curve_json.push_back(common::JsonValue(std::move(point)));
+    }
+    (void)std::system(cleanup.c_str());
+  }
+
+  // --- Predicate pushdown vs full decode (parity checked) -------------
+  // A WHERE bound selecting only the anomaly's saturated-CPU rows: most
+  // segments' zone maps exclude the bound, so the planner skips them
+  // without I/O. The pruned result must be bit-identical to the
+  // prune-free full decode.
+  bool parity_ok = true;
+  common::JsonValue::Object pushdown_json;
+  {
+    std::string bound_attr;
+    for (size_t a = 0; a < data.num_attributes(); ++a) {
+      if (data.schema().attribute(a).kind ==
+          tsdata::AttributeKind::kNumeric) {
+        bound_attr = data.schema().attribute(a).name;
+        if (bound_attr == "os_cpu_usage") break;
+      }
+    }
+    if (bound_attr.empty()) {
+      std::fprintf(stderr, "error: no numeric attribute for pushdown\n");
+      return 1;
+    }
+    const tsdata::Column& column =
+        data.column(*data.schema().IndexOf(bound_attr));
+    double lo = column.numeric(0), hi = column.numeric(0);
+    for (size_t r = 1; r < data.num_rows(); ++r) {
+      lo = std::min(lo, column.numeric(r));
+      hi = std::max(hi, column.numeric(r));
+    }
+    double bound_lo = lo + 0.95 * (hi - lo);
+
+    store::ScanOptions push;
+    push.bounds.push_back({bound_attr, bound_lo,
+                           std::numeric_limits<double>::infinity()});
+    store::ScanStats push_stats;
+    auto start = std::chrono::steady_clock::now();
+    auto pruned = (*store)->ScanWithOptions(push, &push_stats);
+    double push_ms = 1000.0 * SecondsSince(start);
+    store::ScanOptions full = push;
+    full.prune = false;
+    store::ScanStats full_stats;
+    start = std::chrono::steady_clock::now();
+    auto everything = (*store)->ScanWithOptions(full, &full_stats);
+    double full_ms = 1000.0 * SecondsSince(start);
+    if (!pruned.ok() || !everything.ok()) {
+      std::fprintf(stderr, "error: pushdown scan failed\n");
+      return 1;
+    }
+    parity_ok = tsdata::DatasetToCsv(*pruned) ==
+                tsdata::DatasetToCsv(*everything);
+    std::printf(
+        "\npushdown %s >= %.3f: %llu/%llu segment(s) zone-skipped, "
+        "%zu row(s), %.3f ms vs %.3f ms full decode, parity %s\n",
+        bound_attr.c_str(), bound_lo,
+        static_cast<unsigned long long>(push_stats.segments_skipped_zone),
+        static_cast<unsigned long long>(push_stats.segments_total),
+        pruned->num_rows(), push_ms, full_ms, parity_ok ? "ok" : "FAIL");
+    pushdown_json["attribute"] = bound_attr;
+    pushdown_json["bound_lo"] = bound_lo;
+    pushdown_json["segments_total"] =
+        static_cast<double>(push_stats.segments_total);
+    pushdown_json["segments_skipped_zone"] =
+        static_cast<double>(push_stats.segments_skipped_zone);
+    pushdown_json["segments_decoded"] =
+        static_cast<double>(push_stats.segments_decoded);
+    pushdown_json["rows_out"] = static_cast<double>(pruned->num_rows());
+    pushdown_json["pushdown_ms"] = push_ms;
+    pushdown_json["full_decode_ms"] = full_ms;
+    pushdown_json["parity_ok"] = parity_ok;
+  }
+
   constexpr double kRatioBound = 0.35;
   bool ratio_ok = ratio > 0.0 && ratio <= kRatioBound;
   std::printf("\ncompression bound <= %.2fx: %s\n", kRatioBound,
@@ -180,6 +366,8 @@ int Main(int argc, char** argv) {
     report["compression_ratio"] = ratio;
     report["compression_bound"] = kRatioBound;
     report["scans"] = common::JsonValue(std::move(scan_rows_json));
+    report["retained_scan_curve"] = common::JsonValue(std::move(curve_json));
+    report["pushdown"] = common::JsonValue(std::move(pushdown_json));
     report["build_info"] = bench::BuildInfoJson();
     std::ofstream out(json_out);
     if (!out) {
@@ -194,7 +382,7 @@ int Main(int argc, char** argv) {
     std::string cleanup = "rm -rf '" + dir + "'";
     (void)std::system(cleanup.c_str());
   }
-  return ratio_ok ? 0 : 1;
+  return (ratio_ok && parity_ok) ? 0 : 1;
 }
 
 }  // namespace

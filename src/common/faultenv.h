@@ -22,6 +22,7 @@ namespace dbsherlock::common::faultenv {
 ///   wal.write / wal.fsync       DurableModelStore WAL appends
 ///   snap.write / snap.fsync     DurableModelStore snapshot compaction
 ///   seg.write / seg.fsync       TenantStore segment seals
+///   seg.read                    TenantStore segment reads (scans, recovery)
 ///   seg.dirsync                 TenantStore directory fsync after seal
 ///   srv.send / srv.recv         Server per-connection I/O
 ///   cli.send / cli.recv         Client request/response I/O

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

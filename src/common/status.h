@@ -19,6 +19,7 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kDeadlineExceeded,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -65,6 +66,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

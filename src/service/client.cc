@@ -412,9 +412,12 @@ Result<common::JsonValue> Client::Diagnoses(const std::string& tenant) {
 }
 
 Result<common::JsonValue> Client::Query(const std::string& tenant, double t0,
-                                        double t1) {
-  return ExpectJson(Call(common::StrFormat("QUERY %s %.17g %.17g",
-                                           tenant.c_str(), t0, t1)));
+                                        double t1,
+                                        const std::string& where) {
+  std::string line = common::StrFormat("QUERY %s %.17g %.17g",
+                                       tenant.c_str(), t0, t1);
+  if (!where.empty()) line += " WHERE " + where;
+  return ExpectJson(Call(line));
 }
 
 Result<common::JsonValue> Client::DiagnoseRange(const std::string& tenant,

@@ -118,8 +118,12 @@ class Client {
   common::Status Flush(const std::string& tenant);
   common::Result<common::JsonValue> Diagnoses(const std::string& tenant);
   /// History rows in [t0, t1) from the tenant's durable store (QUERY).
+  /// `where` (optional) is a raw WHERE clause body like "cpu>=10;cpu<=90":
+  /// ';'-separated conjunctive `attr>=v` / `attr<=v` terms the store can
+  /// prune against with zone maps.
   common::Result<common::JsonValue> Query(const std::string& tenant,
-                                          double t0, double t1);
+                                          double t0, double t1,
+                                          const std::string& where = "");
   /// Retrospective diagnosis of [t0, t1) (DIAGNOSE_RANGE).
   common::Result<common::JsonValue> DiagnoseRange(const std::string& tenant,
                                                   double t0, double t1);

@@ -278,7 +278,8 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
       return OkLine(diagnoses->Dump());
     }
     case RequestOp::kQuery: {
-      auto rows = service.QueryJson(request.tenant, request.t0, request.t1);
+      auto rows = service.QueryJson(request.tenant, request.t0, request.t1,
+                                    request.bounds);
       if (!rows.ok()) return ErrLine(rows.status());
       return OkLine(rows->Dump());
     }

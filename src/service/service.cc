@@ -425,8 +425,26 @@ Result<common::JsonValue> Service::DiagnosesJson(const std::string& tenant) {
   return common::JsonValue(std::move(out));
 }
 
-Result<common::JsonValue> Service::QueryJson(const std::string& tenant,
-                                             double t0, double t1) {
+namespace {
+
+/// Scan-side observability for QUERY/DIAGNOSE_RANGE responses: how much
+/// the zone maps pruned.
+common::JsonValue ScanStatsJson(const store::ScanStats& stats) {
+  common::JsonValue::Object scan;
+  scan["segments"] = static_cast<double>(stats.segments_total);
+  scan["segments_skipped_time"] =
+      static_cast<double>(stats.segments_skipped_time);
+  scan["segments_skipped_zone"] =
+      static_cast<double>(stats.segments_skipped_zone);
+  scan["segments_decoded"] = static_cast<double>(stats.segments_decoded);
+  return common::JsonValue(std::move(scan));
+}
+
+}  // namespace
+
+Result<common::JsonValue> Service::QueryJson(
+    const std::string& tenant, double t0, double t1,
+    const std::vector<store::AttributeBound>& bounds) {
   auto& metrics = common::MetricsRegistry::Global();
   metrics.GetCounter("service.queries")->Increment();
   auto found = tenants_.Find(tenant);
@@ -436,20 +454,23 @@ Result<common::JsonValue> Service::QueryJson(const std::string& tenant,
     return Status::FailedPrecondition(
         "history store not configured (start dbsherlockd with --store-dir)");
   }
-  auto scanned = t->history->Scan(t0, t1);
+  store::ScanOptions scan;
+  scan.t0 = t0;
+  scan.t1 = t1;
+  scan.bounds = bounds;
+  scan.max_rows = options_.max_query_rows;
+  store::ScanStats stats;
+  auto scanned = t->history->ScanWithOptions(scan, &stats);
   if (!scanned.ok()) return scanned.status();
 
   common::JsonValue::Object out;
   out["tenant"] = tenant;
   out["t0"] = t0;
   out["t1"] = t1;
-  tsdata::Dataset result = std::move(*scanned);
-  if (result.num_rows() > options_.max_query_rows) {
-    result = result.Slice(0, options_.max_query_rows);
-    out["truncated"] = true;
-  }
-  out["rows"] = static_cast<double>(result.num_rows());
-  out["csv"] = tsdata::DatasetToCsv(result);
+  if (stats.truncated) out["truncated"] = true;
+  out["rows"] = static_cast<double>(scanned->num_rows());
+  out["csv"] = tsdata::DatasetToCsv(*scanned);
+  out["scan"] = ScanStatsJson(stats);
   return common::JsonValue(std::move(out));
 }
 
@@ -469,11 +490,43 @@ Result<common::JsonValue> Service::DiagnoseRangeJson(
   }
   // The user designated [t0, t1) as abnormal (the paper's workflow); pad
   // the scan with surrounding context so predicate separation has normal
-  // rows to compare against.
+  // rows to compare against. The window is stitched incrementally from
+  // the store's pushdown scan — segments outside the padded range are
+  // never read — and the row cap stops a hostile range before it can
+  // inflate the daemon's memory.
   double context = (t1 - t0) * std::max(0.0, options_.range_context_factor);
-  auto scanned = t->history->Scan(t0 - context, t1 + context);
-  if (!scanned.ok()) return scanned.status();
-  const tsdata::Dataset& window = *scanned;
+  store::ScanOptions scan;
+  scan.t0 = t0 - context;
+  scan.t1 = t1 + context;
+  scan.max_rows = options_.max_range_rows;
+  tsdata::Dataset window(t->history->schema());
+  store::ScanVisitor visitor;
+  visitor.on_chunk = [&](const tsdata::Dataset& chunk) -> Status {
+    std::vector<tsdata::Cell> cells(chunk.num_attributes());
+    for (size_t row = 0; row < chunk.num_rows(); ++row) {
+      for (size_t i = 0; i < chunk.num_attributes(); ++i) {
+        const tsdata::Column& column = chunk.column(i);
+        if (column.kind() == tsdata::AttributeKind::kNumeric) {
+          cells[i] = column.numeric(row);
+        } else {
+          cells[i] = column.CategoryName(column.code(row));
+        }
+      }
+      DBSHERLOCK_RETURN_NOT_OK(
+          window.AppendRowUnchecked(chunk.timestamp(row), cells));
+    }
+    return Status::OK();
+  };
+  visitor.on_reset = [&] { window = tsdata::Dataset(t->history->schema()); };
+  store::ScanStats stats;
+  DBSHERLOCK_RETURN_NOT_OK(t->history->ScanVisit(scan, visitor, &stats));
+  if (stats.truncated) {
+    metrics.GetCounter("service.range_diagnoses_capped")->Increment();
+    return Status::ResourceExhausted(common::StrFormat(
+        "range window holds more than %zu stored rows "
+        "(--max-range-rows); narrow [t0, t1) or raise the cap",
+        options_.max_range_rows));
+  }
   size_t abnormal_rows = window.RowsInTimeRange(t0, t1).size();
   if (abnormal_rows == 0) {
     return Status::NotFound(common::StrFormat(
@@ -503,6 +556,7 @@ Result<common::JsonValue> Service::DiagnoseRangeJson(
   region["end"] = t1;
   out["region"] = common::JsonValue(std::move(region));
   out["rows"] = static_cast<double>(window.num_rows());
+  out["scan"] = ScanStatsJson(stats);
   common::JsonValue::Array causes;
   for (const core::RankedCause& c : explanation.causes) {
     common::JsonValue::Object cause;
@@ -615,6 +669,13 @@ common::JsonValue Service::StatsJson() const {
       history["compression_ratio"] = t->history->compression_ratio();
       history["retention_deletes"] =
           static_cast<double>(t->history->retention_deletes());
+      history["scans"] = static_cast<double>(t->history->scans_total());
+      history["scan_segments_skipped"] =
+          static_cast<double>(t->history->scan_segments_skipped());
+      history["scan_segments_decoded"] =
+          static_cast<double>(t->history->scan_segments_decoded());
+      history["scan_retries"] =
+          static_cast<double>(t->history->scan_retries());
       entry["history"] = common::JsonValue(std::move(history));
     }
     per_tenant[name] = common::JsonValue(std::move(entry));

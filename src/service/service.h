@@ -62,6 +62,11 @@ class Service {
     /// Row cap on one QUERY response (the wire is line-oriented; a huge
     /// range comes back truncated with "truncated":true).
     size_t max_query_rows = 5000;
+    /// Row cap on the DIAGNOSE_RANGE context window (region + padding).
+    /// A window that would exceed this many stored rows is refused with
+    /// ResourceExhausted instead of inflating it all into memory — one
+    /// hostile range must not OOM the daemon. 0 = unlimited.
+    size_t max_range_rows = 500000;
     /// DIAGNOSE_RANGE scans a context window this many region-lengths on
     /// each side of [t0,t1) so the explainer sees normal baseline rows
     /// (the paper's "rest of the window is normal" convention).
@@ -127,10 +132,13 @@ class Service {
   common::Result<common::JsonValue> DiagnosesJson(const std::string& tenant);
 
   /// History rows in [t0, t1) from the tenant's store (QUERY verb):
-  /// {"tenant","t0","t1","rows",("truncated",)"csv"}. Fails with
-  /// FailedPrecondition when the service runs without a store directory.
-  common::Result<common::JsonValue> QueryJson(const std::string& tenant,
-                                              double t0, double t1);
+  /// {"tenant","t0","t1","rows",("truncated",)"csv","scan":{...}}.
+  /// `bounds` (the WHERE clause) filters rows and prunes segments via
+  /// zone maps. Fails with FailedPrecondition when the service runs
+  /// without a store directory.
+  common::Result<common::JsonValue> QueryJson(
+      const std::string& tenant, double t0, double t1,
+      const std::vector<store::AttributeBound>& bounds = {});
 
   /// Retrospective diagnosis of a user-designated abnormal region [t0, t1)
   /// (DIAGNOSE_RANGE verb) — the paper's workflow, but over the durable

@@ -24,6 +24,58 @@ std::pair<std::string, std::string> SplitVerb(const std::string& line) {
   return {line.substr(0, space), line.substr(space + 1)};
 }
 
+bool IsFieldSpace(char c) { return c == ' ' || c == '\t'; }
+
+/// Pops the next field off `*rest`: skips leading spaces/tabs, takes
+/// characters up to the next run, and strips the remainder's leading
+/// whitespace too. Every fixed-arity verb argument goes through this, so
+/// tabs and repeated spaces parse the same as single spaces — in every
+/// field position, not just the last one.
+std::string NextField(std::string* rest) {
+  size_t begin = 0;
+  while (begin < rest->size() && IsFieldSpace((*rest)[begin])) ++begin;
+  size_t end = begin;
+  while (end < rest->size() && !IsFieldSpace((*rest)[end])) ++end;
+  std::string field = rest->substr(begin, end - begin);
+  while (end < rest->size() && IsFieldSpace((*rest)[end])) ++end;
+  rest->erase(0, end);
+  return field;
+}
+
+/// Parses QUERY's WHERE trailer: ';'-separated `attr>=v` / `attr<=v`
+/// clauses, conjunctive. Whitespace around clauses is ignored.
+Status ParseWhereClauses(const std::string& text,
+                         std::vector<store::AttributeBound>* bounds) {
+  for (const std::string& raw : common::Split(text, ';')) {
+    std::string clause(common::Trim(raw));
+    if (clause.empty()) continue;
+    size_t ge = clause.find(">=");
+    size_t le = clause.find("<=");
+    size_t op = std::min(ge, le);
+    if (op == std::string::npos || op == 0) {
+      return Status::InvalidArgument(
+          "bad WHERE clause '" + clause + "' (want attr>=v or attr<=v)");
+    }
+    store::AttributeBound bound;
+    bound.attribute = std::string(common::Trim(clause.substr(0, op)));
+    auto value =
+        common::ParseDouble(std::string(common::Trim(clause.substr(op + 2))));
+    if (!value.ok() || std::isnan(*value)) {
+      return Status::InvalidArgument("bad WHERE value in '" + clause + "'");
+    }
+    if (op == ge) {
+      bound.lo = *value;
+    } else {
+      bound.hi = *value;
+    }
+    bounds->push_back(std::move(bound));
+  }
+  if (bounds->empty()) {
+    return Status::InvalidArgument("WHERE without clauses");
+  }
+  return Status::OK();
+}
+
 Result<Request> ParseJsonRequest(const std::string& line) {
   auto json = common::ParseJson(line);
   if (!json.ok()) return json.status();
@@ -166,7 +218,8 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
   if (line.empty()) return Status::InvalidArgument("empty request line");
   if (line[0] == '{') return ParseJsonRequest(line);
 
-  auto [verb, rest] = SplitVerb(line);
+  std::string rest = line;
+  std::string verb = NextField(&rest);
   Request request;
   if (verb == "PING") {
     request.op = RequestOp::kPing;
@@ -191,39 +244,43 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
   if (verb == "DIAGNOSES" || verb == "FLUSH") {
     request.op =
         verb == "FLUSH" ? RequestOp::kFlush : RequestOp::kDiagnoses;
-    request.tenant = std::string(common::Trim(rest));
+    request.tenant = NextField(&rest);
     if (!ValidTenantName(request.tenant)) {
       return Status::InvalidArgument("invalid tenant name: " +
                                      request.tenant);
+    }
+    if (!rest.empty()) {
+      return Status::InvalidArgument(verb + " takes only a tenant name");
     }
     return request;
   }
   if (verb == "HELLO") {
     request.op = RequestOp::kHello;
-    auto [tenant, after_tenant] = SplitVerb(rest);
-    request.tenant = tenant;
+    request.tenant = NextField(&rest);
     if (!ValidTenantName(request.tenant)) {
       return Status::InvalidArgument("invalid tenant name: " +
                                      request.tenant);
     }
-    auto [spec, retain] = SplitVerb(std::string(common::Trim(after_tenant)));
+    std::string spec = NextField(&rest);
     auto schema = ParseSchemaSpec(spec);
     if (!schema.ok()) return schema.status();
     request.schema = std::move(*schema);
-    if (!retain.empty()) {
-      std::vector<std::string> fields =
-          common::Split(std::string(common::Trim(retain)), ' ');
-      if (fields.size() != 3 || fields[0] != "RETAIN") {
+    if (!rest.empty()) {
+      std::string keyword = NextField(&rest);
+      std::string bytes_text = NextField(&rest);
+      std::string age_text = NextField(&rest);
+      if (keyword != "RETAIN" || bytes_text.empty() || age_text.empty() ||
+          !rest.empty()) {
         return Status::InvalidArgument(
             "HELLO trailer must be 'RETAIN <bytes> <age_sec>'");
       }
-      auto bytes = common::ParseInt64(fields[1]);
+      auto bytes = common::ParseInt64(bytes_text);
       if (!bytes.ok() || *bytes < 0) {
-        return Status::InvalidArgument("bad RETAIN bytes: " + fields[1]);
+        return Status::InvalidArgument("bad RETAIN bytes: " + bytes_text);
       }
-      auto age = common::ParseDouble(fields[2]);
+      auto age = common::ParseDouble(age_text);
       if (!age.ok() || *age < 0) {
-        return Status::InvalidArgument("bad RETAIN age_sec: " + fields[2]);
+        return Status::InvalidArgument("bad RETAIN age_sec: " + age_text);
       }
       request.has_retain = true;
       request.retain_bytes = static_cast<uint64_t>(*bytes);
@@ -234,16 +291,14 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
   if (verb == "QUERY" || verb == "DIAGNOSE_RANGE") {
     request.op = verb == "QUERY" ? RequestOp::kQuery
                                  : RequestOp::kDiagnoseRange;
-    auto [tenant, range] = SplitVerb(rest);
-    request.tenant = tenant;
+    request.tenant = NextField(&rest);
     if (!ValidTenantName(request.tenant)) {
       return Status::InvalidArgument("invalid tenant name: " +
                                      request.tenant);
     }
-    auto [t0_text, t1_text] = SplitVerb(range);
-    auto t0 = common::ParseDouble(t0_text);
+    auto t0 = common::ParseDouble(NextField(&rest));
     if (!t0.ok()) return t0.status();
-    auto t1 = common::ParseDouble(std::string(common::Trim(t1_text)));
+    auto t1 = common::ParseDouble(NextField(&rest));
     if (!t1.ok()) return t1.status();
     if (!(*t0 < *t1)) {
       return Status::InvalidArgument(
@@ -251,34 +306,41 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
     }
     request.t0 = *t0;
     request.t1 = *t1;
+    if (!rest.empty()) {
+      std::string keyword = NextField(&rest);
+      if (verb != "QUERY" || keyword != "WHERE") {
+        return Status::InvalidArgument(verb + " trailer must be a QUERY "
+                                       "WHERE clause");
+      }
+      DBSHERLOCK_RETURN_NOT_OK(ParseWhereClauses(rest, &request.bounds));
+    }
     return request;
   }
   if (verb == "APPEND" || verb == "APPENDSEQ") {
     request.op = RequestOp::kAppend;
-    auto [tenant, after_tenant] = SplitVerb(rest);
-    request.tenant = tenant;
+    request.tenant = NextField(&rest);
     if (!ValidTenantName(request.tenant)) {
       return Status::InvalidArgument("invalid tenant name: " +
                                      request.tenant);
     }
     if (verb == "APPENDSEQ") {
-      auto [seq_text, after_seq] = SplitVerb(after_tenant);
+      std::string seq_text = NextField(&rest);
       auto seq = common::ParseInt64(seq_text);
       if (!seq.ok() || *seq < 0) {
         return Status::InvalidArgument("bad APPENDSEQ seq: " + seq_text);
       }
       request.has_client_seq = true;
       request.client_seq = static_cast<uint64_t>(*seq);
-      after_tenant = after_seq;
     }
-    auto [ts_text, cells_text] = SplitVerb(after_tenant);
-    auto ts = common::ParseDouble(ts_text);
+    auto ts = common::ParseDouble(NextField(&rest));
     if (!ts.ok()) return ts.status();
     request.timestamp = *ts;
-    if (cells_text.empty()) {
+    // The cell text is NOT field-tokenized: categorical cells may contain
+    // spaces, so everything after the timestamp splits on ',' alone.
+    if (rest.empty()) {
       return Status::InvalidArgument("APPEND without cells");
     }
-    request.raw_cells = common::Split(cells_text, ',');
+    request.raw_cells = common::Split(rest, ',');
     return request;
   }
   if (verb == "TEACH") {

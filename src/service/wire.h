@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "core/causal_model.h"
+#include "store/tenant_store.h"
 #include "tsdata/dataset.h"
 #include "tsdata/schema.h"
 
@@ -24,7 +25,8 @@ namespace dbsherlock::service {
 ///     TEACH <causal-model-json>                       (model_io format)
 ///     DIAGNOSES <tenant>
 ///     FLUSH <tenant>
-///     QUERY <tenant> <t0> <t1>                        history rows [t0,t1)
+///     QUERY <tenant> <t0> <t1> [WHERE <clause>[;<clause>...]]
+///                                                     history rows [t0,t1)
 ///     DIAGNOSE_RANGE <tenant> <t0> <t1>               diagnose [t0,t1)
 ///     STATS
 ///     MODELS
@@ -54,6 +56,17 @@ namespace dbsherlock::service {
 /// HELLO's optional RETAIN clause arms the tenant's history store
 /// retention (0 = unlimited); QUERY/DIAGNOSE_RANGE read that store, so
 /// they answer over regions that have long left the sliding window.
+///
+/// QUERY's optional WHERE trailer pushes attribute bounds into the store
+/// scan (zone maps prune whole segments, DESIGN.md §14). Each clause is
+/// `<attr>>=<value>` or `<attr><=<value>` over a numeric attribute;
+/// clauses are ';'-separated and conjunctive (rows must satisfy all).
+///
+/// Verb arguments are separated by runs of spaces and/or tabs — every
+/// fixed-arity field is tokenized the same way, so "QUERY t0<TAB>1 2"
+/// and "QUERY t0 1 2" parse identically. APPEND cell text is exempt:
+/// everything after the timestamp is split on ',' only, so categorical
+/// cells keep their interior spaces.
 ///
 /// Responses:
 ///     OK [detail]            request applied
@@ -95,6 +108,7 @@ struct Request {
   core::CausalModel model;               // teach
   double t0 = 0.0;                       // query/diagnose_range, [t0, t1)
   double t1 = 0.0;
+  std::vector<store::AttributeBound> bounds;  // query WHERE clauses
   bool has_retain = false;               // hello RETAIN clause present
   uint64_t retain_bytes = 0;             // 0 = unlimited
   double retain_age_sec = 0.0;           // 0 = unlimited

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -14,17 +15,24 @@ namespace {
 using common::Result;
 using common::Status;
 
-// --- Segment framing (DESIGN.md §11) ----------------------------------
+// --- Segment framing (DESIGN.md §11, §14) -------------------------------
 //
-//   "DBSG" | u32 version | block* | (torn tail tolerated by TenantStore)
+//   "DBSG" | u32 version | block* | [zone block | u32 zone_len | "DBSZ"]
 //   block := u32 payload_len | u32 crc32(payload) | payload
 //
 // Block order is fixed: meta, timestamps, then one block per column.
+// Version 2 appends a CRC-framed zone-map block after the last column,
+// followed by an 8-byte trailer (u32 framed zone-block length + "DBSZ"
+// magic) so the footer is locatable from the end of the file without
+// walking the column blocks. Version 1 blobs end at the last column.
 
 constexpr char kMagic[4] = {'D', 'B', 'S', 'G'};
-constexpr uint32_t kVersion = 1;
+constexpr char kZoneMagic[4] = {'D', 'B', 'S', 'Z'};
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
 constexpr size_t kHeaderSize = 8;      // magic + version
 constexpr size_t kBlockHeaderSize = 8; // len + crc
+constexpr size_t kTrailerSize = 8;     // u32 zone_len + "DBSZ"
 /// One block holds one column of one segment (segments seal at a few
 /// thousand rows); anything larger is a torn or hostile header.
 constexpr uint32_t kMaxBlock = 64u << 20;
@@ -528,7 +536,7 @@ Status NextBlock(std::string_view* bytes, std::string_view* payload) {
   return Status::OK();
 }
 
-Status CheckHeader(std::string_view* bytes) {
+Status CheckHeader(std::string_view* bytes, uint32_t* version_out) {
   if (bytes->size() < kHeaderSize) {
     return Status::ParseError("segment: shorter than header");
   }
@@ -538,39 +546,176 @@ Status CheckHeader(std::string_view* bytes) {
   ByteReader reader(bytes->substr(4));
   uint32_t version = 0;
   DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&version));
-  if (version != kVersion) {
+  if (version != kVersionV1 && version != kVersionV2) {
     return Status::ParseError(
         common::StrFormat("segment: unsupported version %u", version));
   }
   bytes->remove_prefix(kHeaderSize);
+  *version_out = version;
   return Status::OK();
+}
+
+// --- Zone-map footer (DESIGN.md §14) -----------------------------------
+//
+// Payload layout (little-endian, fixed width — no varints, so the size
+// is a pure function of the attribute count):
+//   u64 rows | f64 min_ts | f64 max_ts | u32 nattrs
+//   per attr: f64 min | f64 max | u64 non_nan_count | u64 finite_count
+
+std::string EncodeZoneBlock(const ZoneMap& zones) {
+  std::string payload;
+  AppendU64(&payload, zones.rows);
+  AppendF64(&payload, zones.min_ts);
+  AppendF64(&payload, zones.max_ts);
+  AppendU32(&payload, static_cast<uint32_t>(zones.attrs.size()));
+  for (const AttrZone& z : zones.attrs) {
+    AppendF64(&payload, z.min);
+    AppendF64(&payload, z.max);
+    AppendU64(&payload, z.non_nan_count);
+    AppendU64(&payload, z.finite_count);
+  }
+  return payload;
+}
+
+Status DecodeZoneBlock(std::string_view payload, ZoneMap* zones) {
+  ByteReader reader(payload);
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadU64(&zones->rows));
+  if (zones->rows > kMaxRows) {
+    return Status::ParseError("segment: zone row count exceeds cap");
+  }
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadF64(&zones->min_ts));
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadF64(&zones->max_ts));
+  uint32_t nattrs = 0;
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&nattrs));
+  if (nattrs > kMaxAttributes) {
+    return Status::ParseError("segment: zone attribute count exceeds cap");
+  }
+  zones->attrs.clear();
+  zones->attrs.reserve(nattrs);
+  for (uint32_t i = 0; i < nattrs; ++i) {
+    AttrZone z;
+    DBSHERLOCK_RETURN_NOT_OK(reader.ReadF64(&z.min));
+    DBSHERLOCK_RETURN_NOT_OK(reader.ReadF64(&z.max));
+    DBSHERLOCK_RETURN_NOT_OK(reader.ReadU64(&z.non_nan_count));
+    DBSHERLOCK_RETURN_NOT_OK(reader.ReadU64(&z.finite_count));
+    if (z.finite_count > z.non_nan_count || z.non_nan_count > zones->rows) {
+      return Status::ParseError("segment: inconsistent zone counts");
+    }
+    zones->attrs.push_back(z);
+  }
+  if (reader.remaining() != 0) {
+    return Status::ParseError("segment: zone block has trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Splits a v2 tail into the framed zone block and validates the 8-byte
+/// trailer. `tail` must be exactly `zone block | trailer`.
+Status ConsumeZoneFooter(std::string_view tail, ZoneMap* zones) {
+  if (tail.size() < kBlockHeaderSize + kTrailerSize) {
+    return Status::ParseError("segment: truncated zone footer");
+  }
+  std::string_view trailer = tail.substr(tail.size() - kTrailerSize);
+  if (std::memcmp(trailer.data() + 4, kZoneMagic, sizeof(kZoneMagic)) != 0) {
+    return Status::ParseError("segment: bad zone trailer magic");
+  }
+  ByteReader reader(trailer);
+  uint32_t zone_len = 0;
+  DBSHERLOCK_RETURN_NOT_OK(reader.ReadU32(&zone_len));
+  if (zone_len != tail.size() - kTrailerSize) {
+    return Status::ParseError("segment: zone trailer length mismatch");
+  }
+  std::string_view block = tail.substr(0, zone_len);
+  std::string_view payload;
+  DBSHERLOCK_RETURN_NOT_OK(NextBlock(&block, &payload));
+  if (!block.empty()) {
+    return Status::ParseError("segment: trailing bytes inside zone footer");
+  }
+  return DecodeZoneBlock(payload, zones);
 }
 
 }  // namespace
 
+ZoneMap ComputeZoneMap(const tsdata::Dataset& data) {
+  ZoneMap zones;
+  zones.rows = data.num_rows();
+  zones.min_ts = data.num_rows() > 0 ? data.timestamp(0) : 0.0;
+  zones.max_ts =
+      data.num_rows() > 0 ? data.timestamp(data.num_rows() - 1) : 0.0;
+  zones.attrs.resize(data.num_attributes());
+  for (size_t i = 0; i < data.num_attributes(); ++i) {
+    AttrZone& z = zones.attrs[i];
+    const tsdata::Column& column = data.column(i);
+    if (column.kind() == tsdata::AttributeKind::kCategorical) {
+      // Categorical cells are always present; bounds never apply to them.
+      z.non_nan_count = zones.rows;
+      z.finite_count = zones.rows;
+      continue;
+    }
+    for (double v : column.numeric_values()) {
+      if (std::isnan(v)) continue;
+      ++z.non_nan_count;
+      if (std::isfinite(v)) ++z.finite_count;
+      if (v < z.min) z.min = v;
+      if (v > z.max) z.max = v;
+    }
+  }
+  return zones;
+}
+
 std::string EncodeSegment(const tsdata::Dataset& data) {
   std::string out;
   out.append(kMagic, sizeof(kMagic));
-  AppendU32(&out, kVersion);
+  AppendU32(&out, kVersionV2);
   AppendBlock(&out, EncodeMetaBlock(data));
   AppendBlock(&out, EncodeTimestampBlock(data));
   for (size_t i = 0; i < data.num_attributes(); ++i) {
     AppendBlock(&out, EncodeColumnBlock(data.column(i)));
   }
+  size_t zone_start = out.size();
+  AppendBlock(&out, EncodeZoneBlock(ComputeZoneMap(data)));
+  AppendU32(&out, static_cast<uint32_t>(out.size() - zone_start));
+  out.append(kZoneMagic, sizeof(kZoneMagic));
   return out;
 }
 
 Result<SegmentMeta> ReadSegmentMeta(std::string_view bytes) {
-  DBSHERLOCK_RETURN_NOT_OK(CheckHeader(&bytes));
+  SegmentMeta meta;
+  DBSHERLOCK_RETURN_NOT_OK(CheckHeader(&bytes, &meta.version));
   std::string_view payload;
   DBSHERLOCK_RETURN_NOT_OK(NextBlock(&bytes, &payload));
-  SegmentMeta meta;
   DBSHERLOCK_RETURN_NOT_OK(DecodeMetaBlock(payload, &meta));
   return meta;
 }
 
+Result<ZoneMap> ReadSegmentZoneMap(std::string_view bytes) {
+  std::string_view body = bytes;
+  uint32_t version = 0;
+  DBSHERLOCK_RETURN_NOT_OK(CheckHeader(&body, &version));
+  if (version == kVersionV1) {
+    return Status::NotFound("segment: v1 blob has no zone-map footer");
+  }
+  // The trailer's length field tells us where the framed zone block
+  // starts; ConsumeZoneFooter re-validates the whole tail.
+  if (body.size() < kBlockHeaderSize + kTrailerSize) {
+    return Status::ParseError("segment: truncated zone footer");
+  }
+  ByteReader trailer(body.substr(body.size() - kTrailerSize));
+  uint32_t zone_len = 0;
+  DBSHERLOCK_RETURN_NOT_OK(trailer.ReadU32(&zone_len));
+  if (zone_len > kMaxBlock ||
+      zone_len + kTrailerSize > body.size()) {
+    return Status::ParseError("segment: zone trailer length mismatch");
+  }
+  ZoneMap zones;
+  DBSHERLOCK_RETURN_NOT_OK(ConsumeZoneFooter(
+      body.substr(body.size() - kTrailerSize - zone_len), &zones));
+  return zones;
+}
+
 Result<tsdata::Dataset> DecodeSegment(std::string_view bytes) {
-  DBSHERLOCK_RETURN_NOT_OK(CheckHeader(&bytes));
+  uint32_t version = 0;
+  DBSHERLOCK_RETURN_NOT_OK(CheckHeader(&bytes, &version));
   std::string_view payload;
   DBSHERLOCK_RETURN_NOT_OK(NextBlock(&bytes, &payload));
   SegmentMeta meta;
@@ -634,7 +779,15 @@ Result<tsdata::Dataset> DecodeSegment(std::string_view bytes) {
       }
     }
   }
-  if (!bytes.empty()) {
+  if (version == kVersionV2) {
+    // The footer is required: a v2 blob whose zone block was torn off is
+    // corrupt, same as a missing column block.
+    ZoneMap zones;
+    DBSHERLOCK_RETURN_NOT_OK(ConsumeZoneFooter(bytes, &zones));
+    if (zones.rows != meta.rows) {
+      return Status::ParseError("segment: zone map disagrees with meta");
+    }
+  } else if (!bytes.empty()) {
     return Status::ParseError("segment: trailing bytes after last block");
   }
 

@@ -7,14 +7,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
-#include <fstream>
 #include <limits>
 #include <optional>
-#include <sstream>
+#include <thread>
 
 #include "common/faultenv.h"
 #include "common/metrics.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "tsdata/dataset_io.h"
@@ -47,14 +48,32 @@ Status WriteAll(int fd, const char* data, size_t n, const std::string& path) {
   return Status::OK();
 }
 
+/// Slurps a segment file through the faultenv "seg.read" site. A file
+/// that is gone entirely maps to NotFound so scans can tell a retention
+/// race from real corruption.
 Status ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Errno("open", path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return Errno("read", path);
-  *out = buffer.str();
-  return Status::OK();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("segment file gone: " + path);
+    }
+    return Errno("open", path);
+  }
+  out->clear();
+  char buf[64 << 10];
+  Status status;
+  for (;;) {
+    ssize_t n = common::faultenv::Read("seg.read", fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Errno("read", path);
+      break;
+    }
+    if (n == 0) break;
+    out->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return status;
 }
 
 /// Parses the sequence number out of "seg-%08llu.dbs"; nullopt for
@@ -89,6 +108,28 @@ Status FsyncDir(const std::string& dir) {
     status = Errno("fsync dir", dir);
   }
   ::close(fd);
+  return status;
+}
+
+/// Atomically replaces `path` with `blob` via tmp-file + rename — the
+/// one-time v1 → v2 footer upgrade during recovery. Any failure leaves
+/// the original (still valid) file in place.
+Status ReplaceSegmentFile(const std::string& path, const std::string& blob,
+                          bool fsync) {
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status status = WriteAll(fd, blob.data(), blob.size(), tmp);
+  if (status.ok() && fsync &&
+      common::faultenv::Fsync("seg.fsync", fd) != 0) {
+    status = Errno("fsync", tmp);
+  }
+  ::close(fd);
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Errno("rename", tmp);
+  }
+  if (!status.ok()) (void)::unlink(tmp.c_str());
   return status;
 }
 
@@ -158,26 +199,50 @@ Status TenantStore::RecoverLocked() {
           "cannot change schema mid-history)",
           path.c_str()));
     }
+    next_seq_ = std::max(next_seq_, seq + 1);
+    if (decoded->num_rows() == 0) {
+      // A zero-row segment carries no data, and its meaningless 0.0 time
+      // bounds would poison manifest pruning and pin age-based retention
+      // forever — drop the file, never stamp it into the manifest.
+      if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+      ++recovery_.empty_segments_dropped;
+      metrics.GetCounter("store.recovery_empty_dropped")->Increment();
+      continue;
+    }
+    // v1 (footer-less) segments get their zone map synthesized from the
+    // decode we just did, re-encoded with the v2 footer, and atomically
+    // swapped into place — the upgrade happens exactly once per file.
+    auto zones = ReadSegmentZoneMap(blob);
+    if (!zones.ok() &&
+        zones.status().code() == common::StatusCode::kNotFound) {
+      std::string upgraded = EncodeSegment(*decoded);
+      Status replace =
+          ReplaceSegmentFile(path, upgraded, options_.fsync_on_seal);
+      if (replace.ok()) {
+        blob = std::move(upgraded);
+        ++recovery_.segments_upgraded;
+        metrics.GetCounter("store.recovery_upgraded_segments")->Increment();
+        zones = ReadSegmentZoneMap(blob);
+      }
+    }
     SegmentInfo info;
     info.seq = seq;
     info.path = path;
     info.rows = decoded->num_rows();
-    info.min_ts = decoded->num_rows() > 0 ? decoded->timestamp(0) : 0.0;
-    info.max_ts = decoded->num_rows() > 0
-                      ? decoded->timestamp(decoded->num_rows() - 1)
-                      : 0.0;
+    info.min_ts = decoded->timestamp(0);
+    info.max_ts = decoded->timestamp(decoded->num_rows() - 1);
     info.bytes = blob.size();
-    next_seq_ = std::max(next_seq_, seq + 1);
-    if (info.rows > 0) {
-      have_last_ts_ = true;
-      last_ts_ = std::max(last_ts_, info.max_ts);
-      segments_.push_back(std::move(info));
-      ++recovery_.segments_recovered;
-      recovery_.rows_recovered += decoded->num_rows();
-    } else {
-      // An empty segment carries no data; drop the file too.
-      if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
-    }
+    // A failed in-place upgrade (e.g. read-only media) is not fatal: the
+    // manifest zone map is synthesized from the decoded rows either way.
+    info.zones = zones.ok() ? std::move(*zones) : ComputeZoneMap(*decoded);
+    have_last_ts_ = true;
+    last_ts_ = std::max(last_ts_, info.max_ts);
+    segments_.push_back(std::move(info));
+    ++recovery_.segments_recovered;
+    recovery_.rows_recovered += decoded->num_rows();
+  }
+  if (recovery_.segments_upgraded > 0 && options_.fsync_on_seal) {
+    DBSHERLOCK_RETURN_NOT_OK(FsyncDir(options_.dir));
   }
   active_ = tsdata::Dataset(options_.schema);
   return Status::OK();
@@ -253,6 +318,8 @@ Status TenantStore::SealLocked() {
   info.min_ts = active_.timestamp(0);
   info.max_ts = active_.timestamp(active_.num_rows() - 1);
   info.bytes = blob.size();
+  // The same map EncodeSegment just embedded in the footer.
+  info.zones = ComputeZoneMap(active_);
   last_ts_ = info.max_ts;
   segments_.push_back(std::move(info));
   active_ = tsdata::Dataset(options_.schema);
@@ -291,6 +358,7 @@ void TenantStore::EnforceRetentionLocked() {
     if (::unlink(victim.path.c_str()) != 0 && errno != ENOENT) break;
     segments_.erase(segments_.begin());
     ++retention_deletes_;
+    ++retention_generation_;
     metrics.GetCounter("store.retention_deletes")->Increment();
   }
 }
@@ -319,71 +387,378 @@ Status TenantStore::AppendRange(const tsdata::Dataset& src, double t0,
   return Status::OK();
 }
 
+namespace {
+
+/// An AttributeBound resolved to a schema index.
+struct ResolvedBound {
+  size_t attr = 0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+Status ResolveBounds(const tsdata::Schema& schema,
+                     const std::vector<AttributeBound>& bounds,
+                     std::vector<ResolvedBound>* out) {
+  out->clear();
+  out->reserve(bounds.size());
+  for (const AttributeBound& b : bounds) {
+    auto idx = schema.IndexOf(b.attribute);
+    if (!idx.ok()) {
+      return Status::InvalidArgument("scan bound on unknown attribute '" +
+                                     b.attribute + "'");
+    }
+    if (schema.attribute(*idx).kind == tsdata::AttributeKind::kCategorical) {
+      return Status::InvalidArgument(
+          "scan bound on categorical attribute '" + b.attribute + "'");
+    }
+    if (std::isnan(b.lo) || std::isnan(b.hi)) {
+      return Status::InvalidArgument("scan bound on '" + b.attribute +
+                                     "' has NaN limit");
+    }
+    out->push_back({*idx, b.lo, b.hi});
+  }
+  return Status::OK();
+}
+
+/// Copies the rows of `src` inside [t0, t1) that satisfy every bound
+/// (NaN never matches) into a fresh dataset.
+Result<tsdata::Dataset> FilterChunk(const tsdata::Dataset& src, double t0,
+                                    double t1,
+                                    const std::vector<ResolvedBound>& bounds) {
+  tsdata::Dataset dst(src.schema());
+  std::vector<tsdata::Cell> cells(src.num_attributes());
+  for (size_t row : src.RowsInTimeRange(t0, t1)) {
+    bool pass = true;
+    for (const ResolvedBound& b : bounds) {
+      double v = src.column(b.attr).numeric(row);
+      if (!(v >= b.lo && v <= b.hi)) {  // NaN fails both comparisons
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    for (size_t i = 0; i < src.num_attributes(); ++i) {
+      const tsdata::Column& column = src.column(i);
+      if (column.kind() == tsdata::AttributeKind::kNumeric) {
+        cells[i] = column.numeric(row);
+      } else {
+        cells[i] = column.CategoryName(column.code(row));
+      }
+    }
+    DBSHERLOCK_RETURN_NOT_OK(
+        dst.AppendRowUnchecked(src.timestamp(row), cells));
+  }
+  return dst;
+}
+
+/// Per-segment result of the parallel decode stage.
+struct SegmentChunk {
+  Status status;
+  tsdata::Dataset chunk;
+  bool not_found = false;
+};
+
+SegmentChunk DecodeAndFilter(const SegmentInfo& seg, double t0, double t1,
+                             const std::vector<ResolvedBound>& bounds) {
+  SegmentChunk out;
+  std::string blob;
+  out.status = ReadFile(seg.path, &blob);
+  if (!out.status.ok()) {
+    out.not_found = out.status.code() == common::StatusCode::kNotFound;
+    return out;
+  }
+  auto decoded = DecodeSegment(blob);
+  if (!decoded.ok()) {
+    out.status = Status::IoError("corrupt sealed segment " + seg.path +
+                                 ": " + decoded.status().message());
+    return out;
+  }
+  auto filtered = FilterChunk(*decoded, t0, t1, bounds);
+  if (!filtered.ok()) {
+    out.status = filtered.status();
+    return out;
+  }
+  out.chunk = std::move(*filtered);
+  return out;
+}
+
+}  // namespace
+
 Result<tsdata::Dataset> TenantStore::Scan(double t0, double t1) const {
+  ScanOptions options;
+  options.t0 = t0;
+  options.t1 = t1;
+  ScanStats stats;
+  return ScanWithOptions(options, &stats);
+}
+
+Result<tsdata::Dataset> TenantStore::ScanWithOptions(
+    const ScanOptions& options, ScanStats* stats) const {
+  tsdata::Dataset out(options_.schema);
+  ScanVisitor visitor;
+  visitor.on_chunk = [&](const tsdata::Dataset& chunk) {
+    // Chunks arrive already filtered; stitch them verbatim.
+    return AppendRange(chunk, -std::numeric_limits<double>::infinity(),
+                       std::numeric_limits<double>::infinity(), &out);
+  };
+  visitor.on_reset = [&] { out = tsdata::Dataset(options_.schema); };
+  DBSHERLOCK_RETURN_NOT_OK(ScanVisit(options, visitor, stats));
+  return out;
+}
+
+Status TenantStore::ScanVisit(const ScanOptions& options,
+                              const ScanVisitor& visitor,
+                              ScanStats* stats) const {
   TRACE_SPAN("store.scan");
   auto& metrics = common::MetricsRegistry::Global();
   common::ScopedLatency timer(metrics.GetHistogram("store.scan_us"));
-  if (!(t0 < t1)) {
+  if (!(options.t0 < options.t1)) {
     return Status::InvalidArgument("scan range must satisfy t0 < t1");
   }
-  std::shared_lock lock(mu_);
-  tsdata::Dataset out(options_.schema);
-  for (const SegmentInfo& seg : segments_) {
-    // Manifest pruning: [min_ts, max_ts] vs the half-open [t0, t1).
-    if (seg.max_ts < t0 || seg.min_ts >= t1) continue;
-    std::string blob;
-    DBSHERLOCK_RETURN_NOT_OK(ReadFile(seg.path, &blob));
-    auto decoded = DecodeSegment(blob);
-    if (!decoded.ok()) {
-      return Status::IoError("corrupt sealed segment " + seg.path + ": " +
-                             decoded.status().message());
+  // A scan that raced retention restarts from a fresh snapshot; the
+  // attempt cap turns a pathological churn loop into an honest error.
+  constexpr int kMaxAttempts = 3;
+  ScanStats local;
+  Status status;
+  for (int attempt = 0;; ++attempt) {
+    local = ScanStats{};
+    local.retries = static_cast<size_t>(attempt);
+    bool raced = false;
+    status = ScanVisitOnce(options, visitor, &local, &raced);
+    if (status.ok() || !raced) break;
+    scan_retries_.fetch_add(1, std::memory_order_relaxed);
+    metrics.GetCounter("store.scan_retention_retries")->Increment();
+    if (attempt + 1 >= kMaxAttempts) {
+      status = Status::IoError(
+          "scan raced retention " + std::to_string(kMaxAttempts) +
+          " times; giving up: " + status.message());
+      break;
     }
-    DBSHERLOCK_RETURN_NOT_OK(AppendRange(*decoded, t0, t1, &out));
+    if (visitor.on_reset) visitor.on_reset();
   }
-  DBSHERLOCK_RETURN_NOT_OK(AppendRange(active_, t0, t1, &out));
-  return out;
+  scans_total_.fetch_add(1, std::memory_order_relaxed);
+  scan_segments_skipped_.fetch_add(
+      local.segments_skipped_time + local.segments_skipped_zone,
+      std::memory_order_relaxed);
+  scan_segments_decoded_.fetch_add(local.segments_decoded,
+                                   std::memory_order_relaxed);
+  metrics.GetCounter("store.scan_segments_skipped")
+      ->Increment(local.segments_skipped_time +
+                    local.segments_skipped_zone);
+  metrics.GetCounter("store.scan_segments_decoded")
+      ->Increment(local.segments_decoded);
+  if (stats != nullptr) *stats = local;
+  return status;
+}
+
+Status TenantStore::ScanVisitOnce(const ScanOptions& options,
+                                  const ScanVisitor& visitor,
+                                  ScanStats* stats,
+                                  bool* retention_raced) const {
+  *retention_raced = false;
+  std::vector<ResolvedBound> bounds;
+  DBSHERLOCK_RETURN_NOT_OK(
+      ResolveBounds(options_.schema, options.bounds, &bounds));
+
+  // Snapshot under the shared lock: manifest copy, active-tail copy,
+  // retention generation. No file I/O or decompression happens while the
+  // lock is held, so a long retro-scan never stalls Append/Seal.
+  std::vector<SegmentInfo> snapshot;
+  tsdata::Dataset active_copy;
+  uint64_t generation = 0;
+  {
+    std::shared_lock lock(mu_);
+    snapshot = segments_;
+    active_copy = active_;
+    generation = retention_generation_;
+  }
+  stats->segments_total = snapshot.size();
+
+  // Plan: prune segments that provably cannot contribute. The time test
+  // compares [min_ts, max_ts] against the half-open [t0, t1); the zone
+  // test consults the per-attribute min/max written at seal time.
+  std::vector<size_t> plan;
+  plan.reserve(snapshot.size());
+  for (size_t s = 0; s < snapshot.size(); ++s) {
+    const SegmentInfo& seg = snapshot[s];
+    if (options.prune) {
+      if (seg.max_ts < options.t0 || seg.min_ts >= options.t1) {
+        ++stats->segments_skipped_time;
+        continue;
+      }
+      bool zone_skip = false;
+      if (!bounds.empty() &&
+          seg.zones.attrs.size() == options_.schema.num_attributes()) {
+        for (const ResolvedBound& b : bounds) {
+          if (seg.zones.attrs[b.attr].CannotMatch(b.lo, b.hi)) {
+            zone_skip = true;
+            break;
+          }
+        }
+      }
+      if (zone_skip) {
+        ++stats->segments_skipped_zone;
+        continue;
+      }
+    }
+    plan.push_back(s);
+  }
+
+  // Deliver a filtered chunk, honouring the row cap. After the cap is
+  // reached the scan keeps decoding only until one more matching row
+  // proves truncation — so `truncated` is exact, never a guess.
+  uint64_t emitted = 0;
+  bool done = false;
+  auto deliver = [&](const tsdata::Dataset& chunk) -> Status {
+    if (chunk.num_rows() == 0) return Status::OK();
+    if (options.max_rows > 0) {
+      if (emitted >= options.max_rows) {
+        stats->truncated = true;
+        done = true;
+        return Status::OK();
+      }
+      if (emitted + chunk.num_rows() > options.max_rows) {
+        size_t take = static_cast<size_t>(options.max_rows - emitted);
+        tsdata::Dataset head = chunk.Slice(0, take);
+        emitted += take;
+        stats->truncated = true;
+        done = true;
+        stats->rows_out = emitted;
+        return visitor.on_chunk(head);
+      }
+    }
+    emitted += chunk.num_rows();
+    stats->rows_out = emitted;
+    return visitor.on_chunk(chunk);
+  };
+
+  // Decode planned segments in ordered batches outside the lock. Batches
+  // bound peak memory (a handful of inflated segments per lane) and let
+  // the row cap stop the scan early; ordered stitching keeps the output
+  // bit-identical across parallelism settings.
+  size_t lanes = options.parallelism > 0
+                     ? options.parallelism
+                     : std::max<size_t>(1, std::thread::hardware_concurrency());
+  size_t batch = std::max<size_t>(1, 4 * lanes);
+  for (size_t base = 0; base < plan.size() && !done; base += batch) {
+    size_t count = std::min(batch, plan.size() - base);
+    std::vector<SegmentChunk> results = common::ParallelMap(
+        count,
+        [&](size_t i) {
+          return DecodeAndFilter(snapshot[plan[base + i]], options.t0,
+                                 options.t1, bounds);
+        },
+        options.parallelism);
+    stats->segments_decoded += count;
+    for (SegmentChunk& r : results) {
+      if (r.not_found) {
+        std::shared_lock lock(mu_);
+        if (generation != retention_generation_) {
+          *retention_raced = true;
+          return r.status;
+        }
+        return Status::IoError("sealed segment vanished outside retention: " +
+                               r.status.message());
+      }
+      if (!r.status.ok()) return r.status;
+      DBSHERLOCK_RETURN_NOT_OK(deliver(r.chunk));
+      if (done) break;
+    }
+  }
+  if (!done) {
+    auto tail = FilterChunk(active_copy, options.t0, options.t1, bounds);
+    if (!tail.ok()) return tail.status();
+    DBSHERLOCK_RETURN_NOT_OK(deliver(*tail));
+  }
+  return Status::OK();
 }
 
 Result<tsdata::Dataset> TenantStore::ScanTail(size_t max_rows) const {
   TRACE_SPAN("store.scan");
-  std::shared_lock lock(mu_);
-  tsdata::Dataset out(options_.schema);
-  if (max_rows == 0) return out;
-
-  // Walk backwards to find which pieces contribute, then stitch forward.
-  size_t needed = max_rows;
-  size_t active_take = std::min(active_.num_rows(), needed);
-  needed -= active_take;
-  std::vector<std::pair<const SegmentInfo*, size_t>> pieces;  // (seg, take)
-  for (auto it = segments_.rbegin(); it != segments_.rend() && needed > 0;
-       ++it) {
-    size_t take = std::min<size_t>(it->rows, needed);
-    pieces.emplace_back(&*it, take);
-    needed -= take;
-  }
-  std::reverse(pieces.begin(), pieces.end());
-  for (const auto& [seg, take] : pieces) {
-    std::string blob;
-    DBSHERLOCK_RETURN_NOT_OK(ReadFile(seg->path, &blob));
-    auto decoded = DecodeSegment(blob);
-    if (!decoded.ok()) {
-      return Status::IoError("corrupt sealed segment " + seg->path + ": " +
-                             decoded.status().message());
+  tsdata::Dataset out;
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0;; ++attempt) {
+    out = tsdata::Dataset(options_.schema);
+    // Snapshot which pieces contribute under the shared lock; read and
+    // decode them afterwards, same discipline as ScanVisitOnce.
+    std::vector<std::pair<SegmentInfo, size_t>> pieces;  // (seg, take)
+    tsdata::Dataset active_copy;
+    size_t active_take = 0;
+    uint64_t generation = 0;
+    {
+      std::shared_lock lock(mu_);
+      generation = retention_generation_;
+      if (max_rows == 0) return out;
+      size_t needed = max_rows;
+      active_take = std::min(active_.num_rows(), needed);
+      needed -= active_take;
+      if (active_take > 0) {
+        active_copy = active_.Slice(active_.num_rows() - active_take,
+                                    active_.num_rows());
+      }
+      for (auto it = segments_.rbegin();
+           it != segments_.rend() && needed > 0; ++it) {
+        size_t take = std::min<size_t>(it->rows, needed);
+        pieces.emplace_back(*it, take);
+        needed -= take;
+      }
+      std::reverse(pieces.begin(), pieces.end());
     }
-    tsdata::Dataset slice =
-        decoded->Slice(decoded->num_rows() - take, decoded->num_rows());
+
+    std::vector<SegmentChunk> results = common::ParallelMap(
+        pieces.size(), [&](size_t i) {
+          SegmentChunk out_chunk;
+          std::string blob;
+          out_chunk.status = ReadFile(pieces[i].first.path, &blob);
+          if (!out_chunk.status.ok()) {
+            out_chunk.not_found =
+                out_chunk.status.code() == common::StatusCode::kNotFound;
+            return out_chunk;
+          }
+          auto decoded = DecodeSegment(blob);
+          if (!decoded.ok()) {
+            out_chunk.status =
+                Status::IoError("corrupt sealed segment " +
+                                pieces[i].first.path + ": " +
+                                decoded.status().message());
+            return out_chunk;
+          }
+          size_t take = pieces[i].second;
+          out_chunk.chunk =
+              decoded->Slice(decoded->num_rows() - take, decoded->num_rows());
+          return out_chunk;
+        });
+
+    bool raced = false;
+    Status status;
+    for (SegmentChunk& r : results) {
+      if (r.not_found) {
+        std::shared_lock lock(mu_);
+        if (generation != retention_generation_ &&
+            attempt + 1 < kMaxAttempts) {
+          raced = true;
+          scan_retries_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        status = Status::IoError("sealed segment vanished mid-scan: " +
+                                 r.status.message());
+        break;
+      }
+      if (!r.status.ok()) {
+        status = r.status;
+        break;
+      }
+      status = AppendRange(r.chunk, -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::infinity(), &out);
+      if (!status.ok()) break;
+    }
+    if (raced) continue;
+    DBSHERLOCK_RETURN_NOT_OK(status);
     DBSHERLOCK_RETURN_NOT_OK(AppendRange(
-        slice, -std::numeric_limits<double>::infinity(),
+        active_copy, -std::numeric_limits<double>::infinity(),
         std::numeric_limits<double>::infinity(), &out));
+    return out;
   }
-  if (active_take > 0) {
-    tsdata::Dataset slice =
-        active_.Slice(active_.num_rows() - active_take, active_.num_rows());
-    DBSHERLOCK_RETURN_NOT_OK(AppendRange(
-        slice, -std::numeric_limits<double>::infinity(),
-        std::numeric_limits<double>::infinity(), &out));
-  }
-  return out;
 }
 
 size_t TenantStore::num_segments() const {

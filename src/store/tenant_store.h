@@ -1,7 +1,10 @@
 #ifndef DBSHERLOCK_STORE_TENANT_STORE_H_
 #define DBSHERLOCK_STORE_TENANT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
@@ -22,6 +25,7 @@ struct SegmentInfo {
   double min_ts = 0.0;
   double max_ts = 0.0;
   uint64_t bytes = 0;     // compressed file size
+  ZoneMap zones;          // per-attribute min/max/counts (DESIGN.md §14)
 };
 
 /// What Open() found on disk. Corrupt files are torn tails from a crash
@@ -32,14 +36,67 @@ struct RecoveryReport {
   uint64_t rows_recovered = 0;
   size_t segments_dropped = 0;
   uint64_t bytes_dropped = 0;
+  /// Intact but zero-row segments deleted at recovery: they carry no data
+  /// and their meaningless 0.0 time bounds would poison manifest pruning
+  /// and pin age-based retention.
+  size_t empty_segments_dropped = 0;
+  /// v1 (footer-less) segments re-encoded in place with a zone-map footer
+  /// — the one-time backward-compatible format upgrade.
+  size_t segments_upgraded = 0;
 };
 
-/// Embedded per-tenant time-series store (DESIGN.md §11). Appends land in
-/// an in-memory active segment that seals to a compressed immutable file
-/// every `seal_rows` rows; `Scan` stitches sealed segments and the active
-/// tail back into a `tsdata::Dataset` so the diagnosis pipeline runs over
-/// history unchanged. Thread-safe: appends/seals take an exclusive lock,
-/// scans a shared one.
+/// A closed numeric-attribute filter pushed into Scan: rows must satisfy
+/// `lo <= value <= hi` (NaN never matches); segments whose zone map
+/// proves no row can match are skipped without being read or decoded.
+struct AttributeBound {
+  std::string attribute;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+};
+
+struct ScanOptions {
+  double t0 = -std::numeric_limits<double>::infinity();
+  double t1 = std::numeric_limits<double>::infinity();  // half-open [t0, t1)
+  /// Conjunction of per-attribute bounds (numeric attributes only).
+  std::vector<AttributeBound> bounds;
+  /// Decode parallelism (0 = hardware lanes, 1 = serial). Results are
+  /// bit-identical across settings — stitching is deterministic.
+  size_t parallelism = 0;
+  /// When false, every sealed segment is read and decoded (rows are still
+  /// filtered) — the full-decode baseline the parity tests compare against.
+  bool prune = true;
+  /// Stop after this many matching rows (0 = unlimited). The output holds
+  /// at most `max_rows` rows; ScanStats::truncated reports whether more
+  /// rows matched.
+  size_t max_rows = 0;
+};
+
+/// What one scan did — the pushdown observability surface (STATS verb).
+struct ScanStats {
+  size_t segments_total = 0;         // sealed segments in the snapshot
+  size_t segments_skipped_time = 0;  // pruned on [min_ts, max_ts] alone
+  size_t segments_skipped_zone = 0;  // pruned on an attribute zone
+  size_t segments_decoded = 0;       // actually read + inflated
+  uint64_t rows_out = 0;             // rows delivered after filtering
+  size_t retries = 0;                // restarts after a retention race
+  bool truncated = false;            // max_rows cut the scan short
+};
+
+/// Receives scan output incrementally, in timestamp order. Rare restarts
+/// (a retention race deleted a snapshotted segment mid-scan) invoke
+/// `on_reset` and the chunk sequence starts over from the beginning.
+struct ScanVisitor {
+  std::function<common::Status(const tsdata::Dataset& chunk)> on_chunk;
+  std::function<void()> on_reset;  // optional
+};
+
+/// Embedded per-tenant time-series store (DESIGN.md §11, §14). Appends
+/// land in an in-memory active segment that seals to a compressed
+/// immutable file every `seal_rows` rows; `Scan` stitches sealed segments
+/// and the active tail back into a `tsdata::Dataset` so the diagnosis
+/// pipeline runs over history unchanged. Thread-safe; scans snapshot the
+/// manifest under a shared lock and do all file I/O and decompression
+/// outside it, so a week-long retro-scan never stalls Append/Seal.
 class TenantStore {
  public:
   struct Options {
@@ -75,6 +132,20 @@ class TenantStore {
   /// the active tail, in timestamp order.
   common::Result<tsdata::Dataset> Scan(double t0, double t1) const;
 
+  /// Scan with pushdown: time bounds and attribute bounds prune whole
+  /// segments via the manifest zone maps before any file is read.
+  common::Result<tsdata::Dataset> ScanWithOptions(const ScanOptions& options,
+                                                  ScanStats* stats) const;
+
+  /// Streaming form of ScanWithOptions: filtered chunks are delivered in
+  /// timestamp order as segments decode, so the caller can build its
+  /// result (or stop at a row cap) without the store buffering the whole
+  /// range. A non-OK status from `visitor.on_chunk` aborts the scan and
+  /// is returned verbatim.
+  common::Status ScanVisit(const ScanOptions& options,
+                           const ScanVisitor& visitor,
+                           ScanStats* stats) const;
+
   /// The newest `max_rows` rows (or fewer), in timestamp order — the
   /// restart-rehydration path for StreamingMonitor.
   common::Result<tsdata::Dataset> ScanTail(size_t max_rows) const;
@@ -99,6 +170,16 @@ class TenantStore {
   /// Copy of the manifest, oldest first.
   std::vector<SegmentInfo> Manifest() const;
 
+  // Cumulative pushdown counters across every scan since open.
+  uint64_t scans_total() const { return scans_total_.load(); }
+  uint64_t scan_segments_skipped() const {
+    return scan_segments_skipped_.load();
+  }
+  uint64_t scan_segments_decoded() const {
+    return scan_segments_decoded_.load();
+  }
+  uint64_t scan_retries() const { return scan_retries_.load(); }
+
   /// Timestamp of the newest row that is durably sealed on disk, or nullopt
   /// when nothing has sealed yet. Rows after this live only in the active
   /// in-memory segment and do not survive a crash — clients implementing
@@ -113,6 +194,9 @@ class TenantStore {
   void EnforceRetentionLocked();
   common::Status AppendRange(const tsdata::Dataset& src, double t0, double t1,
                              tsdata::Dataset* dst) const;
+  common::Status ScanVisitOnce(const ScanOptions& options,
+                               const ScanVisitor& visitor, ScanStats* stats,
+                               bool* retention_raced) const;
   double last_ts_locked() const;
 
   Options options_;
@@ -124,12 +208,20 @@ class TenantStore {
   uint64_t next_seq_ = 1;
   bool have_last_ts_ = false;
   double last_ts_ = 0.0;
+  /// Bumped once per retention unlink; a scan that hits a missing file
+  /// re-checks this to tell a benign race from real data loss.
+  uint64_t retention_generation_ = 0;
   // Cumulative seal accounting for the compression-ratio gauge; never
   // decremented by retention (the ratio describes the codec, not the
   // current directory).
   uint64_t compressed_total_ = 0;
   uint64_t raw_total_ = 0;
   uint64_t retention_deletes_ = 0;
+  // Scan-side counters mutate under the shared lock, hence atomics.
+  mutable std::atomic<uint64_t> scans_total_{0};
+  mutable std::atomic<uint64_t> scan_segments_skipped_{0};
+  mutable std::atomic<uint64_t> scan_segments_decoded_{0};
+  mutable std::atomic<uint64_t> scan_retries_{0};
 };
 
 }  // namespace dbsherlock::store

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -298,6 +299,95 @@ TEST(WireTest, UnknownErrCodeStillYieldsAFailure) {
     EXPECT_EQ(response->kind, Response::Kind::kErr) << line;
     EXPECT_FALSE(response->error.ok()) << line;
   }
+}
+
+/// Regression (field trimming): QUERY/DIAGNOSE_RANGE used to trim t1 but
+/// not t0, so a tab (or doubled space) before t0 failed the parse. Every
+/// fixed-arity field of every verb now tokenizes on runs of spaces and
+/// tabs, with or without a trailing CRLF.
+TEST(WireTest, FieldsTolerateTabsAndRepeatedSpacesEverywhere) {
+  const std::vector<std::pair<std::string, RequestOp>> lines = {
+      {"QUERY t0\t10.5 99", RequestOp::kQuery},          // tab before t0
+      {"QUERY t0  10.5  99", RequestOp::kQuery},         // doubled spaces
+      {"QUERY\t\tt0 10.5\t99\r", RequestOp::kQuery},     // verb + t1 + CR
+      {"DIAGNOSE_RANGE  t0\t10.5   99", RequestOp::kDiagnoseRange},
+      {"DIAGNOSE_RANGE t0 10.5\t99\r", RequestOp::kDiagnoseRange},
+      {"HELLO\tt0\tcpu:num,mode:cat", RequestOp::kHello},
+      {"HELLO t0  cpu:num,mode:cat\tRETAIN  10\t20", RequestOp::kHello},
+      {"APPEND\tt0  12.5\t1.5,idle", RequestOp::kAppend},
+      {"APPENDSEQ t0\t42  12.5 1.5,idle\r", RequestOp::kAppend},
+      {"DIAGNOSES\tt0", RequestOp::kDiagnoses},
+      {"FLUSH  t0\r", RequestOp::kFlush},
+  };
+  for (const auto& [line, op] : lines) {
+    auto request = ParseRequestLine(line);
+    ASSERT_TRUE(request.ok()) << line << ": " << request.status().ToString();
+    EXPECT_EQ(request->op, op) << line;
+    if (op == RequestOp::kQuery || op == RequestOp::kDiagnoseRange) {
+      EXPECT_DOUBLE_EQ(request->t0, 10.5) << line;
+      EXPECT_DOUBLE_EQ(request->t1, 99.0) << line;
+    }
+  }
+}
+
+TEST(WireTest, ParsesQueryWhereBounds) {
+  auto request =
+      ParseRequestLine("QUERY t0 1 9 WHERE cpu>=1.5; iops<=40 ;cpu<=9");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(request->bounds.size(), 3u);
+  EXPECT_EQ(request->bounds[0].attribute, "cpu");
+  EXPECT_DOUBLE_EQ(request->bounds[0].lo, 1.5);
+  EXPECT_TRUE(std::isinf(request->bounds[0].hi));
+  EXPECT_EQ(request->bounds[1].attribute, "iops");
+  EXPECT_TRUE(std::isinf(request->bounds[1].lo));
+  EXPECT_DOUBLE_EQ(request->bounds[1].hi, 40.0);
+  EXPECT_EQ(request->bounds[2].attribute, "cpu");
+  EXPECT_DOUBLE_EQ(request->bounds[2].hi, 9.0);
+
+  // Negative values parse (the '-' must not be mistaken for an operator).
+  auto negative = ParseRequestLine("QUERY t0 1 9 WHERE lat>=-2.5");
+  ASSERT_TRUE(negative.ok()) << negative.status().ToString();
+  ASSERT_EQ(negative->bounds.size(), 1u);
+  EXPECT_DOUBLE_EQ(negative->bounds[0].lo, -2.5);
+
+  // Empty clauses (a trailing ';') are tolerated, not operator errors.
+  auto trailing = ParseRequestLine("QUERY t0 1 9 WHERE cpu>=1;;");
+  ASSERT_TRUE(trailing.ok()) << trailing.status().ToString();
+  EXPECT_EQ(trailing->bounds.size(), 1u);
+
+  // No trailer: no bounds.
+  auto plain = ParseRequestLine("QUERY t0 1 9");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_TRUE(plain->bounds.empty());
+}
+
+TEST(WireTest, RejectsBadWhereTrailers) {
+  for (const std::string& line : {
+           std::string("QUERY t0 1 9 WHERE"),             // no clauses
+           std::string("QUERY t0 1 9 WHERE cpu=5"),       // bad operator
+           std::string("QUERY t0 1 9 WHERE >=5"),         // missing attr
+           std::string("QUERY t0 1 9 WHERE cpu>=nan"),    // NaN bound
+           std::string("QUERY t0 1 9 WHERE cpu>=x"),      // non-numeric
+           std::string("QUERY t0 1 9 WHERE ;;"),          // only empties
+           std::string("QUERY t0 1 9 HAVING cpu>=1"),     // unknown keyword
+           // DIAGNOSE_RANGE takes no trailer at all: its explanation must
+           // cover the whole window, never a silently-filtered subset.
+           std::string("DIAGNOSE_RANGE t0 1 9 WHERE cpu>=1"),
+       }) {
+    EXPECT_FALSE(ParseRequestLine(line).ok()) << line;
+  }
+}
+
+/// Regression: kResourceExhausted (the DIAGNOSE_RANGE row-cap refusal)
+/// must survive an ERR round-trip with its code intact — a client that
+/// sees kInternal would retry a request that can never succeed.
+TEST(WireTest, ResourceExhaustedErrRoundTripsItsCode) {
+  auto response = ParseResponseLine(
+      ErrLine(common::Status::ResourceExhausted("window has 9e9 rows")));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->kind, Response::Kind::kErr);
+  EXPECT_EQ(response->error.code(), common::StatusCode::kResourceExhausted);
+  EXPECT_NE(response->error.message().find("9e9 rows"), std::string::npos);
 }
 
 /// Fuzz: random byte mutations of valid request/response lines must yield

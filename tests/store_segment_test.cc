@@ -217,5 +217,98 @@ TEST(SegmentCodecTest, RandomGarbageFailsCleanly) {
   }
 }
 
+// --- Zone-map footer (DESIGN.md §14) -----------------------------------
+
+/// Downgrades a v2 blob to the v1 format: strip the zone footer (framed
+/// block + 8-byte trailer) and patch the header version word to 1. This
+/// reconstructs byte-for-byte what the pre-footer encoder produced.
+std::string MakeV1(const std::string& v2) {
+  EXPECT_GE(v2.size(), 8u);
+  uint32_t zone_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    zone_len |= static_cast<uint32_t>(
+                    static_cast<uint8_t>(v2[v2.size() - 8 + i]))
+                << (8 * i);
+  }
+  EXPECT_LT(zone_len + 8u, v2.size());
+  std::string v1 = v2.substr(0, v2.size() - 8 - zone_len);
+  v1[4] = 1;  // little-endian version word: 2 -> 1
+  return v1;
+}
+
+TEST(SegmentCodecTest, ZoneFooterRoundTripsComputeZoneMap) {
+  Dataset d = RandomDataset(17, 200);
+  ZoneMap direct = ComputeZoneMap(d);
+  auto read = ReadSegmentZoneMap(EncodeSegment(d));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->rows, direct.rows);
+  EXPECT_TRUE(BitEqual(read->min_ts, direct.min_ts));
+  EXPECT_TRUE(BitEqual(read->max_ts, direct.max_ts));
+  ASSERT_EQ(read->attrs.size(), direct.attrs.size());
+  for (size_t i = 0; i < direct.attrs.size(); ++i) {
+    EXPECT_TRUE(BitEqual(read->attrs[i].min, direct.attrs[i].min)) << i;
+    EXPECT_TRUE(BitEqual(read->attrs[i].max, direct.attrs[i].max)) << i;
+    EXPECT_EQ(read->attrs[i].non_nan_count, direct.attrs[i].non_nan_count);
+    EXPECT_EQ(read->attrs[i].finite_count, direct.attrs[i].finite_count);
+  }
+}
+
+TEST(SegmentCodecTest, V1BlobStillDecodesButHasNoZoneMap) {
+  Dataset d = RandomDataset(19, 64);
+  std::string v1 = MakeV1(EncodeSegment(d));
+  auto back = DecodeSegment(v1);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectBitIdentical(d, *back);
+  auto meta = ReadSegmentMeta(v1);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->version, 1u);
+  auto zones = ReadSegmentZoneMap(v1);
+  ASSERT_FALSE(zones.ok());
+  EXPECT_EQ(zones.status().code(), common::StatusCode::kNotFound);
+}
+
+TEST(SegmentCodecTest, V2WithoutItsFooterIsCorrupt) {
+  Dataset d = RandomDataset(23, 64);
+  std::string blob = EncodeSegment(d);
+  // Chop the footer but keep the version word at 2: the blob claims a
+  // footer it does not have.
+  std::string torn = MakeV1(blob);
+  torn[4] = 2;
+  EXPECT_FALSE(DecodeSegment(torn).ok());
+  EXPECT_FALSE(ReadSegmentZoneMap(torn).ok());
+  // A v1 blob with trailing junk is equally corrupt.
+  std::string junk = MakeV1(blob) + "xx";
+  EXPECT_FALSE(DecodeSegment(junk).ok());
+}
+
+TEST(SegmentCodecTest, ZoneMapHandlesNaNAndInfColumns) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Dataset d(MixedSchema());
+  ASSERT_TRUE(d.AppendRow(1.0, {kNaN, kInf, std::string("a")}).ok());
+  ASSERT_TRUE(d.AppendRow(2.0, {kNaN, kInf, std::string("b")}).ok());
+  ASSERT_TRUE(d.AppendRow(3.0, {kNaN, 5.0, std::string("a")}).ok());
+  ZoneMap zones = ComputeZoneMap(d);
+  ASSERT_EQ(zones.attrs.size(), 3u);
+  // All-NaN column: no comparable value, every bound prunes it.
+  EXPECT_EQ(zones.attrs[0].non_nan_count, 0u);
+  EXPECT_TRUE(zones.attrs[0].CannotMatch(-kInf, kInf));
+  // ±Inf participates in min/max: a `v >= lo` bound must NOT prune a
+  // column holding +Inf values.
+  EXPECT_EQ(zones.attrs[1].non_nan_count, 3u);
+  EXPECT_EQ(zones.attrs[1].finite_count, 1u);
+  EXPECT_DOUBLE_EQ(zones.attrs[1].min, 5.0);
+  EXPECT_EQ(zones.attrs[1].max, kInf);
+  EXPECT_FALSE(zones.attrs[1].CannotMatch(1e300, kInf));
+  EXPECT_TRUE(zones.attrs[1].CannotMatch(-kInf, 4.0));
+  // Categorical: present and finite, no numeric range.
+  EXPECT_EQ(zones.attrs[2].non_nan_count, 3u);
+  EXPECT_GT(zones.attrs[2].min, zones.attrs[2].max);
+  // The exact same semantics survive the footer round-trip.
+  auto read = ReadSegmentZoneMap(EncodeSegment(d));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->attrs[1].finite_count, 1u);
+}
+
 }  // namespace
 }  // namespace dbsherlock::store

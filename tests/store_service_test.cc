@@ -262,5 +262,96 @@ TEST(StoreServiceTest, HelloRetainConfiguresRetention) {
   service.Stop();
 }
 
+/// Regression: DIAGNOSE_RANGE had no row cap — one hostile range inflated
+/// the whole history into memory. An oversized window is now refused with
+/// ResourceExhausted before decoding it all.
+TEST(StoreServiceTest, DiagnoseRangeRefusesOversizedWindows) {
+  auto model_store = VolatileStore();
+  Service::Options options =
+      StoreOptions(model_store.get(), HistoryRoot("rangecap"));
+  options.max_range_rows = 30;
+  Service service(options);
+  ASSERT_TRUE(service.Hello("t0", TwoNumeric()).ok());
+  for (int t = 0; t < 200; ++t) {
+    AppendBlocking(&service, "t0", t, {10.0 + (t % 7), 40.0});
+  }
+  ASSERT_TRUE(service.Flush("t0").ok());
+
+  // [50, 150) plus 8x context on each side covers all 200 stored rows.
+  auto refused = service.DiagnoseRangeJson("t0", 50.0, 150.0);
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.status().message().find("max-range-rows"),
+            std::string::npos);
+
+  // A region narrow enough that region + context fits the cap still
+  // diagnoses (26 rows <= 30).
+  auto narrow = service.DiagnoseRangeJson("t0", 100.0, 101.5);
+  ASSERT_TRUE(narrow.ok()) << narrow.status().ToString();
+  ASSERT_NE(narrow->Find("scan"), nullptr);
+  service.Stop();
+}
+
+/// QUERY WHERE bounds ride through Service::QueryJson into the store scan:
+/// rows come back filtered, and the response's "scan" block reports what
+/// the zone maps pruned.
+TEST(StoreServiceTest, QueryWhereBoundsFilterRowsEndToEnd) {
+  auto model_store = VolatileStore();
+  Service::Options options =
+      StoreOptions(model_store.get(), HistoryRoot("where"));
+  Service service(options);
+  ASSERT_TRUE(service.Hello("t0", TwoNumeric()).ok());
+  for (int t = 0; t < 100; ++t) {
+    AppendBlocking(&service, "t0", t, {10.0 + t, 40.0});
+  }
+  ASSERT_TRUE(service.Flush("t0").ok());
+
+  std::vector<store::AttributeBound> bounds(1);
+  bounds[0].attribute = "latency";
+  bounds[0].lo = 60.0;
+  bounds[0].hi = 69.0;  // latency = 10 + t, so t in [50, 59]
+  auto rows = service.QueryJson("t0", 0.0, 1000.0, bounds);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->GetNumber("rows").ValueOr(-1.0), 10.0);
+  std::string csv = rows->GetString("csv").ValueOr("");
+  EXPECT_NE(csv.find("\n50,60,40"), std::string::npos);
+  EXPECT_EQ(csv.find("\n49,59,40"), std::string::npos);
+  const common::JsonValue* scan = rows->Find("scan");
+  ASSERT_NE(scan, nullptr);
+  EXPECT_GT(scan->GetNumber("segments").ValueOr(0.0), 0.0);
+  // latency is monotone in t: the 32-row segments outside [60, 69] are
+  // zone-pruned without being decoded.
+  EXPECT_GT(scan->GetNumber("segments_skipped_zone").ValueOr(0.0), 0.0);
+  EXPECT_GE(scan->GetNumber("segments_decoded").ValueOr(-1.0), 1.0);
+
+  // Bounds over an unknown attribute are rejected, not ignored.
+  bounds[0].attribute = "no_such_attr";
+  EXPECT_EQ(service.QueryJson("t0", 0.0, 1000.0, bounds).status().code(),
+            StatusCode::kInvalidArgument);
+  service.Stop();
+}
+
+TEST(StoreServiceTest, StatsReportScanPushdownCounters) {
+  auto model_store = VolatileStore();
+  Service::Options options =
+      StoreOptions(model_store.get(), HistoryRoot("scanstats"));
+  Service service(options);
+  ASSERT_TRUE(service.Hello("t0", TwoNumeric()).ok());
+  for (int t = 0; t < 100; ++t) {
+    AppendBlocking(&service, "t0", t, {10.0, 40.0});
+  }
+  ASSERT_TRUE(service.Flush("t0").ok());
+  // A narrow time window over 3 sealed segments: at most one decodes.
+  ASSERT_TRUE(service.QueryJson("t0", 10.0, 20.0).ok());
+  common::JsonValue stats = service.StatsJson();
+  const common::JsonValue* history =
+      stats.Find("tenants")->Find("t0")->Find("history");
+  ASSERT_NE(history, nullptr);
+  EXPECT_GE(history->GetNumber("scans").ValueOr(0.0), 1.0);
+  EXPECT_GE(history->GetNumber("scan_segments_skipped").ValueOr(-1.0), 2.0);
+  EXPECT_GE(history->GetNumber("scan_segments_decoded").ValueOr(-1.0), 1.0);
+  EXPECT_EQ(history->GetNumber("scan_retries").ValueOr(-1.0), 0.0);
+  service.Stop();
+}
+
 }  // namespace
 }  // namespace dbsherlock::service

@@ -9,13 +9,17 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/faultenv.h"
+#include "store/segment.h"
 #include "tsdata/dataset.h"
 
 namespace dbsherlock::store {
@@ -358,6 +362,250 @@ TEST(TenantStoreTest, FailedSealWriteRecoversToTheLastSealedSegment) {
   // History resumes exactly past the sealed high-water mark.
   EXPECT_FALSE(store->Append(9.0, Row(9, "odd")).ok());
   EXPECT_TRUE(store->Append(10.0, Row(10, "even")).ok());
+}
+
+// --- Zone-map pushdown (DESIGN.md §14) ---------------------------------
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EXPECT_TRUE(out.is_open()) << path;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Downgrades a v2 segment blob to v1: strip the zone footer (framed
+/// block + 8-byte trailer) and patch the version word — byte-for-byte
+/// what the pre-footer encoder wrote.
+std::string MakeV1(const std::string& v2) {
+  EXPECT_GE(v2.size(), 8u);
+  uint32_t zone_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    zone_len |= static_cast<uint32_t>(
+                    static_cast<uint8_t>(v2[v2.size() - 8 + i]))
+                << (8 * i);
+  }
+  std::string v1 = v2.substr(0, v2.size() - 8 - zone_len);
+  v1[4] = 1;
+  return v1;
+}
+
+TEST(TenantStoreTest, ManifestCarriesZoneMaps) {
+  auto store = MustOpen(SmallOptions(StoreDir("zones")));
+  Fill(store.get(), 0, 10);
+  auto manifest = store->Manifest();
+  ASSERT_EQ(manifest.size(), 1u);
+  const ZoneMap& zones = manifest[0].zones;
+  EXPECT_EQ(zones.rows, 10u);
+  EXPECT_DOUBLE_EQ(zones.min_ts, 0.0);
+  EXPECT_DOUBLE_EQ(zones.max_ts, 9.0);
+  ASSERT_EQ(zones.attrs.size(), 2u);
+  EXPECT_DOUBLE_EQ(zones.attrs[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(zones.attrs[0].max, 9.0);
+  EXPECT_EQ(zones.attrs[0].non_nan_count, 10u);
+  EXPECT_EQ(zones.attrs[0].finite_count, 10u);
+  EXPECT_EQ(zones.attrs[1].non_nan_count, 10u);  // categorical: present
+}
+
+TEST(TenantStoreTest, PushdownPrunesSegmentsAndMatchesFullDecode) {
+  auto store = MustOpen(SmallOptions(StoreDir("pushdown")));
+  Fill(store.get(), 0, 50);  // 5 sealed segments, cpu == t
+  // Time pruning alone: [25, 30) lives in exactly one segment.
+  ScanOptions time_opts;
+  time_opts.t0 = 25.0;
+  time_opts.t1 = 30.0;
+  ScanStats time_stats;
+  auto window = store->ScanWithOptions(time_opts, &time_stats);
+  ASSERT_TRUE(window.ok()) << window.status().ToString();
+  EXPECT_EQ(window->num_rows(), 5u);
+  EXPECT_EQ(time_stats.segments_total, 5u);
+  EXPECT_EQ(time_stats.segments_skipped_time, 4u);
+  EXPECT_EQ(time_stats.segments_decoded, 1u);
+  // Attribute pruning: cpu in [35, 44] spans segments 4 and 5 only.
+  ScanOptions zone_opts;
+  zone_opts.bounds.push_back({"cpu", 35.0, 44.0});
+  ScanStats zone_stats;
+  auto bounded = store->ScanWithOptions(zone_opts, &zone_stats);
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  EXPECT_EQ(bounded->num_rows(), 10u);
+  EXPECT_EQ(zone_stats.segments_skipped_zone, 3u);
+  EXPECT_EQ(zone_stats.segments_decoded, 2u);
+  // Parity: the prune-free full decode returns the identical rows.
+  ScanOptions full = zone_opts;
+  full.prune = false;
+  ScanStats full_stats;
+  auto baseline = store->ScanWithOptions(full, &full_stats);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(full_stats.segments_decoded, 5u);
+  EXPECT_EQ(full_stats.segments_skipped_zone, 0u);
+  ASSERT_EQ(baseline->num_rows(), bounded->num_rows());
+  for (size_t i = 0; i < baseline->num_rows(); ++i) {
+    EXPECT_DOUBLE_EQ(baseline->timestamp(i), bounded->timestamp(i));
+    EXPECT_DOUBLE_EQ(baseline->column(0).numeric(i),
+                     bounded->column(0).numeric(i));
+  }
+  // The cumulative pushdown counters moved.
+  EXPECT_GE(store->scans_total(), 3u);
+  EXPECT_GE(store->scan_segments_skipped(), 7u);
+  // Unknown or categorical attributes are rejected, not silently ignored.
+  ScanOptions bad;
+  ScanStats sink;
+  bad.bounds.push_back({"nope", 0.0, 1.0});
+  EXPECT_FALSE(store->ScanWithOptions(bad, &sink).ok());
+  bad.bounds = {{"mode", 0.0, 1.0}};
+  EXPECT_FALSE(store->ScanWithOptions(bad, &sink).ok());
+}
+
+TEST(TenantStoreTest, MaxRowsCapsOutputAndTruncatedIsExact) {
+  auto store = MustOpen(SmallOptions(StoreDir("cap")));
+  Fill(store.get(), 0, 25);  // 2 sealed segments + 5 active rows
+  ScanOptions opts;
+  opts.max_rows = 7;
+  ScanStats stats;
+  auto r = store->ScanWithOptions(opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 7u);
+  EXPECT_DOUBLE_EQ(r->timestamp(6), 6.0);
+  EXPECT_TRUE(stats.truncated);
+  // Exactly as many matches as the cap: NOT truncated — the flag is
+  // exact, never a guess.
+  opts.max_rows = 25;
+  r = store->ScanWithOptions(opts, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 25u);
+  EXPECT_FALSE(stats.truncated);
+  opts.max_rows = 24;
+  r = store->ScanWithOptions(opts, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 24u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(TenantStoreTest, V1SegmentsAreUpgradedInPlaceDuringRecovery) {
+  std::string dir = StoreDir("upgrade");
+  std::vector<std::string> paths;
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 30);
+    for (const auto& seg : store->Manifest()) paths.push_back(seg.path);
+  }
+  ASSERT_EQ(paths.size(), 3u);
+  // Downgrade two of the three files to the footer-less v1 format.
+  for (size_t i = 0; i < 2; ++i) {
+    std::string v1 = MakeV1(ReadFileOrDie(paths[i]));
+    WriteFileOrDie(paths[i], v1);
+    EXPECT_EQ(ReadSegmentZoneMap(v1).status().code(),
+              common::StatusCode::kNotFound);
+  }
+  auto store = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(store->recovery().segments_recovered, 3u);
+  EXPECT_EQ(store->recovery().segments_upgraded, 2u);
+  // The files on disk now carry a readable footer...
+  for (const std::string& path : paths) {
+    EXPECT_TRUE(ReadSegmentZoneMap(ReadFileOrDie(path)).ok()) << path;
+  }
+  // ...no row was lost, and the rebuilt zones drive pruning correctly.
+  auto all = store->ScanTail(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 30u);
+  ScanOptions opts;
+  opts.bounds.push_back({"cpu", 0.0, 5.0});
+  ScanStats stats;
+  auto pruned = store->ScanWithOptions(opts, &stats);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->num_rows(), 6u);
+  EXPECT_EQ(stats.segments_skipped_zone, 2u);
+  // The upgrade happened exactly once: a reopen finds nothing to do.
+  auto again = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(again->recovery().segments_upgraded, 0u);
+}
+
+TEST(TenantStoreTest, ZeroRowSegmentFilesAreDroppedAtRecovery) {
+  std::string dir = StoreDir("emptyseg");
+  {
+    auto store = MustOpen(SmallOptions(dir));
+    Fill(store.get(), 0, 10);
+  }
+  // A crash artifact: an intact, CRC-valid segment holding zero rows.
+  // Pre-fix it entered the manifest stamped min_ts = max_ts = 0.0,
+  // poisoning time pruning and pinning age-based retention.
+  std::string path = dir + "/seg-00000099.dbs";
+  WriteFileOrDie(path, EncodeSegment(tsdata::Dataset(TestSchema())));
+  auto store = MustOpen(SmallOptions(dir));
+  EXPECT_EQ(store->recovery().empty_segments_dropped, 1u);
+  EXPECT_EQ(store->recovery().segments_recovered, 1u);
+  EXPECT_EQ(store->num_segments(), 1u);
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);  // deleted from disk
+  // Appends resume from the real high-water mark, not a phantom t=0.
+  EXPECT_TRUE(store->Append(10.0, Row(10, "even")).ok());
+  auto all = store->ScanTail(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->num_rows(), 11u);
+}
+
+TEST(TenantStoreTest, AppendsAreNotBlockedByASlowScan) {
+  auto store = MustOpen(SmallOptions(StoreDir("noblock")));
+  Fill(store.get(), 0, 40);  // 4 sealed segments
+  // The scan's first segment read stalls 600 ms. Pre-fix, Scan held the
+  // store lock across file I/O + decompression, so these appends queued
+  // behind the stall; now they only touch the active segment.
+  ScopedSchedule schedule("seg.read=stall@1,ms=600,limit=1");
+  std::thread scanner([&store] {
+    ScanOptions opts;
+    ScanStats stats;
+    auto r = store->ScanWithOptions(opts, &stats);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  // Let the scanner take its snapshot and block inside the stalled read.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto t0 = std::chrono::steady_clock::now();
+  Fill(store.get(), 40, 45);  // 5 rows: no seal, no disk I/O
+  double append_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  scanner.join();
+  EXPECT_LT(append_ms, 300.0) << "appends blocked behind a stalled scan";
+}
+
+TEST(TenantStoreTest, ScanRetriesCleanlyWhenRetentionDeletesMidScan) {
+  auto store = MustOpen(SmallOptions(StoreDir("race")));
+  Fill(store.get(), 0, 50);  // 5 sealed segments
+  // Stall the scan's first segment read long enough for retention to
+  // unlink snapshotted segments underneath it.
+  ScopedSchedule schedule("seg.read=stall@1,ms=400,limit=1");
+  common::Status scan_status = common::Status::OK();
+  ScanStats stats;
+  std::thread scanner([&] {
+    ScanOptions opts;
+    auto r = store->ScanWithOptions(opts, &stats);
+    scan_status = r.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  store->SetRetention(/*retain_bytes=*/1, /*retain_age_sec=*/0.0);
+  Fill(store.get(), 50, 60);  // seal -> retention unlinks the old files
+  scanner.join();
+  // The scan retried against the new manifest instead of failing.
+  ASSERT_TRUE(scan_status.ok()) << scan_status.ToString();
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(store->scan_retries(), 1u);
+}
+
+TEST(TenantStoreTest, SegmentVanishingOutsideRetentionIsAnIoError) {
+  auto store = MustOpen(SmallOptions(StoreDir("vanish")));
+  Fill(store.get(), 0, 30);
+  // Deleted by hand, not by retention: the generation check cannot
+  // explain the hole, so this is real data loss, not a benign race.
+  ASSERT_EQ(::unlink(store->Manifest()[0].path.c_str()), 0);
+  ScanOptions opts;
+  ScanStats stats;
+  auto r = store->ScanWithOptions(opts, &stats);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), common::StatusCode::kIoError);
 }
 
 }  // namespace

@@ -104,6 +104,7 @@ int ExitCodeFor(const common::Status& status) {
     case common::StatusCode::kIoError: return 7;
     case common::StatusCode::kParseError: return 8;
     case common::StatusCode::kDeadlineExceeded: return 10;
+    case common::StatusCode::kResourceExhausted: return 11;
     case common::StatusCode::kInternal: return 9;
   }
   return 1;
@@ -625,7 +626,7 @@ int CmdClient(const Args& args) {
     if (!t0.ok()) Die(t0.status());
     auto t1 = common::ParseDouble(parts[1]);
     if (!t1.ok()) Die(t1.status());
-    auto json = query ? (*client)->Query(tenant, *t0, *t1)
+    auto json = query ? (*client)->Query(tenant, *t0, *t1, args.Get("where"))
                       : (*client)->DiagnoseRange(tenant, *t0, *t1);
     if (!json.ok()) Die(json.status());
     if (query && args.Has("csv-out")) {
@@ -686,12 +687,36 @@ int CmdStoreInspect(const Args& args) {
     std::printf("compression: %.3fx of raw CSV\n",
                 tenant_store.compression_ratio());
   }
+  const bool show_zones = args.Has("zones");
+  const tsdata::Schema& schema = tenant_store.schema();
   for (const store::SegmentInfo& seg : tenant_store.Manifest()) {
     std::printf("  seg %08llu  rows %8llu  bytes %8llu  [%.3f, %.3f]  %s\n",
                 static_cast<unsigned long long>(seg.seq),
                 static_cast<unsigned long long>(seg.rows),
                 static_cast<unsigned long long>(seg.bytes), seg.min_ts,
                 seg.max_ts, seg.path.c_str());
+    if (!show_zones) continue;
+    // Per-attribute zone maps (what the scan planner prunes against).
+    for (size_t i = 0; i < seg.zones.attrs.size(); ++i) {
+      const store::AttrZone& zone = seg.zones.attrs[i];
+      std::string name = i < schema.num_attributes()
+                             ? schema.attribute(i).name
+                             : common::StrFormat("attr%zu", i);
+      if (zone.non_nan_count == 0) {
+        std::printf("      zone %-20s  all-NaN\n", name.c_str());
+      } else if (zone.min > zone.max) {
+        // Categorical column: counted, but no numeric range to prune on.
+        std::printf("      zone %-20s  no numeric range  rows %llu\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(zone.non_nan_count));
+      } else {
+        std::printf(
+            "      zone %-20s  [%.6g, %.6g]  non_nan %llu  finite %llu\n",
+            name.c_str(), zone.min, zone.max,
+            static_cast<unsigned long long>(zone.non_nan_count),
+            static_cast<unsigned long long>(zone.finite_count));
+      }
+    }
   }
   return 0;
 }
@@ -808,9 +833,11 @@ int Usage() {
       "            | --teach m.json | --diagnoses --tenant T\n"
       "            | --flush --tenant T\n"
       "            | --query T0:T1 --tenant T [--csv-out]\n"
+      "              [--where \"attr>=v;attr<=v\"]  (zone-map pushdown)\n"
       "            | --diagnose-range T0:T1 --tenant T\n"
       "  store-inspect --dir DIR  (tenant history dir: recovery report,\n"
-      "            schema, segment manifest; --dump prints rows as CSV)\n"
+      "            schema, segment manifest; --dump prints rows as CSV;\n"
+      "            --zones prints per-attribute zone maps per segment)\n"
       "data flags (plot/detect/diagnose/teach/report):\n"
       "  --allow-unsorted  ingest duplicate/out-of-order timestamps\n"
       "  --repair          run the data-quality repair pipeline after load\n"
@@ -824,7 +851,8 @@ int Usage() {
       "  --print-metrics       print the flat metrics snapshot to stderr\n"
       "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
       "  5 out of range, 6 failed precondition, 7 I/O error, 8 parse\n"
-      "  error, 9 internal error, 10 deadline exceeded\n");
+      "  error, 9 internal error, 10 deadline exceeded, 11 resource\n"
+      "  exhausted\n");
   return 2;
 }
 

@@ -82,6 +82,7 @@ int ExitCodeFor(const common::Status& status) {
     case common::StatusCode::kIoError: return 7;
     case common::StatusCode::kParseError: return 8;
     case common::StatusCode::kDeadlineExceeded: return 10;
+    case common::StatusCode::kResourceExhausted: return 11;
     case common::StatusCode::kInternal: return 9;
   }
   return 1;
@@ -109,6 +110,9 @@ int Usage() {
       "                        QUERY / DIAGNOSE_RANGE and restart\n"
       "                        rehydration; omitted = window-only\n"
       "  --seal-rows N         rows per sealed segment (default 512)\n"
+      "  --max-range-rows N    DIAGNOSE_RANGE window row cap; larger\n"
+      "                        windows are refused with ResourceExhausted\n"
+      "                        (default 500000, 0 = unlimited)\n"
       "  --retain-bytes N      per-tenant history byte budget (0 = off)\n"
       "  --retain-sec S        per-tenant history age limit (0 = off)\n"
       "  --max-tenants N       idle-LRU tenant cap (default 64)\n"
@@ -132,7 +136,8 @@ int Usage() {
       "drain and exit 0\n"
       "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
       "  5 out of range, 6 failed precondition, 7 I/O error, 8 parse\n"
-      "  error, 9 internal error, 10 deadline exceeded\n");
+      "  error, 9 internal error, 10 deadline exceeded, 11 resource\n"
+      "  exhausted\n");
   return 2;
 }
 
@@ -190,6 +195,8 @@ int CmdServe(const Args& args) {
   options.retry_after_ms =
       static_cast<int>(args.GetDouble("retry-after-ms", 20));
   options.min_confidence = args.GetDouble("lambda", 20.0);
+  options.max_range_rows =
+      static_cast<size_t>(args.GetDouble("max-range-rows", 500000));
   options.store = store->get();
   service::Service service(options);
 

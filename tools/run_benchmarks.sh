@@ -25,8 +25,12 @@
 #                 diagnosis); the exit status is the verdict.
 #   --store       run the embedded time-series store benchmark (append
 #                 throughput, scan latency vs range length, compression
-#                 ratio vs raw CSV; default BENCH_store.json). Exit status
-#                 is nonzero unless the ratio meets the <= 0.35x bound.
+#                 ratio vs raw CSV, the retained-history scan curve with
+#                 zone-map segment skip/decode counts, and a predicate-
+#                 pushdown demo checked bit-identical against the full
+#                 decode; default BENCH_store.json). Exit status is
+#                 nonzero unless the ratio meets the <= 0.35x bound and
+#                 the pushdown parity check passes.
 #   --chaos       run the crash-chaos sweep: 25 seeded episodes of kill -9
 #                 and injected I/O/network faults against the real daemon
 #                 binary, asserting exactly-once ingest, durable models,
