@@ -104,7 +104,8 @@ Status DaemonProcess::Start(const Options& options) {
     ::dup2(fds[1], STDOUT_FILENO);
     ::close(fds[0]);
     ::close(fds[1]);
-    std::vector<const char*> argv = {options.binary.c_str(), "serve"};
+    std::vector<const char*> argv = {options.binary.c_str(),
+                                     options.command.c_str()};
     for (const std::string& arg : options.args) argv.push_back(arg.c_str());
     argv.push_back(nullptr);
     ::execv(options.binary.c_str(), const_cast<char* const*>(argv.data()));

@@ -27,7 +27,10 @@ class DaemonProcess {
     /// Path to the dbsherlockd binary (tests pass their compile-time
     /// DBSHERLOCK_DAEMON_PATH definition here).
     std::string binary;
-    /// Flags after `serve` (--port 0 --wal-dir ... --fault-schedule ...).
+    /// Daemon subcommand: "serve" (a shard) or "route" (the fleet
+    /// router) — both print the LISTENING handshake.
+    std::string command = "serve";
+    /// Flags after the subcommand (--port 0 --wal-dir ... etc.).
     std::vector<std::string> args;
   };
 

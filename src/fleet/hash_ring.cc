@@ -1,0 +1,71 @@
+#include "fleet/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace dbsherlock::fleet {
+
+uint64_t HashRing::Hash(std::string_view key) {
+  // FNV-1a 64: platform-independent, so routers on different hosts agree.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  // Raw FNV-1a avalanches poorly on the keys this ring actually sees —
+  // short "t<N>" tenant names and "host:port#vnode" points sharing a long
+  // prefix cluster into narrow bands, which can starve whole shards (a
+  // 4-shard ring measured 0/0/10/190 across 200 tenants). The murmur3
+  // fmix64 finalizer spreads those bands over the full 64-bit ring.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+HashRing::HashRing(std::vector<std::string> shards, size_t vnodes_per_shard)
+    : shards_(std::move(shards)),
+      vnodes_(std::max<size_t>(1, vnodes_per_shard)) {
+  ring_.reserve(shards_.size() * vnodes_);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t v = 0; v < vnodes_; ++v) {
+      std::string point = common::StrFormat("%s#%zu", shards_[s].c_str(), v);
+      ring_.push_back(Point{Hash(point), static_cast<uint32_t>(s)});
+    }
+  }
+  // Ties (identical hash points, e.g. duplicate shard labels) resolve to
+  // the lowest shard index so the map stays deterministic.
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+size_t HashRing::ShardFor(std::string_view tenant) const {
+  if (ring_.empty()) return 0;
+  uint64_t h = Hash(tenant);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->shard;
+}
+
+size_t HashRing::ShardFor(std::string_view tenant,
+                          const std::vector<bool>& down) const {
+  if (ring_.empty()) return 0;
+  uint64_t h = Hash(tenant);
+  auto start = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, uint64_t value) { return p.hash < value; });
+  size_t begin = static_cast<size_t>(start - ring_.begin());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[(begin + i) % ring_.size()];
+    if (p.shard >= down.size() || !down[p.shard]) return p.shard;
+  }
+  return ShardFor(tenant);  // everything down: deterministic fallback
+}
+
+}  // namespace dbsherlock::fleet

@@ -1,0 +1,60 @@
+#ifndef DBSHERLOCK_FLEET_HASH_RING_H_
+#define DBSHERLOCK_FLEET_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dbsherlock::fleet {
+
+/// Deterministic consistent-hash ring mapping tenant names onto shards
+/// (DESIGN.md §15). Each shard owns a fixed number of virtual nodes placed
+/// at FNV-1a-64 hash points of "<shard>#<vnode>"; a tenant maps to the
+/// shard owning the first point clockwise of the tenant's own hash. The
+/// placement depends only on the shard address list and the vnode count,
+/// so every router instance (and every restart) computes the same map,
+/// and adding one shard to an N-shard ring remaps only the keys whose
+/// covering arcs the new shard's points split — about 1/(N+1) of them,
+/// never more than ~2/N with the default vnode count (hash_ring_test
+/// asserts the bound).
+class HashRing {
+ public:
+  /// `shards` are opaque labels (the router uses host:port strings). The
+  /// ring is empty when `shards` is; ShardFor then returns 0 and callers
+  /// must check num_shards() first. Duplicate labels keep their first
+  /// index (their vnode points collide deterministically).
+  explicit HashRing(std::vector<std::string> shards,
+                    size_t vnodes_per_shard = 64);
+
+  /// Index into shards() of the tenant's owner.
+  size_t ShardFor(std::string_view tenant) const;
+
+  /// The owner walking clockwise from the tenant's point, skipping shards
+  /// marked true in `down` (size num_shards()). Falls back to ShardFor
+  /// when every shard is down.
+  size_t ShardFor(std::string_view tenant,
+                  const std::vector<bool>& down) const;
+
+  const std::vector<std::string>& shards() const { return shards_; }
+  size_t num_shards() const { return shards_.size(); }
+  size_t vnodes_per_shard() const { return vnodes_; }
+
+  /// The stable 64-bit point hash (FNV-1a); exposed so tests can assert
+  /// determinism against an independent implementation.
+  static uint64_t Hash(std::string_view key);
+
+ private:
+  struct Point {
+    uint64_t hash;
+    uint32_t shard;
+  };
+
+  std::vector<std::string> shards_;
+  size_t vnodes_;
+  std::vector<Point> ring_;  // sorted by hash, ties by shard index
+};
+
+}  // namespace dbsherlock::fleet
+
+#endif  // DBSHERLOCK_FLEET_HASH_RING_H_

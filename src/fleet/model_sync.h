@@ -1,0 +1,100 @@
+#ifndef DBSHERLOCK_FLEET_MODEL_SYNC_H_
+#define DBSHERLOCK_FLEET_MODEL_SYNC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/client.h"
+#include "service/service.h"
+
+namespace dbsherlock::fleet {
+
+/// Background replication puller (DESIGN.md §15): every shard runs one of
+/// these next to its Service, periodically asking each peer shard
+/// `MODELSYNC <since_seq>` and folding the returned causal-model corpus
+/// into the local durable store, so every shard ranks anomalies against
+/// the fleet-wide knowledge no matter which shard learned a model first.
+///
+/// Pull protocol per peer:
+///   - `since_seq` is the peer's store sequence number at the last
+///     successful pull; a peer whose store has not advanced answers with
+///     an empty models list (cheap steady-state heartbeat).
+///   - The response's CRC-32 is recomputed over the re-serialized models
+///     array; a mismatch (torn or faulted transfer) discards the pull.
+///   - Apply is idempotent: a model byte-identical to one already held is
+///     skipped, and a model whose merge into the local corpus would be a
+///     no-op is skipped too — so mutual pulls between peers converge
+///     instead of echoing models (and WAL records) back and forth.
+///   - Everything else goes through Service::Teach, i.e. the same
+///     WAL-then-merge path as a client TEACH.
+class ModelSyncPuller {
+ public:
+  struct Options {
+    /// Peer shards as "host:port" (exclude this shard's own address).
+    std::vector<std::string> peers;
+    /// Delay between pull rounds.
+    int interval_ms = 1000;
+    /// Upstream timeouts for one pull.
+    int connect_timeout_ms = 500;
+    int deadline_ms = 5000;
+    /// The local engine (apply path) — required, not owned.
+    service::Service* service = nullptr;
+  };
+
+  /// Per-peer accounting, readable while the puller runs.
+  struct PeerStats {
+    std::string address;
+    uint64_t last_seq = 0;      // peer store seq covered by pulls so far
+    uint64_t pulls = 0;         // successful MODELSYNC exchanges
+    uint64_t applied = 0;       // models taught into the local store
+    uint64_t skipped = 0;       // duplicates / no-op merges
+    uint64_t crc_failures = 0;  // pulls discarded on checksum mismatch
+    uint64_t errors = 0;        // connect/call failures
+  };
+
+  static common::Result<std::unique_ptr<ModelSyncPuller>> Start(
+      Options options);
+
+  ~ModelSyncPuller();
+
+  ModelSyncPuller(const ModelSyncPuller&) = delete;
+  ModelSyncPuller& operator=(const ModelSyncPuller&) = delete;
+
+  void Stop();
+
+  /// One synchronous pull round over every peer (tests drive this
+  /// directly; the background thread calls it on its interval).
+  void RunOnce();
+
+  std::vector<PeerStats> peer_stats() const;
+
+ private:
+  struct Peer {
+    std::string host;
+    int port = 0;
+    PeerStats stats;
+    std::unique_ptr<service::Client> client;
+  };
+
+  explicit ModelSyncPuller(Options options);
+
+  void Run();
+  void PullPeer(Peer& peer);
+
+  Options options_;
+  std::vector<Peer> peers_;
+  mutable std::mutex mu_;  // guards peers_ (stats + clients) and stop_
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace dbsherlock::fleet
+
+#endif  // DBSHERLOCK_FLEET_MODEL_SYNC_H_

@@ -199,6 +199,12 @@ Client::~Client() {
 }
 
 Result<Response> Client::Call(const std::string& line) {
+  auto raw = CallRaw(line);
+  if (!raw.ok()) return raw.status();
+  return ParseResponseLine(*raw);
+}
+
+Result<std::string> Client::CallRaw(const std::string& line) {
   if (fd_ < 0) {
     return Status::FailedPrecondition("client is disconnected; Reconnect()");
   }
@@ -222,7 +228,8 @@ Result<Response> Client::Call(const std::string& line) {
     if (newline != std::string::npos) {
       std::string response = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
-      return ParseResponseLine(response);
+      if (!response.empty() && response.back() == '\r') response.pop_back();
+      return response;
     }
     if (buffer_.size() > kMaxLine) {
       return Status::ParseError("response line too long");
@@ -436,6 +443,11 @@ Result<common::JsonValue> Client::Models() {
 
 Result<common::JsonValue> Client::Health() {
   return ExpectJson(Call("HEALTH"));
+}
+
+Result<common::JsonValue> Client::ModelSync(uint64_t since_seq) {
+  return ExpectJson(Call(common::StrFormat(
+      "MODELSYNC %llu", static_cast<unsigned long long>(since_seq))));
 }
 
 Status Client::Ping() { return ExpectOk(Call("PING")); }

@@ -69,6 +69,11 @@ class Client {
   /// Options::deadline_ms across the whole send+receive exchange.
   common::Result<Response> Call(const std::string& line);
 
+  /// Sends one raw request line and returns the raw response line
+  /// verbatim (no parsing, no re-serialization) — the router's proxy
+  /// path, which forwards whatever the shard said byte-for-byte.
+  common::Result<std::string> CallRaw(const std::string& line);
+
   /// Drops and re-establishes the connection (same host/port/options).
   /// Any buffered partial response is discarded.
   common::Status Reconnect();
@@ -129,6 +134,9 @@ class Client {
                                                   double t0, double t1);
   common::Result<common::JsonValue> Stats();
   common::Result<common::JsonValue> Models();
+  /// Replication pull (MODELSYNC): the shard's model corpus past
+  /// `since_seq` as {"last_seq":N,"crc":C,"models":[...]}.
+  common::Result<common::JsonValue> ModelSync(uint64_t since_seq);
   /// Degraded-mode state (HEALTH): {"state":"ok|degraded|draining",...}.
   common::Result<common::JsonValue> Health();
   common::Status Ping();

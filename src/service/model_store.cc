@@ -28,27 +28,6 @@ constexpr int kSnapshotVersion = 1;
 /// larger length field can only come from a torn/garbage header.
 constexpr uint32_t kMaxPayload = 16u << 20;
 
-/// Reflected CRC-32 (poly 0xEDB88320), the variant used by zlib/ethernet.
-/// Table built on first use; reads after that are immutable.
-uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed = 0) {
-  static const std::array<uint32_t, 256> kTable = [] {
-    std::array<uint32_t, 256> table{};
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      table[i] = c;
-    }
-    return table;
-  }();
-  uint32_t crc = ~seed;
-  for (size_t i = 0; i < n; ++i) {
-    crc = kTable[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return ~crc;
-}
-
 void PutU32(uint8_t* out, uint32_t v) {
   out[0] = static_cast<uint8_t>(v);
   out[1] = static_cast<uint8_t>(v >> 8);
@@ -93,6 +72,28 @@ Status WriteAll(const char* site, int fd, const uint8_t* data, size_t n,
 }
 
 }  // namespace
+
+/// Reflected CRC-32 (poly 0xEDB88320), the variant used by zlib/ethernet.
+/// Table built on first use; reads after that are immutable.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
 
 DurableModelStore::DurableModelStore(Options options)
     : options_(std::move(options)) {}
@@ -312,6 +313,11 @@ Status DurableModelStore::Add(const core::CausalModel& model) {
   }
   if (wal_fd_ >= 0) {
     DBSHERLOCK_RETURN_NOT_OK(AppendRecordLocked(model));
+  } else {
+    // Volatile store: no WAL record, but the sequence still advances —
+    // MODELSYNC peers poll `last_seq = next_seq - 1` to learn there is
+    // something new to pull, durable or not.
+    ++next_seq_;
   }
   // In-memory merge happens only after durability: on any WAL error the
   // caller sees the failure and the repository is unchanged.

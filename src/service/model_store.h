@@ -13,6 +13,11 @@
 
 namespace dbsherlock::service {
 
+/// Reflected CRC-32 (poly 0xEDB88320, zlib variant). Shared by the WAL
+/// record framing below and the MODELSYNC replication payload check, so
+/// both ends of a model transfer agree on the checksum byte-for-byte.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
 /// Durability layer around core::ModelRepository: the causal knowledge the
 /// service accumulates (Section 6 of the paper, "over the lifetime of a
 /// database operation") must survive daemon restarts, and is shared by

@@ -45,6 +45,11 @@ Result<std::unique_ptr<Server>> Server::Start(Options options) {
   }
   auto server = std::unique_ptr<Server>(new Server(std::move(options)));
 
+  if (server->options_.io_mode == IoMode::kEpoll) {
+    DBSHERLOCK_RETURN_NOT_OK(server->StartEpoll());
+    return server;
+  }
+
   int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return Status::IoError(std::string("socket: ") + std::strerror(errno));
@@ -94,6 +99,56 @@ Result<std::unique_ptr<Server>> Server::Start(Options options) {
 
 Server::~Server() { Stop(); }
 
+Status Server::StartEpoll() {
+  fleet::EventLoop::Options loop_options;
+  loop_options.host = options_.host;
+  loop_options.port = options_.port;
+  loop_options.max_connections = options_.max_connections;
+  loop_options.max_line_bytes = options_.max_line_bytes;
+  loop_options.idle_timeout_ms = options_.idle_timeout_ms;
+  loop_options.handler_threads = options_.handler_threads;
+  // The loop is protocol-agnostic; render its canned responses with the
+  // same wire helpers the dispatcher uses so both modes stay
+  // byte-identical on the wire.
+  loop_options.shed_response = RetryAfterLine(options_.accept_retry_after_ms);
+  loop_options.oversized_response =
+      ErrLine(Status::ParseError("request line too long"));
+  loop_options.handler = [this](const std::string& line, bool* quit) {
+    return HandleLine(line, quit);
+  };
+  loop_options.offload = [](const std::string& line) {
+    return ShouldOffload(line);
+  };
+  auto loop = fleet::EventLoop::Start(std::move(loop_options));
+  if (!loop.ok()) return loop.status();
+  loop_ = std::move(*loop);
+  port_ = loop_->port();
+  return Status::OK();
+}
+
+bool Server::ShouldOffload(const std::string& line) {
+  // Inline (loop-thread) verbs must never block: PING/QUIT are trivial
+  // and APPEND's bounded queue sheds instead of blocking. Everything
+  // else — FLUSH waits on drains, TEACH fsyncs the WAL, HELLO may open a
+  // history store, reads serialize JSON under locks — goes to the pool.
+  if (line.empty()) return false;  // cheap parse error
+  if (line[0] == '{') {
+    // JSON append is inline; JSON hello (store I/O) is not.
+    return line.find("\"op\":\"append\"") == std::string::npos;
+  }
+  size_t end = line.find_first_of(" \t\r");
+  std::string_view verb(line.data(), end == std::string::npos ? line.size()
+                                                              : end);
+  return !(verb == "APPEND" || verb == "APPENDSEQ" || verb == "PING" ||
+           verb == "QUIT");
+}
+
+size_t Server::live_connections() const {
+  if (loop_ != nullptr) return loop_->live_connections();
+  std::lock_guard lock(conn_mu_);
+  return conn_fds_.size();
+}
+
 void Server::AcceptLoop() {
   for (;;) {
     int listen_fd = listen_fd_.load();
@@ -110,23 +165,28 @@ void Server::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
+    auto& metrics = common::MetricsRegistry::Global();
     size_t live;
     {
       std::lock_guard lock(conn_mu_);
       if (conn_fds_.size() >= options_.max_connections) {
-        (void)SendAll(fd, ErrLine(Status::FailedPrecondition(
-                              "connection limit reached")) +
-                              "\n");
+        // Shed with a retry hint instead of an opaque error: the client
+        // backs off (BackoffSleepMs honors RETRY_AFTER) and no thread is
+        // spent on a connection we cannot serve.
+        (void)SendAll(fd,
+                      RetryAfterLine(options_.accept_retry_after_ms) + "\n");
         ::close(fd);
+        accepts_shed_.fetch_add(1, std::memory_order_relaxed);
+        metrics.GetCounter("server.accepts_shed")->Increment();
         continue;
       }
       conn_fds_.insert(fd);
       live = conn_fds_.size();
     }
     connections_handled_.fetch_add(1, std::memory_order_relaxed);
-    common::MetricsRegistry::Global()
-        .GetCounter("server.connections")
-        ->Increment();
+    metrics.GetCounter("server.connections")->Increment();
+    metrics.GetGauge("server.connections_live")
+        ->Set(static_cast<double>(live));
     // Each live connection needs a dedicated worker: readers block in
     // recv, so the pool must match the connection count.
     workers_->EnsureAtLeast(live);
@@ -183,12 +243,18 @@ void Server::HandleConnection(int fd) {
       break;
     }
   }
-  // Deregister before close so Stop never shutdown()s a recycled fd.
+  // Deregister before close so Stop never shutdown()s a recycled fd, and
+  // so the live gauge drops the moment the connection stops being served
+  // (not when its thread is eventually joined).
+  size_t live;
   {
     std::lock_guard lock(conn_mu_);
     conn_fds_.erase(fd);
+    live = conn_fds_.size();
     conn_done_.notify_all();
   }
+  metrics.GetGauge("server.connections_live")
+      ->Set(static_cast<double>(live));
   ::close(fd);
 }
 
@@ -293,6 +359,8 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
       return OkLine(service.StatsJson().Dump());
     case RequestOp::kModels:
       return OkLine(service.ModelsJson().Dump());
+    case RequestOp::kModelSync:
+      return OkLine(service.ModelSyncJson(request.model_sync_since).Dump());
     case RequestOp::kHealth:
       return OkLine(service.HealthJson().Dump());
   }
@@ -301,6 +369,10 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
 
 void Server::Stop() {
   if (stopping_.exchange(true)) return;
+  if (loop_ != nullptr) {
+    loop_->Stop();
+    return;
+  }
   // shutdown() pops AcceptLoop out of accept(); the fd is closed only
   // after the accept thread joins, so its number cannot be recycled
   // under a racing accept4().

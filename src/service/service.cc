@@ -701,6 +701,28 @@ common::JsonValue Service::ModelsJson() const {
   return core::RepositoryToJson(options_.store->SnapshotRepository());
 }
 
+common::JsonValue Service::ModelSyncJson(uint64_t since_seq) const {
+  common::JsonValue::Object out;
+  uint64_t last_seq = 0;
+  common::JsonValue::Array models;
+  if (options_.store != nullptr) {
+    last_seq = options_.store->next_seq() - 1;
+    if (last_seq > since_seq) {
+      core::ModelRepository repo = options_.store->SnapshotRepository();
+      models.reserve(repo.models().size());
+      for (const core::CausalModel& model : repo.models()) {
+        models.push_back(core::CausalModelToJson(model));
+      }
+    }
+  }
+  common::JsonValue models_json{std::move(models)};
+  std::string text = models_json.Dump();
+  out["last_seq"] = static_cast<double>(last_seq);
+  out["crc"] = static_cast<double>(Crc32(text.data(), text.size()));
+  out["models"] = std::move(models_json);
+  return common::JsonValue(std::move(out));
+}
+
 void Service::Stop() {
   if (stopped_.exchange(true)) return;
   accepting_.store(false);

@@ -159,6 +159,13 @@ class Service {
   /// The shared store's repository as model_io JSON (MODELS verb).
   common::JsonValue ModelsJson() const;
 
+  /// Replication pull response (MODELSYNC verb, DESIGN.md §15):
+  /// {"last_seq":N,"crc":C,"models":[...]}. `models` holds the full
+  /// corpus when the store has advanced past `since_seq` and is empty
+  /// when the caller is current; `crc` is Crc32 over the compact dump of
+  /// the models array so a torn transfer is detected before apply.
+  common::JsonValue ModelSyncJson(uint64_t since_seq) const;
+
   /// Stops accepting, drains acked rows and in-flight diagnoses, joins
   /// workers. Idempotent; the destructor calls it.
   void Stop();

@@ -237,6 +237,21 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
     request.op = RequestOp::kModels;
     return request;
   }
+  if (verb == "MODELSYNC") {
+    request.op = RequestOp::kModelSync;
+    std::string since_text = NextField(&rest);
+    auto since = common::ParseInt64(since_text);
+    if (!since.ok() || *since < 0) {
+      return Status::InvalidArgument("bad MODELSYNC since_seq: " +
+                                     since_text);
+    }
+    if (!rest.empty()) {
+      return Status::InvalidArgument("MODELSYNC takes only a sequence "
+                                     "number");
+    }
+    request.model_sync_since = static_cast<uint64_t>(*since);
+    return request;
+  }
   if (verb == "HEALTH") {
     request.op = RequestOp::kHealth;
     return request;

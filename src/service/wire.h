@@ -30,6 +30,7 @@ namespace dbsherlock::service {
 ///     DIAGNOSE_RANGE <tenant> <t0> <t1>               diagnose [t0,t1)
 ///     STATS
 ///     MODELS
+///     MODELSYNC <since_seq>                           replication pull
 ///     HEALTH
 ///     PING
 ///     QUIT
@@ -52,6 +53,18 @@ namespace dbsherlock::service {
 ///
 /// HEALTH reports the daemon's degraded-mode state:
 ///     OK {"state":"ok|degraded|draining","reason":...}
+///
+/// MODELSYNC serves the shard's durable causal-model corpus to a peer
+/// (DESIGN.md §15). `since_seq` is the highest store sequence number the
+/// caller has already applied; the response is
+///     OK {"last_seq":N,"crc":C,"models":[...]}
+/// where `models` holds every model in model_io JSON form when the store
+/// has advanced past `since_seq`, or is empty when the peer is already
+/// current (last_seq <= since_seq). `crc` is CRC-32 over the serialized
+/// `models` array text, so a pull torn by a mid-stream fault is detected
+/// and discarded rather than half-applied. Apply is idempotent: receivers
+/// skip models whose exact JSON they already hold, so mutual pulls
+/// between peers converge instead of echoing models back and forth.
 ///
 /// HELLO's optional RETAIN clause arms the tenant's history store
 /// retention (0 = unlimited); QUERY/DIAGNOSE_RANGE read that store, so
@@ -87,6 +100,7 @@ enum class RequestOp {
   kDiagnoseRange,
   kStats,
   kModels,
+  kModelSync,
   kHealth,
   kPing,
   kQuit,
@@ -112,6 +126,7 @@ struct Request {
   bool has_retain = false;               // hello RETAIN clause present
   uint64_t retain_bytes = 0;             // 0 = unlimited
   double retain_age_sec = 0.0;           // 0 = unlimited
+  uint64_t model_sync_since = 0;         // modelsync: highest applied seq
 };
 
 /// Parses one request line (no trailing newline; a trailing '\r' is

@@ -452,7 +452,7 @@ int CmdModels(const Args& args) {
 /// `dbsherlock client`: drive a running dbsherlockd over its wire protocol
 /// (see src/service/wire.h and README "Running the daemon"). One action
 /// per invocation:
-///   --ping | --stats | --models | --health
+///   --ping | --stats | --models | --modelsync [SEQ] | --health
 ///   --hello --tenant T --schema "cpu:num,mode:cat"
 ///   --append-csv f.csv --tenant T   (HELLOs with the CSV's schema, then
 ///                                    streams every row, honoring
@@ -507,6 +507,19 @@ int CmdClient(const Args& args) {
   }
   if (args.Has("stats") || args.Has("models")) {
     auto json = args.Has("stats") ? (*client)->Stats() : (*client)->Models();
+    if (!json.ok()) Die(json.status());
+    std::printf("%s\n", json->Dump(2).c_str());
+    return 0;
+  }
+  if (args.Has("modelsync")) {
+    // The replication pull a shard peer would make: model corpus with
+    // store seq + CRC (see fleet/model_sync.h).
+    auto since = common::ParseInt64(args.Get("modelsync", "0"));
+    if (!since.ok() || *since < 0) {
+      std::fprintf(stderr, "--modelsync wants a since-seq >= 0\n");
+      return 2;
+    }
+    auto json = (*client)->ModelSync(static_cast<uint64_t>(*since));
     if (!json.ok()) Die(json.status());
     std::printf("%s\n", json->Dump(2).c_str());
     return 0;
@@ -642,7 +655,7 @@ int CmdClient(const Args& args) {
   std::fprintf(stderr,
                "client: pick one of --ping --hello --append-csv --teach "
                "--diagnoses --flush --query --diagnose-range --stats "
-               "--models --health --raw\n");
+               "--models --modelsync --health --raw\n");
   return 2;
 }
 
@@ -826,7 +839,8 @@ int Usage() {
       "  client    --connect host:port  (drive a running dbsherlockd)\n"
       "            [--connect-timeout-ms N] [--deadline-ms N]  (0 = wait\n"
       "              forever; a missed deadline exits 10)\n"
-      "            --ping | --stats | --models | --health | --raw \"LINE\"\n"
+      "            --ping | --stats | --models | --modelsync [SEQ] |\n"
+      "            --health | --raw \"LINE\"\n"
       "            | --hello --tenant T --schema \"a:num,b:cat\"\n"
       "            | --append-csv f.csv --tenant T  (streams in bounded\n"
       "              batches, honoring RETRY_AFTER backpressure)\n"

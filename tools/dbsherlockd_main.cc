@@ -21,6 +21,8 @@
 #include "common/faultenv.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "fleet/model_sync.h"
+#include "fleet/router.h"
 #include "service/model_store.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -100,7 +102,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: dbsherlockd serve [flags]\n"
-      "flags:\n"
+      "       dbsherlockd route --shards host:port,... [flags]\n"
+      "serve flags:\n"
       "  --host H              listen address (default 127.0.0.1)\n"
       "  --port P              listen port; 0 = ephemeral (default 7379)\n"
       "  --wal-dir DIR         durable model store directory (snapshot +\n"
@@ -120,9 +123,21 @@ int Usage() {
       "  --ingest-workers N    drain threads (default 2)\n"
       "  --diagnosis-workers N diagnosis threads (default 2)\n"
       "  --retry-after-ms N    backpressure delay hint (default 20)\n"
-      "  --max-connections N   concurrent client cap (default 64)\n"
+      "  --process-delay-us N  per-row drain stall for tests/benches "
+      "(default 0)\n"
+      "  --max-connections N   concurrent client cap; accepts past it are\n"
+      "                        shed with RETRY_AFTER (default 64)\n"
       "  --idle-timeout-ms N   close connections idle this long (0 = off)\n"
       "  --max-line-bytes N    request line cap (default 1 MiB)\n"
+      "  --io-mode M           connection handling: 'threads' (one thread\n"
+      "                        per connection) or 'epoll' (edge-triggered\n"
+      "                        event loop + handler pool; default threads)\n"
+      "  --handler-threads N   epoll-mode handler pool width (default 4)\n"
+      "  --peers host:port,... peer shards to pull causal models from via\n"
+      "                        MODELSYNC (fleet replication)\n"
+      "  --modelsync-interval-ms N\n"
+      "                        delay between replication pulls (default\n"
+      "                        1000; 0 disables the background puller)\n"
       "  --fault-schedule S    install a fault-injection schedule (see\n"
       "                        common/faultenv.h; also honors the\n"
       "                        DBSHERLOCK_FAULT_SCHEDULE env var)\n"
@@ -132,6 +147,19 @@ int Usage() {
       "  --lambda L            min confidence for ranked causes\n"
       "  --metrics-out f.json  write the metrics snapshot on shutdown\n"
       "  --print-metrics       print the metrics snapshot on shutdown\n"
+      "route flags:\n"
+      "  --shards host:port,.. shard daemons, in ring order (required)\n"
+      "  --host/--port         listen address (default 127.0.0.1:7380)\n"
+      "  --vnodes N            virtual nodes per shard on the consistent-\n"
+      "                        hash ring (default 64)\n"
+      "  --handler-threads N   proxy handler pool width (default 8)\n"
+      "  --max-connections N   client cap, shed with RETRY_AFTER (def 256)\n"
+      "  --upstream-deadline-ms N  per-request shard deadline (def 5000)\n"
+      "  --upstream-attempts N idempotent retry budget (default 3)\n"
+      "  --down-cooldown-ms N  circuit-breaker cooldown after a shard\n"
+      "                        failure (default 2000)\n"
+      "  --fault-schedule, --idle-timeout-ms, --max-line-bytes,\n"
+      "  --metrics-out, --print-metrics as for serve\n"
       "on start, prints \"LISTENING <port>\" on stdout; SIGINT/SIGTERM\n"
       "drain and exit 0\n"
       "exit codes: 0 ok, 2 usage, 3 invalid argument, 4 not found,\n"
@@ -139,6 +167,28 @@ int Usage() {
       "  error, 9 internal error, 10 deadline exceeded, 11 resource\n"
       "  exhausted\n");
   return 2;
+}
+
+/// Shared --metrics-out / --print-metrics shutdown handling.
+int WriteMetricsOutputs(const Args& args) {
+  if (args.Has("metrics-out")) {
+    std::string path = args.Get("metrics-out");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 7;
+    }
+    std::string snapshot =
+        common::MetricsRegistry::Global().SnapshotJson().Dump(2);
+    std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  if (args.Has("print-metrics")) {
+    std::fputs(common::MetricsRegistry::Global().SnapshotText().c_str(),
+               stderr);
+  }
+  return 0;
 }
 
 int CmdServe(const Args& args) {
@@ -194,6 +244,10 @@ int CmdServe(const Args& args) {
       static_cast<size_t>(args.GetDouble("diagnosis-workers", 2));
   options.retry_after_ms =
       static_cast<int>(args.GetDouble("retry-after-ms", 20));
+  // Test/bench hook: per-row drain stall, to make ingest CPU-bound work
+  // visible on fast machines (0 = off).
+  options.process_delay_us =
+      static_cast<int>(args.GetDouble("process-delay-us", 0));
   options.min_confidence = args.GetDouble("lambda", 20.0);
   options.max_range_rows =
       static_cast<size_t>(args.GetDouble("max-range-rows", 500000));
@@ -209,9 +263,35 @@ int CmdServe(const Args& args) {
       static_cast<int>(args.GetDouble("idle-timeout-ms", 0));
   server_options.max_line_bytes =
       static_cast<size_t>(args.GetDouble("max-line-bytes", 1 << 20));
+  std::string io_mode = args.Get("io-mode", "threads");
+  if (io_mode == "epoll") {
+    server_options.io_mode = service::IoMode::kEpoll;
+  } else if (io_mode != "threads") {
+    std::fprintf(stderr, "--io-mode: want 'threads' or 'epoll'\n");
+    return 2;
+  }
+  server_options.handler_threads =
+      static_cast<size_t>(args.GetDouble("handler-threads", 4));
   server_options.service = &service;
   auto server = service::Server::Start(server_options);
   if (!server.ok()) Die(server.status());
+
+  // Fleet replication: pull peers' causal-model corpora in the background
+  // so every shard diagnoses with fleet-wide knowledge.
+  std::unique_ptr<fleet::ModelSyncPuller> puller;
+  if (args.Has("peers")) {
+    fleet::ModelSyncPuller::Options sync_options;
+    for (const std::string& peer :
+         common::Split(args.Get("peers"), ',')) {
+      if (!peer.empty()) sync_options.peers.push_back(peer);
+    }
+    sync_options.interval_ms =
+        static_cast<int>(args.GetDouble("modelsync-interval-ms", 1000));
+    sync_options.service = &service;
+    auto started = fleet::ModelSyncPuller::Start(std::move(sync_options));
+    if (!started.ok()) Die(started.status());
+    puller = std::move(*started);
+  }
 
   // Scripts (and the CTest e2e harness) block on this line.
   std::printf("LISTENING %d\n", (*server)->port());
@@ -236,6 +316,7 @@ int CmdServe(const Args& args) {
   sigprocmask(SIG_SETMASK, &old, nullptr);
 
   std::fprintf(stderr, "shutting down: draining tenants...\n");
+  if (puller != nullptr) puller->Stop();
   (*server)->Stop();
   service.Stop();
   std::fprintf(stderr,
@@ -246,24 +327,78 @@ int CmdServe(const Args& args) {
                static_cast<unsigned long long>(service.total_diagnoses()),
                (*store)->num_models());
 
-  if (args.Has("metrics-out")) {
-    std::string path = args.Get("metrics-out");
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-      return 7;
-    }
-    std::string snapshot =
-        common::MetricsRegistry::Global().SnapshotJson().Dump(2);
-    std::fwrite(snapshot.data(), 1, snapshot.size(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
+  return WriteMetricsOutputs(args);
+}
+
+int CmdRoute(const Args& args) {
+  if (args.Has("fault-schedule")) {
+    common::Status installed =
+        common::faultenv::InstallSchedule(args.Get("fault-schedule"));
+    if (!installed.ok()) Die(installed);
+  } else {
+    common::Status installed = common::faultenv::InstallFromEnv();
+    if (!installed.ok()) Die(installed);
   }
-  if (args.Has("print-metrics")) {
-    std::fputs(common::MetricsRegistry::Global().SnapshotText().c_str(),
-               stderr);
+
+  fleet::Router::Options options;
+  options.host = args.Get("host", "127.0.0.1");
+  options.port = static_cast<int>(args.GetDouble("port", 7380));
+  for (const std::string& shard : common::Split(args.Get("shards"), ',')) {
+    if (!shard.empty()) options.shards.push_back(shard);
   }
-  return 0;
+  if (options.shards.empty()) {
+    std::fprintf(stderr, "route: --shards host:port,... is required\n");
+    return 2;
+  }
+  options.vnodes_per_shard =
+      static_cast<size_t>(args.GetDouble("vnodes", 64));
+  options.handler_threads =
+      static_cast<size_t>(args.GetDouble("handler-threads", 8));
+  options.max_connections =
+      static_cast<size_t>(args.GetDouble("max-connections", 256));
+  options.idle_timeout_ms =
+      static_cast<int>(args.GetDouble("idle-timeout-ms", 0));
+  options.max_line_bytes =
+      static_cast<size_t>(args.GetDouble("max-line-bytes", 1 << 20));
+  options.upstream_deadline_ms =
+      static_cast<int>(args.GetDouble("upstream-deadline-ms", 5000));
+  options.max_upstream_attempts =
+      static_cast<int>(args.GetDouble("upstream-attempts", 3));
+  options.down_cooldown_ms =
+      static_cast<int>(args.GetDouble("down-cooldown-ms", 2000));
+  auto router = fleet::Router::Start(std::move(options));
+  if (!router.ok()) Die(router.status());
+
+  std::printf("LISTENING %d\n", (*router)->port());
+  std::fflush(stdout);
+
+  struct sigaction action {};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  sigset_t block, old;
+  sigemptyset(&block);
+  sigaddset(&block, SIGINT);
+  sigaddset(&block, SIGTERM);
+  sigprocmask(SIG_BLOCK, &block, &old);
+  while (g_stop == 0) {
+    sigsuspend(&old);
+  }
+  sigprocmask(SIG_SETMASK, &old, nullptr);
+
+  std::fprintf(stderr, "router shutting down\n");
+  for (const auto& stats : (*router)->shard_stats()) {
+    std::fprintf(stderr,
+                 "  shard %s: %llu request(s), %llu retrie(s), %llu "
+                 "failure(s)%s\n",
+                 stats.address.c_str(),
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.retries),
+                 static_cast<unsigned long long>(stats.failures),
+                 stats.down ? " [down]" : "");
+  }
+  (*router)->Stop();
+  return WriteMetricsOutputs(args);
 }
 
 }  // namespace
@@ -273,5 +408,6 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   Args args(argc, argv, 2);
   if (command == "serve") return CmdServe(args);
+  if (command == "route") return CmdRoute(args);
   return Usage();
 }

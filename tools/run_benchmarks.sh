@@ -41,8 +41,11 @@
 #   --service     run the dbsherlockd end-to-end replay (8 simulated
 #                 tenants over the real socket path) and write throughput,
 #                 p99 append latency, shed rate, and per-tenant diagnosis
-#                 accuracy (default BENCH_service.json). Exit status is
-#                 nonzero unless every tenant's cause ranks top-1.
+#                 accuracy, then the sharded-fleet scaling sweep (1000
+#                 tenants through the consistent-hash router over 1/2/4
+#                 epoll shards; "fleet" key in the same report; default
+#                 BENCH_service.json). Exit status is nonzero unless every
+#                 tenant's cause ranks top-1 and every fleet row lands.
 #
 # Build policy: an unconfigured BUILD_DIR is configured as Release and
 # built here; an existing BUILD_DIR is reused as-is. BENCH_*.json is only
@@ -120,7 +123,9 @@ if [[ "${1:-}" == "--service" ]]; then
   OUT="${2:-BENCH_service.json}"
   ensure_built bench_service
   require_optimized_build
-  "$BUILD_DIR/bench/bench_service" --json_out "$OUT"
+  # The fleet sweep (router + 1/2/4 epoll shards, 1000 tenants) rides in
+  # the same report under the "fleet" key.
+  "$BUILD_DIR/bench/bench_service" --json_out "$OUT" --fleet_shards 1,2,4
   exit 0
 fi
 
