@@ -1,0 +1,109 @@
+// DQL pipeline benchmark (run_benchmarks.sh --query): parse and compile
+// latency for a representative EXPLAIN WHERE statement (compile includes
+// exact percentile resolution via zone-map bracketing), the discovery
+// scan with pushdown vs the prune-free full decode over the same window,
+// and end-to-end EXPLAINQ latency against a real `dbsherlockd serve`
+// subprocess. Optionally writes the report as JSON (BENCH_query.json).
+// The exit status is nonzero unless pushdown discovery decoded strictly
+// fewer segments than the full scan while matching the same rows — the
+// DESIGN.md §16 acceptance bound.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "eval/query_sweep.h"
+
+#ifndef DBSHERLOCK_DAEMON_PATH
+#define DBSHERLOCK_DAEMON_PATH ""
+#endif
+
+namespace {
+
+using namespace dbsherlock;
+
+int Main(int argc, char** argv) {
+  bench::Flags flags(argc, argv);
+  int64_t rows = flags.Int("rows", 20000, "stored history rows");
+  int64_t seal_rows = flags.Int("seal_rows", 256, "segment seal threshold");
+  int64_t seed = flags.Int("seed", 20260808, "simulator seed");
+  int64_t parse_iters = flags.Int("parse_iters", 2000, "Parse() iterations");
+  int64_t compile_iters =
+      flags.Int("compile_iters", 200, "Compile() iterations");
+  int64_t scan_iters = flags.Int("scan_iters", 10, "scan repetitions");
+  int64_t e2e_queries = flags.Int(
+      "e2e_queries", 40, "EXPLAINQ calls over the socket (0 = skip)");
+  std::string json_out = flags.String(
+      "json_out", "", "write the report as JSON to this path");
+  flags.Validate();
+
+  bench::PrintBanner(
+      "Query", "DESIGN.md §16",
+      "DQL front-end latency, discovery pushdown vs full decode, and "
+      "end-to-end EXPLAINQ latency over the socket.");
+
+  eval::QuerySweepOptions options;
+  options.rows = static_cast<size_t>(rows);
+  options.seal_rows = static_cast<size_t>(seal_rows);
+  options.seed = static_cast<uint64_t>(seed);
+  options.parse_iters = static_cast<size_t>(parse_iters);
+  options.compile_iters = static_cast<size_t>(compile_iters);
+  options.scan_iters = static_cast<size_t>(scan_iters);
+  options.e2e_queries = static_cast<size_t>(e2e_queries);
+  options.daemon_binary = DBSHERLOCK_DAEMON_PATH;
+
+  auto result = eval::RunQuerySweep(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("statement: %s\n\n", result->statement.c_str());
+  std::printf("parse     mean %8.2f us   p99 %8.2f us\n",
+              result->parse_us_mean, result->parse_us_p99);
+  std::printf("compile   mean %8.2f us   p99 %8.2f us   "
+              "(quantile decoded %zu/%zu segments)\n",
+              result->compile_us_mean, result->compile_us_p99,
+              result->quantile_segments_decoded,
+              result->quantile_segments_total);
+  std::printf("discovery pushdown %zu/%zu segments in %.3f ms; "
+              "full decode %zu/%zu in %.3f ms; %llu rows matched\n",
+              result->pushdown_segments_decoded, result->segments_total,
+              result->pushdown_ms, result->fullscan_segments_decoded,
+              result->segments_total, result->fullscan_ms,
+              static_cast<unsigned long long>(result->matched_rows));
+  if (result->e2e_queries > 0) {
+    std::printf("EXPLAINQ  p50 %8.3f ms   p99 %8.3f ms   (%zu queries)\n",
+                result->e2e_p50_ms, result->e2e_p99_ms, result->e2e_queries);
+  }
+
+  if (!json_out.empty()) {
+    common::JsonValue report = result->ToJson();
+    report.as_object()["build_info"] = bench::BuildInfoJson();
+    std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
+    out << report.Dump(2) << "\n";
+    std::printf("\nwrote %s\n", json_out.c_str());
+  }
+
+  // Acceptance: region discovery must ride the zone maps, not decode
+  // the world.
+  if (result->pushdown_segments_decoded >=
+      result->fullscan_segments_decoded) {
+    std::fprintf(stderr,
+                 "FAIL: pushdown decoded %zu segments, full scan %zu — "
+                 "zone-map pruning did nothing\n",
+                 result->pushdown_segments_decoded,
+                 result->fullscan_segments_decoded);
+    return 1;
+  }
+  std::printf("\npushdown bound met: %zu < %zu segments decoded\n",
+              result->pushdown_segments_decoded,
+              result->fullscan_segments_decoded);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Main(argc, argv); }

@@ -1,0 +1,77 @@
+#ifndef DBSHERLOCK_EVAL_QUERY_SWEEP_H_
+#define DBSHERLOCK_EVAL_QUERY_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace dbsherlock::eval {
+
+/// Benchmark harness for the DQL pipeline (DESIGN.md §16, bench_query /
+/// run_benchmarks.sh --query). Three sections:
+///  1. front-end latency — Parse() alone, then Compile() including exact
+///     percentile resolution against the stored history's zone maps;
+///  2. discovery pushdown — the same compiled WHERE window scanned with
+///     zone-map pruning on vs the prune-free full decode, with segment
+///     decode counts and wall time for both;
+///  3. end-to-end EXPLAINQ — a real `dbsherlockd serve` subprocess, the
+///     statement sent over the socket, per-query wire latency quantiles.
+struct QuerySweepOptions {
+  /// Stored history size (one simulated second per row) and segment shape.
+  size_t rows = 20000;
+  size_t seal_rows = 256;
+  uint64_t seed = 20260808;
+  /// Iterations per front-end section.
+  size_t parse_iters = 2000;
+  size_t compile_iters = 200;
+  /// Pushdown-vs-full scan repetitions (min wall time is reported).
+  size_t scan_iters = 10;
+  /// EXPLAINQ calls over the socket; 0 or an empty `daemon_binary`
+  /// skips the end-to-end section.
+  size_t e2e_queries = 40;
+  std::string daemon_binary;
+  /// Rows ingested over the socket for the e2e section (kept smaller
+  /// than `rows`: appends dominate the setup cost otherwise).
+  size_t e2e_rows = 4000;
+  /// Store directory root (empty = fresh /tmp dir, removed on entry).
+  std::string dir;
+};
+
+struct QuerySweepResult {
+  size_t rows = 0;
+  std::string statement;
+
+  // Front-end latency (microseconds).
+  double parse_us_mean = 0.0;
+  double parse_us_p99 = 0.0;
+  double compile_us_mean = 0.0;
+  double compile_us_p99 = 0.0;
+  /// Quantile bracketing work per Compile (from the last iteration).
+  size_t quantile_segments_total = 0;
+  size_t quantile_segments_decoded = 0;
+
+  // Discovery: pushdown vs prune-free full decode of the same window.
+  size_t segments_total = 0;
+  size_t pushdown_segments_decoded = 0;
+  size_t fullscan_segments_decoded = 0;
+  double pushdown_ms = 0.0;
+  double fullscan_ms = 0.0;
+  uint64_t matched_rows = 0;
+
+  // End-to-end EXPLAINQ over the socket (milliseconds); 0 queries when
+  // the section was skipped.
+  size_t e2e_queries = 0;
+  double e2e_p50_ms = 0.0;
+  double e2e_p99_ms = 0.0;
+
+  common::JsonValue ToJson() const;
+};
+
+common::Result<QuerySweepResult> RunQuerySweep(
+    const QuerySweepOptions& options);
+
+}  // namespace dbsherlock::eval
+
+#endif  // DBSHERLOCK_EVAL_QUERY_SWEEP_H_

@@ -273,7 +273,8 @@ std::string Router::HandleLine(const std::string& line, bool* quit) {
     case RequestOp::kFlush:
     case RequestOp::kDiagnoses:
     case RequestOp::kQuery:
-    case RequestOp::kDiagnoseRange: {
+    case RequestOp::kDiagnoseRange:
+    case RequestOp::kExplainQuery: {
       size_t idx = AssignShard(request.tenant, /*is_hello=*/false);
       return Proxy(idx, line, /*idempotent=*/true, /*failover_tenant=*/"");
     }

@@ -1,0 +1,106 @@
+#include "query/ast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbsherlock::query {
+
+Span Span::Join(const Span& a, const Span& b) {
+  if (a.length() == 0 && a.begin == 0) return b;
+  if (b.length() == 0 && b.begin == 0) return a;
+  return Span(std::min(a.begin, b.begin), std::max(a.end, b.end));
+}
+
+const char* CompareOpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+  }
+  return "?";
+}
+
+std::string FormatNumber(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  // Integers stay in plain notation ("50", never "5e+01"): the shortest
+  // %g form below would pick scientific for round numbers, and a
+  // percentile printed as "p5e+01" no longer lexes as a percentile.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void PrintThreshold(const Threshold& t, std::string* out) {
+  if (t.is_percentile) {
+    out->append("p");
+    out->append(FormatNumber(t.percentile));
+  } else {
+    out->append(FormatNumber(t.value));
+  }
+}
+
+void PrintSuffix(const Query& q, std::string* out) {
+  if (q.has_rank) {
+    out->append(" RANK BY ");
+    out->append(q.rank_key == RankKey::kConfidence ? "confidence" : "margin");
+  }
+  if (q.has_top) {
+    out->append(" TOP ");
+    out->append(std::to_string(q.top_k));
+  }
+}
+
+}  // namespace
+
+std::string Query::Print() const {
+  std::string out;
+  switch (kind) {
+    case QueryKind::kDescribe:
+      out = "DESCRIBE";
+      if (!tenant.empty()) {
+        out.append(" ");
+        out.append(tenant);
+      }
+      return out;
+    case QueryKind::kExplainRegion:
+      out = "EXPLAIN REGION " + FormatNumber(t0) + " " + FormatNumber(t1);
+      PrintSuffix(*this, &out);
+      return out;
+    case QueryKind::kExplainWhere:
+      out = "EXPLAIN WHERE ";
+      for (size_t i = 0; i < conditions.size(); ++i) {
+        if (i > 0) out.append(" AND ");
+        const Condition& c = conditions[i];
+        out.append(c.attribute);
+        out.append(" ");
+        out.append(CompareOpText(c.op));
+        out.append(" ");
+        PrintThreshold(c.threshold, &out);
+      }
+      out.append(" BETWEEN " + FormatNumber(t0) + " " + FormatNumber(t1));
+      PrintSuffix(*this, &out);
+      return out;
+  }
+  return out;
+}
+
+}  // namespace dbsherlock::query

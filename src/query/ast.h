@@ -1,0 +1,94 @@
+#ifndef DBSHERLOCK_QUERY_AST_H_
+#define DBSHERLOCK_QUERY_AST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dbsherlock::query {
+
+/// Half-open byte range [begin, end) into the original query text. Every
+/// AST node carries the span it was parsed from so diagnostics — both
+/// syntactic and semantic — can point at the offending characters.
+struct Span {
+  size_t begin = 0;
+  size_t end = 0;
+
+  Span() = default;
+  Span(size_t b, size_t e) : begin(b), end(e) {}
+
+  size_t length() const { return end > begin ? end - begin : 0; }
+  /// Smallest span covering both operands.
+  static Span Join(const Span& a, const Span& b);
+
+  bool operator==(const Span& other) const = default;
+};
+
+enum class CompareOp { kGt, kGe, kLt, kLe, kEq };
+
+/// Display form: ">", ">=", "<", "<=", "=".
+const char* CompareOpText(CompareOp op);
+
+/// The right-hand side of a condition: a numeric literal (`40.5`) or a
+/// percentile (`p99`) resolved against the tenant's stored history at
+/// compile time.
+struct Threshold {
+  bool is_percentile = false;
+  double value = 0.0;       // literal, when !is_percentile
+  double percentile = 0.0;  // N of pN in [0, 100], when is_percentile
+  Span span;
+};
+
+/// One `<attr> <op> <threshold>` conjunct of a WHERE clause.
+struct Condition {
+  std::string attribute;
+  Span attribute_span;
+  CompareOp op = CompareOp::kGt;
+  Span op_span;
+  Threshold threshold;
+};
+
+enum class QueryKind { kExplainWhere, kExplainRegion, kDescribe };
+
+/// RANK BY key: `confidence` orders causes by model confidence (Eq. 3);
+/// `margin` orders by each cause's lead over the runner-up.
+enum class RankKey { kConfidence, kMargin };
+
+/// A parsed DQL statement. Grammar (DESIGN.md §16):
+///
+///   query    := explain | describe
+///   explain  := "EXPLAIN" body [ "RANK" "BY" rank-key ] [ "TOP" int ]
+///   body     := "WHERE" cond { "AND" cond } "BETWEEN" number number
+///             | "REGION" number number
+///   cond     := ident op ( number | percentile )
+///   op       := ">" | ">=" | "<" | "<=" | "="
+///   describe := "DESCRIBE" [ ident ]
+///
+/// Keywords are case-insensitive; Print() emits the canonical form
+/// (upper-case keywords, shortest round-trip numbers) and is a parse
+/// fixed point: Parse(Print(q)) prints back identically.
+struct Query {
+  QueryKind kind = QueryKind::kExplainWhere;
+  std::vector<Condition> conditions;  // kExplainWhere only
+  double t0 = 0.0;                    // BETWEEN / REGION bounds
+  double t1 = 0.0;
+  Span t0_span;
+  Span t1_span;
+  RankKey rank_key = RankKey::kConfidence;
+  bool has_rank = false;
+  uint64_t top_k = 3;
+  bool has_top = false;
+  std::string tenant;  // kDescribe only; empty = the connection's tenant
+  Span tenant_span;
+
+  std::string Print() const;
+};
+
+/// Shortest decimal form that strtod parses back to exactly `value` —
+/// the canonical number format used by Query::Print.
+std::string FormatNumber(double value);
+
+}  // namespace dbsherlock::query
+
+#endif  // DBSHERLOCK_QUERY_AST_H_

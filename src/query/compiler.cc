@@ -1,0 +1,165 @@
+#include "query/compiler.h"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+#include "query/diagnostic.h"
+
+namespace dbsherlock::query {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Shorthand names a DBA types without remembering the exact telemetry
+/// schema. Applied only when the target attribute actually exists.
+struct Alias {
+  const char* name;
+  const char* target;
+};
+constexpr Alias kAliases[] = {
+    {"latency", "avg_latency_ms"},  {"cpu", "os_cpu_usage"},
+    {"throughput", "throughput_tps"}, {"tps", "throughput_tps"},
+    {"iowait", "os_cpu_iowait"},    {"locks", "lock_waits"},
+};
+
+Status Semantic(const std::string& text, const std::string& message,
+                Span span, common::StatusCode code) {
+  return Status(code, FormatDiagnostic(text, {message, span}));
+}
+
+}  // namespace
+
+Result<std::string> ResolveAttribute(const tsdata::Schema& schema,
+                                     const std::string& name) {
+  if (schema.Contains(name)) return name;
+  const std::string lower = Lower(name);
+  // Case-insensitive exact match.
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (Lower(schema.attribute(i).name) == lower) {
+      return schema.attribute(i).name;
+    }
+  }
+  for (const Alias& alias : kAliases) {
+    if (lower == alias.name && schema.Contains(alias.target)) {
+      return std::string(alias.target);
+    }
+  }
+  // Unique case-insensitive substring match ("deadlock" -> "deadlocks").
+  std::vector<std::string> matches;
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (Lower(schema.attribute(i).name).find(lower) != std::string::npos) {
+      matches.push_back(schema.attribute(i).name);
+    }
+  }
+  if (matches.size() == 1) return matches[0];
+  if (matches.size() > 1) {
+    std::string list = matches[0];
+    for (size_t i = 1; i < matches.size() && i < 4; ++i) {
+      list += ", " + matches[i];
+    }
+    return Status::NotFound("attribute '" + name + "' is ambiguous (" +
+                            list + ")");
+  }
+  return Status::NotFound("unknown attribute '" + name + "'");
+}
+
+Result<CompiledQuery> Compile(const Query& ast, const std::string& text,
+                              const CompileContext& context) {
+  if (context.schema == nullptr) {
+    return Status::Internal("Compile needs a schema");
+  }
+  CompiledQuery out;
+  out.ast = ast;
+  out.text = text;
+  if (ast.kind == QueryKind::kDescribe) return out;
+
+  for (const Condition& c : ast.conditions) {
+    CompiledCondition cc;
+    cc.source = c;
+    auto resolved = ResolveAttribute(*context.schema, c.attribute);
+    if (!resolved.ok()) {
+      return Semantic(text, resolved.status().message(), c.attribute_span,
+                      common::StatusCode::kNotFound);
+    }
+    cc.attribute = *resolved;
+    auto idx = context.schema->IndexOf(cc.attribute);
+    if (idx.ok() && context.schema->attribute(*idx).kind ==
+                        tsdata::AttributeKind::kCategorical) {
+      return Semantic(text,
+                      "attribute '" + cc.attribute +
+                          "' is categorical; conditions need a numeric "
+                          "attribute",
+                      c.attribute_span, common::StatusCode::kInvalidArgument);
+    }
+
+    if (c.threshold.is_percentile) {
+      if (context.history == nullptr) {
+        return Semantic(text,
+                        "percentile thresholds need durable history "
+                        "(daemon running without --store-dir?)",
+                        c.threshold.span,
+                        common::StatusCode::kFailedPrecondition);
+      }
+      store::QuantileStats qs;
+      auto value = context.history->ResolveQuantile(
+          cc.attribute, c.threshold.percentile / 100.0, &qs);
+      if (!value.ok()) {
+        return Semantic(text,
+                        "cannot resolve p" +
+                            FormatNumber(c.threshold.percentile) + " of '" +
+                            cc.attribute + "': " + value.status().message(),
+                        c.threshold.span, value.status().code());
+      }
+      cc.threshold = *value;
+      out.quantile_stats.segments_total += qs.segments_total;
+      out.quantile_stats.segments_decoded += qs.segments_decoded;
+      out.quantile_stats.values_total += qs.values_total;
+      out.quantile_stats.rank = qs.rank;
+      ++out.percentiles_resolved;
+    } else {
+      cc.threshold = c.threshold.value;
+    }
+    if (std::isnan(cc.threshold)) {
+      return Semantic(text, "threshold resolved to NaN", c.threshold.span,
+                      common::StatusCode::kInvalidArgument);
+    }
+
+    // Lower onto the store's closed [lo, hi] bound; strict comparisons
+    // step one ULP so pushdown pruning stays exact.
+    cc.bound.attribute = cc.attribute;
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    switch (c.op) {
+      case CompareOp::kGt:
+        cc.bound.lo = std::nextafter(cc.threshold, kInf);
+        break;
+      case CompareOp::kGe:
+        cc.bound.lo = cc.threshold;
+        break;
+      case CompareOp::kLt:
+        cc.bound.hi = std::nextafter(cc.threshold, -kInf);
+        break;
+      case CompareOp::kLe:
+        cc.bound.hi = cc.threshold;
+        break;
+      case CompareOp::kEq:
+        cc.bound.lo = cc.threshold;
+        cc.bound.hi = cc.threshold;
+        break;
+    }
+    out.conditions.push_back(std::move(cc));
+  }
+  return out;
+}
+
+}  // namespace dbsherlock::query

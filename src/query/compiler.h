@@ -1,0 +1,59 @@
+#ifndef DBSHERLOCK_QUERY_COMPILER_H_
+#define DBSHERLOCK_QUERY_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "store/tenant_store.h"
+#include "tsdata/schema.h"
+
+namespace dbsherlock::query {
+
+/// One WHERE conjunct after semantic analysis: the attribute resolved
+/// against the tenant schema (aliases like `latency` map to
+/// `avg_latency_ms`), the percentile resolved to a concrete value from
+/// the stored history, and the comparison lowered onto the store's closed
+/// [lo, hi] AttributeBound so region discovery rides the zone-map
+/// pushdown (DESIGN.md §14).
+struct CompiledCondition {
+  Condition source;             // the AST conjunct, spans intact
+  std::string attribute;        // resolved schema attribute name
+  double threshold = 0.0;       // resolved RHS value
+  store::AttributeBound bound;  // pushdown form of `attr op threshold`
+};
+
+/// A statement ready to execute. `quantile_stats` aggregates the zone-map
+/// bracketing work done while resolving pN thresholds (reported in the
+/// incident report's scan accounting).
+struct CompiledQuery {
+  Query ast;
+  std::string text;  // original query text, for diagnostics and echo
+  std::vector<CompiledCondition> conditions;  // kExplainWhere only
+  store::QuantileStats quantile_stats;
+  size_t percentiles_resolved = 0;
+};
+
+struct CompileContext {
+  const tsdata::Schema* schema = nullptr;       // required
+  const store::TenantStore* history = nullptr;  // required for pN thresholds
+};
+
+/// Resolves names and thresholds. Errors carry caret diagnostics rendered
+/// against `text` (InvalidArgument for semantic problems,
+/// FailedPrecondition when a percentile needs history the tenant lacks).
+common::Result<CompiledQuery> Compile(const Query& ast,
+                                      const std::string& text,
+                                      const CompileContext& context);
+
+/// Resolves a user-facing attribute name against a schema: exact match,
+/// then a small alias table (latency, cpu, throughput, iowait), then a
+/// unique case-insensitive substring match. Returns the schema name or
+/// NotFound listing near misses.
+common::Result<std::string> ResolveAttribute(const tsdata::Schema& schema,
+                                             const std::string& name);
+
+}  // namespace dbsherlock::query
+
+#endif  // DBSHERLOCK_QUERY_COMPILER_H_

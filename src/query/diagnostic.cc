@@ -1,0 +1,38 @@
+#include "query/diagnostic.h"
+
+#include <algorithm>
+
+namespace dbsherlock::query {
+
+std::string FormatDiagnostic(const std::string& text, const Diagnostic& diag) {
+  // Find the line containing the span start (clamped to end-of-input). A
+  // span that starts on the newline itself points at the NEXT line — the
+  // offending text is what follows the break, not the line it ended.
+  size_t begin = std::min(diag.span.begin, text.size());
+  while (begin < text.size() && text[begin] == '\n') ++begin;
+  size_t line_start = text.rfind('\n', begin == 0 ? 0 : begin - 1);
+  line_start = (line_start == std::string::npos) ? 0 : line_start + 1;
+  size_t line_end = text.find('\n', line_start);
+  if (line_end == std::string::npos) line_end = text.size();
+
+  std::string out = diag.message;
+  out.push_back('\n');
+  out.append("  ");
+  out.append(text, line_start, line_end - line_start);
+  out.push_back('\n');
+  out.append("  ");
+  size_t col = begin >= line_start ? begin - line_start : 0;
+  col = std::min(col, line_end - line_start);
+  for (size_t i = 0; i < col; ++i) {
+    // Preserve tabs so the caret stays aligned in terminals.
+    out.push_back(text[line_start + i] == '\t' ? '\t' : ' ');
+  }
+  out.push_back('^');
+  size_t underline = diag.span.length();
+  size_t room = (line_end - line_start) > col ? line_end - line_start - col : 0;
+  underline = std::min(underline, std::max<size_t>(room, 1));
+  for (size_t i = 1; i < underline; ++i) out.push_back('~');
+  return out;
+}
+
+}  // namespace dbsherlock::query

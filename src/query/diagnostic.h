@@ -1,0 +1,30 @@
+#ifndef DBSHERLOCK_QUERY_DIAGNOSTIC_H_
+#define DBSHERLOCK_QUERY_DIAGNOSTIC_H_
+
+#include <string>
+
+#include "query/ast.h"
+
+namespace dbsherlock::query {
+
+/// One parse/compile error, anchored to the offending bytes of the query.
+struct Diagnostic {
+  std::string message;  // "expected a number after BETWEEN"
+  Span span;            // what the caret line underlines
+};
+
+/// Renders the classic compiler-style three-line diagnostic:
+///
+///   expected a threshold after '>'
+///     EXPLAIN WHERE latency > BETWEEN 0 60
+///                             ^~~~~~~
+///
+/// Handles multi-line query text (the caret line is emitted under the
+/// line containing the span) and spans at end-of-input (caret one past
+/// the last character). This string travels inside ERR responses, so the
+/// wire protocol must round-trip embedded newlines (DESIGN.md §16).
+std::string FormatDiagnostic(const std::string& text, const Diagnostic& diag);
+
+}  // namespace dbsherlock::query
+
+#endif  // DBSHERLOCK_QUERY_DIAGNOSTIC_H_

@@ -1,0 +1,111 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dbsherlock::query {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  // Dots, dashes and colons keep tenant names like "eu-west:shop.prod"
+  // lexing as one token.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '.' || c == '-' || c == ':';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// "p99" / "P99.5" — a percentile, not an attribute like "p99_latency_ms".
+bool IsPercentile(const std::string& text) {
+  if (text.size() < 2 || (text[0] != 'p' && text[0] != 'P')) return false;
+  bool seen_dot = false;
+  for (size_t i = 1; i < text.size(); ++i) {
+    if (text[i] == '.' && !seen_dot && i + 1 < text.size()) {
+      seen_dot = true;
+      continue;
+    }
+    if (!IsDigit(text[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.span.begin = i;
+    if (c == '>' || c == '<' || c == '=') {
+      tok.kind = TokenKind::kOp;
+      bool eq = i + 1 < n && text[i + 1] == '=';
+      switch (c) {
+        case '>':
+          tok.op = eq ? CompareOp::kGe : CompareOp::kGt;
+          break;
+        case '<':
+          tok.op = eq ? CompareOp::kLe : CompareOp::kLt;
+          break;
+        default:
+          tok.op = CompareOp::kEq;  // both "=" and "=="
+          break;
+      }
+      i += eq ? 2 : 1;
+    } else if (IsDigit(c) || (c == '.' && i + 1 < n && IsDigit(text[i + 1])) ||
+               ((c == '-' || c == '+') && i + 1 < n &&
+                (IsDigit(text[i + 1]) ||
+                 (text[i + 1] == '.' && i + 2 < n && IsDigit(text[i + 2]))))) {
+      const char* start = text.c_str() + i;
+      char* end = nullptr;
+      tok.number = std::strtod(start, &end);
+      tok.kind = TokenKind::kNumber;
+      i += static_cast<size_t>(end - start);
+    } else if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(text[j])) ++j;
+      tok.text = text.substr(i, j - i);
+      if (IsPercentile(tok.text)) {
+        tok.kind = TokenKind::kPercentile;
+        tok.number = std::strtod(tok.text.c_str() + 1, nullptr);
+      } else {
+        tok.kind = TokenKind::kIdent;
+      }
+      i = j;
+    } else {
+      // Swallow the whole unrecognizable run so one garbage blob yields
+      // one error token with an accurate span.
+      size_t j = i;
+      while (j < n && !std::isspace(static_cast<unsigned char>(text[j])) &&
+             !IsIdentStart(text[j]) && !IsDigit(text[j]) && text[j] != '>' &&
+             text[j] != '<' && text[j] != '=') {
+        ++j;
+      }
+      tok.kind = TokenKind::kError;
+      i = j > i ? j : i + 1;
+    }
+    tok.span.end = i;
+    if (tok.text.empty()) {
+      tok.text = text.substr(tok.span.begin, tok.span.end - tok.span.begin);
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end_tok;
+  end_tok.kind = TokenKind::kEnd;
+  end_tok.span = Span(n, n);
+  out.push_back(end_tok);
+  return out;
+}
+
+}  // namespace dbsherlock::query

@@ -1,0 +1,36 @@
+#ifndef DBSHERLOCK_QUERY_LEXER_H_
+#define DBSHERLOCK_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/ast.h"
+
+namespace dbsherlock::query {
+
+enum class TokenKind {
+  kIdent,       // attribute / keyword / tenant name
+  kNumber,      // numeric literal (optionally signed, decimal, exponent)
+  kPercentile,  // pN, N in [0, 100] checked by the parser
+  kOp,          // > >= < <= = ==
+  kEnd,         // end of input (span points one past the last byte)
+  kError,       // unrecognized byte run; parser reports it with its span
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // raw slice of the input
+  double number = 0.0;  // kNumber value; kPercentile N
+  CompareOp op = CompareOp::kGt;  // kOp only
+  Span span;
+};
+
+/// Splits `text` into tokens. Never fails: unrecognizable bytes become a
+/// kError token carrying their span, and the list always ends with kEnd.
+/// Identifiers are [A-Za-z_][A-Za-z0-9_.:-]*; `p` followed only by digits
+/// (and an optional decimal part) lexes as a percentile.
+std::vector<Token> Lex(const std::string& text);
+
+}  // namespace dbsherlock::query
+
+#endif  // DBSHERLOCK_QUERY_LEXER_H_

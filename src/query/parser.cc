@@ -1,0 +1,237 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "query/lexer.h"
+
+namespace dbsherlock::query {
+
+namespace {
+
+using common::Result;
+using common::Status;
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; a[i] != '\0' && b[i] != '\0'; ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return a[i] == '\0' && b[i] == '\0';
+}
+
+bool IsKeyword(const std::string& text) {
+  static const char* kKeywords[] = {"EXPLAIN", "DESCRIBE", "WHERE",
+                                    "REGION",  "BETWEEN",  "AND",
+                                    "RANK",    "BY",       "TOP"};
+  for (const char* k : kKeywords) {
+    if (EqualsIgnoreCase(text, k)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : tokens_(Lex(text)) {}
+
+  Result<Query> Run() {
+    Query q;
+    if (Is("EXPLAIN")) {
+      Advance();
+      if (!ParseExplain(&q)) return Error();
+    } else if (Is("DESCRIBE")) {
+      Advance();
+      q.kind = QueryKind::kDescribe;
+      if (Peek().kind == TokenKind::kIdent && !IsKeyword(Peek().text)) {
+        q.tenant = Peek().text;
+        q.tenant_span = Peek().span;
+        Advance();
+      }
+    } else {
+      Fail("expected EXPLAIN or DESCRIBE", Peek().span);
+      return Error();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      Fail("unexpected trailing input after a complete query", Peek().span);
+      return Error();
+    }
+    return q;
+  }
+
+  const Diagnostic& diagnostic() const { return diag_; }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool Is(const char* keyword) const {
+    return Peek().kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek().text, keyword);
+  }
+
+  bool Fail(std::string message, Span span) {
+    diag_.message = std::move(message);
+    diag_.span = span;
+    return false;
+  }
+
+  Status Error() const { return Status::ParseError(diag_.message); }
+
+  bool Expect(const char* keyword, const char* context) {
+    if (!Is(keyword)) {
+      return Fail(std::string("expected ") + keyword + " " + context,
+                  Peek().span);
+    }
+    Advance();
+    return true;
+  }
+
+  bool ParseNumber(const char* what, double* out, Span* span) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Fail(std::string("expected ") + what, Peek().span);
+    }
+    *out = Peek().number;
+    *span = Peek().span;
+    Advance();
+    return true;
+  }
+
+  bool ParseExplain(Query* q) {
+    if (Is("WHERE")) {
+      Advance();
+      q->kind = QueryKind::kExplainWhere;
+      if (!ParseCondition(q)) return false;
+      while (Is("AND")) {
+        Advance();
+        if (!ParseCondition(q)) return false;
+      }
+      if (!Expect("BETWEEN", "after the WHERE conditions")) return false;
+      if (!ParseRange(q)) return false;
+    } else if (Is("REGION")) {
+      Advance();
+      q->kind = QueryKind::kExplainRegion;
+      if (!ParseRange(q)) return false;
+    } else {
+      return Fail("expected WHERE or REGION after EXPLAIN", Peek().span);
+    }
+    return ParseSuffix(q);
+  }
+
+  bool ParseRange(Query* q) {
+    if (!ParseNumber("a start timestamp", &q->t0, &q->t0_span)) return false;
+    if (!ParseNumber("an end timestamp", &q->t1, &q->t1_span)) return false;
+    if (!(q->t0 < q->t1)) {
+      return Fail("empty time range: the start must be before the end",
+                  Span::Join(q->t0_span, q->t1_span));
+    }
+    return true;
+  }
+
+  bool ParseCondition(Query* q) {
+    Condition c;
+    if (Peek().kind != TokenKind::kIdent) {
+      return Fail("expected an attribute name", Peek().span);
+    }
+    if (IsKeyword(Peek().text)) {
+      return Fail("'" + Peek().text +
+                      "' is a keyword; expected an attribute name",
+                  Peek().span);
+    }
+    c.attribute = Peek().text;
+    c.attribute_span = Peek().span;
+    Advance();
+    if (Peek().kind != TokenKind::kOp) {
+      return Fail("expected a comparison (> >= < <= =) after '" +
+                      c.attribute + "'",
+                  Peek().span);
+    }
+    c.op = Peek().op;
+    c.op_span = Peek().span;
+    Advance();
+    if (Peek().kind == TokenKind::kNumber) {
+      c.threshold.is_percentile = false;
+      c.threshold.value = Peek().number;
+      c.threshold.span = Peek().span;
+      Advance();
+    } else if (Peek().kind == TokenKind::kPercentile) {
+      c.threshold.is_percentile = true;
+      c.threshold.percentile = Peek().number;
+      c.threshold.span = Peek().span;
+      if (!(c.threshold.percentile >= 0.0 &&
+            c.threshold.percentile <= 100.0)) {
+        return Fail("percentile must be between p0 and p100", Peek().span);
+      }
+      Advance();
+    } else {
+      return Fail(std::string("expected a number or percentile after '") +
+                      CompareOpText(c.op) + "'",
+                  Peek().span);
+    }
+    q->conditions.push_back(std::move(c));
+    return true;
+  }
+
+  bool ParseSuffix(Query* q) {
+    while (true) {
+      if (Is("RANK")) {
+        Span rank_span = Peek().span;
+        if (q->has_rank) {
+          return Fail("duplicate RANK BY clause", rank_span);
+        }
+        Advance();
+        if (!Expect("BY", "after RANK")) return false;
+        if (Is("CONFIDENCE")) {
+          q->rank_key = RankKey::kConfidence;
+        } else if (Is("MARGIN")) {
+          q->rank_key = RankKey::kMargin;
+        } else {
+          return Fail("expected 'confidence' or 'margin' after RANK BY",
+                      Peek().span);
+        }
+        q->has_rank = true;
+        Advance();
+      } else if (Is("TOP")) {
+        Span top_span = Peek().span;
+        if (q->has_top) {
+          return Fail("duplicate TOP clause", top_span);
+        }
+        Advance();
+        if (Peek().kind != TokenKind::kNumber ||
+            Peek().number != std::floor(Peek().number) ||
+            !(Peek().number >= 1.0) || !(Peek().number <= 1e6)) {
+          return Fail("expected a positive integer after TOP", Peek().span);
+        }
+        q->top_k = static_cast<uint64_t>(Peek().number);
+        q->has_top = true;
+        Advance();
+      } else {
+        return true;
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Diagnostic diag_;
+};
+
+}  // namespace
+
+Result<Query> Parse(const std::string& text, Diagnostic* diag) {
+  Parser parser(text);
+  auto result = parser.Run();
+  if (!result.ok()) {
+    Diagnostic d = parser.diagnostic();
+    if (diag != nullptr) *diag = d;
+    return Status::ParseError(FormatDiagnostic(text, d));
+  }
+  return result;
+}
+
+}  // namespace dbsherlock::query

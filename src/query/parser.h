@@ -1,0 +1,22 @@
+#ifndef DBSHERLOCK_QUERY_PARSER_H_
+#define DBSHERLOCK_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/ast.h"
+#include "query/diagnostic.h"
+
+namespace dbsherlock::query {
+
+/// Parses one DQL statement (grammar in ast.h). On failure returns
+/// ParseError whose message is the rendered caret diagnostic; when `diag`
+/// is non-null it also receives the structured message + span (fuzz tests
+/// assert the span lands inside the input). Never crashes on arbitrary
+/// bytes.
+common::Result<Query> Parse(const std::string& text,
+                            Diagnostic* diag = nullptr);
+
+}  // namespace dbsherlock::query
+
+#endif  // DBSHERLOCK_QUERY_PARSER_H_

@@ -1,0 +1,371 @@
+#include "query/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/predicate.h"
+
+namespace dbsherlock::query {
+
+namespace {
+
+/// Golden-file stability: every float that reaches a rendering is rounded
+/// to 1e-4 first, so formatting is identical across scan parallelism,
+/// ISAs, and code paths that differ only in float summation order noise.
+double Round4(double v) {
+  if (!std::isfinite(v)) return 0.0;
+  return std::round(v * 1e4) / 1e4;
+}
+
+std::string Num(double v) { return FormatNumber(Round4(v)); }
+
+std::string Fixed1(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", Round4(v));
+  return buf;
+}
+
+const char* KindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kExplainWhere:
+      return "explain_where";
+    case QueryKind::kExplainRegion:
+      return "explain_region";
+    case QueryKind::kDescribe:
+      return "describe";
+  }
+  return "?";
+}
+
+}  // namespace
+
+SparklineRow RenderSparkline(const std::string& attribute,
+                             std::span<const double> values,
+                             std::span<const double> timestamps,
+                             const tsdata::TimeRange& abnormal,
+                             size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  SparklineRow row;
+  row.attribute = attribute;
+  const size_t n = values.size();
+  if (n == 0 || width == 0) return row;
+  width = std::min(width, n);
+
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (double v : values) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (!(lo <= hi)) return row;  // nothing finite at all
+  row.min = Round4(lo);
+  row.max = Round4(hi);
+
+  bool any_marker = false;
+  std::string marker;
+  for (size_t b = 0; b < width; ++b) {
+    size_t first = b * n / width;
+    size_t last = (b + 1) * n / width;
+    if (last <= first) last = first + 1;
+    double sum = 0.0;
+    size_t count = 0;
+    bool abnormal_bucket = false;
+    for (size_t i = first; i < last && i < n; ++i) {
+      if (std::isfinite(values[i])) {
+        sum += values[i];
+        ++count;
+      }
+      if (i < timestamps.size() && abnormal.Contains(timestamps[i])) {
+        abnormal_bucket = true;
+      }
+    }
+    if (count == 0) {
+      row.cells.append("·");  // · — no finite sample in this bucket
+    } else {
+      double mean = sum / static_cast<double>(count);
+      size_t level = 0;
+      if (hi > lo) {
+        level = static_cast<size_t>((mean - lo) / (hi - lo) * 7.999);
+        level = std::min<size_t>(level, 7);
+      } else {
+        level = 3;  // flat series renders mid-height
+      }
+      row.cells.append(kLevels[level]);
+    }
+    marker.push_back(abnormal_bucket ? '^' : ' ');
+    any_marker = any_marker || abnormal_bucket;
+  }
+  if (any_marker) {
+    while (!marker.empty() && marker.back() == ' ') marker.pop_back();
+    row.marker = std::move(marker);
+  }
+  return row;
+}
+
+std::string RenderMarkdown(const IncidentReport& report) {
+  std::string out;
+  auto line = [&out](const std::string& s) {
+    out.append(s);
+    out.push_back('\n');
+  };
+
+  if (report.kind == QueryKind::kDescribe) {
+    const DescribeInfo& d = report.describe;
+    line("# Tenant `" + report.tenant + "`");
+    line("");
+    line("- attributes: " + std::to_string(d.num_attributes) + " (" +
+         std::to_string(d.numeric_attributes) + " numeric)");
+    if (d.has_history) {
+      line("- history: " + std::to_string(d.segments) + " sealed segments, " +
+           std::to_string(d.sealed_rows) + " sealed rows (" +
+           std::to_string(d.sealed_bytes) + " bytes compressed, " +
+           Fixed1(d.compression_ratio * 100.0) + "% of raw), " +
+           std::to_string(d.active_rows) + " active rows");
+      if (d.has_extent) {
+        line("- time extent: [" + Num(d.min_ts) + ", " + Num(d.max_ts) + "]");
+      }
+    } else {
+      line("- history: none (daemon running without --store-dir)");
+    }
+    line("- causal models: " + std::to_string(d.models));
+    line("- background diagnoses: " + std::to_string(d.diagnoses));
+    if (!report.notes.empty()) {
+      line("");
+      line("## Notes");
+      line("");
+      for (const std::string& n : report.notes) line("- " + n);
+    }
+    return out;
+  }
+
+  line("# Incident report — tenant `" + report.tenant + "`");
+  line("");
+  line("**Query:** `" + report.query + "`");
+  line("");
+  if (!report.conditions.empty()) {
+    line("**Conditions:**");
+    for (const std::string& c : report.conditions) line("- " + c);
+    line("");
+  }
+  if (report.kind == QueryKind::kExplainWhere) {
+    const store::ScanStats& s = report.discovery;
+    line("**Discovery:** " + std::to_string(report.matched_rows) +
+         " matching rows; decoded " + std::to_string(s.segments_decoded) +
+         "/" + std::to_string(s.segments_total) + " segments (" +
+         std::to_string(s.segments_skipped_time) + " pruned by time, " +
+         std::to_string(s.segments_skipped_zone) + " by zone maps)" +
+         (s.truncated ? " — truncated by the row budget" : "") + ".");
+    line("");
+  }
+  if (report.percentiles_resolved > 0) {
+    line("**Percentiles:** resolved " +
+         std::to_string(report.percentiles_resolved) + " threshold(s) over " +
+         std::to_string(report.quantiles.values_total) +
+         " stored values, decoding " +
+         std::to_string(report.quantiles.segments_decoded) + "/" +
+         std::to_string(report.quantiles.segments_total) + " segments.");
+    line("");
+  }
+
+  if (report.findings.empty()) {
+    line("No abnormal region to explain.");
+  }
+  for (size_t f = 0; f < report.findings.size(); ++f) {
+    const RegionFinding& finding = report.findings[f];
+    line("## Finding " + std::to_string(f + 1) + " — t in [" +
+         Num(finding.region.start) + ", " + Num(finding.region.end) + ") · " +
+         (finding.detector_confirmed ? "detector confirmed"
+                                     : "not detector confirmed"));
+    line("");
+    line("Window " + std::to_string(finding.window_rows) + " rows, " +
+         std::to_string(finding.abnormal_rows) + " abnormal.");
+    line("");
+    if (finding.causes.empty()) {
+      line("No stored causal model cleared the confidence bar.");
+      line("");
+    } else {
+      line("| # | likely cause | confidence | margin | suggested action |");
+      line("|--:|---|--:|--:|---|");
+      for (size_t i = 0; i < finding.causes.size(); ++i) {
+        const RankedCauseEntry& cause = finding.causes[i];
+        line("| " + std::to_string(i + 1) + " | " + cause.cause + " | " +
+             Fixed1(cause.confidence) + " | +" + Fixed1(cause.margin) +
+             " | " +
+             (cause.suggested_action.empty() ? "—" : cause.suggested_action) +
+             " |");
+      }
+      line("");
+    }
+    if (!finding.predicates.empty()) {
+      line("**Predicates:**");
+      for (const core::AttributeDiagnosis& p : finding.predicates) {
+        line("- `" + p.predicate.ToString() + "` (separation " +
+             Fixed1(p.partition_separation_power * 100.0) + ")");
+      }
+      line("");
+    }
+    if (!finding.warnings.empty()) {
+      line("**Data quality:**");
+      for (const core::DataQualityWarning& w : finding.warnings) {
+        line("- " + w.attribute + ": " + w.reason);
+      }
+      line("");
+    }
+    if (!finding.context.empty()) {
+      line("**Context:**");
+      line("");
+      line("```");
+      for (const SparklineRow& row : finding.context) {
+        line(row.attribute + " [" + Num(row.min) + " .. " + Num(row.max) +
+             "]");
+        line(row.cells);
+        if (!row.marker.empty()) line(row.marker);
+      }
+      line("```");
+      line("");
+    }
+  }
+
+  if (!report.notes.empty()) {
+    line("## Notes");
+    line("");
+    for (const std::string& n : report.notes) line("- " + n);
+  }
+  while (out.size() >= 2 && out[out.size() - 1] == '\n' &&
+         out[out.size() - 2] == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
+common::JsonValue ReportToJson(const IncidentReport& report) {
+  using common::JsonValue;
+  JsonValue::Object out;
+  out["tenant"] = report.tenant;
+  out["query"] = report.query;
+  out["kind"] = KindName(report.kind);
+
+  if (report.kind == QueryKind::kDescribe) {
+    const DescribeInfo& d = report.describe;
+    JsonValue::Object desc;
+    desc["attributes"] = static_cast<double>(d.num_attributes);
+    desc["numeric_attributes"] = static_cast<double>(d.numeric_attributes);
+    JsonValue::Array names;
+    for (const std::string& a : d.attributes) names.push_back(a);
+    desc["attribute_names"] = std::move(names);
+    desc["has_history"] = d.has_history;
+    if (d.has_history) {
+      desc["segments"] = static_cast<double>(d.segments);
+      desc["sealed_rows"] = static_cast<double>(d.sealed_rows);
+      desc["sealed_bytes"] = static_cast<double>(d.sealed_bytes);
+      desc["active_rows"] = static_cast<double>(d.active_rows);
+      desc["compression_ratio"] = Round4(d.compression_ratio);
+      if (d.has_extent) {
+        desc["min_ts"] = Round4(d.min_ts);
+        desc["max_ts"] = Round4(d.max_ts);
+      }
+    }
+    desc["models"] = static_cast<double>(d.models);
+    desc["diagnoses"] = static_cast<double>(d.diagnoses);
+    out["describe"] = std::move(desc);
+  } else {
+    out["rank_by"] =
+        report.rank_key == RankKey::kConfidence ? "confidence" : "margin";
+    out["top_k"] = static_cast<double>(report.top_k);
+    JsonValue::Array conditions;
+    for (const std::string& c : report.conditions) conditions.push_back(c);
+    out["conditions"] = std::move(conditions);
+    if (report.kind == QueryKind::kExplainWhere) {
+      JsonValue::Object discovery;
+      discovery["matched_rows"] = static_cast<double>(report.matched_rows);
+      discovery["segments"] =
+          static_cast<double>(report.discovery.segments_total);
+      discovery["segments_skipped_time"] =
+          static_cast<double>(report.discovery.segments_skipped_time);
+      discovery["segments_skipped_zone"] =
+          static_cast<double>(report.discovery.segments_skipped_zone);
+      discovery["segments_decoded"] =
+          static_cast<double>(report.discovery.segments_decoded);
+      discovery["truncated"] = report.discovery.truncated;
+      out["discovery"] = std::move(discovery);
+    }
+    if (report.percentiles_resolved > 0) {
+      JsonValue::Object quantiles;
+      quantiles["resolved"] =
+          static_cast<double>(report.percentiles_resolved);
+      quantiles["values_total"] =
+          static_cast<double>(report.quantiles.values_total);
+      quantiles["segments"] =
+          static_cast<double>(report.quantiles.segments_total);
+      quantiles["segments_decoded"] =
+          static_cast<double>(report.quantiles.segments_decoded);
+      out["quantiles"] = std::move(quantiles);
+    }
+    JsonValue::Array findings;
+    for (const RegionFinding& finding : report.findings) {
+      JsonValue::Object f;
+      JsonValue::Object region;
+      region["start"] = Round4(finding.region.start);
+      region["end"] = Round4(finding.region.end);
+      f["region"] = std::move(region);
+      f["detector_confirmed"] = finding.detector_confirmed;
+      f["window_rows"] = static_cast<double>(finding.window_rows);
+      f["abnormal_rows"] = static_cast<double>(finding.abnormal_rows);
+      JsonValue::Array causes;
+      for (const RankedCauseEntry& cause : finding.causes) {
+        JsonValue::Object c;
+        c["cause"] = cause.cause;
+        c["confidence"] = Round4(cause.confidence);
+        c["margin"] = Round4(cause.margin);
+        if (!cause.suggested_action.empty()) {
+          c["suggested_action"] = cause.suggested_action;
+        }
+        causes.push_back(std::move(c));
+      }
+      f["causes"] = std::move(causes);
+      JsonValue::Array predicates;
+      for (const core::AttributeDiagnosis& p : finding.predicates) {
+        JsonValue::Object pj;
+        pj["predicate"] = p.predicate.ToString();
+        pj["separation_power"] = Round4(p.separation_power);
+        pj["partition_separation_power"] =
+            Round4(p.partition_separation_power);
+        predicates.push_back(std::move(pj));
+      }
+      f["predicates"] = std::move(predicates);
+      JsonValue::Array warnings;
+      for (const core::DataQualityWarning& w : finding.warnings) {
+        JsonValue::Object wj;
+        wj["attribute"] = w.attribute;
+        wj["reason"] = w.reason;
+        wj["skipped"] = w.skipped;
+        warnings.push_back(std::move(wj));
+      }
+      f["warnings"] = std::move(warnings);
+      JsonValue::Array context;
+      for (const SparklineRow& row : finding.context) {
+        JsonValue::Object rj;
+        rj["attribute"] = row.attribute;
+        rj["cells"] = row.cells;
+        if (!row.marker.empty()) rj["marker"] = row.marker;
+        rj["min"] = row.min;
+        rj["max"] = row.max;
+        context.push_back(std::move(rj));
+      }
+      f["context"] = std::move(context);
+      findings.push_back(std::move(f));
+    }
+    out["findings"] = std::move(findings);
+  }
+
+  JsonValue::Array notes;
+  for (const std::string& n : report.notes) notes.push_back(n);
+  out["notes"] = std::move(notes);
+  return common::JsonValue(std::move(out));
+}
+
+}  // namespace dbsherlock::query

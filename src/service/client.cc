@@ -433,6 +433,11 @@ Result<common::JsonValue> Client::DiagnoseRange(const std::string& tenant,
                                            tenant.c_str(), t0, t1)));
 }
 
+Result<common::JsonValue> Client::Explain(const std::string& tenant,
+                                          const std::string& query) {
+  return ExpectJson(Call("EXPLAINQ " + tenant + " " + query));
+}
+
 Result<common::JsonValue> Client::Stats() {
   return ExpectJson(Call("STATS"));
 }

@@ -132,6 +132,11 @@ class Client {
   /// Retrospective diagnosis of [t0, t1) (DIAGNOSE_RANGE).
   common::Result<common::JsonValue> DiagnoseRange(const std::string& tenant,
                                                   double t0, double t1);
+  /// Runs one DQL statement (EXPLAINQ, DESIGN.md §16) and returns the
+  /// incident-report JSON (includes a "markdown" field). A rejected
+  /// statement's Status message carries the server's caret diagnostic.
+  common::Result<common::JsonValue> Explain(const std::string& tenant,
+                                            const std::string& query);
   common::Result<common::JsonValue> Stats();
   common::Result<common::JsonValue> Models();
   /// Replication pull (MODELSYNC): the shard's model corpus past

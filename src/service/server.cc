@@ -355,6 +355,12 @@ std::string Server::HandleLine(const std::string& line, bool* quit) {
       if (!diagnosis.ok()) return ErrLine(diagnosis.status());
       return OkLine(diagnosis->Dump());
     }
+    case RequestOp::kExplainQuery: {
+      auto report =
+          service.ExplainQueryJson(request.tenant, request.query_text);
+      if (!report.ok()) return ErrLine(report.status());
+      return OkLine(report->Dump());
+    }
     case RequestOp::kStats:
       return OkLine(service.StatsJson().Dump());
     case RequestOp::kModels:

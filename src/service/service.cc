@@ -10,6 +10,10 @@
 #include "common/simd/simd.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "query/compiler.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/report.h"
 #include "core/model_io.h"
 #include "tsdata/dataset_io.h"
 #include "tsdata/region.h"
@@ -568,6 +572,68 @@ Result<common::JsonValue> Service::DiagnoseRangeJson(
   out["causes"] = common::JsonValue(std::move(causes));
   out["predicates"] = explanation.PredicatesToString();
   return common::JsonValue(std::move(out));
+}
+
+Result<common::JsonValue> Service::ExplainQueryJson(
+    const std::string& tenant, const std::string& query_text) {
+  TRACE_SPAN("service.explain_query");
+  auto& metrics = common::MetricsRegistry::Global();
+  metrics.GetCounter("service.explain_queries")->Increment();
+  common::ScopedLatency timer(
+      metrics.GetHistogram("service.explain_query_us"));
+  auto found = tenants_.Find(tenant);
+  if (!found.ok()) return found.status();
+  std::shared_ptr<Tenant> t = std::move(*found);
+
+  auto parsed = query::Parse(query_text);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->kind == query::QueryKind::kDescribe &&
+      !parsed->tenant.empty() && parsed->tenant != tenant) {
+    return Status::InvalidArgument("DESCRIBE tenant '" + parsed->tenant +
+                                   "' does not match the request tenant '" +
+                                   tenant + "'");
+  }
+
+  query::CompileContext compile_context;
+  compile_context.schema = &t->schema;
+  compile_context.history = t->history.get();
+  auto compiled = query::Compile(*parsed, query_text, compile_context);
+  if (!compiled.ok()) return compiled.status();
+
+  query::ExecutionContext exec_context;
+  exec_context.schema = &t->schema;
+  exec_context.history = t->history.get();
+  exec_context.explainer = &explainer_;
+  if (options_.store != nullptr) {
+    // Rank against the fleet-wide durable corpus, not the explainer's
+    // own (empty) repository — same path as background diagnoses.
+    exec_context.rank = [this](const tsdata::Dataset& window,
+                               const tsdata::DiagnosisRegions& regions) {
+      tsdata::LabeledRows rows = tsdata::SplitRows(window, regions);
+      return options_.store->Rank(window, rows,
+                                  options_.explainer.predicate_options,
+                                  options_.min_confidence);
+    };
+    exec_context.models = options_.store->num_models();
+  }
+  {
+    std::lock_guard lock(t->diag_mu);
+    exec_context.diagnoses = t->diag_completed;
+  }
+
+  query::ExecutorOptions exec_options;
+  exec_options.max_rows = options_.max_range_rows;
+  exec_options.range_context_factor =
+      std::max(0.0, options_.range_context_factor);
+  exec_options.detector = options_.explainer.detector_options;
+  exec_options.parallelism = options_.explainer.predicate_options.parallelism;
+  auto report = query::Execute(*compiled, exec_context, exec_options);
+  if (!report.ok()) return report.status();
+  report->tenant = tenant;
+
+  common::JsonValue json = query::ReportToJson(*report);
+  json.as_object()["markdown"] = query::RenderMarkdown(*report);
+  return json;
 }
 
 void Service::NoteDurabilityError(const char* path,

@@ -147,6 +147,16 @@ class Service {
   common::Result<common::JsonValue> DiagnoseRangeJson(
       const std::string& tenant, double t0, double t1);
 
+  /// Runs one DQL statement (EXPLAINQ verb, DESIGN.md §16): parse →
+  /// compile (percentile thresholds resolved against the tenant's durable
+  /// history via zone-map bracketing, WHERE lowered onto pushdown bounds)
+  /// → execute under the --max-range-rows budget → incident report. The
+  /// returned JSON is the report object plus a "markdown" rendering;
+  /// parse/compile errors carry multi-line caret diagnostics in their
+  /// Status message (the wire layer JSON-encodes those on ERR lines).
+  common::Result<common::JsonValue> ExplainQueryJson(
+      const std::string& tenant, const std::string& query_text);
+
   /// Service-wide counters (STATS verb).
   common::JsonValue StatsJson() const;
 

@@ -331,6 +331,21 @@ Result<Request> ParseRequestLine(const std::string& line_in) {
     }
     return request;
   }
+  if (verb == "EXPLAINQ") {
+    request.op = RequestOp::kExplainQuery;
+    request.tenant = NextField(&rest);
+    if (!ValidTenantName(request.tenant)) {
+      return Status::InvalidArgument("invalid tenant name: " +
+                                     request.tenant);
+    }
+    // The DQL statement is everything after the tenant, verbatim — its
+    // own lexer handles whitespace, so no field tokenization here.
+    if (common::Trim(rest).empty()) {
+      return Status::InvalidArgument("EXPLAINQ without a query");
+    }
+    request.query_text = rest;
+    return request;
+  }
   if (verb == "APPEND" || verb == "APPENDSEQ") {
     request.op = RequestOp::kAppend;
     request.tenant = NextField(&rest);
@@ -379,13 +394,23 @@ std::string RetryAfterLine(int millis) {
 }
 
 std::string ErrLine(const Status& status) {
-  // Responses are single lines; flatten any embedded newlines.
-  std::string message = status.message();
-  for (char& c : message) {
-    if (c == '\n' || c == '\r') c = ' ';
+  // Responses are single lines. A message with embedded newlines (DQL
+  // caret diagnostics cite the query across three lines) — or one that
+  // starts with '"' and would be mistaken for the encoded form — travels
+  // as a JSON string literal; everything else is passed through verbatim,
+  // keeping the common case byte-identical to older servers.
+  const std::string& message = status.message();
+  bool needs_encoding = !message.empty() && message.front() == '"';
+  for (char c : message) {
+    if (c == '\n' || c == '\r') {
+      needs_encoding = true;
+      break;
+    }
   }
+  std::string body =
+      needs_encoding ? common::JsonValue(message).Dump() : message;
   return std::string("ERR ") + common::StatusCodeToString(status.code()) +
-         " " + message;
+         " " + body;
 }
 
 Result<Response> ParseResponseLine(const std::string& line_in) {
@@ -419,6 +444,15 @@ Result<Response> ParseResponseLine(const std::string& line_in) {
       if (code_name == common::StatusCodeToString(candidate)) {
         code = candidate;
         break;
+      }
+    }
+    // A leading '"' marks a JSON-encoded message (multi-line diagnostics);
+    // decode it back. A parse failure means the quote was literal text
+    // from an old server — keep the raw message rather than failing.
+    if (!message.empty() && message.front() == '"') {
+      auto decoded = common::ParseJson(message);
+      if (decoded.ok() && decoded->is_string()) {
+        message = decoded->as_string();
       }
     }
     response.error = common::Status(code, message);

@@ -28,6 +28,7 @@ namespace dbsherlock::service {
 ///     QUERY <tenant> <t0> <t1> [WHERE <clause>[;<clause>...]]
 ///                                                     history rows [t0,t1)
 ///     DIAGNOSE_RANGE <tenant> <t0> <t1>               diagnose [t0,t1)
+///     EXPLAINQ <tenant> <dql-statement>               DQL (DESIGN.md §16)
 ///     STATS
 ///     MODELS
 ///     MODELSYNC <since_seq>                           replication pull
@@ -70,6 +71,15 @@ namespace dbsherlock::service {
 /// retention (0 = unlimited); QUERY/DIAGNOSE_RANGE read that store, so
 /// they answer over regions that have long left the sliding window.
 ///
+/// EXPLAINQ runs one DQL statement (src/query) against the tenant's
+/// durable history: `EXPLAIN WHERE <attr> <op> <value|pN> [AND ...]
+/// BETWEEN <t0> <t1> [RANK BY confidence|margin] [TOP k]`,
+/// `EXPLAIN REGION <t0> <t1> ...`, or `DESCRIBE`. The statement is
+/// everything after the tenant field, verbatim. The response is
+/// OK <json> — the incident report object (ranked causes with margins,
+/// predicates, warnings, sparkline context) including a "markdown"
+/// rendering for humans.
+///
 /// QUERY's optional WHERE trailer pushes attribute bounds into the store
 /// scan (zone maps prune whole segments, DESIGN.md §14). Each clause is
 /// `<attr>>=<value>` or `<attr><=<value>` over a numeric attribute;
@@ -85,7 +95,12 @@ namespace dbsherlock::service {
 ///     OK [detail]            request applied
 ///     RETRY_AFTER <millis>   backpressure: tenant queue full, not acked —
 ///                            resend the same row after the given delay
-///     ERR <Code> <message>   rejected; Code is a StatusCode name
+///     ERR <Code> <message>   rejected; Code is a StatusCode name. A
+///                            message with embedded newlines (e.g. a DQL
+///                            caret diagnostic) or leading '"' travels as
+///                            one JSON string literal so it survives the
+///                            line protocol; clients detect the leading
+///                            '"' and decode. Plain messages are unchanged.
 ///
 /// Tenant names are restricted to [A-Za-z0-9_.-], at most 64 bytes, so
 /// they embed safely in metric names and file paths.
@@ -98,6 +113,7 @@ enum class RequestOp {
   kFlush,
   kQuery,
   kDiagnoseRange,
+  kExplainQuery,
   kStats,
   kModels,
   kModelSync,
@@ -123,6 +139,7 @@ struct Request {
   double t0 = 0.0;                       // query/diagnose_range, [t0, t1)
   double t1 = 0.0;
   std::vector<store::AttributeBound> bounds;  // query WHERE clauses
+  std::string query_text;                // explainq: the DQL statement
   bool has_retain = false;               // hello RETAIN clause present
   uint64_t retain_bytes = 0;             // 0 = unlimited
   double retain_age_sec = 0.0;           // 0 = unlimited

@@ -761,6 +761,233 @@ Result<tsdata::Dataset> TenantStore::ScanTail(size_t max_rows) const {
   }
 }
 
+Result<double> TenantStore::ResolveQuantile(const std::string& attribute,
+                                            double q,
+                                            QuantileStats* stats) const {
+  TRACE_SPAN("store.quantile");
+  auto& metrics = common::MetricsRegistry::Global();
+  common::ScopedLatency timer(metrics.GetHistogram("store.quantile_us"));
+  if (!(q >= 0.0 && q <= 1.0)) {
+    return Status::InvalidArgument("quantile fraction must be in [0, 1]");
+  }
+  auto idx = options_.schema.IndexOf(attribute);
+  if (!idx.ok()) {
+    return Status::NotFound("quantile on unknown attribute '" + attribute +
+                            "'");
+  }
+  if (options_.schema.attribute(*idx).kind ==
+      tsdata::AttributeKind::kCategorical) {
+    return Status::InvalidArgument("quantile on categorical attribute '" +
+                                   attribute + "'");
+  }
+  const size_t attr = *idx;
+
+  constexpr int kMaxAttempts = 3;
+  for (int attempt = 0;; ++attempt) {
+    // Snapshot under the shared lock; all file I/O happens outside it,
+    // same discipline as ScanVisitOnce.
+    std::vector<SegmentInfo> snapshot;
+    tsdata::Dataset active_copy;
+    uint64_t generation = 0;
+    {
+      std::shared_lock lock(mu_);
+      snapshot = segments_;
+      active_copy = active_;
+      generation = retention_generation_;
+    }
+
+    QuantileStats local;
+    local.segments_total = snapshot.size();
+
+    // The active tail is already in memory: its values are exact.
+    std::vector<double> active_vals;
+    if (active_copy.num_rows() > 0) {
+      for (double v : active_copy.column(attr).numeric_values()) {
+        if (!std::isnan(v)) active_vals.push_back(v);
+      }
+    }
+
+    // Zone-map census. A segment without a usable zone map (should not
+    // happen after the v2 upgrade, but stay safe) is treated as spanning
+    // everything, which only forces it into the decode set.
+    struct SegCensus {
+      size_t idx = 0;
+      double min = -std::numeric_limits<double>::infinity();
+      double max = std::numeric_limits<double>::infinity();
+      uint64_t count = 0;
+    };
+    std::vector<SegCensus> census;
+    census.reserve(snapshot.size());
+    uint64_t total = active_vals.size();
+    bool counts_known = true;
+    for (size_t s = 0; s < snapshot.size(); ++s) {
+      SegCensus c;
+      c.idx = s;
+      if (snapshot[s].zones.attrs.size() ==
+          options_.schema.num_attributes()) {
+        const AttrZone& zone = snapshot[s].zones.attrs[attr];
+        c.min = zone.min;
+        c.max = zone.max;
+        c.count = zone.non_nan_count;
+      } else {
+        counts_known = false;
+      }
+      census.push_back(c);
+    }
+
+    // Without trustworthy counts the bracket cannot be derived; fall back
+    // to decoding everything (the census entries already span everything).
+    if (counts_known) {
+      for (const SegCensus& c : census) total += c.count;
+    }
+    if (counts_known && total == 0) {
+      return Status::FailedPrecondition("no non-NaN values stored for '" +
+                                        attribute + "'");
+    }
+
+    // Bracket the k-th order statistic. LB(t) counts values certainly
+    // <= t (segments whose zone max <= t, plus exact active values);
+    // UB(t) counts values possibly <= t (zone min <= t). The k-th value
+    // lies in (lo, hi] where lo is the largest candidate with UB < k and
+    // hi the smallest with LB >= k.
+    uint64_t k = 0;
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    if (counts_known) {
+      k = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+      if (k < 1) k = 1;
+      if (k > total) k = total;
+      std::vector<double> candidates;
+      candidates.reserve(2 * census.size() + active_vals.size());
+      for (const SegCensus& c : census) {
+        if (c.count == 0) continue;
+        if (!std::isnan(c.min)) candidates.push_back(c.min);
+        if (!std::isnan(c.max)) candidates.push_back(c.max);
+      }
+      candidates.insert(candidates.end(), active_vals.begin(),
+                        active_vals.end());
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+      for (double t : candidates) {
+        uint64_t lb = 0;
+        uint64_t ub = 0;
+        for (const SegCensus& c : census) {
+          if (c.max <= t) lb += c.count;
+          if (c.min <= t) ub += c.count;
+        }
+        for (double a : active_vals) {
+          if (a <= t) {
+            ++lb;
+            ++ub;
+          }
+        }
+        if (ub < k) lo = t;
+        if (lb >= k && t < hi) hi = t;
+      }
+    }
+
+    // Decode only segments straddling (lo, hi]; fully-below segments
+    // contribute their counts, fully-above ones nothing at all.
+    std::vector<size_t> decode_plan;
+    uint64_t known_below = 0;
+    for (const SegCensus& c : census) {
+      if (counts_known && c.count == 0) continue;
+      if (c.max <= lo) {
+        known_below += c.count;
+      } else if (c.min <= hi) {
+        decode_plan.push_back(c.idx);
+      }
+    }
+
+    std::vector<SegmentChunk> results = common::ParallelMap(
+        decode_plan.size(), [&](size_t i) {
+          SegmentChunk out;
+          std::string blob;
+          out.status = ReadFile(snapshot[decode_plan[i]].path, &blob);
+          if (!out.status.ok()) {
+            out.not_found =
+                out.status.code() == common::StatusCode::kNotFound;
+            return out;
+          }
+          auto decoded = DecodeSegment(blob);
+          if (!decoded.ok()) {
+            out.status = Status::IoError(
+                "corrupt sealed segment " + snapshot[decode_plan[i]].path +
+                ": " + decoded.status().message());
+            return out;
+          }
+          out.chunk = std::move(*decoded);
+          return out;
+        });
+    local.segments_decoded = decode_plan.size();
+
+    bool raced = false;
+    Status status;
+    std::vector<double> pool;
+    for (SegmentChunk& r : results) {
+      if (r.not_found) {
+        std::shared_lock lock(mu_);
+        if (generation != retention_generation_ &&
+            attempt + 1 < kMaxAttempts) {
+          raced = true;
+          scan_retries_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        status = Status::IoError("sealed segment vanished mid-quantile: " +
+                                 r.status.message());
+        break;
+      }
+      if (!r.status.ok()) {
+        status = r.status;
+        break;
+      }
+      for (double v : r.chunk.column(attr).numeric_values()) {
+        if (std::isnan(v)) continue;
+        if (counts_known && v <= lo) {
+          ++known_below;
+        } else {
+          pool.push_back(v);
+        }
+      }
+    }
+    if (raced) continue;
+    DBSHERLOCK_RETURN_NOT_OK(status);
+    for (double a : active_vals) {
+      if (counts_known && a <= lo) {
+        ++known_below;
+      } else {
+        pool.push_back(a);
+      }
+    }
+    if (!counts_known) {
+      // Legacy path: everything was decoded; rank over the pool directly.
+      total = pool.size();
+      if (total == 0) {
+        return Status::FailedPrecondition("no non-NaN values stored for '" +
+                                          attribute + "'");
+      }
+      k = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+      if (k < 1) k = 1;
+      if (k > total) k = total;
+      known_below = 0;
+    }
+    local.values_total = total;
+    local.rank = k;
+    if (k <= known_below || pool.size() < k - known_below) {
+      return Status::Internal("quantile bracket lost the order statistic ('" +
+                              attribute + "', rank " + std::to_string(k) +
+                              ")");
+    }
+    size_t target = static_cast<size_t>(k - known_below) - 1;
+    std::nth_element(pool.begin(), pool.begin() + target, pool.end());
+    metrics.GetCounter("store.quantile_segments_decoded")
+        ->Increment(local.segments_decoded);
+    if (stats != nullptr) *stats = local;
+    return pool[target];
+  }
+}
+
 size_t TenantStore::num_segments() const {
   std::shared_lock lock(mu_);
   return segments_.size();

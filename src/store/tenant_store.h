@@ -82,6 +82,15 @@ struct ScanStats {
   bool truncated = false;            // max_rows cut the scan short
 };
 
+/// What one ResolveQuantile call did — how much the zone-map bracketing
+/// saved versus decoding every sealed segment.
+struct QuantileStats {
+  size_t segments_total = 0;    // sealed segments in the snapshot
+  size_t segments_decoded = 0;  // straddled the bracket and were inflated
+  uint64_t values_total = 0;    // non-NaN values ranked (sealed + active)
+  uint64_t rank = 0;            // 1-based order statistic returned
+};
+
 /// Receives scan output incrementally, in timestamp order. Rare restarts
 /// (a retention race deleted a snapshotted segment mid-scan) invoke
 /// `on_reset` and the chunk sequence starts over from the beginning.
@@ -149,6 +158,17 @@ class TenantStore {
   /// The newest `max_rows` rows (or fewer), in timestamp order — the
   /// restart-rehydration path for StreamingMonitor.
   common::Result<tsdata::Dataset> ScanTail(size_t max_rows) const;
+
+  /// Exact q-quantile (0 <= q <= 1) of every stored value of a numeric
+  /// attribute — sealed segments plus the active tail, NaNs excluded —
+  /// computed as the ceil(q*N)-th order statistic. The manifest zone maps
+  /// bracket where that order statistic can live, so segments provably
+  /// below the bracket contribute only their counts and segments provably
+  /// above it are never read; only straddling segments are decoded
+  /// (DESIGN.md §16). FailedPrecondition when no non-NaN value is stored.
+  common::Result<double> ResolveQuantile(const std::string& attribute,
+                                         double q,
+                                         QuantileStats* stats) const;
 
   /// Re-arms the retention policy (HELLO RETAIN); enforcement happens on
   /// the next seal.

@@ -1,0 +1,265 @@
+// DQL semantic compiler + exact quantile resolution (DESIGN.md §16):
+// ResolveQuantile must agree bit-for-bit with a naive full-sort order
+// statistic while decoding strictly fewer segments than a full scan
+// (zone-map bracketing), attribute aliasing must resolve user spellings
+// onto schema names, and Compile must lower WHERE conjuncts onto the
+// store's pushdown bounds with caret-diagnostic errors for the rest.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/compiler.h"
+#include "query/parser.h"
+#include "simulator/metric_schema.h"
+#include "store/tenant_store.h"
+
+namespace dbsherlock::query {
+namespace {
+
+using common::StatusCode;
+using store::QuantileStats;
+using store::TenantStore;
+using tsdata::AttributeKind;
+using tsdata::Schema;
+
+Schema TestSchema() {
+  return Schema({{"latency", AttributeKind::kNumeric},
+                 {"cpu", AttributeKind::kNumeric},
+                 {"mode", AttributeKind::kCategorical}});
+}
+
+std::string StoreDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/dbsherlock_qcompile_" +
+                    std::to_string(getpid()) + "_" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  return dir;
+}
+
+std::unique_ptr<TenantStore> MustOpen(TenantStore::Options options) {
+  auto store = TenantStore::Open(std::move(options));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(*store);
+}
+
+TenantStore::Options SmallOptions(const std::string& dir, size_t seal_rows) {
+  TenantStore::Options options;
+  options.dir = dir;
+  options.schema = TestSchema();
+  options.seal_rows = seal_rows;
+  options.fsync_on_seal = false;
+  return options;
+}
+
+/// The ground truth ResolveQuantile must match: k-th smallest (1-based,
+/// k = ceil(q*N), clamped to [1, N]) over every non-NaN stored value.
+double NaiveQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  size_t n = values.size();
+  size_t k = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+  if (k < 1) k = 1;
+  if (k > n) k = n;
+  return values[k - 1];
+}
+
+TEST(ResolveQuantileTest, MatchesFullSortAcrossQs) {
+  auto store = MustOpen(SmallOptions(StoreDir("qs"), 16));
+  common::Pcg32 rng(11, 3);
+  std::vector<double> latencies;
+  for (int t = 0; t < 500; ++t) {
+    double latency = rng.NextDouble(0.0, 100.0);
+    latencies.push_back(latency);
+    ASSERT_TRUE(store->Append(t, {latency, 40.0, "ok"}).ok());
+  }
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    QuantileStats stats;
+    auto got = store->ResolveQuantile("latency", q, &stats);
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status().ToString();
+    EXPECT_EQ(*got, NaiveQuantile(latencies, q)) << "q=" << q;
+    EXPECT_EQ(stats.values_total, 500u);
+  }
+}
+
+TEST(ResolveQuantileTest, DecodesFewerSegmentsThanFullScan) {
+  // Time-sorted latencies: each 16-row segment's zone covers a narrow
+  // value band, so bracketing p99 should decode only segments straddling
+  // the bracket — far fewer than all of them.
+  auto store = MustOpen(SmallOptions(StoreDir("prune"), 16));
+  for (int t = 0; t < 800; ++t) {
+    ASSERT_TRUE(store->Append(t, {static_cast<double>(t), 40.0, "ok"}).ok());
+  }
+  ASSERT_TRUE(store->Seal().ok());
+  QuantileStats stats;
+  auto got = store->ResolveQuantile("latency", 0.99, &stats);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, 791.0);  // k = ceil(0.99*800) = 792 -> value 791
+  EXPECT_EQ(stats.segments_total, 50u);
+  EXPECT_LT(stats.segments_decoded, stats.segments_total);
+  EXPECT_LE(stats.segments_decoded, 3u) << "bracketing barely pruned";
+  EXPECT_EQ(stats.rank, 792u);
+}
+
+TEST(ResolveQuantileTest, FuzzParityWithNaNsAndActiveTail) {
+  common::Pcg32 rng(0xD00D, 5);
+  size_t iters = 30;
+  for (size_t i = 0; i < iters; ++i) {
+    auto store = MustOpen(
+        SmallOptions(StoreDir("fuzz" + std::to_string(i)),
+                     static_cast<size_t>(rng.NextInt(4, 40))));
+    std::vector<double> clean;
+    int rows = rng.NextInt(1, 400);
+    for (int t = 0; t < rows; ++t) {
+      double v;
+      if (rng.NextInt(0, 9) == 0) {
+        v = std::numeric_limits<double>::quiet_NaN();
+      } else if (rng.NextInt(0, 3) == 0) {
+        v = rng.NextInt(-5, 5);  // heavy ties
+      } else {
+        v = rng.NextDouble(-1e3, 1e3);
+      }
+      if (!std::isnan(v)) clean.push_back(v);
+      ASSERT_TRUE(store->Append(t, {v, 1.0, "ok"}).ok());
+    }
+    double q = rng.NextDouble();
+    QuantileStats stats;
+    auto got = store->ResolveQuantile("latency", q, &stats);
+    if (clean.empty()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kFailedPrecondition);
+      continue;
+    }
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, NaiveQuantile(clean, q))
+        << "iter " << i << " q=" << q << " rows=" << rows;
+    EXPECT_EQ(stats.values_total, clean.size());
+  }
+}
+
+TEST(ResolveQuantileTest, RejectsBadArguments) {
+  auto store = MustOpen(SmallOptions(StoreDir("bad"), 16));
+  ASSERT_TRUE(store->Append(0, {1.0, 2.0, "ok"}).ok());
+  QuantileStats stats;
+  EXPECT_EQ(store->ResolveQuantile("latency", -0.1, &stats).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->ResolveQuantile("latency", 1.1, &stats).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store->ResolveQuantile("nosuch", 0.5, &stats).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store->ResolveQuantile("mode", 0.5, &stats).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Attribute resolution ------------------------------------------------
+
+TEST(ResolveAttributeTest, ExactWinsThenAliasesThenSubstring) {
+  // On a schema with a literal "latency", exact match wins.
+  EXPECT_EQ(*ResolveAttribute(TestSchema(), "latency"), "latency");
+  EXPECT_EQ(*ResolveAttribute(TestSchema(), "LATENCY"), "latency");
+
+  // On the paper's simulator schema, the alias table maps the colloquial
+  // names onto the real attributes.
+  Schema sim = simulator::MetricSchema();
+  EXPECT_EQ(*ResolveAttribute(sim, "latency"), "avg_latency_ms");
+  EXPECT_EQ(*ResolveAttribute(sim, "cpu"), "os_cpu_usage");
+  EXPECT_EQ(*ResolveAttribute(sim, "throughput"), "throughput_tps");
+  EXPECT_EQ(*ResolveAttribute(sim, "tps"), "throughput_tps");
+  EXPECT_EQ(*ResolveAttribute(sim, "iowait"), "os_cpu_iowait");
+  // Unique substring resolves too.
+  EXPECT_EQ(*ResolveAttribute(sim, "lock_waits"), "lock_waits");
+  auto missing = ResolveAttribute(sim, "definitely_not_a_metric");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// --- Compile -------------------------------------------------------------
+
+CompiledQuery MustCompile(const std::string& text,
+                          const CompileContext& context) {
+  auto parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  auto compiled = Compile(*parsed, text, context);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().message();
+  return compiled.ok() ? *compiled : CompiledQuery{};
+}
+
+TEST(CompileTest, LowersComparisonsOntoClosedBounds) {
+  Schema schema = TestSchema();
+  CompileContext context;
+  context.schema = &schema;
+  CompiledQuery q = MustCompile(
+      "EXPLAIN WHERE latency > 10 AND cpu <= 80 AND latency = 5 "
+      "BETWEEN 0 100",
+      context);
+  ASSERT_EQ(q.conditions.size(), 3u);
+  // Strict > lowers to the next representable double (closed [lo, hi]).
+  EXPECT_EQ(q.conditions[0].bound.lo,
+            std::nextafter(10.0, std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(q.conditions[0].bound.hi,
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(q.conditions[1].bound.hi, 80.0);
+  EXPECT_EQ(q.conditions[2].bound.lo, 5.0);
+  EXPECT_EQ(q.conditions[2].bound.hi, 5.0);
+}
+
+TEST(CompileTest, ResolvesPercentilesAgainstHistory) {
+  auto store = MustOpen(SmallOptions(StoreDir("compile_p"), 16));
+  for (int t = 0; t < 200; ++t) {
+    ASSERT_TRUE(store->Append(t, {static_cast<double>(t), 40.0, "ok"}).ok());
+  }
+  Schema schema = TestSchema();
+  CompileContext context;
+  context.schema = &schema;
+  context.history = store.get();
+  CompiledQuery q =
+      MustCompile("EXPLAIN WHERE latency > p50 BETWEEN 0 100", context);
+  ASSERT_EQ(q.conditions.size(), 1u);
+  EXPECT_EQ(q.conditions[0].threshold, 99.0);  // k = ceil(0.5*200) = 100
+  EXPECT_EQ(q.percentiles_resolved, 1u);
+  EXPECT_EQ(q.quantile_stats.values_total, 200u);
+}
+
+TEST(CompileTest, ErrorCodesAndCarets) {
+  Schema schema = TestSchema();
+  CompileContext context;
+  context.schema = &schema;  // no history
+
+  auto parse_then_compile = [&](const std::string& text) {
+    auto parsed = Parse(text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+    return Compile(*parsed, text, context);
+  };
+
+  // Percentile without a history store.
+  auto no_history =
+      parse_then_compile("EXPLAIN WHERE latency > p99 BETWEEN 0 1");
+  EXPECT_EQ(no_history.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(no_history.status().message().find('^'), std::string::npos);
+
+  // Unknown attribute: NotFound with a caret under the attribute.
+  auto unknown = parse_then_compile("EXPLAIN WHERE zorp > 1 BETWEEN 0 1");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(unknown.status().message().find("zorp"), std::string::npos);
+
+  // Categorical attribute cannot be compared numerically.
+  auto categorical = parse_then_compile("EXPLAIN WHERE mode > 1 BETWEEN 0 1");
+  EXPECT_EQ(categorical.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompileTest, DescribePassesThrough) {
+  Schema schema = TestSchema();
+  CompileContext context;
+  context.schema = &schema;
+  CompiledQuery q = MustCompile("DESCRIBE", context);
+  EXPECT_EQ(q.ast.kind, QueryKind::kDescribe);
+  EXPECT_TRUE(q.conditions.empty());
+}
+
+}  // namespace
+}  // namespace dbsherlock::query

@@ -1,0 +1,331 @@
+// DQL executor (DESIGN.md §16): WHERE discovery must ride the zone-map
+// pushdown (fewer segments decoded than a full scan — the PR's acceptance
+// bar), find the injected anomaly, rank the taught cause top-1 with
+// confidence margins, degrade budget overruns into report notes, and
+// render sparkline context. DESCRIBE and REGION paths ride along.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/explainer.h"
+#include "query/compiler.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/report.h"
+#include "store/tenant_store.h"
+
+namespace dbsherlock::query {
+namespace {
+
+using store::TenantStore;
+using tsdata::AttributeKind;
+using tsdata::Schema;
+
+Schema TwoNumeric() {
+  return Schema({{"latency", AttributeKind::kNumeric},
+                 {"cpu", AttributeKind::kNumeric}});
+}
+
+std::string StoreDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/dbsherlock_qexec_" +
+                    std::to_string(getpid()) + "_" + name;
+  std::string cmd = "rm -rf '" + dir + "'";
+  (void)std::system(cmd.c_str());
+  return dir;
+}
+
+/// A store with 2000 deterministic rows: latency ~N(10, 1.5) / cpu
+/// ~N(40, 2) except a [1000, 1060) anomaly at ~N(90, 1.5) / ~N(95, 2).
+std::unique_ptr<TenantStore> AnomalyStore(const std::string& name) {
+  TenantStore::Options options;
+  options.dir = StoreDir(name);
+  options.schema = TwoNumeric();
+  options.seal_rows = 64;
+  options.fsync_on_seal = false;
+  auto open = TenantStore::Open(std::move(options));
+  EXPECT_TRUE(open.ok()) << open.status().ToString();
+  auto store = std::move(*open);
+  common::Pcg32 rng(7);
+  for (int t = 0; t < 2000; ++t) {
+    bool ab = t >= 1000 && t < 1060;
+    double latency = (ab ? 90.0 : 10.0) + rng.NextGaussian(0.0, 1.5);
+    double cpu = (ab ? 95.0 : 40.0) + rng.NextGaussian(0.0, 2.0);
+    EXPECT_TRUE(store->Append(t, {latency, cpu}).ok());
+  }
+  EXPECT_TRUE(store->Seal().ok());
+  return store;
+}
+
+/// An explainer that knows one cause matching the injected anomaly.
+core::Explainer TaughtExplainer() {
+  core::Explainer explainer;
+  core::CausalModel model;
+  model.cause = "CPU hog";
+  model.suggested_action = "throttle the batch job";
+  model.predicates = {
+      core::Predicate{
+          "cpu", core::PredicateType::kGreaterThan, 70.0, 0.0, {}},
+      core::Predicate{
+          "latency", core::PredicateType::kGreaterThan, 50.0, 0.0, {}}};
+  explainer.repository().Add(std::move(model));
+  return explainer;
+}
+
+IncidentReport MustExecute(const std::string& text, const Schema& schema,
+                           const TenantStore* history,
+                           const core::Explainer& explainer,
+                           ExecutorOptions options = {}) {
+  auto parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().message();
+  CompileContext compile_context;
+  compile_context.schema = &schema;
+  compile_context.history = history;
+  auto compiled = Compile(*parsed, text, compile_context);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().message();
+  ExecutionContext context;
+  context.schema = &schema;
+  context.history = history;
+  context.explainer = &explainer;
+  auto report = Execute(*compiled, context, options);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? *report : IncidentReport{};
+}
+
+TEST(QueryExecutorTest, ExplainWhereFindsInjectedAnomalyTopOne) {
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("top1");
+  core::Explainer explainer = TaughtExplainer();
+  IncidentReport report = MustExecute(
+      "EXPLAIN WHERE latency > p95 BETWEEN 950 1100 RANK BY confidence TOP 3",
+      schema, store.get(), explainer);
+
+  EXPECT_EQ(report.percentiles_resolved, 1u);
+  EXPECT_GE(report.matched_rows, 60u);
+  ASSERT_GE(report.findings.size(), 1u);
+  // The largest finding overlaps the injected [1000, 1060) region and
+  // names the taught cause first, with a positive margin over lambda.
+  const RegionFinding* best = &report.findings[0];
+  for (const RegionFinding& f : report.findings) {
+    if (f.abnormal_rows > best->abnormal_rows) best = &f;
+  }
+  EXPECT_LT(best->region.start, 1060.0);
+  EXPECT_GT(best->region.end, 1000.0);
+  ASSERT_FALSE(best->causes.empty());
+  EXPECT_EQ(best->causes[0].cause, "CPU hog");
+  EXPECT_GT(best->causes[0].confidence, 20.0);
+  EXPECT_GT(best->causes[0].margin, 0.0);
+  EXPECT_EQ(best->causes[0].suggested_action, "throttle the batch job");
+  EXPECT_FALSE(best->predicates.empty());
+  // Sparkline context charts the queried attribute with a marker line.
+  ASSERT_FALSE(best->context.empty());
+  EXPECT_EQ(best->context[0].attribute, "latency");
+  EXPECT_NE(best->context[0].marker.find('^'), std::string::npos);
+}
+
+TEST(QueryExecutorTest, DiscoveryDecodesFewerSegmentsThanFullScan) {
+  // Full time range, selective value bound: zone maps must prune the
+  // ~30 all-normal segments, so discovery decodes only the anomaly's
+  // neighborhood — strictly fewer segments than a full scan would.
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("prune");
+  core::Explainer explainer = TaughtExplainer();
+  IncidentReport report =
+      MustExecute("EXPLAIN WHERE latency >= 80 BETWEEN 0 2000", schema,
+                  store.get(), explainer);
+  EXPECT_GT(report.discovery.segments_total, 20u);
+  EXPECT_GT(report.discovery.segments_skipped_zone, 0u);
+  EXPECT_LT(report.discovery.segments_decoded, report.discovery.segments_total);
+  ASSERT_GE(report.findings.size(), 1u);
+  ASSERT_FALSE(report.findings[0].causes.empty());
+  EXPECT_EQ(report.findings[0].causes[0].cause, "CPU hog");
+}
+
+TEST(QueryExecutorTest, ExplainRegionDiagnosesMarkedRange) {
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("region");
+  core::Explainer explainer = TaughtExplainer();
+  IncidentReport report = MustExecute("EXPLAIN REGION 1000 1060 TOP 1",
+                                      schema, store.get(), explainer);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].region.start, 1000.0);
+  EXPECT_EQ(report.findings[0].region.end, 1060.0);
+  ASSERT_EQ(report.findings[0].causes.size(), 1u);  // TOP 1 applied
+  EXPECT_EQ(report.findings[0].causes[0].cause, "CPU hog");
+}
+
+TEST(QueryExecutorTest, NoMatchesBecomesNoteNotError) {
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("nomatch");
+  core::Explainer explainer = TaughtExplainer();
+  IncidentReport report = MustExecute(
+      "EXPLAIN WHERE latency > 100000 BETWEEN 0 2000", schema, store.get(),
+      explainer);
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_FALSE(report.notes.empty());
+  EXPECT_NE(report.notes[0].find("no rows matched"), std::string::npos);
+}
+
+TEST(QueryExecutorTest, RowBudgetOverrunBecomesNote) {
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("budget");
+  core::Explainer explainer = TaughtExplainer();
+  ExecutorOptions options;
+  options.max_rows = 40;  // discovery over 2000 candidate rows must clip
+  IncidentReport report =
+      MustExecute("EXPLAIN WHERE latency > 0 BETWEEN 0 2000", schema,
+                  store.get(), explainer, options);
+  EXPECT_TRUE(report.discovery.truncated);
+  bool noted = false;
+  for (const std::string& note : report.notes) {
+    if (note.find("row budget") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted) << RenderMarkdown(report);
+}
+
+TEST(QueryExecutorTest, MarginRankingAndLambdaFloor) {
+  // Two causes: the margin of #1 is its lead over #2; the last cause's
+  // margin is its lead over lambda (confidence_threshold = 20).
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("margin");
+  core::Explainer explainer = TaughtExplainer();
+  core::CausalModel other;
+  other.cause = "Mild suspect";
+  // Matches the anomaly only loosely: high cpu but absurd latency bar.
+  other.predicates = {
+      core::Predicate{
+          "cpu", core::PredicateType::kGreaterThan, 70.0, 0.0, {}},
+      core::Predicate{
+          "latency", core::PredicateType::kGreaterThan, 200.0, 0.0, {}}};
+  explainer.repository().Add(std::move(other));
+  IncidentReport report = MustExecute(
+      "EXPLAIN WHERE latency > p95 BETWEEN 950 1100 RANK BY margin",
+      schema, store.get(), explainer);
+  ASSERT_GE(report.findings.size(), 1u);
+  const std::vector<RankedCauseEntry>& causes = report.findings[0].causes;
+  ASSERT_FALSE(causes.empty());
+  for (size_t i = 0; i + 1 < causes.size(); ++i) {
+    EXPECT_GE(causes[i].margin, causes[i + 1].margin) << "RANK BY margin";
+  }
+  for (const RankedCauseEntry& c : causes) {
+    EXPECT_GE(c.margin, 0.0);
+    EXPECT_GE(c.confidence, 20.0) << "below-lambda cause shown";
+  }
+}
+
+TEST(QueryExecutorTest, DescribeReportsStoreShape) {
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("describe");
+  core::Explainer explainer;
+  ExecutionContext context;
+  context.schema = &schema;
+  context.history = store.get();
+  context.explainer = &explainer;
+  context.models = 5;
+  context.diagnoses = 2;
+  auto parsed = Parse("DESCRIBE");
+  ASSERT_TRUE(parsed.ok());
+  CompileContext compile_context;
+  compile_context.schema = &schema;
+  auto compiled = Compile(*parsed, "DESCRIBE", compile_context);
+  ASSERT_TRUE(compiled.ok());
+  auto report = Execute(*compiled, context, {});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const DescribeInfo& d = report->describe;
+  EXPECT_TRUE(d.has_history);
+  EXPECT_EQ(d.num_attributes, 2u);
+  EXPECT_EQ(d.numeric_attributes, 2u);
+  EXPECT_EQ(d.attributes, (std::vector<std::string>{"latency", "cpu"}));
+  EXPECT_GT(d.segments, 0u);
+  EXPECT_EQ(d.sealed_rows, 2000u);
+  EXPECT_TRUE(d.has_extent);
+  EXPECT_EQ(d.min_ts, 0.0);
+  EXPECT_EQ(d.models, 5u);
+  EXPECT_EQ(d.diagnoses, 2u);
+}
+
+TEST(QueryExecutorTest, MissingHistoryIsFailedPrecondition) {
+  Schema schema = TwoNumeric();
+  core::Explainer explainer;
+  auto parsed = Parse("EXPLAIN REGION 0 1");
+  ASSERT_TRUE(parsed.ok());
+  CompileContext compile_context;
+  compile_context.schema = &schema;
+  auto compiled = Compile(*parsed, "EXPLAIN REGION 0 1", compile_context);
+  ASSERT_TRUE(compiled.ok());
+  ExecutionContext context;
+  context.schema = &schema;
+  context.explainer = &explainer;
+  auto report = Execute(*compiled, context, {});
+  EXPECT_EQ(report.status().code(),
+            common::StatusCode::kFailedPrecondition);
+}
+
+// --- Sparkline -----------------------------------------------------------
+
+TEST(SparklineTest, BucketsLevelsAndMarker) {
+  std::vector<double> values;
+  std::vector<double> ts;
+  for (int i = 0; i < 80; ++i) {
+    ts.push_back(i);
+    values.push_back(i < 40 ? 0.0 : 100.0);
+  }
+  SparklineRow row = RenderSparkline("x", values, ts, {40.0, 80.0}, 8);
+  EXPECT_EQ(row.attribute, "x");
+  // 8 levels over a step function: low buckets then high buckets.
+  EXPECT_NE(row.cells.find("▁"), std::string::npos);
+  EXPECT_NE(row.cells.find("█"), std::string::npos);
+  EXPECT_NE(row.marker.find('^'), std::string::npos);
+  EXPECT_EQ(row.min, 0.0);
+  EXPECT_EQ(row.max, 100.0);
+}
+
+TEST(SparklineTest, FlatAndEmptySeries) {
+  std::vector<double> flat(10, 5.0);
+  std::vector<double> ts;
+  for (int i = 0; i < 10; ++i) ts.push_back(i);
+  SparklineRow row = RenderSparkline("flat", flat, ts, {100.0, 200.0}, 5);
+  EXPECT_FALSE(row.cells.empty());
+  EXPECT_EQ(row.marker.find('^'), std::string::npos);  // region outside
+
+  SparklineRow empty = RenderSparkline("none", {}, {}, {0.0, 1.0}, 5);
+  EXPECT_TRUE(empty.cells.empty());
+}
+
+// --- Rendering smoke (exact bytes are pinned by the golden suite) --------
+
+TEST(QueryReportTest, MarkdownAndJsonCarryTheStory) {
+  Schema schema = TwoNumeric();
+  auto store = AnomalyStore("render");
+  core::Explainer explainer = TaughtExplainer();
+  IncidentReport report = MustExecute(
+      "EXPLAIN WHERE latency > p95 BETWEEN 950 1100 TOP 3", schema,
+      store.get(), explainer);
+  report.tenant = "t0";
+
+  std::string md = RenderMarkdown(report);
+  EXPECT_NE(md.find("CPU hog"), std::string::npos);
+  EXPECT_NE(md.find("Finding"), std::string::npos);
+  EXPECT_NE(md.find("latency"), std::string::npos);
+
+  common::JsonValue json = ReportToJson(report);
+  EXPECT_EQ(json.GetString("tenant").ValueOr(""), "t0");
+  EXPECT_EQ(json.GetString("kind").ValueOr(""), "explain_where");
+  auto findings = json.GetArray("findings");
+  ASSERT_TRUE(findings.ok());
+  ASSERT_FALSE((*findings)->as_array().empty());
+  auto causes = (*findings)->as_array().front().GetArray("causes");
+  ASSERT_TRUE(causes.ok());
+  EXPECT_EQ(
+      (*causes)->as_array().front().GetString("cause").ValueOr(""),
+      "CPU hog");
+}
+
+}  // namespace
+}  // namespace dbsherlock::query

@@ -1,0 +1,342 @@
+// DQL lexer/parser tests (DESIGN.md §16): grammar coverage, span-accurate
+// caret diagnostics, the canonical-print round-trip property
+// (Parse(Print(q)).Print() == Print(q)), and a seeded byte/token-mutation
+// fuzz loop asserting the parser never crashes and every error span lands
+// inside the input. Fuzz iteration count is tunable via
+// DBSHERLOCK_QUERY_FUZZ_ITERS for the bounded CI job.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "query/diagnostic.h"
+#include "query/lexer.h"
+#include "query/parser.h"
+
+namespace dbsherlock::query {
+namespace {
+
+Query MustParse(const std::string& text) {
+  auto parsed = Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << "\n" << parsed.status().message();
+  return parsed.ok() ? *parsed : Query{};
+}
+
+std::string FailMessage(const std::string& text) {
+  Diagnostic diag;
+  auto parsed = Parse(text, &diag);
+  EXPECT_FALSE(parsed.ok()) << text;
+  return parsed.ok() ? "" : parsed.status().message();
+}
+
+TEST(QueryLexerTest, TokenizesOperatorsNumbersAndPercentiles) {
+  auto tokens = Lex("latency >= p99 AND cpu < 12.5e1");
+  ASSERT_EQ(tokens.size(), 8u);  // incl. terminal kEnd
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "latency");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kOp);
+  EXPECT_EQ(tokens[1].op, CompareOp::kGe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPercentile);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 99.0);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdent);  // AND is just an ident here
+  EXPECT_EQ(tokens[6].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[6].number, 125.0);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kEnd);
+}
+
+TEST(QueryLexerTest, PercentileNeedsAllDigits) {
+  // p99_latency_ms is an attribute name, not the 99th percentile.
+  auto tokens = Lex("p99_latency_ms p99 p12.5");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kPercentile);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kPercentile);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 12.5);
+}
+
+TEST(QueryLexerTest, SpansCoverExactBytes) {
+  const std::string text = "cpu  >= 10";
+  auto tokens = Lex(text);
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(text.substr(tokens[0].span.begin, tokens[0].span.length()), "cpu");
+  EXPECT_EQ(text.substr(tokens[1].span.begin, tokens[1].span.length()), ">=");
+  EXPECT_EQ(text.substr(tokens[2].span.begin, tokens[2].span.length()), "10");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kEnd);
+  EXPECT_EQ(tokens[3].span.begin, text.size());
+}
+
+TEST(QueryLexerTest, GarbageBecomesErrorTokenNotCrash) {
+  auto tokens = Lex("@@@ cpu # $%");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kError);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEnd);
+}
+
+TEST(QueryParserTest, ParsesFullExplainWhere) {
+  Query q = MustParse(
+      "explain where latency > p99 and cpu <= 80 between 100 200 "
+      "rank by margin top 5");
+  EXPECT_EQ(q.kind, QueryKind::kExplainWhere);
+  ASSERT_EQ(q.conditions.size(), 2u);
+  EXPECT_EQ(q.conditions[0].attribute, "latency");
+  EXPECT_EQ(q.conditions[0].op, CompareOp::kGt);
+  EXPECT_TRUE(q.conditions[0].threshold.is_percentile);
+  EXPECT_DOUBLE_EQ(q.conditions[0].threshold.percentile, 99.0);
+  EXPECT_EQ(q.conditions[1].attribute, "cpu");
+  EXPECT_EQ(q.conditions[1].op, CompareOp::kLe);
+  EXPECT_FALSE(q.conditions[1].threshold.is_percentile);
+  EXPECT_DOUBLE_EQ(q.conditions[1].threshold.value, 80.0);
+  EXPECT_DOUBLE_EQ(q.t0, 100.0);
+  EXPECT_DOUBLE_EQ(q.t1, 200.0);
+  EXPECT_TRUE(q.has_rank);
+  EXPECT_EQ(q.rank_key, RankKey::kMargin);
+  EXPECT_TRUE(q.has_top);
+  EXPECT_EQ(q.top_k, 5u);
+}
+
+TEST(QueryParserTest, ParsesExplainRegion) {
+  Query q = MustParse("EXPLAIN REGION 10 20 TOP 1");
+  EXPECT_EQ(q.kind, QueryKind::kExplainRegion);
+  EXPECT_TRUE(q.conditions.empty());
+  EXPECT_DOUBLE_EQ(q.t0, 10.0);
+  EXPECT_DOUBLE_EQ(q.t1, 20.0);
+  EXPECT_EQ(q.top_k, 1u);
+}
+
+TEST(QueryParserTest, ParsesDescribe) {
+  Query q = MustParse("DESCRIBE");
+  EXPECT_EQ(q.kind, QueryKind::kDescribe);
+  EXPECT_TRUE(q.tenant.empty());
+
+  Query named = MustParse("describe tenant-07.prod");
+  EXPECT_EQ(named.kind, QueryKind::kDescribe);
+  EXPECT_EQ(named.tenant, "tenant-07.prod");
+}
+
+TEST(QueryParserTest, RejectsEmptyTimeRangeWithJoinedSpan) {
+  Diagnostic diag;
+  auto parsed = Parse("EXPLAIN WHERE cpu > 1 BETWEEN 50 50", &diag);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("empty time range"),
+            std::string::npos);
+  // The span covers both numbers.
+  EXPECT_EQ(diag.span.begin, std::string("EXPLAIN WHERE cpu > 1 BETWEEN ")
+                                 .size());
+}
+
+TEST(QueryParserTest, RejectsBadPercentile) {
+  EXPECT_NE(FailMessage("EXPLAIN WHERE cpu > p101 BETWEEN 0 1").find("p101"),
+            std::string::npos);
+}
+
+TEST(QueryParserTest, RejectsKeywordAsAttribute) {
+  FailMessage("EXPLAIN WHERE BETWEEN > 1 BETWEEN 0 1");
+}
+
+TEST(QueryParserTest, RejectsDuplicateClauses) {
+  FailMessage("EXPLAIN REGION 0 1 TOP 2 TOP 3");
+  FailMessage("EXPLAIN REGION 0 1 RANK BY margin RANK BY confidence");
+}
+
+TEST(QueryParserTest, RejectsTrailingGarbage) {
+  FailMessage("DESCRIBE t extra");
+  FailMessage("EXPLAIN REGION 0 1 banana");
+}
+
+TEST(QueryParserTest, CaretPointsAtOffendingToken) {
+  const std::string text = "EXPLAIN WHERE cpu >> 1 BETWEEN 0 1";
+  Diagnostic diag;
+  auto parsed = Parse(text, &diag);
+  ASSERT_FALSE(parsed.ok());
+  // Span must land inside the input, on or after the second '>'.
+  EXPECT_LE(diag.span.begin, text.size());
+  EXPECT_LE(diag.span.begin, diag.span.end);
+  EXPECT_LE(diag.span.end, text.size() + 1);
+  // Rendered message embeds the source line and a caret line.
+  EXPECT_NE(parsed.status().message().find(text), std::string::npos);
+  EXPECT_NE(parsed.status().message().find('^'), std::string::npos);
+}
+
+TEST(QueryParserTest, DiagnosticRendererHandlesMultilineInput) {
+  Diagnostic diag;
+  diag.message = "boom";
+  diag.span = Span(8, 11);
+  std::string rendered = FormatDiagnostic("line one\nbad line", diag);
+  EXPECT_NE(rendered.find("bad"), std::string::npos);
+  EXPECT_NE(rendered.find('^'), std::string::npos);
+}
+
+// --- Round-trip property -------------------------------------------------
+
+// Print() is documented as a parse fixed point: parsing the canonical form
+// and printing again must reproduce it byte-for-byte.
+void CheckRoundTrip(const std::string& text) {
+  Query q = MustParse(text);
+  std::string canonical = q.Print();
+  auto reparsed = Parse(canonical);
+  ASSERT_TRUE(reparsed.ok())
+      << "canonical form failed to parse: " << canonical << "\n"
+      << reparsed.status().message();
+  EXPECT_EQ(reparsed->Print(), canonical) << "not a fixed point: " << text;
+}
+
+TEST(QueryPrintTest, RoundTripFixedPointOnHandwrittenQueries) {
+  const char* kQueries[] = {
+      "EXPLAIN WHERE latency > p99 BETWEEN 100 160",
+      "explain where a >= 0.5 and b < 1e-3 and c = 12 between -5 5.25",
+      "EXPLAIN WHERE x <= p50 BETWEEN 0 1 RANK BY confidence",
+      "EXPLAIN WHERE x > 2 BETWEEN 0 1 RANK BY margin TOP 10",
+      "EXPLAIN REGION 12.5 99.75",
+      "EXPLAIN REGION 0 1 TOP 1",
+      "DESCRIBE",
+      "describe my-tenant.03",
+  };
+  for (const char* text : kQueries) CheckRoundTrip(text);
+}
+
+Query RandomQuery(common::Pcg32& rng) {
+  Query q;
+  int kind = rng.NextInt(0, 2);
+  if (kind == 2) {
+    q.kind = QueryKind::kDescribe;
+    if (rng.NextInt(0, 1) == 1) q.tenant = "t" + std::to_string(rng.NextInt(0, 99));
+    return q;
+  }
+  q.t0 = rng.NextInt(-1000, 1000) * 0.25;
+  q.t1 = q.t0 + 0.5 + rng.NextInt(0, 400) * 0.125;
+  if (kind == 1) {
+    q.kind = QueryKind::kExplainRegion;
+  } else {
+    q.kind = QueryKind::kExplainWhere;
+    int conds = rng.NextInt(1, 3);
+    for (int i = 0; i < conds; ++i) {
+      Condition c;
+      c.attribute = "attr_" + std::to_string(rng.NextInt(0, 9));
+      c.op = static_cast<CompareOp>(rng.NextInt(0, 4));
+      if (rng.NextInt(0, 1) == 1) {
+        c.threshold.is_percentile = true;
+        c.threshold.percentile = rng.NextInt(0, 100);
+      } else {
+        c.threshold.value = rng.NextDouble(-1e6, 1e6);
+      }
+      q.conditions.push_back(c);
+    }
+  }
+  if (rng.NextInt(0, 1) == 1) {
+    q.has_rank = true;
+    q.rank_key = rng.NextInt(0, 1) == 1 ? RankKey::kMargin : RankKey::kConfidence;
+  }
+  if (rng.NextInt(0, 1) == 1) {
+    q.has_top = true;
+    q.top_k = static_cast<uint64_t>(rng.NextInt(1, 50));
+  }
+  return q;
+}
+
+TEST(QueryPrintTest, RoundTripFixedPointOnRandomQueries) {
+  common::Pcg32 rng(20260808, 1);
+  for (int i = 0; i < 500; ++i) {
+    Query q = RandomQuery(rng);
+    std::string canonical = q.Print();
+    auto parsed = Parse(canonical);
+    ASSERT_TRUE(parsed.ok())
+        << canonical << "\n" << parsed.status().message();
+    EXPECT_EQ(parsed->Print(), canonical);
+  }
+}
+
+// --- Fuzz ----------------------------------------------------------------
+
+size_t FuzzIters(size_t fallback) {
+  const char* env = std::getenv("DBSHERLOCK_QUERY_FUZZ_ITERS");
+  if (env == nullptr) return fallback;
+  long parsed = std::atol(env);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+// Every outcome is acceptable except a crash or an out-of-input span.
+void FuzzOne(const std::string& text) {
+  Diagnostic diag;
+  diag.span = Span(0, 0);
+  auto parsed = Parse(text, &diag);
+  if (!parsed.ok()) {
+    EXPECT_LE(diag.span.begin, text.size()) << "span past input: " << text;
+    EXPECT_LE(diag.span.begin, diag.span.end);
+    // kEnd's span points one past the last byte; allow it.
+    EXPECT_LE(diag.span.end, text.size() + 1) << "span past input: " << text;
+    EXPECT_FALSE(parsed.status().message().empty());
+  }
+}
+
+TEST(QueryFuzzTest, ByteMutationsNeverCrash) {
+  common::Pcg32 rng(0xDB5, 7);
+  const std::string seeds[] = {
+      "EXPLAIN WHERE latency > p99 AND cpu <= 80 BETWEEN 100 200 "
+      "RANK BY confidence TOP 3",
+      "EXPLAIN REGION 10 20",
+      "DESCRIBE tenant-1",
+  };
+  size_t iters = FuzzIters(2000);
+  for (size_t i = 0; i < iters; ++i) {
+    std::string text = seeds[rng.NextBounded(3)];
+    int mutations = rng.NextInt(1, 6);
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      size_t pos = rng.NextBounded(static_cast<uint32_t>(text.size()));
+      switch (rng.NextInt(0, 3)) {
+        case 0:  // flip to random byte (printable-biased, some raw)
+          text[pos] = static_cast<char>(rng.NextInt(1, 255));
+          break;
+        case 1:  // delete
+          text.erase(pos, 1);
+          break;
+        case 2:  // duplicate
+          text.insert(pos, 1, text[pos]);
+          break;
+        default:  // truncate
+          text.resize(pos);
+          break;
+      }
+    }
+    FuzzOne(text);
+  }
+}
+
+TEST(QueryFuzzTest, TokenShufflesNeverCrash) {
+  common::Pcg32 rng(0xF12E, 11);
+  const std::vector<std::string> vocab = {
+      "EXPLAIN", "WHERE",  "REGION", "DESCRIBE", "BETWEEN", "AND",
+      "RANK",    "BY",     "TOP",    "confidence", "margin", "latency",
+      "cpu",     ">",      ">=",     "<",        "<=",      "=",
+      "p99",     "p0",     "p101",   "100",      "200",     "-1e308",
+      "nan",     "inf",    "0.0",    "@@",       "привет",  "",
+  };
+  size_t iters = FuzzIters(2000);
+  for (size_t i = 0; i < iters; ++i) {
+    std::string text;
+    int tokens = rng.NextInt(0, 12);
+    for (int t = 0; t < tokens; ++t) {
+      if (!text.empty()) text += ' ';
+      text += vocab[rng.NextBounded(static_cast<uint32_t>(vocab.size()))];
+    }
+    FuzzOne(text);
+  }
+}
+
+TEST(QueryFuzzTest, PathologicalInputs) {
+  FuzzOne("");
+  FuzzOne(" ");
+  FuzzOne("\t\t\t");
+  FuzzOne(std::string(1, '\0'));
+  FuzzOne(std::string(100000, 'A'));
+  FuzzOne(std::string(5000, '>'));
+  FuzzOne("EXPLAIN " + std::string(10000, '('));
+  std::string many_ands = "EXPLAIN WHERE a > 1";
+  for (int i = 0; i < 2000; ++i) many_ands += " AND a > 1";
+  many_ands += " BETWEEN 0 1";
+  FuzzOne(many_ands);
+  EXPECT_TRUE(Parse(many_ands).ok());
+}
+
+}  // namespace
+}  // namespace dbsherlock::query

@@ -252,6 +252,73 @@ TEST(ServiceCliTest, Kill9LosesAtMostTheUnsealedTail) {
   EXPECT_EQ(daemon.Terminate(), 0);
 }
 
+/// Telemetry CSV with an injected cpu plateau over [30, 45).
+std::string WriteAnomalyCsv(const std::string& name) {
+  std::string path = testing::TempDir() + "/dbsherlockd_cli_" +
+                     std::to_string(getpid()) + "_" + name + ".csv";
+  std::ofstream f(path);
+  f << "timestamp,cpu\n";
+  for (int t = 0; t < 60; ++t) {
+    f << t << "," << ((t >= 30 && t < 45) ? 95 : 40 + t % 5) << "\n";
+  }
+  return path;
+}
+
+TEST(ServiceCliTest, ExplainQueryRendersIncidentReport) {
+  std::string root = WalDir() + "_dql";
+  (void)RunCommand("rm -rf '" + root + "' && mkdir -p '" + root + "'");
+  Daemon daemon;
+  ASSERT_TRUE(daemon.Start(root + "/wal",
+                           {"--store-dir", root + "/store", "--seal-rows",
+                            "10"}));
+  std::string connect =
+      "--connect 127.0.0.1:" + std::to_string(daemon.port());
+  std::string csv = WriteAnomalyCsv("explain");
+  ASSERT_EQ(RunClient(connect + " --append-csv " + csv + " --tenant t0")
+                .exit_code,
+            0);
+  ASSERT_EQ(RunClient(connect + " --flush --tenant t0").exit_code, 0);
+  RunResult teach = RunClient(
+      connect +
+      " --raw 'TEACH {\"cause\":\"CPU hog\",\"suggested_action\":"
+      "\"throttle the batch job\",\"predicates\":"
+      "[{\"attribute\":\"cpu\",\"type\":\"gt\",\"low\":70}]}'");
+  ASSERT_EQ(teach.exit_code, 0) << teach.output;
+
+  // Markdown report (the default --report md).
+  RunResult md = RunClient(
+      connect +
+      " --explain 'EXPLAIN WHERE cpu > 70 BETWEEN 0 60 TOP 3'"
+      " --tenant t0");
+  EXPECT_EQ(md.exit_code, 0) << md.output;
+  EXPECT_NE(md.output.find("# Incident report"), std::string::npos)
+      << md.output;
+  EXPECT_NE(md.output.find("CPU hog"), std::string::npos) << md.output;
+  EXPECT_NE(md.output.find("throttle the batch job"), std::string::npos)
+      << md.output;
+
+  // JSON report carries the machine-readable finding.
+  RunResult json = RunClient(
+      connect +
+      " --explain 'EXPLAIN WHERE cpu > 70 BETWEEN 0 60 TOP 3'"
+      " --tenant t0 --report json");
+  EXPECT_EQ(json.exit_code, 0) << json.output;
+  EXPECT_NE(json.output.find("\"kind\": \"explain_where\""),
+            std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"CPU hog\""), std::string::npos)
+      << json.output;
+
+  // A syntax error surfaces the server's caret diagnostic through the
+  // client's error path with a non-zero exit.
+  RunResult bad = RunClient(connect +
+                            " --explain 'EXPLAIN WHERE cpu >' --tenant t0");
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.output.find("^"), std::string::npos) << bad.output;
+
+  EXPECT_EQ(daemon.Terminate(), 0);
+}
+
 TEST(ServiceCliTest, RestartedDaemonServesRecoveredModels) {
   std::string wal_dir = WalDir() + "_restart";
   {

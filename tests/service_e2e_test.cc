@@ -165,6 +165,56 @@ TEST(ServiceE2eTest, DiagnoseRangeRanksCauseTopOneAfterWindowMovedOn) {
   EXPECT_EQ((*causes)->as_array().front().GetString("cause").ValueOr(""),
             "CPU hog");
 
+  // The ISSUE's DQL acceptance scenario, same live daemon: a declarative
+  // EXPLAIN with a percentile threshold must find the anomaly region via
+  // pushdown discovery and rank the taught cause top-1.
+  auto report = (*client)->Explain(
+      "t0",
+      "EXPLAIN WHERE latency > p99 BETWEEN 990 1070 RANK BY confidence "
+      "TOP 3");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto findings = report->GetArray("findings");
+  ASSERT_TRUE(findings.ok()) << report->Dump(2);
+  ASSERT_FALSE((*findings)->as_array().empty()) << report->Dump(2);
+  // The finding overlapping the injected [1000, 1060) region must rank
+  // the taught cause top-1 (a stray normal-tail match may precede it).
+  bool found_injected = false;
+  for (const common::JsonValue& finding : (*findings)->as_array()) {
+    const common::JsonValue* region = finding.Find("region");
+    ASSERT_NE(region, nullptr);
+    if (region->GetNumber("start").ValueOr(0.0) >= kAnomalyEnd ||
+        region->GetNumber("end").ValueOr(0.0) <= kAnomalyStart) {
+      continue;
+    }
+    found_injected = true;
+    auto top_causes = finding.GetArray("causes");
+    ASSERT_TRUE(top_causes.ok());
+    ASSERT_FALSE((*top_causes)->as_array().empty()) << report->Dump(2);
+    EXPECT_EQ(
+        (*top_causes)->as_array().front().GetString("cause").ValueOr(""),
+        "CPU hog");
+  }
+  EXPECT_TRUE(found_injected) << report->Dump(2);
+  // Region discovery rode the zone-map pushdown: strictly fewer segments
+  // decoded than a full scan of the store would inflate.
+  const common::JsonValue* discovery = report->Find("discovery");
+  ASSERT_NE(discovery, nullptr);
+  EXPECT_LT(discovery->GetNumber("segments_decoded").ValueOr(1e9),
+            discovery->GetNumber("segments").ValueOr(0.0));
+  // The report ships a human rendering alongside the structured object.
+  std::string markdown = report->GetString("markdown").ValueOr("");
+  EXPECT_NE(markdown.find("CPU hog"), std::string::npos);
+  EXPECT_NE(markdown.find("Finding 1"), std::string::npos);
+
+  // A malformed statement comes back as ERR with the multi-line caret
+  // diagnostic intact across the line protocol (the ERR JSON-string
+  // encoding regression this PR fixes).
+  auto bad = (*client)->Explain("t0", "EXPLAIN WHERE latency >");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), common::StatusCode::kParseError);
+  EXPECT_NE(bad.status().message().find('\n'), std::string::npos);
+  EXPECT_NE(bad.status().message().find('^'), std::string::npos);
+
   (void)(*client)->Quit();
   (*server)->Stop();
   service.Stop();

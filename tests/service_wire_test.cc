@@ -276,8 +276,60 @@ TEST(WireTest, ResponseLinesRoundTrip) {
   ASSERT_TRUE(err.ok());
   EXPECT_EQ(err->kind, Response::Kind::kErr);
   EXPECT_EQ(err->error.code(), common::StatusCode::kNotFound);
-  // Embedded newlines were flattened to keep the response one line.
-  EXPECT_EQ(err->error.message().find('\n'), std::string::npos);
+  // The multi-line message survives intact (JSON-string encoded on the
+  // wire so the response still occupies one line).
+  EXPECT_EQ(err->error.message(), "tenant 'x'\nre-HELLO");
+}
+
+/// Regression: ErrLine used to flatten '\n' and '\r' to spaces, which
+/// destroyed multi-line payloads like DQL caret diagnostics; messages
+/// with colons and interior quotes were also at the mercy of ad-hoc
+/// splitting. Every such message must now round-trip byte-exact, while
+/// plain single-line messages stay verbatim on the wire (old clients
+/// keep working).
+TEST(WireTest, ErrDetailRoundTripsHostileMessages) {
+  const std::string hostile[] = {
+      "syntax error: expected BETWEEN after the WHERE conditions\n"
+      "  EXPLAIN WHERE cpu > 1 RANK BY margin\n"
+      "                        ^~~~",
+      "a: b: c: nested: colons",
+      "\"starts with a quote\"",
+      "tab\there and \r carriage return",
+      "trailing newline\n",
+      "unicode ▁▂▃ sparkline and caret ^",
+  };
+  for (const std::string& message : hostile) {
+    std::string line = ErrLine(common::Status::InvalidArgument(message));
+    EXPECT_EQ(line.find('\n'), std::string::npos) << "not one line";
+    EXPECT_EQ(line.find('\r'), std::string::npos) << "not one line";
+    auto response = ParseResponseLine(line);
+    ASSERT_TRUE(response.ok()) << line;
+    EXPECT_EQ(response->kind, Response::Kind::kErr);
+    EXPECT_EQ(response->error.code(), common::StatusCode::kInvalidArgument);
+    EXPECT_EQ(response->error.message(), message) << line;
+  }
+  // Plain messages are not JSON-wrapped — byte-compatible with older
+  // clients that read the tail verbatim.
+  std::string plain = ErrLine(common::Status::NotFound("no tenant 't0'"));
+  EXPECT_EQ(plain, "ERR NotFound no tenant 't0'");
+}
+
+TEST(WireTest, ParsesExplainQueryVerbatim) {
+  auto request = ParseRequestLine(
+      "EXPLAINQ t0 EXPLAIN WHERE latency > p99 AND cpu <= 80 "
+      "BETWEEN 100 200 RANK BY confidence TOP 3");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->op, RequestOp::kExplainQuery);
+  EXPECT_EQ(request->tenant, "t0");
+  // The statement is everything after the tenant, verbatim — the DQL
+  // parser owns its own tokenization (and its spans must line up).
+  EXPECT_EQ(request->query_text,
+            "EXPLAIN WHERE latency > p99 AND cpu <= 80 BETWEEN 100 200 "
+            "RANK BY confidence TOP 3");
+
+  EXPECT_FALSE(ParseRequestLine("EXPLAINQ t0").ok());        // no query
+  EXPECT_FALSE(ParseRequestLine("EXPLAINQ t0   ").ok());     // blank query
+  EXPECT_FALSE(ParseRequestLine("EXPLAINQ bad/name DESCRIBE").ok());
 }
 
 TEST(WireTest, RejectsMalformedResponses) {

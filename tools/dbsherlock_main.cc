@@ -625,6 +625,31 @@ int CmdClient(const Args& args) {
                 total_rows, tenant.c_str(), retries);
     return 0;
   }
+  if (args.Has("explain")) {
+    std::string tenant = args.Get("tenant");
+    std::string statement = args.Get("explain");
+    if (common::Trim(statement).empty()) {
+      std::fprintf(stderr,
+                   "--explain wants a DQL statement, e.g. "
+                   "\"EXPLAIN WHERE latency > p99 BETWEEN 100 160\"\n");
+      return 2;
+    }
+    std::string format = args.Get("report", "md");
+    if (format != "md" && format != "json") {
+      std::fprintf(stderr, "--report wants md or json\n");
+      return 2;
+    }
+    auto json = (*client)->Explain(tenant, statement);
+    if (!json.ok()) Die(json.status());
+    if (format == "json") {
+      std::printf("%s\n", json->Dump(2).c_str());
+      return 0;
+    }
+    auto markdown = json->GetString("markdown");
+    if (!markdown.ok()) Die(markdown.status());
+    std::printf("%s\n", markdown->c_str());
+    return 0;
+  }
   if (args.Has("query") || args.Has("diagnose-range")) {
     std::string tenant = args.Get("tenant");
     bool query = args.Has("query");
@@ -654,8 +679,8 @@ int CmdClient(const Args& args) {
   }
   std::fprintf(stderr,
                "client: pick one of --ping --hello --append-csv --teach "
-               "--diagnoses --flush --query --diagnose-range --stats "
-               "--models --modelsync --health --raw\n");
+               "--diagnoses --flush --query --diagnose-range --explain "
+               "--stats --models --modelsync --health --raw\n");
   return 2;
 }
 
@@ -849,6 +874,10 @@ int Usage() {
       "            | --query T0:T1 --tenant T [--csv-out]\n"
       "              [--where \"attr>=v;attr<=v\"]  (zone-map pushdown)\n"
       "            | --diagnose-range T0:T1 --tenant T\n"
+      "            | --explain \"DQL\" --tenant T [--report md|json]\n"
+      "              (e.g. \"EXPLAIN WHERE latency > p99 BETWEEN 100 160\n"
+      "              RANK BY confidence TOP 3\"; md prints the incident\n"
+      "              report, json the full structured object)\n"
       "  store-inspect --dir DIR  (tenant history dir: recovery report,\n"
       "            schema, segment manifest; --dump prints rows as CSV;\n"
       "            --zones prints per-attribute zone maps per segment)\n"

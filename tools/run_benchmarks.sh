@@ -10,6 +10,7 @@
 #   tools/run_benchmarks.sh [--allow-debug] --service [output.json]
 #   tools/run_benchmarks.sh [--allow-debug] --store [output.json]
 #   tools/run_benchmarks.sh [--allow-debug] --chaos [output.json]
+#   tools/run_benchmarks.sh [--allow-debug] --query [output.json]
 # Modes:
 #   --with-metrics  run the microbenchmarks, then run one instrumented
 #                 pipeline pass (bench_pipeline_metrics) and embed its
@@ -38,6 +39,14 @@
 #                 distributions plus each episode's seed and fault
 #                 schedule (default BENCH_chaos.json). Exit status is
 #                 nonzero if any invariant was violated.
+#   --query       run the DQL pipeline sweep: parse/compile latency for a
+#                 representative EXPLAIN WHERE statement (compile includes
+#                 exact percentile resolution via zone-map bracketing),
+#                 the discovery scan with pushdown vs the prune-free full
+#                 decode, and end-to-end EXPLAINQ latency against a real
+#                 daemon subprocess (default BENCH_query.json). Exit
+#                 status is nonzero unless pushdown discovery decoded
+#                 strictly fewer segments than the full scan.
 #   --service     run the dbsherlockd end-to-end replay (8 simulated
 #                 tenants over the real socket path) and write throughput,
 #                 p99 append latency, shed rate, and per-tenant diagnosis
@@ -134,6 +143,14 @@ if [[ "${1:-}" == "--chaos" ]]; then
   ensure_built bench_chaos
   require_optimized_build
   "$BUILD_DIR/bench/bench_chaos" --json_out "$OUT"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--query" ]]; then
+  OUT="${2:-BENCH_query.json}"
+  ensure_built bench_query
+  require_optimized_build
+  "$BUILD_DIR/bench/bench_query" --json_out "$OUT"
   exit 0
 fi
 
